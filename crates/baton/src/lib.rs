@@ -1,0 +1,17 @@
+//! The BATON overlay (Jagadish et al. \[10\]) and the SSP skyline baseline
+//! (Wang et al. \[18\]) that the RIPPLE paper compares against.
+//!
+//! * [`network`] — BATON: a balanced binary tree over a one-dimensional key
+//!   space, with parent/child/adjacent links plus same-level routing tables
+//!   giving `O(log n)` routing without congesting the root. Multidimensional
+//!   data is mapped to keys with the Z-curve.
+//! * [`ssp`] — SSP skyline processing: origin-anchored search-space
+//!   refinement with Z-interval cell decomposition for pruning.
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod ssp;
+
+pub use network::{BatonNetwork, BatonPeer};
+pub use ssp::{ssp_skyline, SspOutcome};

@@ -1,0 +1,513 @@
+//! The BATON overlay (Jagadish, Ooi, Vu \[10\]).
+//!
+//! BATON organises peers as a *balanced binary tree*: every peer is a tree
+//! node holding a contiguous range of the one-dimensional key space
+//! (in-order over the tree). Each node links to its parent, children,
+//! in-order adjacent nodes, and — the ingredient that makes routing
+//! `O(log n)` without congesting the root — left/right *routing tables* of
+//! same-level nodes at distances `2^j`.
+//!
+//! The simulation keeps the peers sorted by key-range start and lays the
+//! balanced tree out implicitly (heap numbering over the in-order
+//! sequence), rebuilding the layout lazily after churn; this models BATON's
+//! restructuring operations, whose cost the paper's query metrics do not
+//! include. Multidimensional data is mapped onto the key space with the
+//! Z-curve (`ripple-geom::zorder`), as SSP prescribes.
+
+use rand::Rng;
+use ripple_geom::zorder::ZCurve;
+use ripple_geom::{Point, Tuple};
+use ripple_net::{ChurnOverlay, PeerId, PeerStore};
+
+/// A BATON peer: a contiguous Z-interval plus its stored tuples.
+#[derive(Clone, Debug)]
+pub struct BatonPeer {
+    /// Stable handle.
+    pub id: PeerId,
+    /// Inclusive lower end of the owned key interval.
+    pub lo: u128,
+    /// Inclusive upper end of the owned key interval.
+    pub hi: u128,
+    /// Locally stored tuples.
+    pub store: PeerStore,
+}
+
+/// The implicit balanced-tree layout over the in-order peer sequence.
+#[derive(Clone, Debug, Default)]
+struct TreeLayout {
+    /// BFS (heap) index of the node at each in-order rank (1-based heap).
+    bfs_of_rank: Vec<usize>,
+    /// In-order rank of each BFS index (index 0 unused).
+    rank_of_bfs: Vec<usize>,
+    /// Min/max in-order rank inside the subtree of each BFS index.
+    subtree_min: Vec<usize>,
+    subtree_max: Vec<usize>,
+}
+
+impl TreeLayout {
+    fn build(n: usize) -> Self {
+        let mut bfs_of_rank = vec![0usize; n];
+        let mut rank_of_bfs = vec![0usize; n + 1];
+        // iterative in-order traversal of the heap-shaped tree 1..=n
+        let mut stack = Vec::new();
+        let mut cur = 1usize;
+        let mut rank = 0usize;
+        while cur <= n || !stack.is_empty() {
+            while cur <= n {
+                stack.push(cur);
+                cur *= 2;
+            }
+            let node = stack.pop().expect("loop guard");
+            bfs_of_rank[rank] = node;
+            rank_of_bfs[node] = rank;
+            rank += 1;
+            cur = node * 2 + 1;
+        }
+        let mut subtree_min = vec![usize::MAX; n + 1];
+        let mut subtree_max = vec![0usize; n + 1];
+        for b in (1..=n).rev() {
+            let mut lo = rank_of_bfs[b];
+            let mut hi = rank_of_bfs[b];
+            if 2 * b <= n {
+                lo = lo.min(subtree_min[2 * b]);
+                hi = hi.max(subtree_max[2 * b]);
+            }
+            if 2 * b < n {
+                lo = lo.min(subtree_min[2 * b + 1]);
+                hi = hi.max(subtree_max[2 * b + 1]);
+            }
+            subtree_min[b] = lo;
+            subtree_max[b] = hi;
+        }
+        Self {
+            bfs_of_rank,
+            rank_of_bfs,
+            subtree_min,
+            subtree_max,
+        }
+    }
+}
+
+/// A simulated BATON overlay over a Z-curved multidimensional domain.
+#[derive(Clone, Debug)]
+pub struct BatonNetwork {
+    curve: ZCurve,
+    peers: Vec<Option<BatonPeer>>,
+    /// Live peers sorted by interval start (the in-order sequence).
+    sorted: Vec<PeerId>,
+    layout: TreeLayout,
+    layout_dirty: bool,
+}
+
+impl BatonNetwork {
+    /// Creates a single-peer overlay over a `dims`-dimensional domain
+    /// Z-curved at `bits_per_dim` resolution.
+    pub fn new(dims: usize, bits_per_dim: u32) -> Self {
+        let curve = ZCurve::new(dims, bits_per_dim);
+        let id = PeerId::new(0);
+        let root = BatonPeer {
+            id,
+            lo: 0,
+            hi: curve.key_space() - 1,
+            store: PeerStore::new(),
+        };
+        Self {
+            curve,
+            peers: vec![Some(root)],
+            sorted: vec![id],
+            layout: TreeLayout::build(1),
+            layout_dirty: false,
+        }
+    }
+
+    /// Builds an overlay of `n` peers via random joins.
+    pub fn build<R: Rng>(dims: usize, bits_per_dim: u32, n: usize, rng: &mut R) -> Self {
+        let mut net = Self::new(dims, bits_per_dim);
+        while net.peer_count() < n {
+            net.join_random(rng);
+        }
+        net
+    }
+
+    /// The Z-curve mapping the domain to the key space.
+    pub fn curve(&self) -> &ZCurve {
+        &self.curve
+    }
+
+    /// Dimensionality of the indexed domain.
+    pub fn dims(&self) -> usize {
+        self.curve.dims()
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// The live peers in key order.
+    pub fn peers_in_order(&self) -> &[PeerId] {
+        &self.sorted
+    }
+
+    /// A uniformly random live peer.
+    pub fn random_peer<R: Rng>(&self, rng: &mut R) -> PeerId {
+        self.sorted[rng.gen_range(0..self.sorted.len())]
+    }
+
+    /// Borrows a live peer.
+    pub fn peer(&self, id: PeerId) -> &BatonPeer {
+        self.peers[id.index()].as_ref().expect("peer departed")
+    }
+
+    fn peer_mut(&mut self, id: PeerId) -> &mut BatonPeer {
+        self.peers[id.index()].as_mut().expect("peer departed")
+    }
+
+    /// In-order rank of the peer owning key `z`.
+    pub fn rank_of_key(&self, z: u128) -> usize {
+        debug_assert!(z < self.curve.key_space());
+        match self
+            .sorted
+            .binary_search_by(|&p| self.peer(p).lo.cmp(&z))
+        {
+            Ok(r) => r,
+            Err(ins) => ins - 1, // interval of the previous peer covers z
+        }
+    }
+
+    /// The peer owning key `z` (maintenance-side).
+    pub fn responsible(&self, z: u128) -> PeerId {
+        self.sorted[self.rank_of_key(z)]
+    }
+
+    /// Stores a tuple at the peer owning its Z-value.
+    pub fn insert_tuple(&mut self, t: Tuple) {
+        assert_eq!(t.dims(), self.dims());
+        let z = self.curve.encode(&t.point);
+        let owner = self.responsible(z);
+        self.peer_mut(owner).store.insert(t);
+    }
+
+    /// Bulk-loads a dataset.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.insert_tuple(t);
+        }
+    }
+
+    /// A new peer joins, splitting the interval of the peer owning a random
+    /// key.
+    pub fn join_random<R: Rng>(&mut self, rng: &mut R) -> PeerId {
+        let p = Point::new(
+            (0..self.dims())
+                .map(|_| rng.gen::<f64>())
+                .collect::<Vec<_>>(),
+        );
+        self.join(self.curve.encode(&p))
+    }
+
+    /// A new peer joins at key `z`: the owner's interval splits in half; the
+    /// new peer takes the upper part.
+    pub fn join(&mut self, z: u128) -> PeerId {
+        let rank = self.rank_of_key(z);
+        let old_id = self.sorted[rank];
+        let (lo, hi) = (self.peer(old_id).lo, self.peer(old_id).hi);
+        assert!(hi > lo, "interval too small to split");
+        let mid = lo + (hi - lo) / 2; // old keeps [lo, mid], new takes (mid, hi]
+        let new_id = PeerId::new(self.peers.len() as u32);
+        let curve = self.curve;
+        let moved = {
+            let w = self.peer_mut(old_id);
+            w.hi = mid;
+            w.store.drain_where(|p| curve.encode(p) > mid)
+        };
+        let mut store = PeerStore::new();
+        store.extend(moved);
+        self.peers.push(Some(BatonPeer {
+            id: new_id,
+            lo: mid + 1,
+            hi,
+            store,
+        }));
+        self.sorted.insert(rank + 1, new_id);
+        self.layout_dirty = true;
+        new_id
+    }
+
+    /// Graceful departure: the interval is handed to the in-order
+    /// predecessor (or successor for the first peer).
+    pub fn leave(&mut self, id: PeerId) {
+        assert!(self.peer_count() > 1, "cannot remove the last peer");
+        let rank = self
+            .sorted
+            .iter()
+            .position(|&p| p == id)
+            .expect("peer is live");
+        let heir = if rank > 0 {
+            self.sorted[rank - 1]
+        } else {
+            self.sorted[rank + 1]
+        };
+        let tuples = self.peer_mut(id).store.drain_all();
+        let (lo, hi) = (self.peer(id).lo, self.peer(id).hi);
+        {
+            let h = self.peer_mut(heir);
+            h.lo = h.lo.min(lo);
+            h.hi = h.hi.max(hi);
+            h.store.extend(tuples);
+        }
+        self.sorted.remove(rank);
+        self.peers[id.index()] = None;
+        self.layout_dirty = true;
+    }
+
+    fn layout(&mut self) -> &TreeLayout {
+        if self.layout_dirty {
+            self.layout = TreeLayout::build(self.sorted.len());
+            self.layout_dirty = false;
+        }
+        &self.layout
+    }
+
+    /// Ensures the layout is fresh; call before issuing immutable routing
+    /// queries after churn.
+    pub fn refresh_layout(&mut self) {
+        let _ = self.layout();
+    }
+
+    /// Routes from `from` to the peer owning `z` using BATON's links
+    /// (routing tables, parent/children, adjacents). Returns the owner and
+    /// the hop count, and reports every transit peer to `on_hop`.
+    ///
+    /// # Panics
+    /// Panics if the layout is stale (call [`Self::refresh_layout`] after
+    /// churn before routing).
+    pub fn route(&self, from: PeerId, z: u128, mut on_hop: impl FnMut(PeerId)) -> (PeerId, u32) {
+        assert!(!self.layout_dirty, "layout stale: call refresh_layout()");
+        let n = self.sorted.len();
+        let target = self.rank_of_key(z);
+        let mut cur = self
+            .sorted
+            .iter()
+            .position(|&p| p == from)
+            .expect("peer is live");
+        let mut hops = 0u32;
+        let l = &self.layout;
+        while cur != target {
+            let b = l.bfs_of_rank[cur];
+            let level_base = usize::BITS - b.leading_zeros() - 1; // level index
+            let level_lo = 1usize << level_base;
+            let level_hi = ((1usize << (level_base + 1)) - 1).min(n);
+            let next_rank;
+            if l.subtree_min[b] <= target && target <= l.subtree_max[b] {
+                // target below us: descend toward it
+                let left = 2 * b;
+                let right = 2 * b + 1;
+                if left <= n && l.subtree_min[left] <= target && target <= l.subtree_max[left] {
+                    next_rank = l.rank_of_bfs[left];
+                } else if right <= n
+                    && l.subtree_min[right] <= target
+                    && target <= l.subtree_max[right]
+                {
+                    next_rank = l.rank_of_bfs[right];
+                } else {
+                    unreachable!("target inside subtree but in no child: cur is the owner");
+                }
+            } else {
+                // sideways: farthest same-level routing entry that does not
+                // overshoot the target, else parent
+                let going_left = target < cur;
+                let mut best: Option<usize> = None;
+                let mut j = 0u32;
+                loop {
+                    let dist = 1usize << j;
+                    let nb = if going_left {
+                        b.checked_sub(dist).filter(|&x| x >= level_lo)
+                    } else {
+                        Some(b + dist).filter(|&x| x <= level_hi)
+                    };
+                    let Some(nb) = nb else { break };
+                    let reaches = if going_left {
+                        l.subtree_max[nb] >= target
+                    } else {
+                        l.subtree_min[nb] <= target
+                    };
+                    if reaches {
+                        best = Some(nb); // farthest non-overshooting so far
+                    } else {
+                        break; // farther entries overshoot even more
+                    }
+                    j += 1;
+                }
+                next_rank = match best {
+                    Some(nb) => l.rank_of_bfs[nb],
+                    None => {
+                        if b > 1 {
+                            l.rank_of_bfs[b / 2] // parent
+                        } else {
+                            // root without a useful entry: adjacent step
+                            if going_left { cur - 1 } else { cur + 1 }
+                        }
+                    }
+                };
+            }
+            cur = next_rank;
+            hops += 1;
+            on_hop(self.sorted[cur]);
+            debug_assert!(hops as usize <= 4 * n, "routing must terminate");
+        }
+        (self.sorted[cur], hops)
+    }
+
+    /// Checks structural invariants (tests): intervals tile the key space in
+    /// order; tuples live with their owner.
+    pub fn check_invariants(&self) {
+        let mut next = 0u128;
+        for &id in &self.sorted {
+            let p = self.peer(id);
+            assert_eq!(p.lo, next, "intervals must tile the key space");
+            assert!(p.hi >= p.lo);
+            next = p.hi + 1;
+            for t in p.store.iter() {
+                let z = self.curve.encode(&t.point);
+                assert!(p.lo <= z && z <= p.hi, "tuple stored at wrong peer");
+            }
+        }
+        assert_eq!(next, self.curve.key_space(), "key space fully covered");
+    }
+}
+
+impl ChurnOverlay for BatonNetwork {
+    fn peer_count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    fn churn_join(&mut self, rng: &mut dyn rand::RngCore) {
+        let p = Point::new(
+            (0..self.dims())
+                .map(|_| rand::Rng::gen::<f64>(&mut &mut *rng))
+                .collect::<Vec<_>>(),
+        );
+        self.join(self.curve.encode(&p));
+    }
+
+    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore) {
+        if self.peer_count() <= 1 {
+            return;
+        }
+        let idx = rand::Rng::gen_range(&mut &mut *rng, 0..self.sorted.len());
+        self.leave(self.sorted[idx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn build_and_invariants() {
+        let mut r = rng(1);
+        let net = BatonNetwork::build(2, 10, 64, &mut r);
+        assert_eq!(net.peer_count(), 64);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn tree_layout_inorder_is_sorted() {
+        for n in [1usize, 2, 3, 7, 10, 31, 100] {
+            let l = TreeLayout::build(n);
+            // in-order ranks must be a permutation
+            let mut seen = vec![false; n];
+            for &b in &l.bfs_of_rank {
+                assert!((1..=n).contains(&b));
+                assert!(!seen[b - 1]);
+                seen[b - 1] = true;
+            }
+            // BST property: left subtree ranks < node rank < right subtree
+            for b in 1..=n {
+                let r = l.rank_of_bfs[b];
+                if 2 * b <= n {
+                    assert!(l.subtree_max[2 * b] < r);
+                }
+                if 2 * b < n {
+                    assert!(l.subtree_min[2 * b + 1] > r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner() {
+        let mut r = rng(2);
+        let mut net = BatonNetwork::build(3, 8, 100, &mut r);
+        net.refresh_layout();
+        for _ in 0..60 {
+            let z = r.gen_range(0..net.curve().key_space());
+            let from = net.random_peer(&mut r);
+            let (owner, hops) = net.route(from, z, |_| {});
+            let p = net.peer(owner);
+            assert!(p.lo <= z && z <= p.hi);
+            assert!(
+                (hops as usize) <= 6 * 64usize.ilog2() as usize,
+                "routing took {hops} hops for n=100"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_hops_scale_logarithmically() {
+        let mut r = rng(3);
+        let mut net = BatonNetwork::build(2, 12, 512, &mut r);
+        net.refresh_layout();
+        let mut total = 0u32;
+        let samples = 100;
+        for _ in 0..samples {
+            let z = r.gen_range(0..net.curve().key_space());
+            let from = net.random_peer(&mut r);
+            let (_, hops) = net.route(from, z, |_| {});
+            total += hops;
+        }
+        let mean = total as f64 / samples as f64;
+        assert!(mean < 30.0, "mean hops {mean} too high for 512 peers");
+    }
+
+    #[test]
+    fn tuples_follow_intervals_under_churn() {
+        let mut r = rng(4);
+        let mut net = BatonNetwork::build(2, 10, 16, &mut r);
+        for i in 0..100 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen(), r.gen()]));
+        }
+        for _ in 0..40 {
+            if r.gen_bool(0.5) {
+                net.join_random(&mut r);
+            } else if net.peer_count() > 2 {
+                let v = net.random_peer(&mut r);
+                net.leave(v);
+            }
+        }
+        net.check_invariants();
+        let total: usize = net
+            .peers_in_order()
+            .iter()
+            .map(|&p| net.peer(p).store.len())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn first_peer_can_leave() {
+        let mut r = rng(5);
+        let mut net = BatonNetwork::build(2, 10, 8, &mut r);
+        let first = net.peers_in_order()[0];
+        net.leave(first);
+        net.check_invariants();
+        assert_eq!(net.peer(net.peers_in_order()[0]).lo, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! SSP: Skyline Space Partitioning over BATON (Wang et al. \[18\]).
+//!
+//! SSP maps the multidimensional data space to unidimensional keys with a
+//! Z-curve (a BATON requirement). Query processing starts at the peer
+//! responsible for the region containing the *origin* of the data space.
+//! That peer computes the local skyline points that belong to the global
+//! skyline, selects the **most dominating point** to refine the search
+//! space, prunes the peers whose (Z-interval) regions are entirely
+//! dominated, forwards the query to the survivors, and gathers their local
+//! skylines.
+//!
+//! The pruning test decomposes each peer's Z-interval into maximal aligned
+//! cells (each a rectangle in the domain, see
+//! [`ZCurve::interval_to_cells`](ripple_geom::zorder::ZCurve::interval_to_cells));
+//! a peer is pruned iff every cell is dominated. This is where the Z-curve's
+//! loss of locality shows: an interval can shatter into many cells, keeping
+//! false-positive peers alive — the effect the paper blames for SSP's extra
+//! latency and message overhead versus a natively multidimensional index.
+
+use crate::network::BatonNetwork;
+use ripple_geom::{dominance, Tuple};
+use ripple_net::{PeerId, QueryMetrics};
+
+/// Result of an SSP skyline computation.
+pub struct SspOutcome {
+    /// The global skyline, sorted by tuple id.
+    pub skyline: Vec<Tuple>,
+    /// Cost ledger. Latency: route to the origin peer, then the deepest
+    /// routed contact (contacts fan out in parallel); responses add
+    /// messages but no hops, as everywhere in this reproduction.
+    pub metrics: QueryMetrics,
+}
+
+/// Runs an SSP skyline query from `initiator`.
+///
+/// The overlay must have a fresh layout (call
+/// [`BatonNetwork::refresh_layout`] after churn).
+pub fn ssp_skyline(net: &BatonNetwork, initiator: PeerId) -> SspOutcome {
+    let mut metrics = QueryMetrics::new();
+
+    // Phase 1: route to the origin peer (Z-value 0). Transit peers forward
+    // the lookup but do not process the query: hops are charged as messages
+    // and latency, not as visits.
+    let (origin_peer, hops) = net.route(initiator, 0, |_| {});
+    metrics.query_messages += hops as u64;
+    metrics.latency += hops as u64;
+
+    // Phase 2: the origin peer computes its local skyline and selects the
+    // most dominating point (minimum coordinate sum) to prune with.
+    metrics.visit(origin_peer);
+    let local_sky = dominance::skyline(net.peer(origin_peer).store.tuples());
+    let most_dominating = local_sky
+        .iter()
+        .min_by(|a, b| {
+            let sa: f64 = a.point.coords().iter().sum();
+            let sb: f64 = b.point.coords().iter().sum();
+            sa.total_cmp(&sb).then_with(|| a.id.cmp(&b.id))
+        })
+        .cloned();
+
+    let mut answers: Vec<Tuple> = local_sky.clone();
+    metrics.respond(local_sky.len());
+
+    // Phase 3: prune peers whose entire Z-interval is dominated; forward
+    // the query to the rest, in parallel, via BATON routing.
+    let curve = *net.curve();
+    let mut deepest_contact = 0u64;
+    for &peer in net.peers_in_order() {
+        if peer == origin_peer {
+            continue;
+        }
+        let p = net.peer(peer);
+        let pruned = most_dominating.as_ref().is_some_and(|s| {
+            curve
+                .interval_to_cells(p.lo, p.hi)
+                .iter()
+                .all(|cell| dominance::dominates_rect(&s.point, &curve.cell_rect(cell)))
+        });
+        if pruned {
+            continue;
+        }
+        // routed contact from the origin peer (transit = messages only)
+        let (reached, hops) = net.route(origin_peer, p.lo, |_| {});
+        debug_assert_eq!(reached, peer);
+        metrics.visit(peer);
+        metrics.query_messages += hops as u64;
+        deepest_contact = deepest_contact.max(hops as u64);
+
+        // the contacted peer returns its local skyline thinned by the
+        // refinement point
+        let mut remote_sky = dominance::skyline(net.peer(peer).store.tuples());
+        if let Some(s) = &most_dominating {
+            remote_sky.retain(|t| !dominance::dominates(&s.point, &t.point));
+        }
+        metrics.respond(remote_sky.len());
+        answers.extend(remote_sky);
+    }
+    metrics.latency += deepest_contact;
+
+    let mut sky = dominance::skyline(&answers);
+    sky.sort_by_key(|t| t.id);
+    SspOutcome {
+        skyline: sky,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(seed: u64, peers: usize, tuples: usize, dims: usize) -> (BatonNetwork, Vec<Tuple>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = BatonNetwork::build(dims, 10, peers, &mut rng);
+        let data: Vec<Tuple> = (0..tuples as u64)
+            .map(|i| {
+                Tuple::new(
+                    i,
+                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        net.insert_all(data.clone());
+        net.refresh_layout();
+        (net, data)
+    }
+
+    #[test]
+    fn ssp_matches_centralized_skyline() {
+        let (net, data) = setup(40, 48, 300, 2);
+        let mut oracle = dominance::skyline(&data);
+        oracle.sort_by_key(|t| t.id);
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..3 {
+            let initiator = net.random_peer(&mut rng);
+            let out = ssp_skyline(&net, initiator);
+            assert_eq!(
+                out.skyline.iter().map(|t| t.id).collect::<Vec<_>>(),
+                oracle.iter().map(|t| t.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn ssp_matches_in_higher_dims() {
+        let (net, data) = setup(42, 40, 250, 4);
+        let mut oracle = dominance::skyline(&data);
+        oracle.sort_by_key(|t| t.id);
+        let mut rng = SmallRng::seed_from_u64(43);
+        let initiator = net.random_peer(&mut rng);
+        let out = ssp_skyline(&net, initiator);
+        assert_eq!(
+            out.skyline.iter().map(|t| t.id).collect::<Vec<_>>(),
+            oracle.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ssp_prunes_with_dominating_point() {
+        let (mut net, _) = setup(44, 64, 0, 2);
+        // a tuple near the origin — owned by the origin peer — prunes a lot
+        net.insert_tuple(Tuple::new(9999, vec![0.001, 0.001]));
+        let mut rng = SmallRng::seed_from_u64(45);
+        let initiator = net.random_peer(&mut rng);
+        let out = ssp_skyline(&net, initiator);
+        assert_eq!(out.skyline.len(), 1);
+        // far fewer contacts than the full network
+        assert!(
+            (out.metrics.response_messages as usize) < net.peer_count() / 2,
+            "contacted {} of {}",
+            out.metrics.response_messages,
+            net.peer_count()
+        );
+    }
+
+    #[test]
+    fn ssp_metrics_populated() {
+        let (net, _) = setup(46, 32, 200, 2);
+        let mut rng = SmallRng::seed_from_u64(47);
+        let initiator = net.random_peer(&mut rng);
+        let out = ssp_skyline(&net, initiator);
+        assert!(out.metrics.latency > 0);
+        assert!(out.metrics.total_messages() > 0);
+    }
+}

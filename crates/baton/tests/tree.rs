@@ -1,0 +1,84 @@
+//! BATON integration: SSP stays exact across churn and routing stays
+//! logarithmic on rebuilt layouts.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ripple_baton::{ssp_skyline, BatonNetwork};
+use ripple_geom::{dominance, Tuple};
+use ripple_net::ChurnOverlay;
+
+#[test]
+fn ssp_stays_exact_across_churn() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut net = BatonNetwork::build(2, 10, 48, &mut rng);
+    let data: Vec<Tuple> = (0..300u64)
+        .map(|i| Tuple::new(i, vec![rng.gen::<f64>(), rng.gen::<f64>()]))
+        .collect();
+    net.insert_all(data.clone());
+    let mut oracle = dominance::skyline(&data);
+    oracle.sort_by_key(|t| t.id);
+    for round in 0..6 {
+        for _ in 0..8 {
+            if rng.gen_bool(0.5) {
+                net.churn_join(&mut rng);
+            } else {
+                net.churn_leave(&mut rng);
+            }
+        }
+        net.check_invariants();
+        net.refresh_layout();
+        let initiator = net.random_peer(&mut rng);
+        let out = ssp_skyline(&net, initiator);
+        assert_eq!(
+            out.skyline.iter().map(|t| t.id).collect::<Vec<_>>(),
+            oracle.iter().map(|t| t.id).collect::<Vec<_>>(),
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn routing_stays_logarithmic_after_rebuilds() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut net = BatonNetwork::build(2, 10, 256, &mut rng);
+    for _ in 0..128 {
+        net.churn_join(&mut rng);
+    }
+    net.refresh_layout();
+    let mut total = 0u32;
+    let samples = 60;
+    for _ in 0..samples {
+        let z = rng.gen_range(0..net.curve().key_space());
+        let from = net.random_peer(&mut rng);
+        let (owner, hops) = net.route(from, z, |_| {});
+        let p = net.peer(owner);
+        assert!(p.lo <= z && z <= p.hi);
+        total += hops;
+    }
+    assert!(
+        (total as f64 / samples as f64) < 30.0,
+        "mean hops too high for 384 peers: {}",
+        total as f64 / samples as f64
+    );
+}
+
+#[test]
+fn shrink_to_two_peers_and_back() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut net = BatonNetwork::build(2, 10, 32, &mut rng);
+    net.insert_all((0..50u64).map(|i| Tuple::new(i, vec![rng.gen(), rng.gen()])));
+    while net.peer_count() > 2 {
+        net.churn_leave(&mut rng);
+    }
+    net.check_invariants();
+    while net.peer_count() < 16 {
+        net.churn_join(&mut rng);
+    }
+    net.check_invariants();
+    let total: usize = net
+        .peers_in_order()
+        .iter()
+        .map(|&p| net.peer(p).store.len())
+        .sum();
+    assert_eq!(total, 50, "no tuples lost through the cycle");
+}

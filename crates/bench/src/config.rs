@@ -1,0 +1,178 @@
+//! Experimental configuration (Table 1 of the paper).
+//!
+//! | parameter        | range                                | default |
+//! |------------------|--------------------------------------|---------|
+//! | overlay size     | 2^10 … 2^17                          | 2^14    |
+//! | dimensions       | 2 … 10                               | 5, 6    |
+//! | result size      | 10 … 100                             | 10      |
+//! | rel/div tradeoff | 0, 0.2, 0.3, 0.5, 0.7, 0.8, 1        | 0.5     |
+//!
+//! Every reported value in the paper averages 65,536 queries over 16
+//! distinct networks; the [`Scale`] presets trade that volume for wall
+//! clock, preserving the grid *shape* (power-of-two sizes, the same
+//! dimension/k/λ sweeps).
+
+/// The paper's parameter grid.
+pub struct PaperGrid;
+
+impl PaperGrid {
+    /// Overlay sizes (Table 1 row 1).
+    pub const OVERLAY_SIZES: [usize; 8] = [
+        1 << 10,
+        1 << 11,
+        1 << 12,
+        1 << 13,
+        1 << 14,
+        1 << 15,
+        1 << 16,
+        1 << 17,
+    ];
+    /// Dimensionalities (row 2).
+    pub const DIMENSIONS: [usize; 9] = [2, 3, 4, 5, 6, 7, 8, 9, 10];
+    /// Result sizes (row 3).
+    pub const RESULT_SIZES: [usize; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+    /// Relevance/diversity trade-offs (row 4).
+    pub const LAMBDAS: [f64; 7] = [0.0, 0.2, 0.3, 0.5, 0.7, 0.8, 1.0];
+    /// Default overlay size.
+    pub const DEFAULT_SIZE: usize = 1 << 14;
+    /// Default dimensionality for SYNTH sweeps.
+    pub const DEFAULT_DIMS: usize = 5;
+    /// Default result size.
+    pub const DEFAULT_K: usize = 10;
+    /// Default λ.
+    pub const DEFAULT_LAMBDA: f64 = 0.5;
+}
+
+/// How much of the paper-scale volume to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes on a laptop: sizes up to 2^13, small datasets, few queries.
+    Quick,
+    /// Tens of minutes: sizes up to 2^14, medium datasets.
+    Medium,
+    /// The paper's full grid (hours): sizes up to 2^17, 1M-record datasets,
+    /// 65,536 queries × 16 networks per point.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Self::Quick),
+            "medium" => Some(Self::Medium),
+            "paper" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// Overlay sizes for size sweeps.
+    pub fn overlay_sizes(&self) -> Vec<usize> {
+        match self {
+            Self::Quick => vec![1 << 10, 1 << 11, 1 << 12, 1 << 13],
+            Self::Medium => vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14],
+            Self::Paper => PaperGrid::OVERLAY_SIZES.to_vec(),
+        }
+    }
+
+    /// Default overlay size for non-size sweeps.
+    pub fn default_size(&self) -> usize {
+        match self {
+            Self::Quick => 1 << 11,
+            Self::Medium => 1 << 13,
+            Self::Paper => PaperGrid::DEFAULT_SIZE,
+        }
+    }
+
+    /// Default overlay size for the (much costlier) diversification sweeps.
+    pub fn default_div_size(&self) -> usize {
+        match self {
+            Self::Quick => 1 << 9,
+            Self::Medium => 1 << 11,
+            Self::Paper => PaperGrid::DEFAULT_SIZE,
+        }
+    }
+
+    /// Dataset record counts (SYNTH / MIRFLICKR; NBA is always 22k).
+    pub fn records(&self) -> usize {
+        match self {
+            Self::Quick => 20_000,
+            Self::Medium => 100_000,
+            Self::Paper => 1_000_000,
+        }
+    }
+
+    /// Queries per figure point (cheap queries: top-k, skyline).
+    pub fn queries(&self) -> usize {
+        match self {
+            Self::Quick => 48,
+            Self::Medium => 256,
+            Self::Paper => 65_536,
+        }
+    }
+
+    /// Queries per figure point for full diversification runs.
+    pub fn div_queries(&self) -> usize {
+        match self {
+            Self::Quick => 4,
+            Self::Medium => 12,
+            Self::Paper => 256,
+        }
+    }
+
+    /// Distinct networks per figure point.
+    pub fn networks(&self) -> usize {
+        match self {
+            Self::Quick => 2,
+            Self::Medium => 3,
+            Self::Paper => 16,
+        }
+    }
+
+    /// Dimensionality sweep values.
+    pub fn dimensions(&self) -> Vec<usize> {
+        match self {
+            Self::Quick => vec![2, 4, 6, 8, 10],
+            _ => PaperGrid::DIMENSIONS.to_vec(),
+        }
+    }
+
+    /// Result-size sweep values.
+    pub fn result_sizes(&self) -> Vec<usize> {
+        match self {
+            Self::Quick => vec![10, 30, 50, 70, 100],
+            _ => PaperGrid::RESULT_SIZES.to_vec(),
+        }
+    }
+
+    /// λ sweep values.
+    pub fn lambdas(&self) -> Vec<f64> {
+        PaperGrid::LAMBDAS.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_table1() {
+        assert_eq!(PaperGrid::OVERLAY_SIZES[0], 1024);
+        assert_eq!(*PaperGrid::OVERLAY_SIZES.last().unwrap(), 131_072);
+        assert_eq!(PaperGrid::DIMENSIONS.len(), 9);
+        assert_eq!(PaperGrid::RESULT_SIZES.len(), 10);
+        assert_eq!(PaperGrid::LAMBDAS.len(), 7);
+        assert_eq!(PaperGrid::DEFAULT_SIZE, 16_384);
+    }
+
+    #[test]
+    fn scales_parse_and_grow() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nope"), None);
+        assert!(Scale::Quick.queries() < Scale::Medium.queries());
+        assert!(Scale::Medium.queries() < Scale::Paper.queries());
+        assert_eq!(Scale::Paper.queries(), 65_536);
+        assert_eq!(Scale::Paper.networks(), 16);
+    }
+}

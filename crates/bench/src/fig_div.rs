@@ -1,0 +1,254 @@
+//! Figures 9–12: k-diversification performance (Section 7.2.3).
+//!
+//! Three methods: `ripple-fast (midas)`, `ripple-slow (midas)` and the
+//! flooding `baseline (can)`. Both heuristics run the same greedy swap
+//! loop, so — as the paper arranges for fairness — they produce the same
+//! result at each step and the metrics compare pure cost.
+
+use crate::config::Scale;
+use crate::output::{Figure, Series, SeriesPoint};
+use crate::runner::{can_with_data, merge_summaries, midas_with_data, parallel_queries};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ripple_can::stream_single_tuple;
+use ripple_core::diversify::{greedy_trace, run_single_tuple, SearchStep};
+use ripple_core::framework::Mode;
+use ripple_data::workload::{data_query_point, query_seeds};
+use ripple_data::{mirflickr, synth, SynthConfig};
+use ripple_geom::{DiversityQuery, Norm, Tuple};
+use ripple_net::PointSummary;
+
+/// The three diversification methods of Figures 9–12.
+pub const DIV_SERIES: [&str; 3] = [
+    "ripple-fast (midas)",
+    "ripple-slow (midas)",
+    "baseline (can)",
+];
+
+/// Improvement passes before the greedy loop is cut off (the algorithms
+/// almost always reach their fixed point earlier).
+const MAX_ITERS: usize = 4;
+
+/// The paper's fairness methodology (Section 7.1): the greedy sequence is
+/// fixed once per query (centralized trace with deterministic
+/// tie-breaking), and every method replays exactly the same single-tuple
+/// searches while its own costs are measured. Without this, φ ties steer
+/// the heuristics to different — equally valid — local optima and the cost
+/// comparison would be confounded by result differences.
+fn trace_for(
+    data: &[Tuple],
+    div: &DiversityQuery,
+    k: usize,
+) -> Vec<SearchStep> {
+    greedy_trace(data, div, k, MAX_ITERS)
+}
+
+/// Measures one (method, x) diversification point.
+#[allow(clippy::too_many_arguments)]
+fn div_point(
+    dims: usize,
+    n: usize,
+    data: &[Tuple],
+    k: usize,
+    lambda: f64,
+    method: &str,
+    scale: Scale,
+    seed: u64,
+) -> PointSummary {
+    let per_net = (scale.div_queries() / scale.networks()).max(1);
+    let parts: Vec<PointSummary> = (0..scale.networks() as u64)
+        .map(|net_i| {
+            let net_seed = seed ^ ((net_i + 1) * 0xD1D1);
+            let seeds = query_seeds(seed ^ (0xF00D + net_i), per_net);
+            match method {
+                "baseline (can)" => {
+                    let net = can_with_data(dims, n, data, net_seed);
+                    parallel_queries(&seeds, |qseed| {
+                        let mut rng = SmallRng::seed_from_u64(qseed);
+                        let q = data_query_point(data, 0.2, &mut rng);
+                        let div = DiversityQuery::new(q, lambda, Norm::L1);
+                        let initiator = net.random_peer(&mut rng);
+                        let mut total = ripple_net::QueryMetrics::new();
+                        for step in trace_for(data, &div, k) {
+                            let (_, m) =
+                                stream_single_tuple(&net, initiator, &div, &step.set, step.tau);
+                            total.absorb_sequential(&m);
+                        }
+                        total
+                    })
+                }
+                _ => {
+                    let net = midas_with_data(dims, n, false, data, net_seed);
+                    let mode = if method.starts_with("ripple-fast") {
+                        Mode::Fast
+                    } else {
+                        Mode::Slow
+                    };
+                    parallel_queries(&seeds, |qseed| {
+                        let mut rng = SmallRng::seed_from_u64(qseed);
+                        let q = data_query_point(data, 0.2, &mut rng);
+                        let div = DiversityQuery::new(q, lambda, Norm::L1);
+                        let initiator = net.random_peer(&mut rng);
+                        let mut total = ripple_net::QueryMetrics::new();
+                        for step in trace_for(data, &div, k) {
+                            let (_, m) = run_single_tuple(
+                                &net, initiator, &div, &step.set, step.tau, mode,
+                            );
+                            total.absorb_sequential(&m);
+                        }
+                        total
+                    })
+                }
+            }
+        })
+        .collect();
+    merge_summaries(&parts)
+}
+
+/// Figure 9: diversification vs overlay size (MIRFLICKR, k=10, λ=0.5).
+pub fn fig9(scale: Scale, seed: u64) -> Figure {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = mirflickr::generate(scale.records(), &mut rng);
+    let series = DIV_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .overlay_sizes()
+                .into_iter()
+                .map(|n| {
+                    eprintln!("  fig9 {name} n={n}");
+                    SeriesPoint {
+                        x: n as f64,
+                        summary: div_point(
+                            mirflickr::DIMS,
+                            n,
+                            &data,
+                            10,
+                            0.5,
+                            name,
+                            scale,
+                            seed,
+                        ),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig9".into(),
+        title: "Diversification performance in terms of overlay size (MIRFLICKR)".into(),
+        x_label: "network size".into(),
+        series,
+    }
+}
+
+/// Figure 10: diversification vs dimensionality (SYNTH).
+pub fn fig10(scale: Scale, seed: u64) -> Figure {
+    let n = scale.default_div_size();
+    let series = DIV_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .dimensions()
+                .into_iter()
+                .map(|dims| {
+                    eprintln!("  fig10 {name} d={dims}");
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (dims as u64) << 16);
+                    let data =
+                        synth::generate(&SynthConfig::scaled(dims, scale.records()), &mut rng);
+                    SeriesPoint {
+                        x: dims as f64,
+                        summary: div_point(dims, n, &data, 10, 0.5, name, scale, seed),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig10".into(),
+        title: "Diversification performance in terms of dimensions (SYNTH)".into(),
+        x_label: "dimensions".into(),
+        series,
+    }
+}
+
+/// Figure 11: diversification vs result size (MIRFLICKR).
+pub fn fig11(scale: Scale, seed: u64) -> Figure {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = mirflickr::generate(scale.records(), &mut rng);
+    let n = scale.default_div_size();
+    let series = DIV_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .result_sizes()
+                .into_iter()
+                .map(|k| {
+                    eprintln!("  fig11 {name} k={k}");
+                    SeriesPoint {
+                        x: k as f64,
+                        summary: div_point(
+                            mirflickr::DIMS,
+                            n,
+                            &data,
+                            k,
+                            0.5,
+                            name,
+                            scale,
+                            seed,
+                        ),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig11".into(),
+        title: "Diversification performance in terms of result size (MIRFLICKR)".into(),
+        x_label: "result size".into(),
+        series,
+    }
+}
+
+/// Figure 12: diversification vs relevance/diversity trade-off λ
+/// (MIRFLICKR).
+pub fn fig12(scale: Scale, seed: u64) -> Figure {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = mirflickr::generate(scale.records(), &mut rng);
+    let n = scale.default_div_size();
+    let series = DIV_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .lambdas()
+                .into_iter()
+                .map(|lambda| {
+                    eprintln!("  fig12 {name} λ={lambda}");
+                    SeriesPoint {
+                        x: lambda,
+                        summary: div_point(
+                            mirflickr::DIMS,
+                            n,
+                            &data,
+                            10,
+                            lambda,
+                            name,
+                            scale,
+                            seed,
+                        ),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig12".into(),
+        title: "Diversification performance for rel/div tradeoff (MIRFLICKR)".into(),
+        x_label: "lambda".into(),
+        series,
+    }
+}

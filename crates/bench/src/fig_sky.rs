@@ -1,0 +1,152 @@
+//! Figures 7–8: skyline computation (Section 7.2.2).
+//!
+//! Four methods, exactly as the paper plots them: `ripple-fast (midas)` and
+//! `ripple-slow (midas)` — both with the Section 5.2 structural
+//! optimisation — against `dsl (can)` and `ssp (baton)`.
+
+use crate::config::Scale;
+use crate::output::{Figure, Series, SeriesPoint};
+use crate::runner::{
+    baton_with_data, can_with_data, merge_summaries, midas_with_data, parallel_queries,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ripple_baton::ssp_skyline;
+use ripple_can::dsl_skyline;
+use ripple_core::framework::Mode;
+use ripple_core::skyline::run_skyline;
+use ripple_data::workload::query_seeds;
+use ripple_data::{nba, synth, SynthConfig};
+use ripple_geom::Tuple;
+use ripple_net::PointSummary;
+
+/// The four skyline methods of Figures 7–8.
+pub const SKY_SERIES: [&str; 4] = [
+    "ripple-fast (midas)",
+    "ripple-slow (midas)",
+    "dsl (can)",
+    "ssp (baton)",
+];
+
+/// Measures one (method, x) figure point over `scale.networks()` networks.
+fn sky_point(
+    dims: usize,
+    n: usize,
+    data: &[Tuple],
+    method: &str,
+    scale: Scale,
+    seed: u64,
+) -> PointSummary {
+    // High-dimensional skylines approach the dataset size, making every
+    // query ship and merge huge states; budget queries accordingly.
+    let budget = if dims > 6 {
+        scale.div_queries()
+    } else {
+        scale.queries()
+    };
+    let per_net = (budget / scale.networks()).max(1);
+    let parts: Vec<PointSummary> = (0..scale.networks() as u64)
+        .map(|net_i| {
+            let net_seed = seed ^ ((net_i + 1) * 0x5157);
+            let seeds = query_seeds(seed ^ (0xBEEF + net_i), per_net);
+            match method {
+                "ripple-fast (midas)" | "ripple-slow (midas)" => {
+                    let net = midas_with_data(dims, n, true, data, net_seed);
+                    let mode = if method.starts_with("ripple-fast") {
+                        Mode::Fast
+                    } else {
+                        Mode::Slow
+                    };
+                    parallel_queries(&seeds, |qseed| {
+                        let mut rng = SmallRng::seed_from_u64(qseed);
+                        let initiator = net.random_peer(&mut rng);
+                        run_skyline(&net, initiator, mode).1
+                    })
+                }
+                "dsl (can)" => {
+                    let net = can_with_data(dims, n, data, net_seed);
+                    parallel_queries(&seeds, |qseed| {
+                        let mut rng = SmallRng::seed_from_u64(qseed);
+                        let initiator = net.random_peer(&mut rng);
+                        dsl_skyline(&net, initiator).metrics
+                    })
+                }
+                _ => {
+                    let net = baton_with_data(dims, n, data, net_seed);
+                    parallel_queries(&seeds, |qseed| {
+                        let mut rng = SmallRng::seed_from_u64(qseed);
+                        let initiator = net.random_peer(&mut rng);
+                        ssp_skyline(&net, initiator).metrics
+                    })
+                }
+            }
+        })
+        .collect();
+    merge_summaries(&parts)
+}
+
+/// Figure 7: skyline computation vs overlay size (NBA, the four attributes
+/// the paper queries: points, rebounds, assists, blocks).
+pub fn fig7(scale: Scale, seed: u64) -> Figure {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = nba::project4(&nba::paper(&mut rng));
+    let series = SKY_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .overlay_sizes()
+                .into_iter()
+                .map(|n| {
+                    eprintln!("  fig7 {name} n={n}");
+                    SeriesPoint {
+                        x: n as f64,
+                        summary: sky_point(4, n, &data, name, scale, seed),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig7".into(),
+        title: "Skyline computation in terms of overlay size (NBA)".into(),
+        x_label: "network size".into(),
+        series,
+    }
+}
+
+/// Figure 8: skyline computation vs dimensionality (SYNTH).
+pub fn fig8(scale: Scale, seed: u64) -> Figure {
+    let n = scale.default_size();
+    let series = SKY_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .dimensions()
+                .into_iter()
+                .map(|dims| {
+                    eprintln!("  fig8 {name} d={dims}");
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (dims as u64) << 8);
+                    // Skyline cardinality explodes with dimensionality; a
+                    // quarter of the record budget keeps high-d points
+                    // tractable while preserving the trend.
+                    let data = synth::generate(
+                        &SynthConfig::scaled(dims, scale.records() / 4),
+                        &mut rng,
+                    );
+                    SeriesPoint {
+                        x: dims as f64,
+                        summary: sky_point(dims, n, &data, name, scale, seed),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig8".into(),
+        title: "Skyline computation in terms of dimensionality (SYNTH)".into(),
+        x_label: "dimensions".into(),
+        series,
+    }
+}

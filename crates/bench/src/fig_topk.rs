@@ -1,0 +1,157 @@
+//! Figures 4–6: top-k query performance (Section 7.2.1).
+//!
+//! No competitor exists for top-k over structured overlays, so these
+//! figures benchmark the effect of the ripple parameter `r` with four
+//! series: `r = 0` (fast), `r = Δ/3`, `r = 2Δ/3` and `r = Δ` (slow).
+//!
+//! The scoring function is *unimodal* as Section 4 requires: a `PeakScore`
+//! anchored at a per-query point drawn near the data. A global
+//! corner-anchored aggregation (e.g. "best all-around players") makes the
+//! k-th-best isoline cut through most zones of a coarse overlay, so even an
+//! oracle pruner must visit the majority of peers — query-centred peaks
+//! keep the qualifying region small and measurable, which is the regime the
+//! paper's congestion plots (tens of peers out of 2^17) correspond to; see
+//! EXPERIMENTS.md.
+
+use crate::config::Scale;
+use crate::output::{Figure, Series, SeriesPoint};
+use crate::runner::{merge_summaries, midas_uniform_with_data, parallel_queries};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ripple_core::framework::Mode;
+use ripple_core::topk::run_topk;
+use ripple_data::workload::{data_query_point, query_seeds};
+use ripple_data::{nba, synth, SynthConfig};
+use ripple_geom::{Norm, PeakScore, Tuple};
+use ripple_net::PointSummary;
+
+/// The four ripple-parameter series of Figures 4–6.
+pub const R_SERIES: [&str; 4] = ["r=0", "r=Δ/3", "r=2Δ/3", "r=Δ"];
+
+fn r_value(series: &str, delta: u32) -> u32 {
+    match series {
+        "r=0" => 0,
+        "r=Δ/3" => delta / 3,
+        "r=2Δ/3" => 2 * delta / 3,
+        _ => delta,
+    }
+}
+
+/// Measures one figure point: top-k with the given series over `networks`
+/// network instances.
+fn topk_point(
+    dims: usize,
+    n: usize,
+    data: &[Tuple],
+    k: usize,
+    series: &str,
+    scale: Scale,
+    seed: u64,
+) -> PointSummary {
+    let per_net = (scale.queries() / scale.networks()).max(1);
+    let parts: Vec<PointSummary> = (0..scale.networks() as u64)
+        .map(|net_i| {
+            let net = midas_uniform_with_data(dims, n, false, data, seed ^ ((net_i + 1) * 0x9E37));
+            let r = r_value(series, net.delta());
+            let seeds = query_seeds(seed ^ (0xA5A5 + net_i), per_net);
+            parallel_queries(&seeds, |qseed| {
+                let mut rng = SmallRng::seed_from_u64(qseed);
+                let initiator = net.random_peer(&mut rng);
+                let q = data_query_point(data, 0.1, &mut rng);
+                let score = PeakScore::new(q, Norm::L1);
+                run_topk(&net, initiator, score, k, Mode::Ripple(r)).1
+            })
+        })
+        .collect();
+    merge_summaries(&parts)
+}
+
+/// Figure 4: top-k latency & congestion vs overlay size (NBA, k = 10).
+pub fn fig4(scale: Scale, seed: u64) -> Figure {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = nba::paper(&mut rng);
+    let series = R_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .overlay_sizes()
+                .into_iter()
+                .map(|n| {
+                    eprintln!("  fig4 {name} n={n}");
+                    SeriesPoint {
+                        x: n as f64,
+                        summary: topk_point(nba::DIMS, n, &data, 10, name, scale, seed),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig4".into(),
+        title: "Top-k query performance in terms of overlay size (NBA)".into(),
+        x_label: "network size".into(),
+        series,
+    }
+}
+
+/// Figure 5: top-k latency & congestion vs dimensionality (SYNTH, k = 10).
+pub fn fig5(scale: Scale, seed: u64) -> Figure {
+    let n = scale.default_size();
+    let series = R_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .dimensions()
+                .into_iter()
+                .map(|dims| {
+                    eprintln!("  fig5 {name} d={dims}");
+                    let mut rng = SmallRng::seed_from_u64(seed ^ dims as u64);
+                    let data =
+                        synth::generate(&SynthConfig::scaled(dims, scale.records()), &mut rng);
+                    SeriesPoint {
+                        x: dims as f64,
+                        summary: topk_point(dims, n, &data, 10, name, scale, seed),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig5".into(),
+        title: "Top-k query performance in terms of dimensionality (SYNTH)".into(),
+        x_label: "dimensions".into(),
+        series,
+    }
+}
+
+/// Figure 6: top-k latency & congestion vs result size (NBA).
+pub fn fig6(scale: Scale, seed: u64) -> Figure {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = nba::paper(&mut rng);
+    let n = scale.default_size();
+    let series = R_SERIES
+        .iter()
+        .map(|name| Series {
+            name: (*name).into(),
+            points: scale
+                .result_sizes()
+                .into_iter()
+                .map(|k| {
+                    eprintln!("  fig6 {name} k={k}");
+                    SeriesPoint {
+                        x: k as f64,
+                        summary: topk_point(nba::DIMS, n, &data, k, name, scale, seed),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig6".into(),
+        title: "Top-k query performance in terms of result size (NBA)".into(),
+        x_label: "result size".into(),
+        series,
+    }
+}

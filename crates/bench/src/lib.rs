@@ -1,0 +1,32 @@
+//! Benchmark and experiment harness for the RIPPLE reproduction.
+//!
+//! One module per paper artefact:
+//!
+//! * [`config`] — Table 1 (the parameter grid) and the [`config::Scale`]
+//!   presets that shrink the paper's query volume to laptop budgets.
+//! * [`fig_topk`] — Figures 4–6 (top-k vs overlay size / dimensionality /
+//!   result size, four ripple-parameter series).
+//! * [`fig_sky`] — Figures 7–8 (skyline: RIPPLE over optimised MIDAS vs
+//!   DSL over CAN vs SSP over BATON).
+//! * [`fig_div`] — Figures 9–12 (diversification: RIPPLE vs the flooding
+//!   baseline over CAN; size / dimensionality / k / λ sweeps).
+//! * [`lemmas`] — the Lemma 1–3 worst-case latency table, analytic and
+//!   empirically validated.
+//! * [`ablations`] — border-policy / prioritisation / split-rule ablations
+//!   and the Chord-genericity and decreasing-churn extension experiments.
+//! * [`runner`] / [`output`] — network builders, parallel query sweeps,
+//!   and the text/CSV rendering of figure tables.
+//!
+//! The `figures` binary drives everything:
+//! `cargo run --release -p ripple-bench --bin figures -- all --scale quick`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod config;
+pub mod fig_div;
+pub mod fig_sky;
+pub mod fig_topk;
+pub mod lemmas;
+pub mod output;
+pub mod runner;

@@ -1,0 +1,168 @@
+//! Experiment result tables: the rows/series the paper's figures plot.
+
+use ripple_net::PointSummary;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One measured point of one series.
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// The x-axis value (overlay size, dimensionality, k, or λ).
+    pub x: f64,
+    /// Aggregated metrics at this point.
+    pub summary: PointSummary,
+}
+
+/// One line of a figure (one method / parameter setting).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Label, e.g. `"ripple-fast (midas)"` or `"r=Δ/3"`.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A full experiment: everything needed to regenerate one paper figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig4"`.
+    pub id: String,
+    /// Human title, e.g. `"Top-k query performance vs overlay size"`.
+    pub title: String,
+    /// Name of the x-axis.
+    pub x_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Renders the two panels of the paper figure ((a) latency in hops,
+    /// (b) congestion) as aligned text tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for (metric, label) in [(0, "latency (hops)"), (1, "congestion")] {
+            let _ = writeln!(out, "\n  ({}) {}", (b'a' + metric) as char, label);
+            let _ = write!(out, "  {:>12}", self.x_label);
+            for s in &self.series {
+                let _ = write!(out, "  {:>22}", s.name);
+            }
+            let _ = writeln!(out);
+            let xs: Vec<f64> = self
+                .series
+                .first()
+                .map(|s| s.points.iter().map(|p| p.x).collect())
+                .unwrap_or_default();
+            for (i, x) in xs.iter().enumerate() {
+                let _ = write!(out, "  {:>12}", format_x(*x));
+                for s in &self.series {
+                    let v = s.points.get(i).map(|p| {
+                        if metric == 0 {
+                            p.summary.latency
+                        } else {
+                            p.summary.congestion
+                        }
+                    });
+                    match v {
+                        Some(v) => {
+                            let _ = write!(out, "  {v:>22.2}");
+                        }
+                        None => {
+                            let _ = write!(out, "  {:>22}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// Writes the figure as CSV (one row per (x, series) pair).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "figure,series,x,latency,latency_max,congestion,messages,tuples,queries\n",
+        );
+        for s in &self.series {
+            for p in &s.points {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{:.4},{},{:.4},{:.4},{:.4},{}",
+                    self.id,
+                    s.name,
+                    p.x,
+                    p.summary.latency,
+                    p.summary.latency_max,
+                    p.summary.congestion,
+                    p.summary.messages,
+                    p.summary.tuples,
+                    p.summary.queries
+                );
+            }
+        }
+        out
+    }
+
+    /// Saves the CSV under `dir/<id>.csv`, creating the directory.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if x >= 1024.0 && x.fract() == 0.0 {
+        format!("{}K", (x / 1024.0).round() as u64)
+    } else if x.fract() == 0.0 {
+        format!("{}", x as u64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let summary = PointSummary {
+            queries: 10,
+            latency: 5.5,
+            latency_max: 9,
+            congestion: 20.25,
+            messages: 40.0,
+            tuples: 12.0,
+        };
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            x_label: "network size".into(),
+            series: vec![Series {
+                name: "r=0".into(),
+                points: vec![SeriesPoint {
+                    x: 2048.0,
+                    summary,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_panels_and_values() {
+        let r = fig().render();
+        assert!(r.contains("(a) latency"));
+        assert!(r.contains("(b) congestion"));
+        assert!(r.contains("2K"));
+        assert!(r.contains("5.50"));
+        assert!(r.contains("20.25"));
+    }
+
+    #[test]
+    fn csv_roundtrip_fields() {
+        let c = fig().to_csv();
+        let mut lines = c.lines();
+        assert!(lines.next().unwrap().starts_with("figure,series"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Shared experiment machinery: network builders and parallel query sweeps.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ripple_baton::BatonNetwork;
+use ripple_can::CanNetwork;
+use ripple_geom::Tuple;
+use ripple_midas::MidasNetwork;
+use ripple_net::{MetricsAggregator, PointSummary, QueryMetrics};
+
+/// Builds a MIDAS overlay of `n` peers loaded with `data`.
+///
+/// The data is loaded *before* the overlay grows, so every join splits the
+/// responsible zone at its local data median — the load-balancing behaviour
+/// that makes zones track the data distribution (and without which
+/// dominance/score pruning has nothing to bite on in skewed datasets).
+pub fn midas_with_data(
+    dims: usize,
+    n: usize,
+    border_policy: bool,
+    data: &[Tuple],
+    seed: u64,
+) -> MidasNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = MidasNetwork::new(dims, border_policy);
+    net.insert_all(data.iter().cloned());
+    while net.peer_count() < n {
+        // Joiners are steered toward loaded zones (keys drawn from the data
+        // distribution), which is how MIDAS balances storage load; a uniform
+        // joiner would keep splitting large *empty* zones instead.
+        if data.is_empty() {
+            net.join_random(&mut rng);
+        } else {
+            use rand::Rng as _;
+            let t = &data[rng.gen_range(0..data.len())];
+            net.join(&t.point);
+        }
+    }
+    net
+}
+
+/// Builds a MIDAS overlay of `n` peers with protocol-standard *uniform*
+/// joins, loading `data` afterwards. This is the construction for the
+/// top-k experiments: with only a couple of tuples per peer, data-steered
+/// joins spread the data so thin that the `m < k` clause of Algorithm 8
+/// keeps every link relevant and all modes degenerate to broadcasts;
+/// uniform zones leave data-dense peers holding ≥ k tuples, which is what
+/// gives the threshold immediate pruning power.
+pub fn midas_uniform_with_data(
+    dims: usize,
+    n: usize,
+    border_policy: bool,
+    data: &[Tuple],
+    seed: u64,
+) -> MidasNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = MidasNetwork::build(dims, n, border_policy, &mut rng);
+    net.insert_all(data.iter().cloned());
+    net
+}
+
+/// Builds a CAN overlay of `n` peers loaded with `data`. Joins are steered
+/// toward loaded zones (join points drawn from the data) so that zone sizes
+/// track the distribution, exactly as for the other substrates; CAN's own
+/// split rule (halve the zone) is unchanged.
+pub fn can_with_data(dims: usize, n: usize, data: &[Tuple], seed: u64) -> CanNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = CanNetwork::new(dims);
+    net.insert_all(data.iter().cloned());
+    while net.peer_count() < n {
+        if data.is_empty() {
+            net.join_random(&mut rng);
+        } else {
+            use rand::Rng as _;
+            let t = &data[rng.gen_range(0..data.len())];
+            net.join(&t.point);
+        }
+    }
+    net
+}
+
+/// Builds a BATON overlay of `n` peers loaded with `data`. Joins are
+/// steered toward loaded intervals (join keys drawn from the data), keeping
+/// BATON's halve-the-interval split rule unchanged.
+pub fn baton_with_data(dims: usize, n: usize, data: &[Tuple], seed: u64) -> BatonNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bits = bits_per_dim(dims);
+    let mut net = BatonNetwork::new(dims, bits);
+    net.insert_all(data.iter().cloned());
+    while net.peer_count() < n {
+        if data.is_empty() {
+            net.join_random(&mut rng);
+        } else {
+            use rand::Rng as _;
+            let t = &data[rng.gen_range(0..data.len())];
+            let z = net.curve().encode(&t.point);
+            net.join(z);
+        }
+    }
+    net.refresh_layout();
+    net
+}
+
+/// Z-curve resolution: as fine as the 128-bit key budget allows, capped at
+/// 12 bits/dimension.
+pub fn bits_per_dim(dims: usize) -> u32 {
+    (128 / dims as u32).min(12)
+}
+
+/// Runs `seeds.len()` queries in parallel across the available cores and
+/// aggregates their ledgers into one summary.
+pub fn parallel_queries<F>(seeds: &[u64], query: F) -> PointSummary
+where
+    F: Fn(u64) -> QueryMetrics + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let agg = std::sync::Mutex::new(MetricsAggregator::new());
+    std::thread::scope(|scope| {
+        for chunk in seeds.chunks(seeds.len().div_ceil(threads)) {
+            let agg = &agg;
+            let query = &query;
+            scope.spawn(move || {
+                let mut local = MetricsAggregator::new();
+                for &seed in chunk {
+                    local.record(&query(seed));
+                }
+                agg.lock().expect("no poisoned aggregator").merge(&local);
+            });
+        }
+    });
+    let agg = agg.into_inner().expect("no poisoned aggregator");
+    agg.summary()
+}
+
+/// Merges summaries from several networks into one figure point (each
+/// summary must carry its query count for a weighted average).
+pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
+    assert!(!parts.is_empty());
+    let total_q: u64 = parts.iter().map(|p| p.queries).sum();
+    let w = |f: fn(&PointSummary) -> f64| -> f64 {
+        parts
+            .iter()
+            .map(|p| f(p) * p.queries as f64)
+            .sum::<f64>()
+            / total_q as f64
+    };
+    PointSummary {
+        queries: total_q,
+        latency: w(|p| p.latency),
+        latency_max: parts.iter().map(|p| p.latency_max).max().unwrap_or(0),
+        congestion: w(|p| p.congestion),
+        messages: w(|p| p.messages),
+        tuples: w(|p| p.tuples),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_queries_aggregate_all_seeds() {
+        let seeds: Vec<u64> = (0..97).collect();
+        let s = parallel_queries(&seeds, |seed| QueryMetrics {
+            latency: seed % 7,
+            query_messages: 1,
+            response_messages: 0,
+            peers_visited: 2,
+            tuples_transferred: 0,
+        });
+        assert_eq!(s.queries, 97);
+        assert!((s.congestion - 2.0).abs() < 1e-12);
+        let expect: f64 = (0..97u64).map(|s| (s % 7) as f64).sum::<f64>() / 97.0;
+        assert!((s.latency - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_merge_weighted() {
+        let a = PointSummary {
+            queries: 1,
+            latency: 10.0,
+            latency_max: 10,
+            congestion: 1.0,
+            messages: 1.0,
+            tuples: 0.0,
+        };
+        let b = PointSummary {
+            queries: 3,
+            latency: 2.0,
+            latency_max: 4,
+            congestion: 3.0,
+            messages: 3.0,
+            tuples: 4.0,
+        };
+        let m = merge_summaries(&[a, b]);
+        assert_eq!(m.queries, 4);
+        assert!((m.latency - 4.0).abs() < 1e-12);
+        assert_eq!(m.latency_max, 10);
+        assert!((m.congestion - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits_budget_fits_u128() {
+        for d in 1..=10 {
+            assert!(bits_per_dim(d) * d as u32 <= 128);
+            assert!(bits_per_dim(d) >= 1);
+        }
+    }
+
+    #[test]
+    fn builders_produce_loaded_networks() {
+        let data: Vec<Tuple> = (0..50u64)
+            .map(|i| Tuple::new(i, vec![(i as f64) / 50.0, 0.5]))
+            .collect();
+        let m = midas_with_data(2, 8, false, &data, 1);
+        assert_eq!(m.peer_count(), 8);
+        let total: usize = m.live_peers().iter().map(|&p| m.peer(p).store.len()).sum();
+        assert_eq!(total, 50);
+        let c = can_with_data(2, 8, &data, 1);
+        assert_eq!(c.peer_count(), 8);
+        let b = baton_with_data(2, 8, &data, 1);
+        assert_eq!(b.peer_count(), 8);
+    }
+}

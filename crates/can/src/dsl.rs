@@ -1,0 +1,235 @@
+//! DSL: parallelizing skyline queries over CAN (Wu et al. \[20\]).
+//!
+//! DSL builds a *multicast hierarchy* rooted at the peer whose zone contains
+//! the lower-left corner of the constraint region (here: the domain origin).
+//! A peer waits for the local skyline sets of all preceding neighbors,
+//! merges them with its own local skyline, and forwards the result to its
+//! succeeding neighbors — except those whose zones are entirely dominated by
+//! the merged skyline, which are pruned. Peers whose zones cannot dominate
+//! each other process the query in parallel, so the reported latency is the
+//! longest chain of the hierarchy (plus the initial route to the root).
+//!
+//! The simulation processes zones in a linear extension of the dominance
+//! order on zone corners (ascending corner-sum), which is exactly the order
+//! the hierarchy enforces; levels give per-peer completion times.
+
+use crate::network::CanNetwork;
+use ripple_geom::{dominance, Point, Tuple};
+use ripple_net::{PeerId, QueryMetrics};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Result of a DSL skyline computation.
+pub struct DslOutcome {
+    /// The global skyline, sorted by tuple id.
+    pub skyline: Vec<Tuple>,
+    /// Cost ledger (latency = route-to-root + deepest hierarchy level).
+    pub metrics: QueryMetrics,
+}
+
+/// Orders peers by ascending zone-corner sum (a linear extension of the
+/// dominance partial order on zones).
+#[derive(PartialEq)]
+struct Entry {
+    corner_sum: f64,
+    level: u64,
+    peer: PeerId,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for ascending corner sums.
+        other
+            .corner_sum
+            .total_cmp(&self.corner_sum)
+            .then_with(|| other.peer.cmp(&self.peer))
+    }
+}
+
+/// Runs a DSL skyline query from `initiator`.
+pub fn dsl_skyline(net: &CanNetwork, initiator: PeerId) -> DslOutcome {
+    let mut metrics = QueryMetrics::new();
+    let dims = net.dims();
+
+    // Phase 1: route the query to the root of the hierarchy — the peer
+    // owning the origin of the data space.
+    let origin = Point::origin(dims);
+    let (root, route_hops) = net.route(initiator, &origin);
+    metrics.latency += route_hops as u64;
+    metrics.query_messages += route_hops as u64;
+
+    // Phase 2: the hierarchy sweep, processed in ascending zone-corner-sum
+    // order (a linear extension of the dominance hierarchy). A peer starts
+    // only after *every* preceding non-pruned neighbor has sent it a merged
+    // skyline — one message per hierarchy edge — so its level is the maximum
+    // sender level plus one.
+    let corner_sum = |p: PeerId| -> f64 { net.peer(p).zone.lo().coords().iter().sum() };
+    let mut heap = BinaryHeap::new();
+    let mut levels: HashMap<PeerId, u64> = HashMap::new();
+    let mut processed: HashMap<PeerId, bool> = HashMap::new();
+    heap.push(Entry {
+        corner_sum: corner_sum(root),
+        level: 0,
+        peer: root,
+    });
+    levels.insert(root, 0);
+
+    let mut skyline: Vec<Tuple> = Vec::new();
+    let mut answers: Vec<Tuple> = Vec::new();
+    let mut deepest = 0u64;
+
+    while let Some(Entry { peer, .. }) = heap.pop() {
+        if processed.contains_key(&peer) {
+            continue;
+        }
+        processed.insert(peer, true);
+        let level = levels[&peer];
+        // Pruning is re-checked at processing time: the peers that could
+        // have sent dominating tuples all precede this one in the sweep.
+        let zone = &net.peer(peer).zone;
+        if skyline
+            .iter()
+            .any(|s| dominance::dominates_rect(&s.point, zone))
+        {
+            continue;
+        }
+        metrics.visit(peer);
+        deepest = deepest.max(level);
+
+        // Local skyline merged with everything received so far.
+        let local_sky = dominance::skyline(net.peer(peer).store.tuples());
+        // Tuples this peer contributes to the global skyline (its response).
+        let contributed: Vec<Tuple> = local_sky
+            .iter()
+            .filter(|t| !skyline.iter().any(|s| dominance::dominates(&s.point, &t.point)))
+            .cloned()
+            .collect();
+        metrics.respond(contributed.len());
+        answers.extend(contributed.clone());
+        skyline = dominance::skyline_insert(skyline, &local_sky);
+
+        // Forward the merged skyline to every unprocessed neighbor whose
+        // zone is not dominated. Each such send is one hierarchy edge; the
+        // receiver waits for all of them, so its level is the max.
+        for &next in &net.peer(peer).neighbors {
+            if processed.contains_key(&next) {
+                continue;
+            }
+            let nz = &net.peer(next).zone;
+            if skyline
+                .iter()
+                .any(|s| dominance::dominates_rect(&s.point, nz))
+            {
+                continue;
+            }
+            metrics.forward();
+            let entry_level = level + 1;
+            match levels.get_mut(&next) {
+                Some(l) => *l = (*l).max(entry_level),
+                None => {
+                    levels.insert(next, entry_level);
+                    heap.push(Entry {
+                        corner_sum: corner_sum(next),
+                        level: entry_level,
+                        peer: next,
+                    });
+                }
+            }
+        }
+    }
+
+    metrics.latency += deepest;
+    let mut sky = dominance::skyline(&answers);
+    sky.sort_by_key(|t| t.id);
+    DslOutcome {
+        skyline: sky,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use ripple_geom::Tuple;
+
+    fn setup(seed: u64, peers: usize, tuples: usize, dims: usize) -> (CanNetwork, Vec<Tuple>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = CanNetwork::build(dims, peers, &mut rng);
+        let data: Vec<Tuple> = (0..tuples as u64)
+            .map(|i| {
+                Tuple::new(
+                    i,
+                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        net.insert_all(data.clone());
+        (net, data)
+    }
+
+    #[test]
+    fn dsl_matches_centralized_skyline() {
+        let (net, data) = setup(20, 48, 300, 2);
+        let mut oracle = dominance::skyline(&data);
+        oracle.sort_by_key(|t| t.id);
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..3 {
+            let initiator = net.random_peer(&mut rng);
+            let out = dsl_skyline(&net, initiator);
+            let got: Vec<u64> = out.skyline.iter().map(|t| t.id).collect();
+            let want: Vec<u64> = oracle.iter().map(|t| t.id).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn dsl_matches_in_higher_dims() {
+        let (net, data) = setup(22, 40, 250, 4);
+        let mut oracle = dominance::skyline(&data);
+        oracle.sort_by_key(|t| t.id);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let initiator = net.random_peer(&mut rng);
+        let out = dsl_skyline(&net, initiator);
+        assert_eq!(
+            out.skyline.iter().map(|t| t.id).collect::<Vec<_>>(),
+            oracle.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dsl_prunes_dominated_zones() {
+        let (mut net, _) = setup(24, 64, 0, 2);
+        // a single dominating tuple near the origin prunes almost everything
+        net.insert_tuple(Tuple::new(9999, vec![0.01, 0.01]));
+        let mut rng = SmallRng::seed_from_u64(25);
+        let initiator = net.random_peer(&mut rng);
+        let out = dsl_skyline(&net, initiator);
+        assert_eq!(out.skyline.len(), 1);
+        assert!(
+            (out.metrics.peers_visited as usize) < net.peer_count() / 2,
+            "visited {} of {}",
+            out.metrics.peers_visited,
+            net.peer_count()
+        );
+    }
+
+    #[test]
+    fn dsl_metrics_populated() {
+        let (net, _) = setup(26, 32, 200, 2);
+        let mut rng = SmallRng::seed_from_u64(27);
+        let initiator = net.random_peer(&mut rng);
+        let out = dsl_skyline(&net, initiator);
+        assert!(out.metrics.latency > 0);
+        assert!(out.metrics.peers_visited > 0);
+        assert!(out.metrics.total_messages() > 0);
+    }
+}

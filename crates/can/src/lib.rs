@@ -1,0 +1,27 @@
+//! The CAN overlay (Ratnasamy et al. \[13\]) and the two CAN-based baselines
+//! the RIPPLE paper compares against.
+//!
+//! * [`network`] — the Content-Addressable Network substrate: rectangular
+//!   zones, face-adjacency neighbor tables, greedy `O(d·n^{1/d})` routing,
+//!   and graceful join/leave with zone reassignment.
+//! * [`dsl`] — DSL distributed skyline processing (Wu et al. \[20\]): a
+//!   dominance-ordered multicast hierarchy rooted at the origin peer, with
+//!   zone pruning.
+//! * [`skyframe`] — Skyframe skyline processing (Wang et al. \[19\]):
+//!   border-peer rounds driven by the query initiator.
+//! * [`div_baseline`] — the adapted incremental diversification baseline
+//!   (Minack et al. \[12\], a streaming approach): the same greedy loop as
+//!   the RIPPLE solver, with every best-tuple search streamed through the
+//!   network on a token tour.
+
+#![warn(missing_docs)]
+
+pub mod div_baseline;
+pub mod dsl;
+pub mod network;
+pub mod skyframe;
+
+pub use div_baseline::{baseline_diversify, stream_single_tuple};
+pub use dsl::{dsl_skyline, DslOutcome};
+pub use network::{CanNetwork, CanPeer};
+pub use skyframe::{skyframe_skyline, SkyframeOutcome};

@@ -1,0 +1,199 @@
+//! Skyframe: skyline processing via border peers (Wang et al. \[19\]).
+//!
+//! Section 2.2: "In Skyframe the querying peer forwards the query to a set
+//! of peers called *border peers*. A peer that is responsible for a region
+//! with minimum value in at least one dimension is called border peer. Once
+//! the initiator receives the local skyline results, it determines if
+//! additional peers need to be queried. Then, the querying peer queries
+//! additional peers, if necessary, and gathers the local skyline results.
+//! When no further peers need to be queried, the query initiator computes
+//! the global skyline set."
+//!
+//! Round structure over CAN:
+//! 1. the initiator contacts every border peer (zones touching a lower
+//!    domain facet) by routed unicast, in parallel;
+//! 2. it merges their local skylines and determines the *additional* peers:
+//!    those whose zones are not dominated by the merged skyline and have
+//!    not been queried yet;
+//! 3. rounds repeat until no unqueried, undominated peer remains.
+//!
+//! Latency = per-round maximum routed distance, summed over rounds
+//! (rounds are sequential, contacts within a round parallel).
+
+use crate::network::CanNetwork;
+use ripple_geom::{dominance, Tuple};
+use ripple_net::{PeerId, QueryMetrics};
+use std::collections::HashSet;
+
+/// Result of a Skyframe skyline computation.
+pub struct SkyframeOutcome {
+    /// The global skyline, sorted by tuple id.
+    pub skyline: Vec<Tuple>,
+    /// Cost ledger.
+    pub metrics: QueryMetrics,
+    /// Number of query rounds the initiator needed.
+    pub rounds: u32,
+}
+
+/// The border peers of the overlay: owners of zones with minimum value in
+/// at least one dimension.
+pub fn border_peers(net: &CanNetwork) -> Vec<PeerId> {
+    net.live_peers()
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let z = &net.peer(p).zone;
+            (0..net.dims()).any(|d| z.lo().coord(d) == 0.0)
+        })
+        .collect()
+}
+
+/// Runs a Skyframe skyline query from `initiator`.
+pub fn skyframe_skyline(net: &CanNetwork, initiator: PeerId) -> SkyframeOutcome {
+    let mut metrics = QueryMetrics::new();
+    let mut queried: HashSet<PeerId> = HashSet::new();
+    let mut skyline: Vec<Tuple> = Vec::new();
+    let mut rounds = 0u32;
+
+    // round 1 targets the border peers
+    let mut targets: Vec<PeerId> = border_peers(net);
+    targets.sort_unstable();
+
+    while !targets.is_empty() {
+        rounds += 1;
+        let mut round_latency = 0u64;
+        for &peer in &targets {
+            queried.insert(peer);
+            // routed unicast from the initiator (transit = messages only)
+            let key = net.peer(peer).zone.center();
+            let (reached, hops) = net.route(initiator, &key);
+            debug_assert_eq!(reached, peer);
+            metrics.query_messages += hops as u64;
+            round_latency = round_latency.max(hops as u64);
+            metrics.visit(peer);
+
+            let local_sky = dominance::skyline(net.peer(peer).store.tuples());
+            metrics.respond(local_sky.len());
+            skyline = dominance::skyline_insert(skyline, &local_sky);
+        }
+        metrics.latency += round_latency;
+
+        // the initiator decides which additional peers could still
+        // contribute: unqueried zones not dominated by the current skyline
+        targets = net
+            .live_peers()
+            .iter()
+            .copied()
+            .filter(|p| !queried.contains(p))
+            .filter(|&p| {
+                let z = &net.peer(p).zone;
+                !skyline
+                    .iter()
+                    .any(|s| dominance::dominates_rect(&s.point, z))
+            })
+            .collect();
+        targets.sort_unstable();
+    }
+
+    let mut sky = skyline;
+    sky.sort_by_key(|t| t.id);
+    SkyframeOutcome {
+        skyline: sky,
+        metrics,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(seed: u64, peers: usize, tuples: usize, dims: usize) -> (CanNetwork, Vec<Tuple>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = CanNetwork::build(dims, peers, &mut rng);
+        let data: Vec<Tuple> = (0..tuples as u64)
+            .map(|i| {
+                Tuple::new(
+                    i,
+                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        net.insert_all(data.clone());
+        (net, data)
+    }
+
+    #[test]
+    fn border_peers_touch_a_lower_facet() {
+        let (net, _) = setup(50, 64, 0, 2);
+        let borders = border_peers(&net);
+        assert!(!borders.is_empty());
+        for p in &borders {
+            let z = &net.peer(*p).zone;
+            assert!(z.lo().coord(0) == 0.0 || z.lo().coord(1) == 0.0);
+        }
+        // in 2-d roughly O(√n) zones touch each of the two lower facets
+        assert!(borders.len() < net.peer_count() / 2);
+    }
+
+    #[test]
+    fn skyframe_matches_centralized_skyline() {
+        let (net, data) = setup(51, 48, 300, 2);
+        let mut oracle = dominance::skyline(&data);
+        oracle.sort_by_key(|t| t.id);
+        let mut rng = SmallRng::seed_from_u64(52);
+        for _ in 0..3 {
+            let initiator = net.random_peer(&mut rng);
+            let out = skyframe_skyline(&net, initiator);
+            assert_eq!(
+                out.skyline.iter().map(|t| t.id).collect::<Vec<_>>(),
+                oracle.iter().map(|t| t.id).collect::<Vec<_>>()
+            );
+            assert!(out.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn skyframe_matches_in_higher_dims() {
+        let (net, data) = setup(53, 40, 250, 4);
+        let mut oracle = dominance::skyline(&data);
+        oracle.sort_by_key(|t| t.id);
+        let mut rng = SmallRng::seed_from_u64(54);
+        let initiator = net.random_peer(&mut rng);
+        let out = skyframe_skyline(&net, initiator);
+        assert_eq!(
+            out.skyline.iter().map(|t| t.id).collect::<Vec<_>>(),
+            oracle.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dominating_data_needs_few_rounds_and_peers() {
+        let (mut net, _) = setup(55, 64, 0, 2);
+        net.insert_tuple(Tuple::new(9999, vec![0.01, 0.01]));
+        let mut rng = SmallRng::seed_from_u64(56);
+        let initiator = net.random_peer(&mut rng);
+        let out = skyframe_skyline(&net, initiator);
+        assert_eq!(out.skyline.len(), 1);
+        // only the border peers should ever be queried: the near-origin
+        // tuple dominates every interior zone
+        assert!(
+            (out.metrics.peers_visited as usize) <= border_peers(&net).len() + 4,
+            "visited {} vs {} border peers",
+            out.metrics.peers_visited,
+            border_peers(&net).len()
+        );
+    }
+
+    #[test]
+    fn metrics_populated() {
+        let (net, _) = setup(57, 32, 150, 3);
+        let mut rng = SmallRng::seed_from_u64(58);
+        let out = skyframe_skyline(&net, net.random_peer(&mut rng));
+        assert!(out.metrics.latency > 0);
+        assert!(out.metrics.total_messages() > 0);
+        assert!(out.metrics.peers_visited > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! CAN integration: both skyline baselines stay exact across churn, and
+//! the streaming diversification tour keeps its cost envelope.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ripple_can::{dsl_skyline, skyframe_skyline, stream_single_tuple, CanNetwork};
+use ripple_geom::{dominance, DiversityQuery, Norm, Tuple};
+use ripple_net::ChurnOverlay;
+
+fn churned_network(seed: u64) -> (CanNetwork, Vec<Tuple>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = CanNetwork::build(2, 48, &mut rng);
+    let data: Vec<Tuple> = (0..300u64)
+        .map(|i| Tuple::new(i, vec![rng.gen::<f64>(), rng.gen::<f64>()]))
+        .collect();
+    net.insert_all(data.clone());
+    for _ in 0..40 {
+        if rng.gen_bool(0.5) {
+            net.churn_join(&mut rng);
+        } else {
+            net.churn_leave(&mut rng);
+        }
+    }
+    net.check_invariants();
+    (net, data)
+}
+
+#[test]
+fn skyline_baselines_agree_after_churn() {
+    let (net, data) = churned_network(1);
+    let mut oracle = dominance::skyline(&data);
+    oracle.sort_by_key(|t| t.id);
+    let mut rng = SmallRng::seed_from_u64(2);
+    for _ in 0..3 {
+        let initiator = net.random_peer(&mut rng);
+        let dsl = dsl_skyline(&net, initiator);
+        let skf = skyframe_skyline(&net, initiator);
+        let want: Vec<u64> = oracle.iter().map(|t| t.id).collect();
+        assert_eq!(dsl.skyline.iter().map(|t| t.id).collect::<Vec<_>>(), want);
+        assert_eq!(skf.skyline.iter().map(|t| t.id).collect::<Vec<_>>(), want);
+    }
+}
+
+#[test]
+fn streaming_tour_cost_envelope_after_churn() {
+    let (net, _) = churned_network(3);
+    let div = DiversityQuery::new(vec![0.4, 0.6], 0.5, Norm::L1);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let initiator = net.random_peer(&mut rng);
+    let (found, m) = stream_single_tuple(&net, initiator, &div, &[], f64::INFINITY);
+    assert!(found.is_some());
+    let n = net.peer_count();
+    assert_eq!(m.peers_visited as usize, n);
+    assert!(m.latency as usize >= n - 1);
+    assert!(m.latency as usize <= 2 * (n - 1));
+}
+
+#[test]
+fn degree_survives_heavy_departures() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut net = CanNetwork::build(3, 96, &mut rng);
+    while net.peer_count() > 8 {
+        net.churn_leave(&mut rng);
+    }
+    net.check_invariants();
+    // every remaining peer still has at least one neighbor
+    for &p in net.live_peers() {
+        assert!(!net.peer(p).neighbors.is_empty());
+    }
+}

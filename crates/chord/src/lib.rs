@@ -1,0 +1,16 @@
+//! The Chord overlay (Stoica et al. \[15\]) with RIPPLE support.
+//!
+//! Chord is the second DHT for which Section 3.1 of the RIPPLE paper spells
+//! out a region definition; this crate implements the ring (order-preserving
+//! key placement, fingers, greedy `O(log n)` routing, churn) and the
+//! [`ripple_core::framework::RippleOverlay`] adapter whose regions are ring
+//! arcs (up to two linear segments). The standard top-k query of
+//! `ripple-core` runs over it unchanged — the framework's genericity claim,
+//! demonstrated and tested.
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod ripple_impl;
+
+pub use network::{ChordNetwork, ChordPeer};

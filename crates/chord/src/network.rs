@@ -1,0 +1,368 @@
+//! The Chord overlay (Stoica et al. \[15\]) over a one-dimensional domain.
+//!
+//! Chord arranges peers on a ring. Each peer owns the arc from its position
+//! to its successor's, and keeps *fingers*: links to the owners of the
+//! positions `pos + 2^{-j}` for `j = 1..m`, enabling `O(log n)` greedy
+//! routing.
+//!
+//! Rank queries need the key space to preserve order, so — unlike a classic
+//! DHT deployment — tuples are placed by their (one-dimensional) value
+//! directly, not by a cryptographic hash; this is the arrangement Section
+//! 3.1 of the RIPPLE paper assumes when it defines finger *regions*: "the
+//! region of `w`'s `i`-th neighbor is the area of the domain stretching from
+//! the beginning of the `i`-th neighbor zone until the beginning of the
+//! `(i+1)`-th neighbor zone (or `w`'s zone if `i`-th is the last neighbor)".
+
+use rand::Rng;
+use ripple_geom::{Rect, Tuple};
+use ripple_net::{ChurnOverlay, PeerId, PeerStore};
+
+/// A Chord peer: a ring position and the tuples of its arc.
+#[derive(Clone, Debug)]
+pub struct ChordPeer {
+    /// Stable handle.
+    pub id: PeerId,
+    /// Ring position in `[0, 1)`; the peer owns `[position, successor)`.
+    pub position: f64,
+    /// Locally stored tuples (keys in the owned arc).
+    pub store: PeerStore,
+}
+
+/// A simulated Chord ring.
+#[derive(Clone, Debug)]
+pub struct ChordNetwork {
+    peers: Vec<Option<ChordPeer>>,
+    /// Live peers sorted by ring position.
+    ring: Vec<PeerId>,
+}
+
+impl ChordNetwork {
+    /// Creates a single-peer ring anchored at position 0.
+    pub fn new() -> Self {
+        let id = PeerId::new(0);
+        Self {
+            peers: vec![Some(ChordPeer {
+                id,
+                position: 0.0,
+                store: PeerStore::new(),
+            })],
+            ring: vec![id],
+        }
+    }
+
+    /// Builds a ring of `n` peers at uniformly random positions.
+    pub fn build<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let mut net = Self::new();
+        while net.peer_count() < n {
+            net.join(rng.gen::<f64>());
+        }
+        net
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The peers in ring order.
+    pub fn ring(&self) -> &[PeerId] {
+        &self.ring
+    }
+
+    /// A uniformly random live peer.
+    pub fn random_peer<R: Rng>(&self, rng: &mut R) -> PeerId {
+        self.ring[rng.gen_range(0..self.ring.len())]
+    }
+
+    /// Borrows a live peer.
+    pub fn peer(&self, id: PeerId) -> &ChordPeer {
+        self.peers[id.index()].as_ref().expect("peer departed")
+    }
+
+    fn peer_mut(&mut self, id: PeerId) -> &mut ChordPeer {
+        self.peers[id.index()].as_mut().expect("peer departed")
+    }
+
+    /// Ring index of the peer owning `key ∈ [0,1)`.
+    fn rank_of_key(&self, key: f64) -> usize {
+        match self
+            .ring
+            .binary_search_by(|&p| self.peer(p).position.total_cmp(&key))
+        {
+            Ok(r) => r,
+            Err(0) => self.ring.len() - 1, // wraps to the last peer
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// The peer owning `key`.
+    pub fn responsible(&self, key: f64) -> PeerId {
+        self.ring[self.rank_of_key(key)]
+    }
+
+    /// The successor position of the peer at ring index `rank` (1.0 when it
+    /// wraps — positions are reported *unwrapped from 0* so arcs read as
+    /// plain intervals except the single wrapping one).
+    fn arc_of_rank(&self, rank: usize) -> (f64, f64) {
+        let start = self.peer(self.ring[rank]).position;
+        let end = if rank + 1 < self.ring.len() {
+            self.peer(self.ring[rank + 1]).position
+        } else {
+            1.0
+        };
+        (start, end)
+    }
+
+    /// The owned arc of a peer as up to two `[lo, hi)` segments (the peer at
+    /// the largest position owns a segment ending at 1.0; only rank 0's arc
+    /// could wrap and by construction position 0 is always occupied by the
+    /// founding anchor, so arcs never actually wrap).
+    pub fn zone_segments(&self, id: PeerId) -> Vec<Rect> {
+        let rank = self
+            .ring
+            .iter()
+            .position(|&p| p == id)
+            .expect("peer is live");
+        let (lo, hi) = self.arc_of_rank(rank);
+        vec![Rect::new(vec![lo], vec![hi])]
+    }
+
+    /// Number of fingers a peer keeps: `⌈log₂ n⌉ + 1`.
+    pub fn finger_count(&self) -> u32 {
+        (self.ring.len().max(2) as f64).log2().ceil() as u32 + 1
+    }
+
+    /// The fingers of `id`: the immediate successor plus the owners of
+    /// `position + 2^{-j}` for `j = 1..=finger_count()`, deduplicated,
+    /// ordered nearest-first (successor first, halfway-across last).
+    ///
+    /// A Chord node always knows its successor; without it, greedy routing
+    /// could stall when the smallest finger offset lands inside the node's
+    /// own arc, and the finger regions would leave the gap between the
+    /// node's arc and the first finger uncovered.
+    pub fn fingers(&self, id: PeerId) -> Vec<PeerId> {
+        if self.ring.len() < 2 {
+            return Vec::new();
+        }
+        let rank = self
+            .ring
+            .iter()
+            .position(|&p| p == id)
+            .expect("peer is live");
+        let successor = self.ring[(rank + 1) % self.ring.len()];
+        let pos = self.peer(id).position;
+        let mut out = vec![successor];
+        for j in (1..=self.finger_count()).rev() {
+            let target = (pos + (0.5f64).powi(j as i32)).fract();
+            let f = self.responsible(target);
+            if f != id && !out.contains(&f) {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    /// Greedy finger routing from `from` to the owner of `key`; returns the
+    /// owner and the hop count.
+    pub fn route(&self, from: PeerId, key: f64) -> (PeerId, u32) {
+        let target = self.responsible(key);
+        let mut cur = from;
+        let mut hops = 0u32;
+        while cur != target {
+            // clockwise distance from a candidate to the key
+            let dist = |p: PeerId| {
+                let d = key - self.peer(p).position;
+                if d < 0.0 {
+                    d + 1.0
+                } else {
+                    d
+                }
+            };
+            // move to the finger (or successor) closest behind the key
+            let next = self
+                .fingers(cur)
+                .into_iter()
+                .min_by(|&a, &b| dist(a).total_cmp(&dist(b)).then_with(|| a.cmp(&b)))
+                .expect("multi-peer ring has fingers");
+            debug_assert_ne!(next, cur);
+            cur = next;
+            hops += 1;
+            debug_assert!((hops as usize) <= 4 * self.ring.len());
+        }
+        (target, hops)
+    }
+
+    /// Stores a tuple by its first coordinate.
+    pub fn insert_tuple(&mut self, t: Tuple) {
+        let key = t.point.coord(0);
+        assert!((0.0..=1.0).contains(&key), "key outside the ring domain");
+        let owner = self.responsible(key.min(1.0 - f64::EPSILON));
+        self.peer_mut(owner).store.insert(t);
+    }
+
+    /// Bulk-loads a dataset.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.insert_tuple(t);
+        }
+    }
+
+    /// A new peer joins at ring position `pos`, taking the tail of the
+    /// owner's arc.
+    pub fn join(&mut self, pos: f64) -> PeerId {
+        let pos = pos.fract().abs();
+        let rank = self.rank_of_key(pos);
+        let owner = self.ring[rank];
+        if self.peer(owner).position == pos {
+            // occupied position: nudge deterministically
+            return self.join((pos + 1e-9).fract());
+        }
+        let new_id = PeerId::new(self.peers.len() as u32);
+        let moved = self.peer_mut(owner).store.drain_where(|p| p.coord(0) >= pos);
+        let mut store = PeerStore::new();
+        store.extend(moved);
+        self.peers.push(Some(ChordPeer {
+            id: new_id,
+            position: pos,
+            store,
+        }));
+        self.ring.insert(rank + 1, new_id);
+        new_id
+    }
+
+    /// Graceful departure: the predecessor absorbs the arc (the founding
+    /// anchor at position 0 never leaves, keeping arcs unwrapped).
+    pub fn leave(&mut self, id: PeerId) {
+        assert!(self.peer_count() > 1, "cannot remove the last peer");
+        let rank = self
+            .ring
+            .iter()
+            .position(|&p| p == id)
+            .expect("peer is live");
+        assert!(rank > 0, "the founding anchor cannot leave");
+        let tuples = self.peer_mut(id).store.drain_all();
+        let heir = self.ring[rank - 1];
+        self.peer_mut(heir).store.extend(tuples);
+        self.ring.remove(rank);
+        self.peers[id.index()] = None;
+    }
+
+    /// Checks structural invariants (tests).
+    pub fn check_invariants(&self) {
+        assert_eq!(self.peer(self.ring[0]).position, 0.0, "anchor at 0");
+        for w in self.ring.windows(2) {
+            assert!(self.peer(w[0]).position < self.peer(w[1]).position);
+        }
+        for (rank, &id) in self.ring.iter().enumerate() {
+            let (lo, hi) = self.arc_of_rank(rank);
+            for t in self.peer(id).store.iter() {
+                let k = t.point.coord(0);
+                assert!(lo <= k && (k < hi || (hi == 1.0 && k <= 1.0)));
+            }
+        }
+    }
+}
+
+impl Default for ChordNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChurnOverlay for ChordNetwork {
+    fn peer_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    fn churn_join(&mut self, rng: &mut dyn rand::RngCore) {
+        let pos = rand::Rng::gen::<f64>(&mut &mut *rng);
+        self.join(pos);
+    }
+
+    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore) {
+        if self.peer_count() <= 1 {
+            return;
+        }
+        // never remove the anchor (rank 0)
+        let idx = rand::Rng::gen_range(&mut &mut *rng, 1..self.ring.len());
+        self.leave(self.ring[idx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn build_and_invariants() {
+        let mut r = rng(1);
+        let net = ChordNetwork::build(64, &mut r);
+        assert_eq!(net.peer_count(), 64);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn responsibility_is_predecessor_style() {
+        let mut net = ChordNetwork::new();
+        net.join(0.5);
+        net.join(0.25);
+        assert_eq!(net.responsible(0.1), net.ring()[0]);
+        assert_eq!(net.responsible(0.25), net.ring()[1]);
+        assert_eq!(net.responsible(0.3), net.ring()[1]);
+        assert_eq!(net.responsible(0.9), net.ring()[2]);
+    }
+
+    #[test]
+    fn routing_reaches_owner_logarithmically() {
+        let mut r = rng(2);
+        let net = ChordNetwork::build(256, &mut r);
+        let mut total = 0u32;
+        for _ in 0..50 {
+            let key = r.gen::<f64>();
+            let from = net.random_peer(&mut r);
+            let (owner, hops) = net.route(from, key);
+            assert_eq!(owner, net.responsible(key));
+            total += hops;
+        }
+        let mean = total as f64 / 50.0;
+        assert!(mean < 16.0, "mean hops {mean} too high for 256 peers");
+    }
+
+    #[test]
+    fn tuples_follow_arcs_under_churn() {
+        let mut r = rng(3);
+        let mut net = ChordNetwork::build(16, &mut r);
+        for i in 0..100 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen::<f64>()]));
+        }
+        for _ in 0..40 {
+            if r.gen_bool(0.5) {
+                net.churn_join(&mut r);
+            } else {
+                net.churn_leave(&mut r);
+            }
+        }
+        net.check_invariants();
+        let total: usize = net.ring().iter().map(|&p| net.peer(p).store.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fingers_are_deduplicated_and_remote() {
+        let mut r = rng(4);
+        let net = ChordNetwork::build(64, &mut r);
+        let p = net.random_peer(&mut r);
+        let fingers = net.fingers(p);
+        assert!(!fingers.is_empty());
+        assert!(!fingers.contains(&p));
+        let mut dedup = fingers.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), fingers.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! RIPPLE over Chord: the substrate adapter (Section 3.1's Chord example).
+//!
+//! The region of `w`'s `i`-th finger stretches from the beginning of that
+//! finger's zone to the beginning of the next finger's zone (wrapping back
+//! to `w`'s own zone after the last finger). A clockwise arc that wraps the
+//! ring origin is represented as two `[lo, hi)` segments, so regions are
+//! `Vec<Rect>` (one-dimensional rectangles) and the standard [`TopKQuery`]
+//! runs unchanged — the genericity claim of the paper, demonstrated.
+//!
+//! [`TopKQuery`]: ripple_core::topk::TopKQuery
+
+use crate::network::ChordNetwork;
+use ripple_core::framework::RippleOverlay;
+use ripple_geom::{Rect, Tuple};
+use ripple_net::PeerId;
+
+/// Clockwise arc `[from, to)` as up to two linear segments.
+fn arc_segments(from: f64, to: f64) -> Vec<Rect> {
+    if from < to {
+        vec![Rect::new(vec![from], vec![to])]
+    } else {
+        // wraps the origin
+        let mut segs = Vec::with_capacity(2);
+        if from < 1.0 {
+            segs.push(Rect::new(vec![from], vec![1.0]));
+        }
+        if to > 0.0 {
+            segs.push(Rect::new(vec![0.0], vec![to]));
+        }
+        segs
+    }
+}
+
+impl RippleOverlay for ChordNetwork {
+    type Region = Vec<Rect>;
+
+    fn full_region(&self) -> Vec<Rect> {
+        vec![Rect::new(vec![0.0], vec![1.0])]
+    }
+
+    fn region_intersect(&self, region: &Vec<Rect>, restriction: &Vec<Rect>) -> Option<Vec<Rect>> {
+        let mut out = Vec::new();
+        for a in region {
+            for b in restriction {
+                if let Some(i) = a.intersection(b) {
+                    out.push(i);
+                }
+            }
+        }
+        (!out.is_empty()).then_some(out)
+    }
+
+    fn peer_links(&self, peer: PeerId) -> Vec<(PeerId, Vec<Rect>)> {
+        let fingers = self.fingers(peer);
+        if fingers.is_empty() {
+            return Vec::new();
+        }
+        // region of finger i: from its zone start to the next finger's zone
+        // start; the last region closes the ring at w's own zone start.
+        let start_of = |p: PeerId| self.peer(p).position;
+        let own_start = start_of(peer);
+        let mut links = Vec::with_capacity(fingers.len());
+        for (i, &f) in fingers.iter().enumerate() {
+            let from = start_of(f);
+            let to = if i + 1 < fingers.len() {
+                start_of(fingers[i + 1])
+            } else {
+                own_start
+            };
+            links.push((f, arc_segments(from, to)));
+        }
+        links
+    }
+
+    fn peer_tuples(&self, peer: PeerId) -> &[Tuple] {
+        self.peer(peer).store.tuples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use ripple_core::framework::Mode;
+    use ripple_core::topk::{centralized_topk, run_topk};
+    use ripple_geom::{LinearScore, PeakScore, Norm};
+
+    #[test]
+    fn arc_segment_wrapping() {
+        assert_eq!(arc_segments(0.2, 0.7).len(), 1);
+        let wrapped = arc_segments(0.7, 0.2);
+        assert_eq!(wrapped.len(), 2);
+        let total: f64 = wrapped.iter().map(|r| r.side(0)).sum();
+        assert!((total - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regions_partition_the_ring() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let net = ChordNetwork::build(64, &mut rng);
+        for &p in net.ring().iter().take(10) {
+            let links = net.peer_links(p);
+            let link_len: f64 = links
+                .iter()
+                .flat_map(|(_, segs)| segs.iter().map(|s| s.side(0)))
+                .sum();
+            let zone_len: f64 = net.zone_segments(p).iter().map(|s| s.side(0)).sum();
+            assert!(
+                (link_len + zone_len - 1.0).abs() < 1e-9,
+                "regions + zone must cover the ring: {}",
+                link_len + zone_len
+            );
+        }
+    }
+
+    #[test]
+    fn topk_over_chord_matches_centralized() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut net = ChordNetwork::build(80, &mut rng);
+        let data: Vec<Tuple> = (0..500u64)
+            .map(|i| Tuple::new(i, vec![rng.gen::<f64>()]))
+            .collect();
+        net.insert_all(data.clone());
+        let score = LinearScore::uniform(1);
+        let oracle = centralized_topk(&data, &score, 10);
+        for mode in [Mode::Fast, Mode::Slow, Mode::Ripple(2), Mode::Broadcast] {
+            let initiator = net.random_peer(&mut rng);
+            let (got, metrics) = run_topk(&net, initiator, score.clone(), 10, mode);
+            let got_ids: Vec<u64> = got.iter().map(|t| t.id).collect();
+            let want_ids: Vec<u64> = oracle.iter().map(|t| t.id).collect();
+            assert_eq!(got_ids, want_ids, "{mode:?}");
+            assert!(metrics.peers_visited > 0);
+        }
+    }
+
+    #[test]
+    fn unimodal_topk_over_chord() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = ChordNetwork::build(40, &mut rng);
+        let data: Vec<Tuple> = (0..300u64)
+            .map(|i| Tuple::new(i, vec![rng.gen::<f64>()]))
+            .collect();
+        net.insert_all(data.clone());
+        let score = PeakScore::new(vec![0.37], Norm::L1);
+        let oracle = centralized_topk(&data, &score, 5);
+        let initiator = net.random_peer(&mut rng);
+        let (got, _) = run_topk(&net, initiator, score.clone(), 5, Mode::Fast);
+        assert_eq!(
+            got.iter().map(|t| t.id).collect::<Vec<_>>(),
+            oracle.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pruned_modes_visit_fewer_peers_than_broadcast() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut net = ChordNetwork::build(100, &mut rng);
+        let data: Vec<Tuple> = (0..600u64)
+            .map(|i| Tuple::new(i, vec![rng.gen::<f64>()]))
+            .collect();
+        net.insert_all(data);
+        let initiator = net.random_peer(&mut rng);
+        let score = LinearScore::uniform(1);
+        let (_, bcast) = run_topk(&net, initiator, score.clone(), 5, Mode::Broadcast);
+        let (_, slow) = run_topk(&net, initiator, score.clone(), 5, Mode::Slow);
+        assert_eq!(bcast.peers_visited as usize, net.peer_count());
+        assert!(
+            slow.peers_visited < bcast.peers_visited / 2,
+            "slow should prune hard on a 1-d ring: {} vs {}",
+            slow.peers_visited,
+            bcast.peers_visited
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Chord ring integration: queries stay exact across churn, fingers stay
+//! logarithmic, and the RIPPLE adapter's regions track the ring.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ripple_chord::ChordNetwork;
+use ripple_core::framework::{Mode, RippleOverlay};
+use ripple_core::topk::{centralized_topk, run_topk};
+use ripple_geom::{Norm, PeakScore, Tuple};
+use ripple_net::ChurnOverlay;
+
+#[test]
+fn queries_stay_exact_across_churn() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut net = ChordNetwork::build(64, &mut rng);
+    let data: Vec<Tuple> = (0..400u64)
+        .map(|i| Tuple::new(i, vec![rng.gen::<f64>()]))
+        .collect();
+    net.insert_all(data.clone());
+    let score = PeakScore::new(vec![0.42], Norm::L1);
+    let oracle: Vec<u64> = centralized_topk(&data, &score, 6)
+        .iter()
+        .map(|t| t.id)
+        .collect();
+    for round in 0..8 {
+        for _ in 0..10 {
+            if rng.gen_bool(0.5) {
+                net.churn_join(&mut rng);
+            } else {
+                net.churn_leave(&mut rng);
+            }
+        }
+        net.check_invariants();
+        let initiator = net.random_peer(&mut rng);
+        let (top, _) = run_topk(&net, initiator, score.clone(), 6, Mode::Slow);
+        assert_eq!(
+            top.iter().map(|t| t.id).collect::<Vec<_>>(),
+            oracle,
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn finger_count_tracks_ring_size() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let small = ChordNetwork::build(32, &mut rng);
+    let big = ChordNetwork::build(1024, &mut rng);
+    assert!(big.finger_count() > small.finger_count());
+    // fingers per peer stay O(log n)
+    let p = big.random_peer(&mut rng);
+    assert!(big.fingers(p).len() as u32 <= big.finger_count() + 1);
+}
+
+#[test]
+fn regions_stay_a_partition_under_churn() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut net = ChordNetwork::build(48, &mut rng);
+    for _ in 0..30 {
+        if rng.gen_bool(0.6) {
+            net.churn_join(&mut rng);
+        } else {
+            net.churn_leave(&mut rng);
+        }
+    }
+    for &p in net.ring().iter().take(12) {
+        let link_len: f64 = net
+            .peer_links(p)
+            .iter()
+            .flat_map(|(_, segs)| segs.iter().map(|s| s.side(0)))
+            .sum();
+        let zone_len: f64 = net.zone_segments(p).iter().map(|s| s.side(0)).sum();
+        assert!(
+            (link_len + zone_len - 1.0).abs() < 1e-9,
+            "coverage broke after churn: {}",
+            link_len + zone_len
+        );
+    }
+}
+
+#[test]
+fn broadcast_reaches_the_whole_ring_after_churn() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut net = ChordNetwork::build(40, &mut rng);
+    for _ in 0..20 {
+        net.churn_join(&mut rng);
+    }
+    net.insert_all((0..100u64).map(|i| Tuple::new(i, vec![(i as f64 + 0.5) / 100.0])));
+    let initiator = net.random_peer(&mut rng);
+    let score = PeakScore::new(vec![0.0], Norm::L1);
+    let (_, m) = run_topk(&net, initiator, score, 5, Mode::Broadcast);
+    assert_eq!(m.peers_visited as usize, net.peer_count());
+}

@@ -1,0 +1,257 @@
+//! Result caching for repeated top-k queries (Section 2.1's BRANCA \[21\] /
+//! ARTO \[14\] line: "cache previous final and intermediate results to avoid
+//! recomputing parts of new queries").
+//!
+//! The cache lives at the querying side and exploits the structure of
+//! unimodal scores: a cached answer for a peak `p` with result size `k`
+//! answers any later query whose peak falls in the same quantized cell and
+//! asks for at most `k` results. Entries are tagged with the overlay's
+//! churn epoch, so any join/leave observed by the caller invalidates stale
+//! entries wholesale — the conservative variant of ARTO's maintenance.
+
+use crate::framework::{Mode, RankQuery, RippleOverlay};
+use crate::topk::{run_topk, TopKQuery};
+use ripple_geom::{Point, ScoreFn, Tuple};
+use ripple_net::{PeerId, QueryMetrics};
+use std::collections::HashMap;
+
+/// Quantized peak cell: the cache key space.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CellKey(Vec<u32>);
+
+/// Statistics of a cache's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache (zero network cost).
+    pub hits: u64,
+    /// Queries that went to the network.
+    pub misses: u64,
+    /// Entries dropped by churn-epoch invalidation.
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries answered locally.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A query-side top-k result cache.
+pub struct TopKCache {
+    /// Cells per dimension of the peak quantization grid.
+    resolution: u32,
+    /// Churn epoch the entries were built under.
+    epoch: u64,
+    entries: HashMap<CellKey, (usize, Vec<Tuple>)>,
+    stats: CacheStats,
+}
+
+impl TopKCache {
+    /// Creates a cache quantizing peaks on a `resolution^d` grid. Finer
+    /// grids give more precise reuse but fewer hits.
+    pub fn new(resolution: u32) -> Self {
+        assert!(resolution > 0);
+        Self {
+            resolution,
+            epoch: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn key(&self, peak: &Point) -> CellKey {
+        CellKey(
+            peak.coords()
+                .iter()
+                .map(|c| ((c * self.resolution as f64) as u32).min(self.resolution - 1))
+                .collect(),
+        )
+    }
+
+    /// Informs the cache of the overlay's current churn epoch (e.g. a
+    /// join/leave counter). A new epoch drops every entry: cached answers
+    /// may reference tuples that moved.
+    pub fn observe_epoch(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            self.stats.invalidated += self.entries.len() as u64;
+            self.entries.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Answers a top-k query, consulting the cache first. A hit costs no
+    /// messages and no hops; a miss runs the network query and installs the
+    /// answer.
+    pub fn topk<O, F>(
+        &mut self,
+        net: &O,
+        initiator: PeerId,
+        score: F,
+        k: usize,
+        mode: Mode,
+    ) -> (Vec<Tuple>, QueryMetrics)
+    where
+        O: RippleOverlay,
+        F: ScoreFn,
+        TopKQuery<F>: RankQuery<O::Region>,
+    {
+        let Some(peak) = score.peak_point() else {
+            // nothing to key reuse on: pass through
+            self.stats.misses += 1;
+            return run_topk(net, initiator, score, k, mode);
+        };
+        let key = self.key(&peak);
+        if let Some((cached_k, answer)) = self.entries.get(&key) {
+            if *cached_k >= k {
+                self.stats.hits += 1;
+                let mut hit: Vec<Tuple> = answer.clone();
+                hit.sort_by(|a, b| {
+                    score
+                        .score(&b.point)
+                        .total_cmp(&score.score(&a.point))
+                        .then_with(|| a.id.cmp(&b.id))
+                });
+                hit.truncate(k);
+                return (hit, QueryMetrics::new());
+            }
+        }
+        self.stats.misses += 1;
+        let (answer, metrics) = run_topk(net, initiator, score, k, mode);
+        self.entries.insert(key, (k, answer.clone()));
+        (answer, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use ripple_geom::{Norm, PeakScore};
+    use ripple_midas::MidasNetwork;
+
+    fn setup(seed: u64) -> (MidasNetwork, Vec<Tuple>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = MidasNetwork::build(2, 64, false, &mut rng);
+        let data: Vec<Tuple> = (0..400u64)
+            .map(|i| Tuple::new(i, vec![rng.gen::<f64>(), rng.gen::<f64>()]))
+            .collect();
+        net.insert_all(data.clone());
+        (net, data)
+    }
+
+    #[test]
+    fn repeated_peaks_hit_after_first_miss() {
+        let (net, _) = setup(1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut cache = TopKCache::new(8);
+        let initiator = net.random_peer(&mut rng);
+        let score = PeakScore::new(vec![0.31, 0.62], Norm::L1);
+
+        let (first, m1) = cache.topk(&net, initiator, score.clone(), 5, Mode::Fast);
+        assert!(m1.total_messages() > 0);
+        let (second, m2) = cache.topk(&net, initiator, score.clone(), 5, Mode::Fast);
+        assert_eq!(m2.total_messages(), 0, "hit must be free");
+        assert_eq!(m2.latency, 0);
+        assert_eq!(
+            first.iter().map(|t| t.id).collect::<Vec<_>>(),
+            second.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn nearby_peaks_share_a_cell_and_answers_stay_sound() {
+        let (net, data) = setup(3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut cache = TopKCache::new(4); // coarse grid: 0.25-wide cells
+        let initiator = net.random_peer(&mut rng);
+        let a = PeakScore::new(vec![0.30, 0.30], Norm::L1);
+        let b = PeakScore::new(vec![0.26, 0.26], Norm::L1); // same cell
+        let _ = cache.topk(&net, initiator, a, 5, Mode::Fast);
+        let (hit, m) = cache.topk(&net, initiator, b.clone(), 5, Mode::Fast);
+        assert_eq!(m.total_messages(), 0);
+        // the reused answer is re-ranked under the new peak; sound as long
+        // as the cell is small relative to the data density — verify the
+        // top-1 is within the cell-diagonal tolerance of the true top-1
+        let oracle = crate::topk::centralized_topk(&data, &b, 1);
+        let got = b.score(&hit[0].point);
+        let want = b.score(&oracle[0].point);
+        assert!(want - got <= 0.5 + 1e-9, "reuse degraded beyond the cell bound");
+    }
+
+    #[test]
+    fn smaller_k_is_served_from_a_larger_cached_answer() {
+        let (net, _) = setup(5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut cache = TopKCache::new(8);
+        let initiator = net.random_peer(&mut rng);
+        let score = PeakScore::new(vec![0.5, 0.5], Norm::L1);
+        let (ten, _) = cache.topk(&net, initiator, score.clone(), 10, Mode::Fast);
+        let (three, m) = cache.topk(&net, initiator, score.clone(), 3, Mode::Fast);
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(
+            three.iter().map(|t| t.id).collect::<Vec<_>>(),
+            ten.iter().take(3).map(|t| t.id).collect::<Vec<_>>()
+        );
+        // but a larger k than cached must go to the network
+        let (_, m) = cache.topk(&net, initiator, score, 20, Mode::Fast);
+        assert!(m.total_messages() > 0);
+    }
+
+    #[test]
+    fn churn_epochs_invalidate() {
+        let (net, _) = setup(7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut cache = TopKCache::new(8);
+        let initiator = net.random_peer(&mut rng);
+        let score = PeakScore::new(vec![0.4, 0.4], Norm::L1);
+        let _ = cache.topk(&net, initiator, score.clone(), 5, Mode::Fast);
+        assert_eq!(cache.len(), 1);
+        cache.observe_epoch(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidated, 1);
+        let (_, m) = cache.topk(&net, initiator, score, 5, Mode::Fast);
+        assert!(m.total_messages() > 0, "post-churn query must recompute");
+    }
+
+    #[test]
+    fn hit_rate_accounts() {
+        let (net, _) = setup(9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut cache = TopKCache::new(4);
+        let initiator = net.random_peer(&mut rng);
+        // zipf-ish repetition: a few hot peaks
+        let hot = [[0.1, 0.1], [0.6, 0.6], [0.9, 0.2]];
+        for i in 0..30 {
+            let p = hot[i % hot.len()];
+            let score = PeakScore::new(p.to_vec(), Norm::L1);
+            let _ = cache.topk(&net, initiator, score, 5, Mode::Fast);
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 30);
+        assert!(s.hit_rate() > 0.8, "hot workload should hit: {}", s.hit_rate());
+    }
+}

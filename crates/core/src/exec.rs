@@ -1,0 +1,293 @@
+//! The three RIPPLE propagation templates (Algorithms 1–3).
+//!
+//! The executor walks the overlay *recursively in simulation*: a recursive
+//! call stands for a query message, and the return stands for the response.
+//! Latency is accounted exactly as the proofs of Lemmas 1–3 count hops:
+//!
+//! * `fast` (Alg. 1) forwards to all relevant links at once, so a peer's
+//!   completion time is `1 + max(children)`;
+//! * `slow` (Alg. 2) visits one link at a time and waits for its state
+//!   response before the next, so completion is `Σ (1 + child)`;
+//! * `ripple` (Alg. 3) runs `slow` while the hop budget `r` lasts and
+//!   `fast` below it.
+//!
+//! Response messages (local states, local answers) are tallied in the
+//! message counters but add no hops, mirroring the Lemma accounting.
+//! Restriction areas are threaded through every forwarding step, so each
+//! peer processes a query at most once; this is asserted in debug builds.
+
+use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+use ripple_geom::Tuple;
+use ripple_net::{PeerId, QueryMetrics};
+use std::collections::HashSet;
+
+/// Executes RIPPLE queries over an overlay.
+pub struct Executor<'a, O> {
+    net: &'a O,
+}
+
+struct RunState<'q, Q, L> {
+    query: &'q Q,
+    answers: Vec<Tuple>,
+    metrics: QueryMetrics,
+    visited: HashSet<PeerId>,
+    _marker: std::marker::PhantomData<L>,
+}
+
+impl<'a, O: RippleOverlay> Executor<'a, O> {
+    /// Creates an executor over `net`.
+    pub fn new(net: &'a O) -> Self {
+        Self { net }
+    }
+
+    /// Processes `query` from `initiator` in the given mode, returning the
+    /// collected answers, the initiator's final state and the cost ledger.
+    pub fn run<Q>(&self, initiator: PeerId, query: &Q, mode: Mode) -> QueryOutcome<Q::Local>
+    where
+        Q: RankQuery<O::Region>,
+    {
+        let mut run = RunState {
+            query,
+            answers: Vec::new(),
+            metrics: QueryMetrics::new(),
+            visited: HashSet::new(),
+            _marker: std::marker::PhantomData,
+        };
+        let full = self.net.full_region();
+        let global = query.initial_global();
+        let (state, latency) = match mode {
+            Mode::Fast => self.fast(initiator, &global, full, false, &mut run),
+            Mode::Slow => self.slow(initiator, &global, full, &mut run),
+            Mode::Ripple(0) => self.fast(initiator, &global, full, false, &mut run),
+            Mode::Ripple(r) => self.ripple(initiator, &global, full, r, &mut run),
+            Mode::Broadcast => self.broadcast(initiator, &global, full, &mut run),
+        };
+        run.metrics.latency = latency;
+        QueryOutcome {
+            answers: run.answers,
+            state,
+            metrics: run.metrics,
+        }
+    }
+
+    /// Marks a peer visited (each peer must process a query at most once —
+    /// the restriction areas guarantee it, the debug assert audits it).
+    fn visit<Q: RankQuery<O::Region>>(&self, peer: PeerId, run: &mut RunState<'_, Q, Q::Local>) {
+        debug_assert!(
+            run.visited.insert(peer),
+            "{peer} processed the same query twice; restriction areas are broken"
+        );
+        run.metrics.visit(peer);
+    }
+
+    /// Deposits a peer's local answer with the initiator.
+    fn send_answer<Q: RankQuery<O::Region>>(
+        &self,
+        answer: Vec<Tuple>,
+        run: &mut RunState<'_, Q, Q::Local>,
+    ) {
+        run.metrics.respond(answer.len());
+        run.answers.extend(answer);
+    }
+
+    /// Algorithm 1 — and the `r = 0` loop of Algorithm 3 when
+    /// `report_states` is set. Returns the peer's final local state and the
+    /// completion latency of its restriction area.
+    ///
+    /// Under Algorithm 3 every fast-phase peer sends its local state
+    /// directly to the last slow-phase ancestor `u` (Alg. 3 line 19, with
+    /// `u` forwarded unchanged at line 15); the recursive return value
+    /// models the union of those states, and `report_states` charges one
+    /// state-response message per peer. Under pure Algorithm 1 no state
+    /// responses exist and none are charged.
+    fn fast<Q>(
+        &self,
+        w: PeerId,
+        global: &Q::Global,
+        restriction: O::Region,
+        report_states: bool,
+        run: &mut RunState<'_, Q, Q::Local>,
+    ) -> (Q::Local, u64)
+    where
+        Q: RankQuery<O::Region>,
+    {
+        self.visit(w, run);
+        let tuples = self.net.peer_tuples(w);
+        let local = run.query.compute_local_state(tuples, global);
+        let global_w = run.query.compute_global_state(global, &local);
+
+        let mut latency = 0u64;
+        let mut remote_states = Vec::new();
+        for (target, region) in self.net.peer_links(w) {
+            let Some(restricted) = self.net.region_intersect(&region, &restriction) else {
+                continue;
+            };
+            if !run.query.is_link_relevant(&restricted, &global_w) {
+                continue;
+            }
+            run.metrics.forward();
+            let (remote, child_latency) =
+                self.fast(target, &global_w, restricted, report_states, run);
+            latency = latency.max(1 + child_latency);
+            remote_states.push(remote);
+        }
+        let answer = run.query.compute_local_answer(tuples, &local);
+        self.send_answer(answer, run);
+        if report_states {
+            run.metrics.respond(run.query.state_payload(&local));
+        }
+        let merged = if remote_states.is_empty() {
+            local
+        } else {
+            remote_states.push(local);
+            run.query.update_local_state(remote_states)
+        };
+        (merged, latency)
+    }
+
+    /// Algorithm 2. Returns the final local state and completion latency.
+    fn slow<Q>(
+        &self,
+        w: PeerId,
+        global: &Q::Global,
+        restriction: O::Region,
+        run: &mut RunState<'_, Q, Q::Local>,
+    ) -> (Q::Local, u64)
+    where
+        Q: RankQuery<O::Region>,
+    {
+        self.visit(w, run);
+        let tuples = self.net.peer_tuples(w);
+        let mut local = run.query.compute_local_state(tuples, global);
+        let mut global_w = run.query.compute_global_state(global, &local);
+
+        // sortLinks: decreasing priority of the restricted regions.
+        let mut links: Vec<(PeerId, O::Region)> = self
+            .net
+            .peer_links(w)
+            .into_iter()
+            .filter_map(|(t, region)| {
+                self.net
+                    .region_intersect(&region, &restriction)
+                    .map(|rr| (t, rr))
+            })
+            .collect();
+        links.sort_by(|a, b| {
+            run.query
+                .priority(&b.1)
+                .total_cmp(&run.query.priority(&a.1))
+        });
+
+        let mut latency = 0u64;
+        for (target, restricted) in links {
+            if !run.query.is_link_relevant(&restricted, &global_w) {
+                continue;
+            }
+            run.metrics.forward();
+            let (remote, child_latency) = self.slow(target, &global_w, restricted, run);
+            latency += 1 + child_latency;
+            // the state response from the child
+            run.metrics.respond(run.query.state_payload(&remote));
+            local = run.query.update_local_state(vec![local, remote]);
+            global_w = run.query.compute_global_state(global, &local);
+        }
+        let answer = run.query.compute_local_answer(tuples, &local);
+        self.send_answer(answer, run);
+        (local, latency)
+    }
+
+    /// Algorithm 3 with ripple parameter `r`.
+    fn ripple<Q>(
+        &self,
+        w: PeerId,
+        global: &Q::Global,
+        restriction: O::Region,
+        r: u32,
+        run: &mut RunState<'_, Q, Q::Local>,
+    ) -> (Q::Local, u64)
+    where
+        Q: RankQuery<O::Region>,
+    {
+        if r == 0 {
+            // Below the hop budget every peer runs the fast loop; local
+            // states stream back to the last slow-phase ancestor, which the
+            // recursive return value models.
+            return self.fast(w, global, restriction, true, run);
+        }
+        self.visit(w, run);
+        let tuples = self.net.peer_tuples(w);
+        let mut local = run.query.compute_local_state(tuples, global);
+        let mut global_w = run.query.compute_global_state(global, &local);
+
+        let mut links: Vec<(PeerId, O::Region)> = self
+            .net
+            .peer_links(w)
+            .into_iter()
+            .filter_map(|(t, region)| {
+                self.net
+                    .region_intersect(&region, &restriction)
+                    .map(|rr| (t, rr))
+            })
+            .collect();
+        links.sort_by(|a, b| {
+            run.query
+                .priority(&b.1)
+                .total_cmp(&run.query.priority(&a.1))
+        });
+
+        let mut latency = 0u64;
+        for (target, restricted) in links {
+            if !run.query.is_link_relevant(&restricted, &global_w) {
+                continue;
+            }
+            run.metrics.forward();
+            let (remote, child_latency) = if r == 1 {
+                // Fast-phase peers charge their own state responses (they
+                // report directly to this peer).
+                self.fast(target, &global_w, restricted, true, run)
+            } else {
+                let out = self.ripple(target, &global_w, restricted, r - 1, run);
+                run.metrics.respond(run.query.state_payload(&out.0));
+                out
+            };
+            latency += 1 + child_latency;
+            local = run.query.update_local_state(vec![local, remote]);
+            global_w = run.query.compute_global_state(global, &local);
+        }
+        let answer = run.query.compute_local_answer(tuples, &local);
+        self.send_answer(answer, run);
+        (local, latency)
+    }
+
+    /// Naive broadcast (Section 1): reach *every* peer in the restriction
+    /// area in parallel, ignoring states; every peer answers from purely
+    /// local knowledge.
+    fn broadcast<Q>(
+        &self,
+        w: PeerId,
+        global: &Q::Global,
+        restriction: O::Region,
+        run: &mut RunState<'_, Q, Q::Local>,
+    ) -> (Q::Local, u64)
+    where
+        Q: RankQuery<O::Region>,
+    {
+        self.visit(w, run);
+        let tuples = self.net.peer_tuples(w);
+        let local = run.query.compute_local_state(tuples, global);
+
+        let mut latency = 0u64;
+        for (target, region) in self.net.peer_links(w) {
+            let Some(restricted) = self.net.region_intersect(&region, &restriction) else {
+                continue;
+            };
+            run.metrics.forward();
+            // the global state is never refined — pure flooding
+            let (_, child_latency) = self.broadcast(target, global, restricted, run);
+            latency = latency.max(1 + child_latency);
+        }
+        let answer = run.query.compute_local_answer(tuples, &local);
+        self.send_answer(answer, run);
+        (local, latency)
+    }
+}

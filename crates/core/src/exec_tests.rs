@@ -1,0 +1,238 @@
+//! Framework-level tests of the three propagation templates, driven on
+//! *perfect* overlays so the Lemma 1–3 worst cases can be checked for
+//! exact equality (not just as bounds).
+
+use crate::exec::Executor;
+use crate::framework::{Mode, Unprioritized};
+use crate::latency::{fast_worst_case, ripple_worst_case, slow_worst_case};
+use crate::topk::TopKQuery;
+use ripple_geom::{LinearScore, Point, Tuple};
+use ripple_midas::MidasNetwork;
+use ripple_net::PeerId;
+
+/// A perfectly balanced MIDAS overlay of `2^depth` peers over a 1-d
+/// domain: every leaf at exactly `depth`, every sibling subtree full.
+fn perfect_overlay(depth: u32) -> MidasNetwork {
+    let n = 1usize << depth;
+    let mut net = MidasNetwork::new(1, false);
+    // round r splits each of the 2^(r−1) cells once: join at the centre of
+    // every cell's upper half, keeping the tree perfectly balanced
+    for r in 1..=depth {
+        let cells = 1usize << (r - 1);
+        let width = 1.0 / cells as f64;
+        for c in 0..cells {
+            let key = c as f64 * width + 0.75 * width;
+            net.join(&Point::new(vec![key]));
+        }
+    }
+    assert_eq!(net.peer_count(), n);
+    assert_eq!(net.delta(), depth);
+    // perfection: every peer at full depth
+    for &p in net.live_peers() {
+        assert_eq!(net.peer(p).depth(), depth);
+    }
+    net
+}
+
+/// An unprunable query: top-k with k far beyond the (empty) data, so every
+/// link stays relevant and the propagation covers the whole network —
+/// exactly the worst case of the Lemmas.
+fn unprunable() -> Unprioritized<TopKQuery<LinearScore>> {
+    Unprioritized(TopKQuery::new(LinearScore::uniform(1), usize::MAX / 2))
+}
+
+#[test]
+fn fast_latency_equals_lemma_1_exactly() {
+    for depth in [3u32, 4, 5, 6] {
+        let net = perfect_overlay(depth);
+        let q = unprunable();
+        let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Fast);
+        assert_eq!(out.metrics.latency, fast_worst_case(depth, 0), "Δ = {depth}");
+        assert_eq!(out.metrics.peers_visited as usize, 1 << depth);
+    }
+}
+
+#[test]
+fn slow_latency_equals_lemma_2_exactly() {
+    for depth in [3u32, 4, 5] {
+        let net = perfect_overlay(depth);
+        let q = unprunable();
+        let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Slow);
+        assert_eq!(out.metrics.latency, slow_worst_case(depth, 0), "Δ = {depth}");
+        assert_eq!(out.metrics.peers_visited as usize, 1 << depth);
+    }
+}
+
+#[test]
+fn ripple_latency_equals_lemma_3_exactly() {
+    for depth in [3u32, 4, 5] {
+        let net = perfect_overlay(depth);
+        for r in 1..=depth {
+            let q = unprunable();
+            let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Ripple(r));
+            assert_eq!(
+                out.metrics.latency,
+                ripple_worst_case(depth, 0, r),
+                "Δ = {depth}, r = {r}"
+            );
+            assert_eq!(out.metrics.peers_visited as usize, 1 << depth);
+        }
+    }
+}
+
+#[test]
+fn every_mode_visits_each_peer_exactly_once() {
+    // the restriction areas must make re-visits impossible even when
+    // nothing is pruned; the executor debug-asserts this internally, and
+    // the visit count proves it in release builds too
+    let net = perfect_overlay(5);
+    for mode in [
+        Mode::Fast,
+        Mode::Slow,
+        Mode::Ripple(2),
+        Mode::Ripple(4),
+        Mode::Broadcast,
+    ] {
+        let q = unprunable();
+        let out = Executor::new(&net).run(net.live_peers()[7], &q, mode);
+        assert_eq!(
+            out.metrics.peers_visited as usize,
+            net.peer_count(),
+            "{mode:?}"
+        );
+    }
+}
+
+#[test]
+fn message_accounting_is_exact_on_perfect_overlays() {
+    let depth = 4u32;
+    let n = 1usize << depth;
+    let net = perfect_overlay(depth);
+    let q = unprunable();
+
+    // fast: one query message per non-initiator peer, one answer each,
+    // no state responses
+    let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Fast);
+    assert_eq!(out.metrics.query_messages as usize, n - 1);
+    assert_eq!(out.metrics.response_messages as usize, n, "answers only");
+
+    // slow: additionally one state response per non-initiator peer
+    let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Slow);
+    assert_eq!(out.metrics.query_messages as usize, n - 1);
+    assert_eq!(
+        out.metrics.response_messages as usize,
+        n + (n - 1),
+        "answers + state responses"
+    );
+}
+
+#[test]
+fn ripple_extremes_equal_fast_and_slow() {
+    let net = perfect_overlay(4);
+    let initiator = net.live_peers()[3];
+    let run = |mode| {
+        let q = unprunable();
+        let out = Executor::new(&net).run(initiator, &q, mode);
+        (out.metrics.latency, out.metrics.total_messages())
+    };
+    assert_eq!(run(Mode::Ripple(0)), run(Mode::Fast));
+    assert_eq!(run(Mode::Ripple(4)), run(Mode::Slow));
+    assert_eq!(run(Mode::Ripple(99)), run(Mode::Slow));
+}
+
+/// A two-peer overlay exercises the degenerate edges of all templates.
+#[test]
+fn two_peer_overlay_edges() {
+    let mut net = MidasNetwork::new(1, false);
+    net.join(&Point::new(vec![0.75]));
+    net.insert_tuple(Tuple::new(1, vec![0.1]));
+    net.insert_tuple(Tuple::new(2, vec![0.9]));
+    let q = TopKQuery::new(LinearScore::uniform(1), 1);
+    for (mode, want_latency) in [(Mode::Fast, 1), (Mode::Slow, 1)] {
+        let out = Executor::new(&net).run(net.live_peers()[0], &q, mode);
+        assert_eq!(out.metrics.latency, want_latency, "{mode:?}");
+        assert_eq!(out.metrics.peers_visited, 2);
+        // the single best tuple is id 2 (higher coordinate wins)
+        assert!(out.answers.iter().any(|t| t.id == 2));
+    }
+}
+
+/// The initiator's position must not change the answer, only the cost.
+#[test]
+fn initiator_independence_on_perfect_overlay() {
+    let mut net = perfect_overlay(4);
+    for i in 0..32u64 {
+        net.insert_tuple(Tuple::new(i, vec![(i as f64 + 0.5) / 32.0]));
+    }
+    let q = TopKQuery::new(LinearScore::uniform(1), 3);
+    let reference: Vec<u64> = {
+        let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Slow);
+        let mut ids: Vec<u64> = out.answers.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids
+    };
+    for &p in net.live_peers().iter().skip(1).take(6) {
+        let out = Executor::new(&net).run(p, &q, Mode::Slow);
+        let mut ids: Vec<u64> = out.answers.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        // answers may contain extra candidates; the top-3 must agree
+        assert!(
+            reference.iter().all(|r| ids.contains(r)),
+            "initiator {p} lost {reference:?} (got {ids:?})"
+        );
+    }
+}
+
+/// `PeerId`s reported by the ledger refer to real processing events.
+#[test]
+fn broadcast_message_shape() {
+    let net = perfect_overlay(3);
+    let q = unprunable();
+    let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Broadcast);
+    // broadcast = fast without pruning; on an unprunable query they match
+    let out_fast = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Fast);
+    assert_eq!(out.metrics.latency, out_fast.metrics.latency);
+    assert_eq!(out.metrics.query_messages, out_fast.metrics.query_messages);
+}
+
+/// The executor only needs `RippleOverlay`; a PeerId picked from the live
+/// list is always a valid initiator.
+#[test]
+fn arbitrary_initiators_work() {
+    let net = perfect_overlay(4);
+    let q = unprunable();
+    for idx in [0usize, 5, 15] {
+        let p: PeerId = net.live_peers()[idx];
+        let out = Executor::new(&net).run(p, &q, Mode::Ripple(2));
+        assert_eq!(out.metrics.peers_visited as usize, net.peer_count());
+    }
+}
+
+/// `RankQuery` object usage: the trait remains usable through the wrapper
+/// without changing results (pruning semantics preserved).
+#[test]
+fn unprioritized_wrapper_preserves_answers() {
+    let mut net = perfect_overlay(4);
+    for i in 0..64u64 {
+        net.insert_tuple(Tuple::new(i, vec![((i * 37) % 64) as f64 / 64.0]));
+    }
+    let plain = TopKQuery::new(LinearScore::uniform(1), 5);
+    let wrapped = Unprioritized(TopKQuery::new(LinearScore::uniform(1), 5));
+    let a = Executor::new(&net).run(net.live_peers()[0], &plain, Mode::Slow);
+    let b = Executor::new(&net).run(net.live_peers()[0], &wrapped, Mode::Slow);
+    let ids = |answers: &[Tuple]| {
+        let mut v: Vec<u64> = answers.iter().map(|t| t.id).collect();
+        v.sort_unstable();
+        v
+    };
+    // both contain the true top-5; the wrapper may fetch more candidates
+    let top5: Vec<u64> = {
+        let mut scored: Vec<&Tuple> = a.answers.iter().collect();
+        scored.sort_by(|x, y| y.point.coord(0).total_cmp(&x.point.coord(0)));
+        let mut v: Vec<u64> = scored.iter().take(5).map(|t| t.id).collect();
+        v.sort_unstable();
+        v
+    };
+    assert!(top5.iter().all(|t| ids(&b.answers).contains(t)));
+    assert!(top5.iter().all(|t| ids(&a.answers).contains(t)));
+}

@@ -1,0 +1,176 @@
+//! The abstract interfaces of the RIPPLE framework (Section 3.1).
+//!
+//! RIPPLE's three propagation templates (`fast`, `slow`, `ripple`) are
+//! *query-agnostic*: Algorithms 1–3 of the paper are written against six
+//! abstract functions whose behaviour depends on the query type. The
+//! [`RankQuery`] trait captures those six functions; the [`RippleOverlay`]
+//! trait captures the little RIPPLE assumes about the substrate — each peer
+//! exposes links annotated with **regions** that, together with the peer's
+//! zone, partition the domain.
+
+use ripple_geom::Tuple;
+use ripple_net::{PeerId, QueryMetrics};
+
+/// What RIPPLE requires from a DHT substrate.
+///
+/// Implementations exist for MIDAS (regions are sibling-subtree boxes) and
+/// Chord (regions are ring arcs). The framework never inspects a region
+/// directly — it only intersects regions with restriction areas and hands
+/// them to the query's bound functions.
+pub trait RippleOverlay {
+    /// The region/restriction-area representation of this substrate.
+    type Region: Clone;
+
+    /// The region covering the entire domain (the initial restriction area).
+    fn full_region(&self) -> Self::Region;
+
+    /// Intersection of a link region with a restriction area; `None` when
+    /// empty. The returned area becomes the forwarded restriction, which is
+    /// what guarantees every peer is reached at most once.
+    fn region_intersect(&self, region: &Self::Region, restriction: &Self::Region)
+        -> Option<Self::Region>;
+
+    /// The links of `peer` with their regions, resolved to live targets.
+    /// The regions of all links plus the peer's zone partition the domain.
+    fn peer_links(&self, peer: PeerId) -> Vec<(PeerId, Self::Region)>;
+
+    /// The tuples stored at `peer`.
+    fn peer_tuples(&self, peer: PeerId) -> &[Tuple];
+
+    /// Routes a DHT lookup for `key` from `from`, returning the responsible
+    /// peer and the hop count, when the substrate supports point lookups.
+    ///
+    /// Query drivers use this to move processing to the most promising peer
+    /// (e.g. the owner of a unimodal score's peak) before rippling outward;
+    /// the hops are charged to the query like any other messages.
+    fn route_lookup(&self, _from: PeerId, _key: &ripple_geom::Point) -> Option<(PeerId, u32)> {
+        None
+    }
+}
+
+/// The six abstract functions a rank query plugs into RIPPLE
+/// (Section 3.1), named after the paper's pseudo-code.
+pub trait RankQuery<R> {
+    /// The global state `S^G`: the view of query progress forwarded along
+    /// with the query.
+    type Global: Clone;
+    /// The local state `S^L`: information collected at one peer (and states
+    /// it explicitly requested).
+    type Local;
+
+    /// The neutral global state the initiator starts from.
+    fn initial_global(&self) -> Self::Global;
+
+    /// `computeLocalState`: derive a local state from the peer's tuples and
+    /// the received global state.
+    fn compute_local_state(&self, tuples: &[Tuple], global: &Self::Global) -> Self::Local;
+
+    /// `computeGlobalState`: combine the *received* global state with the
+    /// current local state.
+    fn compute_global_state(&self, global: &Self::Global, local: &Self::Local) -> Self::Global;
+
+    /// `updateLocalState`: merge several local states into one.
+    fn update_local_state(&self, states: Vec<Self::Local>) -> Self::Local;
+
+    /// `computeLocalAnswer`: the peer's qualifying tuples under its final
+    /// local state; these are sent to the initiator.
+    fn compute_local_answer(&self, tuples: &[Tuple], local: &Self::Local) -> Vec<Tuple>;
+
+    /// `isLinkRelevant` (second check): may the given (already
+    /// restriction-intersected) region contribute to the answer, given the
+    /// global state? The first check — overlap with the restriction area —
+    /// is performed by the framework via `region_intersect`.
+    fn is_link_relevant(&self, region: &R, global: &Self::Global) -> bool;
+
+    /// `comp`: the priority of a region; `slow`/`ripple` visit links in
+    /// decreasing priority.
+    fn priority(&self, region: &R) -> f64;
+
+    /// Number of tuples carried by a local-state response message
+    /// (communication-volume accounting; 0 for scalar states).
+    fn state_payload(&self, _local: &Self::Local) -> usize {
+        0
+    }
+}
+
+/// Result of one distributed query execution.
+pub struct QueryOutcome<L> {
+    /// The local answers of every visited peer, as received by the
+    /// initiator. Query-specific post-processing (take-top-k, final skyline,
+    /// arg-min φ) turns these into the final answer.
+    pub answers: Vec<Tuple>,
+    /// The initiator's final local state.
+    pub state: L,
+    /// The cost ledger of the execution.
+    pub metrics: QueryMetrics,
+}
+
+/// Ablation wrapper: the wrapped query with link prioritisation disabled
+/// (`comp` returns a constant, so `slow`/`ripple` visit links in arbitrary
+/// order). Isolates how much of RIPPLE's practical performance comes from
+/// the `sortLinks` guidance versus the state-based pruning alone.
+pub struct Unprioritized<Q>(pub Q);
+
+impl<R, Q: RankQuery<R>> RankQuery<R> for Unprioritized<Q> {
+    type Global = Q::Global;
+    type Local = Q::Local;
+
+    fn initial_global(&self) -> Self::Global {
+        self.0.initial_global()
+    }
+
+    fn compute_local_state(&self, tuples: &[Tuple], global: &Self::Global) -> Self::Local {
+        self.0.compute_local_state(tuples, global)
+    }
+
+    fn compute_global_state(&self, global: &Self::Global, local: &Self::Local) -> Self::Global {
+        self.0.compute_global_state(global, local)
+    }
+
+    fn update_local_state(&self, states: Vec<Self::Local>) -> Self::Local {
+        self.0.update_local_state(states)
+    }
+
+    fn compute_local_answer(&self, tuples: &[Tuple], local: &Self::Local) -> Vec<Tuple> {
+        self.0.compute_local_answer(tuples, local)
+    }
+
+    fn is_link_relevant(&self, region: &R, global: &Self::Global) -> bool {
+        self.0.is_link_relevant(region, global)
+    }
+
+    fn priority(&self, _region: &R) -> f64 {
+        0.0
+    }
+
+    fn state_payload(&self, local: &Self::Local) -> usize {
+        self.0.state_payload(local)
+    }
+}
+
+/// The execution mode of Algorithm 3, determined by the ripple parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// `r = 0`: Algorithm 1 — all relevant links contacted at once.
+    Fast,
+    /// `r ≥ Δ`: Algorithm 2 — links visited sequentially, state folded in
+    /// after every visit.
+    Slow,
+    /// General Algorithm 3 with the given ripple parameter.
+    Ripple(u32),
+    /// Naive processing (Section 1): flood every peer regardless of state,
+    /// collect every local answer. The lower bound on latency and the upper
+    /// bound on communication.
+    Broadcast,
+}
+
+impl Mode {
+    /// The effective ripple parameter (`u32::MAX` stands in for "≥ Δ").
+    pub fn r(&self) -> u32 {
+        match self {
+            Mode::Fast | Mode::Broadcast => 0,
+            Mode::Slow => u32::MAX,
+            Mode::Ripple(r) => *r,
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! RIPPLE: a scalable framework for distributed processing of rank queries
+//! (Tsatsanifos, Sacharidis, Sellis — EDBT 2014).
+//!
+//! This crate is the paper's primary contribution: the generic propagation
+//! framework of Section 3 and its three instantiations.
+//!
+//! * [`framework`] — the abstract interfaces: [`RankQuery`] (the six
+//!   query-specific functions of Algorithms 1–3) and [`RippleOverlay`] (what
+//!   RIPPLE assumes from a DHT: links annotated with domain *regions*).
+//! * [`exec`] — the three propagation templates: `fast` (Alg. 1), `slow`
+//!   (Alg. 2) and `ripple(r)` (Alg. 3), plus the naive broadcast baseline,
+//!   with hop/message accounting that matches Lemmas 1–3.
+//! * [`topk`] — top-k queries (Section 4, Algs. 4–9).
+//! * [`skyline`] — skyline queries (Section 5, Algs. 10–15).
+//! * [`diversify`] — k-diversification (Section 6, Algs. 16–23), the first
+//!   distributed solution for this query type.
+//! * [`latency`] — the worst-case latency recurrences of Lemmas 1–3.
+//! * [`range`] — range queries as the degenerate (state-free) RIPPLE
+//!   instantiation the introduction contrasts rank queries with.
+//! * [`cache`] — BRANCA/ARTO-style query-side result caching (Section 2.1).
+//! * The [`RippleOverlay`] implementation for MIDAS lives in
+//!   [`midas_impl`]; the Chord implementation lives in the `ripple-chord`
+//!   crate, demonstrating the framework's substrate-genericity.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ripple_core::framework::Mode;
+//! use ripple_core::topk::run_topk;
+//! use ripple_geom::{LinearScore, Tuple};
+//! use ripple_midas::MidasNetwork;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let mut net = MidasNetwork::build(2, 64, false, &mut rng);
+//! for i in 0..500u64 {
+//!     let p = vec![rand::Rng::gen::<f64>(&mut rng), rand::Rng::gen::<f64>(&mut rng)];
+//!     net.insert_tuple(Tuple::new(i, p));
+//! }
+//! let initiator = net.random_peer(&mut rng);
+//! let (top, metrics) = run_topk(&net, initiator, LinearScore::uniform(2), 10, Mode::Fast);
+//! assert_eq!(top.len(), 10);
+//! assert!(metrics.latency <= net.delta() as u64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod diversify;
+pub mod exec;
+#[cfg(test)]
+mod exec_tests;
+pub mod framework;
+pub mod latency;
+pub mod midas_impl;
+pub mod range;
+pub mod skyline;
+pub mod topk;
+
+pub use exec::Executor;
+pub use framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+pub use range::{run_range, RangeQuery};
+pub use skyline::{run_skyline, run_skyline_query, SkylineQuery};
+pub use topk::{run_topk, TopKQuery};

@@ -1,0 +1,72 @@
+//! RIPPLE over MIDAS: the substrate adapter.
+//!
+//! In MIDAS "the regions and the restriction areas ... are subtrees"
+//! (Section 3.2): the region of peer `w`'s `i`-th link is the box of the
+//! sibling subtree rooted at depth `i`. Because sibling-subtree boxes are
+//! nested or disjoint, a link region intersected with a restriction area is
+//! either empty or the link region itself, so restriction intersections stay
+//! exact rectangles and every peer is reached at most once.
+
+use crate::framework::RippleOverlay;
+use ripple_geom::{Rect, Tuple};
+use ripple_midas::MidasNetwork;
+use ripple_net::PeerId;
+
+impl RippleOverlay for MidasNetwork {
+    type Region = Rect;
+
+    fn full_region(&self) -> Rect {
+        Rect::unit(self.dims())
+    }
+
+    fn region_intersect(&self, region: &Rect, restriction: &Rect) -> Option<Rect> {
+        region.intersection(restriction)
+    }
+
+    fn peer_links(&self, peer: PeerId) -> Vec<(PeerId, Rect)> {
+        let p = self.peer(peer);
+        p.links
+            .iter()
+            .map(|l| (self.resolve(l), l.region.clone()))
+            .collect()
+    }
+
+    fn peer_tuples(&self, peer: PeerId) -> &[Tuple] {
+        self.peer(peer).store.tuples()
+    }
+
+    fn route_lookup(&self, from: PeerId, key: &ripple_geom::Point) -> Option<(PeerId, u32)> {
+        Some(self.route(from, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn links_partition_with_zone() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let net = MidasNetwork::build(2, 32, false, &mut rng);
+        for &id in net.live_peers() {
+            let links = net.peer_links(id);
+            let vol: f64 = links.iter().map(|(_, r)| r.volume()).sum::<f64>()
+                + net.peer(id).zone.volume();
+            assert!((vol - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subtree_intersection_is_all_or_nothing() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = MidasNetwork::build(2, 64, false, &mut rng);
+        let a = net.random_peer(&mut rng);
+        for (_, region) in net.peer_links(a) {
+            let full = net.full_region();
+            // intersect with the full domain: identity
+            assert_eq!(net.region_intersect(&region, &full), Some(region.clone()));
+        }
+    }
+}

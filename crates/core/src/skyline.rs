@@ -1,0 +1,218 @@
+//! Skyline queries over RIPPLE (Section 5, Algorithms 10–15).
+//!
+//! The abstract query is empty; the abstract state is a *partial skyline* —
+//! a set of tuples none of which dominates another. A link region is pruned
+//! as soon as some state tuple dominates the entire region (its best
+//! corner), and `slow`/`ripple` prioritise regions closer to the origin,
+//! where skyline tuples live.
+
+use crate::exec::Executor;
+use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+use ripple_geom::{dominance, Norm, Rect, Tuple};
+use ripple_net::{PeerId, QueryMetrics};
+
+/// A skyline query (lower values better on every dimension), optionally
+/// restricted to a *constraint* box — the query DSL was designed around
+/// (Section 2.2: processing anchors at the region containing the
+/// constraint's lower-left corner).
+#[derive(Clone, Debug, Default)]
+pub struct SkylineQuery {
+    /// When set, only tuples inside this box participate.
+    pub constraint: Option<Rect>,
+}
+
+impl SkylineQuery {
+    /// The unconstrained skyline query.
+    pub fn new() -> Self {
+        Self { constraint: None }
+    }
+
+    /// A skyline query over the tuples inside `constraint`.
+    pub fn constrained(constraint: Rect) -> Self {
+        Self {
+            constraint: Some(constraint),
+        }
+    }
+
+    fn local_tuples<'t>(&self, tuples: &'t [Tuple]) -> Vec<&'t Tuple> {
+        tuples
+            .iter()
+            .filter(|t| {
+                self.constraint
+                    .as_ref()
+                    .is_none_or(|c| c.contains(&t.point))
+            })
+            .collect()
+    }
+}
+
+impl RankQuery<Rect> for SkylineQuery {
+    /// A partial skyline.
+    type Global = Vec<Tuple>;
+    /// The local tuples that survive the partial skyline, plus any remote
+    /// states folded in by `slow`/`ripple`.
+    type Local = Vec<Tuple>;
+
+    fn initial_global(&self) -> Vec<Tuple> {
+        Vec::new()
+    }
+
+    /// Algorithm 10: local skyline (of the constraint-qualifying tuples),
+    /// thinned by the received global state.
+    fn compute_local_state(&self, tuples: &[Tuple], global: &Vec<Tuple>) -> Vec<Tuple> {
+        let qualifying: Vec<Tuple> = self.local_tuples(tuples).into_iter().cloned().collect();
+        let local_sky = dominance::skyline(&qualifying);
+        local_sky
+            .into_iter()
+            .filter(|t| !global.iter().any(|g| dominance::dominates(&g.point, &t.point)))
+            .collect()
+    }
+
+    /// Algorithm 11: skyline of the union (incremental merge — both inputs
+    /// are already skylines).
+    fn compute_global_state(&self, global: &Vec<Tuple>, local: &Vec<Tuple>) -> Vec<Tuple> {
+        dominance::skyline_insert(global.clone(), local)
+    }
+
+    /// Algorithm 13: skyline of the union of the states (folded
+    /// incrementally — every input is already a skyline).
+    fn update_local_state(&self, states: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+        let mut it = states.into_iter();
+        let first = it.next().unwrap_or_default();
+        it.fold(first, |acc, s| dominance::skyline_insert(acc, &s))
+    }
+
+    /// Algorithm 12: the local tuples among the state.
+    fn compute_local_answer(&self, tuples: &[Tuple], local: &Vec<Tuple>) -> Vec<Tuple> {
+        local
+            .iter()
+            .filter(|s| tuples.iter().any(|t| t.id == s.id))
+            .cloned()
+            .collect()
+    }
+
+    /// Algorithm 14: prune regions dominated in their entirety, plus — for
+    /// constrained queries — regions disjoint from the constraint box.
+    fn is_link_relevant(&self, region: &Rect, global: &Vec<Tuple>) -> bool {
+        if let Some(c) = &self.constraint {
+            if !c.intersects(region) {
+                return false;
+            }
+        }
+        !global
+            .iter()
+            .any(|s| dominance::dominates_rect(&s.point, region))
+    }
+
+    /// Algorithm 15: regions closer to the origin first (`d⁻`).
+    fn priority(&self, region: &Rect) -> f64 {
+        let origin = ripple_geom::Point::origin(region.dims());
+        -Norm::L2.min_dist(region, &origin)
+    }
+
+    /// Skyline states ship their member tuples.
+    fn state_payload(&self, local: &Vec<Tuple>) -> usize {
+        local.len()
+    }
+}
+
+/// Runs a skyline query and merges the received answers into the global
+/// skyline at the initiator.
+pub fn run_skyline<O>(net: &O, initiator: PeerId, mode: Mode) -> (Vec<Tuple>, QueryMetrics)
+where
+    O: RippleOverlay<Region = Rect>,
+{
+    run_skyline_query(net, initiator, SkylineQuery::new(), mode)
+}
+
+/// Runs a (possibly constrained) skyline query.
+pub fn run_skyline_query<O>(
+    net: &O,
+    initiator: PeerId,
+    query: SkylineQuery,
+    mode: Mode,
+) -> (Vec<Tuple>, QueryMetrics)
+where
+    O: RippleOverlay<Region = Rect>,
+{
+    let QueryOutcome {
+        answers, metrics, ..
+    } = Executor::new(net).run(initiator, &query, mode);
+    let mut sky = dominance::skyline(&answers);
+    sky.sort_by_key(|t| t.id);
+    (sky, metrics)
+}
+
+/// Reference answer: centralized skyline, sorted by id (test oracle).
+pub fn centralized_skyline(tuples: &[Tuple]) -> Vec<Tuple> {
+    let mut sky = dominance::skyline(tuples);
+    sky.sort_by_key(|t| t.id);
+    sky
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, c: &[f64]) -> Tuple {
+        Tuple::new(id, c.to_vec())
+    }
+
+    #[test]
+    fn local_state_is_thinned_by_global() {
+        let q = SkylineQuery::new();
+        let tuples = vec![t(1, &[0.5, 0.5]), t(2, &[0.9, 0.9])];
+        let global = vec![t(10, &[0.4, 0.4])]; // dominates both
+        let s = q.compute_local_state(&tuples, &global);
+        assert!(s.is_empty(), "dominated local tuples must not survive");
+        let s2 = q.compute_local_state(&tuples, &Vec::new());
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2[0].id, 1);
+    }
+
+    #[test]
+    fn global_state_merges() {
+        let q = SkylineQuery::new();
+        let g = vec![t(1, &[0.1, 0.9])];
+        let l = vec![t(2, &[0.9, 0.1]), t(3, &[0.95, 0.2])];
+        let merged = q.compute_global_state(&g, &l);
+        let mut ids: Vec<u64> = merged.iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn link_pruning_by_domination() {
+        let q = SkylineQuery::new();
+        let global = vec![t(1, &[0.2, 0.2])];
+        let dominated = Rect::new(vec![0.5, 0.5], vec![0.9, 0.9]);
+        let alive = Rect::new(vec![0.0, 0.5], vec![0.5, 1.0]);
+        assert!(!q.is_link_relevant(&dominated, &global));
+        assert!(q.is_link_relevant(&alive, &global));
+        assert!(q.is_link_relevant(&dominated, &Vec::new()), "empty state prunes nothing");
+    }
+
+    #[test]
+    fn priority_prefers_origin() {
+        let q = SkylineQuery::new();
+        let near = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        let far = Rect::new(vec![0.5, 0.5], vec![1.0, 1.0]);
+        assert!(q.priority(&near) > q.priority(&far));
+    }
+
+    #[test]
+    fn local_answer_keeps_only_local_tuples() {
+        let q = SkylineQuery::new();
+        let tuples = vec![t(1, &[0.5, 0.5])];
+        let state = vec![t(1, &[0.5, 0.5]), t(9, &[0.1, 0.9])];
+        let a = q.compute_local_answer(&tuples, &state);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].id, 1);
+    }
+
+    #[test]
+    fn state_payload_counts_tuples() {
+        let q = SkylineQuery::new();
+        assert_eq!(q.state_payload(&vec![t(1, &[0.1, 0.1]), t(2, &[0.2, 0.05])]), 2);
+    }
+}

@@ -1,0 +1,391 @@
+//! Top-k over RIPPLE (Section 4, Algorithms 4–9).
+//!
+//! The query is `(f, k)` for a unimodal scoring function `f` (higher is
+//! better). The abstract state is the pair `(m, τ)`: "`m` tuples with score
+//! at or above `τ` have already been retrieved". Pruning uses the region
+//! upper bound `f⁺`: a link is irrelevant once `k` tuples are known and its
+//! region cannot beat the current threshold.
+
+use crate::exec::Executor;
+use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+use ripple_geom::{Rect, ScoreFn, Tuple};
+use ripple_net::{PeerId, QueryMetrics};
+
+/// The `(m, τ)` state of top-k processing. Invariant: at least `m` tuples
+/// with score `≥ τ` exist among the tuples examined so far.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopKState {
+    /// Number of qualifying tuples known.
+    pub m: usize,
+    /// Score threshold those tuples meet.
+    pub tau: f64,
+}
+
+impl TopKState {
+    /// The neutral state: zero tuples vacuously at threshold +∞. The
+    /// threshold must start *high* because states merge by `min(τ_G, τ_L)`
+    /// (Algorithm 5) — a low initial value would poison every later merge
+    /// and disable pruning. While `m < k`, `isLinkRelevant` keeps all links
+    /// alive regardless of the threshold.
+    pub fn empty() -> Self {
+        Self {
+            m: 0,
+            tau: f64::INFINITY,
+        }
+    }
+}
+
+/// A top-k query over rectangle regions.
+pub struct TopKQuery<F> {
+    /// The scoring function (provides `f` and `f⁺`).
+    pub score: F,
+    /// Number of results requested.
+    pub k: usize,
+}
+
+impl<F: ScoreFn> TopKQuery<F> {
+    /// Creates a top-k query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(score: F, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { score, k }
+    }
+
+    /// Scores of the peer's tuples, best first.
+    fn ranked<'t>(&self, tuples: &'t [Tuple]) -> Vec<(&'t Tuple, f64)> {
+        let mut scored: Vec<(&Tuple, f64)> = tuples
+            .iter()
+            .map(|t| (t, self.score.score(&t.point)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored
+    }
+}
+
+impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
+    type Global = TopKState;
+    type Local = TopKState;
+
+    fn initial_global(&self) -> TopKState {
+        TopKState::empty()
+    }
+
+    /// Algorithm 4: take up to `k` local tuples at or above the global
+    /// threshold; if the global count still falls short of `k`, top up with
+    /// the best remaining local tuples.
+    fn compute_local_state(&self, tuples: &[Tuple], global: &TopKState) -> TopKState {
+        let ranked = self.ranked(tuples);
+        let mut above: usize = ranked
+            .iter()
+            .take(self.k)
+            .take_while(|(_, s)| *s >= global.tau)
+            .count();
+        if global.m + above < self.k {
+            let missing = self.k - global.m - above;
+            above = (above + missing).min(ranked.len());
+        }
+        if above == 0 {
+            // No local contribution: an infinitely high threshold over zero
+            // tuples keeps `min(τ_G, τ_L)` and the local answer neutral.
+            return TopKState {
+                m: 0,
+                tau: f64::INFINITY,
+            };
+        }
+        TopKState {
+            m: above,
+            tau: ranked[above - 1].1,
+        }
+    }
+
+    /// Algorithm 5, strengthened with the Algorithm 7 merge.
+    ///
+    /// The paper prints `(m_G + m_L, min(τ_G, τ_L))`. The plain `min` keeps
+    /// the invariant but makes the threshold *monotonically non-improving*
+    /// along a forwarding path: a peer that locally finds `k` excellent
+    /// tuples cannot raise `τ` above an ancestor's poor threshold, so
+    /// `isLinkRelevant` (Alg. 8) never gains pruning power and `fast`
+    /// degenerates to a broadcast. Merging the two states with the
+    /// `updateLocalState` rule instead (sort by threshold, accumulate counts
+    /// until `k` — Alg. 7) is sound for the same reason Alg. 7 is: the
+    /// global and local states describe disjoint tuple sets, and "`m_1`
+    /// tuples ≥ τ_1 plus `m_2` tuples ≥ τ_2 ≥ τ_1" supports the threshold
+    /// `τ_1` with `m_1 + m_2` tuples. This is strictly tighter than the
+    /// printed `min` and is what gives the paper's Figure 4–6 behaviour.
+    fn compute_global_state(&self, global: &TopKState, local: &TopKState) -> TopKState {
+        RankQuery::<Rect>::update_local_state(self, vec![*global, *local])
+    }
+
+    /// Algorithm 7: find the highest threshold guaranteeing `k` tuples.
+    fn update_local_state(&self, mut states: Vec<TopKState>) -> TopKState {
+        states.sort_by(|a, b| b.tau.total_cmp(&a.tau));
+        let mut m = 0;
+        let mut tau = f64::INFINITY;
+        for s in &states {
+            if s.m == 0 {
+                continue;
+            }
+            m += s.m;
+            tau = s.tau;
+            if m >= self.k {
+                break;
+            }
+        }
+        if m == 0 {
+            return TopKState {
+                m: 0,
+                tau: f64::INFINITY,
+            };
+        }
+        TopKState { m, tau }
+    }
+
+    /// Algorithm 6: every local tuple at or above the local threshold.
+    fn compute_local_answer(&self, tuples: &[Tuple], local: &TopKState) -> Vec<Tuple> {
+        if local.m == 0 {
+            return Vec::new();
+        }
+        tuples
+            .iter()
+            .filter(|t| self.score.score(&t.point) >= local.tau)
+            .cloned()
+            .collect()
+    }
+
+    /// Algorithm 8: relevant while short of `k` or the region can beat `τ`.
+    fn is_link_relevant(&self, region: &Rect, global: &TopKState) -> bool {
+        global.m < self.k || self.score.upper_bound(region) >= global.tau
+    }
+
+    /// Algorithm 9: regions with higher `f⁺` first.
+    fn priority(&self, region: &Rect) -> f64 {
+        self.score.upper_bound(region)
+    }
+}
+
+/// Top-k over *multi-segment* regions (e.g. ring arcs that wrap the origin,
+/// represented as up to two disjoint intervals). A segmented region is
+/// relevant if any of its segments is, and its priority is the best segment
+/// bound — this is what lets the same [`TopKQuery`] run unchanged over
+/// Chord, demonstrating the framework's substrate-genericity (Section 3.1).
+impl<F: ScoreFn> RankQuery<Vec<Rect>> for TopKQuery<F> {
+    type Global = TopKState;
+    type Local = TopKState;
+
+    fn initial_global(&self) -> TopKState {
+        RankQuery::<Rect>::initial_global(self)
+    }
+
+    fn compute_local_state(&self, tuples: &[Tuple], global: &TopKState) -> TopKState {
+        RankQuery::<Rect>::compute_local_state(self, tuples, global)
+    }
+
+    fn compute_global_state(&self, global: &TopKState, local: &TopKState) -> TopKState {
+        RankQuery::<Rect>::compute_global_state(self, global, local)
+    }
+
+    fn update_local_state(&self, states: Vec<TopKState>) -> TopKState {
+        RankQuery::<Rect>::update_local_state(self, states)
+    }
+
+    fn compute_local_answer(&self, tuples: &[Tuple], local: &TopKState) -> Vec<Tuple> {
+        RankQuery::<Rect>::compute_local_answer(self, tuples, local)
+    }
+
+    fn is_link_relevant(&self, region: &Vec<Rect>, global: &TopKState) -> bool {
+        region
+            .iter()
+            .any(|seg| RankQuery::<Rect>::is_link_relevant(self, seg, global))
+    }
+
+    fn priority(&self, region: &Vec<Rect>) -> f64 {
+        region
+            .iter()
+            .map(|seg| self.score.upper_bound(seg))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Runs a top-k query and extracts the final answer at the initiator: the
+/// `k` best received tuples, best first.
+///
+/// When the score is unimodal with a known peak and the substrate supports
+/// point lookups, the query is first *routed to the peer owning the peak*
+/// (an ordinary DHT lookup, charged to the metrics), and processing ripples
+/// outward from there. Starting at the most promising peer is what lets the
+/// very first local state carry a tight threshold — without it, the
+/// initiator's arbitrary local tuples anchor the threshold and `fast`
+/// degenerates toward a broadcast.
+pub fn run_topk<O, F>(
+    net: &O,
+    initiator: PeerId,
+    score: F,
+    k: usize,
+    mode: Mode,
+) -> (Vec<Tuple>, QueryMetrics)
+where
+    O: RippleOverlay,
+    F: ScoreFn,
+    TopKQuery<F>: RankQuery<O::Region>,
+{
+    let query = TopKQuery::new(score, k);
+    let mut route_hops = 0u32;
+    let start = match query
+        .score
+        .peak_point()
+        .and_then(|p| net.route_lookup(initiator, &p))
+    {
+        Some((owner, hops)) if mode != Mode::Broadcast => {
+            route_hops = hops;
+            owner
+        }
+        _ => initiator,
+    };
+    let QueryOutcome {
+        mut answers,
+        mut metrics,
+        ..
+    } = Executor::new(net).run(start, &query, mode);
+    // Routing transit forwards the lookup but does not process the query:
+    // hops count as messages and latency, not as peer visits.
+    metrics.latency += route_hops as u64;
+    metrics.query_messages += route_hops as u64;
+    answers.sort_by(|a, b| {
+        query
+            .score
+            .score(&b.point)
+            .total_cmp(&query.score.score(&a.point))
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    answers.dedup_by_key(|t| t.id);
+    answers.truncate(k);
+    (answers, metrics)
+}
+
+/// Reference answer: centralized top-k over a full dataset (test oracle and
+/// initiator-side post-processing building block).
+pub fn centralized_topk<F: ScoreFn>(tuples: &[Tuple], score: &F, k: usize) -> Vec<Tuple> {
+    let mut all: Vec<Tuple> = tuples.to_vec();
+    all.sort_by(|a, b| {
+        score
+            .score(&b.point)
+            .total_cmp(&score.score(&a.point))
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_geom::LinearScore;
+
+    fn t(id: u64, c: &[f64]) -> Tuple {
+        Tuple::new(id, c.to_vec())
+    }
+
+    fn q(k: usize) -> TopKQuery<LinearScore> {
+        TopKQuery::new(LinearScore::uniform(2), k)
+    }
+
+    #[test]
+    fn local_state_takes_top_k() {
+        let query = q(2);
+        let tuples = vec![t(1, &[0.9, 0.9]), t(2, &[0.1, 0.1]), t(3, &[0.5, 0.5])];
+        let s = RankQuery::<Rect>::compute_local_state(&query, &tuples, &TopKState::empty());
+        assert_eq!(s.m, 2);
+        assert!((s.tau - 1.0).abs() < 1e-12, "threshold is the 2nd best score");
+    }
+
+    #[test]
+    fn local_state_respects_global_threshold() {
+        let query = q(2);
+        let tuples = vec![t(1, &[0.9, 0.9]), t(2, &[0.1, 0.1])];
+        // two tuples already known globally at τ = 1.5
+        let g = TopKState { m: 2, tau: 1.5 };
+        let s = RankQuery::<Rect>::compute_local_state(&query, &tuples, &g);
+        assert_eq!(s.m, 1, "only the 1.8-scoring tuple beats τ");
+        assert!((s.tau - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_state_tops_up_when_global_short() {
+        let query = q(3);
+        let tuples = vec![t(1, &[0.4, 0.4]), t(2, &[0.2, 0.2])];
+        let g = TopKState {
+            m: 1,
+            tau: 1.9, // one excellent tuple known, but we need 3
+        };
+        let s = RankQuery::<Rect>::compute_local_state(&query, &tuples, &g);
+        assert_eq!(s.m, 2, "both local tuples are needed to reach k");
+        assert!((s.tau - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_peer_is_neutral() {
+        let query = q(2);
+        let s = RankQuery::<Rect>::compute_local_state(&query, &[], &TopKState::empty());
+        assert_eq!(s.m, 0);
+        let g = RankQuery::<Rect>::compute_global_state(&query, &TopKState { m: 2, tau: 0.7 }, &s);
+        assert_eq!(g.m, 2);
+        assert_eq!(g.tau, 0.7);
+        assert!(RankQuery::<Rect>::compute_local_answer(&query, &[], &s).is_empty());
+    }
+
+    #[test]
+    fn merge_finds_highest_threshold_with_k() {
+        let query = q(7);
+        let merged = RankQuery::<Rect>::update_local_state(&query, vec![
+            TopKState { m: 5, tau: 0.9 },
+            TopKState { m: 3, tau: 0.85 },
+            TopKState { m: 5, tau: 0.8 },
+        ]);
+        assert_eq!(merged.m, 8);
+        assert!((merged.tau - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_insufficient_total() {
+        let query = q(10);
+        let merged = RankQuery::<Rect>::update_local_state(&query, vec![
+            TopKState { m: 2, tau: 0.9 },
+            TopKState { m: 3, tau: 0.5 },
+        ]);
+        assert_eq!(merged.m, 5);
+        assert!((merged.tau - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevance_pruning() {
+        let query = q(1);
+        let region = Rect::new(vec![0.0, 0.0], vec![0.3, 0.3]); // f⁺ = 0.6
+        assert!(
+            RankQuery::<Rect>::is_link_relevant(&query, &region, &TopKState { m: 0, tau: 1.5 }),
+            "still short of k"
+        );
+        assert!(
+            !RankQuery::<Rect>::is_link_relevant(&query, &region, &TopKState { m: 1, tau: 1.5 }),
+            "k reached and the region cannot beat τ"
+        );
+        assert!(RankQuery::<Rect>::is_link_relevant(&query, &region, &TopKState { m: 1, tau: 0.5 }));
+    }
+
+    #[test]
+    fn priority_orders_by_upper_bound() {
+        let query = q(1);
+        let good = Rect::new(vec![0.5, 0.5], vec![1.0, 1.0]);
+        let bad = Rect::new(vec![0.0, 0.0], vec![0.4, 0.4]);
+        assert!(RankQuery::<Rect>::priority(&query, &good) > RankQuery::<Rect>::priority(&query, &bad));
+    }
+
+    #[test]
+    fn centralized_oracle() {
+        let score = LinearScore::uniform(2);
+        let data = vec![t(1, &[0.9, 0.9]), t(2, &[0.1, 0.1]), t(3, &[0.5, 0.5])];
+        let top = centralized_topk(&data, &score, 2);
+        assert_eq!(top.iter().map(|t| t.id).collect::<Vec<_>>(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Datasets and workloads for the RIPPLE reproduction (Section 7.1).
+//!
+//! Three dataset families drive the paper's evaluation; the real NBA and
+//! MIRFLICKR files are not redistributable, so this crate generates
+//! synthetic surrogates that preserve the properties rank queries exercise
+//! (cardinality, dimensionality, skew, correlation structure, metric
+//! clustering — see DESIGN.md for the substitution argument):
+//!
+//! * [`synth`] — clustered Zipf SYNTH data in `[0,1]^D` (plus uniform and
+//!   anticorrelated standards);
+//! * [`nba`] — 22,000 six-dimensional player-season statistics with a
+//!   latent skill factor and position archetypes (lower stored value =
+//!   better performance);
+//! * [`mirflickr`] — 1M five-bucket MPEG-7 edge-histogram descriptors
+//!   clustered around texture archetypes, for L1 diversification;
+//! * [`workload`] — query-point and seed streams;
+//! * [`zipf`] — the Zipf sampler behind the cluster popularity skew.
+
+#![warn(missing_docs)]
+
+pub mod mirflickr;
+pub mod nba;
+pub mod synth;
+pub mod workload;
+pub mod zipf;
+
+pub use synth::SynthConfig;
+pub use zipf::Zipf;

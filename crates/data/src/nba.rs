@@ -1,0 +1,161 @@
+//! NBA-like player statistics (substitute for the paper's real dataset).
+//!
+//! The paper uses "22,000 six-dimensional tuples with NBA players
+//! statistics covering seasons from 1946 until 2009 … points, rebounds,
+//! assists and blocks per game". The real file is not redistributable, so
+//! this generator produces a synthetic surrogate with the properties rank
+//! queries actually exercise:
+//!
+//! * six per-game statistics (points, rebounds, assists, steals, blocks,
+//!   minutes) with right-skewed marginals (most players are role players, a
+//!   few are stars) — modelled with a latent log-normal "skill" factor;
+//! * positive inter-attribute correlation through the shared skill factor,
+//!   plus position-archetype structure (guards assist, centers rebound and
+//!   block) so the skyline is non-trivial;
+//! * every attribute mapped to `[0,1]` with **lower = better** (the
+//!   dominance convention of this reproduction), i.e. a stored value is
+//!   `1 − normalized performance`.
+//!
+//! A top-k query for "best all-around players" is then a `PeakScore` at the
+//! origin (minimize the sum of stored values) and the skyline contains the
+//! players that excel in some combination of statistics.
+
+use rand::Rng;
+use ripple_geom::{Point, Tuple};
+
+/// Paper-default number of player seasons.
+pub const PAPER_RECORDS: usize = 22_000;
+/// Number of statistics per record.
+pub const DIMS: usize = 6;
+
+/// A standard normal variate via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates `records` synthetic player-season tuples.
+pub fn generate<R: Rng>(records: usize, rng: &mut R) -> Vec<Tuple> {
+    // per-attribute league maxima (points, rebounds, assists, steals,
+    // blocks, minutes per game) used for normalization
+    const MAX: [f64; DIMS] = [40.0, 22.0, 12.0, 3.5, 4.5, 46.0];
+    (0..records as u64)
+        .map(|id| {
+            // latent overall skill: log-normal, so stars are rare
+            let skill = (0.55 * gaussian(rng) - 0.8).exp().min(3.0);
+            // position archetype: 0 guard, 1 wing, 2 big
+            let pos = rng.gen_range(0..3usize);
+            // archetype multipliers per attribute
+            let arch: [f64; DIMS] = match pos {
+                0 => [1.0, 0.45, 1.6, 1.3, 0.25, 1.0],
+                1 => [1.1, 0.9, 0.9, 1.0, 0.6, 1.0],
+                _ => [0.9, 1.7, 0.45, 0.7, 1.9, 1.0],
+            };
+            let mut coords = [0.0f64; DIMS];
+            // baseline per-game rates for an average player
+            const BASE: [f64; DIMS] = [8.5, 4.0, 2.0, 0.7, 0.5, 20.0];
+            for d in 0..DIMS {
+                let noise = (0.35 * gaussian(rng)).exp();
+                let value = (BASE[d] * arch[d] * skill * noise).clamp(0.0, MAX[d]);
+                // store 1 − normalized performance: lower is better
+                coords[d] = 1.0 - value / MAX[d];
+            }
+            Tuple::new(id, Point::new(coords.to_vec()))
+        })
+        .collect()
+}
+
+/// The paper-scale dataset (22,000 records).
+pub fn paper<R: Rng>(rng: &mut R) -> Vec<Tuple> {
+    generate(PAPER_RECORDS, rng)
+}
+
+/// Projects the six statistics onto the four the paper's queries actually
+/// use: "points, rebounds, assists and blocks per game".
+pub fn project4(data: &[Tuple]) -> Vec<Tuple> {
+    data.iter()
+        .map(|t| {
+            Tuple::new(
+                t.id,
+                Point::new(vec![
+                    t.point.coord(0), // points
+                    t.point.coord(1), // rebounds
+                    t.point.coord(2), // assists
+                    t.point.coord(4), // blocks
+                ]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ripple_geom::dominance;
+
+    #[test]
+    fn shape_and_domain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data = generate(2000, &mut rng);
+        assert_eq!(data.len(), 2000);
+        assert!(data.iter().all(|t| t.dims() == DIMS));
+        assert!(data.iter().all(|t| t.point.in_unit_cube()));
+    }
+
+    #[test]
+    fn marginals_are_right_skewed_in_performance() {
+        // most players are weak (stored value near 1), few stars near 0
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data = generate(5000, &mut rng);
+        let points: Vec<f64> = data.iter().map(|t| t.point.coord(0)).collect();
+        let mean = points.iter().sum::<f64>() / points.len() as f64;
+        let median = {
+            let mut s = points.clone();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        assert!(mean > 0.5, "most players below average performance");
+        assert!(median >= mean - 0.05, "long tail of stars expected");
+    }
+
+    #[test]
+    fn attributes_are_positively_correlated() {
+        // shared skill factor: points and minutes move together
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data = generate(5000, &mut rng);
+        let (mut mx, mut my) = (0.0, 0.0);
+        for t in &data {
+            mx += t.point.coord(0);
+            my += t.point.coord(5);
+        }
+        mx /= data.len() as f64;
+        my /= data.len() as f64;
+        let mut cov = 0.0;
+        for t in &data {
+            cov += (t.point.coord(0) - mx) * (t.point.coord(5) - my);
+        }
+        assert!(cov > 0.0, "stored values should co-vary (shared skill)");
+    }
+
+    #[test]
+    fn skyline_is_nontrivial() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let data = generate(5000, &mut rng);
+        let sky = dominance::skyline(&data);
+        assert!(
+            sky.len() > 5 && sky.len() < 1500,
+            "archetypes should yield a moderate skyline: {}",
+            sky.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(100, &mut SmallRng::seed_from_u64(5));
+        let b = generate(100, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

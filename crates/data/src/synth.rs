@@ -1,0 +1,199 @@
+//! SYNTH: clustered synthetic multidimensional data (Section 7.1).
+//!
+//! "In order to study the impact of dimensionality on all types of queries
+//! we construct clustered, synthetic, multi-dimensional datasets in
+//! `[0,1]^D` … they consist of 1,000,000 records of varied dimensionality
+//! from 2 up to 10, generated around 50,000 cluster centers according to a
+//! zipfian distribution with skewness factor equal to σ = 0.1."
+//!
+//! Cluster centres are uniform in the cube; a record picks its cluster
+//! Zipf(σ)-distributed and scatters around the centre with a small Gaussian
+//! (Box–Muller) spread, clamped to the domain. All output is deterministic
+//! in the seed.
+
+use crate::zipf::Zipf;
+use rand::Rng;
+use ripple_geom::{Point, Tuple};
+
+/// Paper-default number of records.
+pub const PAPER_RECORDS: usize = 1_000_000;
+/// Paper-default number of cluster centres.
+pub const PAPER_CLUSTERS: usize = 50_000;
+/// Paper-default Zipf skew.
+pub const PAPER_SKEW: f64 = 0.1;
+
+/// Configuration of a SYNTH dataset.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Dimensionality `D ∈ [2, 10]` in the paper.
+    pub dims: usize,
+    /// Number of records.
+    pub records: usize,
+    /// Number of cluster centres.
+    pub clusters: usize,
+    /// Zipf skew over cluster popularity.
+    pub skew: f64,
+    /// Standard deviation of the per-cluster Gaussian scatter.
+    pub spread: f64,
+}
+
+impl SynthConfig {
+    /// The paper's configuration at a given dimensionality.
+    pub fn paper(dims: usize) -> Self {
+        Self {
+            dims,
+            records: PAPER_RECORDS,
+            clusters: PAPER_CLUSTERS,
+            skew: PAPER_SKEW,
+            spread: 0.02,
+        }
+    }
+
+    /// A scaled-down configuration preserving the records : clusters ratio.
+    pub fn scaled(dims: usize, records: usize) -> Self {
+        Self {
+            dims,
+            records,
+            clusters: (records / 20).max(1),
+            skew: PAPER_SKEW,
+            spread: 0.02,
+        }
+    }
+}
+
+/// A standard normal variate via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a SYNTH dataset.
+pub fn generate<R: Rng>(cfg: &SynthConfig, rng: &mut R) -> Vec<Tuple> {
+    assert!(cfg.dims >= 1, "dimensionality must be positive");
+    let centers: Vec<Vec<f64>> = (0..cfg.clusters)
+        .map(|_| (0..cfg.dims).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let zipf = Zipf::new(cfg.clusters, cfg.skew);
+    (0..cfg.records as u64)
+        .map(|id| {
+            let c = &centers[zipf.sample(rng)];
+            let coords: Vec<f64> = c
+                .iter()
+                .map(|&m| (m + cfg.spread * gaussian(rng)).clamp(0.0, 1.0))
+                .collect();
+            Tuple::new(id, Point::new(coords))
+        })
+        .collect()
+}
+
+/// Uniform data in the unit cube (a standard comparison workload).
+pub fn uniform<R: Rng>(dims: usize, records: usize, rng: &mut R) -> Vec<Tuple> {
+    (0..records as u64)
+        .map(|id| {
+            Tuple::new(
+                id,
+                (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// Anticorrelated data: points scattered around the anti-diagonal plane —
+/// the classic hard case for skylines (many incomparable tuples).
+pub fn anticorrelated<R: Rng>(dims: usize, records: usize, rng: &mut R) -> Vec<Tuple> {
+    (0..records as u64)
+        .map(|id| {
+            // draw a point on the plane Σx = dims/2, then jitter
+            let base: f64 = rng.gen();
+            let coords: Vec<f64> = (0..dims)
+                .map(|d| {
+                    let anti = if d % 2 == 0 { base } else { 1.0 - base };
+                    (anti + 0.15 * gaussian(rng)).clamp(0.0, 1.0)
+                })
+                .collect();
+            Tuple::new(id, coords)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data = generate(&SynthConfig::scaled(5, 1000), &mut rng);
+        assert_eq!(data.len(), 1000);
+        assert!(data.iter().all(|t| t.dims() == 5));
+        assert!(data.iter().all(|t| t.point.in_unit_cube()));
+        // ids are unique and dense
+        let mut ids: Vec<u64> = data.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = SynthConfig::scaled(3, 200);
+        let a = generate(&cfg, &mut SmallRng::seed_from_u64(9));
+        let b = generate(&cfg, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = generate(&cfg, &mut SmallRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn data_is_clustered() {
+        // With few clusters and small spread, many points share a small
+        // neighbourhood — the nearest-neighbour distance distribution is
+        // much tighter than uniform.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cfg = SynthConfig {
+            dims: 2,
+            records: 400,
+            clusters: 5,
+            skew: 0.1,
+            spread: 0.01,
+        };
+        let data = generate(&cfg, &mut rng);
+        let mut near = 0;
+        for (i, a) in data.iter().enumerate() {
+            let min = data
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, b)| {
+                    (a.point.coord(0) - b.point.coord(0)).abs()
+                        + (a.point.coord(1) - b.point.coord(1)).abs()
+                })
+                .fold(f64::INFINITY, f64::min);
+            if min < 0.02 {
+                near += 1;
+            }
+        }
+        assert!(near > 300, "clustered data expected ({near}/400 near)");
+    }
+
+    #[test]
+    fn uniform_and_anticorrelated_shapes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let u = uniform(4, 100, &mut rng);
+        assert_eq!(u.len(), 100);
+        assert!(u.iter().all(|t| t.point.in_unit_cube()));
+        let a = anticorrelated(2, 500, &mut rng);
+        assert!(a.iter().all(|t| t.point.in_unit_cube()));
+        // anticorrelated: coord 0 and 1 move in opposite directions
+        let mean0: f64 = a.iter().map(|t| t.point.coord(0)).sum::<f64>() / 500.0;
+        let cov: f64 = a
+            .iter()
+            .map(|t| (t.point.coord(0) - mean0) * (t.point.coord(1) - (1.0 - mean0)))
+            .sum::<f64>()
+            / 500.0;
+        assert!(cov < 0.0, "expected negative correlation, cov = {cov}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Query workload generation (Section 7.1).
+//!
+//! "Every reported value in the figures is the average of executing 65,536
+//! queries over 16 distinct networks." Each query is issued from a
+//! uniformly random initiator; diversification queries additionally carry a
+//! uniformly random query point (or one drawn from the dataset, which keeps
+//! relevance meaningful on clustered data).
+
+use rand::Rng;
+use ripple_geom::{Point, Tuple};
+
+/// Paper-default queries per figure point.
+pub const PAPER_QUERIES: usize = 65_536;
+/// Paper-default distinct networks per figure point.
+pub const PAPER_NETWORKS: usize = 16;
+
+/// Draws a uniformly random query point in the unit cube.
+pub fn random_query_point<R: Rng>(dims: usize, rng: &mut R) -> Point {
+    Point::new((0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>())
+}
+
+/// Draws a query point near a random dataset tuple (jittered), so that
+/// relevance-driven queries land in populated space on clustered data.
+pub fn data_query_point<R: Rng>(data: &[Tuple], jitter: f64, rng: &mut R) -> Point {
+    assert!(!data.is_empty(), "need data to sample from");
+    let t = &data[rng.gen_range(0..data.len())];
+    Point::new(
+        t.point
+            .coords()
+            .iter()
+            .map(|&c| (c + jitter * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A deterministic stream of per-query seeds, so that experiments can be
+/// parallelized without sharing one RNG.
+pub fn query_seeds(base: u64, count: usize) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_points_in_cube() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(random_query_point(4, &mut rng).in_unit_cube());
+        }
+    }
+
+    #[test]
+    fn data_points_stay_near_data() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data = vec![Tuple::new(0, vec![0.5, 0.5])];
+        for _ in 0..20 {
+            let q = data_query_point(&data, 0.1, &mut rng);
+            assert!((q.coord(0) - 0.5).abs() <= 0.05 + 1e-12);
+            assert!(q.in_unit_cube());
+        }
+    }
+
+    #[test]
+    fn seeds_are_unique_and_deterministic() {
+        let a = query_seeds(7, 100);
+        let b = query_seeds(7, 100);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+        assert_ne!(query_seeds(8, 100), a);
+    }
+}

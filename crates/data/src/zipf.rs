@@ -1,0 +1,101 @@
+//! Zipf-distributed sampling.
+//!
+//! The paper's SYNTH datasets scatter points around 50,000 cluster centres
+//! "according to a zipfian distribution with skewness factor σ = 0.1". This
+//! sampler draws cluster indices `1..=n` with `P(i) ∝ 1/i^σ`.
+
+use rand::Rng;
+
+/// A Zipf(σ) sampler over `{0, …, n−1}` using a precomputed CDF.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with skew `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `sigma` is negative or non-finite.
+    pub fn new(n: usize, sigma: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "invalid skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(sigma);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees n > 0
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 0.1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..=2400).contains(&c), "uniform-ish expected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn high_skew_prefers_low_ranks() {
+        let z = Zipf::new(50, 1.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut first = 0;
+        let n = 10000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                first += 1;
+            }
+        }
+        assert!(first > n / 5, "rank 0 should dominate: {first}");
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The k-diversification objective and its bounds (Section 6).
+//!
+//! Given a query point `q`, the k-diversification query finds a set `O` of
+//! `k` tuples minimizing the objective of Eq. 1:
+//!
+//! ```text
+//! f(O, q) = λ · max_{x∈O} d_r(x, q) − (1−λ) · min_{y,z∈O} d_v(y, z)
+//! ```
+//!
+//! (the relevance term is small when all members are close to `q`; the
+//! diversity term *subtracts* the closest pair distance, so spread-out sets
+//! score lower — lower objective values are better).
+//!
+//! The greedy machinery ranks candidate insertions with the score `φ` of
+//! Eq. 3, which is exactly the increase `f(O ∪ {t}, q) − f(O, q)`:
+//!
+//! ```text
+//! φ(t, q, O) = λ · (d_r(t,q) − D_max)⁺ + (1−λ) · (d_pair − min_{x∈O} d_v(t,x))⁺
+//! ```
+//!
+//! where `D_max = max_{x∈O} d_r(x,q)` and `d_pair = min_{y,z∈O} d_v(y,z)`.
+//! Algorithm 20 needs a *lower bound* `φ⁻(region)` on the score of any tuple
+//! inside a region; we derive one from min/max rect distances (see
+//! [`DiversityQuery::phi_lower`]).
+
+use crate::norm::Norm;
+use crate::point::{Point, Tuple};
+use crate::rect::Rect;
+
+/// Aggregate statistics of a current set `O` needed to evaluate `φ` cheaply.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SetStats {
+    /// `max_{x∈O} d_r(x, q)` — relevance radius of the set (0 for empty `O`).
+    pub max_rel: f64,
+    /// `min_{y,z∈O} d_v(y, z)` — closest pair distance (domain diameter when
+    /// `|O| < 2`, so that singletons are treated as maximally diverse).
+    pub min_pair: f64,
+}
+
+/// A k-diversification query: query point, trade-off `λ` and the two
+/// distance functions `d_r` (relevance) and `d_v` (diversity).
+#[derive(Clone, Debug)]
+pub struct DiversityQuery {
+    /// The query point all relevance distances are measured from.
+    pub q: Point,
+    /// Relevance/diversity trade-off in `[0,1]`; `λ→1` favours relevance.
+    pub lambda: f64,
+    /// Relevance distance `d_r`.
+    pub dr: Norm,
+    /// Diversity distance `d_v`.
+    pub dv: Norm,
+}
+
+impl DiversityQuery {
+    /// Creates a query; both distances default to the same norm.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is outside `[0,1]`.
+    pub fn new(q: impl Into<Point>, lambda: f64, norm: Norm) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "λ must be in [0,1]");
+        Self {
+            q: q.into(),
+            lambda,
+            dr: norm,
+            dv: norm,
+        }
+    }
+
+    /// Dimensionality of the query point.
+    pub fn dims(&self) -> usize {
+        self.q.dims()
+    }
+
+    /// Statistics of a set `O` (Eq. 1 ingredients).
+    pub fn stats(&self, set: &[Tuple]) -> SetStats {
+        let max_rel = set
+            .iter()
+            .map(|t| self.dr.dist(&t.point, &self.q))
+            .fold(0.0, f64::max);
+        let mut min_pair = self.dv.unit_diameter(self.dims());
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                min_pair = min_pair.min(self.dv.dist(&set[i].point, &set[j].point));
+            }
+        }
+        SetStats { max_rel, min_pair }
+    }
+
+    /// The objective `f(O, q)` of Eq. 1. Lower is better.
+    pub fn objective(&self, set: &[Tuple]) -> f64 {
+        let s = self.stats(set);
+        self.lambda * s.max_rel - (1.0 - self.lambda) * s.min_pair
+    }
+
+    /// Insertion score `φ(t, q, O)` of Eq. 3, evaluated from precomputed
+    /// set statistics. Non-negative; 0 means inserting `t` is free.
+    pub fn phi_with_stats(&self, t: &Point, set: &[Tuple], stats: SetStats) -> f64 {
+        let rel = self.dr.dist(t, &self.q);
+        let min_dv = set
+            .iter()
+            .map(|x| self.dv.dist(t, &x.point))
+            .fold(self.dv.unit_diameter(self.dims()), f64::min);
+        let rel_loss = (rel - stats.max_rel).max(0.0);
+        let div_loss = (stats.min_pair - min_dv).max(0.0);
+        self.lambda * rel_loss + (1.0 - self.lambda) * div_loss
+    }
+
+    /// Insertion score `φ(t, q, O)` of Eq. 3.
+    pub fn phi(&self, t: &Point, set: &[Tuple]) -> f64 {
+        self.phi_with_stats(t, set, self.stats(set))
+    }
+
+    /// Lower bound `φ⁻(region, q, O)` on the insertion score of any tuple in
+    /// `region` (Algorithm 20's pruning bound).
+    ///
+    /// Soundness: for any `t ∈ region`,
+    /// * `d_r(t,q) ≥ min_dist(region, q)`, so the relevance loss is at least
+    ///   `(min_dist − D_max)⁺`; and
+    /// * `min_{x∈O} d_v(t,x) ≤ min_{x∈O} max_dist(region, x)` (max-min ≤
+    ///   min-max), so the diversity loss is at least
+    ///   `(d_pair − min_x max_dist(region,x))⁺`.
+    pub fn phi_lower(&self, region: &Rect, set: &[Tuple], stats: SetStats) -> f64 {
+        let rel_lb = (self.dr.min_dist(region, &self.q) - stats.max_rel).max(0.0);
+        let best_possible_dv = set
+            .iter()
+            .map(|x| self.dv.max_dist(region, &x.point))
+            .fold(self.dv.unit_diameter(self.dims()), f64::min);
+        let div_lb = (stats.min_pair - best_possible_dv).max(0.0);
+        self.lambda * rel_lb + (1.0 - self.lambda) * div_lb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, c: &[f64]) -> Tuple {
+        Tuple::new(id, c.to_vec())
+    }
+
+    fn q() -> DiversityQuery {
+        DiversityQuery::new(vec![0.5, 0.5], 0.5, Norm::L1)
+    }
+
+    #[test]
+    fn stats_of_pair() {
+        let set = vec![t(1, &[0.5, 0.5]), t(2, &[0.7, 0.5])];
+        let s = q().stats(&set);
+        assert!((s.max_rel - 0.2).abs() < 1e-12);
+        assert!((s.min_pair - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_degenerate_sets() {
+        let dq = q();
+        let s0 = dq.stats(&[]);
+        assert_eq!(s0.max_rel, 0.0);
+        assert_eq!(s0.min_pair, Norm::L1.unit_diameter(2));
+        let s1 = dq.stats(&[t(1, &[0.0, 0.0])]);
+        assert!((s1.max_rel - 1.0).abs() < 1e-12);
+        assert_eq!(s1.min_pair, Norm::L1.unit_diameter(2));
+    }
+
+    #[test]
+    fn phi_is_objective_delta() {
+        let dq = q();
+        let set = vec![t(1, &[0.4, 0.4]), t(2, &[0.6, 0.7]), t(3, &[0.1, 0.9])];
+        for cand in [
+            t(10, &[0.5, 0.45]),
+            t(11, &[0.95, 0.95]),
+            t(12, &[0.45, 0.42]),
+            t(13, &[0.0, 0.0]),
+        ] {
+            let mut bigger = set.clone();
+            bigger.push(cand.clone());
+            let delta = dq.objective(&bigger) - dq.objective(&set);
+            let phi = dq.phi(&cand.point, &set);
+            assert!(
+                (delta - phi).abs() < 1e-9,
+                "φ must equal Δf: {phi} vs {delta} for {cand:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_zero_in_free_case() {
+        // Case 1 of the paper: within relevance radius and farther from all
+        // members than the current closest pair.
+        let dq = q();
+        let set = vec![t(1, &[0.1, 0.5]), t(2, &[0.9, 0.5])];
+        // stats: max_rel = 0.4, min_pair = 0.8
+        let cand = Point::new(vec![0.5, 0.9]); // rel 0.4, dists 0.8, 0.8
+        assert_eq!(dq.phi(&cand, &set), 0.0);
+    }
+
+    #[test]
+    fn phi_nonnegative() {
+        let dq = q();
+        let set = vec![t(1, &[0.3, 0.3]), t(2, &[0.7, 0.7])];
+        for c in [[0.0, 0.0], [0.5, 0.5], [1.0, 0.2], [0.31, 0.29]] {
+            assert!(dq.phi(&Point::new(c.to_vec()), &set) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lambda_extremes() {
+        let set = vec![t(1, &[0.5, 0.5]), t(2, &[0.6, 0.5])];
+        // λ=1: only relevance matters
+        let rel_only = DiversityQuery::new(vec![0.5, 0.5], 1.0, Norm::L1);
+        let far = Point::new(vec![1.0, 1.0]);
+        assert!(rel_only.phi(&far, &set) > 0.0);
+        let near_dup = Point::new(vec![0.5, 0.51]);
+        assert_eq!(rel_only.phi(&near_dup, &set), 0.0, "crowding is free at λ=1");
+        // λ=0: only diversity matters
+        let div_only = DiversityQuery::new(vec![0.5, 0.5], 0.0, Norm::L1);
+        assert_eq!(div_only.phi(&far, &set), 0.0, "distance from q is free at λ=0");
+        assert!(div_only.phi(&near_dup, &set) > 0.0);
+    }
+
+    #[test]
+    fn phi_lower_is_sound() {
+        let dq = q();
+        let set = vec![t(1, &[0.2, 0.2]), t(2, &[0.8, 0.3]), t(3, &[0.5, 0.9])];
+        let stats = dq.stats(&set);
+        let region = Rect::new(vec![0.6, 0.6], vec![0.9, 0.9]);
+        let lb = dq.phi_lower(&region, &set, stats);
+        // sample a grid of points inside the region
+        for i in 0..=4 {
+            for j in 0..=4 {
+                let p = Point::new(vec![
+                    0.6 + 0.3 * i as f64 / 4.0,
+                    0.6 + 0.3 * j as f64 / 4.0,
+                ]);
+                assert!(
+                    dq.phi(&p, &set) >= lb - 1e-9,
+                    "φ⁻ not a lower bound at {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "λ must be in [0,1]")]
+    fn lambda_out_of_range_rejected() {
+        let _ = DiversityQuery::new(vec![0.5], 1.5, Norm::L2);
+    }
+
+    #[test]
+    fn objective_prefers_diverse_relevant_sets() {
+        let dq = q();
+        let crowded = vec![t(1, &[0.5, 0.5]), t(2, &[0.51, 0.5]), t(3, &[0.5, 0.51])];
+        let spread = vec![t(1, &[0.45, 0.5]), t(2, &[0.55, 0.5]), t(3, &[0.5, 0.57])];
+        assert!(dq.objective(&spread) < dq.objective(&crowded));
+    }
+}

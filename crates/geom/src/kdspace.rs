@@ -1,0 +1,385 @@
+//! Binary path ↔ rectangle arithmetic for the MIDAS virtual k-d tree.
+//!
+//! MIDAS (Section 2.3) organises peers as the leaves of a virtual k-d tree
+//! over the domain. Every tree node is identified by its root path: the empty
+//! id for the root, and the parent id extended by `0` (left / lower half) or
+//! `1` (right / upper half). Splits cycle through the dimensions with depth —
+//! level `i` splits dimension `i mod D` at the midpoint — which is the
+//! arrangement Section 5.2's lower-border patterns assume.
+//!
+//! [`BitPath`] encodes such an id (up to 128 levels, far beyond any
+//! realistic overlay depth), and this module derives zones, sibling-subtree
+//! regions, and the Section 5.2 border patterns from it.
+
+use crate::rect::Rect;
+use std::fmt;
+
+/// A node id in the virtual k-d tree: the bit path from the root.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitPath {
+    /// Path bits, most significant first (bit 0 of the path is the MSB-side
+    /// of the logical sequence; stored right-aligned in `bits`).
+    bits: u128,
+    len: u32,
+}
+
+impl BitPath {
+    /// Maximum supported depth.
+    pub const MAX_LEN: u32 = 128;
+
+    /// The root id `∅`.
+    pub const fn root() -> Self {
+        Self { bits: 0, len: 0 }
+    }
+
+    /// Builds a path from a bit slice (index 0 = first split).
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(bits.len() <= Self::MAX_LEN as usize, "path too deep");
+        let mut p = Self::root();
+        for &b in bits {
+            p = p.child(b);
+        }
+        p
+    }
+
+    /// Parses a path from a `0`/`1` string, e.g. `"0100"`.
+    ///
+    /// # Panics
+    /// Panics on characters other than `0`/`1` or on overly long input.
+    pub fn parse(s: &str) -> Self {
+        Self::from_bits(
+            &s.chars()
+                .map(|c| match c {
+                    '0' => false,
+                    '1' => true,
+                    other => panic!("invalid path character {other:?}"),
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Depth of the node (number of bits).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True for the root id.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th bit of the path (0-based from the root).
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.len, "bit index {i} out of range");
+        (self.bits >> (self.len - 1 - i)) & 1 == 1
+    }
+
+    /// The id of the left (`false`) or right (`true`) child.
+    #[inline]
+    pub fn child(&self, bit: bool) -> Self {
+        assert!(self.len < Self::MAX_LEN, "path too deep");
+        Self {
+            bits: (self.bits << 1) | bit as u128,
+            len: self.len + 1,
+        }
+    }
+
+    /// The parent id; `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        (self.len > 0).then(|| Self {
+            bits: self.bits >> 1,
+            len: self.len - 1,
+        })
+    }
+
+    /// The sibling id (last bit flipped); `None` for the root.
+    pub fn sibling(&self) -> Option<Self> {
+        (self.len > 0).then_some(Self {
+            bits: self.bits ^ 1,
+            len: self.len,
+        })
+    }
+
+    /// The ancestor prefix of length `depth`.
+    ///
+    /// # Panics
+    /// Panics if `depth > len`.
+    pub fn prefix(&self, depth: u32) -> Self {
+        assert!(depth <= self.len, "prefix longer than path");
+        Self {
+            bits: self.bits >> (self.len - depth),
+            len: depth,
+        }
+    }
+
+    /// The *sibling subtree* of this node rooted at depth `depth` — the
+    /// sibling of this node's ancestor at `depth` (so `1 ≤ depth ≤ len`).
+    /// MIDAS peer `w`'s `depth`-th link points inside this subtree, and that
+    /// subtree's box is the link's region.
+    pub fn sibling_at(&self, depth: u32) -> Self {
+        assert!(
+            depth >= 1 && depth <= self.len,
+            "sibling depth must be in 1..=len"
+        );
+        self.prefix(depth).sibling().expect("depth >= 1")
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other` — i.e. `other`
+    /// lies in the subtree rooted at `self`.
+    pub fn is_prefix_of(&self, other: &BitPath) -> bool {
+        self.len <= other.len && other.prefix(self.len) == *self
+    }
+
+    /// The rectangle (zone) of the tree node with this id, under cyclic
+    /// midpoint splits of the `dims`-dimensional unit cube.
+    pub fn rect(&self, dims: usize) -> Rect {
+        let mut r = Rect::unit(dims);
+        for i in 0..self.len {
+            let dim = (i as usize) % dims;
+            let (lo, hi) = r.split_mid(dim);
+            r = if self.bit(i) { hi } else { lo };
+        }
+        r
+    }
+
+    /// True if the node lies on the domain's *lower border along dimension
+    /// `j`* — its zone touches the `x_j = 0` facet. With cyclic midpoint
+    /// splits this holds exactly when every bit at a level `≡ j (mod D)` is 0.
+    ///
+    /// Section 5.2 writes the two-dimensional patterns `p_h = (X0)*X?` and
+    /// `p_v = (0X)*0?`; this predicate is their D-dimensional facet
+    /// generalisation (`0` at every level that splits dimension `j`, free
+    /// bits elsewhere), which is what the gray peers of Figs. 2–3 depict.
+    pub fn on_lower_border(&self, j: usize, dims: usize) -> bool {
+        assert!(j < dims);
+        (0..self.len)
+            .filter(|i| (*i as usize) % dims == j)
+            .all(|i| !self.bit(i))
+    }
+
+    /// True if the node lies on the lower border along *some* dimension —
+    /// i.e. its id matches one of the patterns `p_0 … p_{D−1}` of Section
+    /// 5.2. These are the ids the optimised MIDAS link policy prefers,
+    /// because their zones may hold skyline tuples.
+    pub fn on_any_lower_border(&self, dims: usize) -> bool {
+        (0..dims).any(|j| self.on_lower_border(j, dims))
+    }
+
+    /// Iterates the bits from the root.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.bit(i))
+    }
+
+    /// The path bits left-aligned in a `u128` (first split in the most
+    /// significant bit). Under the ordering `(aligned, len)`, the ids of all
+    /// descendants of a prefix `p` form the contiguous range
+    /// `[(p.aligned(), 0), (p.aligned() | p.aligned_suffix_mask(), MAX)]`,
+    /// which is what overlay-side ordered indexes exploit.
+    pub fn aligned(&self) -> u128 {
+        if self.len == 0 {
+            0
+        } else {
+            self.bits << (Self::MAX_LEN - self.len)
+        }
+    }
+
+    /// Mask of the alignment padding bits: `aligned() | mask` is the largest
+    /// aligned value of any descendant of this id.
+    pub fn aligned_suffix_mask(&self) -> u128 {
+        if self.len == 0 {
+            u128::MAX
+        } else if self.len == Self::MAX_LEN {
+            0
+        } else {
+            (1u128 << (Self::MAX_LEN - self.len)) - 1
+        }
+    }
+}
+
+impl fmt::Debug for BitPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        for b in self.iter_bits() {
+            write!(f, "{}", b as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BitPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    #[test]
+    fn parse_and_bits() {
+        let p = BitPath::parse("0100");
+        assert_eq!(p.len(), 4);
+        assert!(!p.bit(0));
+        assert!(p.bit(1));
+        assert!(!p.bit(2));
+        assert_eq!(format!("{p}"), "0100");
+        assert_eq!(format!("{}", BitPath::root()), "∅");
+    }
+
+    #[test]
+    fn family_relations() {
+        let p = BitPath::parse("010");
+        assert_eq!(p.parent().unwrap(), BitPath::parse("01"));
+        assert_eq!(p.sibling().unwrap(), BitPath::parse("011"));
+        assert_eq!(p.child(true), BitPath::parse("0101"));
+        assert!(BitPath::root().parent().is_none());
+        assert!(BitPath::root().sibling().is_none());
+    }
+
+    #[test]
+    fn prefixes_and_subtrees() {
+        let p = BitPath::parse("0100");
+        assert_eq!(p.prefix(2), BitPath::parse("01"));
+        assert!(BitPath::parse("01").is_prefix_of(&p));
+        assert!(p.is_prefix_of(&p));
+        assert!(!BitPath::parse("00").is_prefix_of(&p));
+        // sibling subtrees at each depth partition everything outside p
+        assert_eq!(p.sibling_at(1), BitPath::parse("1"));
+        assert_eq!(p.sibling_at(2), BitPath::parse("00"));
+        assert_eq!(p.sibling_at(3), BitPath::parse("011"));
+        assert_eq!(p.sibling_at(4), BitPath::parse("0101"));
+    }
+
+    #[test]
+    fn rects_follow_cyclic_splits() {
+        // 2-d: level 0 splits dim 0, level 1 splits dim 1, ...
+        let left = BitPath::parse("0").rect(2);
+        assert_eq!(left, Rect::new(vec![0.0, 0.0], vec![0.5, 1.0]));
+        let p01 = BitPath::parse("01").rect(2);
+        assert_eq!(p01, Rect::new(vec![0.0, 0.5], vec![0.5, 1.0]));
+        let p010 = BitPath::parse("010").rect(2);
+        assert_eq!(p010, Rect::new(vec![0.0, 0.5], vec![0.25, 1.0]));
+    }
+
+    #[test]
+    fn sibling_regions_partition_domain() {
+        // zone(p) ∪ (∪_i region(sibling_at(i))) = unit cube, disjointly.
+        let p = BitPath::parse("0110");
+        let dims = 3;
+        let mut pieces = vec![p.rect(dims)];
+        for i in 1..=p.len() {
+            pieces.push(p.sibling_at(i).rect(dims));
+        }
+        let total: f64 = pieces.iter().map(Rect::volume).sum();
+        assert!((total - 1.0).abs() < 1e-12, "volumes must sum to 1");
+        for i in 0..pieces.len() {
+            for j in (i + 1)..pieces.len() {
+                assert!(!pieces[i].intersects(&pieces[j]), "pieces must be disjoint");
+            }
+        }
+    }
+
+    #[test]
+    fn border_patterns_match_zone_geometry() {
+        let dims = 2;
+        // exhaustively check all ids up to depth 6
+        for depth in 0..=6u32 {
+            for code in 0..(1u32 << depth) {
+                let bits: Vec<bool> = (0..depth).map(|i| (code >> (depth - 1 - i)) & 1 == 1).collect();
+                let p = BitPath::from_bits(&bits);
+                let zone = p.rect(dims);
+                for j in 0..dims {
+                    let touches = zone.lo().coord(j) == 0.0;
+                    assert_eq!(
+                        p.on_lower_border(j, dims),
+                        touches,
+                        "pattern/geometry mismatch for {p} dim {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure2_patterns() {
+        // Fig. 2 shades ids like 00, 0X0… — spot-check a few against the
+        // 2-d patterns p_h=(X0)*X? (bottom) and p_v=(0X)*0? (left).
+        assert!(BitPath::parse("00").on_any_lower_border(2));
+        assert!(BitPath::parse("10").on_lower_border(1, 2)); // bottom-right
+        assert!(BitPath::parse("01").on_lower_border(0, 2)); // top-left
+        assert!(!BitPath::parse("11").on_any_lower_border(2)); // top-right
+    }
+
+    #[test]
+    fn border_prefix_closure() {
+        // If an id violates every pattern, so do all of its descendants
+        // (the paper: "none of its derived peers will").
+        let dims = 3;
+        let bad = BitPath::parse("111");
+        assert!(!bad.on_any_lower_border(dims));
+        for code in 0..8u32 {
+            let mut p = bad;
+            for i in 0..3 {
+                p = p.child((code >> i) & 1 == 1);
+            }
+            assert!(!p.on_any_lower_border(dims));
+        }
+    }
+
+    #[test]
+    fn zone_contains_center() {
+        let p = BitPath::parse("10110");
+        let z = p.rect(4);
+        assert!(z.contains(&z.center()));
+        assert!(Rect::unit(4).contains_rect(&z));
+    }
+
+    #[test]
+    fn key_routing_consistency() {
+        // The zone of a node claims exactly the keys whose path continues it.
+        let dims = 2;
+        let key = Point::new(vec![0.3, 0.7]);
+        let mut p = BitPath::root();
+        for _ in 0..5 {
+            let l = p.child(false);
+            p = if l.rect(dims).contains_key(&key) { l } else { p.child(true) };
+            assert!(p.rect(dims).contains_key(&key));
+        }
+    }
+
+    #[test]
+    fn aligned_ranges_capture_subtrees() {
+        let p = BitPath::parse("01");
+        let lo = p.aligned();
+        let hi = p.aligned() | p.aligned_suffix_mask();
+        for desc in ["01", "010", "011", "0101", "01111"] {
+            let d = BitPath::parse(desc).aligned();
+            assert!(lo <= d && d <= hi, "{desc} should be inside the range");
+        }
+        for other in ["00", "1", "001", "10"] {
+            let d = BitPath::parse(other).aligned();
+            assert!(d < lo || d > hi, "{other} should be outside the range");
+        }
+        // root covers everything
+        assert_eq!(BitPath::root().aligned(), 0);
+        assert_eq!(BitPath::root().aligned_suffix_mask(), u128::MAX);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            BitPath::parse("1"),
+            BitPath::parse("0"),
+            BitPath::parse("01"),
+        ];
+        v.sort();
+        assert_eq!(v[0], BitPath::parse("0"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Points and tuples in the `[0,1]^d` domain.
+
+use std::fmt;
+
+/// Identifier of a data tuple. Unique within a dataset.
+pub type TupleId = u64;
+
+/// A point in the d-dimensional unit cube.
+///
+/// Coordinates are `f64` in `[0,1]`. The dimensionality is carried by the
+/// length of the coordinate slice; all points participating in one overlay or
+/// query must agree on it.
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    /// Panics if `coords` is empty or any coordinate is not finite.
+    pub fn new(coords: impl Into<Vec<f64>>) -> Self {
+        let coords: Vec<f64> = coords.into();
+        assert!(!coords.is_empty(), "a point needs at least one dimension");
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite"
+        );
+        Self {
+            coords: coords.into_boxed_slice(),
+        }
+    }
+
+    /// The origin `(0,…,0)` of a d-dimensional domain.
+    pub fn origin(dims: usize) -> Self {
+        Self::new(vec![0.0; dims])
+    }
+
+    /// The point `(v,…,v)` of a d-dimensional domain.
+    pub fn splat(dims: usize, v: f64) -> Self {
+        Self::new(vec![v; dims])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate along dimension `d`.
+    #[inline]
+    pub fn coord(&self, d: usize) -> f64 {
+        self.coords[d]
+    }
+
+    /// All coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Mutable access to a coordinate (used by generators).
+    #[inline]
+    pub fn coord_mut(&mut self, d: usize) -> &mut f64 {
+        &mut self.coords[d]
+    }
+
+    /// Clamps every coordinate into `[0,1]`, returning a new point.
+    pub fn clamped(&self) -> Self {
+        Self::new(
+            self.coords
+                .iter()
+                .map(|c| c.clamp(0.0, 1.0))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// True if every coordinate lies in `[0,1]`.
+    pub fn in_unit_cube(&self) -> bool {
+        self.coords.iter().all(|&c| (0.0..=1.0).contains(&c))
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(v: Vec<f64>) -> Self {
+        Self::new(v)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(v: &[f64]) -> Self {
+        Self::new(v.to_vec())
+    }
+}
+
+/// A data record: an identifier plus its position in the domain.
+///
+/// In the paper each tuple is indexed by a key drawn from the same domain as
+/// peer identifiers; we use the tuple's point directly as its key.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tuple {
+    /// Dataset-unique identifier.
+    pub id: TupleId,
+    /// Position (and DHT key) of the tuple.
+    pub point: Point,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(id: TupleId, point: impl Into<Point>) -> Self {
+        Self {
+            id,
+            point: point.into(),
+        }
+    }
+
+    /// Number of dimensions of the tuple's point.
+    pub fn dims(&self) -> usize {
+        self.point.dims()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_accessors() {
+        let p = Point::new(vec![0.25, 0.5, 0.75]);
+        assert_eq!(p.dims(), 3);
+        assert_eq!(p.coord(0), 0.25);
+        assert_eq!(p.coords(), &[0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn origin_and_splat() {
+        assert_eq!(Point::origin(2), Point::new(vec![0.0, 0.0]));
+        assert_eq!(Point::splat(2, 1.0), Point::new(vec![1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_point_rejected() {
+        let _ = Point::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        let _ = Point::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn clamping() {
+        let p = Point::new(vec![-0.5, 1.5, 0.3]);
+        assert!(!p.in_unit_cube());
+        let c = p.clamped();
+        assert!(c.in_unit_cube());
+        assert_eq!(c.coords(), &[0.0, 1.0, 0.3]);
+    }
+
+    #[test]
+    fn tuple_construction() {
+        let t = Tuple::new(7, vec![0.1, 0.2]);
+        assert_eq!(t.id, 7);
+        assert_eq!(t.dims(), 2);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let p = Point::new(vec![0.5, 0.25]);
+        assert_eq!(format!("{p:?}"), "(0.5000, 0.2500)");
+    }
+}

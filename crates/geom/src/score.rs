@@ -1,0 +1,193 @@
+//! Top-k scoring functions and their region upper bounds.
+//!
+//! Section 4 of the paper defines a top-k query by a *unimodal* scoring
+//! function `f` (unique local maximum; monotone functions are a special
+//! case). Algorithms 8–9 additionally require `f⁺(region)`, an upper bound on
+//! the score of any tuple inside a region — that is what lets a peer decide
+//! whether a link may contribute and how to prioritise links.
+//!
+//! Higher scores are better throughout.
+
+use crate::norm::Norm;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A scoring function for top-k queries, with a region upper bound `f⁺`.
+///
+/// Implementations must guarantee `upper_bound(r) >= score(t)` for every
+/// point `t ∈ r` — the RIPPLE pruning logic is only correct under that
+/// contract (it is property-tested in this crate).
+pub trait ScoreFn: Send + Sync {
+    /// Score of a single point. Higher is better.
+    fn score(&self, p: &Point) -> f64;
+
+    /// Upper bound `f⁺` on the score of any point inside `r`.
+    fn upper_bound(&self, r: &Rect) -> f64;
+
+    /// The location of the function's unique maximum, when known.
+    ///
+    /// Unimodal functions have one; distributed top-k processing uses it to
+    /// route the query to the most promising peer before rippling outward,
+    /// which is what keeps the search frontier small.
+    fn peak_point(&self) -> Option<Point> {
+        None
+    }
+}
+
+/// Monotone weighted-sum scoring: `f(t) = Σ w_d · t_d`.
+///
+/// This is the classic top-k aggregation (e.g. the paper's "best all-around
+/// NBA players" query). With non-negative weights it is monotone, hence
+/// unimodal over a box, and `f⁺` is attained at the upper corner.
+#[derive(Clone, Debug)]
+pub struct LinearScore {
+    weights: Box<[f64]>,
+}
+
+impl LinearScore {
+    /// Creates a weighted-sum score.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or any weight is negative or non-finite.
+    pub fn new(weights: impl Into<Vec<f64>>) -> Self {
+        let weights: Vec<f64> = weights.into();
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self {
+            weights: weights.into_boxed_slice(),
+        }
+    }
+
+    /// Equal weights summing over `dims` attributes.
+    pub fn uniform(dims: usize) -> Self {
+        Self::new(vec![1.0; dims])
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ScoreFn for LinearScore {
+    fn score(&self, p: &Point) -> f64 {
+        debug_assert_eq!(p.dims(), self.weights.len());
+        (0..p.dims()).map(|d| self.weights[d] * p.coord(d)).sum()
+    }
+
+    fn upper_bound(&self, r: &Rect) -> f64 {
+        // Monotone increasing: the best point of a box is its upper corner.
+        self.score(r.hi())
+    }
+
+    fn peak_point(&self) -> Option<Point> {
+        // Monotone increasing over the unit cube: maximal at the top corner.
+        Some(Point::splat(self.weights.len(), 1.0))
+    }
+}
+
+/// Unimodal "peak" scoring: `f(t) = -dist(t, peak)` under a norm.
+///
+/// Scores are ≤ 0 with the unique maximum 0 at the peak; this exercises the
+/// general unimodal case of Section 4 (nearest-neighbour-flavoured top-k).
+#[derive(Clone, Debug)]
+pub struct PeakScore {
+    peak: Point,
+    norm: Norm,
+}
+
+impl PeakScore {
+    /// Creates a peak score centred at `peak`.
+    pub fn new(peak: impl Into<Point>, norm: Norm) -> Self {
+        Self {
+            peak: peak.into(),
+            norm,
+        }
+    }
+
+    /// The location of the unique maximum.
+    pub fn peak(&self) -> &Point {
+        &self.peak
+    }
+}
+
+impl ScoreFn for PeakScore {
+    fn score(&self, p: &Point) -> f64 {
+        -self.norm.dist(p, &self.peak)
+    }
+
+    fn upper_bound(&self, r: &Rect) -> f64 {
+        -self.norm.min_dist(r, &self.peak)
+    }
+
+    fn peak_point(&self) -> Option<Point> {
+        Some(self.peak.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_score_and_bound() {
+        let f = LinearScore::new(vec![1.0, 2.0]);
+        let p = Point::new(vec![0.5, 0.25]);
+        assert!((f.score(&p) - 1.0).abs() < 1e-12);
+        let r = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        assert!((f.upper_bound(&r) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_bound_dominates_scores() {
+        let f = LinearScore::new(vec![0.3, 0.7, 1.1]);
+        let r = Rect::new(vec![0.1, 0.2, 0.3], vec![0.4, 0.6, 0.9]);
+        for t in [
+            Point::new(vec![0.1, 0.2, 0.3]),
+            Point::new(vec![0.4, 0.6, 0.9]),
+            Point::new(vec![0.2, 0.5, 0.5]),
+        ] {
+            assert!(f.upper_bound(&r) >= f.score(&t) - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = LinearScore::new(vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn peak_score_max_at_peak() {
+        let f = PeakScore::new(vec![0.5, 0.5], Norm::L2);
+        assert_eq!(f.score(&Point::new(vec![0.5, 0.5])), 0.0);
+        assert!(f.score(&Point::new(vec![0.0, 0.0])) < 0.0);
+    }
+
+    #[test]
+    fn peak_bound_dominates_scores() {
+        let f = PeakScore::new(vec![0.9, 0.1], Norm::L1);
+        let r = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        let ub = f.upper_bound(&r);
+        for t in [
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![0.5, 0.1]),
+            Point::new(vec![0.25, 0.5]),
+        ] {
+            assert!(ub >= f.score(&t) - 1e-12);
+        }
+        // peak inside region ⇒ bound is 0
+        let r2 = Rect::new(vec![0.8, 0.0], vec![1.0, 0.2]);
+        assert_eq!(f.upper_bound(&r2), 0.0);
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let f = LinearScore::uniform(4);
+        assert_eq!(f.weights(), &[1.0; 4]);
+        assert!((f.score(&Point::splat(4, 0.5)) - 2.0).abs() < 1e-12);
+    }
+}

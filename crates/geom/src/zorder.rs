@@ -1,0 +1,258 @@
+//! Z-order (Morton) space-filling curve.
+//!
+//! The SSP baseline (Wang et al. \[18\], Section 2.2) runs over BATON, a
+//! one-dimensional overlay, and therefore maps the multidimensional domain to
+//! unidimensional keys with a Z-curve. We use the *cyclic* bit interleaving
+//! that matches the MIDAS split order: level `i` of the curve consumes one
+//! bit of dimension `i mod D`, most significant bit first. Under this
+//! convention a curve prefix of length `L` is exactly a [`BitPath`] of the
+//! virtual k-d tree, so Z-cells inherit all rectangle arithmetic from
+//! [`kdspace`](crate::kdspace).
+//!
+//! The key operation for SSP's pruning is the decomposition of a Z-interval
+//! (a peer's zone in key space) into maximal aligned cells, each of which is
+//! a rectangle in the domain: a peer can be pruned iff every one of its cells
+//! is dominated.
+
+use crate::kdspace::BitPath;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A Z-curve configuration: resolution and dimensionality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZCurve {
+    dims: usize,
+    bits_per_dim: u32,
+}
+
+impl ZCurve {
+    /// Creates a curve over `dims` dimensions with `bits_per_dim` bits of
+    /// resolution per dimension.
+    ///
+    /// # Panics
+    /// Panics if the total bit count exceeds 128 or either argument is 0.
+    pub fn new(dims: usize, bits_per_dim: u32) -> Self {
+        assert!(dims > 0 && bits_per_dim > 0, "degenerate curve");
+        assert!(
+            dims as u32 * bits_per_dim <= 128,
+            "total curve resolution exceeds 128 bits"
+        );
+        Self { dims, bits_per_dim }
+    }
+
+    /// Dimensionality of the indexed domain.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bits of resolution per dimension.
+    pub fn bits_per_dim(&self) -> u32 {
+        self.bits_per_dim
+    }
+
+    /// Total number of levels (bits) of a full key.
+    pub fn total_bits(&self) -> u32 {
+        self.dims as u32 * self.bits_per_dim
+    }
+
+    /// Exclusive upper bound of the key space (`2^total_bits`), saturating
+    /// at `u128::MAX` for 128-bit curves.
+    pub fn key_space(&self) -> u128 {
+        if self.total_bits() == 128 {
+            u128::MAX
+        } else {
+            1u128 << self.total_bits()
+        }
+    }
+
+    /// Quantises a coordinate in `[0,1]` to its grid cell index.
+    fn quantise(&self, c: f64) -> u64 {
+        let cells = 1u64 << self.bits_per_dim;
+        ((c * cells as f64) as u64).min(cells - 1)
+    }
+
+    /// Encodes a point of the unit cube to its Z-value.
+    pub fn encode(&self, p: &Point) -> u128 {
+        debug_assert_eq!(p.dims(), self.dims);
+        let cell: Vec<u64> = (0..self.dims).map(|d| self.quantise(p.coord(d))).collect();
+        let mut z = 0u128;
+        for level in 0..self.total_bits() {
+            let d = level as usize % self.dims;
+            let bit_idx = self.bits_per_dim - 1 - level / self.dims as u32;
+            let bit = (cell[d] >> bit_idx) & 1;
+            z = (z << 1) | bit as u128;
+        }
+        z
+    }
+
+    /// Decodes a Z-value back to the lower corner of its grid cell.
+    pub fn decode(&self, z: u128) -> Point {
+        let mut cell = vec![0u64; self.dims];
+        for level in 0..self.total_bits() {
+            let d = level as usize % self.dims;
+            let bit = (z >> (self.total_bits() - 1 - level)) & 1;
+            cell[d] = (cell[d] << 1) | bit as u64;
+        }
+        let scale = (1u64 << self.bits_per_dim) as f64;
+        Point::new(
+            cell.iter()
+                .map(|&c| c as f64 / scale)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The Z-value range `[lo, hi]` (inclusive) covered by a curve-aligned
+    /// cell, identified by its [`BitPath`].
+    pub fn cell_range(&self, cell: &BitPath) -> (u128, u128) {
+        let shift = self.total_bits() - cell.len();
+        let mut prefix = 0u128;
+        for b in cell.iter_bits() {
+            prefix = (prefix << 1) | b as u128;
+        }
+        let lo = prefix << shift;
+        let span = if shift == 128 { u128::MAX } else { (1u128 << shift) - 1 };
+        (lo, lo | span)
+    }
+
+    /// The domain rectangle of a curve-aligned cell.
+    pub fn cell_rect(&self, cell: &BitPath) -> Rect {
+        cell.rect(self.dims)
+    }
+
+    /// Decomposes the inclusive Z-interval `[lo, hi]` into the minimal set of
+    /// maximal curve-aligned cells, in curve order.
+    ///
+    /// Each returned cell is a contiguous sub-interval of `[lo, hi]` and the
+    /// cells exactly tile it. The output has `O(total_bits)` cells.
+    pub fn interval_to_cells(&self, lo: u128, hi: u128) -> Vec<BitPath> {
+        assert!(lo <= hi, "empty interval");
+        assert!(hi < self.key_space() || self.total_bits() == 128);
+        let mut out = Vec::new();
+        self.decompose(BitPath::root(), lo, hi, &mut out);
+        out
+    }
+
+    fn decompose(&self, cell: BitPath, lo: u128, hi: u128, out: &mut Vec<BitPath>) {
+        let (clo, chi) = self.cell_range(&cell);
+        if chi < lo || clo > hi {
+            return;
+        }
+        if lo <= clo && chi <= hi {
+            out.push(cell);
+            return;
+        }
+        debug_assert!(cell.len() < self.total_bits(), "leaf cells are atomic");
+        self.decompose(cell.child(false), lo, hi, out);
+        self.decompose(cell.child(true), lo, hi, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_on_grid() {
+        let c = ZCurve::new(2, 3);
+        for i in 0..8u64 {
+            for j in 0..8u64 {
+                let p = Point::new(vec![i as f64 / 8.0, j as f64 / 8.0]);
+                let z = c.encode(&p);
+                assert_eq!(c.decode(z), p);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_monotone_within_cells() {
+        // points in the same grid cell share a key
+        let c = ZCurve::new(2, 2);
+        let a = Point::new(vec![0.1, 0.1]);
+        let b = Point::new(vec![0.2, 0.2]);
+        assert_eq!(c.encode(&a), c.encode(&b));
+    }
+
+    #[test]
+    fn origin_maps_to_zero_and_top_to_max() {
+        let c = ZCurve::new(3, 4);
+        assert_eq!(c.encode(&Point::origin(3)), 0);
+        assert_eq!(c.encode(&Point::splat(3, 1.0)), c.key_space() - 1);
+    }
+
+    #[test]
+    fn cell_ranges_tile_the_keyspace() {
+        let c = ZCurve::new(2, 2);
+        // the four depth-2 cells tile [0, 16) in four runs of 4
+        let mut next = 0u128;
+        for code in 0..4u8 {
+            let cell = BitPath::from_bits(&[(code >> 1) & 1 == 1, code & 1 == 1]);
+            let (lo, hi) = c.cell_range(&cell);
+            assert_eq!(lo, next);
+            assert_eq!(hi - lo + 1, 4);
+            next = hi + 1;
+        }
+        assert_eq!(next, c.key_space());
+    }
+
+    #[test]
+    fn curve_prefix_equals_kd_rect() {
+        // the defining property of cyclic interleaving: a curve prefix is a
+        // k-d tree node
+        let c = ZCurve::new(2, 3);
+        let cell = BitPath::parse("01");
+        let rect = c.cell_rect(&cell);
+        assert_eq!(rect, Rect::new(vec![0.0, 0.5], vec![0.5, 1.0]));
+        // every z-value in the cell's range decodes to a point in the rect
+        let (lo, hi) = c.cell_range(&cell);
+        for z in lo..=hi {
+            assert!(rect.contains_key(&c.decode(z)), "z={z} escapes its cell");
+        }
+    }
+
+    #[test]
+    fn interval_decomposition_tiles_exactly() {
+        let c = ZCurve::new(2, 3); // keyspace [0, 64)
+        for (lo, hi) in [(0u128, 63u128), (5, 37), (17, 17), (0, 0), (63, 63), (31, 32)] {
+            let cells = c.interval_to_cells(lo, hi);
+            let mut next = lo;
+            for cell in &cells {
+                let (clo, chi) = c.cell_range(cell);
+                assert_eq!(clo, next, "gap or overlap in [{lo},{hi}]");
+                next = chi + 1;
+            }
+            assert_eq!(next, hi + 1, "decomposition must end at hi");
+        }
+    }
+
+    #[test]
+    fn interval_decomposition_is_compact() {
+        let c = ZCurve::new(2, 4); // 8 bits total
+        // a full aligned cell decomposes to exactly itself
+        let cells = c.interval_to_cells(16, 31);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].len(), 4);
+        // any interval decomposes into O(2 * total_bits) cells
+        let cells = c.interval_to_cells(1, 254);
+        assert!(cells.len() <= 16, "too many cells: {}", cells.len());
+    }
+
+    #[test]
+    fn decomposition_rects_cover_their_points() {
+        let c = ZCurve::new(3, 2);
+        let (lo, hi) = (7u128, 49u128);
+        let cells = c.interval_to_cells(lo, hi);
+        for z in lo..=hi {
+            let p = c.decode(z);
+            assert!(
+                cells.iter().any(|cell| c.cell_rect(cell).contains_key(&p)),
+                "z={z} not covered"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "128 bits")]
+    fn oversized_curve_rejected() {
+        let _ = ZCurve::new(10, 13);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based invariants of the geometric foundations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ripple_geom::kdspace::BitPath;
+use ripple_geom::zorder::ZCurve;
+use ripple_geom::{dominance, Norm, Point, Rect, Tuple};
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|v| v as f64 / 1000.0)
+}
+
+fn point(dims: usize) -> impl Strategy<Value = Point> {
+    vec(coord(), dims).prop_map(Point::new)
+}
+
+fn rect(dims: usize) -> impl Strategy<Value = Rect> {
+    (point(dims), point(dims)).prop_map(|(a, b)| {
+        let lo: Vec<f64> = (0..a.dims()).map(|d| a.coord(d).min(b.coord(d))).collect();
+        let hi: Vec<f64> = (0..a.dims()).map(|d| a.coord(d).max(b.coord(d))).collect();
+        Rect::new(lo, hi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All three norms satisfy the metric axioms on sampled triples.
+    #[test]
+    fn norms_are_metrics(a in point(4), b in point(4), c in point(4)) {
+        for n in [Norm::L1, Norm::L2, Norm::Linf] {
+            prop_assert!(n.dist(&a, &b) >= 0.0);
+            prop_assert!((n.dist(&a, &b) - n.dist(&b, &a)).abs() < 1e-12);
+            prop_assert!(n.dist(&a, &a) < 1e-12);
+            prop_assert!(n.dist(&a, &c) <= n.dist(&a, &b) + n.dist(&b, &c) + 1e-9);
+        }
+    }
+
+    /// min_dist and max_dist bracket the distance to any point of the box.
+    #[test]
+    fn rect_distances_bracket(r in rect(3), q in point(3), inside_seed in point(3)) {
+        let inside = r.nearest_point(&inside_seed);
+        for n in [Norm::L1, Norm::L2, Norm::Linf] {
+            let d = n.dist(&inside, &q);
+            prop_assert!(n.min_dist(&r, &q) <= d + 1e-9);
+            prop_assert!(n.max_dist(&r, &q) >= d - 1e-9);
+        }
+    }
+
+    /// Rect intersection is commutative and contained in both operands.
+    #[test]
+    fn rect_intersection_properties(a in rect(3), b in rect(3)) {
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(&x, &y);
+                prop_assert!(a.contains_rect(&x));
+                prop_assert!(b.contains_rect(&x));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "intersection must be symmetric"),
+        }
+    }
+
+    /// Splitting and key-containment partition exactly.
+    #[test]
+    fn split_partitions_keys(r in rect(2), t in 0.0f64..=1.0, keys in vec(point(2), 1..20)) {
+        prop_assume!(r.volume() > 0.0);
+        let dim = if t < 0.5 { 0 } else { 1 };
+        let value = r.lo().coord(dim) + (r.hi().coord(dim) - r.lo().coord(dim)) * t;
+        let (a, b) = r.split_at(dim, value);
+        for k in &keys {
+            if r.contains_key(k) {
+                prop_assert!(a.contains_key(k) ^ b.contains_key(k));
+            } else {
+                prop_assert!(!a.contains_key(k) && !b.contains_key(k));
+            }
+        }
+    }
+
+    /// `skyline_insert` always equals a fresh skyline of the union.
+    #[test]
+    fn skyline_insert_equivalence(base in vec(point(3), 0..30), add in vec(point(3), 0..10)) {
+        let base_tuples: Vec<Tuple> = base
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Tuple::new(i as u64, p.clone()))
+            .collect();
+        let add_tuples: Vec<Tuple> = add
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Tuple::new(1000 + i as u64, p.clone()))
+            .collect();
+        let base_sky = dominance::skyline(&base_tuples);
+        let merged = dominance::skyline_insert(base_sky, &add_tuples);
+        let mut union = base_tuples;
+        union.extend(add_tuples);
+        let direct = dominance::skyline(&union);
+        prop_assert_eq!(merged.len(), direct.len());
+        for m in &merged {
+            prop_assert!(direct.iter().any(|d| d.point == m.point));
+        }
+    }
+
+    /// Dominance is a strict partial order: irreflexive, asymmetric,
+    /// transitive.
+    #[test]
+    fn dominance_is_strict_partial_order(a in point(3), b in point(3), c in point(3)) {
+        prop_assert!(!dominance::dominates(&a, &a));
+        if dominance::dominates(&a, &b) {
+            prop_assert!(!dominance::dominates(&b, &a));
+        }
+        if dominance::dominates(&a, &b) && dominance::dominates(&b, &c) {
+            prop_assert!(dominance::dominates(&a, &c));
+        }
+    }
+
+    /// Z-encoding maps every point into the rect of any cell that covers
+    /// its z-value.
+    #[test]
+    fn zcurve_point_in_covering_cell(p in point(2)) {
+        let curve = ZCurve::new(2, 6);
+        let z = curve.encode(&p);
+        let cells = curve.interval_to_cells(z, z);
+        prop_assert_eq!(cells.len(), 1);
+        prop_assert!(curve.cell_rect(&cells[0]).contains_key(&p));
+    }
+
+    /// BitPath: prefix ordering agrees with aligned-range containment.
+    #[test]
+    fn bitpath_prefix_vs_aligned(bits_a in vec(any::<bool>(), 0..16), bits_b in vec(any::<bool>(), 0..16)) {
+        let a = BitPath::from_bits(&bits_a);
+        let b = BitPath::from_bits(&bits_b);
+        let range_contains = a.aligned() <= b.aligned()
+            && b.aligned() <= a.aligned() | a.aligned_suffix_mask()
+            && a.len() <= b.len();
+        prop_assert_eq!(a.is_prefix_of(&b), range_contains);
+    }
+
+    /// Zone volumes halve with depth (midpoint splits).
+    #[test]
+    fn bitpath_volume_by_depth(bits in vec(any::<bool>(), 0..20)) {
+        let p = BitPath::from_bits(&bits);
+        let vol = p.rect(4).volume();
+        let expect = 0.5f64.powi(p.len() as i32);
+        prop_assert!((vol - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! The MIDAS distributed multidimensional index (Tsatsanifos et al. \[16\]).
+//!
+//! MIDAS is the DHT topology under which RIPPLE attains its guaranteed
+//! worst-case latency (Section 3.2 of the RIPPLE paper). Peers are the
+//! leaves of a *virtual k-d tree* over the domain: each peer's zone is its
+//! leaf box, and its `i`-th link points to some peer inside the sibling
+//! subtree rooted at depth `i`. The expected tree depth — and hence the
+//! overlay diameter — is `O(log n)`.
+//!
+//! The crate provides the overlay life cycle (build / join / leave /
+//! hop-by-hop routing), per-peer tuple storage, and the Section 5.2
+//! structural optimisation that biases link targets toward peers on the
+//! domain's lower borders (the candidates for skyline membership).
+//!
+//! Query processing lives in `ripple-core`, which walks this overlay
+//! through the link regions exposed here.
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod path_index;
+pub mod peer;
+
+pub use network::{MidasNetwork, SplitRule};
+pub use peer::{Link, MidasPeer};

@@ -1,0 +1,752 @@
+//! The MIDAS overlay: construction, routing, churn.
+//!
+//! MIDAS \[16\] organises peers as the leaves of a virtual k-d tree over the
+//! domain. This module implements the full life cycle:
+//!
+//! * **join** — a new peer routes a random key to the responsible leaf and
+//!   splits its zone in two (midpoint, cyclic dimension);
+//! * **leave** — the departing leaf's zone is absorbed by its sibling if the
+//!   sibling is a leaf; otherwise a deepest leaf (whose sibling is provably a
+//!   leaf) is merged away and takes over the departing peer's position;
+//! * **routing** — hop-by-hop greedy descent using the link regions, with
+//!   O(log n) expected hops;
+//! * the **Section 5.2 link policy** (optional): link targets and back-link
+//!   reassignments prefer peers whose ids match a lower-border pattern,
+//!   which steers skyline query propagation toward peers that can actually
+//!   own skyline tuples.
+
+use crate::path_index::PathIndex;
+use crate::peer::{Link, MidasPeer};
+use rand::Rng;
+use ripple_geom::kdspace::BitPath;
+use ripple_geom::{Point, Rect, Tuple};
+use ripple_net::{ChurnOverlay, PeerId, PeerStore};
+use std::collections::{HashMap, HashSet};
+
+/// How a splitting peer picks the split plane ("at some value along some
+/// dimension, decided by MIDAS").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SplitRule {
+    /// Halve the zone. Sparse areas stay covered by few large zones, which
+    /// is what keeps the skyline-relevant peer count low (the default).
+    #[default]
+    Midpoint,
+    /// Split at the local data median (per-peer load balancing). Ablation
+    /// option: equalizes storage but tiles sparse envelopes with many small
+    /// zones, inflating rank-query search frontiers.
+    Median,
+}
+
+/// A simulated MIDAS overlay.
+#[derive(Clone, Debug)]
+pub struct MidasNetwork {
+    dims: usize,
+    peers: Vec<Option<MidasPeer>>,
+    live: Vec<PeerId>,
+    index: PathIndex,
+    border_policy: bool,
+    split_rule: SplitRule,
+    /// Split value of each *internal* node of the virtual tree, keyed by its
+    /// id (the split dimension is `depth mod dims`). Maintenance-side
+    /// bookkeeping standing in for routed lookups during joins.
+    splits: HashMap<BitPath, f64>,
+}
+
+impl MidasNetwork {
+    /// Creates a single-peer overlay over a `dims`-dimensional domain.
+    /// `border_policy` enables the Section 5.2 link-selection optimisation.
+    pub fn new(dims: usize, border_policy: bool) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        let id = PeerId::new(0);
+        let root = MidasPeer {
+            id,
+            path: BitPath::root(),
+            zone: Rect::unit(dims),
+            links: Vec::new(),
+            store: PeerStore::new(),
+            backlinks: HashSet::new(),
+            live_idx: 0,
+        };
+        let mut index = PathIndex::new(dims);
+        index.insert(BitPath::root(), id);
+        Self {
+            dims,
+            peers: vec![Some(root)],
+            live: vec![id],
+            index,
+            border_policy,
+            split_rule: SplitRule::default(),
+            splits: HashMap::new(),
+        }
+    }
+
+    /// Selects the zone-splitting rule (see [`SplitRule`]).
+    pub fn with_split_rule(mut self, rule: SplitRule) -> Self {
+        self.split_rule = rule;
+        self
+    }
+
+    /// The active zone-splitting rule.
+    pub fn split_rule(&self) -> SplitRule {
+        self.split_rule
+    }
+
+    /// Builds an overlay of `n` peers by `n − 1` uniformly random joins.
+    pub fn build<R: Rng>(dims: usize, n: usize, border_policy: bool, rng: &mut R) -> Self {
+        assert!(n >= 1);
+        let mut net = Self::new(dims, border_policy);
+        while net.peer_count() < n {
+            net.join_random(rng);
+        }
+        net
+    }
+
+    /// Dimensionality of the indexed domain.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `Δ`: the maximum number of links (= depth) over all live peers. This
+    /// is the overlay diameter bound of Lemma 1 and the saturation point of
+    /// the ripple parameter `r`.
+    pub fn delta(&self) -> u32 {
+        self.index.max_depth()
+    }
+
+    /// Whether the Section 5.2 border link policy is active.
+    pub fn border_policy(&self) -> bool {
+        self.border_policy
+    }
+
+    /// The live peers, in no particular order.
+    pub fn live_peers(&self) -> &[PeerId] {
+        &self.live
+    }
+
+    /// A uniformly random live peer.
+    pub fn random_peer<R: Rng>(&self, rng: &mut R) -> PeerId {
+        self.live[rng.gen_range(0..self.live.len())]
+    }
+
+    /// Borrow a live peer.
+    ///
+    /// # Panics
+    /// Panics if the peer departed.
+    pub fn peer(&self, id: PeerId) -> &MidasPeer {
+        self.peers[id.index()].as_ref().expect("peer departed")
+    }
+
+    fn peer_mut(&mut self, id: PeerId) -> &mut MidasPeer {
+        self.peers[id.index()].as_mut().expect("peer departed")
+    }
+
+    /// True if the peer is live.
+    pub fn is_live(&self, id: PeerId) -> bool {
+        self.peers
+            .get(id.index())
+            .is_some_and(|p| p.is_some())
+    }
+
+    /// Resolves a link to a live peer inside its subtree.
+    ///
+    /// Normally this is just the stored target; if churn invalidated it, a
+    /// substitute inside the subtree is found (this models MIDAS link
+    /// maintenance and is not charged to query metrics).
+    pub fn resolve(&self, link: &Link) -> PeerId {
+        if self.is_live(link.target) && link.subtree.is_prefix_of(&self.peer(link.target).path) {
+            return link.target;
+        }
+        self.fresh_target(&link.subtree)
+    }
+
+    /// Picks a link target inside `subtree` per the active policy.
+    fn fresh_target(&self, subtree: &BitPath) -> PeerId {
+        if self.border_policy {
+            if let Some(p) = self.index.border_in_subtree(subtree) {
+                return p;
+            }
+        }
+        self.index
+            .any_in_subtree(subtree)
+            .expect("sibling subtree of a live peer cannot be empty")
+    }
+
+    /// The peer responsible for `key`, found by descending the virtual tree
+    /// (maintenance-side operation; not charged to query metrics).
+    pub fn responsible(&self, key: &Point) -> PeerId {
+        let mut prefix = BitPath::root();
+        loop {
+            if let Some(p) = self.index.leaf_at(&prefix) {
+                return p;
+            }
+            let split = *self
+                .splits
+                .get(&prefix)
+                .expect("internal nodes carry a split value");
+            let dim = prefix.len() as usize % self.dims;
+            prefix = prefix.child(key.coord(dim) >= split);
+        }
+    }
+
+    /// Routes `key` hop-by-hop from `from`, returning the responsible peer
+    /// and the hop count — the DHT lookup primitive.
+    pub fn route(&self, from: PeerId, key: &Point) -> (PeerId, u32) {
+        let mut cur = from;
+        let mut hops = 0;
+        loop {
+            let peer = self.peer(cur);
+            match peer.link_for_key(key) {
+                None => return (cur, hops),
+                Some(i) => {
+                    cur = self.resolve(&peer.links[i]);
+                    hops += 1;
+                }
+            }
+        }
+    }
+
+    /// Stores a tuple at the responsible peer.
+    pub fn insert_tuple(&mut self, t: Tuple) {
+        assert_eq!(t.dims(), self.dims, "tuple dimensionality mismatch");
+        let owner = self.responsible(&t.point);
+        self.peer_mut(owner).store.insert(t);
+    }
+
+    /// Bulk-loads a dataset.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.insert_tuple(t);
+        }
+    }
+
+    /// A new peer joins at a uniformly random key; returns its id.
+    pub fn join_random<R: Rng>(&mut self, rng: &mut R) -> PeerId {
+        let key = Point::new((0..self.dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>());
+        self.join(&key)
+    }
+
+    /// The split value for a zone along `dim`: the median of the local
+    /// tuples' coordinates (MIDAS's load-balancing choice — "at some value
+    /// along some dimension, decided by MIDAS"), with a midpoint fallback
+    /// when the peer stores too little data to define one strictly inside
+    /// the zone.
+    fn split_value(&self, id: PeerId, dim: usize) -> f64 {
+        let p = self.peer(id);
+        let (lo, hi) = (p.zone.lo().coord(dim), p.zone.hi().coord(dim));
+        let mid = 0.5 * (lo + hi);
+        if self.split_rule == SplitRule::Midpoint || p.store.len() < 2 {
+            return mid;
+        }
+        let mut coords: Vec<f64> = p.store.iter().map(|t| t.point.coord(dim)).collect();
+        coords.sort_by(f64::total_cmp);
+        let median = coords[coords.len() / 2];
+        if median > lo && median < hi {
+            median
+        } else {
+            mid
+        }
+    }
+
+    /// A new peer joins: the leaf responsible for `key` splits its zone at
+    /// the local data median of the cyclic dimension; the joining peer takes
+    /// the half containing its own key. Returns the new peer's id.
+    pub fn join(&mut self, key: &Point) -> PeerId {
+        let old_id = self.responsible(key);
+        let new_id = PeerId::new(self.peers.len() as u32);
+
+        let old_path = self.peer(old_id).path;
+        self.index.remove(&old_path);
+        let dim = old_path.len() as usize % self.dims;
+
+        // Split the zone; the joining peer takes the half containing its own
+        // key, the splitter keeps the other half.
+        let split = self.split_value(old_id, dim);
+        self.splits.insert(old_path, split);
+        let (lo_zone, hi_zone) = self.peer(old_id).zone.split_at(dim, split);
+        let new_takes_hi = hi_zone.contains_key(key);
+        let (old_zone, new_zone) = if new_takes_hi {
+            (lo_zone, hi_zone)
+        } else {
+            (hi_zone, lo_zone)
+        };
+        let old_new_path = old_path.child(!new_takes_hi);
+        let new_path = old_new_path.sibling().expect("child has a sibling");
+        let moved = {
+            let w = self.peer_mut(old_id);
+            w.path = old_new_path;
+            w.zone = old_zone;
+            let nz = new_zone.clone();
+            w.store.drain_where(|p| nz.contains_key(p))
+        };
+
+        // The new peer copies the splitter's links (their sibling subtrees
+        // are shared prefixes), then the two siblings link to each other.
+        let copied: Vec<Link> = self.peer(old_id).links.clone();
+        let mut new_links = Vec::with_capacity(copied.len() + 1);
+        for l in copied {
+            let target = if self.border_policy {
+                // Policy: (re-)establish links toward border-pattern peers
+                // inside the subtree whenever possible.
+                self.fresh_target(&l.subtree)
+            } else {
+                l.target
+            };
+            self.peer_mut(target).backlinks.insert(new_id);
+            new_links.push(Link { target, ..l });
+        }
+        let old_zone_now = self.peer(old_id).zone.clone();
+        new_links.push(Link {
+            depth: new_path.len(),
+            target: old_id,
+            subtree: old_new_path,
+            region: old_zone_now,
+        });
+        let mut store = PeerStore::new();
+        store.extend(moved);
+        let new_peer = MidasPeer {
+            id: new_id,
+            path: new_path,
+            zone: new_zone,
+            links: new_links,
+            store,
+            backlinks: HashSet::new(),
+            live_idx: self.live.len(),
+        };
+        self.peers.push(Some(new_peer));
+        self.live.push(new_id);
+        self.peer_mut(old_id).backlinks.insert(new_id);
+
+        // The splitter gains a link to its new sibling.
+        let new_zone_now = self.peer(new_id).zone.clone();
+        self.peer_mut(old_id).links.push(Link {
+            depth: new_path.len(),
+            target: new_id,
+            subtree: new_path,
+            region: new_zone_now,
+        });
+        self.peer_mut(new_id).backlinks.insert(old_id);
+
+        self.index.insert(old_new_path, old_id);
+        self.index.insert(new_path, new_id);
+
+        // Section 5.2 back-link reassignment: if exactly one of the two
+        // siblings matches a border pattern, the splitter's back-links are
+        // handed to the matching peer.
+        if self.border_policy {
+            let old_match = old_new_path.on_any_lower_border(self.dims);
+            let new_match = new_path.on_any_lower_border(self.dims);
+            if new_match && !old_match {
+                self.retarget_backlinks(old_id, new_id);
+            }
+            // the splitter matching (or both/neither) keeps back-links put
+        }
+        new_id
+    }
+
+    /// Repoints every back-link of `from` (except the mutual sibling link)
+    /// to `to`. Valid whenever `to` lies in every subtree a back-link refers
+    /// to, which holds for split/merge siblings and position takeovers.
+    fn retarget_backlinks(&mut self, from: PeerId, to: PeerId) {
+        let holders: Vec<PeerId> = self
+            .peer(from)
+            .backlinks
+            .iter()
+            .copied()
+            .filter(|&h| h != to)
+            .collect();
+        for h in holders {
+            if !self.is_live(h) {
+                self.peer_mut(from).backlinks.remove(&h);
+                continue;
+            }
+            let to_path = self.peer(to).path;
+            let holder = self.peer_mut(h);
+            let mut moved = false;
+            for l in &mut holder.links {
+                if l.target == from && l.subtree.is_prefix_of(&to_path) {
+                    l.target = to;
+                    moved = true;
+                }
+            }
+            if moved {
+                self.peer_mut(from).backlinks.remove(&h);
+                self.peer_mut(to).backlinks.insert(h);
+            }
+        }
+    }
+
+    /// Merges leaf `gone` into its sibling leaf `keeper`: the keeper's path
+    /// shrinks to the parent, it absorbs the zone and tuples, and the
+    /// departing leaf's back-links are handed over.
+    fn absorb_sibling(&mut self, keeper: PeerId, gone: PeerId) {
+        let keeper_path = self.peer(keeper).path;
+        let gone_path = self.peer(gone).path;
+        debug_assert_eq!(keeper_path.sibling(), Some(gone_path));
+        let parent = keeper_path.parent().expect("leaves at depth >= 1");
+
+        self.index.remove(&keeper_path);
+        self.index.remove(&gone_path);
+
+        // Move data and zone. The parent zone is the box hull of the two
+        // sibling zones (they abut along the split plane).
+        let tuples = self.peer_mut(gone).store.drain_all();
+        let parent_zone = {
+            let (a, b) = (&self.peer(keeper).zone, &self.peer(gone).zone);
+            let lo: Vec<f64> = (0..self.dims)
+                .map(|d| a.lo().coord(d).min(b.lo().coord(d)))
+                .collect();
+            let hi: Vec<f64> = (0..self.dims)
+                .map(|d| a.hi().coord(d).max(b.hi().coord(d)))
+                .collect();
+            Rect::new(lo, hi)
+        };
+        self.splits.remove(&parent);
+        {
+            let k = self.peer_mut(keeper);
+            k.path = parent;
+            k.zone = parent_zone;
+            k.store.extend(tuples);
+            // The deepest link pointed into the sibling subtree (now merged
+            // into the keeper itself); drop it.
+            let dropped = k.links.pop().expect("leaf at depth >= 1 has links");
+            debug_assert_eq!(dropped.subtree, gone_path);
+        }
+        self.peer_mut(gone).backlinks.remove(&keeper);
+
+        // Hand the departing leaf's back-links to the keeper.
+        self.retarget_backlinks(gone, keeper);
+
+        // Unregister the departing peer's own links.
+        let links = std::mem::take(&mut self.peer_mut(gone).links);
+        for l in links {
+            if self.is_live(l.target) {
+                self.peer_mut(l.target).backlinks.remove(&gone);
+            }
+        }
+
+        self.index.insert(parent, keeper);
+    }
+
+    /// Removes `id` from the live vector (O(1) swap-remove).
+    fn remove_live(&mut self, id: PeerId) {
+        let idx = self.peer(id).live_idx;
+        self.live.swap_remove(idx);
+        if let Some(&moved) = self.live.get(idx) {
+            self.peer_mut(moved).live_idx = idx;
+        }
+    }
+
+    /// Graceful departure of `id` (Section 2.3 / 7.1 dynamics).
+    ///
+    /// If the departing leaf's sibling is a leaf, the sibling absorbs its
+    /// zone. Otherwise a deepest leaf `u` — whose sibling is necessarily a
+    /// leaf — is merged into *its* sibling and `u` takes over the departing
+    /// peer's position (path, zone, tuples, links).
+    ///
+    /// # Panics
+    /// Panics if `id` is not live or is the last remaining peer.
+    pub fn leave(&mut self, id: PeerId) {
+        assert!(self.is_live(id), "peer already departed");
+        assert!(self.peer_count() > 1, "cannot remove the last peer");
+
+        let path = self.peer(id).path;
+        let sibling_path = path.sibling().expect("non-root leaf");
+        if let Some(sib) = self.index.leaf_at(&sibling_path) {
+            self.absorb_sibling(sib, id);
+            self.remove_live(id);
+            self.peers[id.index()] = None;
+            return;
+        }
+
+        // The sibling subtree is internal: merge away a deepest leaf pair,
+        // then move the freed peer into the departing position.
+        let u = self.index.deepest().expect("non-empty overlay");
+        debug_assert_ne!(u, id, "departing peer cannot be deepest here");
+        let u_sibling_path = self.peer(u).path.sibling().expect("deep leaf");
+        let su = self
+            .index
+            .leaf_at(&u_sibling_path)
+            .expect("sibling of a deepest leaf is a leaf");
+        debug_assert_ne!(su, id);
+        // Merging `u` into `su` also removed `u` from the index.
+        self.absorb_sibling(su, u);
+
+        // `u` assumes the departing peer's identity in the tree.
+        let dep_zone = self.peer(id).zone.clone();
+        let dep_tuples = self.peer_mut(id).store.drain_all();
+        let dep_links = std::mem::take(&mut self.peer_mut(id).links);
+        {
+            let up = self.peer_mut(u);
+            up.path = path;
+            up.zone = dep_zone;
+            debug_assert!(up.store.is_empty(), "u's tuples moved to its sibling");
+            up.store.extend(dep_tuples);
+            debug_assert!(up.links.is_empty(), "u's links dropped by absorb");
+            up.links = dep_links;
+        }
+        // Link registrations follow the links to their new holder.
+        let targets: Vec<PeerId> = self.peer(u).links.iter().map(|l| l.target).collect();
+        for t in targets {
+            if self.is_live(t) {
+                self.peer_mut(t).backlinks.remove(&id);
+                self.peer_mut(t).backlinks.insert(u);
+            }
+        }
+        self.retarget_backlinks(id, u);
+        self.index.remove(&path);
+        self.index.insert(path, u);
+        self.remove_live(id);
+        self.peers[id.index()] = None;
+    }
+
+    /// Checks global structural invariants (test support): live zones tile
+    /// the domain, link regions plus the zone partition it per peer, links
+    /// point into their subtrees and regions contain their targets' zones.
+    /// Quadratic; intended for tests, not hot paths.
+    pub fn check_invariants(&self) {
+        let mut volume = 0.0;
+        for &id in &self.live {
+            let p = self.peer(id);
+            assert_eq!(p.id, id);
+            assert_eq!(p.links.len() as u32, p.depth(), "one link per depth");
+            let mut cover = p.zone.volume();
+            for (i, l) in p.links.iter().enumerate() {
+                assert_eq!(l.depth as usize, i + 1);
+                assert_eq!(l.subtree, p.path.sibling_at(l.depth));
+                let t = self.resolve(l);
+                assert!(
+                    l.subtree.is_prefix_of(&self.peer(t).path),
+                    "resolved target must live in the link subtree"
+                );
+                assert!(
+                    l.region.contains_rect(&self.peer(t).zone),
+                    "link region must contain the resolved target's zone"
+                );
+                cover += l.region.volume();
+            }
+            assert!(
+                (cover - 1.0).abs() < 1e-9,
+                "zone + link regions must partition the domain (got {cover})"
+            );
+            for t in p.store.iter() {
+                assert!(p.zone.contains_key(&t.point), "tuple outside zone");
+            }
+            volume += p.zone.volume();
+        }
+        assert!(
+            (volume - 1.0).abs() < 1e-9,
+            "zones must tile the domain (got {volume})"
+        );
+        // zones are pairwise disjoint
+        for (i, &a) in self.live.iter().enumerate() {
+            for &b in self.live.iter().skip(i + 1) {
+                assert!(
+                    !self.peer(a).zone.intersects(&self.peer(b).zone),
+                    "zones of {a} and {b} overlap"
+                );
+            }
+        }
+    }
+}
+
+impl ChurnOverlay for MidasNetwork {
+    fn peer_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn churn_join(&mut self, rng: &mut dyn rand::RngCore) {
+        let key = Point::new(
+            (0..self.dims)
+                .map(|_| rand::Rng::gen::<f64>(&mut &mut *rng))
+                .collect::<Vec<_>>(),
+        );
+        self.join(&key);
+    }
+
+    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore) {
+        if self.peer_count() <= 1 {
+            return;
+        }
+        let idx = rand::Rng::gen_range(&mut &mut *rng, 0..self.live.len());
+        self.leave(self.live[idx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn single_peer_overlay() {
+        let net = MidasNetwork::new(2, false);
+        assert_eq!(net.peer_count(), 1);
+        assert_eq!(net.delta(), 0);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn growth_preserves_invariants() {
+        let mut r = rng(7);
+        let net = MidasNetwork::build(3, 64, false, &mut r);
+        assert_eq!(net.peer_count(), 64);
+        net.check_invariants();
+        assert!(net.delta() >= 6, "64 leaves need depth >= 6");
+    }
+
+    #[test]
+    fn growth_with_border_policy() {
+        let mut r = rng(8);
+        let net = MidasNetwork::build(2, 64, true, &mut r);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn expected_depth_is_logarithmic() {
+        let mut r = rng(9);
+        let net = MidasNetwork::build(2, 1024, false, &mut r);
+        // Expected depth O(log n); allow a generous constant.
+        assert!(net.delta() <= 40, "delta {} too deep for 1024 peers", net.delta());
+    }
+
+    #[test]
+    fn routing_reaches_responsible_peer() {
+        let mut r = rng(10);
+        let net = MidasNetwork::build(2, 128, false, &mut r);
+        for _ in 0..50 {
+            let key = Point::new(vec![r.gen::<f64>(), r.gen::<f64>()]);
+            let from = net.random_peer(&mut r);
+            let (found, hops) = net.route(from, &key);
+            assert!(net.peer(found).zone.contains_key(&key));
+            assert_eq!(found, net.responsible(&key));
+            assert!(hops <= net.delta(), "route must not exceed diameter");
+        }
+    }
+
+    #[test]
+    fn tuples_land_in_their_zone() {
+        let mut r = rng(11);
+        let mut net = MidasNetwork::build(2, 32, false, &mut r);
+        for i in 0..200 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen::<f64>(), r.gen::<f64>()]));
+        }
+        net.check_invariants();
+        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn joins_move_tuples_to_new_owner() {
+        let mut net = MidasNetwork::new(1, false);
+        net.insert_tuple(Tuple::new(1, vec![0.2]));
+        net.insert_tuple(Tuple::new(2, vec![0.8]));
+        let new = net.join(&Point::new(vec![0.9]));
+        assert_eq!(net.peer(new).store.len(), 1);
+        assert_eq!(net.peer(new).store.tuples()[0].id, 2);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn leave_simple_sibling_merge() {
+        let mut net = MidasNetwork::new(2, false);
+        let b = net.join(&Point::new(vec![0.9, 0.5]));
+        net.insert_tuple(Tuple::new(1, vec![0.9, 0.9]));
+        net.leave(b);
+        assert_eq!(net.peer_count(), 1);
+        net.check_invariants();
+        // the survivor owns everything again
+        let survivor = net.live_peers()[0];
+        assert_eq!(net.peer(survivor).store.len(), 1);
+    }
+
+    #[test]
+    fn leave_with_takeover() {
+        let mut r = rng(12);
+        let mut net = MidasNetwork::build(2, 32, false, &mut r);
+        for i in 0..100 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen(), r.gen()]));
+        }
+        // Remove peers until few remain, checking invariants throughout.
+        while net.peer_count() > 2 {
+            let victim = net.random_peer(&mut r);
+            net.leave(victim);
+            net.check_invariants();
+        }
+        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        assert_eq!(total, 100, "no tuples may be lost by churn");
+    }
+
+    #[test]
+    fn full_churn_cycle() {
+        let mut r = rng(13);
+        let mut net = MidasNetwork::build(2, 16, true, &mut r);
+        for i in 0..50 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen(), r.gen()]));
+        }
+        for _ in 0..100 {
+            if r.gen_bool(0.5) {
+                net.join_random(&mut r);
+            } else if net.peer_count() > 1 {
+                let v = net.random_peer(&mut r);
+                net.leave(v);
+            }
+        }
+        net.check_invariants();
+        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn churn_overlay_trait() {
+        let mut r = rng(14);
+        let mut net = MidasNetwork::new(2, false);
+        for _ in 0..20 {
+            ChurnOverlay::churn_join(&mut net, &mut r);
+        }
+        assert_eq!(ChurnOverlay::peer_count(&net), 21);
+        for _ in 0..10 {
+            ChurnOverlay::churn_leave(&mut net, &mut r);
+        }
+        assert_eq!(ChurnOverlay::peer_count(&net), 11);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn border_policy_prefers_border_targets() {
+        let mut r = rng(15);
+        let net = MidasNetwork::build(2, 256, true, &mut r);
+        // Count links targeting border-pattern peers under the policy, and
+        // compare with the plain overlay: the policy should clearly win.
+        let frac = |net: &MidasNetwork| {
+            let (mut hits, mut total) = (0usize, 0usize);
+            for &id in net.live_peers() {
+                for l in &net.peer(id).links {
+                    let t = net.resolve(l);
+                    total += 1;
+                    if net.peer(t).path.on_any_lower_border(2) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits as f64 / total as f64
+        };
+        let with = frac(&net);
+        let mut r2 = rng(15);
+        let plain = MidasNetwork::build(2, 256, false, &mut r2);
+        let without = frac(&plain);
+        assert!(
+            with > without,
+            "policy should increase border targeting ({with:.3} vs {without:.3})"
+        );
+    }
+}

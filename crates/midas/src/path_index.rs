@@ -1,0 +1,199 @@
+//! Ordered index over live leaf ids.
+//!
+//! In a deployed MIDAS overlay, finding "some peer inside the sibling subtree
+//! rooted at depth i" — and, with the Section 5.2 optimisation, "a peer in
+//! that subtree whose id obeys a lower-border pattern, if one exists" — is
+//! part of the join/maintenance protocol and resolved by routing. Our
+//! simulation centralises that bookkeeping in a [`PathIndex`]: a set of
+//! ordered maps in which every subtree is a contiguous key range. The index
+//! is **maintenance infrastructure only** — query processing never touches
+//! it, so the measured hop/message counts are unaffected.
+
+use ripple_geom::kdspace::BitPath;
+use ripple_net::PeerId;
+use std::collections::BTreeMap;
+
+/// Total order over leaf ids in which each subtree is an interval.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Key {
+    aligned: u128,
+    len: u32,
+}
+
+impl Key {
+    fn of(path: &BitPath) -> Self {
+        Self {
+            aligned: path.aligned(),
+            len: path.len(),
+        }
+    }
+
+    /// The inclusive key range spanned by the subtree rooted at `prefix`.
+    fn subtree_range(prefix: &BitPath) -> (Self, Self) {
+        (
+            Self {
+                aligned: prefix.aligned(),
+                len: 0,
+            },
+            Self {
+                aligned: prefix.aligned() | prefix.aligned_suffix_mask(),
+                len: u32::MAX,
+            },
+        )
+    }
+}
+
+/// Index over the live leaves of the virtual k-d tree.
+#[derive(Clone, Debug, Default)]
+pub struct PathIndex {
+    /// All live leaves.
+    leaves: BTreeMap<Key, PeerId>,
+    /// Leaves whose id lies on the lower border along some dimension
+    /// (Section 5.2 patterns) — the preferred link targets.
+    border: BTreeMap<Key, PeerId>,
+    /// Live leaves keyed by `(depth, id)`, for O(log n) deepest-leaf lookup
+    /// (used by the departure protocol).
+    by_depth: BTreeMap<(u32, Key), PeerId>,
+    dims: usize,
+}
+
+impl PathIndex {
+    /// Creates an index for a `dims`-dimensional overlay.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            dims,
+            ..Self::default()
+        }
+    }
+
+    /// Number of indexed leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True if no leaves are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Registers a live leaf.
+    pub fn insert(&mut self, path: BitPath, peer: PeerId) {
+        let key = Key::of(&path);
+        let prev = self.leaves.insert(key, peer);
+        debug_assert!(prev.is_none(), "duplicate leaf id {path}");
+        if path.on_any_lower_border(self.dims) {
+            self.border.insert(key, peer);
+        }
+        self.by_depth.insert((path.len(), key), peer);
+    }
+
+    /// Unregisters a leaf.
+    pub fn remove(&mut self, path: &BitPath) {
+        let key = Key::of(path);
+        let removed = self.leaves.remove(&key);
+        debug_assert!(removed.is_some(), "removing unknown leaf {path}");
+        self.border.remove(&key);
+        self.by_depth.remove(&(path.len(), key));
+    }
+
+    /// The leaf with exactly this id, if it is live.
+    pub fn leaf_at(&self, path: &BitPath) -> Option<PeerId> {
+        self.leaves.get(&Key::of(path)).copied()
+    }
+
+    /// Depth of the deepest live leaf (0 for a single-peer overlay).
+    pub fn max_depth(&self) -> u32 {
+        self.by_depth
+            .iter()
+            .next_back()
+            .map(|((d, _), _)| *d)
+            .unwrap_or(0)
+    }
+
+    /// Some live leaf inside the subtree rooted at `prefix`, if any.
+    pub fn any_in_subtree(&self, prefix: &BitPath) -> Option<PeerId> {
+        let (lo, hi) = Key::subtree_range(prefix);
+        self.leaves.range(lo..=hi).next().map(|(_, &p)| p)
+    }
+
+    /// A border-pattern leaf inside the subtree rooted at `prefix`, if one
+    /// exists (the Section 5.2 preferred link target).
+    pub fn border_in_subtree(&self, prefix: &BitPath) -> Option<PeerId> {
+        let (lo, hi) = Key::subtree_range(prefix);
+        self.border.range(lo..=hi).next().map(|(_, &p)| p)
+    }
+
+    /// The deepest live leaf (ties broken by id order). Its sibling node is
+    /// guaranteed to also be a leaf, which the departure protocol exploits.
+    pub fn deepest(&self) -> Option<PeerId> {
+        self.by_depth.iter().next_back().map(|(_, &p)| p)
+    }
+
+    /// The deepest live leaf that is neither `a` nor `b`.
+    pub fn deepest_excluding(&self, a: PeerId, b: PeerId) -> Option<PeerId> {
+        self.by_depth
+            .values()
+            .rev()
+            .find(|&&p| p != a && p != b)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> PeerId {
+        PeerId::new(i)
+    }
+
+    #[test]
+    fn subtree_queries() {
+        let mut ix = PathIndex::new(2);
+        ix.insert(BitPath::parse("00"), id(0));
+        ix.insert(BitPath::parse("01"), id(1));
+        ix.insert(BitPath::parse("10"), id(2));
+        ix.insert(BitPath::parse("11"), id(3));
+        assert_eq!(ix.len(), 4);
+        let found = ix.any_in_subtree(&BitPath::parse("0")).unwrap();
+        assert!(found == id(0) || found == id(1));
+        assert!(ix.any_in_subtree(&BitPath::parse("10")).is_some());
+        ix.remove(&BitPath::parse("10"));
+        assert_eq!(ix.any_in_subtree(&BitPath::parse("10")), None);
+    }
+
+    #[test]
+    fn border_preference() {
+        let mut ix = PathIndex::new(2);
+        // "11" is interior; "10" touches the bottom border
+        ix.insert(BitPath::parse("11"), id(0));
+        ix.insert(BitPath::parse("10"), id(1));
+        assert_eq!(ix.border_in_subtree(&BitPath::parse("1")), Some(id(1)));
+        ix.remove(&BitPath::parse("10"));
+        assert_eq!(ix.border_in_subtree(&BitPath::parse("1")), None);
+        assert_eq!(ix.any_in_subtree(&BitPath::parse("1")), Some(id(0)));
+    }
+
+    #[test]
+    fn deepest_tracking() {
+        let mut ix = PathIndex::new(2);
+        ix.insert(BitPath::parse("0"), id(0));
+        ix.insert(BitPath::parse("10"), id(1));
+        ix.insert(BitPath::parse("110"), id(2));
+        ix.insert(BitPath::parse("111"), id(3));
+        let d = ix.deepest().unwrap();
+        assert!(d == id(2) || d == id(3));
+        let e = ix.deepest_excluding(id(2), id(3)).unwrap();
+        assert_eq!(e, id(1));
+        ix.remove(&BitPath::parse("110"));
+        ix.remove(&BitPath::parse("111"));
+        assert_eq!(ix.deepest(), Some(id(1)));
+    }
+
+    #[test]
+    fn root_subtree_sees_everything() {
+        let mut ix = PathIndex::new(3);
+        ix.insert(BitPath::parse("010"), id(7));
+        assert_eq!(ix.any_in_subtree(&BitPath::root()), Some(id(7)));
+    }
+}

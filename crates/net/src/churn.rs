@@ -1,0 +1,170 @@
+//! Network dynamics: the two-stage churn schedule of Section 7.1.
+//!
+//! The paper simulates "a dynamic topology that captures arbitrary physical
+//! peer joins and departures, in two distinct stages": an *increasing* stage
+//! growing the overlay from 1,024 to 131,072 peers (joins only), and a
+//! *decreasing* stage shrinking it back (departures only). Measurements are
+//! taken whenever the network size crosses a power of two.
+
+use rand::Rng;
+
+/// The churn stage currently driving the overlay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnStage {
+    /// Peers continuously join; none depart.
+    Increasing,
+    /// Peers continuously depart; none join.
+    Decreasing,
+}
+
+/// The maintenance interface an overlay must expose to be driven by churn.
+///
+/// All four overlays (MIDAS, CAN, BATON, Chord) implement this; the
+/// experiment harness is generic over it.
+pub trait ChurnOverlay {
+    /// Current number of live peers.
+    fn peer_count(&self) -> usize;
+
+    /// A new physical peer joins at a position chosen by `rng`
+    /// (e.g. by routing a random key and splitting the responsible zone).
+    fn churn_join(&mut self, rng: &mut dyn rand::RngCore);
+
+    /// A uniformly random live peer departs gracefully, handing its zone and
+    /// data over per the overlay's protocol. No-op if only one peer remains.
+    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore);
+}
+
+/// Grows (or shrinks) the overlay to exactly `target` peers, calling
+/// `observe` every time the size crosses one of `checkpoints` (ascending for
+/// growth, descending for shrink).
+pub fn run_stage<O: ChurnOverlay + ?Sized, R: Rng>(
+    overlay: &mut O,
+    stage: ChurnStage,
+    target: usize,
+    checkpoints: &[usize],
+    rng: &mut R,
+    mut observe: impl FnMut(&mut O, usize),
+) {
+    match stage {
+        ChurnStage::Increasing => {
+            assert!(overlay.peer_count() <= target, "already larger than target");
+            let mut next_cp = checkpoints
+                .iter()
+                .copied()
+                .filter(|&c| c >= overlay.peer_count())
+                .collect::<Vec<_>>();
+            next_cp.sort_unstable();
+            let mut cp_iter = next_cp.into_iter().peekable();
+            // fire checkpoints already satisfied at entry
+            while cp_iter.peek().is_some_and(|&c| c <= overlay.peer_count()) {
+                let c = cp_iter.next().expect("peeked");
+                observe(overlay, c);
+            }
+            while overlay.peer_count() < target {
+                overlay.churn_join(rng);
+                while cp_iter.peek().is_some_and(|&c| c <= overlay.peer_count()) {
+                    let c = cp_iter.next().expect("peeked");
+                    observe(overlay, c);
+                }
+            }
+        }
+        ChurnStage::Decreasing => {
+            assert!(overlay.peer_count() >= target, "already smaller than target");
+            let mut next_cp = checkpoints
+                .iter()
+                .copied()
+                .filter(|&c| c <= overlay.peer_count())
+                .collect::<Vec<_>>();
+            next_cp.sort_unstable_by(|a, b| b.cmp(a));
+            let mut cp_iter = next_cp.into_iter().peekable();
+            while cp_iter.peek().is_some_and(|&c| c >= overlay.peer_count()) {
+                let c = cp_iter.next().expect("peeked");
+                observe(overlay, c);
+            }
+            while overlay.peer_count() > target {
+                overlay.churn_leave(rng);
+                while cp_iter.peek().is_some_and(|&c| c >= overlay.peer_count()) {
+                    let c = cp_iter.next().expect("peeked");
+                    observe(overlay, c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A trivial overlay that only tracks its size.
+    struct Counter(usize);
+
+    impl ChurnOverlay for Counter {
+        fn peer_count(&self) -> usize {
+            self.0
+        }
+        fn churn_join(&mut self, _rng: &mut dyn rand::RngCore) {
+            self.0 += 1;
+        }
+        fn churn_leave(&mut self, _rng: &mut dyn rand::RngCore) {
+            if self.0 > 1 {
+                self.0 -= 1;
+            }
+        }
+    }
+
+    #[test]
+    fn increasing_stage_hits_checkpoints_in_order() {
+        let mut o = Counter(4);
+        let mut seen = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        run_stage(
+            &mut o,
+            ChurnStage::Increasing,
+            32,
+            &[4, 8, 16, 32],
+            &mut rng,
+            |ov, cp| {
+                assert!(ov.peer_count() >= cp);
+                seen.push(cp);
+            },
+        );
+        assert_eq!(seen, vec![4, 8, 16, 32]);
+        assert_eq!(o.peer_count(), 32);
+    }
+
+    #[test]
+    fn decreasing_stage_hits_checkpoints_in_reverse() {
+        let mut o = Counter(32);
+        let mut seen = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        run_stage(
+            &mut o,
+            ChurnStage::Decreasing,
+            4,
+            &[4, 8, 16, 32],
+            &mut rng,
+            |_, cp| seen.push(cp),
+        );
+        assert_eq!(seen, vec![32, 16, 8, 4]);
+        assert_eq!(o.peer_count(), 4);
+    }
+
+    #[test]
+    fn checkpoints_outside_range_are_ignored() {
+        let mut o = Counter(10);
+        let mut seen = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        run_stage(
+            &mut o,
+            ChurnStage::Increasing,
+            12,
+            &[2, 11, 100],
+            &mut rng,
+            |_, cp| seen.push(cp),
+        );
+        assert_eq!(seen, vec![11]);
+    }
+}

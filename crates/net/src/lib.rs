@@ -1,0 +1,32 @@
+//! Simulation fabric shared by every overlay in the RIPPLE reproduction.
+//!
+//! The paper evaluates RIPPLE by *simulating* a dynamic decentralized network
+//! (Section 7.1) and reporting two metrics: **latency** (hops on the critical
+//! path of a query) and **congestion** (average number of queries a peer
+//! processes when `n` uniform queries are issued). This crate provides the
+//! process-local machinery those measurements rest on:
+//!
+//! * [`PeerId`] — stable handles for simulated peers (never reused, so churn
+//!   cannot confuse link targets).
+//! * [`QueryMetrics`] — the per-query cost ledger each distributed algorithm
+//!   fills in (hops, query messages, response messages, tuples shipped).
+//! * [`MetricsAggregator`] — turns many [`QueryMetrics`] into the paper's
+//!   metrics for one experimental point.
+//! * [`PeerStore`] — per-peer tuple storage with the key-movement operations
+//!   joins and leaves need.
+//! * [`churn`] — the two-stage (increasing / decreasing) network dynamics
+//!   driver of Section 7.1.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod metrics;
+pub mod peer;
+pub mod stats;
+pub mod store;
+
+pub use churn::{ChurnOverlay, ChurnStage};
+pub use metrics::{MetricsAggregator, PointSummary, QueryMetrics};
+pub use peer::PeerId;
+pub use stats::Distribution;
+pub use store::PeerStore;

@@ -1,0 +1,241 @@
+//! Query cost accounting, matching the paper's metrics (Section 7.1).
+//!
+//! **Latency** is the number of hops on the critical path of query
+//! processing. The distributed algorithms compute it recursively exactly as
+//! the proofs of Lemmas 1–3 count it: forwarding a query to a link costs one
+//! hop; children contacted in parallel (`fast`) contribute the *maximum* of
+//! their subtree latencies, children contacted sequentially (`slow`)
+//! contribute the *sum*. State/answer responses are tallied as messages but
+//! add no hops, mirroring the Lemma accounting.
+//!
+//! **Congestion** is "the average number of queries processed at any peer
+//! when `n` uniform queries are issued" (`n` = network size): each query
+//! records how many peer-visits it caused, and the aggregator averages
+//! visits per query, which — with `n` queries over `n` peers — equals the
+//! expected per-peer load.
+
+use crate::peer::PeerId;
+
+/// The cost ledger of a single distributed query execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// Hops on the critical path (the paper's latency metric).
+    pub latency: u64,
+    /// Query-forward messages sent between peers.
+    pub query_messages: u64,
+    /// Response messages (remote local states, local answers).
+    pub response_messages: u64,
+    /// Number of peer-visits (processing events); drives congestion.
+    pub peers_visited: u64,
+    /// Tuples shipped over the wire in responses (communication volume).
+    pub tuples_transferred: u64,
+}
+
+impl QueryMetrics {
+    /// A fresh, all-zero ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `peer` processed one query message.
+    #[inline]
+    pub fn visit(&mut self, _peer: PeerId) {
+        self.peers_visited += 1;
+    }
+
+    /// Records a query-forward message.
+    #[inline]
+    pub fn forward(&mut self) {
+        self.query_messages += 1;
+    }
+
+    /// Records a response message carrying `tuples` tuples.
+    #[inline]
+    pub fn respond(&mut self, tuples: usize) {
+        self.response_messages += 1;
+        self.tuples_transferred += tuples as u64;
+    }
+
+    /// Total messages of any kind.
+    pub fn total_messages(&self) -> u64 {
+        self.query_messages + self.response_messages
+    }
+
+    /// Merges the ledgers of several *sequential* phases of one logical query
+    /// (e.g. the iterations of the diversification greedy loop): latencies
+    /// add, as do all counters.
+    pub fn absorb_sequential(&mut self, other: &QueryMetrics) {
+        self.latency += other.latency;
+        self.query_messages += other.query_messages;
+        self.response_messages += other.response_messages;
+        self.peers_visited += other.peers_visited;
+        self.tuples_transferred += other.tuples_transferred;
+    }
+}
+
+/// Summary statistics for one experimental point (one x-axis position of a
+/// paper figure): averages over many queries, possibly over many networks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSummary {
+    /// Number of queries aggregated.
+    pub queries: u64,
+    /// Mean latency in hops.
+    pub latency: f64,
+    /// Maximum latency observed.
+    pub latency_max: u64,
+    /// Congestion: average queries processed per peer, when `network_size`
+    /// queries are issued (= mean peer-visits per query).
+    pub congestion: f64,
+    /// Mean messages (query + response) per query.
+    pub messages: f64,
+    /// Mean tuples transferred per query.
+    pub tuples: f64,
+}
+
+/// Accumulates per-query ledgers into a [`PointSummary`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsAggregator {
+    count: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    visits_sum: u64,
+    messages_sum: u64,
+    tuples_sum: u64,
+}
+
+impl MetricsAggregator {
+    /// A fresh aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one query's ledger.
+    pub fn record(&mut self, m: &QueryMetrics) {
+        self.count += 1;
+        self.latency_sum += m.latency;
+        self.latency_max = self.latency_max.max(m.latency);
+        self.visits_sum += m.peers_visited;
+        self.messages_sum += m.total_messages();
+        self.tuples_sum += m.tuples_transferred;
+    }
+
+    /// Number of queries recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another aggregator (e.g. from a different network instance) in.
+    pub fn merge(&mut self, other: &MetricsAggregator) {
+        self.count += other.count;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        self.visits_sum += other.visits_sum;
+        self.messages_sum += other.messages_sum;
+        self.tuples_sum += other.tuples_sum;
+    }
+
+    /// Produces the summary.
+    ///
+    /// # Panics
+    /// Panics if no queries were recorded.
+    pub fn summary(&self) -> PointSummary {
+        assert!(self.count > 0, "no queries recorded");
+        let n = self.count as f64;
+        PointSummary {
+            queries: self.count,
+            latency: self.latency_sum as f64 / n,
+            latency_max: self.latency_max,
+            congestion: self.visits_sum as f64 / n,
+            messages: self.messages_sum as f64 / n,
+            tuples: self.tuples_sum as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_counters() {
+        let mut m = QueryMetrics::new();
+        m.visit(PeerId::new(0));
+        m.visit(PeerId::new(1));
+        m.forward();
+        m.respond(5);
+        m.respond(0);
+        assert_eq!(m.peers_visited, 2);
+        assert_eq!(m.query_messages, 1);
+        assert_eq!(m.response_messages, 2);
+        assert_eq!(m.tuples_transferred, 5);
+        assert_eq!(m.total_messages(), 3);
+    }
+
+    #[test]
+    fn sequential_absorb_adds_latency() {
+        let mut a = QueryMetrics {
+            latency: 3,
+            query_messages: 4,
+            response_messages: 2,
+            peers_visited: 5,
+            tuples_transferred: 7,
+        };
+        let b = QueryMetrics {
+            latency: 2,
+            query_messages: 1,
+            response_messages: 1,
+            peers_visited: 2,
+            tuples_transferred: 3,
+        };
+        a.absorb_sequential(&b);
+        assert_eq!(a.latency, 5);
+        assert_eq!(a.peers_visited, 7);
+        assert_eq!(a.tuples_transferred, 10);
+    }
+
+    #[test]
+    fn aggregation_and_summary() {
+        let mut agg = MetricsAggregator::new();
+        for latency in [2u64, 4, 6] {
+            let m = QueryMetrics {
+                latency,
+                query_messages: latency,
+                response_messages: 0,
+                peers_visited: 10,
+                tuples_transferred: 1,
+            };
+            agg.record(&m);
+        }
+        let s = agg.summary();
+        assert_eq!(s.queries, 3);
+        assert!((s.latency - 4.0).abs() < 1e-12);
+        assert_eq!(s.latency_max, 6);
+        assert!((s.congestion - 10.0).abs() < 1e-12);
+        assert!((s.messages - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_networks() {
+        let mut a = MetricsAggregator::new();
+        let mut b = MetricsAggregator::new();
+        a.record(&QueryMetrics {
+            latency: 10,
+            ..QueryMetrics::default()
+        });
+        b.record(&QueryMetrics {
+            latency: 20,
+            ..QueryMetrics::default()
+        });
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.queries, 2);
+        assert!((s.latency - 15.0).abs() < 1e-12);
+        assert_eq!(s.latency_max, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "no queries")]
+    fn empty_summary_panics() {
+        let _ = MetricsAggregator::new().summary();
+    }
+}

@@ -1,0 +1,119 @@
+//! Distribution statistics over per-peer quantities (storage load, link
+//! counts, congestion counters). Used by the experiment harness to verify
+//! structural claims — e.g. that data-steered joins balance storage, or
+//! that routing load does not concentrate on few peers.
+
+/// Summary statistics of a per-peer distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Distribution {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even counts).
+    pub median: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Gini coefficient in `[0, 1]`: 0 = perfectly even, →1 = concentrated
+    /// on one peer. The standard imbalance measure for P2P load.
+    pub gini: f64,
+}
+
+impl Distribution {
+    /// Computes the summary of `values`.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains non-finite entries.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        assert!(!v.is_empty(), "no samples");
+        assert!(v.iter().all(|x| x.is_finite()), "non-finite sample");
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let sum: f64 = v.iter().sum();
+        let mean = sum / n as f64;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        // Gini from the sorted sample: Σ (2i − n − 1)·x_i / (n·Σx)
+        let gini = if sum > 0.0 {
+            v.iter()
+                .enumerate()
+                .map(|(i, x)| (2.0 * (i + 1) as f64 - n as f64 - 1.0) * x)
+                .sum::<f64>()
+                / (n as f64 * sum)
+        } else {
+            0.0
+        };
+        Self {
+            count: n,
+            min: v[0],
+            max: v[n - 1],
+            mean,
+            median: v[(n - 1) / 2],
+            std_dev: var.sqrt(),
+            gini: gini.max(0.0),
+        }
+    }
+
+    /// Max/mean ratio — a quick hotspot indicator (1.0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max / self.mean
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_is_flat() {
+        let d = Distribution::of((0..10).map(|_| 5.0));
+        assert_eq!(d.count, 10);
+        assert_eq!(d.min, 5.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.mean, 5.0);
+        assert_eq!(d.median, 5.0);
+        assert_eq!(d.std_dev, 0.0);
+        assert!(d.gini.abs() < 1e-12);
+        assert!((d.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_distribution_has_high_gini() {
+        let mut v = vec![0.0; 99];
+        v.push(100.0);
+        let d = Distribution::of(v);
+        assert!(d.gini > 0.95, "gini = {}", d.gini);
+        assert!(d.imbalance() > 50.0);
+    }
+
+    #[test]
+    fn summary_values() {
+        let d = Distribution::of([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        assert_eq!(d.median, 2.0, "lower median");
+        // known Gini of {1,2,3,4} is 0.25
+        assert!((d.gini - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_rejected() {
+        let _ = Distribution::of(std::iter::empty());
+    }
+
+    #[test]
+    fn zero_sum_gini_is_zero() {
+        let d = Distribution::of([0.0, 0.0, 0.0]);
+        assert_eq!(d.gini, 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-peer tuple storage.
+//!
+//! Every DHT peer "stores all tuples falling in" its zone (Section 1). The
+//! store is deliberately a plain vector: the paper's algorithms scan a peer's
+//! local tuples per query (local top-k / local skyline / local best-φ), and
+//! local scans are not part of the reported metrics (hops and messages), so
+//! a simple representation keeps the simulation honest and fast enough.
+
+use ripple_geom::{Point, Tuple};
+
+/// The tuples held by one peer.
+#[derive(Clone, Debug, Default)]
+pub struct PeerStore {
+    tuples: Vec<Tuple>,
+}
+
+impl PeerStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple.
+    pub fn insert(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Iterates the stored tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All stored tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Removes and returns every tuple satisfying `pred` — used when a zone
+    /// split hands part of the key range to a new peer.
+    pub fn drain_where(&mut self, mut pred: impl FnMut(&Point) -> bool) -> Vec<Tuple> {
+        let mut moved = Vec::new();
+        let mut i = 0;
+        while i < self.tuples.len() {
+            if pred(&self.tuples[i].point) {
+                moved.push(self.tuples.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        moved
+    }
+
+    /// Removes and returns all tuples — used when a departing peer hands its
+    /// data to the peer absorbing its zone.
+    pub fn drain_all(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.tuples)
+    }
+
+    /// Absorbs a batch of tuples.
+    pub fn extend(&mut self, batch: impl IntoIterator<Item = Tuple>) {
+        self.tuples.extend(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, x: f64) -> Tuple {
+        Tuple::new(id, vec![x, x])
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut s = PeerStore::new();
+        assert!(s.is_empty());
+        s.insert(t(1, 0.5));
+        s.insert(t(2, 0.7));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn drain_where_partitions() {
+        let mut s = PeerStore::new();
+        for i in 0..10 {
+            s.insert(t(i, i as f64 / 10.0));
+        }
+        let moved = s.drain_where(|p| p.coord(0) >= 0.5);
+        assert_eq!(moved.len(), 5);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|t| t.point.coord(0) < 0.5));
+        assert!(moved.iter().all(|t| t.point.coord(0) >= 0.5));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut s = PeerStore::new();
+        s.insert(t(1, 0.1));
+        let all = s.drain_all();
+        assert_eq!(all.len(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extend_absorbs() {
+        let mut a = PeerStore::new();
+        a.extend(vec![t(1, 0.1), t(2, 0.2)]);
+        assert_eq!(a.len(), 2);
+    }
+}

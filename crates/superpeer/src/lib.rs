@@ -1,0 +1,320 @@
+//! SPEERTO-style super-peer top-k (Vlachou et al. \[17\], Section 2.1).
+//!
+//! The unstructured alternative the RIPPLE paper cites for horizontally
+//! distributed top-k: "In SPEERTO each node computes its **k-skyband** as a
+//! pre-processing step. Then, each super-peer aggregates the k-skyband sets
+//! of its nodes to answer incoming queries."
+//!
+//! The k-skyband (tuples dominated by fewer than `k` others) is exactly the
+//! set of tuples that can appear in the top-k answer of *some* monotone
+//! scoring function, so a super-peer holding the aggregated skybands of its
+//! cluster can answer any such query without touching the member peers at
+//! query time. The price is pre-processing, skyband storage at the
+//! super-peers, and a hard cap `k ≤ K` on the supported result size.
+//!
+//! Topology: `s` super-peers, each responsible for a cluster of member
+//! peers; super-peers form a clique (typical for small `s`). A query lands
+//! on a random super-peer, is forwarded to the other super-peers (one hop,
+//! parallel), and every super-peer answers from its aggregated skyband.
+//!
+//! Dominance in this crate follows the repository convention: **lower is
+//! better** on every attribute, and top-k queries score with any
+//! [`ScoreFn`] whose maxima favour dominating tuples (e.g. a `PeakScore`
+//! at the origin, or monotone decreasing aggregates).
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+use ripple_geom::{dominance, ScoreFn, Tuple};
+use ripple_net::{PeerId, QueryMetrics};
+
+/// A member peer: holds raw tuples and precomputes its k-skyband.
+#[derive(Clone, Debug)]
+pub struct MemberPeer {
+    /// Stable handle.
+    pub id: PeerId,
+    /// Raw horizontal partition.
+    pub tuples: Vec<Tuple>,
+    /// Precomputed K-skyband (the pre-processing step).
+    pub skyband: Vec<Tuple>,
+}
+
+/// A super-peer: aggregates the skybands of its members.
+#[derive(Clone, Debug)]
+pub struct SuperPeer {
+    /// Stable handle.
+    pub id: PeerId,
+    /// Member peers of this cluster.
+    pub members: Vec<MemberPeer>,
+    /// The aggregated K-skyband over the cluster.
+    pub aggregated: Vec<Tuple>,
+}
+
+/// The two-tier SPEERTO network.
+#[derive(Clone, Debug)]
+pub struct SpeertoNetwork {
+    supers: Vec<SuperPeer>,
+    /// The skyband parameter `K` fixed at pre-processing time; queries with
+    /// `k ≤ K` are answerable exactly.
+    k_max: usize,
+}
+
+impl SpeertoNetwork {
+    /// Partitions `data` over `members` peers grouped under `supers`
+    /// super-peers, precomputing all skybands for result sizes up to
+    /// `k_max`.
+    ///
+    /// # Panics
+    /// Panics if any count is zero or `members < supers`.
+    pub fn build<R: Rng>(
+        data: &[Tuple],
+        supers: usize,
+        members: usize,
+        k_max: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(supers > 0 && members >= supers && k_max > 0);
+        // horizontal partition: each tuple lands on a uniform member peer
+        let mut partitions: Vec<Vec<Tuple>> = vec![Vec::new(); members];
+        for t in data {
+            partitions[rng.gen_range(0..members)].push(t.clone());
+        }
+        let mut member_peers: Vec<MemberPeer> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(i, tuples)| {
+                let skyband = dominance::skyband(&tuples, k_max);
+                MemberPeer {
+                    id: PeerId::new(i as u32),
+                    tuples,
+                    skyband,
+                }
+            })
+            .collect();
+
+        // round-robin cluster assignment
+        let mut clusters: Vec<Vec<MemberPeer>> = (0..supers).map(|_| Vec::new()).collect();
+        for (i, m) in member_peers.drain(..).enumerate() {
+            clusters[i % supers].push(m);
+        }
+        let supers_vec = clusters
+            .into_iter()
+            .enumerate()
+            .map(|(i, members)| {
+                // aggregate: the K-skyband of the union of member skybands
+                let union: Vec<Tuple> = members
+                    .iter()
+                    .flat_map(|m| m.skyband.iter().cloned())
+                    .collect();
+                let aggregated = dominance::skyband(&union, k_max);
+                SuperPeer {
+                    id: PeerId::new((members.len() + i) as u32),
+                    members,
+                    aggregated,
+                }
+            })
+            .collect();
+        Self {
+            supers: supers_vec,
+            k_max,
+        }
+    }
+
+    /// The super-peers.
+    pub fn supers(&self) -> &[SuperPeer] {
+        &self.supers
+    }
+
+    /// The skyband cap `K` chosen at pre-processing time.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Total tuples stored across all member peers.
+    pub fn total_tuples(&self) -> usize {
+        self.supers
+            .iter()
+            .flat_map(|s| &s.members)
+            .map(|m| m.tuples.len())
+            .sum()
+    }
+
+    /// Total tuples held at the super-peer tier (the storage overhead the
+    /// architecture pays for query-time locality).
+    pub fn superpeer_storage(&self) -> usize {
+        self.supers.iter().map(|s| s.aggregated.len()).sum()
+    }
+
+    /// Answers a top-k query (`k ≤ K`) for a monotone-decreasing score:
+    /// the receiving super-peer broadcasts to its clique (one hop), every
+    /// super-peer answers its local top-k from the aggregated skyband, the
+    /// receiver merges. Member peers are never contacted.
+    ///
+    /// # Panics
+    /// Panics if `k > K` — the precomputed skybands cannot guarantee
+    /// exactness beyond their parameter.
+    pub fn topk<F: ScoreFn, R: Rng>(
+        &self,
+        score: &F,
+        k: usize,
+        rng: &mut R,
+    ) -> (Vec<Tuple>, QueryMetrics) {
+        assert!(
+            k <= self.k_max,
+            "k = {k} exceeds the precomputed skyband parameter K = {}",
+            self.k_max
+        );
+        let mut metrics = QueryMetrics::new();
+        let entry = rng.gen_range(0..self.supers.len());
+        metrics.visit(self.supers[entry].id);
+
+        let mut answers: Vec<Tuple> = Vec::new();
+        for (i, sp) in self.supers.iter().enumerate() {
+            if i != entry {
+                metrics.forward();
+                metrics.visit(sp.id);
+            }
+            // local top-k from the aggregated skyband
+            let mut local: Vec<Tuple> = sp.aggregated.clone();
+            local.sort_by(|a, b| {
+                score
+                    .score(&b.point)
+                    .total_cmp(&score.score(&a.point))
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            local.truncate(k);
+            if i != entry {
+                metrics.respond(local.len());
+            }
+            answers.extend(local);
+        }
+        // clique: one hop out, responses back
+        metrics.latency = if self.supers.len() > 1 { 1 } else { 0 };
+
+        answers.sort_by(|a, b| {
+            score
+                .score(&b.point)
+                .total_cmp(&score.score(&a.point))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        answers.dedup_by_key(|t| t.id);
+        answers.truncate(k);
+        (answers, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ripple_geom::{Norm, PeakScore, Point};
+
+    fn dataset(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| Tuple::new(i, vec![rng.gen::<f64>(), rng.gen::<f64>()]))
+            .collect()
+    }
+
+    fn oracle(data: &[Tuple], score: &PeakScore, k: usize) -> Vec<u64> {
+        let mut all: Vec<&Tuple> = data.iter().collect();
+        all.sort_by(|a, b| {
+            score
+                .score(&b.point)
+                .total_cmp(&score.score(&a.point))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        all.iter().take(k).map(|t| t.id).collect()
+    }
+
+    #[test]
+    fn skyband_topk_is_exact_for_monotone_scores() {
+        let data = dataset(600, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = SpeertoNetwork::build(&data, 4, 24, 10, &mut rng);
+        // any peak at the domain's best corner is monotone w.r.t. dominance
+        let score = PeakScore::new(Point::origin(2), Norm::L1);
+        for k in [1usize, 5, 10] {
+            let (got, m) = net.topk(&score, k, &mut rng);
+            assert_eq!(
+                got.iter().map(|t| t.id).collect::<Vec<_>>(),
+                oracle(&data, &score, k),
+                "k = {k}"
+            );
+            // one clique hop, only super-peers touched
+            assert_eq!(m.latency, 1);
+            assert_eq!(m.peers_visited as usize, net.supers().len());
+        }
+    }
+
+    #[test]
+    fn weighted_aggregates_are_exact_too() {
+        // lower-is-better weighted sums are monotone in dominance, so the
+        // k-skyband covers their top-k as well; score = -Σ w·x
+        use ripple_geom::{Rect, ScoreFn};
+        #[derive(Clone)]
+        struct NegSum(Vec<f64>);
+        impl ScoreFn for NegSum {
+            fn score(&self, p: &Point) -> f64 {
+                -(0..p.dims()).map(|d| self.0[d] * p.coord(d)).sum::<f64>()
+            }
+            fn upper_bound(&self, r: &Rect) -> f64 {
+                self.score(r.lo())
+            }
+        }
+        let data = dataset(500, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = SpeertoNetwork::build(&data, 3, 12, 8, &mut rng);
+        for w in [[1.0, 1.0], [3.0, 0.5]] {
+            let score = NegSum(w.to_vec());
+            let (got, _) = net.topk(&score, 8, &mut rng);
+            let mut all: Vec<&Tuple> = data.iter().collect();
+            all.sort_by(|a, b| {
+                score
+                    .score(&b.point)
+                    .total_cmp(&score.score(&a.point))
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            assert_eq!(
+                got.iter().map(|t| t.id).collect::<Vec<_>>(),
+                all.iter().take(8).map(|t| t.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the precomputed skyband")]
+    fn k_beyond_cap_is_rejected() {
+        let data = dataset(100, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = SpeertoNetwork::build(&data, 2, 4, 5, &mut rng);
+        let score = PeakScore::new(Point::origin(2), Norm::L1);
+        let _ = net.topk(&score, 6, &mut rng);
+    }
+
+    #[test]
+    fn superpeer_storage_is_a_fraction_of_the_data() {
+        let data = dataset(2000, 7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let net = SpeertoNetwork::build(&data, 4, 20, 5, &mut rng);
+        assert_eq!(net.total_tuples(), 2000);
+        assert!(
+            net.superpeer_storage() < 2000 / 2,
+            "skybands should compress: {} of 2000",
+            net.superpeer_storage()
+        );
+    }
+
+    #[test]
+    fn single_super_peer_answers_locally() {
+        let data = dataset(200, 9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let net = SpeertoNetwork::build(&data, 1, 5, 4, &mut rng);
+        let score = PeakScore::new(Point::origin(2), Norm::L1);
+        let (got, m) = net.topk(&score, 4, &mut rng);
+        assert_eq!(got.len(), 4);
+        assert_eq!(m.latency, 0);
+        assert_eq!(m.total_messages(), 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! FA, TA, TPUT and KLEE over the vertical substrate.
+//!
+//! All four answer the same query: the `k` tuple ids with the highest
+//! *sum* of attribute values (higher is better here, as in the original
+//! papers; any monotone aggregate works the same way). Costs are reported
+//! as the literature does: sorted accesses, random accesses, round trips.
+
+use crate::server::VerticalNetwork;
+use ripple_geom::TupleId;
+use std::collections::{HashMap, HashSet};
+
+/// Access-cost ledger of one vertical top-k execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessCosts {
+    /// Entries consumed by sorted (sequential) access.
+    pub sorted_accesses: u64,
+    /// Values fetched by random access.
+    pub random_accesses: u64,
+    /// Protocol round trips between the coordinator and the servers.
+    pub rounds: u64,
+}
+
+/// Result of a vertical top-k execution.
+#[derive(Clone, Debug)]
+pub struct TopKResult {
+    /// `(id, aggregate score)`, best first, exactly `min(k, n)` entries.
+    pub top: Vec<(TupleId, f64)>,
+    /// The cost ledger.
+    pub costs: AccessCosts,
+}
+
+fn finalize(mut scored: Vec<(TupleId, f64)>, k: usize, costs: AccessCosts) -> TopKResult {
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    scored.truncate(k);
+    TopKResult { top: scored, costs }
+}
+
+/// Brute-force oracle: full scan of every list.
+pub fn brute_force(net: &VerticalNetwork, k: usize) -> Vec<(TupleId, f64)> {
+    let mut scored: Vec<(TupleId, f64)> = (0..net.len())
+        .map(|i| {
+            let (id, _) = net.server(0).sorted_access(i).expect("dense ids");
+            (id, net.full_score(id))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Fagin's Algorithm \[6\]: parallel sorted access on all lists until at
+/// least `k` objects have been seen on **every** list, then random access
+/// to complete all seen objects.
+pub fn fa(net: &VerticalNetwork, k: usize) -> TopKResult {
+    assert!(k > 0);
+    let m = net.dims();
+    let mut costs = AccessCosts::default();
+    let mut seen_on: HashMap<TupleId, usize> = HashMap::new();
+    let mut fully_seen = 0usize;
+    let mut depth = 0usize;
+
+    while fully_seen < k && depth < net.len() {
+        for d in 0..m {
+            let (id, _) = net
+                .server(d)
+                .sorted_access(depth)
+                .expect("depth < len on dense lists");
+            costs.sorted_accesses += 1;
+            let c = seen_on.entry(id).or_insert(0);
+            *c += 1;
+            if *c == m {
+                fully_seen += 1;
+            }
+        }
+        depth += 1;
+    }
+    costs.rounds = depth as u64; // one lock-step round per depth level
+
+    // random access: complete every seen object (FA pays for all of them)
+    let mut scored = Vec::with_capacity(seen_on.len());
+    for (&id, &count) in &seen_on {
+        if count < m {
+            costs.random_accesses += (m - count) as u64;
+        }
+        scored.push((id, net.full_score(id)));
+    }
+    costs.rounds += 1;
+    finalize(scored, k, costs)
+}
+
+/// The Threshold Algorithm \[6\]: lock-step sorted access; every newly seen
+/// object is completed by random access immediately; terminate when the
+/// current top-k all score at least the frontier threshold
+/// `τ = Σ_d last_d`.
+pub fn ta(net: &VerticalNetwork, k: usize) -> TopKResult {
+    assert!(k > 0);
+    let m = net.dims();
+    let mut costs = AccessCosts::default();
+    let mut completed: HashMap<TupleId, f64> = HashMap::new();
+    let mut depth = 0usize;
+
+    while depth < net.len() {
+        let mut frontier = 0.0;
+        for d in 0..m {
+            let (id, v) = net
+                .server(d)
+                .sorted_access(depth)
+                .expect("depth < len on dense lists");
+            costs.sorted_accesses += 1;
+            frontier += v;
+            if let std::collections::hash_map::Entry::Vacant(e) = completed.entry(id) {
+                costs.random_accesses += (m - 1) as u64;
+                e.insert(net.full_score(id));
+            }
+        }
+        costs.rounds += 1;
+        depth += 1;
+
+        // stop when the k-th best completed score meets the threshold
+        if completed.len() >= k {
+            let mut best: Vec<f64> = completed.values().copied().collect();
+            best.sort_by(|a, b| b.total_cmp(a));
+            if best[k - 1] >= frontier {
+                break;
+            }
+        }
+    }
+    let scored: Vec<(TupleId, f64)> = completed.into_iter().collect();
+    finalize(scored, k, costs)
+}
+
+/// Three-Phase Uniform Threshold \[4\]: a fixed three-round protocol.
+///
+/// 1. fetch each list's top-k; the k-th best *partial* sum is `T₁`;
+/// 2. fetch from every list all entries with value ≥ `T₁ / m` ("uniform
+///    threshold") and prune candidates whose upper bound < `T₁`;
+/// 3. random-access the surviving candidates' missing values.
+pub fn tput(net: &VerticalNetwork, k: usize) -> TopKResult {
+    assert!(k > 0);
+    let m = net.dims();
+    let mut costs = AccessCosts::default();
+
+    // phase 1: top-k of every list
+    let mut partial: HashMap<TupleId, f64> = HashMap::new();
+    for d in 0..m {
+        for depth in 0..k.min(net.len()) {
+            let (id, v) = net.server(d).sorted_access(depth).expect("depth < len");
+            costs.sorted_accesses += 1;
+            *partial.entry(id).or_insert(0.0) += v;
+        }
+    }
+    costs.rounds += 1;
+    let t1 = {
+        let mut sums: Vec<f64> = partial.values().copied().collect();
+        sums.sort_by(|a, b| b.total_cmp(a));
+        sums.get(k - 1).copied().unwrap_or(0.0)
+    };
+
+    // phase 2: uniform threshold fetch
+    let tau = t1 / m as f64;
+    let mut seen: HashMap<TupleId, (f64, usize)> = HashMap::new(); // (sum, lists seen)
+    let mut last_below: Vec<f64> = Vec::with_capacity(m);
+    for d in 0..m {
+        let prefix = net.server(d).prefix_at_least(tau);
+        costs.sorted_accesses += prefix.len() as u64;
+        for &(id, v) in prefix {
+            let e = seen.entry(id).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        // the best value an unseen tuple could have on this list
+        last_below.push(
+            net.server(d)
+                .sorted_access(prefix.len())
+                .map(|(_, v)| v)
+                .unwrap_or(0.0),
+        );
+    }
+    costs.rounds += 1;
+
+    // prune: upper bound = seen sum + τ-bounded unseen remainder
+    let candidates: Vec<TupleId> = seen
+        .iter()
+        .filter(|(_, (sum, count))| {
+            let unseen = m - count;
+            let upper: f64 = sum + unseen as f64 * tau;
+            upper >= t1
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    let _ = last_below; // bounds above use τ, the uniform guarantee
+
+    // phase 3: complete the candidates
+    let mut scored = Vec::with_capacity(candidates.len());
+    for id in candidates {
+        let (_, count) = seen[&id];
+        costs.random_accesses += (m - count) as u64;
+        scored.push((id, net.full_score(id)));
+    }
+    costs.rounds += 1;
+    finalize(scored, k, costs)
+}
+
+/// KLEE \[11\], two-phase flavour: like TPUT's first two phases, but instead
+/// of the final random-access round, missing values are *estimated* from
+/// per-list histograms — approximate answers for a round trip and all
+/// random accesses saved.
+pub fn klee(net: &VerticalNetwork, k: usize, buckets: usize) -> TopKResult {
+    assert!(k > 0);
+    let m = net.dims();
+    let mut costs = AccessCosts::default();
+
+    // phase 1 (as TPUT)
+    let mut partial: HashMap<TupleId, f64> = HashMap::new();
+    for d in 0..m {
+        for depth in 0..k.min(net.len()) {
+            let (id, v) = net.server(d).sorted_access(depth).expect("depth < len");
+            costs.sorted_accesses += 1;
+            *partial.entry(id).or_insert(0.0) += v;
+        }
+    }
+    costs.rounds += 1;
+    let t1 = {
+        let mut sums: Vec<f64> = partial.values().copied().collect();
+        sums.sort_by(|a, b| b.total_cmp(a));
+        sums.get(k - 1).copied().unwrap_or(0.0)
+    };
+
+    // phase 2: uniform threshold fetch + histogram estimation
+    let tau = t1 / m as f64;
+    let mut seen: HashMap<TupleId, Vec<Option<f64>>> = HashMap::new();
+    for d in 0..m {
+        let prefix = net.server(d).prefix_at_least(tau);
+        costs.sorted_accesses += prefix.len() as u64;
+        for &(id, v) in prefix {
+            seen.entry(id).or_insert_with(|| vec![None; m])[d] = Some(v);
+        }
+    }
+    costs.rounds += 1;
+
+    let histograms: Vec<_> = (0..m).map(|d| net.server(d).histogram(buckets)).collect();
+    let scored: Vec<(TupleId, f64)> = seen
+        .into_iter()
+        .map(|(id, values)| {
+            let score: f64 = values
+                .iter()
+                .enumerate()
+                .map(|(d, v)| v.unwrap_or_else(|| histograms[d].estimate_below(tau)))
+                .sum();
+            (id, score)
+        })
+        .collect();
+    finalize(scored, k, costs)
+}
+
+/// Recall of an approximate answer against the exact one: the fraction of
+/// the true top-k ids the approximation returned.
+pub fn recall(approx: &TopKResult, exact: &[(TupleId, f64)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let approx_ids: HashSet<TupleId> = approx.top.iter().map(|(id, _)| *id).collect();
+    let hit = exact.iter().filter(|(id, _)| approx_ids.contains(id)).count();
+    hit as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use ripple_geom::Tuple;
+
+    fn dataset(n: usize, dims: usize, seed: u64) -> VerticalNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<Tuple> = (0..n as u64)
+            .map(|i| {
+                Tuple::new(
+                    i,
+                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        VerticalNetwork::from_tuples(&data)
+    }
+
+    fn ids(r: &[(TupleId, f64)]) -> Vec<TupleId> {
+        r.iter().map(|(id, _)| *id).collect()
+    }
+
+    #[test]
+    fn fa_matches_oracle() {
+        for seed in 0..5 {
+            let net = dataset(200, 3, seed);
+            let exact = brute_force(&net, 10);
+            let got = fa(&net, 10);
+            assert_eq!(ids(&got.top), ids(&exact), "seed {seed}");
+            assert!(got.costs.sorted_accesses > 0);
+        }
+    }
+
+    #[test]
+    fn ta_matches_oracle() {
+        for seed in 0..5 {
+            let net = dataset(200, 3, seed);
+            let exact = brute_force(&net, 10);
+            let got = ta(&net, 10);
+            assert_eq!(ids(&got.top), ids(&exact), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tput_matches_oracle() {
+        for seed in 0..5 {
+            let net = dataset(200, 4, seed);
+            let exact = brute_force(&net, 10);
+            let got = tput(&net, 10);
+            assert_eq!(ids(&got.top), ids(&exact), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tput_uses_three_fixed_rounds() {
+        let net = dataset(300, 3, 9);
+        let got = tput(&net, 10);
+        assert_eq!(got.costs.rounds, 3, "TPUT is a three-phase protocol");
+        // TA's rounds grow with the stopping depth instead
+        let t = ta(&net, 10);
+        assert!(t.costs.rounds > 3);
+    }
+
+    #[test]
+    fn ta_stops_earlier_than_fa_on_correlated_data() {
+        // correlated lists: the same ids top every list, TA terminates
+        // almost immediately while FA must still complete its seen set
+        let data: Vec<Tuple> = (0..200u64)
+            .map(|i| {
+                let v = 1.0 - i as f64 / 200.0;
+                Tuple::new(i, vec![v, v, v])
+            })
+            .collect();
+        let net = VerticalNetwork::from_tuples(&data);
+        let t = ta(&net, 5);
+        let f = fa(&net, 5);
+        assert_eq!(ids(&t.top), ids(&f.top));
+        assert!(
+            t.costs.sorted_accesses <= f.costs.sorted_accesses,
+            "TA {} vs FA {}",
+            t.costs.sorted_accesses,
+            f.costs.sorted_accesses
+        );
+    }
+
+    #[test]
+    fn klee_trades_recall_for_accesses() {
+        let net = dataset(500, 3, 11);
+        let exact = brute_force(&net, 10);
+        let approx = klee(&net, 10, 16);
+        let r = recall(&approx, &exact);
+        assert!(r >= 0.5, "recall collapsed: {r}");
+        assert_eq!(approx.costs.random_accesses, 0, "KLEE-2 never random-accesses");
+        assert_eq!(approx.costs.rounds, 2, "two-phase flavour");
+        let exact_run = tput(&net, 10);
+        assert!(approx.costs.rounds < exact_run.costs.rounds);
+    }
+
+    #[test]
+    fn k_larger_than_relation() {
+        let net = dataset(5, 2, 12);
+        for result in [fa(&net, 10), ta(&net, 10), tput(&net, 10)] {
+            assert_eq!(result.top.len(), 5, "all tuples returned");
+        }
+    }
+
+    #[test]
+    fn scores_are_descending() {
+        let net = dataset(100, 3, 13);
+        for result in [fa(&net, 7), ta(&net, 7), tput(&net, 7), klee(&net, 7, 8)] {
+            for w in result.top.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn recall_of_exact_answer_is_one() {
+        let net = dataset(100, 2, 14);
+        let exact = brute_force(&net, 5);
+        let got = ta(&net, 5);
+        assert_eq!(recall(&got, &exact), 1.0);
+    }
+}

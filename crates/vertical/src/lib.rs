@@ -1,0 +1,32 @@
+//! Vertically-distributed top-k processing (Section 2.1's related work).
+//!
+//! The RIPPLE paper targets *horizontally* distributed data (a peer holds a
+//! subset of the tuples with all their attributes). The complementary —
+//! and historically first — distributed setting is *vertical*: "a peer
+//! maintains all tuples but stores the values on a single attribute". This
+//! crate implements the classic algorithm line the paper cites for it:
+//!
+//! * [`fa`] — **Fagin's Algorithm** \[6\]: sorted access until `k` objects
+//!   have been seen on *every* list, then random access for the rest.
+//! * [`ta`] — the **Threshold Algorithm** \[6\]: sorted access round-robin,
+//!   immediate random access per new object, stop when the running top-k
+//!   beats the threshold of the last-seen frontier.
+//! * [`tput`] — **Three-Phase Uniform Threshold** \[4\]: bounded-round
+//!   processing (partial sums → uniform threshold fetch → final lookups),
+//!   designed to cut TA's unbounded round trips.
+//! * [`klee`] — **KLEE** \[11\] in its two-phase flavour: histogram-assisted
+//!   approximate top-k that skips the final random-access phase and trades
+//!   recall for bandwidth.
+//!
+//! The cost model counts what that literature reports: sorted (sequential)
+//! accesses, random accesses, and protocol round trips. Every exact
+//! algorithm is tested against a brute-force oracle; KLEE's recall is
+//! measured, not assumed.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod server;
+
+pub use algorithms::{brute_force as brute_force_ids, fa, klee, recall, ta, tput, AccessCosts, TopKResult};
+pub use server::{AttributeServer, VerticalNetwork};

@@ -1,0 +1,244 @@
+//! The vertically-partitioned substrate: one server per attribute.
+
+use ripple_geom::{Tuple, TupleId};
+use std::collections::HashMap;
+
+/// A peer holding *one attribute* of every tuple, supporting the two access
+/// modes of the vertical top-k literature:
+///
+/// * **sorted access** — the next (id, value) pair in descending value
+///   order (higher is better in this crate, matching the TA/FA papers);
+/// * **random access** — the value of a given tuple id.
+#[derive(Clone, Debug)]
+pub struct AttributeServer {
+    /// (id, value) pairs, descending by value (ties broken by id).
+    sorted: Vec<(TupleId, f64)>,
+    /// Random-access index.
+    index: HashMap<TupleId, f64>,
+}
+
+impl AttributeServer {
+    /// Builds a server from one attribute column.
+    pub fn new(column: impl IntoIterator<Item = (TupleId, f64)>) -> Self {
+        let mut sorted: Vec<(TupleId, f64)> = column.into_iter().collect();
+        assert!(
+            sorted.iter().all(|(_, v)| v.is_finite()),
+            "attribute values must be finite"
+        );
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let index = sorted.iter().copied().collect();
+        Self { sorted, index }
+    }
+
+    /// Number of tuples on the list.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sorted access: the entry at `depth` (0-based), if any.
+    pub fn sorted_access(&self, depth: usize) -> Option<(TupleId, f64)> {
+        self.sorted.get(depth).copied()
+    }
+
+    /// Random access: the value of `id`.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown — vertical partitioning stores *every*
+    /// tuple on *every* list.
+    pub fn random_access(&self, id: TupleId) -> f64 {
+        *self.index.get(&id).expect("every tuple is on every list")
+    }
+
+    /// All entries with value ≥ `threshold` (a prefix of the sorted list).
+    pub fn prefix_at_least(&self, threshold: f64) -> &[(TupleId, f64)] {
+        let end = self.sorted.partition_point(|(_, v)| *v >= threshold);
+        &self.sorted[..end]
+    }
+
+    /// An equi-width histogram of the value distribution (KLEE's metadata):
+    /// `buckets` counts over `[min, max]`.
+    pub fn histogram(&self, buckets: usize) -> Histogram {
+        assert!(buckets > 0);
+        let (min, max) = self
+            .sorted
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, v)| {
+                (lo.min(*v), hi.max(*v))
+            });
+        let mut counts = vec![0usize; buckets];
+        if self.sorted.is_empty() || max <= min {
+            return Histogram {
+                min: 0.0,
+                max: 0.0,
+                counts,
+            };
+        }
+        for (_, v) in &self.sorted {
+            let b = (((v - min) / (max - min)) * buckets as f64) as usize;
+            counts[b.min(buckets - 1)] += 1;
+        }
+        Histogram { min, max, counts }
+    }
+}
+
+/// Per-list value histogram (KLEE metadata).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Bucket counts over `[min, max]`.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// The mean value of the bucket an unseen tuple most likely falls in —
+    /// KLEE-style cheap estimate for a missing attribute, conditioned on
+    /// the value being below `below` (the tuple was not seen above it).
+    pub fn estimate_below(&self, below: f64) -> f64 {
+        if self.counts.is_empty() || self.max <= self.min {
+            return self.min;
+        }
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        // expected value over the buckets entirely below the cutoff
+        let mut weight = 0usize;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let mid = self.min + (i as f64 + 0.5) * width;
+            if mid >= below {
+                break;
+            }
+            weight += c;
+            acc += c as f64 * mid;
+        }
+        if weight == 0 {
+            self.min
+        } else {
+            acc / weight as f64
+        }
+    }
+}
+
+/// The vertically-partitioned network: `m` attribute servers over one
+/// logical relation.
+#[derive(Clone, Debug)]
+pub struct VerticalNetwork {
+    servers: Vec<AttributeServer>,
+    tuples: usize,
+}
+
+impl VerticalNetwork {
+    /// Splits a horizontal dataset into per-attribute servers.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or mixed dimensionalities.
+    pub fn from_tuples(data: &[Tuple]) -> Self {
+        assert!(!data.is_empty(), "need at least one tuple");
+        let dims = data[0].dims();
+        assert!(data.iter().all(|t| t.dims() == dims));
+        let servers = (0..dims)
+            .map(|d| AttributeServer::new(data.iter().map(|t| (t.id, t.point.coord(d)))))
+            .collect();
+        Self {
+            servers,
+            tuples: data.len(),
+        }
+    }
+
+    /// Number of attribute servers (= dimensionality).
+    pub fn dims(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of tuples in the relation.
+    pub fn len(&self) -> usize {
+        self.tuples
+    }
+
+    /// True when the relation is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// The server holding attribute `d`.
+    pub fn server(&self, d: usize) -> &AttributeServer {
+        &self.servers[d]
+    }
+
+    /// The aggregate (sum) score of `id` via random access to every list —
+    /// the brute-force oracle building block.
+    pub fn full_score(&self, id: TupleId) -> f64 {
+        self.servers.iter().map(|s| s.random_access(id)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network() -> VerticalNetwork {
+        let data = vec![
+            Tuple::new(0, vec![0.9, 0.1]),
+            Tuple::new(1, vec![0.5, 0.5]),
+            Tuple::new(2, vec![0.1, 0.9]),
+        ];
+        VerticalNetwork::from_tuples(&data)
+    }
+
+    #[test]
+    fn sorted_access_is_descending() {
+        let net = network();
+        let s = net.server(0);
+        assert_eq!(s.sorted_access(0), Some((0, 0.9)));
+        assert_eq!(s.sorted_access(1), Some((1, 0.5)));
+        assert_eq!(s.sorted_access(2), Some((2, 0.1)));
+        assert_eq!(s.sorted_access(3), None);
+    }
+
+    #[test]
+    fn random_access_any_id() {
+        let net = network();
+        assert_eq!(net.server(1).random_access(0), 0.1);
+        assert_eq!(net.server(1).random_access(2), 0.9);
+        assert_eq!(net.full_score(1), 1.0);
+    }
+
+    #[test]
+    fn prefix_at_least_is_a_prefix() {
+        let net = network();
+        let p = net.server(0).prefix_at_least(0.5);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|(_, v)| *v >= 0.5));
+        assert!(net.server(0).prefix_at_least(2.0).is_empty());
+        assert_eq!(net.server(0).prefix_at_least(0.0).len(), 3);
+    }
+
+    #[test]
+    fn histogram_estimates_are_bounded() {
+        let data: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::new(i, vec![i as f64 / 100.0, 0.5]))
+            .collect();
+        let net = VerticalNetwork::from_tuples(&data);
+        let h = net.server(0).histogram(10);
+        let est = h.estimate_below(0.5);
+        assert!(est >= h.min && est < 0.5, "estimate {est} out of range");
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let data = vec![
+            Tuple::new(5, vec![0.5]),
+            Tuple::new(1, vec![0.5]),
+            Tuple::new(9, vec![0.5]),
+        ];
+        let net = VerticalNetwork::from_tuples(&data);
+        assert_eq!(net.server(0).sorted_access(0), Some((1, 0.5)));
+        assert_eq!(net.server(0).sorted_access(2), Some((9, 0.5)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Result caching for repeated queries — the BRANCA/ARTO idea of
+//! Section 2.1 ("cache previous final and intermediate results to avoid
+//! recomputing parts of new queries"), applied at the querying peer.
+//!
+//! A hot workload (a few popular query points, Zipf-repeated) runs once
+//! without and once with the cache; the example prints the message savings
+//! and demonstrates churn-epoch invalidation.
+//!
+//! ```text
+//! cargo run --release --example caching
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ripple::core::cache::TopKCache;
+use ripple::core::framework::Mode;
+use ripple::core::topk::run_topk;
+use ripple::data::zipf::Zipf;
+use ripple::geom::{Norm, PeakScore, Tuple};
+use ripple::midas::MidasNetwork;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let mut net = MidasNetwork::build(3, 512, false, &mut rng);
+    let data: Vec<Tuple> = (0..8_000u64)
+        .map(|i| Tuple::new(i, vec![rng.gen(), rng.gen(), rng.gen()]))
+        .collect();
+    net.insert_all(data);
+
+    // a Zipf-repeated workload over 20 candidate query points
+    let candidates: Vec<Vec<f64>> = (0..20)
+        .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
+        .collect();
+    let zipf = Zipf::new(candidates.len(), 1.0);
+    let workload: Vec<usize> = (0..200).map(|_| zipf.sample(&mut rng)).collect();
+    let initiator = net.random_peer(&mut rng);
+
+    // without a cache: every query pays full price
+    let mut uncached_msgs = 0u64;
+    for &c in &workload {
+        let score = PeakScore::new(candidates[c].clone(), Norm::L1);
+        let (_, m) = run_topk(&net, initiator, score, 10, Mode::Slow);
+        uncached_msgs += m.total_messages();
+    }
+
+    // with a cache
+    let mut cache = TopKCache::new(32);
+    let mut cached_msgs = 0u64;
+    for &c in &workload {
+        let score = PeakScore::new(candidates[c].clone(), Norm::L1);
+        let (_, m) = cache.topk(&net, initiator, score, 10, Mode::Slow);
+        cached_msgs += m.total_messages();
+    }
+    let stats = cache.stats();
+    println!("workload: {} top-10 queries over {} hot points", workload.len(), candidates.len());
+    println!("uncached: {uncached_msgs} messages total");
+    println!(
+        "cached:   {cached_msgs} messages total ({:.0}% hit rate, {:.1}× fewer messages)",
+        stats.hit_rate() * 100.0,
+        uncached_msgs as f64 / cached_msgs.max(1) as f64
+    );
+
+    // churn invalidates: a join bumps the epoch, forcing recomputation
+    net.join_random(&mut rng);
+    cache.observe_epoch(1);
+    let score = PeakScore::new(candidates[0].clone(), Norm::L1);
+    let (_, m) = cache.topk(&net, initiator, score, 10, Mode::Slow);
+    println!(
+        "after churn: cache invalidated ({} entries dropped), next query paid {} messages",
+        cache.stats().invalidated,
+        m.total_messages()
+    );
+    assert!(m.total_messages() > 0);
+}
