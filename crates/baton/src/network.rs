@@ -14,7 +14,7 @@
 //! include. Multidimensional data is mapped onto the key space with the
 //! Z-curve (`ripple-geom::zorder`), as SSP prescribes.
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::zorder::ZCurve;
 use ripple_geom::{Point, Tuple};
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
@@ -382,20 +382,20 @@ impl ChurnOverlay for BatonNetwork {
         self.sorted.len()
     }
 
-    fn churn_join(&mut self, rng: &mut dyn rand::RngCore) {
+    fn churn_join(&mut self, rng: &mut dyn ripple_net::rng::RngCore) {
         let p = Point::new(
             (0..self.dims())
-                .map(|_| rand::Rng::gen::<f64>(&mut &mut *rng))
+                .map(|_| ripple_net::rng::Rng::gen::<f64>(&mut &mut *rng))
                 .collect::<Vec<_>>(),
         );
         self.join(self.curve.encode(&p));
     }
 
-    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore) {
+    fn churn_leave(&mut self, rng: &mut dyn ripple_net::rng::RngCore) {
         if self.peer_count() <= 1 {
             return;
         }
-        let idx = rand::Rng::gen_range(&mut &mut *rng, 0..self.sorted.len());
+        let idx = ripple_net::rng::Rng::gen_range(&mut &mut *rng, 0..self.sorted.len());
         self.leave(self.sorted[idx]);
     }
 }
@@ -403,8 +403,8 @@ impl ChurnOverlay for BatonNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)

@@ -108,8 +108,8 @@ pub fn ssp_skyline(net: &BatonNetwork, initiator: PeerId) -> SspOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
 
     fn setup(seed: u64, peers: usize, tuples: usize, dims: usize) -> (BatonNetwork, Vec<Tuple>) {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -1,8 +1,8 @@
 //! BATON integration: SSP stays exact across churn and routing stays
 //! logarithmic on rebuilt layouts.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_baton::{ssp_skyline, BatonNetwork};
 use ripple_geom::{dominance, Tuple};
 use ripple_net::ChurnOverlay;

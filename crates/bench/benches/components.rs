@@ -1,112 +1,93 @@
 //! Component microbenchmarks: the primitives every distributed query is
 //! assembled from.
+//!
+//! Runs under the in-repo wall-clock harness (`ripple_bench::timing`), so
+//! `cargo bench` works fully offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_bench::timing::bench;
 use ripple_data::synth::{self, SynthConfig};
 use ripple_geom::zorder::ZCurve;
 use ripple_geom::{dominance, DiversityQuery, Norm, Point, Tuple};
 use ripple_midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 
-fn bench_skyline_ops(c: &mut Criterion) {
+fn bench_skyline_ops() {
     let mut rng = SmallRng::seed_from_u64(1);
-    let mut g = c.benchmark_group("skyline_ops");
     for n in [1_000usize, 10_000] {
         let data = synth::generate(&SynthConfig::scaled(4, n), &mut rng);
-        g.bench_with_input(BenchmarkId::new("full", n), &data, |b, data| {
-            b.iter(|| dominance::skyline(data))
-        });
+        bench(&format!("skyline_ops/full/{n}"), || dominance::skyline(&data));
         let sky = dominance::skyline(&data);
         let add = &data[..32.min(data.len())];
-        g.bench_with_input(BenchmarkId::new("insert32", n), &(sky, add), |b, (sky, add)| {
-            b.iter(|| dominance::skyline_insert(sky.clone(), add))
+        bench(&format!("skyline_ops/insert32/{n}"), || {
+            dominance::skyline_insert(sky.clone(), add)
         });
     }
-    g.finish();
 }
 
-fn bench_zcurve(c: &mut Criterion) {
+fn bench_zcurve() {
     let curve = ZCurve::new(4, 12);
     let mut rng = SmallRng::seed_from_u64(2);
     let points: Vec<Point> = (0..256)
         .map(|_| Point::new(vec![rng.gen(), rng.gen(), rng.gen(), rng.gen()]))
         .collect();
-    let mut g = c.benchmark_group("zcurve");
-    g.bench_function("encode256", |b| {
-        b.iter(|| points.iter().map(|p| curve.encode(p)).sum::<u128>())
+    bench("zcurve/encode256", || {
+        points.iter().map(|p| curve.encode(p)).sum::<u128>()
     });
-    g.bench_function("interval_to_cells", |b| {
-        b.iter(|| curve.interval_to_cells(123_456, curve.key_space() / 3))
+    bench("zcurve/interval_to_cells", || {
+        curve.interval_to_cells(123_456, curve.key_space() / 3)
     });
-    g.finish();
 }
 
-fn bench_midas_lifecycle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("midas");
-    g.sample_size(10);
-    g.bench_function("build_512", |b| {
-        b.iter(|| {
-            let mut rng = SmallRng::seed_from_u64(3);
-            MidasNetwork::build(3, 512, false, &mut rng)
-        })
+fn bench_midas_lifecycle() {
+    bench("midas/build_512", || {
+        let mut rng = SmallRng::seed_from_u64(3);
+        MidasNetwork::build(3, 512, false, &mut rng)
     });
     let mut rng = SmallRng::seed_from_u64(4);
     let net = MidasNetwork::build(3, 512, false, &mut rng);
-    g.bench_function("route_512", |b| {
+    {
         let mut rng = SmallRng::seed_from_u64(5);
-        b.iter(|| {
+        bench("midas/route_512", || {
             let key = Point::new(vec![rng.gen(), rng.gen(), rng.gen()]);
             net.route(net.random_peer(&mut rng), &key)
-        })
+        });
+    }
+    bench("midas/churn_64_events", || {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut net = MidasNetwork::build(3, 128, false, &mut rng);
+        for _ in 0..32 {
+            net.join_random(&mut rng);
+        }
+        for _ in 0..32 {
+            let v = net.random_peer(&mut rng);
+            net.leave(v);
+        }
+        net
     });
-    g.bench_function("churn_64_events", |b| {
-        b.iter(|| {
-            let mut rng = SmallRng::seed_from_u64(6);
-            let mut net = MidasNetwork::build(3, 128, false, &mut rng);
-            for _ in 0..32 {
-                net.join_random(&mut rng);
-            }
-            for _ in 0..32 {
-                let v = net.random_peer(&mut rng);
-                net.leave(v);
-            }
-            net
-        })
-    });
-    g.finish();
 }
 
-fn bench_diversity_math(c: &mut Criterion) {
+fn bench_diversity_math() {
     let mut rng = SmallRng::seed_from_u64(7);
     let div = DiversityQuery::new(vec![0.5; 5], 0.5, Norm::L1);
     let set: Vec<Tuple> = (0..20)
-        .map(|i| {
-            Tuple::new(
-                i,
-                (0..5).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
-            )
-        })
+        .map(|i| Tuple::new(i, (0..5).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
         .collect();
     let candidates: Vec<Point> = (0..128)
         .map(|_| Point::new((0..5).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
         .collect();
-    c.bench_function("phi_128_candidates_k20", |b| {
-        let stats = div.stats(&set);
-        b.iter(|| {
-            candidates
-                .iter()
-                .map(|p| div.phi_with_stats(p, &set, stats))
-                .fold(f64::INFINITY, f64::min)
-        })
+    let stats = div.stats(&set);
+    bench("diversity/phi_128_candidates_k20", || {
+        candidates
+            .iter()
+            .map(|p| div.phi_with_stats(p, &set, stats))
+            .fold(f64::INFINITY, f64::min)
     });
 }
 
-criterion_group!(
-    components,
-    bench_skyline_ops,
-    bench_zcurve,
-    bench_midas_lifecycle,
-    bench_diversity_math
-);
-criterion_main!(components);
+fn main() {
+    bench_skyline_ops();
+    bench_zcurve();
+    bench_midas_lifecycle();
+    bench_diversity_math();
+}

@@ -1,18 +1,17 @@
-//! Criterion benchmarks: one group per paper table/figure.
+//! Figure benchmarks: one group per paper table/figure.
 //!
 //! Each group runs the exact query workload of the corresponding figure at
 //! a small fixed scale, so `cargo bench` tracks the *cost of the code
 //! paths* behind every reported experiment. The full measured reproduction
 //! (hop/message metrics at paper-shaped scales) is the `figures` binary;
 //! these benches guard against performance regressions in the pieces it is
-//! built from.
+//! built from. Runs under the in-repo wall-clock harness
+//! (`ripple_bench::timing`), so `cargo bench` works fully offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_baton::ssp_skyline;
 use ripple_bench::lemmas;
 use ripple_bench::runner::{baton_with_data, can_with_data, midas_with_data};
-use ripple_baton::ssp_skyline;
+use ripple_bench::timing::bench;
 use ripple_can::{baseline_diversify, dsl_skyline};
 use ripple_core::diversify::{diversify, Initialize};
 use ripple_core::framework::Mode;
@@ -21,6 +20,8 @@ use ripple_core::topk::run_topk;
 use ripple_data::workload::data_query_point;
 use ripple_data::{mirflickr, nba, synth, SynthConfig};
 use ripple_geom::{DiversityQuery, Norm, PeakScore, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 
 const PEERS: usize = 256;
 
@@ -41,128 +42,108 @@ fn flickr_data() -> Vec<Tuple> {
 
 /// Table 1 is the parameter grid; its "benchmark" is the cost of building a
 /// default-configuration overlay with data.
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1() {
     let data = synth_data(5);
-    let mut g = c.benchmark_group("table1_overlay_build");
-    g.sample_size(10);
-    g.bench_function("midas_256_peers_8k_tuples", |b| {
-        b.iter(|| midas_with_data(5, PEERS, false, &data, 7))
+    bench("table1/midas_256_peers_8k_tuples", || {
+        midas_with_data(5, PEERS, false, &data, 7)
     });
-    g.finish();
 }
 
 /// Lemmas 1–3: evaluating the worst-case recurrence tables.
-fn bench_lemmas(c: &mut Criterion) {
-    c.bench_function("lemmas_analytic_table", |b| {
-        b.iter(lemmas::analytic_table)
-    });
+fn bench_lemmas() {
+    bench("lemmas/analytic_table", lemmas::analytic_table);
 }
 
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4() {
     let data = nba_data();
     let net = midas_with_data(nba::DIMS, PEERS, false, &data, 7);
-    let mut g = c.benchmark_group("fig04_topk_scale");
-    g.sample_size(20);
     for (label, mode) in [("r0", Mode::Fast), ("rDelta", Mode::Slow)] {
-        g.bench_with_input(BenchmarkId::new("topk10", label), &mode, |b, &mode| {
-            let mut rng = SmallRng::seed_from_u64(9);
-            b.iter(|| {
-                let q = data_query_point(&data, 0.1, &mut rng);
-                let initiator = net.random_peer(&mut rng);
-                run_topk(&net, initiator, PeakScore::new(q, Norm::L1), 10, mode)
-            })
+        let mut rng = SmallRng::seed_from_u64(9);
+        bench(&format!("fig04_topk_scale/topk10/{label}"), || {
+            let q = data_query_point(&data, 0.1, &mut rng);
+            let initiator = net.random_peer(&mut rng);
+            run_topk(&net, initiator, PeakScore::new(q, Norm::L1), 10, mode)
         });
     }
-    g.finish();
 }
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig05_topk_dims");
-    g.sample_size(20);
+fn bench_fig5() {
     for dims in [2usize, 6, 10] {
         let data = synth_data(dims);
         let net = midas_with_data(dims, PEERS, false, &data, 7);
-        g.bench_with_input(BenchmarkId::new("topk10_fast", dims), &dims, |b, _| {
-            let mut rng = SmallRng::seed_from_u64(10);
-            b.iter(|| {
-                let q = data_query_point(&data, 0.1, &mut rng);
-                let initiator = net.random_peer(&mut rng);
-                run_topk(&net, initiator, PeakScore::new(q, Norm::L1), 10, Mode::Fast)
-            })
+        let mut rng = SmallRng::seed_from_u64(10);
+        bench(&format!("fig05_topk_dims/topk10_fast/{dims}"), || {
+            let q = data_query_point(&data, 0.1, &mut rng);
+            let initiator = net.random_peer(&mut rng);
+            run_topk(&net, initiator, PeakScore::new(q, Norm::L1), 10, Mode::Fast)
         });
     }
-    g.finish();
 }
 
-fn bench_fig6(c: &mut Criterion) {
+fn bench_fig6() {
     let data = nba_data();
     let net = midas_with_data(nba::DIMS, PEERS, false, &data, 7);
-    let mut g = c.benchmark_group("fig06_topk_k");
-    g.sample_size(20);
     for k in [10usize, 50, 100] {
-        g.bench_with_input(BenchmarkId::new("topk_fast", k), &k, |b, &k| {
-            let mut rng = SmallRng::seed_from_u64(11);
-            b.iter(|| {
-                let q = data_query_point(&data, 0.1, &mut rng);
-                let initiator = net.random_peer(&mut rng);
-                run_topk(&net, initiator, PeakScore::new(q, Norm::L1), k, Mode::Fast)
-            })
+        let mut rng = SmallRng::seed_from_u64(11);
+        bench(&format!("fig06_topk_k/topk_fast/{k}"), || {
+            let q = data_query_point(&data, 0.1, &mut rng);
+            let initiator = net.random_peer(&mut rng);
+            run_topk(&net, initiator, PeakScore::new(q, Norm::L1), k, Mode::Fast)
         });
     }
-    g.finish();
 }
 
-fn bench_fig7(c: &mut Criterion) {
+fn bench_fig7() {
     let data = {
         let six = nba_data();
         nba::project4(&six)
     };
-    let mut g = c.benchmark_group("fig07_sky_scale");
-    g.sample_size(10);
     let midas = midas_with_data(4, PEERS, true, &data, 7);
-    g.bench_function("ripple_fast", |b| {
+    {
         let mut rng = SmallRng::seed_from_u64(12);
-        b.iter(|| run_skyline(&midas, midas.random_peer(&mut rng), Mode::Fast))
-    });
-    g.bench_function("ripple_slow", |b| {
+        bench("fig07_sky_scale/ripple_fast", || {
+            run_skyline(&midas, midas.random_peer(&mut rng), Mode::Fast)
+        });
+    }
+    {
         let mut rng = SmallRng::seed_from_u64(13);
-        b.iter(|| run_skyline(&midas, midas.random_peer(&mut rng), Mode::Slow))
-    });
+        bench("fig07_sky_scale/ripple_slow", || {
+            run_skyline(&midas, midas.random_peer(&mut rng), Mode::Slow)
+        });
+    }
     let can = can_with_data(4, PEERS, &data, 7);
-    g.bench_function("dsl", |b| {
+    {
         let mut rng = SmallRng::seed_from_u64(14);
-        b.iter(|| dsl_skyline(&can, can.random_peer(&mut rng)))
-    });
+        bench("fig07_sky_scale/dsl", || {
+            dsl_skyline(&can, can.random_peer(&mut rng))
+        });
+    }
     let baton = baton_with_data(4, PEERS, &data, 7);
-    g.bench_function("ssp", |b| {
+    {
         let mut rng = SmallRng::seed_from_u64(15);
-        b.iter(|| ssp_skyline(&baton, baton.random_peer(&mut rng)))
-    });
-    g.finish();
+        bench("fig07_sky_scale/ssp", || {
+            ssp_skyline(&baton, baton.random_peer(&mut rng))
+        });
+    }
 }
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_sky_dims");
-    g.sample_size(10);
+fn bench_fig8() {
     for dims in [2usize, 5] {
         let data = synth_data(dims);
         let net = midas_with_data(dims, PEERS, true, &data, 7);
-        g.bench_with_input(BenchmarkId::new("ripple_fast", dims), &dims, |b, _| {
-            let mut rng = SmallRng::seed_from_u64(16);
-            b.iter(|| run_skyline(&net, net.random_peer(&mut rng), Mode::Fast))
+        let mut rng = SmallRng::seed_from_u64(16);
+        bench(&format!("fig08_sky_dims/ripple_fast/{dims}"), || {
+            run_skyline(&net, net.random_peer(&mut rng), Mode::Fast)
         });
     }
-    g.finish();
 }
 
-fn bench_fig9(c: &mut Criterion) {
+fn bench_fig9() {
     let data = flickr_data();
-    let mut g = c.benchmark_group("fig09_div_scale");
-    g.sample_size(10);
     let midas = midas_with_data(mirflickr::DIMS, 128, false, &data, 7);
-    g.bench_function("ripple_fast_k5", |b| {
+    {
         let mut rng = SmallRng::seed_from_u64(17);
-        b.iter(|| {
+        bench("fig09_div_scale/ripple_fast_k5", || {
             let q = data_query_point(&data, 0.2, &mut rng);
             let div = DiversityQuery::new(q, 0.5, Norm::L1);
             diversify(
@@ -174,110 +155,92 @@ fn bench_fig9(c: &mut Criterion) {
                 Initialize::Greedy,
                 2,
             )
-        })
-    });
+        });
+    }
     let can = can_with_data(mirflickr::DIMS, 128, &data, 7);
-    g.bench_function("baseline_k5", |b| {
+    {
         let mut rng = SmallRng::seed_from_u64(18);
-        b.iter(|| {
+        bench("fig09_div_scale/baseline_k5", || {
             let q = data_query_point(&data, 0.2, &mut rng);
             let div = DiversityQuery::new(q, 0.5, Norm::L1);
             baseline_diversify(&can, can.random_peer(&mut rng), &div, 5, 2)
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_div_dims");
-    g.sample_size(10);
+fn bench_fig10() {
     for dims in [2usize, 6] {
         let data = synth_data(dims);
         let net = midas_with_data(dims, 128, false, &data, 7);
-        g.bench_with_input(BenchmarkId::new("ripple_fast_k5", dims), &dims, |b, _| {
-            let mut rng = SmallRng::seed_from_u64(19);
-            b.iter(|| {
-                let q = data_query_point(&data, 0.2, &mut rng);
-                let div = DiversityQuery::new(q, 0.5, Norm::L1);
-                diversify(
-                    &net,
-                    net.random_peer(&mut rng),
-                    &div,
-                    5,
-                    Mode::Fast,
-                    Initialize::Greedy,
-                    2,
-                )
-            })
+        let mut rng = SmallRng::seed_from_u64(19);
+        bench(&format!("fig10_div_dims/ripple_fast_k5/{dims}"), || {
+            let q = data_query_point(&data, 0.2, &mut rng);
+            let div = DiversityQuery::new(q, 0.5, Norm::L1);
+            diversify(
+                &net,
+                net.random_peer(&mut rng),
+                &div,
+                5,
+                Mode::Fast,
+                Initialize::Greedy,
+                2,
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_fig11(c: &mut Criterion) {
+fn bench_fig11() {
     let data = flickr_data();
     let net = midas_with_data(mirflickr::DIMS, 128, false, &data, 7);
-    let mut g = c.benchmark_group("fig11_div_k");
-    g.sample_size(10);
     for k in [5usize, 15] {
-        g.bench_with_input(BenchmarkId::new("ripple_fast", k), &k, |b, &k| {
-            let mut rng = SmallRng::seed_from_u64(20);
-            b.iter(|| {
-                let q = data_query_point(&data, 0.2, &mut rng);
-                let div = DiversityQuery::new(q, 0.5, Norm::L1);
-                diversify(
-                    &net,
-                    net.random_peer(&mut rng),
-                    &div,
-                    k,
-                    Mode::Fast,
-                    Initialize::Greedy,
-                    2,
-                )
-            })
+        let mut rng = SmallRng::seed_from_u64(20);
+        bench(&format!("fig11_div_k/ripple_fast/{k}"), || {
+            let q = data_query_point(&data, 0.2, &mut rng);
+            let div = DiversityQuery::new(q, 0.5, Norm::L1);
+            diversify(
+                &net,
+                net.random_peer(&mut rng),
+                &div,
+                k,
+                Mode::Fast,
+                Initialize::Greedy,
+                2,
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_fig12(c: &mut Criterion) {
+fn bench_fig12() {
     let data = flickr_data();
     let net = midas_with_data(mirflickr::DIMS, 128, false, &data, 7);
-    let mut g = c.benchmark_group("fig12_div_lambda");
-    g.sample_size(10);
     for (label, lambda) in [("l0", 0.0f64), ("l05", 0.5), ("l1", 1.0)] {
-        g.bench_with_input(BenchmarkId::new("ripple_fast_k5", label), &lambda, |b, &l| {
-            let mut rng = SmallRng::seed_from_u64(21);
-            b.iter(|| {
-                let q = data_query_point(&data, 0.2, &mut rng);
-                let div = DiversityQuery::new(q, l, Norm::L1);
-                diversify(
-                    &net,
-                    net.random_peer(&mut rng),
-                    &div,
-                    5,
-                    Mode::Fast,
-                    Initialize::Greedy,
-                    2,
-                )
-            })
+        let mut rng = SmallRng::seed_from_u64(21);
+        bench(&format!("fig12_div_lambda/ripple_fast_k5/{label}"), || {
+            let q = data_query_point(&data, 0.2, &mut rng);
+            let div = DiversityQuery::new(q, lambda, Norm::L1);
+            diversify(
+                &net,
+                net.random_peer(&mut rng),
+                &div,
+                5,
+                Mode::Fast,
+                Initialize::Greedy,
+                2,
+            )
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_lemmas,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12
-);
-criterion_main!(figures);
+fn main() {
+    bench_table1();
+    bench_lemmas();
+    bench_fig4();
+    bench_fig5();
+    bench_fig6();
+    bench_fig7();
+    bench_fig8();
+    bench_fig9();
+    bench_fig10();
+    bench_fig11();
+    bench_fig12();
+}

@@ -14,8 +14,8 @@
 use crate::config::Scale;
 use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{merge_summaries, midas_uniform_with_data, midas_with_data, parallel_queries};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_chord::ChordNetwork;
 use ripple_core::framework::{Mode, Unprioritized};
 use ripple_core::Executor;
@@ -149,7 +149,7 @@ pub fn ablation_split(scale: Scale, seed: u64) -> Figure {
                         let mut net = MidasNetwork::new(4, true).with_split_rule(rule);
                         net.insert_all(data.iter().cloned());
                         while net.peer_count() < n {
-                            use rand::Rng as _;
+                            use ripple_net::rng::Rng as _;
                             let t = &data[rng.gen_range(0..data.len())];
                             net.join(&t.point.clone());
                         }

@@ -15,8 +15,8 @@
 //! messages, tuples shipped) and — where one exists — a centralized oracle
 //! check.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_core::diversify::{diversify, Initialize};
 use ripple_core::framework::Mode;
 use ripple_core::range::run_range;

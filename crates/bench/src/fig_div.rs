@@ -8,8 +8,8 @@
 use crate::config::Scale;
 use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{can_with_data, merge_summaries, midas_with_data, parallel_queries};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_can::stream_single_tuple;
 use ripple_core::diversify::{greedy_trace, run_single_tuple, SearchStep};
 use ripple_core::framework::Mode;

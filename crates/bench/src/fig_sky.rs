@@ -9,8 +9,8 @@ use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{
     baton_with_data, can_with_data, merge_summaries, midas_with_data, parallel_queries,
 };
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_baton::ssp_skyline;
 use ripple_can::dsl_skyline;
 use ripple_core::framework::Mode;

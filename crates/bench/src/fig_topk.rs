@@ -16,8 +16,8 @@
 use crate::config::Scale;
 use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{merge_summaries, midas_uniform_with_data, parallel_queries};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_core::framework::Mode;
 use ripple_core::topk::run_topk;
 use ripple_data::workload::{data_query_point, query_seeds};

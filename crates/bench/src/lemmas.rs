@@ -5,8 +5,8 @@
 //! real MIDAS overlays and checks the measured latencies against the
 //! bounds (`fast ≤ Δ`, `slow ≤ 2^Δ − 1`, `ripple(r) ≤ L_r(0, r)`).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_core::framework::{Mode, Unprioritized};
 use ripple_core::latency::{fast_worst_case, ripple_worst_case, slow_worst_case};
 use ripple_core::topk::TopKQuery;

@@ -30,3 +30,4 @@ pub mod fig_topk;
 pub mod lemmas;
 pub mod output;
 pub mod runner;
+pub mod timing;

@@ -1,7 +1,7 @@
 //! Shared experiment machinery: network builders and parallel query sweeps.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_baton::BatonNetwork;
 use ripple_can::CanNetwork;
 use ripple_geom::Tuple;
@@ -31,7 +31,7 @@ pub fn midas_with_data(
         if data.is_empty() {
             net.join_random(&mut rng);
         } else {
-            use rand::Rng as _;
+            use ripple_net::rng::Rng as _;
             let t = &data[rng.gen_range(0..data.len())];
             net.join(&t.point);
         }
@@ -71,7 +71,7 @@ pub fn can_with_data(dims: usize, n: usize, data: &[Tuple], seed: u64) -> CanNet
         if data.is_empty() {
             net.join_random(&mut rng);
         } else {
-            use rand::Rng as _;
+            use ripple_net::rng::Rng as _;
             let t = &data[rng.gen_range(0..data.len())];
             net.join(&t.point);
         }
@@ -91,7 +91,7 @@ pub fn baton_with_data(dims: usize, n: usize, data: &[Tuple], seed: u64) -> Bato
         if data.is_empty() {
             net.join_random(&mut rng);
         } else {
-            use rand::Rng as _;
+            use ripple_net::rng::Rng as _;
             let t = &data[rng.gen_range(0..data.len())];
             let z = net.curve().encode(&t.point);
             net.join(z);

@@ -1,0 +1,106 @@
+//! Minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds offline, so the criterion dependency was replaced by
+//! this self-contained measurement loop: adaptive iteration count (until the
+//! measurement window is filled), median-of-runs reporting, and a
+//! `std::hint::black_box` around results to keep the optimizer honest.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Benchmark label (`group/name` by convention).
+    pub name: String,
+    /// Iterations per timed run.
+    pub iters: u64,
+    /// Median wall-clock time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+}
+
+impl BenchReport {
+    /// Milliseconds per iteration.
+    pub fn ms_per_iter(&self) -> f64 {
+        self.ns_per_iter / 1e6
+    }
+}
+
+/// Target duration of one timed run.
+const WINDOW: Duration = Duration::from_millis(80);
+/// Number of timed runs; the median is reported.
+const RUNS: usize = 5;
+
+/// Measures `f`, printing and returning the report.
+///
+/// Calibrates an iteration count that fills [`WINDOW`], then performs
+/// [`RUNS`] timed runs and reports the median per-iteration time.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchReport {
+    // Warm-up + calibration.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= WINDOW || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if elapsed.is_zero() {
+            16
+        } else {
+            (WINDOW.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = (iters * grow.clamp(2, 16)).min(1 << 20);
+    }
+
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let report = BenchReport {
+        name: name.to_string(),
+        iters,
+        ns_per_iter: samples[RUNS / 2],
+    };
+    println!(
+        "{:<44} {:>12.3} ms/iter   ({} iters/run)",
+        report.name,
+        report.ms_per_iter(),
+        report.iters
+    );
+    report
+}
+
+/// Times a single execution of `f` (for macro-benchmarks where one run is
+/// the unit of interest). Returns the elapsed wall-clock duration.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let r = bench("test/spin", || (0..100u64).sum::<u64>());
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iters >= 1);
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -178,8 +178,8 @@ pub use stream_single_tuple as flood_single_tuple;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
     use ripple_geom::Norm;
 
     fn setup(seed: u64) -> (CanNetwork, Vec<Tuple>) {

@@ -157,8 +157,8 @@ pub fn dsl_skyline(net: &CanNetwork, initiator: PeerId) -> DslOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
     use ripple_geom::Tuple;
 
     fn setup(seed: u64, peers: usize, tuples: usize, dims: usize) -> (CanNetwork, Vec<Tuple>) {

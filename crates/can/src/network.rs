@@ -14,7 +14,7 @@
 //! diversification \[12\] run over this substrate, exactly as in the paper's
 //! evaluation.
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::kdspace::BitPath;
 use ripple_geom::{Norm, Point, Rect, Tuple};
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
@@ -397,20 +397,20 @@ impl ChurnOverlay for CanNetwork {
         self.live.len()
     }
 
-    fn churn_join(&mut self, rng: &mut dyn rand::RngCore) {
+    fn churn_join(&mut self, rng: &mut dyn ripple_net::rng::RngCore) {
         let key = Point::new(
             (0..self.dims)
-                .map(|_| rand::Rng::gen::<f64>(&mut &mut *rng))
+                .map(|_| ripple_net::rng::Rng::gen::<f64>(&mut &mut *rng))
                 .collect::<Vec<_>>(),
         );
         self.join(&key);
     }
 
-    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore) {
+    fn churn_leave(&mut self, rng: &mut dyn ripple_net::rng::RngCore) {
         if self.peer_count() <= 1 {
             return;
         }
-        let idx = rand::Rng::gen_range(&mut &mut *rng, 0..self.live.len());
+        let idx = ripple_net::rng::Rng::gen_range(&mut &mut *rng, 0..self.live.len());
         self.leave(self.live[idx]);
     }
 }
@@ -418,8 +418,8 @@ impl ChurnOverlay for CanNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)

@@ -13,7 +13,7 @@
 //! the beginning of the `i`-th neighbor zone until the beginning of the
 //! `(i+1)`-th neighbor zone (or `w`'s zone if `i`-th is the last neighbor)".
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::{Rect, Tuple};
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
 
@@ -274,17 +274,17 @@ impl ChurnOverlay for ChordNetwork {
         self.ring.len()
     }
 
-    fn churn_join(&mut self, rng: &mut dyn rand::RngCore) {
-        let pos = rand::Rng::gen::<f64>(&mut &mut *rng);
+    fn churn_join(&mut self, rng: &mut dyn ripple_net::rng::RngCore) {
+        let pos = ripple_net::rng::Rng::gen::<f64>(&mut &mut *rng);
         self.join(pos);
     }
 
-    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore) {
+    fn churn_leave(&mut self, rng: &mut dyn ripple_net::rng::RngCore) {
         if self.peer_count() <= 1 {
             return;
         }
         // never remove the anchor (rank 0)
-        let idx = rand::Rng::gen_range(&mut &mut *rng, 1..self.ring.len());
+        let idx = ripple_net::rng::Rng::gen_range(&mut &mut *rng, 1..self.ring.len());
         self.leave(self.ring[idx]);
     }
 }
@@ -292,8 +292,8 @@ impl ChurnOverlay for ChordNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)

@@ -80,8 +80,8 @@ impl RippleOverlay for ChordNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
     use ripple_core::framework::Mode;
     use ripple_core::topk::{centralized_topk, run_topk};
     use ripple_geom::{LinearScore, PeakScore, Norm};

@@ -146,8 +146,8 @@ impl TopKCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
     use ripple_geom::{Norm, PeakScore};
     use ripple_midas::MidasNetwork;
 

@@ -49,13 +49,16 @@ impl<'a> SingleTupleQuery<'a> {
     }
 
     /// `getMostDiverseLocalObject`: the local tuple outside `O` with the
-    /// least insertion score, if any.
+    /// least insertion score, if any. Ties on φ break on id so the
+    /// distributed answer is deterministic and matches the centralized
+    /// oracle (exact ties happen, e.g. φ = 0 when relevance and diversity
+    /// gains cancel).
     fn best_local<'t>(&self, tuples: &'t [Tuple]) -> Option<(&'t Tuple, f64)> {
         tuples
             .iter()
             .filter(|t| !self.set.iter().any(|o| o.id == t.id))
             .map(|t| (t, self.div.phi_with_stats(&t.point, self.set, self.stats)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.id.cmp(&b.0.id)))
     }
 }
 

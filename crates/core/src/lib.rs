@@ -25,16 +25,16 @@
 //! # Quick example
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use ripple_net::rng::SeedableRng;
 //! use ripple_core::framework::Mode;
 //! use ripple_core::topk::run_topk;
 //! use ripple_geom::{LinearScore, Tuple};
 //! use ripple_midas::MidasNetwork;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let mut rng = ripple_net::rng::rngs::SmallRng::seed_from_u64(1);
 //! let mut net = MidasNetwork::build(2, 64, false, &mut rng);
 //! for i in 0..500u64 {
-//!     let p = vec![rand::Rng::gen::<f64>(&mut rng), rand::Rng::gen::<f64>(&mut rng)];
+//!     let p = vec![ripple_net::rng::Rng::gen::<f64>(&mut rng), ripple_net::rng::Rng::gen::<f64>(&mut rng)];
 //!     net.insert_tuple(Tuple::new(i, p));
 //! }
 //! let initiator = net.random_peer(&mut rng);

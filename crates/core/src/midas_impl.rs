@@ -43,8 +43,8 @@ impl RippleOverlay for MidasNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
 
     #[test]
     fn links_partition_with_zone() {

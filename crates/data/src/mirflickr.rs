@@ -13,7 +13,7 @@
 //!   diversification meaningful;
 //! * distances are meant to be taken with [`Norm::L1`](ripple_geom::Norm).
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
 
 /// Paper-default number of images.
@@ -86,8 +86,8 @@ pub fn paper<R: Rng>(rng: &mut R) -> Vec<Tuple> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
     use ripple_geom::Norm;
 
     #[test]

@@ -20,7 +20,7 @@
 //! origin (minimize the sum of stored values) and the skyline contains the
 //! players that excel in some combination of statistics.
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
 
 /// Paper-default number of player seasons.
@@ -92,8 +92,8 @@ pub fn project4(data: &[Tuple]) -> Vec<Tuple> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
     use ripple_geom::dominance;
 
     #[test]

@@ -12,7 +12,7 @@
 //! in the seed.
 
 use crate::zipf::Zipf;
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
 
 /// Paper-default number of records.
@@ -120,8 +120,8 @@ pub fn anticorrelated<R: Rng>(dims: usize, records: usize, rng: &mut R) -> Vec<T
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
 
     #[test]
     fn generates_requested_shape() {

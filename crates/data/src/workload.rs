@@ -6,7 +6,7 @@
 //! uniformly random query point (or one drawn from the dataset, which keeps
 //! relevance meaningful on clustered data).
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
 
 /// Paper-default queries per figure point.
@@ -44,8 +44,8 @@ pub fn query_seeds(base: u64, count: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
 
     #[test]
     fn random_points_in_cube() {

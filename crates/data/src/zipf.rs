@@ -4,7 +4,7 @@
 //! "according to a zipfian distribution with skewness factor σ = 0.1". This
 //! sampler draws cluster indices `1..=n` with `P(i) ∝ 1/i^σ`.
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 
 /// A Zipf(σ) sampler over `{0, …, n−1}` using a precomputed CDF.
 #[derive(Clone, Debug)]
@@ -53,8 +53,8 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
 
     #[test]
     fn samples_in_range() {

@@ -1,147 +1,208 @@
 //! Property-based invariants of the geometric foundations.
+//!
+//! `ripple-geom` is dependency-free (it sits below `ripple-net`, home of the
+//! workspace RNG), so these tests drive their case generation with a local
+//! splitmix64 — 128 seeded cases per property, fully deterministic.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use ripple_geom::kdspace::BitPath;
 use ripple_geom::zorder::ZCurve;
 use ripple_geom::{dominance, Norm, Point, Rect, Tuple};
 
-fn coord() -> impl Strategy<Value = f64> {
-    (0u32..=1000).prop_map(|v| v as f64 / 1000.0)
-}
+/// Minimal deterministic generator (splitmix64).
+struct Gen(u64);
 
-fn point(dims: usize) -> impl Strategy<Value = Point> {
-    vec(coord(), dims).prop_map(Point::new)
-}
-
-fn rect(dims: usize) -> impl Strategy<Value = Rect> {
-    (point(dims), point(dims)).prop_map(|(a, b)| {
-        let lo: Vec<f64> = (0..a.dims()).map(|d| a.coord(d).min(b.coord(d))).collect();
-        let hi: Vec<f64> = (0..a.dims()).map(|d| a.coord(d).max(b.coord(d))).collect();
-        Rect::new(lo, hi)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// All three norms satisfy the metric axioms on sampled triples.
-    #[test]
-    fn norms_are_metrics(a in point(4), b in point(4), c in point(4)) {
-        for n in [Norm::L1, Norm::L2, Norm::Linf] {
-            prop_assert!(n.dist(&a, &b) >= 0.0);
-            prop_assert!((n.dist(&a, &b) - n.dist(&b, &a)).abs() < 1e-12);
-            prop_assert!(n.dist(&a, &a) < 1e-12);
-            prop_assert!(n.dist(&a, &c) <= n.dist(&a, &b) + n.dist(&b, &c) + 1e-9);
-        }
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
     }
 
-    /// min_dist and max_dist bracket the distance to any point of the box.
-    #[test]
-    fn rect_distances_bracket(r in rect(3), q in point(3), inside_seed in point(3)) {
-        let inside = r.nearest_point(&inside_seed);
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Coordinate on the 1/1000 grid (matches the old proptest strategy).
+    fn coord(&mut self) -> f64 {
+        (self.next_u64() % 1001) as f64 / 1000.0
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn point(&mut self, dims: usize) -> Point {
+        Point::new((0..dims).map(|_| self.coord()).collect::<Vec<_>>())
+    }
+
+    fn rect(&mut self, dims: usize) -> Rect {
+        let a = self.point(dims);
+        let b = self.point(dims);
+        let lo: Vec<f64> = (0..dims).map(|d| a.coord(d).min(b.coord(d))).collect();
+        let hi: Vec<f64> = (0..dims).map(|d| a.coord(d).max(b.coord(d))).collect();
+        Rect::new(lo, hi)
+    }
+
+    fn bools(&mut self, max_len: usize) -> Vec<bool> {
+        let len = (self.next_u64() as usize) % max_len.max(1);
+        (0..len).map(|_| self.next_u64() & 1 == 1).collect()
+    }
+}
+
+const CASES: u64 = 128;
+
+/// All three norms satisfy the metric axioms on sampled triples.
+#[test]
+fn norms_are_metrics() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (a, b, c) = (g.point(4), g.point(4), g.point(4));
+        for n in [Norm::L1, Norm::L2, Norm::Linf] {
+            assert!(n.dist(&a, &b) >= 0.0);
+            assert!((n.dist(&a, &b) - n.dist(&b, &a)).abs() < 1e-12);
+            assert!(n.dist(&a, &a) < 1e-12);
+            assert!(n.dist(&a, &c) <= n.dist(&a, &b) + n.dist(&b, &c) + 1e-9);
+        }
+    }
+}
+
+/// min_dist and max_dist bracket the distance to any point of the box.
+#[test]
+fn rect_distances_bracket() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(1000 + seed);
+        let r = g.rect(3);
+        let q = g.point(3);
+        let inside = r.nearest_point(&g.point(3));
         for n in [Norm::L1, Norm::L2, Norm::Linf] {
             let d = n.dist(&inside, &q);
-            prop_assert!(n.min_dist(&r, &q) <= d + 1e-9);
-            prop_assert!(n.max_dist(&r, &q) >= d - 1e-9);
+            assert!(n.min_dist(&r, &q) <= d + 1e-9);
+            assert!(n.max_dist(&r, &q) >= d - 1e-9);
         }
     }
+}
 
-    /// Rect intersection is commutative and contained in both operands.
-    #[test]
-    fn rect_intersection_properties(a in rect(3), b in rect(3)) {
+/// Rect intersection is commutative and contained in both operands.
+#[test]
+fn rect_intersection_properties() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(2000 + seed);
+        let a = g.rect(3);
+        let b = g.rect(3);
         match (a.intersection(&b), b.intersection(&a)) {
             (Some(x), Some(y)) => {
-                prop_assert_eq!(&x, &y);
-                prop_assert!(a.contains_rect(&x));
-                prop_assert!(b.contains_rect(&x));
+                assert_eq!(x, y);
+                assert!(a.contains_rect(&x));
+                assert!(b.contains_rect(&x));
             }
             (None, None) => {}
-            _ => prop_assert!(false, "intersection must be symmetric"),
+            _ => panic!("intersection must be symmetric"),
         }
     }
+}
 
-    /// Splitting and key-containment partition exactly.
-    #[test]
-    fn split_partitions_keys(r in rect(2), t in 0.0f64..=1.0, keys in vec(point(2), 1..20)) {
-        prop_assume!(r.volume() > 0.0);
-        let dim = if t < 0.5 { 0 } else { 1 };
+/// Splitting and key-containment partition exactly.
+#[test]
+fn split_partitions_keys() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(3000 + seed);
+        let r = g.rect(2);
+        if r.volume() == 0.0 {
+            continue;
+        }
+        let t = g.coord();
+        let dim = usize::from(t >= 0.5);
         let value = r.lo().coord(dim) + (r.hi().coord(dim) - r.lo().coord(dim)) * t;
         let (a, b) = r.split_at(dim, value);
+        let keys: Vec<Point> = (0..g.usize_in(1, 20)).map(|_| g.point(2)).collect();
         for k in &keys {
             if r.contains_key(k) {
-                prop_assert!(a.contains_key(k) ^ b.contains_key(k));
+                assert!(a.contains_key(k) ^ b.contains_key(k));
             } else {
-                prop_assert!(!a.contains_key(k) && !b.contains_key(k));
+                assert!(!a.contains_key(k) && !b.contains_key(k));
             }
         }
     }
+}
 
-    /// `skyline_insert` always equals a fresh skyline of the union.
-    #[test]
-    fn skyline_insert_equivalence(base in vec(point(3), 0..30), add in vec(point(3), 0..10)) {
-        let base_tuples: Vec<Tuple> = base
-            .iter()
-            .enumerate()
-            .map(|(i, p)| Tuple::new(i as u64, p.clone()))
+/// `skyline_insert` always equals a fresh skyline of the union.
+#[test]
+fn skyline_insert_equivalence() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(4000 + seed);
+        let base_tuples: Vec<Tuple> = (0..g.usize_in(0, 30))
+            .map(|i| Tuple::new(i as u64, g.point(3)))
             .collect();
-        let add_tuples: Vec<Tuple> = add
-            .iter()
-            .enumerate()
-            .map(|(i, p)| Tuple::new(1000 + i as u64, p.clone()))
+        let add_tuples: Vec<Tuple> = (0..g.usize_in(0, 10))
+            .map(|i| Tuple::new(1000 + i as u64, g.point(3)))
             .collect();
         let base_sky = dominance::skyline(&base_tuples);
         let merged = dominance::skyline_insert(base_sky, &add_tuples);
         let mut union = base_tuples;
         union.extend(add_tuples);
         let direct = dominance::skyline(&union);
-        prop_assert_eq!(merged.len(), direct.len());
+        assert_eq!(merged.len(), direct.len());
         for m in &merged {
-            prop_assert!(direct.iter().any(|d| d.point == m.point));
+            assert!(direct.iter().any(|d| d.point == m.point));
         }
     }
+}
 
-    /// Dominance is a strict partial order: irreflexive, asymmetric,
-    /// transitive.
-    #[test]
-    fn dominance_is_strict_partial_order(a in point(3), b in point(3), c in point(3)) {
-        prop_assert!(!dominance::dominates(&a, &a));
+/// Dominance is a strict partial order: irreflexive, asymmetric, transitive.
+#[test]
+fn dominance_is_strict_partial_order() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(5000 + seed);
+        let (a, b, c) = (g.point(3), g.point(3), g.point(3));
+        assert!(!dominance::dominates(&a, &a));
         if dominance::dominates(&a, &b) {
-            prop_assert!(!dominance::dominates(&b, &a));
+            assert!(!dominance::dominates(&b, &a));
         }
         if dominance::dominates(&a, &b) && dominance::dominates(&b, &c) {
-            prop_assert!(dominance::dominates(&a, &c));
+            assert!(dominance::dominates(&a, &c));
         }
     }
+}
 
-    /// Z-encoding maps every point into the rect of any cell that covers
-    /// its z-value.
-    #[test]
-    fn zcurve_point_in_covering_cell(p in point(2)) {
+/// Z-encoding maps every point into the rect of any cell that covers its
+/// z-value.
+#[test]
+fn zcurve_point_in_covering_cell() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(6000 + seed);
+        let p = g.point(2);
         let curve = ZCurve::new(2, 6);
         let z = curve.encode(&p);
         let cells = curve.interval_to_cells(z, z);
-        prop_assert_eq!(cells.len(), 1);
-        prop_assert!(curve.cell_rect(&cells[0]).contains_key(&p));
+        assert_eq!(cells.len(), 1);
+        assert!(curve.cell_rect(&cells[0]).contains_key(&p));
     }
+}
 
-    /// BitPath: prefix ordering agrees with aligned-range containment.
-    #[test]
-    fn bitpath_prefix_vs_aligned(bits_a in vec(any::<bool>(), 0..16), bits_b in vec(any::<bool>(), 0..16)) {
-        let a = BitPath::from_bits(&bits_a);
-        let b = BitPath::from_bits(&bits_b);
+/// BitPath: prefix ordering agrees with aligned-range containment.
+#[test]
+fn bitpath_prefix_vs_aligned() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(7000 + seed);
+        let a = BitPath::from_bits(&g.bools(16));
+        let b = BitPath::from_bits(&g.bools(16));
         let range_contains = a.aligned() <= b.aligned()
             && b.aligned() <= a.aligned() | a.aligned_suffix_mask()
             && a.len() <= b.len();
-        prop_assert_eq!(a.is_prefix_of(&b), range_contains);
+        assert_eq!(a.is_prefix_of(&b), range_contains);
     }
+}
 
-    /// Zone volumes halve with depth (midpoint splits).
-    #[test]
-    fn bitpath_volume_by_depth(bits in vec(any::<bool>(), 0..20)) {
-        let p = BitPath::from_bits(&bits);
+/// Zone volumes halve with depth (midpoint splits).
+#[test]
+fn bitpath_volume_by_depth() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(8000 + seed);
+        let p = BitPath::from_bits(&g.bools(20));
         let vol = p.rect(4).volume();
         let expect = 0.5f64.powi(p.len() as i32);
-        prop_assert!((vol - expect).abs() < 1e-12);
+        assert!((vol - expect).abs() < 1e-12);
     }
 }

@@ -2,8 +2,8 @@
 //! repair under churn, storage balance with data-steered joins, and the
 //! §5.2 policy's effect on link targets.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_geom::{Point, Tuple};
 use ripple_midas::{MidasNetwork, SplitRule};
 use ripple_net::Distribution;

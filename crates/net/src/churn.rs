@@ -6,7 +6,7 @@
 //! *decreasing* stage shrinking it back (departures only). Measurements are
 //! taken whenever the network size crosses a power of two.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// The churn stage currently driving the overlay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,11 +27,11 @@ pub trait ChurnOverlay {
 
     /// A new physical peer joins at a position chosen by `rng`
     /// (e.g. by routing a random key and splitting the responsible zone).
-    fn churn_join(&mut self, rng: &mut dyn rand::RngCore);
+    fn churn_join(&mut self, rng: &mut dyn crate::rng::RngCore);
 
     /// A uniformly random live peer departs gracefully, handing its zone and
     /// data over per the overlay's protocol. No-op if only one peer remains.
-    fn churn_leave(&mut self, rng: &mut dyn rand::RngCore);
+    fn churn_leave(&mut self, rng: &mut dyn crate::rng::RngCore);
 }
 
 /// Grows (or shrinks) the overlay to exactly `target` peers, calling
@@ -95,8 +95,8 @@ pub fn run_stage<O: ChurnOverlay + ?Sized, R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::rngs::SmallRng;
+    use crate::rng::SeedableRng;
 
     /// A trivial overlay that only tracks its size.
     struct Counter(usize);
@@ -105,10 +105,10 @@ mod tests {
         fn peer_count(&self) -> usize {
             self.0
         }
-        fn churn_join(&mut self, _rng: &mut dyn rand::RngCore) {
+        fn churn_join(&mut self, _rng: &mut dyn crate::rng::RngCore) {
             self.0 += 1;
         }
-        fn churn_leave(&mut self, _rng: &mut dyn rand::RngCore) {
+        fn churn_leave(&mut self, _rng: &mut dyn crate::rng::RngCore) {
             if self.0 > 1 {
                 self.0 -= 1;
             }

@@ -22,6 +22,7 @@
 pub mod churn;
 pub mod metrics;
 pub mod peer;
+pub mod rng;
 pub mod stats;
 pub mod store;
 

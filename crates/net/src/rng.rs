@@ -1,0 +1,279 @@
+//! Dependency-free deterministic pseudo-randomness for the simulator.
+//!
+//! The reproduction must build and test **offline** (tier-1 verify runs with
+//! `--offline`), so the library crates cannot depend on the `rand` crate.
+//! This module provides the small slice of its API the simulation needs —
+//! a seedable generator plus `gen` / `gen_range` / `gen_bool` — backed by
+//! xoshiro256++ (Blackman & Vigna) seeded through splitmix64, the standard
+//! pairing for reproducible simulation workloads.
+//!
+//! The traits deliberately mirror `rand`'s names ([`Rng`], [`RngCore`],
+//! [`SeedableRng`], [`rngs::SmallRng`]) so call sites read identically and a
+//! future migration back to the external crate stays mechanical.
+
+/// Core interface: a stream of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// splitmix64 — used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable generator: xoshiro256++.
+///
+/// Statistically strong enough for simulation (passes BigCrush); **not**
+/// cryptographically secure.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        let s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
+
+/// Types drawable uniformly from their natural domain via [`Rng::gen`].
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as [`Rng::gen_range`] bounds.
+pub trait SampleRange: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; `hi > lo` is guaranteed by the caller.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // Span fits in u128 for every supported width. Modulo bias is
+                // at most span / 2^64 — irrelevant for simulation draws.
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                lo.wrapping_add((wide % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(usize, u32, u64, i32, i64);
+
+impl SampleRange for u128 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let span = hi - lo;
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        lo + wide % span
+    }
+}
+
+impl SampleRange for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Convenience layer over [`RngCore`], mirroring the external `rand` crate's
+/// `Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the type's natural domain
+    /// (`[0,1)` for `f64`, the full range for integers).
+    #[inline]
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from the half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T: SampleRange>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range over an empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// True with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Namespaced re-export mirroring the external `rand` crate's `rngs` module.
+pub mod rngs {
+    pub use super::SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_hits_all_buckets() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut hits = [0u32; 5];
+        for _ in 0..5_000 {
+            hits[rng.gen_range(0..5usize)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 700), "{hits:?}");
+        // bounds respected for offset ranges
+        for _ in 0..100 {
+            let v = rng.gen_range(10..12u64);
+            assert!((10..12).contains(&v));
+        }
+        // u128 spans work (z-order key spaces)
+        for _ in 0..100 {
+            let v = rng.gen_range(0..1u128 << 80);
+            assert!(v < 1u128 << 80);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn dyn_rng_core_usable() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let x = Rng::gen::<f64>(&mut &mut *dynr);
+        assert!((0.0..1.0).contains(&x));
+        let i = Rng::gen_range(&mut &mut *dynr, 0..10usize);
+        assert!(i < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = rng.gen_range(3..3usize);
+    }
+}

@@ -24,7 +24,7 @@
 
 #![warn(missing_docs)]
 
-use rand::Rng;
+use ripple_net::rng::Rng;
 use ripple_geom::{dominance, ScoreFn, Tuple};
 use ripple_net::{PeerId, QueryMetrics};
 
@@ -206,8 +206,8 @@ impl SpeertoNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::SeedableRng;
     use ripple_geom::{Norm, PeakScore, Point};
 
     fn dataset(n: usize, seed: u64) -> Vec<Tuple> {

@@ -267,8 +267,8 @@ pub fn recall(approx: &TopKResult, exact: &[(TupleId, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
     use ripple_geom::Tuple;
 
     fn dataset(n: usize, dims: usize, seed: u64) -> VerticalNetwork {

@@ -10,8 +10,8 @@
 //! cargo run --release --example caching
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple::core::cache::TopKCache;
 use ripple::core::framework::Mode;
 use ripple::core::topk::run_topk;

@@ -10,8 +10,8 @@
 //! cargo run --release --example churn
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple::core::framework::Mode;
 use ripple::core::skyline::{centralized_skyline, run_skyline};
 use ripple::core::topk::{centralized_topk, run_topk};

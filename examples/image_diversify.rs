@@ -10,8 +10,8 @@
 //! cargo run --release --example image_diversify
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple::can::{baseline_diversify, CanNetwork};
 use ripple::core::diversify::{diversify, Initialize};
 use ripple::core::framework::Mode;

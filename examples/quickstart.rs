@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple::core::diversify::{diversify, Initialize};
 use ripple::core::framework::Mode;
 use ripple::core::skyline::run_skyline;

@@ -12,8 +12,8 @@
 //! cargo run --release --example vertical_topk
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple::data::nba;
 use ripple::geom::{Point, Tuple};
 use ripple::vertical::{brute_force_ids, fa, klee, recall, ta, tput, VerticalNetwork};

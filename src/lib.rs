@@ -22,19 +22,19 @@
 //! ## Quickstart
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use ripple_net::rng::SeedableRng;
 //! use ripple::core::framework::Mode;
 //! use ripple::core::skyline::{centralized_skyline, run_skyline};
 //! use ripple::geom::Tuple;
 //! use ripple::midas::MidasNetwork;
 //!
 //! // Build a 256-peer MIDAS overlay over a 2-d domain and load data.
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//! let mut rng = ripple_net::rng::rngs::SmallRng::seed_from_u64(42);
 //! let mut net = MidasNetwork::build(2, 256, true, &mut rng);
 //! let data: Vec<Tuple> = (0..2_000u64)
 //!     .map(|i| {
-//!         let x = rand::Rng::gen::<f64>(&mut rng);
-//!         let y = rand::Rng::gen::<f64>(&mut rng);
+//!         let x = ripple_net::rng::Rng::gen::<f64>(&mut rng);
+//!         let y = ripple_net::rng::Rng::gen::<f64>(&mut rng);
 //!         Tuple::new(i, vec![x, y])
 //!     })
 //!     .collect();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-fe0e93a434433c14.d: crates/core/tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-fe0e93a434433c14: crates/core/tests/correctness.rs
+
+crates/core/tests/correctness.rs:

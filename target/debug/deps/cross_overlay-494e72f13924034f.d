@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_overlay-494e72f13924034f.d: tests/cross_overlay.rs
+
+/root/repo/target/debug/deps/cross_overlay-494e72f13924034f: tests/cross_overlay.rs
+
+tests/cross_overlay.rs:

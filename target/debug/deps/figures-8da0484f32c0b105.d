@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-8da0484f32c0b105.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-8da0484f32c0b105: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

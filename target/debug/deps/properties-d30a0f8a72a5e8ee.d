@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d30a0f8a72a5e8ee.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d30a0f8a72a5e8ee: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f15147345b37f3bd.d: crates/geom/tests/props.rs
+
+/root/repo/target/debug/deps/props-f15147345b37f3bd: crates/geom/tests/props.rs
+
+crates/geom/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring-30230255d3755688.d: crates/chord/tests/ring.rs
+
+/root/repo/target/debug/deps/ring-30230255d3755688: crates/chord/tests/ring.rs
+
+crates/chord/tests/ring.rs:

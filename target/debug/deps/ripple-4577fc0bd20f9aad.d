@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ripple-4577fc0bd20f9aad.d: src/lib.rs
+
+/root/repo/target/debug/deps/ripple-4577fc0bd20f9aad: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ripple-a645bb882e47a899.d: src/lib.rs
+
+/root/repo/target/debug/deps/libripple-a645bb882e47a899.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libripple-a645bb882e47a899.rmeta: src/lib.rs
+
+src/lib.rs:

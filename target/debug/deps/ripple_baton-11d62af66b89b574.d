@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ripple_baton-11d62af66b89b574.d: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+/root/repo/target/debug/deps/ripple_baton-11d62af66b89b574: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+crates/baton/src/lib.rs:
+crates/baton/src/network.rs:
+crates/baton/src/ssp.rs:

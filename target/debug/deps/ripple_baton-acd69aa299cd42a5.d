@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ripple_baton-acd69aa299cd42a5.d: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+/root/repo/target/debug/deps/libripple_baton-acd69aa299cd42a5.rlib: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+/root/repo/target/debug/deps/libripple_baton-acd69aa299cd42a5.rmeta: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+crates/baton/src/lib.rs:
+crates/baton/src/network.rs:
+crates/baton/src/ssp.rs:

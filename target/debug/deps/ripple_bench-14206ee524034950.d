@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ripple_bench-14206ee524034950.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/config.rs crates/bench/src/fig_div.rs crates/bench/src/fig_sky.rs crates/bench/src/fig_topk.rs crates/bench/src/lemmas.rs crates/bench/src/output.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/ripple_bench-14206ee524034950: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/config.rs crates/bench/src/fig_div.rs crates/bench/src/fig_sky.rs crates/bench/src/fig_topk.rs crates/bench/src/lemmas.rs crates/bench/src/output.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/config.rs:
+crates/bench/src/fig_div.rs:
+crates/bench/src/fig_sky.rs:
+crates/bench/src/fig_topk.rs:
+crates/bench/src/lemmas.rs:
+crates/bench/src/output.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ripple_bench-20364543fae121fb.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/config.rs crates/bench/src/fig_div.rs crates/bench/src/fig_sky.rs crates/bench/src/fig_topk.rs crates/bench/src/lemmas.rs crates/bench/src/output.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libripple_bench-20364543fae121fb.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/config.rs crates/bench/src/fig_div.rs crates/bench/src/fig_sky.rs crates/bench/src/fig_topk.rs crates/bench/src/lemmas.rs crates/bench/src/output.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libripple_bench-20364543fae121fb.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/config.rs crates/bench/src/fig_div.rs crates/bench/src/fig_sky.rs crates/bench/src/fig_topk.rs crates/bench/src/lemmas.rs crates/bench/src/output.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/config.rs:
+crates/bench/src/fig_div.rs:
+crates/bench/src/fig_sky.rs:
+crates/bench/src/fig_topk.rs:
+crates/bench/src/lemmas.rs:
+crates/bench/src/output.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ripple_can-254b31a5ceedecac.d: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+/root/repo/target/debug/deps/libripple_can-254b31a5ceedecac.rlib: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+/root/repo/target/debug/deps/libripple_can-254b31a5ceedecac.rmeta: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+crates/can/src/lib.rs:
+crates/can/src/div_baseline.rs:
+crates/can/src/dsl.rs:
+crates/can/src/network.rs:
+crates/can/src/skyframe.rs:

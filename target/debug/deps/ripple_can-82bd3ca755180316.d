@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ripple_can-82bd3ca755180316.d: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+/root/repo/target/debug/deps/ripple_can-82bd3ca755180316: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+crates/can/src/lib.rs:
+crates/can/src/div_baseline.rs:
+crates/can/src/dsl.rs:
+crates/can/src/network.rs:
+crates/can/src/skyframe.rs:

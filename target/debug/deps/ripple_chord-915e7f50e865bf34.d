@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ripple_chord-915e7f50e865bf34.d: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+/root/repo/target/debug/deps/libripple_chord-915e7f50e865bf34.rlib: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+/root/repo/target/debug/deps/libripple_chord-915e7f50e865bf34.rmeta: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/network.rs:
+crates/chord/src/ripple_impl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ripple_chord-e79a59c6915bc28e.d: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+/root/repo/target/debug/deps/ripple_chord-e79a59c6915bc28e: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/network.rs:
+crates/chord/src/ripple_impl.rs:

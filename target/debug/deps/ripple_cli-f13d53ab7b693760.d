@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ripple_cli-f13d53ab7b693760.d: crates/bench/src/bin/ripple_cli.rs
+
+/root/repo/target/debug/deps/ripple_cli-f13d53ab7b693760: crates/bench/src/bin/ripple_cli.rs
+
+crates/bench/src/bin/ripple_cli.rs:

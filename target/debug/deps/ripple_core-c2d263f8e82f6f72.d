@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ripple_core-c2d263f8e82f6f72.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/exec_tests.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/ripple_core-c2d263f8e82f6f72: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/exec_tests.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/diversify.rs:
+crates/core/src/exec.rs:
+crates/core/src/exec_tests.rs:
+crates/core/src/framework.rs:
+crates/core/src/latency.rs:
+crates/core/src/midas_impl.rs:
+crates/core/src/range.rs:
+crates/core/src/skyline.rs:
+crates/core/src/topk.rs:

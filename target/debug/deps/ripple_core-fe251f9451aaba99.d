@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ripple_core-fe251f9451aaba99.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libripple_core-fe251f9451aaba99.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libripple_core-fe251f9451aaba99.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/diversify.rs:
+crates/core/src/exec.rs:
+crates/core/src/framework.rs:
+crates/core/src/latency.rs:
+crates/core/src/midas_impl.rs:
+crates/core/src/range.rs:
+crates/core/src/skyline.rs:
+crates/core/src/topk.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ripple_data-0fd11008e80ba8ea.d: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+/root/repo/target/debug/deps/libripple_data-0fd11008e80ba8ea.rlib: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+/root/repo/target/debug/deps/libripple_data-0fd11008e80ba8ea.rmeta: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+crates/data/src/lib.rs:
+crates/data/src/mirflickr.rs:
+crates/data/src/nba.rs:
+crates/data/src/synth.rs:
+crates/data/src/workload.rs:
+crates/data/src/zipf.rs:

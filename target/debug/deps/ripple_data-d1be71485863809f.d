@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ripple_data-d1be71485863809f.d: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+/root/repo/target/debug/deps/ripple_data-d1be71485863809f: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+crates/data/src/lib.rs:
+crates/data/src/mirflickr.rs:
+crates/data/src/nba.rs:
+crates/data/src/synth.rs:
+crates/data/src/workload.rs:
+crates/data/src/zipf.rs:

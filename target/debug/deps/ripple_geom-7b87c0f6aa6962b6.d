@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ripple_geom-7b87c0f6aa6962b6.d: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+/root/repo/target/debug/deps/libripple_geom-7b87c0f6aa6962b6.rlib: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+/root/repo/target/debug/deps/libripple_geom-7b87c0f6aa6962b6.rmeta: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/dominance.rs:
+crates/geom/src/diversity.rs:
+crates/geom/src/kdspace.rs:
+crates/geom/src/norm.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/score.rs:
+crates/geom/src/zorder.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ripple_geom-c92a40994a1562d8.d: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+/root/repo/target/debug/deps/ripple_geom-c92a40994a1562d8: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/dominance.rs:
+crates/geom/src/diversity.rs:
+crates/geom/src/kdspace.rs:
+crates/geom/src/norm.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/score.rs:
+crates/geom/src/zorder.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ripple_midas-27e29fb5b8768993.d: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+/root/repo/target/debug/deps/libripple_midas-27e29fb5b8768993.rlib: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+/root/repo/target/debug/deps/libripple_midas-27e29fb5b8768993.rmeta: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+crates/midas/src/lib.rs:
+crates/midas/src/network.rs:
+crates/midas/src/path_index.rs:
+crates/midas/src/peer.rs:

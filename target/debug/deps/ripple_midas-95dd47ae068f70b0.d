@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ripple_midas-95dd47ae068f70b0.d: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+/root/repo/target/debug/deps/ripple_midas-95dd47ae068f70b0: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+crates/midas/src/lib.rs:
+crates/midas/src/network.rs:
+crates/midas/src/path_index.rs:
+crates/midas/src/peer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ripple_net-3730b04d7210ef08.d: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+/root/repo/target/debug/deps/ripple_net-3730b04d7210ef08: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+crates/net/src/lib.rs:
+crates/net/src/churn.rs:
+crates/net/src/metrics.rs:
+crates/net/src/peer.rs:
+crates/net/src/rng.rs:
+crates/net/src/stats.rs:
+crates/net/src/store.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ripple_net-3b21f21f82ed0ee4.d: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+/root/repo/target/debug/deps/libripple_net-3b21f21f82ed0ee4.rlib: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+/root/repo/target/debug/deps/libripple_net-3b21f21f82ed0ee4.rmeta: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+crates/net/src/lib.rs:
+crates/net/src/churn.rs:
+crates/net/src/metrics.rs:
+crates/net/src/peer.rs:
+crates/net/src/rng.rs:
+crates/net/src/stats.rs:
+crates/net/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ripple_superpeer-2498459b6b5740e5.d: crates/superpeer/src/lib.rs
+
+/root/repo/target/debug/deps/ripple_superpeer-2498459b6b5740e5: crates/superpeer/src/lib.rs
+
+crates/superpeer/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ripple_superpeer-399bc78e63e43483.d: crates/superpeer/src/lib.rs
+
+/root/repo/target/debug/deps/libripple_superpeer-399bc78e63e43483.rlib: crates/superpeer/src/lib.rs
+
+/root/repo/target/debug/deps/libripple_superpeer-399bc78e63e43483.rmeta: crates/superpeer/src/lib.rs
+
+crates/superpeer/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ripple_vertical-0a31882fe168943f.d: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+/root/repo/target/debug/deps/libripple_vertical-0a31882fe168943f.rlib: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+/root/repo/target/debug/deps/libripple_vertical-0a31882fe168943f.rmeta: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+crates/vertical/src/lib.rs:
+crates/vertical/src/algorithms.rs:
+crates/vertical/src/server.rs:

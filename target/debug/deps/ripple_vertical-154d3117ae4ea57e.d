@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ripple_vertical-154d3117ae4ea57e.d: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+/root/repo/target/debug/deps/ripple_vertical-154d3117ae4ea57e: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+crates/vertical/src/lib.rs:
+crates/vertical/src/algorithms.rs:
+crates/vertical/src/server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_diag-dd4e9b98706c0b9e.d: crates/core/tests/scratch_diag.rs
+
+/root/repo/target/debug/deps/scratch_diag-dd4e9b98706c0b9e: crates/core/tests/scratch_diag.rs
+
+crates/core/tests/scratch_diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure-ea2b89e1ea73c344.d: crates/midas/tests/structure.rs
+
+/root/repo/target/debug/deps/structure-ea2b89e1ea73c344: crates/midas/tests/structure.rs
+
+crates/midas/tests/structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tree-0f44e4cb8d1da854.d: crates/baton/tests/tree.rs
+
+/root/repo/target/debug/deps/tree-0f44e4cb8d1da854: crates/baton/tests/tree.rs
+
+crates/baton/tests/tree.rs:

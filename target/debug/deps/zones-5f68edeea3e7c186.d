@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zones-5f68edeea3e7c186.d: crates/can/tests/zones.rs
+
+/root/repo/target/debug/deps/zones-5f68edeea3e7c186: crates/can/tests/zones.rs
+
+crates/can/tests/zones.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/caching-1e05acef9a690494.d: examples/caching.rs
+
+/root/repo/target/debug/examples/caching-1e05acef9a690494: examples/caching.rs
+
+examples/caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/churn-7836ca56c3ff8bd3.d: examples/churn.rs
+
+/root/repo/target/debug/examples/churn-7836ca56c3ff8bd3: examples/churn.rs
+
+examples/churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_diversify-9a2b681e630be0af.d: examples/image_diversify.rs
+
+/root/repo/target/debug/examples/image_diversify-9a2b681e630be0af: examples/image_diversify.rs
+
+examples/image_diversify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nba_scouting-acf82efcabbd776d.d: examples/nba_scouting.rs
+
+/root/repo/target/debug/examples/nba_scouting-acf82efcabbd776d: examples/nba_scouting.rs
+
+examples/nba_scouting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6d9eabb10c2aff20.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6d9eabb10c2aff20: examples/quickstart.rs
+
+examples/quickstart.rs:

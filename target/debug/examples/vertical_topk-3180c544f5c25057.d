@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vertical_topk-3180c544f5c25057.d: examples/vertical_topk.rs
+
+/root/repo/target/debug/examples/vertical_topk-3180c544f5c25057: examples/vertical_topk.rs
+
+examples/vertical_topk.rs:

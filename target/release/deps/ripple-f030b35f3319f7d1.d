@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ripple-f030b35f3319f7d1.d: src/lib.rs
+
+/root/repo/target/release/deps/libripple-f030b35f3319f7d1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libripple-f030b35f3319f7d1.rmeta: src/lib.rs
+
+src/lib.rs:

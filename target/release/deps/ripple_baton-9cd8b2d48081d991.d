@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ripple_baton-9cd8b2d48081d991.d: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+/root/repo/target/release/deps/libripple_baton-9cd8b2d48081d991.rlib: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+/root/repo/target/release/deps/libripple_baton-9cd8b2d48081d991.rmeta: crates/baton/src/lib.rs crates/baton/src/network.rs crates/baton/src/ssp.rs
+
+crates/baton/src/lib.rs:
+crates/baton/src/network.rs:
+crates/baton/src/ssp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ripple_can-9fd244c960df1fe1.d: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+/root/repo/target/release/deps/libripple_can-9fd244c960df1fe1.rlib: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+/root/repo/target/release/deps/libripple_can-9fd244c960df1fe1.rmeta: crates/can/src/lib.rs crates/can/src/div_baseline.rs crates/can/src/dsl.rs crates/can/src/network.rs crates/can/src/skyframe.rs
+
+crates/can/src/lib.rs:
+crates/can/src/div_baseline.rs:
+crates/can/src/dsl.rs:
+crates/can/src/network.rs:
+crates/can/src/skyframe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ripple_chord-f5984d5b974597e7.d: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+/root/repo/target/release/deps/libripple_chord-f5984d5b974597e7.rlib: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+/root/repo/target/release/deps/libripple_chord-f5984d5b974597e7.rmeta: crates/chord/src/lib.rs crates/chord/src/network.rs crates/chord/src/ripple_impl.rs
+
+crates/chord/src/lib.rs:
+crates/chord/src/network.rs:
+crates/chord/src/ripple_impl.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ripple_core-fa2336948a17ca54.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+/root/repo/target/release/deps/libripple_core-fa2336948a17ca54.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+/root/repo/target/release/deps/libripple_core-fa2336948a17ca54.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/diversify.rs crates/core/src/exec.rs crates/core/src/framework.rs crates/core/src/latency.rs crates/core/src/midas_impl.rs crates/core/src/range.rs crates/core/src/skyline.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/diversify.rs:
+crates/core/src/exec.rs:
+crates/core/src/framework.rs:
+crates/core/src/latency.rs:
+crates/core/src/midas_impl.rs:
+crates/core/src/range.rs:
+crates/core/src/skyline.rs:
+crates/core/src/topk.rs:

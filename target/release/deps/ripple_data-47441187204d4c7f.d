@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ripple_data-47441187204d4c7f.d: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+/root/repo/target/release/deps/libripple_data-47441187204d4c7f.rlib: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+/root/repo/target/release/deps/libripple_data-47441187204d4c7f.rmeta: crates/data/src/lib.rs crates/data/src/mirflickr.rs crates/data/src/nba.rs crates/data/src/synth.rs crates/data/src/workload.rs crates/data/src/zipf.rs
+
+crates/data/src/lib.rs:
+crates/data/src/mirflickr.rs:
+crates/data/src/nba.rs:
+crates/data/src/synth.rs:
+crates/data/src/workload.rs:
+crates/data/src/zipf.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ripple_geom-16108f44bec9024e.d: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+/root/repo/target/release/deps/libripple_geom-16108f44bec9024e.rlib: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+/root/repo/target/release/deps/libripple_geom-16108f44bec9024e.rmeta: crates/geom/src/lib.rs crates/geom/src/dominance.rs crates/geom/src/diversity.rs crates/geom/src/kdspace.rs crates/geom/src/norm.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/score.rs crates/geom/src/zorder.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/dominance.rs:
+crates/geom/src/diversity.rs:
+crates/geom/src/kdspace.rs:
+crates/geom/src/norm.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/score.rs:
+crates/geom/src/zorder.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ripple_midas-f421db6d4fc31d83.d: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+/root/repo/target/release/deps/libripple_midas-f421db6d4fc31d83.rlib: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+/root/repo/target/release/deps/libripple_midas-f421db6d4fc31d83.rmeta: crates/midas/src/lib.rs crates/midas/src/network.rs crates/midas/src/path_index.rs crates/midas/src/peer.rs
+
+crates/midas/src/lib.rs:
+crates/midas/src/network.rs:
+crates/midas/src/path_index.rs:
+crates/midas/src/peer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ripple_net-0f722211366c1ab5.d: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+/root/repo/target/release/deps/libripple_net-0f722211366c1ab5.rlib: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+/root/repo/target/release/deps/libripple_net-0f722211366c1ab5.rmeta: crates/net/src/lib.rs crates/net/src/churn.rs crates/net/src/metrics.rs crates/net/src/peer.rs crates/net/src/rng.rs crates/net/src/stats.rs crates/net/src/store.rs
+
+crates/net/src/lib.rs:
+crates/net/src/churn.rs:
+crates/net/src/metrics.rs:
+crates/net/src/peer.rs:
+crates/net/src/rng.rs:
+crates/net/src/stats.rs:
+crates/net/src/store.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ripple_superpeer-61fbd3909bf6ae33.d: crates/superpeer/src/lib.rs
+
+/root/repo/target/release/deps/libripple_superpeer-61fbd3909bf6ae33.rlib: crates/superpeer/src/lib.rs
+
+/root/repo/target/release/deps/libripple_superpeer-61fbd3909bf6ae33.rmeta: crates/superpeer/src/lib.rs
+
+crates/superpeer/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ripple_vertical-58d856d14daf0e89.d: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+/root/repo/target/release/deps/libripple_vertical-58d856d14daf0e89.rlib: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+/root/repo/target/release/deps/libripple_vertical-58d856d14daf0e89.rmeta: crates/vertical/src/lib.rs crates/vertical/src/algorithms.rs crates/vertical/src/server.rs
+
+crates/vertical/src/lib.rs:
+crates/vertical/src/algorithms.rs:
+crates/vertical/src/server.rs:

@@ -1,8 +1,8 @@
 //! Cross-crate integration: the same dataset and queries over every
 //! substrate and algorithm must agree with the centralized oracles.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple::baton::{ssp_skyline, BatonNetwork};
 use ripple::can::{baseline_diversify, dsl_skyline, CanNetwork};
 use ripple::chord::ChordNetwork;
