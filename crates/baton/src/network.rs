@@ -14,9 +14,9 @@
 //! include. Multidimensional data is mapped onto the key space with the
 //! Z-curve (`ripple-geom::zorder`), as SSP prescribes.
 
-use ripple_net::rng::Rng;
 use ripple_geom::zorder::ZCurve;
 use ripple_geom::{Point, Tuple};
+use ripple_net::rng::Rng;
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
 
 /// A BATON peer: a contiguous Z-interval plus its stored tuples.
@@ -166,10 +166,7 @@ impl BatonNetwork {
     /// In-order rank of the peer owning key `z`.
     pub fn rank_of_key(&self, z: u128) -> usize {
         debug_assert!(z < self.curve.key_space());
-        match self
-            .sorted
-            .binary_search_by(|&p| self.peer(p).lo.cmp(&z))
-        {
+        match self.sorted.binary_search_by(|&p| self.peer(p).lo.cmp(&z)) {
             Ok(r) => r,
             Err(ins) => ins - 1, // interval of the previous peer covers z
         }
@@ -346,7 +343,11 @@ impl BatonNetwork {
                             l.rank_of_bfs[b / 2] // parent
                         } else {
                             // root without a useful entry: adjacent step
-                            if going_left { cur - 1 } else { cur + 1 }
+                            if going_left {
+                                cur - 1
+                            } else {
+                                cur + 1
+                            }
                         }
                     }
                 };

@@ -48,7 +48,8 @@ pub fn ssp_skyline(net: &BatonNetwork, initiator: PeerId) -> SspOutcome {
     // Phase 2: the origin peer computes its local skyline and selects the
     // most dominating point (minimum coordinate sum) to prune with.
     metrics.visit(origin_peer);
-    let local_sky = dominance::skyline(net.peer(origin_peer).store.tuples());
+    // cached local skyline: incrementally maintained by the store
+    let local_sky = net.peer(origin_peer).store.skyline();
     let most_dominating = local_sky
         .iter()
         .min_by(|a, b| {
@@ -88,7 +89,7 @@ pub fn ssp_skyline(net: &BatonNetwork, initiator: PeerId) -> SspOutcome {
 
         // the contacted peer returns its local skyline thinned by the
         // refinement point
-        let mut remote_sky = dominance::skyline(net.peer(peer).store.tuples());
+        let mut remote_sky = net.peer(peer).store.skyline();
         if let Some(s) = &most_dominating {
             remote_sky.retain(|t| !dominance::dominates(&s.point, &t.point));
         }
@@ -115,12 +116,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut net = BatonNetwork::build(dims, 10, peers, &mut rng);
         let data: Vec<Tuple> = (0..tuples as u64)
-            .map(|i| {
-                Tuple::new(
-                    i,
-                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
-                )
-            })
+            .map(|i| Tuple::new(i, (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
             .collect();
         net.insert_all(data.clone());
         net.refresh_layout();

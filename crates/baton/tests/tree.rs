@@ -1,10 +1,10 @@
 //! BATON integration: SSP stays exact across churn and routing stays
 //! logarithmic on rebuilt layouts.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple_baton::{ssp_skyline, BatonNetwork};
 use ripple_geom::{dominance, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_net::ChurnOverlay;
 
 #[test]

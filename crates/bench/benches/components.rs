@@ -16,7 +16,9 @@ fn bench_skyline_ops() {
     let mut rng = SmallRng::seed_from_u64(1);
     for n in [1_000usize, 10_000] {
         let data = synth::generate(&SynthConfig::scaled(4, n), &mut rng);
-        bench(&format!("skyline_ops/full/{n}"), || dominance::skyline(&data));
+        bench(&format!("skyline_ops/full/{n}"), || {
+            dominance::skyline(&data)
+        });
         let sky = dominance::skyline(&data);
         let add = &data[..32.min(data.len())];
         bench(&format!("skyline_ops/insert32/{n}"), || {

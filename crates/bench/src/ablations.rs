@@ -14,17 +14,17 @@
 use crate::config::Scale;
 use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{merge_summaries, midas_uniform_with_data, midas_with_data, parallel_queries};
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple_chord::ChordNetwork;
 use ripple_core::framework::{Mode, Unprioritized};
-use ripple_core::Executor;
 use ripple_core::skyline::{run_skyline, SkylineQuery};
 use ripple_core::topk::run_topk;
+use ripple_core::Executor;
 use ripple_data::workload::{data_query_point, query_seeds};
 use ripple_data::{nba, synth, SynthConfig};
 use ripple_geom::{Norm, PeakScore, Tuple};
 use ripple_midas::{MidasNetwork, SplitRule};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_net::{PointSummary, QueryMetrics};
 
 fn sky_series_point(net: &MidasNetwork, mode: Mode, seeds: &[u64]) -> PointSummary {
@@ -84,7 +84,10 @@ pub fn ablation_priority(scale: Scale, seed: u64) -> Figure {
     let data = nba::project4(&nba::paper(&mut rng));
     let per_net = (scale.queries() / scale.networks()).max(1);
     let mut series = Vec::new();
-    for (name, prioritized) in [("slow, prioritized", true), ("slow, arbitrary order", false)] {
+    for (name, prioritized) in [
+        ("slow, prioritized", true),
+        ("slow, arbitrary order", false),
+    ] {
         let points = scale
             .overlay_sizes()
             .into_iter()

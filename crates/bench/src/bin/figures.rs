@@ -50,8 +50,8 @@ fn main() {
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "table1", "lemmas", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "fig12",
+            "table1", "lemmas", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -15,8 +15,6 @@
 //! messages, tuples shipped) and — where one exists — a centralized oracle
 //! check.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple_core::diversify::{diversify, Initialize};
 use ripple_core::framework::Mode;
 use ripple_core::range::run_range;
@@ -26,6 +24,8 @@ use ripple_data::synth::SynthConfig;
 use ripple_data::{mirflickr, nba, synth};
 use ripple_geom::{DiversityQuery, Norm, PeakScore, Point, Rect, ScoreFn, Tuple};
 use ripple_midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_net::{Distribution, QueryMetrics};
 
 struct Args(Vec<String>);
@@ -66,7 +66,11 @@ impl Args {
 fn parse_point(s: &str) -> Point {
     Point::new(
         s.split(',')
-            .map(|c| c.trim().parse::<f64>().unwrap_or_else(|_| die("bad coordinate")))
+            .map(|c| {
+                c.trim()
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| die("bad coordinate"))
+            })
             .collect::<Vec<_>>(),
     )
 }
@@ -156,7 +160,12 @@ fn main() {
             let (top, m) = run_topk(&net, initiator, score.clone(), k, mode);
             println!("top-{k} around {peak:?} ({mode:?}):");
             for t in &top {
-                println!("  #{:<6} {:?}  score {:.4}", t.id, t.point, score.score(&t.point));
+                println!(
+                    "  #{:<6} {:?}  score {:.4}",
+                    t.id,
+                    t.point,
+                    score.score(&t.point)
+                );
             }
             report(&m);
             let oracle = centralized_topk(&data, &score, k);
@@ -203,7 +212,10 @@ fn main() {
             report(&m);
         }
         "range" => {
-            let lo = args.flag("--lo").map(parse_point).unwrap_or_else(|| Point::origin(dims));
+            let lo = args
+                .flag("--lo")
+                .map(parse_point)
+                .unwrap_or_else(|| Point::origin(dims));
             let hi = args
                 .flag("--hi")
                 .map(parse_point)
@@ -219,9 +231,8 @@ fn main() {
                     .iter()
                     .map(|&p| net.peer(p).store.len() as f64),
             );
-            let depths = Distribution::of(
-                net.live_peers().iter().map(|&p| net.peer(p).depth() as f64),
-            );
+            let depths =
+                Distribution::of(net.live_peers().iter().map(|&p| net.peer(p).depth() as f64));
             println!("overlay: {} peers, Δ = {}", net.peer_count(), net.delta());
             println!(
                 "storage load: min {} / median {} / mean {:.1} / max {} (gini {:.3})",

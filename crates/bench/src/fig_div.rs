@@ -8,14 +8,14 @@
 use crate::config::Scale;
 use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{can_with_data, merge_summaries, midas_with_data, parallel_queries};
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple_can::stream_single_tuple;
 use ripple_core::diversify::{greedy_trace, run_single_tuple, SearchStep};
 use ripple_core::framework::Mode;
 use ripple_data::workload::{data_query_point, query_seeds};
 use ripple_data::{mirflickr, synth, SynthConfig};
 use ripple_geom::{DiversityQuery, Norm, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_net::PointSummary;
 
 /// The three diversification methods of Figures 9–12.
@@ -35,11 +35,7 @@ const MAX_ITERS: usize = 4;
 /// searches while its own costs are measured. Without this, φ ties steer
 /// the heuristics to different — equally valid — local optima and the cost
 /// comparison would be confounded by result differences.
-fn trace_for(
-    data: &[Tuple],
-    div: &DiversityQuery,
-    k: usize,
-) -> Vec<SearchStep> {
+fn trace_for(data: &[Tuple], div: &DiversityQuery, k: usize) -> Vec<SearchStep> {
     greedy_trace(data, div, k, MAX_ITERS)
 }
 
@@ -91,9 +87,8 @@ fn div_point(
                         let initiator = net.random_peer(&mut rng);
                         let mut total = ripple_net::QueryMetrics::new();
                         for step in trace_for(data, &div, k) {
-                            let (_, m) = run_single_tuple(
-                                &net, initiator, &div, &step.set, step.tau, mode,
-                            );
+                            let (_, m) =
+                                run_single_tuple(&net, initiator, &div, &step.set, step.tau, mode);
                             total.absorb_sequential(&m);
                         }
                         total
@@ -120,16 +115,7 @@ pub fn fig9(scale: Scale, seed: u64) -> Figure {
                     eprintln!("  fig9 {name} n={n}");
                     SeriesPoint {
                         x: n as f64,
-                        summary: div_point(
-                            mirflickr::DIMS,
-                            n,
-                            &data,
-                            10,
-                            0.5,
-                            name,
-                            scale,
-                            seed,
-                        ),
+                        summary: div_point(mirflickr::DIMS, n, &data, 10, 0.5, name, scale, seed),
                     }
                 })
                 .collect(),
@@ -190,16 +176,7 @@ pub fn fig11(scale: Scale, seed: u64) -> Figure {
                     eprintln!("  fig11 {name} k={k}");
                     SeriesPoint {
                         x: k as f64,
-                        summary: div_point(
-                            mirflickr::DIMS,
-                            n,
-                            &data,
-                            k,
-                            0.5,
-                            name,
-                            scale,
-                            seed,
-                        ),
+                        summary: div_point(mirflickr::DIMS, n, &data, k, 0.5, name, scale, seed),
                     }
                 })
                 .collect(),

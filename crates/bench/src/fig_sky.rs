@@ -9,8 +9,6 @@ use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{
     baton_with_data, can_with_data, merge_summaries, midas_with_data, parallel_queries,
 };
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple_baton::ssp_skyline;
 use ripple_can::dsl_skyline;
 use ripple_core::framework::Mode;
@@ -18,6 +16,8 @@ use ripple_core::skyline::run_skyline;
 use ripple_data::workload::query_seeds;
 use ripple_data::{nba, synth, SynthConfig};
 use ripple_geom::Tuple;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_net::PointSummary;
 
 /// The four skyline methods of Figures 7–8.
@@ -131,10 +131,8 @@ pub fn fig8(scale: Scale, seed: u64) -> Figure {
                     // Skyline cardinality explodes with dimensionality; a
                     // quarter of the record budget keeps high-d points
                     // tractable while preserving the trend.
-                    let data = synth::generate(
-                        &SynthConfig::scaled(dims, scale.records() / 4),
-                        &mut rng,
-                    );
+                    let data =
+                        synth::generate(&SynthConfig::scaled(dims, scale.records() / 4), &mut rng);
                     SeriesPoint {
                         x: dims as f64,
                         summary: sky_point(dims, n, &data, name, scale, seed),

@@ -16,13 +16,13 @@
 use crate::config::Scale;
 use crate::output::{Figure, Series, SeriesPoint};
 use crate::runner::{merge_summaries, midas_uniform_with_data, parallel_queries};
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple_core::framework::Mode;
 use ripple_core::topk::run_topk;
 use ripple_data::workload::{data_query_point, query_seeds};
 use ripple_data::{nba, synth, SynthConfig};
 use ripple_geom::{Norm, PeakScore, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_net::PointSummary;
 
 /// The four ripple-parameter series of Figures 4–6.

@@ -5,8 +5,6 @@
 //! real MIDAS overlays and checks the measured latencies against the
 //! bounds (`fast ≤ Δ`, `slow ≤ 2^Δ − 1`, `ripple(r) ≤ L_r(0, r)`).
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple_core::framework::{Mode, Unprioritized};
 use ripple_core::latency::{fast_worst_case, ripple_worst_case, slow_worst_case};
 use ripple_core::topk::TopKQuery;
@@ -14,6 +12,8 @@ use ripple_core::Executor;
 use ripple_data::synth::{self, SynthConfig};
 use ripple_geom::LinearScore;
 use ripple_midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use std::fmt::Write as _;
 
 /// Renders the analytic worst-case table for depths `Δ ∈ [4, 17]`.
@@ -102,7 +102,11 @@ pub fn render_empirical(check: &EmpiricalCheck) -> String {
         "\n== empirical worst case (unprunable top-k, Δ = {}) ==",
         check.delta
     );
-    let _ = writeln!(out, "  {:>10} {:>14} {:>14}", "mode", "measured max", "bound");
+    let _ = writeln!(
+        out,
+        "  {:>10} {:>14} {:>14}",
+        "mode", "measured max", "bound"
+    );
     for (label, measured, bound) in &check.rows {
         let ok = measured <= bound;
         let _ = writeln!(

@@ -36,12 +36,16 @@ pub struct Figure {
 }
 
 impl Figure {
-    /// Renders the two panels of the paper figure ((a) latency in hops,
-    /// (b) congestion) as aligned text tables.
+    /// Renders the panels of the paper figure ((a) latency in hops,
+    /// (b) congestion, (c) hottest peer) as aligned text tables.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
-        for (metric, label) in [(0, "latency (hops)"), (1, "congestion")] {
+        for (metric, label) in [
+            (0, "latency (hops)"),
+            (1, "congestion"),
+            (2, "hottest peer (queries processed)"),
+        ] {
             let _ = writeln!(out, "\n  ({}) {}", (b'a' + metric) as char, label);
             let _ = write!(out, "  {:>12}", self.x_label);
             for s in &self.series {
@@ -56,12 +60,10 @@ impl Figure {
             for (i, x) in xs.iter().enumerate() {
                 let _ = write!(out, "  {:>12}", format_x(*x));
                 for s in &self.series {
-                    let v = s.points.get(i).map(|p| {
-                        if metric == 0 {
-                            p.summary.latency
-                        } else {
-                            p.summary.congestion
-                        }
+                    let v = s.points.get(i).map(|p| match metric {
+                        0 => p.summary.latency,
+                        1 => p.summary.congestion,
+                        _ => p.summary.congestion_max as f64,
                     });
                     match v {
                         Some(v) => {
@@ -81,19 +83,20 @@ impl Figure {
     /// Writes the figure as CSV (one row per (x, series) pair).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "figure,series,x,latency,latency_max,congestion,messages,tuples,queries\n",
+            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries\n",
         );
         for s in &self.series {
             for p in &s.points {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{:.4},{},{:.4},{:.4},{:.4},{}",
+                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{}",
                     self.id,
                     s.name,
                     p.x,
                     p.summary.latency,
                     p.summary.latency_max,
                     p.summary.congestion,
+                    p.summary.congestion_max,
                     p.summary.messages,
                     p.summary.tuples,
                     p.summary.queries
@@ -132,6 +135,7 @@ mod tests {
             congestion: 20.25,
             messages: 40.0,
             tuples: 12.0,
+            congestion_max: 97,
         };
         Figure {
             id: "figX".into(),
@@ -139,10 +143,7 @@ mod tests {
             x_label: "network size".into(),
             series: vec![Series {
                 name: "r=0".into(),
-                points: vec![SeriesPoint {
-                    x: 2048.0,
-                    summary,
-                }],
+                points: vec![SeriesPoint { x: 2048.0, summary }],
             }],
         }
     }
@@ -152,17 +153,21 @@ mod tests {
         let r = fig().render();
         assert!(r.contains("(a) latency"));
         assert!(r.contains("(b) congestion"));
+        assert!(r.contains("(c) hottest peer"));
         assert!(r.contains("2K"));
         assert!(r.contains("5.50"));
         assert!(r.contains("20.25"));
+        assert!(r.contains("97.00"));
     }
 
     #[test]
     fn csv_roundtrip_fields() {
         let c = fig().to_csv();
         let mut lines = c.lines();
-        assert!(lines.next().unwrap().starts_with("figure,series"));
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("figure,series"));
+        assert!(header.contains("congestion_max"));
         let row = lines.next().unwrap();
-        assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500"));
+        assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500,97"));
     }
 }

@@ -1,11 +1,11 @@
 //! Shared experiment machinery: network builders and parallel query sweeps.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple_baton::BatonNetwork;
 use ripple_can::CanNetwork;
 use ripple_geom::Tuple;
 use ripple_midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 use ripple_net::{MetricsAggregator, PointSummary, QueryMetrics};
 
 /// Builds a MIDAS overlay of `n` peers loaded with `data`.
@@ -141,11 +141,7 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
     assert!(!parts.is_empty());
     let total_q: u64 = parts.iter().map(|p| p.queries).sum();
     let w = |f: fn(&PointSummary) -> f64| -> f64 {
-        parts
-            .iter()
-            .map(|p| f(p) * p.queries as f64)
-            .sum::<f64>()
-            / total_q as f64
+        parts.iter().map(|p| f(p) * p.queries as f64).sum::<f64>() / total_q as f64
     };
     PointSummary {
         queries: total_q,
@@ -154,6 +150,10 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
         congestion: w(|p| p.congestion),
         messages: w(|p| p.messages),
         tuples: w(|p| p.tuples),
+        // Each part comes from a different network instance, so per-peer
+        // counts must not add across parts; the hottest peer anywhere is
+        // the honest figure-level hotspot.
+        congestion_max: parts.iter().map(|p| p.congestion_max).max().unwrap_or(0),
     }
 }
 
@@ -164,17 +164,25 @@ mod tests {
     #[test]
     fn parallel_queries_aggregate_all_seeds() {
         let seeds: Vec<u64> = (0..97).collect();
-        let s = parallel_queries(&seeds, |seed| QueryMetrics {
-            latency: seed % 7,
-            query_messages: 1,
-            response_messages: 0,
-            peers_visited: 2,
-            tuples_transferred: 0,
+        let s = parallel_queries(&seeds, |seed| {
+            let mut m = QueryMetrics {
+                latency: seed % 7,
+                query_messages: 1,
+                ..QueryMetrics::default()
+            };
+            // every query hits peer 0, plus one per-seed peer
+            m.visit(ripple_net::PeerId::new(0));
+            m.visit(ripple_net::PeerId::new(seed as u32 + 1));
+            m
         });
         assert_eq!(s.queries, 97);
         assert!((s.congestion - 2.0).abs() < 1e-12);
         let expect: f64 = (0..97u64).map(|s| (s % 7) as f64).sum::<f64>() / 97.0;
         assert!((s.latency - expect).abs() < 1e-12);
+        assert_eq!(
+            s.congestion_max, 97,
+            "chunk merge must sum per-peer visit counts"
+        );
     }
 
     #[test]
@@ -186,6 +194,7 @@ mod tests {
             congestion: 1.0,
             messages: 1.0,
             tuples: 0.0,
+            congestion_max: 1,
         };
         let b = PointSummary {
             queries: 3,
@@ -194,12 +203,17 @@ mod tests {
             congestion: 3.0,
             messages: 3.0,
             tuples: 4.0,
+            congestion_max: 3,
         };
         let m = merge_summaries(&[a, b]);
         assert_eq!(m.queries, 4);
         assert!((m.latency - 4.0).abs() < 1e-12);
         assert_eq!(m.latency_max, 10);
         assert!((m.congestion - 2.5).abs() < 1e-12);
+        assert_eq!(
+            m.congestion_max, 3,
+            "hotspot is max across networks, not sum"
+        );
     }
 
     #[test]

@@ -178,9 +178,9 @@ pub use stream_single_tuple as flood_single_tuple;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_geom::Norm;
     use ripple_net::rng::rngs::SmallRng;
     use ripple_net::rng::{Rng, SeedableRng};
-    use ripple_geom::Norm;
 
     fn setup(seed: u64) -> (CanNetwork, Vec<Tuple>) {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -104,11 +104,16 @@ pub fn dsl_skyline(net: &CanNetwork, initiator: PeerId) -> DslOutcome {
         deepest = deepest.max(level);
 
         // Local skyline merged with everything received so far.
-        let local_sky = dominance::skyline(net.peer(peer).store.tuples());
+        // cached local skyline: incrementally maintained by the store
+        let local_sky = net.peer(peer).store.skyline();
         // Tuples this peer contributes to the global skyline (its response).
         let contributed: Vec<Tuple> = local_sky
             .iter()
-            .filter(|t| !skyline.iter().any(|s| dominance::dominates(&s.point, &t.point)))
+            .filter(|t| {
+                !skyline
+                    .iter()
+                    .any(|s| dominance::dominates(&s.point, &t.point))
+            })
             .cloned()
             .collect();
         metrics.respond(contributed.len());
@@ -157,20 +162,15 @@ pub fn dsl_skyline(net: &CanNetwork, initiator: PeerId) -> DslOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_geom::Tuple;
     use ripple_net::rng::rngs::SmallRng;
     use ripple_net::rng::{Rng, SeedableRng};
-    use ripple_geom::Tuple;
 
     fn setup(seed: u64, peers: usize, tuples: usize, dims: usize) -> (CanNetwork, Vec<Tuple>) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut net = CanNetwork::build(dims, peers, &mut rng);
         let data: Vec<Tuple> = (0..tuples as u64)
-            .map(|i| {
-                Tuple::new(
-                    i,
-                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
-                )
-            })
+            .map(|i| Tuple::new(i, (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
             .collect();
         net.insert_all(data.clone());
         (net, data)

@@ -14,9 +14,9 @@
 //! diversification \[12\] run over this substrate, exactly as in the paper's
 //! evaluation.
 
-use ripple_net::rng::Rng;
 use ripple_geom::kdspace::BitPath;
 use ripple_geom::{Norm, Point, Rect, Tuple};
+use ripple_net::rng::Rng;
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
 use std::collections::{BTreeMap, HashSet};
 
@@ -356,7 +356,11 @@ impl CanNetwork {
     /// Average neighbor count (grows with dimensionality — the effect the
     /// paper discusses for DSL in Figure 8).
     pub fn mean_degree(&self) -> f64 {
-        let total: usize = self.live.iter().map(|&p| self.peer(p).neighbors.len()).sum();
+        let total: usize = self
+            .live
+            .iter()
+            .map(|&p| self.peer(p).neighbors.len())
+            .sum();
         total as f64 / self.live.len() as f64
     }
 
@@ -475,7 +479,11 @@ mod tests {
             }
         }
         net.check_invariants();
-        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        let total: usize = net
+            .live_peers()
+            .iter()
+            .map(|&p| net.peer(p).store.len())
+            .sum();
         assert_eq!(total, 120);
     }
 

@@ -72,7 +72,8 @@ pub fn skyframe_skyline(net: &CanNetwork, initiator: PeerId) -> SkyframeOutcome 
             round_latency = round_latency.max(hops as u64);
             metrics.visit(peer);
 
-            let local_sky = dominance::skyline(net.peer(peer).store.tuples());
+            // cached local skyline: incrementally maintained by the store
+            let local_sky = net.peer(peer).store.skyline();
             metrics.respond(local_sky.len());
             skyline = dominance::skyline_insert(skyline, &local_sky);
         }
@@ -114,12 +115,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut net = CanNetwork::build(dims, peers, &mut rng);
         let data: Vec<Tuple> = (0..tuples as u64)
-            .map(|i| {
-                Tuple::new(
-                    i,
-                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
-                )
-            })
+            .map(|i| Tuple::new(i, (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
             .collect();
         net.insert_all(data.clone());
         (net, data)

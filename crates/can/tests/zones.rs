@@ -1,10 +1,10 @@
 //! CAN integration: both skyline baselines stay exact across churn, and
 //! the streaming diversification tour keeps its cost envelope.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple_can::{dsl_skyline, skyframe_skyline, stream_single_tuple, CanNetwork};
 use ripple_geom::{dominance, DiversityQuery, Norm, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_net::ChurnOverlay;
 
 fn churned_network(seed: u64) -> (CanNetwork, Vec<Tuple>) {

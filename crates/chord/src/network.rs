@@ -13,8 +13,8 @@
 //! the beginning of the `i`-th neighbor zone until the beginning of the
 //! `(i+1)`-th neighbor zone (or `w`'s zone if `i`-th is the last neighbor)".
 
-use ripple_net::rng::Rng;
 use ripple_geom::{Rect, Tuple};
+use ripple_net::rng::Rng;
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
 
 /// A Chord peer: a ring position and the tuples of its arc.
@@ -218,7 +218,10 @@ impl ChordNetwork {
             return self.join((pos + 1e-9).fract());
         }
         let new_id = PeerId::new(self.peers.len() as u32);
-        let moved = self.peer_mut(owner).store.drain_where(|p| p.coord(0) >= pos);
+        let moved = self
+            .peer_mut(owner)
+            .store
+            .drain_where(|p| p.coord(0) >= pos);
         let mut store = PeerStore::new();
         store.extend(moved);
         self.peers.push(Some(ChordPeer {

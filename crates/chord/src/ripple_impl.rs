@@ -12,7 +12,7 @@
 use crate::network::ChordNetwork;
 use ripple_core::framework::RippleOverlay;
 use ripple_geom::{Rect, Tuple};
-use ripple_net::PeerId;
+use ripple_net::{LocalView, PeerId};
 
 /// Clockwise arc `[from, to)` as up to two linear segments.
 fn arc_segments(from: f64, to: f64) -> Vec<Rect> {
@@ -75,16 +75,20 @@ impl RippleOverlay for ChordNetwork {
     fn peer_tuples(&self, peer: PeerId) -> &[Tuple] {
         self.peer(peer).store.tuples()
     }
+
+    fn peer_view(&self, peer: PeerId) -> LocalView<'_> {
+        LocalView::Indexed(&self.peer(peer).store)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ripple_net::rng::rngs::SmallRng;
-    use ripple_net::rng::{Rng, SeedableRng};
     use ripple_core::framework::Mode;
     use ripple_core::topk::{centralized_topk, run_topk};
-    use ripple_geom::{LinearScore, PeakScore, Norm};
+    use ripple_geom::{LinearScore, Norm, PeakScore};
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
 
     #[test]
     fn arc_segment_wrapping() {

@@ -1,12 +1,12 @@
 //! Chord ring integration: queries stay exact across churn, fingers stay
 //! logarithmic, and the RIPPLE adapter's regions track the ring.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple_chord::ChordNetwork;
 use ripple_core::framework::{Mode, RippleOverlay};
 use ripple_core::topk::{centralized_topk, run_topk};
 use ripple_geom::{Norm, PeakScore, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_net::ChurnOverlay;
 
 #[test]

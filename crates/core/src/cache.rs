@@ -146,10 +146,10 @@ impl TopKCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ripple_net::rng::rngs::SmallRng;
-    use ripple_net::rng::{Rng, SeedableRng};
     use ripple_geom::{Norm, PeakScore};
     use ripple_midas::MidasNetwork;
+    use ripple_net::rng::rngs::SmallRng;
+    use ripple_net::rng::{Rng, SeedableRng};
 
     fn setup(seed: u64) -> (MidasNetwork, Vec<Tuple>) {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -199,7 +199,10 @@ mod tests {
         let oracle = crate::topk::centralized_topk(&data, &b, 1);
         let got = b.score(&hit[0].point);
         let want = b.score(&oracle[0].point);
-        assert!(want - got <= 0.5 + 1e-9, "reuse degraded beyond the cell bound");
+        assert!(
+            want - got <= 0.5 + 1e-9,
+            "reuse degraded beyond the cell bound"
+        );
     }
 
     #[test]
@@ -252,6 +255,10 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 30);
-        assert!(s.hit_rate() > 0.8, "hot workload should hit: {}", s.hit_rate());
+        assert!(
+            s.hit_rate() > 0.8,
+            "hot workload should hit: {}",
+            s.hit_rate()
+        );
     }
 }

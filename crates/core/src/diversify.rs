@@ -16,7 +16,7 @@
 use crate::exec::Executor;
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{DiversityQuery, Rect, SetStats, Tuple};
-use ripple_net::{PeerId, QueryMetrics};
+use ripple_net::{LocalView, PeerId, QueryMetrics};
 
 /// The single tuple diversification query (Eq. 2) as a RIPPLE rank query.
 pub struct SingleTupleQuery<'a> {
@@ -72,8 +72,11 @@ impl RankQuery<Rect> for SingleTupleQuery<'_> {
     }
 
     /// Algorithm 16: the local τ is the local best φ if it improves on τG.
-    fn compute_local_state(&self, tuples: &[Tuple], global: &f64) -> f64 {
-        match self.best_local(tuples) {
+    ///
+    /// φ depends on the evolving set `O`, so no fixed projection applies —
+    /// both view flavours scan (the per-tuple work is the φ evaluation).
+    fn compute_local_state(&self, view: &LocalView<'_>, global: &f64) -> f64 {
+        match self.best_local(view.tuples()) {
             Some((_, phi)) if phi < *global => phi,
             _ => *global,
         }
@@ -90,8 +93,8 @@ impl RankQuery<Rect> for SingleTupleQuery<'_> {
     }
 
     /// Algorithm 18: the local best tuple, if it attains the threshold.
-    fn compute_local_answer(&self, tuples: &[Tuple], local: &f64) -> Vec<Tuple> {
-        match self.best_local(tuples) {
+    fn compute_local_answer(&self, view: &LocalView<'_>, local: &f64) -> Vec<Tuple> {
+        match self.best_local(view.tuples()) {
             Some((t, phi)) if phi <= *local => vec![t.clone()],
             _ => Vec::new(),
         }
@@ -263,8 +266,7 @@ where
     match init {
         Initialize::Greedy => {
             for _ in 0..k {
-                let (found, m) =
-                    run_single_tuple(net, initiator, div, &o, f64::INFINITY, mode);
+                let (found, m) = run_single_tuple(net, initiator, div, &o, f64::INFINITY, mode);
                 metrics.absorb_sequential(&m);
                 match found {
                     Some((t, _)) => o.push(t),
@@ -508,7 +510,7 @@ mod tests {
         let set = vec![t(1, &[0.5, 0.5])];
         let q = SingleTupleQuery::new(&d, &set);
         let tuples = vec![t(2, &[0.45, 0.5]), t(3, &[0.0, 0.0])];
-        let tau = q.compute_local_state(&tuples, &f64::INFINITY);
+        let tau = q.compute_local_state(&LocalView::Plain(&tuples), &f64::INFINITY);
         let best = tuples
             .iter()
             .map(|x| d.phi(&x.point, &set))
@@ -523,8 +525,13 @@ mod tests {
         let q = SingleTupleQuery::new(&d, &set);
         // the only local tuple is already in O
         let tuples = vec![t(1, &[0.5, 0.5])];
-        assert_eq!(q.compute_local_state(&tuples, &f64::INFINITY), f64::INFINITY);
-        assert!(q.compute_local_answer(&tuples, &0.0).is_empty());
+        assert_eq!(
+            q.compute_local_state(&LocalView::Plain(&tuples), &f64::INFINITY),
+            f64::INFINITY
+        );
+        assert!(q
+            .compute_local_answer(&LocalView::Plain(&tuples), &0.0)
+            .is_empty());
     }
 
     #[test]
@@ -534,9 +541,15 @@ mod tests {
         let q = SingleTupleQuery::new(&d, &set);
         let tuples = vec![t(2, &[0.3, 0.5])];
         let phi = d.phi(&tuples[0].point, &set);
-        assert_eq!(q.compute_local_answer(&tuples, &phi).len(), 1);
+        assert_eq!(
+            q.compute_local_answer(&LocalView::Plain(&tuples), &phi)
+                .len(),
+            1
+        );
         // a better remote threshold suppresses the local answer
-        assert!(q.compute_local_answer(&tuples, &(phi - 0.1)).is_empty());
+        assert!(q
+            .compute_local_answer(&LocalView::Plain(&tuples), &(phi - 0.1))
+            .is_empty());
     }
 
     #[test]
@@ -563,15 +576,7 @@ mod tests {
     fn centralized_greedy_improves_objective() {
         let d = div();
         let data: Vec<Tuple> = (0..30)
-            .map(|i| {
-                t(
-                    i,
-                    &[
-                        (i as f64 * 0.618) % 1.0,
-                        (i as f64 * 0.381) % 1.0,
-                    ],
-                )
-            })
+            .map(|i| t(i, &[(i as f64 * 0.618) % 1.0, (i as f64 * 0.381) % 1.0]))
             .collect();
         let o1 = centralized_diversify(&data, &d, 5, 0);
         let o2 = centralized_diversify(&data, &d, 5, 8);

@@ -18,12 +18,16 @@
 
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::Tuple;
-use ripple_net::{PeerId, QueryMetrics};
+use ripple_net::{LocalView, PeerId, QueryMetrics};
 use std::collections::HashSet;
 
 /// Executes RIPPLE queries over an overlay.
 pub struct Executor<'a, O> {
     net: &'a O,
+    /// When set, peers are handed plain tuple slices even on indexed
+    /// substrates — the pre-index scan paths. Used by equivalence tests and
+    /// the local-index benchmark; results and metrics must not differ.
+    naive: bool,
 }
 
 struct RunState<'q, Q, L> {
@@ -37,7 +41,22 @@ struct RunState<'q, Q, L> {
 impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// Creates an executor over `net`.
     pub fn new(net: &'a O) -> Self {
-        Self { net }
+        Self { net, naive: false }
+    }
+
+    /// Creates an executor that ignores per-peer indexes and scans, exactly
+    /// like the pre-index code paths.
+    pub fn naive(net: &'a O) -> Self {
+        Self { net, naive: true }
+    }
+
+    /// The view of `peer`'s tuples handed to the query functions.
+    fn view_of(&self, peer: PeerId) -> LocalView<'_> {
+        if self.naive {
+            LocalView::Plain(self.net.peer_tuples(peer))
+        } else {
+            self.net.peer_view(peer)
+        }
     }
 
     /// Processes `query` from `initiator` in the given mode, returning the
@@ -112,8 +131,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         Q: RankQuery<O::Region>,
     {
         self.visit(w, run);
-        let tuples = self.net.peer_tuples(w);
-        let local = run.query.compute_local_state(tuples, global);
+        let view = self.view_of(w);
+        let local = run.query.compute_local_state(&view, global);
         let global_w = run.query.compute_global_state(global, &local);
 
         let mut latency = 0u64;
@@ -131,7 +150,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             latency = latency.max(1 + child_latency);
             remote_states.push(remote);
         }
-        let answer = run.query.compute_local_answer(tuples, &local);
+        let answer = run.query.compute_local_answer(&view, &local);
         self.send_answer(answer, run);
         if report_states {
             run.metrics.respond(run.query.state_payload(&local));
@@ -157,8 +176,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         Q: RankQuery<O::Region>,
     {
         self.visit(w, run);
-        let tuples = self.net.peer_tuples(w);
-        let mut local = run.query.compute_local_state(tuples, global);
+        let view = self.view_of(w);
+        let mut local = run.query.compute_local_state(&view, global);
         let mut global_w = run.query.compute_global_state(global, &local);
 
         // sortLinks: decreasing priority of the restricted regions.
@@ -191,7 +210,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
-        let answer = run.query.compute_local_answer(tuples, &local);
+        let answer = run.query.compute_local_answer(&view, &local);
         self.send_answer(answer, run);
         (local, latency)
     }
@@ -215,8 +234,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             return self.fast(w, global, restriction, true, run);
         }
         self.visit(w, run);
-        let tuples = self.net.peer_tuples(w);
-        let mut local = run.query.compute_local_state(tuples, global);
+        let view = self.view_of(w);
+        let mut local = run.query.compute_local_state(&view, global);
         let mut global_w = run.query.compute_global_state(global, &local);
 
         let mut links: Vec<(PeerId, O::Region)> = self
@@ -254,7 +273,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
-        let answer = run.query.compute_local_answer(tuples, &local);
+        let answer = run.query.compute_local_answer(&view, &local);
         self.send_answer(answer, run);
         (local, latency)
     }
@@ -273,8 +292,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         Q: RankQuery<O::Region>,
     {
         self.visit(w, run);
-        let tuples = self.net.peer_tuples(w);
-        let local = run.query.compute_local_state(tuples, global);
+        let view = self.view_of(w);
+        let local = run.query.compute_local_state(&view, global);
 
         let mut latency = 0u64;
         for (target, region) in self.net.peer_links(w) {
@@ -286,7 +305,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             let (_, child_latency) = self.broadcast(target, global, restricted, run);
             latency = latency.max(1 + child_latency);
         }
-        let answer = run.query.compute_local_answer(tuples, &local);
+        let answer = run.query.compute_local_answer(&view, &local);
         self.send_answer(answer, run);
         (local, latency)
     }

@@ -47,7 +47,11 @@ fn fast_latency_equals_lemma_1_exactly() {
         let net = perfect_overlay(depth);
         let q = unprunable();
         let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Fast);
-        assert_eq!(out.metrics.latency, fast_worst_case(depth, 0), "Δ = {depth}");
+        assert_eq!(
+            out.metrics.latency,
+            fast_worst_case(depth, 0),
+            "Δ = {depth}"
+        );
         assert_eq!(out.metrics.peers_visited as usize, 1 << depth);
     }
 }
@@ -58,7 +62,11 @@ fn slow_latency_equals_lemma_2_exactly() {
         let net = perfect_overlay(depth);
         let q = unprunable();
         let out = Executor::new(&net).run(net.live_peers()[0], &q, Mode::Slow);
-        assert_eq!(out.metrics.latency, slow_worst_case(depth, 0), "Δ = {depth}");
+        assert_eq!(
+            out.metrics.latency,
+            slow_worst_case(depth, 0),
+            "Δ = {depth}"
+        );
         assert_eq!(out.metrics.peers_visited as usize, 1 << depth);
     }
 }

@@ -9,7 +9,7 @@
 //! zone, partition the domain.
 
 use ripple_geom::Tuple;
-use ripple_net::{PeerId, QueryMetrics};
+use ripple_net::{LocalView, PeerId, QueryMetrics};
 
 /// What RIPPLE requires from a DHT substrate.
 ///
@@ -27,8 +27,11 @@ pub trait RippleOverlay {
     /// Intersection of a link region with a restriction area; `None` when
     /// empty. The returned area becomes the forwarded restriction, which is
     /// what guarantees every peer is reached at most once.
-    fn region_intersect(&self, region: &Self::Region, restriction: &Self::Region)
-        -> Option<Self::Region>;
+    fn region_intersect(
+        &self,
+        region: &Self::Region,
+        restriction: &Self::Region,
+    ) -> Option<Self::Region>;
 
     /// The links of `peer` with their regions, resolved to live targets.
     /// The regions of all links plus the peer's zone partition the domain.
@@ -36,6 +39,20 @@ pub trait RippleOverlay {
 
     /// The tuples stored at `peer`.
     fn peer_tuples(&self, peer: PeerId) -> &[Tuple];
+
+    /// The local view query processing sees at `peer`.
+    ///
+    /// Substrates whose peers keep their tuples in a [`PeerStore`] should
+    /// override this to return [`LocalView::Indexed`], which lets query
+    /// implementations use the store's local index layer (score-sorted
+    /// projections, incremental skyline) instead of scanning. The default
+    /// plain view is always correct — the index layer is a pure wall-clock
+    /// optimisation and never changes results or hop/message metrics.
+    ///
+    /// [`PeerStore`]: ripple_net::PeerStore
+    fn peer_view(&self, peer: PeerId) -> LocalView<'_> {
+        LocalView::Plain(self.peer_tuples(peer))
+    }
 
     /// Routes a DHT lookup for `key` from `from`, returning the responsible
     /// peer and the hop count, when the substrate supports point lookups.
@@ -62,8 +79,9 @@ pub trait RankQuery<R> {
     fn initial_global(&self) -> Self::Global;
 
     /// `computeLocalState`: derive a local state from the peer's tuples and
-    /// the received global state.
-    fn compute_local_state(&self, tuples: &[Tuple], global: &Self::Global) -> Self::Local;
+    /// the received global state. The view exposes the peer's tuples — and,
+    /// on indexed substrates, the per-peer index layer as a fast path.
+    fn compute_local_state(&self, view: &LocalView<'_>, global: &Self::Global) -> Self::Local;
 
     /// `computeGlobalState`: combine the *received* global state with the
     /// current local state.
@@ -74,7 +92,7 @@ pub trait RankQuery<R> {
 
     /// `computeLocalAnswer`: the peer's qualifying tuples under its final
     /// local state; these are sent to the initiator.
-    fn compute_local_answer(&self, tuples: &[Tuple], local: &Self::Local) -> Vec<Tuple>;
+    fn compute_local_answer(&self, view: &LocalView<'_>, local: &Self::Local) -> Vec<Tuple>;
 
     /// `isLinkRelevant` (second check): may the given (already
     /// restriction-intersected) region contribute to the answer, given the
@@ -119,8 +137,8 @@ impl<R, Q: RankQuery<R>> RankQuery<R> for Unprioritized<Q> {
         self.0.initial_global()
     }
 
-    fn compute_local_state(&self, tuples: &[Tuple], global: &Self::Global) -> Self::Local {
-        self.0.compute_local_state(tuples, global)
+    fn compute_local_state(&self, view: &LocalView<'_>, global: &Self::Global) -> Self::Local {
+        self.0.compute_local_state(view, global)
     }
 
     fn compute_global_state(&self, global: &Self::Global, local: &Self::Local) -> Self::Global {
@@ -131,8 +149,8 @@ impl<R, Q: RankQuery<R>> RankQuery<R> for Unprioritized<Q> {
         self.0.update_local_state(states)
     }
 
-    fn compute_local_answer(&self, tuples: &[Tuple], local: &Self::Local) -> Vec<Tuple> {
-        self.0.compute_local_answer(tuples, local)
+    fn compute_local_answer(&self, view: &LocalView<'_>, local: &Self::Local) -> Vec<Tuple> {
+        self.0.compute_local_answer(view, local)
     }
 
     fn is_link_relevant(&self, region: &R, global: &Self::Global) -> bool {

@@ -51,6 +51,8 @@ pub mod exec;
 #[cfg(test)]
 mod exec_tests;
 pub mod framework;
+#[cfg(test)]
+mod index_equivalence;
 pub mod latency;
 pub mod midas_impl;
 pub mod range;

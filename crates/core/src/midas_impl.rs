@@ -10,7 +10,7 @@
 use crate::framework::RippleOverlay;
 use ripple_geom::{Rect, Tuple};
 use ripple_midas::MidasNetwork;
-use ripple_net::PeerId;
+use ripple_net::{LocalView, PeerId};
 
 impl RippleOverlay for MidasNetwork {
     type Region = Rect;
@@ -35,6 +35,10 @@ impl RippleOverlay for MidasNetwork {
         self.peer(peer).store.tuples()
     }
 
+    fn peer_view(&self, peer: PeerId) -> LocalView<'_> {
+        LocalView::Indexed(&self.peer(peer).store)
+    }
+
     fn route_lookup(&self, from: PeerId, key: &ripple_geom::Point) -> Option<(PeerId, u32)> {
         Some(self.route(from, key))
     }
@@ -52,8 +56,8 @@ mod tests {
         let net = MidasNetwork::build(2, 32, false, &mut rng);
         for &id in net.live_peers() {
             let links = net.peer_links(id);
-            let vol: f64 = links.iter().map(|(_, r)| r.volume()).sum::<f64>()
-                + net.peer(id).zone.volume();
+            let vol: f64 =
+                links.iter().map(|(_, r)| r.volume()).sum::<f64>() + net.peer(id).zone.volume();
             assert!((vol - 1.0).abs() < 1e-9);
         }
     }

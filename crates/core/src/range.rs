@@ -13,7 +13,7 @@
 use crate::exec::Executor;
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{Rect, Tuple};
-use ripple_net::{PeerId, QueryMetrics};
+use ripple_net::{LocalView, PeerId, QueryMetrics};
 
 /// A range query: retrieve every tuple inside `range`.
 #[derive(Clone, Debug)]
@@ -36,15 +36,15 @@ impl RankQuery<Rect> for RangeQuery {
 
     fn initial_global(&self) {}
 
-    fn compute_local_state(&self, _tuples: &[Tuple], _global: &()) {}
+    fn compute_local_state(&self, _view: &LocalView<'_>, _global: &()) {}
 
     fn compute_global_state(&self, _global: &(), _local: &()) {}
 
     fn update_local_state(&self, _states: Vec<()>) {}
 
     /// Every local tuple inside the requested box.
-    fn compute_local_answer(&self, tuples: &[Tuple], _local: &()) -> Vec<Tuple> {
-        tuples
+    fn compute_local_answer(&self, view: &LocalView<'_>, _local: &()) -> Vec<Tuple> {
+        view.tuples()
             .iter()
             .filter(|t| self.range.contains(&t.point))
             .cloned()
@@ -82,9 +82,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_midas::MidasNetwork;
     use ripple_net::rng::rngs::SmallRng;
     use ripple_net::rng::{Rng, SeedableRng};
-    use ripple_midas::MidasNetwork;
 
     #[test]
     fn range_returns_exactly_the_contained_tuples() {

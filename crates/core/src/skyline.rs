@@ -9,7 +9,7 @@
 use crate::exec::Executor;
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{dominance, Norm, Rect, Tuple};
-use ripple_net::{PeerId, QueryMetrics};
+use ripple_net::{LocalView, PeerId, QueryMetrics};
 
 /// A skyline query (lower values better on every dimension), optionally
 /// restricted to a *constraint* box — the query DSL was designed around
@@ -59,19 +59,37 @@ impl RankQuery<Rect> for SkylineQuery {
 
     /// Algorithm 10: local skyline (of the constraint-qualifying tuples),
     /// thinned by the received global state.
-    fn compute_local_state(&self, tuples: &[Tuple], global: &Vec<Tuple>) -> Vec<Tuple> {
-        let qualifying: Vec<Tuple> = self.local_tuples(tuples).into_iter().cloned().collect();
-        let local_sky = dominance::skyline(&qualifying);
+    ///
+    /// On an indexed view the unconstrained local skyline comes from the
+    /// store's incrementally-maintained cache (identical set and order to a
+    /// recompute); constrained queries filter first, so they scan.
+    fn compute_local_state(&self, view: &LocalView<'_>, global: &Vec<Tuple>) -> Vec<Tuple> {
+        let local_sky = match (view.store(), &self.constraint) {
+            (Some(store), None) => store.skyline(),
+            _ => {
+                let qualifying: Vec<Tuple> = self
+                    .local_tuples(view.tuples())
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                dominance::skyline(&qualifying)
+            }
+        };
         local_sky
             .into_iter()
-            .filter(|t| !global.iter().any(|g| dominance::dominates(&g.point, &t.point)))
+            .filter(|t| {
+                !global
+                    .iter()
+                    .any(|g| dominance::dominates(&g.point, &t.point))
+            })
             .collect()
     }
 
     /// Algorithm 11: skyline of the union (incremental merge — both inputs
-    /// are already skylines).
+    /// are already skylines). The borrowed insert builds the merged state
+    /// directly instead of cloning the whole global skyline first.
     fn compute_global_state(&self, global: &Vec<Tuple>, local: &Vec<Tuple>) -> Vec<Tuple> {
-        dominance::skyline_insert(global.clone(), local)
+        dominance::skyline_insert_ref(global, local)
     }
 
     /// Algorithm 13: skyline of the union of the states (folded
@@ -82,11 +100,19 @@ impl RankQuery<Rect> for SkylineQuery {
         it.fold(first, |acc, s| dominance::skyline_insert(acc, &s))
     }
 
-    /// Algorithm 12: the local tuples among the state.
-    fn compute_local_answer(&self, tuples: &[Tuple], local: &Vec<Tuple>) -> Vec<Tuple> {
+    /// Algorithm 12: the local tuples among the state. Indexed views answer
+    /// the membership test from the store's cached id set.
+    fn compute_local_answer(&self, view: &LocalView<'_>, local: &Vec<Tuple>) -> Vec<Tuple> {
+        if let Some(store) = view.store() {
+            return local
+                .iter()
+                .filter(|s| store.contains_id(s.id))
+                .cloned()
+                .collect();
+        }
         local
             .iter()
-            .filter(|s| tuples.iter().any(|t| t.id == s.id))
+            .filter(|s| view.tuples().iter().any(|t| t.id == s.id))
             .cloned()
             .collect()
     }
@@ -163,9 +189,9 @@ mod tests {
         let q = SkylineQuery::new();
         let tuples = vec![t(1, &[0.5, 0.5]), t(2, &[0.9, 0.9])];
         let global = vec![t(10, &[0.4, 0.4])]; // dominates both
-        let s = q.compute_local_state(&tuples, &global);
+        let s = q.compute_local_state(&LocalView::Plain(&tuples), &global);
         assert!(s.is_empty(), "dominated local tuples must not survive");
-        let s2 = q.compute_local_state(&tuples, &Vec::new());
+        let s2 = q.compute_local_state(&LocalView::Plain(&tuples), &Vec::new());
         assert_eq!(s2.len(), 1);
         assert_eq!(s2[0].id, 1);
     }
@@ -189,7 +215,10 @@ mod tests {
         let alive = Rect::new(vec![0.0, 0.5], vec![0.5, 1.0]);
         assert!(!q.is_link_relevant(&dominated, &global));
         assert!(q.is_link_relevant(&alive, &global));
-        assert!(q.is_link_relevant(&dominated, &Vec::new()), "empty state prunes nothing");
+        assert!(
+            q.is_link_relevant(&dominated, &Vec::new()),
+            "empty state prunes nothing"
+        );
     }
 
     #[test]
@@ -205,7 +234,7 @@ mod tests {
         let q = SkylineQuery::new();
         let tuples = vec![t(1, &[0.5, 0.5])];
         let state = vec![t(1, &[0.5, 0.5]), t(9, &[0.1, 0.9])];
-        let a = q.compute_local_answer(&tuples, &state);
+        let a = q.compute_local_answer(&LocalView::Plain(&tuples), &state);
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].id, 1);
     }
@@ -213,6 +242,9 @@ mod tests {
     #[test]
     fn state_payload_counts_tuples() {
         let q = SkylineQuery::new();
-        assert_eq!(q.state_payload(&vec![t(1, &[0.1, 0.1]), t(2, &[0.2, 0.05])]), 2);
+        assert_eq!(
+            q.state_payload(&vec![t(1, &[0.1, 0.1]), t(2, &[0.2, 0.05])]),
+            2
+        );
     }
 }

@@ -9,7 +9,7 @@
 use crate::exec::Executor;
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{Rect, ScoreFn, Tuple};
-use ripple_net::{PeerId, QueryMetrics};
+use ripple_net::{LocalView, PeerId, QueryMetrics};
 
 /// The `(m, τ)` state of top-k processing. Invariant: at least `m` tuples
 /// with score `≥ τ` exist among the tuples examined so far.
@@ -62,6 +62,38 @@ impl<F: ScoreFn> TopKQuery<F> {
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored
     }
+
+    /// Algorithm 4 on an already-ranked score stream: count the qualifying
+    /// prefix, top up while the global count falls short of `k`.
+    ///
+    /// Only the best `k` scores are ever inspected (`above ≤ k` before and
+    /// after the top-up), so a lazy iterator from a cached projection makes
+    /// this a truncated walk instead of a full sort.
+    fn state_from_ranked(
+        &self,
+        scores_desc: impl Iterator<Item = f64>,
+        total: usize,
+        global: &TopKState,
+    ) -> TopKState {
+        let prefix: Vec<f64> = scores_desc.take(self.k).collect();
+        let mut above: usize = prefix.iter().take_while(|s| **s >= global.tau).count();
+        if global.m + above < self.k {
+            let missing = self.k - global.m - above;
+            above = (above + missing).min(total);
+        }
+        if above == 0 {
+            // No local contribution: an infinitely high threshold over zero
+            // tuples keeps `min(τ_G, τ_L)` and the local answer neutral.
+            return TopKState {
+                m: 0,
+                tau: f64::INFINITY,
+            };
+        }
+        TopKState {
+            m: above,
+            tau: prefix[above - 1],
+        }
+    }
 }
 
 impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
@@ -75,29 +107,19 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
     /// Algorithm 4: take up to `k` local tuples at or above the global
     /// threshold; if the global count still falls short of `k`, top up with
     /// the best remaining local tuples.
-    fn compute_local_state(&self, tuples: &[Tuple], global: &TopKState) -> TopKState {
-        let ranked = self.ranked(tuples);
-        let mut above: usize = ranked
-            .iter()
-            .take(self.k)
-            .take_while(|(_, s)| *s >= global.tau)
-            .count();
-        if global.m + above < self.k {
-            let missing = self.k - global.m - above;
-            above = (above + missing).min(ranked.len());
+    ///
+    /// On an indexed view with a cacheable score this is a truncated walk
+    /// over the peer's memoised score projection; otherwise a scan + sort.
+    fn compute_local_state(&self, view: &LocalView<'_>, global: &TopKState) -> TopKState {
+        if let Some(store) = view.store() {
+            if let Some(state) = store.with_ranked(&self.score, |it| {
+                self.state_from_ranked(it.map(|(_, s)| s), store.len(), global)
+            }) {
+                return state;
+            }
         }
-        if above == 0 {
-            // No local contribution: an infinitely high threshold over zero
-            // tuples keeps `min(τ_G, τ_L)` and the local answer neutral.
-            return TopKState {
-                m: 0,
-                tau: f64::INFINITY,
-            };
-        }
-        TopKState {
-            m: above,
-            tau: ranked[above - 1].1,
-        }
+        let ranked = self.ranked(view.tuples());
+        self.state_from_ranked(ranked.iter().map(|(_, s)| *s), ranked.len(), global)
     }
 
     /// Algorithm 5, strengthened with the Algorithm 7 merge.
@@ -143,11 +165,24 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
     }
 
     /// Algorithm 6: every local tuple at or above the local threshold.
-    fn compute_local_answer(&self, tuples: &[Tuple], local: &TopKState) -> Vec<Tuple> {
+    ///
+    /// Indexed path: walk the cached projection best-first and stop at the
+    /// first score below `τ` — same tuple set as the scan, different order
+    /// (the initiator re-sorts, and metrics count only lengths).
+    fn compute_local_answer(&self, view: &LocalView<'_>, local: &TopKState) -> Vec<Tuple> {
         if local.m == 0 {
             return Vec::new();
         }
-        tuples
+        if let Some(store) = view.store() {
+            if let Some(answer) = store.with_ranked(&self.score, |it| {
+                it.take_while(|(_, s)| *s >= local.tau)
+                    .map(|(t, _)| t.clone())
+                    .collect::<Vec<Tuple>>()
+            }) {
+                return answer;
+            }
+        }
+        view.tuples()
             .iter()
             .filter(|t| self.score.score(&t.point) >= local.tau)
             .cloned()
@@ -178,8 +213,8 @@ impl<F: ScoreFn> RankQuery<Vec<Rect>> for TopKQuery<F> {
         RankQuery::<Rect>::initial_global(self)
     }
 
-    fn compute_local_state(&self, tuples: &[Tuple], global: &TopKState) -> TopKState {
-        RankQuery::<Rect>::compute_local_state(self, tuples, global)
+    fn compute_local_state(&self, view: &LocalView<'_>, global: &TopKState) -> TopKState {
+        RankQuery::<Rect>::compute_local_state(self, view, global)
     }
 
     fn compute_global_state(&self, global: &TopKState, local: &TopKState) -> TopKState {
@@ -190,8 +225,8 @@ impl<F: ScoreFn> RankQuery<Vec<Rect>> for TopKQuery<F> {
         RankQuery::<Rect>::update_local_state(self, states)
     }
 
-    fn compute_local_answer(&self, tuples: &[Tuple], local: &TopKState) -> Vec<Tuple> {
-        RankQuery::<Rect>::compute_local_answer(self, tuples, local)
+    fn compute_local_answer(&self, view: &LocalView<'_>, local: &TopKState) -> Vec<Tuple> {
+        RankQuery::<Rect>::compute_local_answer(self, view, local)
     }
 
     fn is_link_relevant(&self, region: &Vec<Rect>, global: &TopKState) -> bool {
@@ -295,9 +330,16 @@ mod tests {
     fn local_state_takes_top_k() {
         let query = q(2);
         let tuples = vec![t(1, &[0.9, 0.9]), t(2, &[0.1, 0.1]), t(3, &[0.5, 0.5])];
-        let s = RankQuery::<Rect>::compute_local_state(&query, &tuples, &TopKState::empty());
+        let s = RankQuery::<Rect>::compute_local_state(
+            &query,
+            &LocalView::Plain(&tuples),
+            &TopKState::empty(),
+        );
         assert_eq!(s.m, 2);
-        assert!((s.tau - 1.0).abs() < 1e-12, "threshold is the 2nd best score");
+        assert!(
+            (s.tau - 1.0).abs() < 1e-12,
+            "threshold is the 2nd best score"
+        );
     }
 
     #[test]
@@ -306,7 +348,7 @@ mod tests {
         let tuples = vec![t(1, &[0.9, 0.9]), t(2, &[0.1, 0.1])];
         // two tuples already known globally at τ = 1.5
         let g = TopKState { m: 2, tau: 1.5 };
-        let s = RankQuery::<Rect>::compute_local_state(&query, &tuples, &g);
+        let s = RankQuery::<Rect>::compute_local_state(&query, &LocalView::Plain(&tuples), &g);
         assert_eq!(s.m, 1, "only the 1.8-scoring tuple beats τ");
         assert!((s.tau - 1.8).abs() < 1e-12);
     }
@@ -319,7 +361,7 @@ mod tests {
             m: 1,
             tau: 1.9, // one excellent tuple known, but we need 3
         };
-        let s = RankQuery::<Rect>::compute_local_state(&query, &tuples, &g);
+        let s = RankQuery::<Rect>::compute_local_state(&query, &LocalView::Plain(&tuples), &g);
         assert_eq!(s.m, 2, "both local tuples are needed to reach k");
         assert!((s.tau - 0.4).abs() < 1e-12);
     }
@@ -327,22 +369,31 @@ mod tests {
     #[test]
     fn empty_peer_is_neutral() {
         let query = q(2);
-        let s = RankQuery::<Rect>::compute_local_state(&query, &[], &TopKState::empty());
+        let s = RankQuery::<Rect>::compute_local_state(
+            &query,
+            &LocalView::Plain(&[]),
+            &TopKState::empty(),
+        );
         assert_eq!(s.m, 0);
         let g = RankQuery::<Rect>::compute_global_state(&query, &TopKState { m: 2, tau: 0.7 }, &s);
         assert_eq!(g.m, 2);
         assert_eq!(g.tau, 0.7);
-        assert!(RankQuery::<Rect>::compute_local_answer(&query, &[], &s).is_empty());
+        assert!(
+            RankQuery::<Rect>::compute_local_answer(&query, &LocalView::Plain(&[]), &s).is_empty()
+        );
     }
 
     #[test]
     fn merge_finds_highest_threshold_with_k() {
         let query = q(7);
-        let merged = RankQuery::<Rect>::update_local_state(&query, vec![
-            TopKState { m: 5, tau: 0.9 },
-            TopKState { m: 3, tau: 0.85 },
-            TopKState { m: 5, tau: 0.8 },
-        ]);
+        let merged = RankQuery::<Rect>::update_local_state(
+            &query,
+            vec![
+                TopKState { m: 5, tau: 0.9 },
+                TopKState { m: 3, tau: 0.85 },
+                TopKState { m: 5, tau: 0.8 },
+            ],
+        );
         assert_eq!(merged.m, 8);
         assert!((merged.tau - 0.85).abs() < 1e-12);
     }
@@ -350,10 +401,10 @@ mod tests {
     #[test]
     fn merge_with_insufficient_total() {
         let query = q(10);
-        let merged = RankQuery::<Rect>::update_local_state(&query, vec![
-            TopKState { m: 2, tau: 0.9 },
-            TopKState { m: 3, tau: 0.5 },
-        ]);
+        let merged = RankQuery::<Rect>::update_local_state(
+            &query,
+            vec![TopKState { m: 2, tau: 0.9 }, TopKState { m: 3, tau: 0.5 }],
+        );
         assert_eq!(merged.m, 5);
         assert!((merged.tau - 0.5).abs() < 1e-12);
     }
@@ -370,7 +421,11 @@ mod tests {
             !RankQuery::<Rect>::is_link_relevant(&query, &region, &TopKState { m: 1, tau: 1.5 }),
             "k reached and the region cannot beat τ"
         );
-        assert!(RankQuery::<Rect>::is_link_relevant(&query, &region, &TopKState { m: 1, tau: 0.5 }));
+        assert!(RankQuery::<Rect>::is_link_relevant(
+            &query,
+            &region,
+            &TopKState { m: 1, tau: 0.5 }
+        ));
     }
 
     #[test]
@@ -378,7 +433,9 @@ mod tests {
         let query = q(1);
         let good = Rect::new(vec![0.5, 0.5], vec![1.0, 1.0]);
         let bad = Rect::new(vec![0.0, 0.0], vec![0.4, 0.4]);
-        assert!(RankQuery::<Rect>::priority(&query, &good) > RankQuery::<Rect>::priority(&query, &bad));
+        assert!(
+            RankQuery::<Rect>::priority(&query, &good) > RankQuery::<Rect>::priority(&query, &bad)
+        );
     }
 
     #[test]

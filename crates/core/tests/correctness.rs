@@ -1,25 +1,20 @@
 //! End-to-end correctness: every RIPPLE mode must return exactly the
 //! centralized answer, from any initiator, for all three query types.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple_core::diversify::{diversify, greedy_trace, run_single_tuple, Initialize};
 use ripple_core::framework::Mode;
 use ripple_core::skyline::{centralized_skyline, run_skyline};
 use ripple_core::topk::{centralized_topk, run_topk};
 use ripple_geom::{DiversityQuery, LinearScore, Norm, PeakScore, Point, ScoreFn, Tuple};
 use ripple_midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 
 fn build(dims: usize, peers: usize, tuples: usize, seed: u64) -> (MidasNetwork, Vec<Tuple>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut net = MidasNetwork::build(dims, peers, false, &mut rng);
     let data: Vec<Tuple> = (0..tuples as u64)
-        .map(|i| {
-            Tuple::new(
-                i,
-                (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
-            )
-        })
+        .map(|i| Tuple::new(i, (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
         .collect();
     net.insert_all(data.clone());
     (net, data)
@@ -56,7 +51,10 @@ fn topk_matches_centralized_in_all_modes() {
             let got: Vec<f64> = ans.iter().map(|t| score.score(&t.point)).collect();
             assert_eq!(got.len(), 10, "{mode:?}");
             for (g, o) in got.iter().zip(&oracle_scores) {
-                assert!((g - o).abs() < 1e-12, "{mode:?}: scores {got:?} vs {oracle_scores:?}");
+                assert!(
+                    (g - o).abs() < 1e-12,
+                    "{mode:?}: scores {got:?} vs {oracle_scores:?}"
+                );
             }
         }
     }
@@ -204,8 +202,7 @@ fn diversify_matches_centralized_greedy() {
                 .map(|t| div.phi_with_stats(&t.point, &step.set, stats))
                 .filter(|phi| *phi < step.tau)
                 .fold(f64::INFINITY, f64::min);
-            let (found, _) =
-                run_single_tuple(&net, initiator, &div, &step.set, step.tau, mode);
+            let (found, _) = run_single_tuple(&net, initiator, &div, &step.set, step.tau, mode);
             match found {
                 Some((_, phi)) => {
                     assert!(
@@ -224,8 +221,7 @@ fn diversify_matches_centralized_greedy() {
         let (got, _) = diversify(&net, initiator, &div, 6, mode, Initialize::Greedy, 10);
         assert_eq!(got.len(), 6, "{mode:?}");
         assert_eq!(ids(&got).len(), 6, "{mode:?}: members distinct");
-        let (init_only, _) =
-            diversify(&net, initiator, &div, 6, mode, Initialize::Greedy, 0);
+        let (init_only, _) = diversify(&net, initiator, &div, 6, mode, Initialize::Greedy, 0);
         assert!(
             div.objective(&got) <= div.objective(&init_only) + 1e-12,
             "{mode:?}"

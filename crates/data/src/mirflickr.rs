@@ -13,8 +13,8 @@
 //!   diversification meaningful;
 //! * distances are meant to be taken with [`Norm::L1`](ripple_geom::Norm).
 
-use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
+use ripple_net::rng::Rng;
 
 /// Paper-default number of images.
 pub const PAPER_RECORDS: usize = 1_000_000;
@@ -86,9 +86,9 @@ pub fn paper<R: Rng>(rng: &mut R) -> Vec<Tuple> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_geom::Norm;
     use ripple_net::rng::rngs::SmallRng;
     use ripple_net::rng::SeedableRng;
-    use ripple_geom::Norm;
 
     #[test]
     fn shape_and_domain() {
@@ -133,7 +133,10 @@ mod tests {
             .filter(|t| t.point.coord(1) > 2.0 * t.point.coord(0))
             .count();
         assert!(vertical > 300, "vertical archetype missing: {vertical}");
-        assert!(horizontal > 300, "horizontal archetype missing: {horizontal}");
+        assert!(
+            horizontal > 300,
+            "horizontal archetype missing: {horizontal}"
+        );
     }
 
     #[test]

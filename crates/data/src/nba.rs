@@ -20,8 +20,8 @@
 //! origin (minimize the sum of stored values) and the skyline contains the
 //! players that excel in some combination of statistics.
 
-use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
+use ripple_net::rng::Rng;
 
 /// Paper-default number of player seasons.
 pub const PAPER_RECORDS: usize = 22_000;
@@ -92,9 +92,9 @@ pub fn project4(data: &[Tuple]) -> Vec<Tuple> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_geom::dominance;
     use ripple_net::rng::rngs::SmallRng;
     use ripple_net::rng::SeedableRng;
-    use ripple_geom::dominance;
 
     #[test]
     fn shape_and_domain() {

@@ -12,8 +12,8 @@
 //! in the seed.
 
 use crate::zipf::Zipf;
-use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
+use ripple_net::rng::Rng;
 
 /// Paper-default number of records.
 pub const PAPER_RECORDS: usize = 1_000_000;
@@ -90,12 +90,7 @@ pub fn generate<R: Rng>(cfg: &SynthConfig, rng: &mut R) -> Vec<Tuple> {
 /// Uniform data in the unit cube (a standard comparison workload).
 pub fn uniform<R: Rng>(dims: usize, records: usize, rng: &mut R) -> Vec<Tuple> {
     (0..records as u64)
-        .map(|id| {
-            Tuple::new(
-                id,
-                (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
-            )
-        })
+        .map(|id| Tuple::new(id, (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
         .collect()
 }
 

@@ -6,8 +6,8 @@
 //! uniformly random query point (or one drawn from the dataset, which keeps
 //! relevance meaningful on clustered data).
 
-use ripple_net::rng::Rng;
 use ripple_geom::{Point, Tuple};
+use ripple_net::rng::Rng;
 
 /// Paper-default queries per figure point.
 pub const PAPER_QUERIES: usize = 65_536;

@@ -74,7 +74,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((1600..=2400).contains(&c), "uniform-ish expected: {counts:?}");
+            assert!(
+                (1600..=2400).contains(&c),
+                "uniform-ish expected: {counts:?}"
+            );
         }
     }
 

@@ -210,10 +210,18 @@ mod tests {
         let far = Point::new(vec![1.0, 1.0]);
         assert!(rel_only.phi(&far, &set) > 0.0);
         let near_dup = Point::new(vec![0.5, 0.51]);
-        assert_eq!(rel_only.phi(&near_dup, &set), 0.0, "crowding is free at λ=1");
+        assert_eq!(
+            rel_only.phi(&near_dup, &set),
+            0.0,
+            "crowding is free at λ=1"
+        );
         // λ=0: only diversity matters
         let div_only = DiversityQuery::new(vec![0.5, 0.5], 0.0, Norm::L1);
-        assert_eq!(div_only.phi(&far, &set), 0.0, "distance from q is free at λ=0");
+        assert_eq!(
+            div_only.phi(&far, &set),
+            0.0,
+            "distance from q is free at λ=0"
+        );
         assert!(div_only.phi(&near_dup, &set) > 0.0);
     }
 
@@ -227,10 +235,7 @@ mod tests {
         // sample a grid of points inside the region
         for i in 0..=4 {
             for j in 0..=4 {
-                let p = Point::new(vec![
-                    0.6 + 0.3 * i as f64 / 4.0,
-                    0.6 + 0.3 * j as f64 / 4.0,
-                ]);
+                let p = Point::new(vec![0.6 + 0.3 * i as f64 / 4.0, 0.6 + 0.3 * j as f64 / 4.0]);
                 assert!(
                     dq.phi(&p, &set) >= lb - 1e-9,
                     "φ⁻ not a lower bound at {p:?}"

@@ -121,18 +121,41 @@ pub fn constrained_skyline(tuples: &[Tuple], constraint: &Rect) -> Vec<Tuple> {
 /// instead of re-deriving from scratch — the shape the per-peer state
 /// merges of distributed processing need, where `base` is a large
 /// accumulated skyline and `add` a small local one.
-pub fn skyline_insert(base: Vec<Tuple>, add: &[Tuple]) -> Vec<Tuple> {
+pub fn skyline_insert(mut base: Vec<Tuple>, add: &[Tuple]) -> Vec<Tuple> {
     if add.is_empty() {
         return base;
     }
     // thin the additions against each other first
     let add_sky = skyline(add);
-    // drop base members dominated by an addition
-    let mut out: Vec<Tuple> = base
-        .into_iter()
-        .filter(|b| !add_sky.iter().any(|a| dominates(&a.point, &b.point)))
-        .collect();
+    // drop base members dominated by an addition (in place — no realloc)
+    base.retain(|b| !add_sky.iter().any(|a| dominates(&a.point, &b.point)));
     // keep additions not dominated by (nor duplicating) the surviving base
+    for a in add_sky {
+        if !base
+            .iter()
+            .any(|b| dominates(&b.point, &a.point) || b.point == a.point)
+        {
+            base.push(a);
+        }
+    }
+    base
+}
+
+/// [`skyline_insert`] over a *borrowed* base: builds the merged skyline
+/// directly, cloning only the surviving members (a reference-count bump per
+/// tuple). This is the shape `computeGlobalState` needs — the caller must
+/// keep its global state, so an owned `skyline_insert` would force a full
+/// clone of `base` up front even though some members are then discarded.
+pub fn skyline_insert_ref(base: &[Tuple], add: &[Tuple]) -> Vec<Tuple> {
+    if add.is_empty() {
+        return base.to_vec();
+    }
+    let add_sky = skyline(add);
+    let mut out: Vec<Tuple> = base
+        .iter()
+        .filter(|b| !add_sky.iter().any(|a| dominates(&a.point, &b.point)))
+        .cloned()
+        .collect();
     for a in add_sky {
         if !out
             .iter()
@@ -187,7 +210,7 @@ mod tests {
             t(1, &[0.1, 0.9]),
             t(2, &[0.9, 0.1]),
             t(3, &[0.5, 0.5]),
-            t(4, &[0.6, 0.6]), // dominated by 3
+            t(4, &[0.6, 0.6]),  // dominated by 3
             t(5, &[0.1, 0.95]), // dominated by 1
         ];
         let sky = skyline(&data);
@@ -260,7 +283,7 @@ mod tests {
             t(1, &[0.1, 0.9]),
             t(2, &[0.9, 0.1]),
             t(3, &[0.5, 0.5]),
-            t(4, &[0.6, 0.6]),  // dominated only by 3
+            t(4, &[0.6, 0.6]),   // dominated only by 3
             t(5, &[0.65, 0.65]), // dominated by 3 and 4
         ];
         let sky = skyline(&data);
@@ -339,15 +362,30 @@ mod tests {
     }
 
     #[test]
+    fn insert_ref_matches_owned_insert() {
+        let base = skyline(&[t(1, &[0.1, 0.9]), t(2, &[0.9, 0.1]), t(3, &[0.5, 0.5])]);
+        for add in [
+            vec![],
+            vec![t(10, &[0.05, 0.05])],
+            vec![t(12, &[0.3, 0.6]), t(13, &[0.6, 0.3])],
+        ] {
+            assert_eq!(
+                skyline_insert_ref(&base, &add),
+                skyline_insert(base.clone(), &add)
+            );
+        }
+    }
+
+    #[test]
     fn insert_equals_full_recompute() {
         let base_data = vec![t(1, &[0.1, 0.9]), t(2, &[0.9, 0.1]), t(3, &[0.5, 0.5])];
         let base = skyline(&base_data);
         for add in [
             vec![],
-            vec![t(10, &[0.05, 0.05])],              // dominates everything
-            vec![t(11, &[0.6, 0.6])],                // dominated
+            vec![t(10, &[0.05, 0.05])], // dominates everything
+            vec![t(11, &[0.6, 0.6])],   // dominated
             vec![t(12, &[0.3, 0.6]), t(13, &[0.6, 0.3])], // mixed
-            vec![t(14, &[0.5, 0.5])],                // duplicate point
+            vec![t(14, &[0.5, 0.5])],   // duplicate point
         ] {
             let merged = skyline_insert(base.clone(), &add);
             let mut union = base_data.clone();

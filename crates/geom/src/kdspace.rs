@@ -292,7 +292,9 @@ mod tests {
         // exhaustively check all ids up to depth 6
         for depth in 0..=6u32 {
             for code in 0..(1u32 << depth) {
-                let bits: Vec<bool> = (0..depth).map(|i| (code >> (depth - 1 - i)) & 1 == 1).collect();
+                let bits: Vec<bool> = (0..depth)
+                    .map(|i| (code >> (depth - 1 - i)) & 1 == 1)
+                    .collect();
                 let p = BitPath::from_bits(&bits);
                 let zone = p.rect(dims);
                 for j in 0..dims {
@@ -349,7 +351,11 @@ mod tests {
         let mut p = BitPath::root();
         for _ in 0..5 {
             let l = p.child(false);
-            p = if l.rect(dims).contains_key(&key) { l } else { p.child(true) };
+            p = if l.rect(dims).contains_key(&key) {
+                l
+            } else {
+                p.child(true)
+            };
             assert!(p.rect(dims).contains_key(&key));
         }
     }

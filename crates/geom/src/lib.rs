@@ -22,8 +22,8 @@
 
 #![warn(missing_docs)]
 
-pub mod dominance;
 pub mod diversity;
+pub mod dominance;
 pub mod kdspace;
 pub mod norm;
 pub mod point;
@@ -31,11 +31,10 @@ pub mod rect;
 pub mod score;
 pub mod zorder;
 
-pub use dominance::{
-    constrained_skyline, dominates, dominates_rect, skyband, skyline, skyline_insert,
-    skyline_merge,
-};
 pub use diversity::{DiversityQuery, SetStats};
+pub use dominance::{
+    constrained_skyline, dominates, dominates_rect, skyband, skyline, skyline_insert, skyline_merge,
+};
 pub use norm::Norm;
 pub use point::{Point, Tuple, TupleId};
 pub use rect::Rect;

@@ -97,7 +97,11 @@ mod tests {
     #[test]
     fn min_le_max_everywhere() {
         let r = Rect::new(vec![0.1, 0.5, 0.0], vec![0.3, 0.9, 0.2]);
-        for q in [p(&[0.0, 0.0, 0.0]), p(&[0.2, 0.7, 0.1]), p(&[1.0, 1.0, 1.0])] {
+        for q in [
+            p(&[0.0, 0.0, 0.0]),
+            p(&[0.2, 0.7, 0.1]),
+            p(&[1.0, 1.0, 1.0]),
+        ] {
             for n in [Norm::L1, Norm::L2, Norm::Linf] {
                 assert!(n.min_dist(&r, &q) <= n.max_dist(&r, &q) + 1e-12);
             }

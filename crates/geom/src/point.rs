@@ -1,6 +1,7 @@
 //! Points and tuples in the `[0,1]^d` domain.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a data tuple. Unique within a dataset.
 pub type TupleId = u64;
@@ -10,9 +11,16 @@ pub type TupleId = u64;
 /// Coordinates are `f64` in `[0,1]`. The dimensionality is carried by the
 /// length of the coordinate slice; all points participating in one overlay or
 /// query must agree on it.
+///
+/// The coordinates live behind an [`Arc`], so cloning a point (and hence a
+/// [`Tuple`] or a `Rect`) is a reference-count bump, never a heap copy.
+/// Query execution ships tuples from peer stores to local states, restriction
+/// areas and answer sets by value; with shared coordinate storage all of
+/// those moves are zero-copy. Points are immutable after construction, so
+/// sharing is safe by design.
 #[derive(Clone, PartialEq)]
 pub struct Point {
-    coords: Box<[f64]>,
+    coords: Arc<[f64]>,
 }
 
 impl Point {
@@ -28,7 +36,7 @@ impl Point {
             "point coordinates must be finite"
         );
         Self {
-            coords: coords.into_boxed_slice(),
+            coords: coords.into(),
         }
     }
 
@@ -58,12 +66,6 @@ impl Point {
     #[inline]
     pub fn coords(&self) -> &[f64] {
         &self.coords
-    }
-
-    /// Mutable access to a coordinate (used by generators).
-    #[inline]
-    pub fn coord_mut(&mut self, d: usize) -> &mut f64 {
-        &mut self.coords[d]
     }
 
     /// Clamps every coordinate into `[0,1]`, returning a new point.

@@ -75,8 +75,7 @@ impl Rect {
     /// True if `p` lies inside the box (closed on all faces).
     pub fn contains(&self, p: &Point) -> bool {
         debug_assert_eq!(self.dims(), p.dims());
-        (0..self.dims())
-            .all(|d| self.lo.coord(d) <= p.coord(d) && p.coord(d) <= self.hi.coord(d))
+        (0..self.dims()).all(|d| self.lo.coord(d) <= p.coord(d) && p.coord(d) <= self.hi.coord(d))
     }
 
     /// True if `p` lies inside the box under half-open semantics
@@ -102,9 +101,8 @@ impl Rect {
     /// whether a link's region intersects a restriction area.
     pub fn intersects(&self, other: &Rect) -> bool {
         debug_assert_eq!(self.dims(), other.dims());
-        (0..self.dims()).all(|d| {
-            self.lo.coord(d) < other.hi.coord(d) && other.lo.coord(d) < self.hi.coord(d)
-        })
+        (0..self.dims())
+            .all(|d| self.lo.coord(d) < other.hi.coord(d) && other.lo.coord(d) < self.hi.coord(d))
     }
 
     /// Intersection of the two boxes, or `None` if it has zero measure.

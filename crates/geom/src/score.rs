@@ -11,6 +11,22 @@
 use crate::norm::Norm;
 use crate::point::Point;
 use crate::rect::Rect;
+use std::hash::{Hash, Hasher};
+
+/// Computes a stable cache key from a type tag and the parameter bits of a
+/// scoring function. Two score functions with equal tags and equal parameter
+/// bit patterns rank every tuple set identically, so they may share a cached
+/// score-sorted projection.
+fn score_cache_key(type_tag: u64, params: impl IntoIterator<Item = u64>) -> u64 {
+    // SipHash with fixed keys: deterministic within a process, which is all
+    // a per-process projection cache needs.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    type_tag.hash(&mut h);
+    for p in params {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
 
 /// A scoring function for top-k queries, with a region upper bound `f⁺`.
 ///
@@ -30,6 +46,16 @@ pub trait ScoreFn: Send + Sync {
     /// route the query to the most promising peer before rippling outward,
     /// which is what keeps the search frontier small.
     fn peak_point(&self) -> Option<Point> {
+        None
+    }
+
+    /// A stable identity key for per-peer projection caching, when available.
+    ///
+    /// Two score functions returning the same `Some(key)` must induce the
+    /// same ranking on every tuple (in practice: identical parameters). A
+    /// `None` (the default) opts out of caching — the query still runs, it
+    /// just scans instead of reusing a cached projection.
+    fn cache_key(&self) -> Option<u64> {
         None
     }
 }
@@ -87,6 +113,13 @@ impl ScoreFn for LinearScore {
         // Monotone increasing over the unit cube: maximal at the top corner.
         Some(Point::splat(self.weights.len(), 1.0))
     }
+
+    fn cache_key(&self) -> Option<u64> {
+        Some(score_cache_key(
+            0x4c_49_4e, // "LIN"
+            self.weights.iter().map(|w| w.to_bits()),
+        ))
+    }
 }
 
 /// Unimodal "peak" scoring: `f(t) = -dist(t, peak)` under a norm.
@@ -125,6 +158,18 @@ impl ScoreFn for PeakScore {
 
     fn peak_point(&self) -> Option<Point> {
         Some(self.peak.clone())
+    }
+
+    fn cache_key(&self) -> Option<u64> {
+        let norm_tag = match self.norm {
+            Norm::L1 => 1u64,
+            Norm::L2 => 2,
+            Norm::Linf => 3,
+        };
+        Some(score_cache_key(
+            0x50_45_41_4b, // "PEAK"
+            std::iter::once(norm_tag).chain(self.peak.coords().iter().map(|c| c.to_bits())),
+        ))
     }
 }
 
@@ -182,6 +227,24 @@ mod tests {
         // peak inside region ⇒ bound is 0
         let r2 = Rect::new(vec![0.8, 0.0], vec![1.0, 0.2]);
         assert_eq!(f.upper_bound(&r2), 0.0);
+    }
+
+    #[test]
+    fn cache_keys_identify_parameters() {
+        let a = LinearScore::new(vec![1.0, 2.0]);
+        let b = LinearScore::new(vec![1.0, 2.0]);
+        let c = LinearScore::new(vec![2.0, 1.0]);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert!(a.cache_key().is_some());
+
+        let p = PeakScore::new(vec![0.5, 0.5], Norm::L1);
+        let q = PeakScore::new(vec![0.5, 0.5], Norm::L1);
+        let r = PeakScore::new(vec![0.5, 0.5], Norm::L2);
+        assert_eq!(p.cache_key(), q.cache_key());
+        assert_ne!(p.cache_key(), r.cache_key());
+        // Different families never collide on shared parameters.
+        assert_ne!(a.cache_key(), p.cache_key());
     }
 
     #[test]

@@ -94,11 +94,7 @@ impl ZCurve {
             cell[d] = (cell[d] << 1) | bit as u64;
         }
         let scale = (1u64 << self.bits_per_dim) as f64;
-        Point::new(
-            cell.iter()
-                .map(|&c| c as f64 / scale)
-                .collect::<Vec<_>>(),
-        )
+        Point::new(cell.iter().map(|&c| c as f64 / scale).collect::<Vec<_>>())
     }
 
     /// The Z-value range `[lo, hi]` (inclusive) covered by a curve-aligned
@@ -110,7 +106,11 @@ impl ZCurve {
             prefix = (prefix << 1) | b as u128;
         }
         let lo = prefix << shift;
-        let span = if shift == 128 { u128::MAX } else { (1u128 << shift) - 1 };
+        let span = if shift == 128 {
+            u128::MAX
+        } else {
+            (1u128 << shift) - 1
+        };
         (lo, lo | span)
     }
 
@@ -212,7 +212,14 @@ mod tests {
     #[test]
     fn interval_decomposition_tiles_exactly() {
         let c = ZCurve::new(2, 3); // keyspace [0, 64)
-        for (lo, hi) in [(0u128, 63u128), (5, 37), (17, 17), (0, 0), (63, 63), (31, 32)] {
+        for (lo, hi) in [
+            (0u128, 63u128),
+            (5, 37),
+            (17, 17),
+            (0, 0),
+            (63, 63),
+            (31, 32),
+        ] {
             let cells = c.interval_to_cells(lo, hi);
             let mut next = lo;
             for cell in &cells {
@@ -227,7 +234,7 @@ mod tests {
     #[test]
     fn interval_decomposition_is_compact() {
         let c = ZCurve::new(2, 4); // 8 bits total
-        // a full aligned cell decomposes to exactly itself
+                                   // a full aligned cell decomposes to exactly itself
         let cells = c.interval_to_cells(16, 31);
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].len(), 4);

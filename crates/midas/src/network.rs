@@ -17,9 +17,9 @@
 
 use crate::path_index::PathIndex;
 use crate::peer::{Link, MidasPeer};
-use ripple_net::rng::Rng;
 use ripple_geom::kdspace::BitPath;
 use ripple_geom::{Point, Rect, Tuple};
+use ripple_net::rng::Rng;
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
 use std::collections::{HashMap, HashSet};
 
@@ -147,9 +147,7 @@ impl MidasNetwork {
 
     /// True if the peer is live.
     pub fn is_live(&self, id: PeerId) -> bool {
-        self.peers
-            .get(id.index())
-            .is_some_and(|p| p.is_some())
+        self.peers.get(id.index()).is_some_and(|p| p.is_some())
     }
 
     /// Resolves a link to a live peer inside its subtree.
@@ -616,7 +614,11 @@ mod tests {
         let mut r = rng(9);
         let net = MidasNetwork::build(2, 1024, false, &mut r);
         // Expected depth O(log n); allow a generous constant.
-        assert!(net.delta() <= 40, "delta {} too deep for 1024 peers", net.delta());
+        assert!(
+            net.delta() <= 40,
+            "delta {} too deep for 1024 peers",
+            net.delta()
+        );
     }
 
     #[test]
@@ -641,7 +643,11 @@ mod tests {
             net.insert_tuple(Tuple::new(i, vec![r.gen::<f64>(), r.gen::<f64>()]));
         }
         net.check_invariants();
-        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        let total: usize = net
+            .live_peers()
+            .iter()
+            .map(|&p| net.peer(p).store.len())
+            .sum();
         assert_eq!(total, 200);
     }
 
@@ -682,7 +688,11 @@ mod tests {
             net.leave(victim);
             net.check_invariants();
         }
-        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        let total: usize = net
+            .live_peers()
+            .iter()
+            .map(|&p| net.peer(p).store.len())
+            .sum();
         assert_eq!(total, 100, "no tuples may be lost by churn");
     }
 
@@ -702,7 +712,11 @@ mod tests {
             }
         }
         net.check_invariants();
-        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        let total: usize = net
+            .live_peers()
+            .iter()
+            .map(|&p| net.peer(p).store.len())
+            .sum();
         assert_eq!(total, 50);
     }
 

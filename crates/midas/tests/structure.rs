@@ -2,10 +2,10 @@
 //! repair under churn, storage balance with data-steered joins, and the
 //! §5.2 policy's effect on link targets.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple_geom::{Point, Tuple};
 use ripple_midas::{MidasNetwork, SplitRule};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 use ripple_net::Distribution;
 
 fn rng(seed: u64) -> SmallRng {
@@ -143,13 +143,10 @@ fn border_policy_steers_most_possible_links() {
             // the subtree contains a border peer iff its prefix lies on a
             // border (prefix-closure property of the patterns)
             if l.subtree.on_any_lower_border(2) {
-                let has_border_leaf = net
-                    .live_peers()
-                    .iter()
-                    .any(|&q| {
-                        l.subtree.is_prefix_of(&net.peer(q).path)
-                            && net.peer(q).path.on_any_lower_border(2)
-                    });
+                let has_border_leaf = net.live_peers().iter().any(|&q| {
+                    l.subtree.is_prefix_of(&net.peer(q).path)
+                        && net.peer(q).path.on_any_lower_border(2)
+                });
                 if has_border_leaf {
                     possible += 1;
                     let t = net.resolve(l);

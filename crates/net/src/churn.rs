@@ -69,7 +69,10 @@ pub fn run_stage<O: ChurnOverlay + ?Sized, R: Rng>(
             }
         }
         ChurnStage::Decreasing => {
-            assert!(overlay.peer_count() >= target, "already smaller than target");
+            assert!(
+                overlay.peer_count() >= target,
+                "already smaller than target"
+            );
             let mut next_cp = checkpoints
                 .iter()
                 .copied()

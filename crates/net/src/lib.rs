@@ -30,4 +30,4 @@ pub use churn::{ChurnOverlay, ChurnStage};
 pub use metrics::{MetricsAggregator, PointSummary, QueryMetrics};
 pub use peer::PeerId;
 pub use stats::Distribution;
-pub use store::PeerStore;
+pub use store::{LocalView, PeerStore};

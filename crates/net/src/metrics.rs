@@ -14,7 +14,10 @@
 //! visits per query, which — with `n` queries over `n` peers — equals the
 //! expected per-peer load.
 
+use std::collections::HashMap;
+
 use crate::peer::PeerId;
+use crate::stats::Distribution;
 
 /// The cost ledger of a single distributed query execution.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -29,6 +32,13 @@ pub struct QueryMetrics {
     pub peers_visited: u64,
     /// Tuples shipped over the wire in responses (communication volume).
     pub tuples_transferred: u64,
+    /// The ordered sequence of peers that processed this query (one entry
+    /// per processing event, so `visited.len() == peers_visited`). Feeds
+    /// the per-peer congestion histogram in [`MetricsAggregator`] and —
+    /// because it participates in `PartialEq` — lets equivalence tests
+    /// assert that two execution paths touched the same peers in the same
+    /// order.
+    pub visited: Vec<PeerId>,
 }
 
 impl QueryMetrics {
@@ -39,8 +49,9 @@ impl QueryMetrics {
 
     /// Records that `peer` processed one query message.
     #[inline]
-    pub fn visit(&mut self, _peer: PeerId) {
+    pub fn visit(&mut self, peer: PeerId) {
         self.peers_visited += 1;
+        self.visited.push(peer);
     }
 
     /// Records a query-forward message.
@@ -70,6 +81,7 @@ impl QueryMetrics {
         self.response_messages += other.response_messages;
         self.peers_visited += other.peers_visited;
         self.tuples_transferred += other.tuples_transferred;
+        self.visited.extend_from_slice(&other.visited);
     }
 }
 
@@ -90,6 +102,10 @@ pub struct PointSummary {
     pub messages: f64,
     /// Mean tuples transferred per query.
     pub tuples: f64,
+    /// Hottest peer: the number of queries processed by the most-visited
+    /// single peer over the whole point (an absolute count, not a per-query
+    /// average). The mean congestion hides hotspots; this exposes them.
+    pub congestion_max: u64,
 }
 
 /// Accumulates per-query ledgers into a [`PointSummary`].
@@ -101,6 +117,12 @@ pub struct MetricsAggregator {
     visits_sum: u64,
     messages_sum: u64,
     tuples_sum: u64,
+    /// Per-peer visit histogram over all recorded queries. Merging assumes
+    /// both aggregators drew their peer ids from the *same* network
+    /// instance (the `parallel_queries` chunking case); cross-network runs
+    /// are combined at the [`PointSummary`] level instead, where only the
+    /// hottest count survives.
+    peer_visits: HashMap<PeerId, u64>,
 }
 
 impl MetricsAggregator {
@@ -117,6 +139,9 @@ impl MetricsAggregator {
         self.visits_sum += m.peers_visited;
         self.messages_sum += m.total_messages();
         self.tuples_sum += m.tuples_transferred;
+        for &p in &m.visited {
+            *self.peer_visits.entry(p).or_insert(0) += 1;
+        }
     }
 
     /// Number of queries recorded so far.
@@ -124,7 +149,8 @@ impl MetricsAggregator {
         self.count
     }
 
-    /// Folds another aggregator (e.g. from a different network instance) in.
+    /// Folds another aggregator over the *same network instance* in (the
+    /// per-thread chunks of one query batch): per-peer visit counts add.
     pub fn merge(&mut self, other: &MetricsAggregator) {
         self.count += other.count;
         self.latency_sum += other.latency_sum;
@@ -132,6 +158,19 @@ impl MetricsAggregator {
         self.visits_sum += other.visits_sum;
         self.messages_sum += other.messages_sum;
         self.tuples_sum += other.tuples_sum;
+        for (&p, &v) in &other.peer_visits {
+            *self.peer_visits.entry(p).or_insert(0) += v;
+        }
+    }
+
+    /// The distribution of per-peer visit counts (the congestion
+    /// histogram). Only peers that processed at least one query appear as
+    /// samples; untouched peers contribute nothing.
+    ///
+    /// # Panics
+    /// Panics if no peer was ever visited.
+    pub fn visit_distribution(&self) -> Distribution {
+        Distribution::of(self.peer_visits.values().map(|&v| v as f64))
     }
 
     /// Produces the summary.
@@ -148,6 +187,7 @@ impl MetricsAggregator {
             congestion: self.visits_sum as f64 / n,
             messages: self.messages_sum as f64 / n,
             tuples: self.tuples_sum as f64 / n,
+            congestion_max: self.peer_visits.values().copied().max().unwrap_or(0),
         }
     }
 }
@@ -165,6 +205,7 @@ mod tests {
         m.respond(5);
         m.respond(0);
         assert_eq!(m.peers_visited, 2);
+        assert_eq!(m.visited, vec![PeerId::new(0), PeerId::new(1)]);
         assert_eq!(m.query_messages, 1);
         assert_eq!(m.response_messages, 2);
         assert_eq!(m.tuples_transferred, 5);
@@ -179,6 +220,7 @@ mod tests {
             response_messages: 2,
             peers_visited: 5,
             tuples_transferred: 7,
+            visited: (0..5).map(PeerId::new).collect(),
         };
         let b = QueryMetrics {
             latency: 2,
@@ -186,24 +228,30 @@ mod tests {
             response_messages: 1,
             peers_visited: 2,
             tuples_transferred: 3,
+            visited: vec![PeerId::new(0), PeerId::new(9)],
         };
         a.absorb_sequential(&b);
         assert_eq!(a.latency, 5);
         assert_eq!(a.peers_visited, 7);
         assert_eq!(a.tuples_transferred, 10);
+        assert_eq!(a.visited.len(), 7, "visit sequences concatenate");
+        assert_eq!(a.visited[5], PeerId::new(0));
     }
 
     #[test]
     fn aggregation_and_summary() {
         let mut agg = MetricsAggregator::new();
         for latency in [2u64, 4, 6] {
-            let m = QueryMetrics {
+            let mut m = QueryMetrics {
                 latency,
                 query_messages: latency,
-                response_messages: 0,
-                peers_visited: 10,
                 tuples_transferred: 1,
+                ..QueryMetrics::default()
             };
+            // peer 0 absorbs `latency` visits; higher peers one visit each
+            for p in 0..10u32 {
+                m.visit(PeerId::new(if u64::from(p) < latency { 0 } else { p }));
+            }
             agg.record(&m);
         }
         let s = agg.summary();
@@ -212,6 +260,26 @@ mod tests {
         assert_eq!(s.latency_max, 6);
         assert!((s.congestion - 10.0).abs() < 1e-12);
         assert!((s.messages - 4.0).abs() < 1e-12);
+        assert_eq!(s.congestion_max, 2 + 4 + 6, "peer 0 is the hotspot");
+    }
+
+    #[test]
+    fn visit_histogram_and_distribution() {
+        let mut a = MetricsAggregator::new();
+        let mut b = MetricsAggregator::new();
+        let mut m = QueryMetrics::new();
+        m.visit(PeerId::new(0));
+        m.visit(PeerId::new(1));
+        a.record(&m);
+        let mut m2 = QueryMetrics::new();
+        m2.visit(PeerId::new(0));
+        b.record(&m2);
+        // chunks of the same network: per-peer counts add on merge
+        a.merge(&b);
+        let d = a.visit_distribution();
+        assert_eq!(d.count, 2, "two distinct peers visited");
+        assert_eq!(d.max, 2.0, "peer 0 visited twice");
+        assert_eq!(a.summary().congestion_max, 2);
     }
 
     #[test]

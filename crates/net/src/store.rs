@@ -1,17 +1,129 @@
-//! Per-peer tuple storage.
+//! Per-peer tuple storage with a lazily-built local index layer.
 //!
 //! Every DHT peer "stores all tuples falling in" its zone (Section 1). The
-//! store is deliberately a plain vector: the paper's algorithms scan a peer's
-//! local tuples per query (local top-k / local skyline / local best-φ), and
-//! local scans are not part of the reported metrics (hops and messages), so
-//! a simple representation keeps the simulation honest and fast enough.
+//! paper's algorithms scan a peer's local tuples per query (local top-k /
+//! local skyline / local best-φ); local scans are not part of the reported
+//! metrics (hops and messages), but at simulation scale they dominate
+//! wall-clock time. The store therefore keeps the plain vector as the source
+//! of truth and layers two caches on top:
+//!
+//! * **Score-sorted projections** ([`PeerStore::with_ranked`]): for every
+//!   scoring function that exposes a [`cache_key`], the store memoises the
+//!   descending score order of its tuples. A top-k local state then costs a
+//!   truncated walk over the best `k` entries instead of a full sort, and a
+//!   local answer is an early-exit walk down to the threshold `τ`.
+//! * **An incremental local skyline** ([`PeerStore::skyline`]): built once
+//!   with [`dominance::skyline`] and maintained under inserts; removals of a
+//!   skyline member invalidate it (a dominated tuple may resurface), all
+//!   other mutations keep it exact.
+//!
+//! Both caches are *behaviour-invisible*: they reproduce byte-for-byte what
+//! the scan-based code paths compute (the skyline in the canonical
+//! ascending (coordinate-sum, id) order with min-id duplicate
+//! representatives; projections with the store-order tie-break of a stable
+//! descending sort). Equivalence is property-tested in `ripple-core`.
+//!
+//! [`cache_key`]: ripple_geom::ScoreFn::cache_key
 
-use ripple_geom::{Point, Tuple};
+use ripple_geom::{dominance, Point, ScoreFn, Tuple, TupleId};
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// Retain at most this many score projections per peer. Stale entries are
+/// dropped first; if a workload really uses more *live* scoring functions
+/// than this per peer, the whole map is rebuilt from scratch — correctness
+/// never depends on a cache hit.
+const MAX_PROJECTIONS: usize = 16;
+
+/// A memoised descending score order of the peer's tuples.
+#[derive(Clone, Debug)]
+struct Projection {
+    /// Store generation this projection was computed at.
+    built_at: u64,
+    /// `(score, index into the tuple vector)`, best first; ties keep store
+    /// order (stable sort), matching a stable descending sort over the
+    /// tuple slice.
+    entries: Vec<(f64, u32)>,
+}
+
+/// The lazily-populated caches of one peer store.
+#[derive(Clone, Debug, Default)]
+struct IndexCache {
+    /// Score-sorted projections keyed by [`ScoreFn::cache_key`].
+    projections: HashMap<u64, Projection>,
+    /// Tuple-id membership set (generation it was built at, ids).
+    ids: Option<(u64, HashSet<TupleId>)>,
+    /// The local skyline in canonical order, as `(coordinate sum, tuple)`.
+    /// `None` until first requested or after an invalidating removal.
+    skyline: Option<Vec<(f64, Tuple)>>,
+}
 
 /// The tuples held by one peer.
-#[derive(Clone, Debug, Default)]
+///
+/// The caches sit behind a per-peer [`Mutex`] (not a `RefCell`) because the
+/// benchmark harness issues queries from several threads over a shared
+/// network; each peer locks independently and only for the duration of one
+/// cache access, so contention is negligible.
+#[derive(Debug, Default)]
 pub struct PeerStore {
     tuples: Vec<Tuple>,
+    /// Bumped on every mutation; lazily-validated caches compare against it.
+    generation: u64,
+    cache: Mutex<IndexCache>,
+}
+
+impl Clone for PeerStore {
+    fn clone(&self) -> Self {
+        Self {
+            tuples: self.tuples.clone(),
+            generation: self.generation,
+            cache: Mutex::new(self.cache.lock().expect("peer cache poisoned").clone()),
+        }
+    }
+}
+
+fn coord_sum(p: &Point) -> f64 {
+    p.coords().iter().sum()
+}
+
+/// Canonical insertion position of `(sum, id)` in a skyline slice sorted by
+/// ascending `(coordinate sum, id)` — the order [`dominance::skyline`]
+/// produces.
+fn canonical_pos(members: &[(f64, Tuple)], sum: f64, id: TupleId) -> usize {
+    members.partition_point(|(ms, m)| ms.total_cmp(&sum).then_with(|| m.id.cmp(&id)).is_lt())
+}
+
+/// Folds one tuple into a canonical skyline, preserving exactly the set and
+/// order a full [`dominance::skyline`] recompute would produce.
+fn skyline_fold(members: &mut Vec<(f64, Tuple)>, t: &Tuple) {
+    let sum = coord_sum(&t.point);
+    // Only members with a smaller coordinate sum can dominate `t`, and only
+    // members with an equal sum can equal it point-wise; the canonical order
+    // lets the scan stop early.
+    let mut i = 0;
+    while i < members.len() && members[i].0 <= sum {
+        let m = &members[i].1;
+        if dominance::dominates(&m.point, &t.point) {
+            return;
+        }
+        if m.point == t.point {
+            if t.id < m.id {
+                // A full recompute keeps the min-id representative of an
+                // exact duplicate; replace and reposition within the
+                // equal-sum block.
+                members.remove(i);
+                let pos = canonical_pos(members, sum, t.id);
+                members.insert(pos, (sum, t.clone()));
+            }
+            return;
+        }
+        i += 1;
+    }
+    // `t` enters the skyline: evict members it dominates (all have a larger
+    // sum, so they sit at or after `i`) and insert at the canonical spot.
+    members.retain(|(ms, m)| *ms <= sum || !dominance::dominates(&t.point, &m.point));
+    let pos = canonical_pos(members, sum, t.id);
+    members.insert(pos, (sum, t.clone()));
 }
 
 impl PeerStore {
@@ -30,8 +142,18 @@ impl PeerStore {
         self.tuples.is_empty()
     }
 
+    /// Mutation counter; every insert/drain/extend bumps it. Cache entries
+    /// remember the generation they were built at and rebuild when it moved.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Inserts a tuple.
     pub fn insert(&mut self, t: Tuple) {
+        self.generation += 1;
+        if let Some(members) = &mut self.cache.get_mut().expect("peer cache poisoned").skyline {
+            skyline_fold(members, &t);
+        }
         self.tuples.push(t);
     }
 
@@ -48,6 +170,7 @@ impl PeerStore {
     /// Removes and returns every tuple satisfying `pred` — used when a zone
     /// split hands part of the key range to a new peer.
     pub fn drain_where(&mut self, mut pred: impl FnMut(&Point) -> bool) -> Vec<Tuple> {
+        self.generation += 1;
         let mut moved = Vec::new();
         let mut i = 0;
         while i < self.tuples.len() {
@@ -57,27 +180,179 @@ impl PeerStore {
                 i += 1;
             }
         }
+        let cache = self.cache.get_mut().expect("peer cache poisoned");
+        if let Some(members) = &cache.skyline {
+            // Removing a non-member cannot change the skyline (it was
+            // dominated by, or duplicated, a member that is still present).
+            // Removing a member may resurface previously dominated tuples,
+            // so the cache must be rebuilt from scratch.
+            let member_ids: HashSet<TupleId> = members.iter().map(|(_, m)| m.id).collect();
+            if moved.iter().any(|t| member_ids.contains(&t.id)) {
+                cache.skyline = None;
+            }
+        }
         moved
     }
 
     /// Removes and returns all tuples — used when a departing peer hands its
     /// data to the peer absorbing its zone.
     pub fn drain_all(&mut self) -> Vec<Tuple> {
+        self.generation += 1;
+        let cache = self.cache.get_mut().expect("peer cache poisoned");
+        cache.skyline = Some(Vec::new());
+        cache.projections.clear();
+        cache.ids = None;
         std::mem::take(&mut self.tuples)
     }
 
     /// Absorbs a batch of tuples.
     pub fn extend(&mut self, batch: impl IntoIterator<Item = Tuple>) {
-        self.tuples.extend(batch);
+        self.generation += 1;
+        let cache = self.cache.get_mut().expect("peer cache poisoned");
+        for t in batch {
+            if let Some(members) = &mut cache.skyline {
+                skyline_fold(members, &t);
+            }
+            self.tuples.push(t);
+        }
+    }
+
+    /// The local skyline of the stored tuples, in the canonical order of
+    /// [`dominance::skyline`] (ascending coordinate sum, ties by id; exact
+    /// duplicates represented by their minimum id).
+    ///
+    /// Built once, then maintained incrementally across inserts and
+    /// invalidated only when a skyline member is removed. Cloning the
+    /// members is cheap: points share their coordinate storage.
+    pub fn skyline(&self) -> Vec<Tuple> {
+        let mut cache = self.cache.lock().expect("peer cache poisoned");
+        let members = cache.skyline.get_or_insert_with(|| {
+            dominance::skyline(&self.tuples)
+                .into_iter()
+                .map(|t| (coord_sum(&t.point), t))
+                .collect()
+        });
+        members.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// True if a tuple with this id is stored here, answered from a cached
+    /// membership set (rebuilt when the store changed).
+    pub fn contains_id(&self, id: TupleId) -> bool {
+        let mut cache = self.cache.lock().expect("peer cache poisoned");
+        let stale = !matches!(&cache.ids, Some((built, _)) if *built == self.generation);
+        if stale {
+            cache.ids = Some((self.generation, self.tuples.iter().map(|t| t.id).collect()));
+        }
+        let Some((_, ids)) = &cache.ids else {
+            unreachable!()
+        };
+        ids.contains(&id)
+    }
+
+    /// Visits the stored tuples in *descending score order* under `score`,
+    /// handing the closure a lazy `(tuple, score)` iterator (ties keep store
+    /// order, exactly like a stable descending sort over [`tuples`]).
+    ///
+    /// Returns `None` when `score` exposes no [`ScoreFn::cache_key`] — the
+    /// caller falls back to a scan. The projection is memoised per key and
+    /// rebuilt when the store mutated, so repeated queries with the same
+    /// scoring function pay the sort once and a truncated walk afterwards.
+    ///
+    /// The closure must not call back into cache-using methods of the same
+    /// store (`skyline`, `contains_id`, `with_ranked`).
+    ///
+    /// [`tuples`]: PeerStore::tuples
+    pub fn with_ranked<R>(
+        &self,
+        score: &dyn ScoreFn,
+        f: impl FnOnce(&mut dyn Iterator<Item = (&Tuple, f64)>) -> R,
+    ) -> Option<R> {
+        let key = score.cache_key()?;
+        debug_assert!(self.tuples.len() < u32::MAX as usize);
+        let mut cache = self.cache.lock().expect("peer cache poisoned");
+        let stale = !matches!(
+            cache.projections.get(&key),
+            Some(p) if p.built_at == self.generation
+        );
+        if stale {
+            if cache.projections.len() >= MAX_PROJECTIONS {
+                let current = self.generation;
+                cache.projections.retain(|_, p| p.built_at == current);
+                if cache.projections.len() >= MAX_PROJECTIONS {
+                    cache.projections.clear();
+                }
+            }
+            let mut entries: Vec<(f64, u32)> = self
+                .tuples
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (score.score(&t.point), i as u32))
+                .collect();
+            // Stable descending sort: ties keep store order.
+            entries.sort_by(|a, b| b.0.total_cmp(&a.0));
+            entries.shrink_to_fit();
+            cache.projections.insert(
+                key,
+                Projection {
+                    built_at: self.generation,
+                    entries,
+                },
+            );
+        }
+        let proj = &cache.projections[&key];
+        let mut it = proj
+            .entries
+            .iter()
+            .map(|&(s, i)| (&self.tuples[i as usize], s));
+        Some(f(&mut it))
+    }
+}
+
+/// A peer's tuples as seen by query-side code.
+///
+/// `Plain` is the scan view every substrate supports; `Indexed` additionally
+/// exposes the store's local index layer, which query implementations use as
+/// a fast path when present. Both views describe the same tuples — query
+/// results and all hop/message metrics are identical either way (only
+/// wall-clock time differs), which is what keeps the indexed simulation an
+/// honest reproduction of the paper's scan-based peers.
+#[derive(Clone, Copy)]
+pub enum LocalView<'a> {
+    /// A bare tuple slice.
+    Plain(&'a [Tuple]),
+    /// A full peer store with its caches.
+    Indexed(&'a PeerStore),
+}
+
+impl<'a> LocalView<'a> {
+    /// The underlying tuples, regardless of view flavour.
+    pub fn tuples(&self) -> &'a [Tuple] {
+        match self {
+            LocalView::Plain(t) => t,
+            LocalView::Indexed(s) => s.tuples(),
+        }
+    }
+
+    /// The store behind an indexed view, when present.
+    pub fn store(&self) -> Option<&'a PeerStore> {
+        match self {
+            LocalView::Plain(_) => None,
+            LocalView::Indexed(s) => Some(s),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_geom::LinearScore;
 
     fn t(id: u64, x: f64) -> Tuple {
         Tuple::new(id, vec![x, x])
+    }
+
+    fn t2(id: u64, a: f64, b: f64) -> Tuple {
+        Tuple::new(id, vec![a, b])
     }
 
     #[test]
@@ -116,5 +391,156 @@ mod tests {
         let mut a = PeerStore::new();
         a.extend(vec![t(1, 0.1), t(2, 0.2)]);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn generation_tracks_mutations() {
+        let mut s = PeerStore::new();
+        let g0 = s.generation();
+        s.insert(t(1, 0.3));
+        assert!(s.generation() > g0);
+        let g1 = s.generation();
+        s.extend(vec![t(2, 0.4)]);
+        assert!(s.generation() > g1);
+        let g2 = s.generation();
+        s.drain_where(|p| p.coord(0) < 0.35);
+        assert!(s.generation() > g2);
+    }
+
+    /// The cached skyline must equal a from-scratch recompute — same set,
+    /// same order, same duplicate representatives — through any interleaving
+    /// of inserts, batch extends and drains.
+    #[test]
+    fn skyline_matches_recompute_under_churn() {
+        let mut s = PeerStore::new();
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let mut id = 0u64;
+        for round in 0..30 {
+            match round % 5 {
+                0..=2 => {
+                    for _ in 0..7 {
+                        s.insert(Tuple::new(id, vec![next(), next(), next()]));
+                        id += 1;
+                    }
+                }
+                3 => {
+                    let batch: Vec<Tuple> = (0..5)
+                        .map(|_| {
+                            id += 1;
+                            Tuple::new(id - 1, vec![next(), next(), next()])
+                        })
+                        .collect();
+                    s.extend(batch);
+                }
+                _ => {
+                    let cut = next();
+                    s.drain_where(|p| p.coord(0) < cut * 0.3);
+                }
+            }
+            let cached = s.skyline();
+            let fresh = dominance::skyline(s.tuples());
+            assert_eq!(cached, fresh, "round {round}");
+        }
+    }
+
+    #[test]
+    fn skyline_keeps_min_id_duplicate_representative() {
+        let mut s = PeerStore::new();
+        s.insert(t2(5, 0.3, 0.3));
+        assert_eq!(s.skyline()[0].id, 5);
+        // Lower id duplicate arrives after the cache is built: the
+        // representative must switch, as a recompute would.
+        s.insert(t2(2, 0.3, 0.3));
+        let sky = s.skyline();
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky[0].id, 2);
+        // Higher id duplicate leaves it untouched.
+        s.insert(t2(9, 0.3, 0.3));
+        assert_eq!(s.skyline(), sky);
+        assert_eq!(s.skyline(), dominance::skyline(s.tuples()));
+    }
+
+    #[test]
+    fn skyline_survives_non_member_removal_and_rebuilds_on_member_removal() {
+        let mut s = PeerStore::new();
+        s.insert(t2(1, 0.1, 0.9));
+        s.insert(t2(2, 0.9, 0.1));
+        s.insert(t2(3, 0.5, 0.5));
+        s.insert(t2(4, 0.6, 0.6)); // dominated by 3
+        assert_eq!(s.skyline().len(), 3);
+        // removing the dominated tuple keeps the skyline
+        s.drain_where(|p| p.coord(0) == 0.6);
+        assert_eq!(s.skyline(), dominance::skyline(s.tuples()));
+        // removing member 3 resurfaces nothing here, but must still rebuild
+        s.insert(t2(5, 0.55, 0.55)); // dominated by 3 only
+        s.drain_where(|p| p.coord(0) == 0.5);
+        let sky = s.skyline();
+        assert!(sky.iter().any(|t| t.id == 5), "5 resurfaces once 3 left");
+        assert_eq!(sky, dominance::skyline(s.tuples()));
+    }
+
+    #[test]
+    fn ranked_walk_matches_stable_sort() {
+        let mut s = PeerStore::new();
+        // include a score tie (ids 10 and 11) to pin the tie-break order
+        s.insert(t2(10, 0.4, 0.2));
+        s.insert(t2(11, 0.2, 0.4));
+        s.insert(t2(12, 0.9, 0.9));
+        s.insert(t2(13, 0.1, 0.1));
+        let score = LinearScore::uniform(2);
+        let walked: Vec<(u64, f64)> = s
+            .with_ranked(&score, |it| it.map(|(t, sc)| (t.id, sc)).collect())
+            .expect("LinearScore has a cache key");
+        let mut manual: Vec<(u64, f64)> = s
+            .tuples()
+            .iter()
+            .map(|t| (t.id, score.score(&t.point)))
+            .collect();
+        manual.sort_by(|a, b| b.1.total_cmp(&a.1));
+        assert_eq!(walked, manual);
+        // ties kept store order
+        assert_eq!(walked[1].0, 10);
+        assert_eq!(walked[2].0, 11);
+    }
+
+    #[test]
+    fn ranked_projection_invalidates_on_mutation() {
+        let mut s = PeerStore::new();
+        s.insert(t2(1, 0.2, 0.2));
+        let score = LinearScore::uniform(2);
+        let first: Vec<u64> = s
+            .with_ranked(&score, |it| it.map(|(t, _)| t.id).collect())
+            .unwrap();
+        assert_eq!(first, vec![1]);
+        s.insert(t2(2, 0.8, 0.8));
+        let second: Vec<u64> = s
+            .with_ranked(&score, |it| it.map(|(t, _)| t.id).collect())
+            .unwrap();
+        assert_eq!(second, vec![2, 1]);
+    }
+
+    #[test]
+    fn contains_id_tracks_store() {
+        let mut s = PeerStore::new();
+        s.insert(t(7, 0.7));
+        assert!(s.contains_id(7));
+        assert!(!s.contains_id(8));
+        s.drain_where(|_| true);
+        assert!(!s.contains_id(7));
+    }
+
+    #[test]
+    fn local_view_flavours_agree() {
+        let mut s = PeerStore::new();
+        s.insert(t(1, 0.5));
+        let plain = LocalView::Plain(s.tuples());
+        let indexed = LocalView::Indexed(&s);
+        assert_eq!(plain.tuples(), indexed.tuples());
+        assert!(plain.store().is_none());
+        assert!(indexed.store().is_some());
     }
 }

@@ -24,8 +24,8 @@
 
 #![warn(missing_docs)]
 
-use ripple_net::rng::Rng;
 use ripple_geom::{dominance, ScoreFn, Tuple};
+use ripple_net::rng::Rng;
 use ripple_net::{PeerId, QueryMetrics};
 
 /// A member peer: holds raw tuples and precomputes its k-skyband.
@@ -206,9 +206,9 @@ impl SpeertoNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_geom::{Norm, PeakScore, Point};
     use ripple_net::rng::rngs::SmallRng;
     use ripple_net::rng::SeedableRng;
-    use ripple_geom::{Norm, PeakScore, Point};
 
     fn dataset(n: usize, seed: u64) -> Vec<Tuple> {
         let mut rng = SmallRng::seed_from_u64(seed);

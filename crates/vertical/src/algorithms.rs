@@ -260,26 +260,24 @@ pub fn recall(approx: &TopKResult, exact: &[(TupleId, f64)]) -> f64 {
         return 1.0;
     }
     let approx_ids: HashSet<TupleId> = approx.top.iter().map(|(id, _)| *id).collect();
-    let hit = exact.iter().filter(|(id, _)| approx_ids.contains(id)).count();
+    let hit = exact
+        .iter()
+        .filter(|(id, _)| approx_ids.contains(id))
+        .count();
     hit as f64 / exact.len() as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripple_geom::Tuple;
     use ripple_net::rng::rngs::SmallRng;
     use ripple_net::rng::{Rng, SeedableRng};
-    use ripple_geom::Tuple;
 
     fn dataset(n: usize, dims: usize, seed: u64) -> VerticalNetwork {
         let mut rng = SmallRng::seed_from_u64(seed);
         let data: Vec<Tuple> = (0..n as u64)
-            .map(|i| {
-                Tuple::new(
-                    i,
-                    (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>(),
-                )
-            })
+            .map(|i| Tuple::new(i, (0..dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()))
             .collect();
         VerticalNetwork::from_tuples(&data)
     }
@@ -358,7 +356,10 @@ mod tests {
         let approx = klee(&net, 10, 16);
         let r = recall(&approx, &exact);
         assert!(r >= 0.5, "recall collapsed: {r}");
-        assert_eq!(approx.costs.random_accesses, 0, "KLEE-2 never random-accesses");
+        assert_eq!(
+            approx.costs.random_accesses, 0,
+            "KLEE-2 never random-accesses"
+        );
         assert_eq!(approx.costs.rounds, 2, "two-phase flavour");
         let exact_run = tput(&net, 10);
         assert!(approx.costs.rounds < exact_run.costs.rounds);

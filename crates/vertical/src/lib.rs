@@ -28,5 +28,7 @@
 pub mod algorithms;
 pub mod server;
 
-pub use algorithms::{brute_force as brute_force_ids, fa, klee, recall, ta, tput, AccessCosts, TopKResult};
+pub use algorithms::{
+    brute_force as brute_force_ids, fa, klee, recall, ta, tput, AccessCosts, TopKResult,
+};
 pub use server::{AttributeServer, VerticalNetwork};

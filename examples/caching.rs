@@ -10,14 +10,14 @@
 //! cargo run --release --example caching
 //! ```
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple::core::cache::TopKCache;
 use ripple::core::framework::Mode;
 use ripple::core::topk::run_topk;
 use ripple::data::zipf::Zipf;
 use ripple::geom::{Norm, PeakScore, Tuple};
 use ripple::midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(21);
@@ -52,7 +52,11 @@ fn main() {
         cached_msgs += m.total_messages();
     }
     let stats = cache.stats();
-    println!("workload: {} top-10 queries over {} hot points", workload.len(), candidates.len());
+    println!(
+        "workload: {} top-10 queries over {} hot points",
+        workload.len(),
+        candidates.len()
+    );
     println!("uncached: {uncached_msgs} messages total");
     println!(
         "cached:   {cached_msgs} messages total ({:.0}% hit rate, {:.1}× fewer messages)",

@@ -10,14 +10,14 @@
 //! cargo run --release --example churn
 //! ```
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple::core::framework::Mode;
 use ripple::core::skyline::{centralized_skyline, run_skyline};
 use ripple::core::topk::{centralized_topk, run_topk};
 use ripple::geom::{Norm, PeakScore, Tuple};
 use ripple::midas::MidasNetwork;
 use ripple::net::churn::{run_stage, ChurnStage};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(131_072);

@@ -10,14 +10,14 @@
 //! cargo run --release --example image_diversify
 //! ```
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple::can::{baseline_diversify, CanNetwork};
 use ripple::core::diversify::{diversify, Initialize};
 use ripple::core::framework::Mode;
 use ripple::data::mirflickr;
 use ripple::geom::{DiversityQuery, Norm};
 use ripple::midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(2014);
@@ -38,7 +38,15 @@ fn main() {
         midas.join(&at);
     }
     let initiator = midas.random_peer(&mut rng);
-    let (set, m) = diversify(&midas, initiator, &div, k, Mode::Fast, Initialize::Greedy, 5);
+    let (set, m) = diversify(
+        &midas,
+        initiator,
+        &div,
+        k,
+        Mode::Fast,
+        Initialize::Greedy,
+        5,
+    );
     println!("\nRIPPLE (fast) over {} MIDAS peers:", midas.peer_count());
     println!(
         "  {k}-diversified set {:?}",

@@ -10,14 +10,14 @@
 //! cargo run --release --example nba_scouting
 //! ```
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple::core::framework::Mode;
 use ripple::core::skyline::{centralized_skyline, run_skyline};
 use ripple::core::topk::{centralized_topk, run_topk};
 use ripple::data::nba;
 use ripple::geom::{Norm, PeakScore, Point};
 use ripple::midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(1946);
@@ -47,7 +47,10 @@ fn main() {
             .iter()
             .map(|c| format!("{:.0}%", (1.0 - c) * 100.0))
             .collect();
-        println!("  player {:>5}: [pts reb ast stl blk min] = {:?}", t.id, perf);
+        println!(
+            "  player {:>5}: [pts reb ast stl blk min] = {:?}",
+            t.id, perf
+        );
     }
     println!(
         "  cost: {} hops, {} peers processed, {} messages",
@@ -81,8 +84,14 @@ fn main() {
         let best_dim = (0..nba::DIMS)
             .min_by(|&a, &b| t.point.coord(a).total_cmp(&t.point.coord(b)))
             .expect("six dimensions");
-        let label = ["scorer", "rebounder", "playmaker", "ball thief", "rim protector", "iron man"]
-            [best_dim];
+        let label = [
+            "scorer",
+            "rebounder",
+            "playmaker",
+            "ball thief",
+            "rim protector",
+            "iron man",
+        ][best_dim];
         println!(
             "  e.g. player {:>5}: {} ({:.0}% of the all-time best)",
             t.id,

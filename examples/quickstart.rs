@@ -5,14 +5,14 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::{Rng, SeedableRng};
 use ripple::core::diversify::{diversify, Initialize};
 use ripple::core::framework::Mode;
 use ripple::core::skyline::run_skyline;
 use ripple::core::topk::run_topk;
 use ripple::geom::{DiversityQuery, Norm, PeakScore, Tuple};
 use ripple::midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(7);

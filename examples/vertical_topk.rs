@@ -12,11 +12,11 @@
 //! cargo run --release --example vertical_topk
 //! ```
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple::data::nba;
 use ripple::geom::{Point, Tuple};
 use ripple::vertical::{brute_force_ids, fa, klee, recall, ta, tput, VerticalNetwork};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 
 /// Stored NBA values are "1 − performance" (lower better); the vertical
 /// algorithms maximize, so flip them back into performance space.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the full offline test suite.
+#
+# Everything here runs without network access; the workspace has no
+# external dependencies (see DESIGN.md). Run from the repo root:
+#
+#   ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace, offline) =="
+cargo test --workspace --offline
+
+echo "All checks passed."

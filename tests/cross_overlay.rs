@@ -1,8 +1,6 @@
 //! Cross-crate integration: the same dataset and queries over every
 //! substrate and algorithm must agree with the centralized oracles.
 
-use ripple_net::rng::rngs::SmallRng;
-use ripple_net::rng::SeedableRng;
 use ripple::baton::{ssp_skyline, BatonNetwork};
 use ripple::can::{baseline_diversify, dsl_skyline, CanNetwork};
 use ripple::chord::ChordNetwork;
@@ -13,6 +11,8 @@ use ripple::core::topk::{centralized_topk, run_topk};
 use ripple::data::synth::{self, SynthConfig};
 use ripple::geom::{DiversityQuery, Norm, PeakScore, Tuple};
 use ripple::midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
 
 fn dataset(dims: usize, n: usize, seed: u64) -> Vec<Tuple> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -59,7 +59,13 @@ fn topk_agrees_across_midas_and_chord() {
     let oracle = ids(&centralized_topk(&data, &score, 8));
     let mut midas = MidasNetwork::build(2, 48, false, &mut rng);
     midas.insert_all(data.clone());
-    let (top, _) = run_topk(&midas, midas.random_peer(&mut rng), score.clone(), 8, Mode::Ripple(1));
+    let (top, _) = run_topk(
+        &midas,
+        midas.random_peer(&mut rng),
+        score.clone(),
+        8,
+        Mode::Ripple(1),
+    );
     assert_eq!(ids(&top), oracle, "MIDAS");
 
     // …and Chord on its 1-d projection: same framework, different substrate.

@@ -40,8 +40,12 @@ fn score_upper_bounds_hold() {
         let (lo, hi) = (point(&mut rng, 3), point(&mut rng, 3));
         let peak = point(&mut rng, 3);
         let r = Rect::new(
-            (0..3).map(|d| lo.coord(d).min(hi.coord(d))).collect::<Vec<_>>(),
-            (0..3).map(|d| lo.coord(d).max(hi.coord(d))).collect::<Vec<_>>(),
+            (0..3)
+                .map(|d| lo.coord(d).min(hi.coord(d)))
+                .collect::<Vec<_>>(),
+            (0..3)
+                .map(|d| lo.coord(d).max(hi.coord(d)))
+                .collect::<Vec<_>>(),
         );
         let inside = r.nearest_point(&p);
         let linear = LinearScore::new(vec![0.5, 1.0, 2.0]);
@@ -60,7 +64,9 @@ fn skyline_identities() {
         let data = tuples(&mut rng, 3, 60);
         let sky = dominance::skyline(&data);
         for s in &sky {
-            assert!(!data.iter().any(|t| dominance::dominates(&t.point, &s.point)));
+            assert!(!data
+                .iter()
+                .any(|t| dominance::dominates(&t.point, &s.point)));
         }
         for t in &data {
             if sky.iter().any(|s| s.id == t.id) {
@@ -93,8 +99,12 @@ fn diversification_bounds() {
         assert!((div.phi(&cand, &set) - delta).abs() < 1e-9);
         // φ⁻ sound on a region containing the candidate
         let r = Rect::new(
-            (0..2).map(|d| (cand.coord(d) - 0.1).max(0.0)).collect::<Vec<_>>(),
-            (0..2).map(|d| (cand.coord(d) + 0.1).min(1.0)).collect::<Vec<_>>(),
+            (0..2)
+                .map(|d| (cand.coord(d) - 0.1).max(0.0))
+                .collect::<Vec<_>>(),
+            (0..2)
+                .map(|d| (cand.coord(d) + 0.1).min(1.0))
+                .collect::<Vec<_>>(),
         );
         let stats = div.stats(&set);
         assert!(div.phi_lower(&r, &set, stats) <= div.phi(&cand, &set) + 1e-9);
@@ -155,12 +165,22 @@ fn distributed_equals_centralized() {
 
         let score = PeakScore::new(peak, Norm::L1);
         let k = 1 + (seed as usize % 7);
-        let (top, _) = run_topk(&net, initiator, score.clone(), k, Mode::Ripple((seed % 4) as u32));
+        let (top, _) = run_topk(
+            &net,
+            initiator,
+            score.clone(),
+            k,
+            Mode::Ripple((seed % 4) as u32),
+        );
         let oracle = centralized_topk(&data, &score, k);
-        let top_scores: Vec<i64> =
-            top.iter().map(|t| (score.score(&t.point) * 1e9) as i64).collect();
-        let oracle_scores: Vec<i64> =
-            oracle.iter().map(|t| (score.score(&t.point) * 1e9) as i64).collect();
+        let top_scores: Vec<i64> = top
+            .iter()
+            .map(|t| (score.score(&t.point) * 1e9) as i64)
+            .collect();
+        let oracle_scores: Vec<i64> = oracle
+            .iter()
+            .map(|t| (score.score(&t.point) * 1e9) as i64)
+            .collect();
         assert_eq!(top_scores, oracle_scores);
 
         let (sky, _) = run_skyline(&net, initiator, Mode::Fast);
@@ -194,7 +214,11 @@ fn churn_preserves_structure() {
             }
         }
         net.check_invariants();
-        let total: usize = net.live_peers().iter().map(|&p| net.peer(p).store.len()).sum();
+        let total: usize = net
+            .live_peers()
+            .iter()
+            .map(|&p| net.peer(p).store.len())
+            .sum();
         assert_eq!(total, 50);
     }
 }
