@@ -1,0 +1,338 @@
+//! Resilience benchmark (PR acceptance run): graceful degradation of the
+//! RIPPLE templates under injected faults.
+//!
+//! Two sweeps over one MIDAS overlay (256 peers, 20k uniform tuples, 2-d),
+//! both fully deterministic given the baked-in seeds:
+//!
+//! * **drop sweep** — per-message loss probability
+//!   p ∈ {0, 0.01, 0.05, 0.1, 0.2} with the default retry discipline
+//!   (timeout 2 hops, 3 retransmissions, exponential backoff, failover);
+//! * **crash sweep** — the same rates as the fraction of peers crashed
+//!   *ungracefully* before querying (zones orphaned, data lost), queried
+//!   through stale links, then healed with the repair protocol.
+//!
+//! For each rate × mode (`fast`, `slow`, `ripple(2)`) × query type (top-k,
+//! skyline) we record answer *recall* against the fault-free ground truth,
+//! the reported [`Coverage`], and the failure ledger (retries, timeouts,
+//! drops, latency). Acceptance: at p ≤ 0.1 drops, recall ≥ 0.95 for both
+//! query types in every mode; duplicate-visit anomalies are zero
+//! everywhere; repair restores survivor-exact answers and full coverage.
+//!
+//! Writes `results/BENCH_PR2_resilience.json` and prints a summary table.
+//!
+//! [`Coverage`]: ripple_core::Coverage
+
+use ripple_bench::runner::midas_uniform_with_data;
+use ripple_core::skyline::{centralized_skyline, run_skyline_query_with, SkylineQuery};
+use ripple_core::topk::{centralized_topk, run_topk_with};
+use ripple_core::{Executor, Mode};
+use ripple_geom::{LinearScore, Tuple};
+use ripple_midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
+use ripple_net::{FaultPlane, PeerId, QueryMetrics};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+const PEERS: usize = 256;
+const RECORDS: usize = 20_000;
+const DIMS: usize = 2;
+const QUERIES: usize = 40;
+const K: usize = 16;
+const SCORE_POOL: usize = 8;
+const RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.1, 0.2];
+const MODES: [(&str, Mode); 3] = [
+    ("fast", Mode::Fast),
+    ("slow", Mode::Slow),
+    ("ripple2", Mode::Ripple(2)),
+];
+
+fn build(data: &[Tuple]) -> MidasNetwork {
+    midas_uniform_with_data(DIMS, PEERS, false, data, 7)
+}
+
+fn score_pool() -> Vec<LinearScore> {
+    let mut rng = SmallRng::seed_from_u64(0x5c0e);
+    (0..SCORE_POOL)
+        .map(|_| {
+            let w: Vec<f64> = (0..DIMS).map(|_| 0.1 + 0.9 * rng.gen::<f64>()).collect();
+            LinearScore::new(w)
+        })
+        .collect()
+}
+
+fn ids(tuples: &[Tuple]) -> HashSet<u64> {
+    tuples.iter().map(|t| t.id).collect()
+}
+
+fn recall(got: &[Tuple], truth: &HashSet<u64>) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = got.iter().filter(|t| truth.contains(&t.id)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Aggregates one (rate, mode, query-type) cell of a sweep.
+#[derive(Default)]
+struct Cell {
+    recall: f64,
+    recall_aux: f64,
+    coverage: f64,
+    retries: f64,
+    timeouts: f64,
+    dropped: f64,
+    latency: f64,
+    duplicates: u64,
+    n: usize,
+}
+
+impl Cell {
+    fn push(&mut self, rec: f64, rec_aux: f64, cov: f64, m: &QueryMetrics) {
+        self.recall += rec;
+        self.recall_aux += rec_aux;
+        self.coverage += cov;
+        self.retries += m.retries as f64;
+        self.timeouts += m.timeouts as f64;
+        self.dropped += m.messages_dropped as f64;
+        self.latency += m.latency as f64;
+        self.duplicates += m.duplicate_visits;
+        self.n += 1;
+    }
+
+    fn avg(&self, v: f64) -> f64 {
+        v / self.n.max(1) as f64
+    }
+}
+
+fn initiators(net: &MidasNetwork, salt: u64) -> Vec<PeerId> {
+    let mut rng = SmallRng::seed_from_u64(0xbeef ^ salt);
+    (0..QUERIES).map(|_| net.random_peer(&mut rng)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    net: &MidasNetwork,
+    plane: FaultPlane,
+    mode: Mode,
+    pool: &[LinearScore],
+    topk_truth: &[HashSet<u64>],
+    topk_aux: &[HashSet<u64>],
+    sky_truth: &HashSet<u64>,
+    sky_aux: &HashSet<u64>,
+    salt: u64,
+) -> (Cell, Cell) {
+    let inits = initiators(net, salt);
+    let mut topk = Cell::default();
+    let mut sky = Cell::default();
+    for (i, &init) in inits.iter().enumerate() {
+        let exec = Executor::with_faults(net, plane, i as u64).without_trace();
+        let score = pool[i % pool.len()].clone();
+        let (got, m, cov) = run_topk_with(&exec, init, score, K, mode);
+        topk.push(
+            recall(&got, &topk_truth[i % pool.len()]),
+            recall(&got, &topk_aux[i % pool.len()]),
+            cov.answered_fraction,
+            &m,
+        );
+        let exec = Executor::with_faults(net, plane, 0x51 ^ i as u64).without_trace();
+        let (got, m, cov) = run_skyline_query_with(&exec, init, SkylineQuery::new(), mode);
+        sky.push(
+            recall(&got, sky_truth),
+            recall(&got, sky_aux),
+            cov.answered_fraction,
+            &m,
+        );
+    }
+    (topk, sky)
+}
+
+fn cell_json(out: &mut String, p: f64, mode: &str, query: &str, c: &Cell, aux_name: &str) {
+    let _ = writeln!(
+        out,
+        "    {{ \"p\": {p}, \"mode\": \"{mode}\", \"query\": \"{query}\", \
+         \"recall\": {:.4}, \"{aux_name}\": {:.4}, \"coverage\": {:.4}, \
+         \"retries\": {:.3}, \"timeouts\": {:.3}, \"messages_dropped\": {:.3}, \
+         \"latency\": {:.3}, \"duplicate_visits\": {} }},",
+        c.avg(c.recall),
+        c.avg(c.recall_aux),
+        c.avg(c.coverage),
+        c.avg(c.retries),
+        c.avg(c.timeouts),
+        c.avg(c.dropped),
+        c.avg(c.latency),
+        c.duplicates,
+    );
+}
+
+fn main() {
+    eprintln!("building network: {PEERS} peers, {RECORDS} tuples, {DIMS}-d ...");
+    let mut rng = SmallRng::seed_from_u64(0x10ca1);
+    let data = ripple_data::synth::uniform(DIMS, RECORDS, &mut rng);
+    let net = build(&data);
+    let pool = score_pool();
+    let topk_truth: Vec<HashSet<u64>> = pool
+        .iter()
+        .map(|s| ids(&centralized_topk(&data, s, K)))
+        .collect();
+    let sky_truth = ids(&centralized_skyline(&data));
+
+    let mut drop_rows = String::new();
+    let mut crash_rows = String::new();
+    let mut repair_rows = String::new();
+    let mut worst_gated_recall: f64 = 1.0;
+
+    // ---- drop sweep: healthy overlay, lossy links, retry + failover ----
+    for (ri, &p) in RATES.iter().enumerate() {
+        let plane = FaultPlane::drops(p, 0xd0b + ri as u64);
+        for (mname, mode) in MODES {
+            let (topk, sky) = run_cell(
+                &net,
+                plane,
+                mode,
+                &pool,
+                &topk_truth,
+                &topk_truth,
+                &sky_truth,
+                &sky_truth,
+                ri as u64,
+            );
+            println!(
+                "drop p={p:<4} {mname:<7} topk recall {:.4} cov {:.4} retries {:>7.2} | skyline recall {:.4} cov {:.4}",
+                topk.avg(topk.recall),
+                topk.avg(topk.coverage),
+                topk.avg(topk.retries),
+                sky.avg(sky.recall),
+                sky.avg(sky.coverage),
+            );
+            assert_eq!(topk.duplicates + sky.duplicates, 0, "restriction anomaly");
+            if p == 0.0 {
+                assert_eq!(topk.avg(topk.recall), 1.0, "p=0 must be exact");
+                assert_eq!(sky.avg(sky.recall), 1.0, "p=0 must be exact");
+                assert_eq!(topk.retries + topk.dropped + topk.timeouts, 0.0);
+            }
+            if p <= 0.1 {
+                worst_gated_recall = worst_gated_recall
+                    .min(topk.avg(topk.recall))
+                    .min(sky.avg(sky.recall));
+            }
+            cell_json(
+                &mut drop_rows,
+                p,
+                mname,
+                "topk",
+                &topk,
+                "recall_min_is_same",
+            );
+            cell_json(
+                &mut drop_rows,
+                p,
+                mname,
+                "skyline",
+                &sky,
+                "recall_min_is_same",
+            );
+        }
+    }
+
+    // ---- crash sweep: ungraceful failures, stale links, then repair ----
+    for (ri, &p) in RATES.iter().enumerate().skip(1) {
+        let mut damaged = build(&data);
+        let plane = FaultPlane {
+            crash_fraction: p,
+            timeout_hops: 2,
+            max_retries: 1,
+            seed: 0xcafe + ri as u64,
+            ..FaultPlane::none()
+        };
+        let mut crng = SmallRng::seed_from_u64(0xdead ^ ri as u64);
+        for _ in 0..plane.crash_quota(PEERS) {
+            if damaged.peer_count() > 1 {
+                let victim = damaged.random_peer(&mut crng);
+                damaged.crash(victim);
+            }
+        }
+        damaged.check_invariants();
+        let crashed = PEERS - damaged.peer_count();
+        let survivors: Vec<Tuple> = damaged
+            .live_peers()
+            .iter()
+            .flat_map(|&q| damaged.peer(q).store.tuples().to_vec())
+            .collect();
+        let surv_topk: Vec<HashSet<u64>> = pool
+            .iter()
+            .map(|s| ids(&centralized_topk(&survivors, s, K)))
+            .collect();
+        let surv_sky = ids(&centralized_skyline(&survivors));
+
+        for (mname, mode) in MODES {
+            let (topk, sky) = run_cell(
+                &damaged,
+                plane,
+                mode,
+                &pool,
+                &surv_topk,
+                &topk_truth,
+                &surv_sky,
+                &sky_truth,
+                0x100 + ri as u64,
+            );
+            println!(
+                "crash p={p:<4} ({crashed:>2} peers) {mname:<7} topk survivor-recall {:.4} full-recall {:.4} cov {:.4} | skyline {:.4}/{:.4}",
+                topk.avg(topk.recall),
+                topk.avg(topk.recall_aux),
+                topk.avg(topk.coverage),
+                sky.avg(sky.recall),
+                sky.avg(sky.recall_aux),
+            );
+            // Graceful degradation is *exact* modulo lost data: everything
+            // that survived the crash wave is still found.
+            assert_eq!(topk.avg(topk.recall), 1.0, "survivor recall must be 1");
+            assert_eq!(sky.avg(sky.recall), 1.0, "survivor recall must be 1");
+            assert_eq!(topk.duplicates + sky.duplicates, 0, "restriction anomaly");
+            cell_json(&mut crash_rows, p, mname, "topk", &topk, "recall_vs_full");
+            cell_json(&mut crash_rows, p, mname, "skyline", &sky, "recall_vs_full");
+        }
+
+        // Heal: the repair protocol reclaims every orphan; coverage is
+        // complete again and answers stay survivor-exact.
+        let tuples_lost = damaged.tuples_lost();
+        damaged.repair_all();
+        damaged.check_invariants();
+        let repair_messages = damaged.take_repair_messages();
+        assert!(damaged.orphan_regions().is_empty());
+        let init = initiators(&damaged, 0x200 + ri as u64)[0];
+        let exec = Executor::with_faults(&damaged, plane, 0).without_trace();
+        let (got, _, cov) = run_topk_with(&exec, init, pool[0].clone(), K, Mode::Fast);
+        assert!(cov.is_complete(), "repair must restore full coverage");
+        let post = recall(&got, &surv_topk[0]);
+        assert_eq!(post, 1.0, "post-repair answers must be survivor-exact");
+        let _ = writeln!(
+            repair_rows,
+            "    {{ \"p\": {p}, \"crashed\": {crashed}, \"tuples_lost\": {tuples_lost}, \
+             \"repair_messages\": {repair_messages}, \"post_repair_coverage\": {:.4}, \
+             \"post_repair_recall\": {post:.4} }},",
+            cov.answered_fraction,
+        );
+        println!(
+            "crash p={p:<4} repair: {repair_messages} messages, {tuples_lost} tuples lost, coverage {:.4}",
+            cov.answered_fraction
+        );
+    }
+
+    for rows in [&mut drop_rows, &mut crash_rows, &mut repair_rows] {
+        let t = rows.trim_end().trim_end_matches(',').to_string();
+        *rows = t;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"resilience\",\n  \"config\": {{ \"peers\": {PEERS}, \"records\": {RECORDS}, \"dims\": {DIMS}, \"queries_per_cell\": {QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"rates\": [0, 0.01, 0.05, 0.1, 0.2], \"retry\": {{ \"timeout_hops\": 2, \"max_retries\": 3, \"backoff\": \"exponential\" }} }},\n  \"acceptance\": {{ \"gate\": \"recall >= 0.95 at drop p <= 0.1\", \"worst_gated_recall\": {worst_gated_recall:.4} }},\n  \"drop_sweep\": [\n{drop_rows}\n  ],\n  \"crash_sweep\": [\n{crash_rows}\n  ],\n  \"repair\": [\n{repair_rows}\n  ]\n}}\n"
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_PR2_resilience.json", json).expect("write results");
+    eprintln!("wrote results/BENCH_PR2_resilience.json");
+
+    assert!(
+        worst_gated_recall >= 0.95,
+        "acceptance: recall >= 0.95 at drop p <= 0.1 (worst {worst_gated_recall:.4})"
+    );
+}

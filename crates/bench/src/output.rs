@@ -83,13 +83,13 @@ impl Figure {
     /// Writes the figure as CSV (one row per (x, series) pair).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries\n",
+            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,duplicate_visits\n",
         );
         for s in &self.series {
             for p in &s.points {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{}",
+                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{}",
                     self.id,
                     s.name,
                     p.x,
@@ -99,7 +99,12 @@ impl Figure {
                     p.summary.congestion_max,
                     p.summary.messages,
                     p.summary.tuples,
-                    p.summary.queries
+                    p.summary.queries,
+                    p.summary.retries,
+                    p.summary.timeouts,
+                    p.summary.messages_dropped,
+                    p.summary.repair_messages,
+                    p.summary.duplicate_visits
                 );
             }
         }
@@ -136,6 +141,11 @@ mod tests {
             messages: 40.0,
             tuples: 12.0,
             congestion_max: 97,
+            retries: 1.5,
+            timeouts: 0.5,
+            messages_dropped: 2.0,
+            repair_messages: 3.25,
+            duplicate_visits: 0,
         };
         Figure {
             id: "figX".into(),
@@ -167,7 +177,11 @@ mod tests {
         let header = lines.next().unwrap();
         assert!(header.starts_with("figure,series"));
         assert!(header.contains("congestion_max"));
+        assert!(
+            header.contains("retries,timeouts,messages_dropped,repair_messages,duplicate_visits")
+        );
         let row = lines.next().unwrap();
         assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500,97"));
+        assert!(row.ends_with(",1.5000,0.5000,2.0000,3.2500,0"));
     }
 }

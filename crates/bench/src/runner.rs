@@ -154,6 +154,13 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
         // counts must not add across parts; the hottest peer anywhere is
         // the honest figure-level hotspot.
         congestion_max: parts.iter().map(|p| p.congestion_max).max().unwrap_or(0),
+        retries: w(|p| p.retries),
+        timeouts: w(|p| p.timeouts),
+        messages_dropped: w(|p| p.messages_dropped),
+        repair_messages: w(|p| p.repair_messages),
+        // Anomaly totals add: one broken restriction area anywhere is a
+        // figure-level red flag.
+        duplicate_visits: parts.iter().map(|p| p.duplicate_visits).sum(),
     }
 }
 
@@ -195,6 +202,11 @@ mod tests {
             messages: 1.0,
             tuples: 0.0,
             congestion_max: 1,
+            retries: 4.0,
+            timeouts: 4.0,
+            messages_dropped: 4.0,
+            repair_messages: 0.0,
+            duplicate_visits: 1,
         };
         let b = PointSummary {
             queries: 3,
@@ -204,6 +216,11 @@ mod tests {
             messages: 3.0,
             tuples: 4.0,
             congestion_max: 3,
+            retries: 0.0,
+            timeouts: 0.0,
+            messages_dropped: 0.0,
+            repair_messages: 8.0,
+            duplicate_visits: 0,
         };
         let m = merge_summaries(&[a, b]);
         assert_eq!(m.queries, 4);
@@ -214,6 +231,9 @@ mod tests {
             m.congestion_max, 3,
             "hotspot is max across networks, not sum"
         );
+        assert!((m.retries - 1.0).abs() < 1e-12, "weighted by query count");
+        assert!((m.repair_messages - 6.0).abs() < 1e-12);
+        assert_eq!(m.duplicate_visits, 1, "anomalies add across networks");
     }
 
     #[test]

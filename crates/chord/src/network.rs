@@ -13,9 +13,17 @@
 //! the beginning of the `i`-th neighbor zone until the beginning of the
 //! `(i+1)`-th neighbor zone (or `w`'s zone if `i`-th is the last neighbor)".
 
+//!
+//! **Crash + repair**: an ungraceful departure ([`ChordNetwork::crash`])
+//! leaves the dead node *in the ring* — exactly the real-world failure mode
+//! where successors and finger tables go stale — with its arc unreachable
+//! and its data lost until [`ChordNetwork::repair_all`] patches successor
+//! lists, at which point the predecessor's arc extends over the gap.
+
 use ripple_geom::{Rect, Tuple};
 use ripple_net::rng::Rng;
 use ripple_net::{ChurnOverlay, PeerId, PeerStore};
+use std::collections::BTreeSet;
 
 /// A Chord peer: a ring position and the tuples of its arc.
 #[derive(Clone, Debug)]
@@ -32,8 +40,17 @@ pub struct ChordPeer {
 #[derive(Clone, Debug)]
 pub struct ChordNetwork {
     peers: Vec<Option<ChordPeer>>,
-    /// Live peers sorted by ring position.
+    /// Peers sorted by ring position. Crashed-but-unrepaired peers *stay*
+    /// in the ring (their position still shapes everyone's stale view);
+    /// repair removes them.
     ring: Vec<PeerId>,
+    /// Crashed peers not yet repaired (`BTreeSet` for deterministic
+    /// repair order).
+    crashed: BTreeSet<PeerId>,
+    /// Tuples lost to crashes (dead stores + inserts into orphaned arcs).
+    tuples_lost: u64,
+    /// Repair messages accumulated since the last drain.
+    repair_messages: u64,
 }
 
 impl ChordNetwork {
@@ -47,6 +64,9 @@ impl ChordNetwork {
                 store: PeerStore::new(),
             })],
             ring: vec![id],
+            crashed: BTreeSet::new(),
+            tuples_lost: 0,
+            repair_messages: 0,
         }
     }
 
@@ -59,22 +79,45 @@ impl ChordNetwork {
         net
     }
 
-    /// Number of live peers.
+    /// Number of live peers (crashed-but-unrepaired peers do not count).
     pub fn peer_count(&self) -> usize {
-        self.ring.len()
+        self.ring.len() - self.crashed.len()
     }
 
-    /// The peers in ring order.
+    /// The peers in ring order, *including* crashed-but-unrepaired entries
+    /// (everyone's view of the ring is stale until repair).
     pub fn ring(&self) -> &[PeerId] {
         &self.ring
     }
 
-    /// A uniformly random live peer.
-    pub fn random_peer<R: Rng>(&self, rng: &mut R) -> PeerId {
-        self.ring[rng.gen_range(0..self.ring.len())]
+    /// The live peers in ring order.
+    pub fn live_peers(&self) -> Vec<PeerId> {
+        self.ring
+            .iter()
+            .copied()
+            .filter(|&p| self.is_live(p))
+            .collect()
     }
 
-    /// Borrows a live peer.
+    /// True if the peer is live (present and not crashed).
+    pub fn is_live(&self, id: PeerId) -> bool {
+        self.peers.get(id.index()).is_some_and(|p| p.is_some()) && !self.crashed.contains(&id)
+    }
+
+    /// A uniformly random live peer.
+    pub fn random_peer<R: Rng>(&self, rng: &mut R) -> PeerId {
+        // Rejection sampling keeps the RNG stream identical to the
+        // pre-fault implementation whenever nobody is crashed (one draw).
+        loop {
+            let p = self.ring[rng.gen_range(0..self.ring.len())];
+            if self.is_live(p) {
+                return p;
+            }
+        }
+    }
+
+    /// Borrows a peer (live, or crashed-but-unrepaired — its position still
+    /// shapes the ring until repair).
     pub fn peer(&self, id: PeerId) -> &ChordPeer {
         self.peers[id.index()].as_ref().expect("peer departed")
     }
@@ -163,7 +206,10 @@ impl ChordNetwork {
     }
 
     /// Greedy finger routing from `from` to the owner of `key`; returns the
-    /// owner and the hop count.
+    /// reached peer and the hop count. With crash damage present the route
+    /// may dead-end at the last *live* peer before a stale finger (or a
+    /// crashed owner); it never steps onto — and never panics at — a dead
+    /// node.
     pub fn route(&self, from: PeerId, key: f64) -> (PeerId, u32) {
         let target = self.responsible(key);
         let mut cur = from;
@@ -185,19 +231,28 @@ impl ChordNetwork {
                 .min_by(|&a, &b| dist(a).total_cmp(&dist(b)).then_with(|| a.cmp(&b)))
                 .expect("multi-peer ring has fingers");
             debug_assert_ne!(next, cur);
+            if !self.is_live(next) {
+                return (cur, hops);
+            }
             cur = next;
             hops += 1;
             debug_assert!((hops as usize) <= 4 * self.ring.len());
         }
-        (target, hops)
+        (cur, hops)
     }
 
-    /// Stores a tuple by its first coordinate.
+    /// Stores a tuple by its first coordinate. A tuple whose key falls in a
+    /// crashed peer's (orphaned) arc has no live owner: it is counted as
+    /// lost ([`tuples_lost`](ChordNetwork::tuples_lost)), not panicked on.
     pub fn insert_tuple(&mut self, t: Tuple) {
         let key = t.point.coord(0);
         assert!((0.0..=1.0).contains(&key), "key outside the ring domain");
         let owner = self.responsible(key.min(1.0 - f64::EPSILON));
-        self.peer_mut(owner).store.insert(t);
+        if self.is_live(owner) {
+            self.peer_mut(owner).store.insert(t);
+        } else {
+            self.tuples_lost += 1;
+        }
     }
 
     /// Bulk-loads a dataset.
@@ -213,6 +268,13 @@ impl ChordNetwork {
         let pos = pos.fract().abs();
         let rank = self.rank_of_key(pos);
         let owner = self.ring[rank];
+        if !self.is_live(owner) {
+            // A joiner cannot take over the tail of a dead peer's arc; the
+            // contact attempt triggers repair (lazily), then the join
+            // proceeds against the patched ring.
+            self.repair_all();
+            return self.join(pos);
+        }
         if self.peer(owner).position == pos {
             // occupied position: nudge deterministically
             return self.join((pos + 1e-9).fract());
@@ -234,9 +296,15 @@ impl ChordNetwork {
     }
 
     /// Graceful departure: the predecessor absorbs the arc (the founding
-    /// anchor at position 0 never leaves, keeping arcs unwrapped).
+    /// anchor at position 0 never leaves, keeping arcs unwrapped). The
+    /// handover needs a live predecessor, so pending crash damage is
+    /// repaired first (cost booked to the repair ledger).
     pub fn leave(&mut self, id: PeerId) {
+        assert!(self.is_live(id), "peer already departed");
         assert!(self.peer_count() > 1, "cannot remove the last peer");
+        if !self.crashed.is_empty() {
+            self.repair_all();
+        }
         let rank = self
             .ring
             .iter()
@@ -250,11 +318,150 @@ impl ChordNetwork {
         self.peers[id.index()] = None;
     }
 
-    /// Checks structural invariants (tests).
+    /// Ungraceful departure: `id` dies without handover. It *stays in the
+    /// ring* (successor pointers and finger tables go stale, exactly the
+    /// deployment failure mode), its arc is unreachable and its tuples are
+    /// lost until [`repair_all`](ChordNetwork::repair_all) patches the
+    /// successor lists. Distinct from [`leave`](ChordNetwork::leave).
+    /// Returns the number of tuples lost.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live, is the founding anchor, or is the last
+    /// live peer.
+    pub fn crash(&mut self, id: PeerId) -> usize {
+        assert!(self.is_live(id), "peer already departed");
+        assert!(self.peer_count() > 1, "cannot crash the last live peer");
+        assert_ne!(id, self.ring[0], "the founding anchor cannot crash");
+        let lost = self.peer_mut(id).store.drain_all().len();
+        self.tuples_lost += lost as u64;
+        self.crashed.insert(id);
+        lost
+    }
+
+    /// Runs the repair protocol: every crashed node is removed from the
+    /// ring (its predecessor's arc extends over the gap, mirroring
+    /// successor-list stabilization), charging `finger_count() + 1`
+    /// messages per removal — the predecessor learns its new successor and
+    /// the peers holding a stale finger refresh it. Returns the messages
+    /// spent (also accumulated for
+    /// [`take_repair_messages`](ChordNetwork::take_repair_messages)).
+    /// Orphaned data is *not* recovered (no replication in this model).
+    pub fn repair_all(&mut self) -> u64 {
+        let mut msgs = 0u64;
+        let dead: Vec<PeerId> = std::mem::take(&mut self.crashed).into_iter().collect();
+        for id in dead {
+            let rank = self
+                .ring
+                .iter()
+                .position(|&p| p == id)
+                .expect("crashed peers stay in the ring until repair");
+            self.ring.remove(rank);
+            self.peers[id.index()] = None;
+            msgs += u64::from(self.finger_count()) + 1;
+        }
+        self.repair_messages += msgs;
+        msgs
+    }
+
+    /// The orphaned (crashed, unrepaired) arcs as `[lo, hi)` segments.
+    pub fn orphan_segments(&self) -> Vec<Rect> {
+        self.ring
+            .iter()
+            .enumerate()
+            .filter(|&(_, &id)| !self.is_live(id))
+            .map(|(rank, _)| {
+                let (lo, hi) = self.arc_of_rank(rank);
+                Rect::new(vec![lo], vec![hi])
+            })
+            .collect()
+    }
+
+    /// Tuples lost to crashes so far (dead stores + inserts into orphans).
+    pub fn tuples_lost(&self) -> u64 {
+        self.tuples_lost
+    }
+
+    /// Drains the count of repair messages spent since the last call.
+    pub fn take_repair_messages(&mut self) -> u64 {
+        std::mem::take(&mut self.repair_messages)
+    }
+
+    /// A live peer positioned inside one of `segments` and not in `tried`,
+    /// if any (smallest id, for determinism). The executor's failover
+    /// primitive: the peers *positioned inside* a finger region are exactly
+    /// the peers reachable through that finger, so entering the region
+    /// through one of them cannot double-visit peers owned by other links.
+    pub fn live_peer_in_segments(&self, segments: &[Rect], tried: &[PeerId]) -> Option<PeerId> {
+        self.ring
+            .iter()
+            .copied()
+            .filter(|&p| self.is_live(p) && !tried.contains(&p))
+            .filter(|&p| {
+                let pos = self.peer(p).position;
+                segments
+                    .iter()
+                    .any(|s| s.lo().coord(0) <= pos && pos < s.hi().coord(0))
+            })
+            .min()
+    }
+
+    /// The executor's failover primitive: the first live, untried peer
+    /// *clockwise from the arc's start* adopts the arc, trimmed to the part
+    /// clockwise-reachable from it.
+    ///
+    /// Ring propagation is order-sensitive: a peer can only cover what lies
+    /// clockwise between itself and the arc's end — its wrapping finger
+    /// regions would hand the arc's *prefix* to peers outside the arc,
+    /// breaking the visit-once guarantee. Trimming instead is sound and
+    /// honest: segments arrive in clockwise order (a wrapped arc is listed
+    /// origin-suffix first), the adopter is the first live candidate in that
+    /// order (within a segment, lowest position), so everything trimmed off
+    /// holds only dead or already-tried peers and is reported as
+    /// unreachable by the caller.
+    pub fn adopt_segments(
+        &self,
+        segments: &[Rect],
+        tried: &[PeerId],
+    ) -> Option<(PeerId, Vec<Rect>)> {
+        for (i, seg) in segments.iter().enumerate() {
+            let (lo, hi) = (seg.lo().coord(0), seg.hi().coord(0));
+            let adopter = self
+                .ring
+                .iter()
+                .copied()
+                .filter(|&p| self.is_live(p) && !tried.contains(&p))
+                .filter(|&p| {
+                    let pos = self.peer(p).position;
+                    lo <= pos && pos < hi
+                })
+                .min_by(|&a, &b| self.peer(a).position.total_cmp(&self.peer(b).position));
+            if let Some(p) = adopter {
+                let pos = self.peer(p).position;
+                let mut sub = Vec::with_capacity(segments.len() - i);
+                sub.push(Rect::new(vec![pos], vec![hi]));
+                sub.extend(segments[i + 1..].iter().cloned());
+                return Some((p, sub));
+            }
+        }
+        None
+    }
+
+    /// Checks structural invariants (tests), crash-aware: positions stay
+    /// strictly sorted (dead entries included — they shape the stale ring),
+    /// the anchor is live at 0, crashed peers are ring members with drained
+    /// stores, and every stored tuple sits inside its owner's arc.
     pub fn check_invariants(&self) {
         assert_eq!(self.peer(self.ring[0]).position, 0.0, "anchor at 0");
+        assert!(self.is_live(self.ring[0]), "anchor must be live");
         for w in self.ring.windows(2) {
             assert!(self.peer(w[0]).position < self.peer(w[1]).position);
+        }
+        for &c in &self.crashed {
+            assert!(self.ring.contains(&c), "crashed peers stay in the ring");
+            assert!(
+                self.peer(c).store.is_empty(),
+                "crashed stores must be drained (data lost)"
+            );
         }
         for (rank, &id) in self.ring.iter().enumerate() {
             let (lo, hi) = self.arc_of_rank(rank);
@@ -274,7 +481,7 @@ impl Default for ChordNetwork {
 
 impl ChurnOverlay for ChordNetwork {
     fn peer_count(&self) -> usize {
-        self.ring.len()
+        self.peer_count()
     }
 
     fn churn_join(&mut self, rng: &mut dyn ripple_net::rng::RngCore) {
@@ -286,9 +493,37 @@ impl ChurnOverlay for ChordNetwork {
         if self.peer_count() <= 1 {
             return;
         }
-        // never remove the anchor (rank 0)
-        let idx = ripple_net::rng::Rng::gen_range(&mut &mut *rng, 1..self.ring.len());
-        self.leave(self.ring[idx]);
+        // Never remove the anchor (rank 0) and never pick a dead entry.
+        // With no crash damage this draws the same stream and picks the
+        // same peer as the pre-fault implementation.
+        let live: Vec<PeerId> = self.ring[1..]
+            .iter()
+            .copied()
+            .filter(|&p| self.is_live(p))
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let idx = ripple_net::rng::Rng::gen_range(&mut &mut *rng, 0..live.len());
+        self.leave(live[idx]);
+    }
+
+    fn churn_crash(&mut self, rng: &mut dyn ripple_net::rng::RngCore) -> Option<u32> {
+        if self.peer_count() <= 1 {
+            return None;
+        }
+        let live: Vec<PeerId> = self.ring[1..]
+            .iter()
+            .copied()
+            .filter(|&p| self.is_live(p))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let idx = ripple_net::rng::Rng::gen_range(&mut &mut *rng, 0..live.len());
+        let id = live[idx];
+        self.crash(id);
+        Some(id.index() as u32)
     }
 }
 
@@ -354,6 +589,114 @@ mod tests {
         net.check_invariants();
         let total: usize = net.ring().iter().map(|&p| net.peer(p).store.len()).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn crash_keeps_stale_ring_until_repair() {
+        let mut r = rng(5);
+        let mut net = ChordNetwork::build(32, &mut r);
+        for i in 0..100 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen::<f64>()]));
+        }
+        let stored: usize = net.ring().iter().map(|&p| net.peer(p).store.len()).sum();
+        let victim = {
+            let live = net.live_peers();
+            live[5] // never the anchor
+        };
+        let held = net.peer(victim).store.len();
+        let lost = net.crash(victim);
+        assert_eq!(lost, held);
+        assert_eq!(net.tuples_lost(), held as u64);
+        assert!(!net.is_live(victim));
+        assert_eq!(net.peer_count(), 31);
+        assert_eq!(net.ring().len(), 32, "dead entry stays in the stale ring");
+        assert_eq!(net.orphan_segments().len(), 1);
+        net.check_invariants();
+        let msgs = net.repair_all();
+        assert!(msgs > 0);
+        assert_eq!(net.take_repair_messages(), msgs);
+        assert_eq!(net.ring().len(), 31, "repair removes the dead entry");
+        assert!(net.orphan_segments().is_empty());
+        net.check_invariants();
+        let after: usize = net.ring().iter().map(|&p| net.peer(p).store.len()).sum();
+        assert_eq!(after, stored - held, "orphaned data is lost, not recovered");
+    }
+
+    #[test]
+    fn routing_never_panics_with_dead_ring_entries() {
+        let mut r = rng(6);
+        let mut net = ChordNetwork::build(64, &mut r);
+        for _ in 0..16 {
+            net.churn_crash(&mut r);
+        }
+        net.check_invariants();
+        for _ in 0..100 {
+            let key = r.gen::<f64>();
+            let from = net.random_peer(&mut r);
+            assert!(net.is_live(from));
+            let (reached, _hops) = net.route(from, key);
+            assert!(net.is_live(reached), "routes end at live peers");
+        }
+    }
+
+    #[test]
+    fn crash_repair_churn_interleaving_holds_invariants() {
+        let mut r = rng(7);
+        let mut net = ChordNetwork::build(24, &mut r);
+        for i in 0..60 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen::<f64>()]));
+        }
+        for step in 0..150 {
+            match step % 5 {
+                0 | 1 => net.churn_join(&mut r),
+                2 => {
+                    net.churn_crash(&mut r);
+                }
+                3 => net.churn_leave(&mut r), // repairs lazily first
+                _ => {
+                    net.repair_all();
+                }
+            }
+            net.check_invariants();
+        }
+        net.repair_all();
+        net.check_invariants();
+        assert!(net.orphan_segments().is_empty());
+    }
+
+    #[test]
+    fn join_into_dead_arc_triggers_lazy_repair() {
+        let mut r = rng(8);
+        let mut net = ChordNetwork::build(8, &mut r);
+        let victim = net.live_peers()[3];
+        let pos = net.peer(victim).position;
+        net.crash(victim);
+        // joining just above the dead peer's position lands in its arc
+        let id = net.join(pos + 1e-6);
+        assert!(net.is_live(id));
+        assert!(net.orphan_segments().is_empty(), "join repaired first");
+        assert!(net.take_repair_messages() > 0);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn failover_candidates_sit_inside_segments() {
+        let mut r = rng(9);
+        let mut net = ChordNetwork::build(32, &mut r);
+        let victim = net.live_peers()[10];
+        net.crash(victim);
+        let segs = vec![Rect::new(vec![0.0], vec![1.0])];
+        let c = net
+            .live_peer_in_segments(&segs, &[])
+            .expect("whole domain has live peers");
+        assert!(net.is_live(c));
+        let narrow = net.zone_segments(victim);
+        if let Some(alt) = net.live_peer_in_segments(&narrow, &[]) {
+            let pos = net.peer(alt).position;
+            assert!(narrow
+                .iter()
+                .any(|s| s.lo().coord(0) <= pos && pos < s.hi().coord(0)));
+        }
     }
 
     #[test]

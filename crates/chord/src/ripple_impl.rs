@@ -79,6 +79,25 @@ impl RippleOverlay for ChordNetwork {
     fn peer_view(&self, peer: PeerId) -> LocalView<'_> {
         LocalView::Indexed(&self.peer(peer).store)
     }
+
+    fn region_volume(&self, region: &Vec<Rect>) -> f64 {
+        region.iter().map(|seg| seg.side(0)).sum()
+    }
+
+    fn is_peer_live(&self, peer: PeerId) -> bool {
+        self.is_live(peer)
+    }
+
+    /// The first live peer clockwise from the arc start adopts the arc,
+    /// trimmed to its clockwise-reachable part (see
+    /// [`ChordNetwork::adopt_segments`]): the trimmed restriction then
+    /// starts exactly at the adopter's zone start — the same shape a
+    /// fault-free forward produces — so every deeper link target lies
+    /// inside its restricted region and no peer outside the arc is ever
+    /// re-entered.
+    fn failover_target(&self, region: &Vec<Rect>, tried: &[PeerId]) -> Option<(PeerId, Vec<Rect>)> {
+        self.adopt_segments(region, tried)
+    }
 }
 
 #[cfg(test)]

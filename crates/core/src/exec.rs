@@ -14,11 +14,28 @@
 //! Response messages (local states, local answers) are tallied in the
 //! message counters but add no hops, mirroring the Lemma accounting.
 //! Restriction areas are threaded through every forwarding step, so each
-//! peer processes a query at most once; this is asserted in debug builds.
+//! peer processes a query at most once; a second visit is counted as an
+//! always-on anomaly ([`QueryMetrics::duplicate_visits`]) instead of being
+//! audited only in debug builds.
+//!
+//! # Fault-aware delivery
+//!
+//! The executor is optionally driven by a [`FaultPlane`]: each query-forward
+//! transmission then passes through [`Executor::deliver`], which simulates
+//! message drops, per-hop timeouts with exponentially backed-off
+//! retransmissions, slow-peer delivery penalties, and — when a target stays
+//! unreachable — failover to an alternate live peer inside the same
+//! restriction area. When no candidate is left the area is *abandoned* and
+//! its domain volume is reported in [`QueryOutcome::coverage`]: execution
+//! degrades gracefully, never panics, and never pretends a partial answer is
+//! complete. With [`FaultPlane::none`] the delivery path short-circuits to
+//! exactly one `forward()` and one hop, making the fault-aware executor
+//! observationally identical to the historical fault-unaware one (enforced
+//! bit-for-bit by the equivalence tests).
 
-use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::Tuple;
-use ripple_net::{LocalView, PeerId, QueryMetrics};
+use ripple_net::{FaultPlane, FaultSession, LocalView, PeerId, QueryMetrics};
 use std::collections::HashSet;
 
 /// Executes RIPPLE queries over an overlay.
@@ -28,6 +45,13 @@ pub struct Executor<'a, O> {
     /// substrates — the pre-index scan paths. Used by equivalence tests and
     /// the local-index benchmark; results and metrics must not differ.
     naive: bool,
+    /// The fault-injection policy ([`FaultPlane::none`] by default).
+    plane: FaultPlane,
+    /// The per-query decision stream opened on the plane by each `run`.
+    stream: u64,
+    /// Whether ledgers retain the visit trace (on by default; sweeps that
+    /// only aggregate turn it off to keep ledgers O(1) in network size).
+    trace: bool,
 }
 
 struct RunState<'q, Q, L> {
@@ -35,19 +59,54 @@ struct RunState<'q, Q, L> {
     answers: Vec<Tuple>,
     metrics: QueryMetrics,
     visited: HashSet<PeerId>,
+    faults: FaultSession,
+    /// Absolute volumes of abandoned restriction areas.
+    unreachable: Vec<f64>,
     _marker: std::marker::PhantomData<L>,
 }
 
 impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// Creates an executor over `net`.
     pub fn new(net: &'a O) -> Self {
-        Self { net, naive: false }
+        Self {
+            net,
+            naive: false,
+            plane: FaultPlane::none(),
+            stream: 0,
+            trace: true,
+        }
     }
 
     /// Creates an executor that ignores per-peer indexes and scans, exactly
     /// like the pre-index code paths.
     pub fn naive(net: &'a O) -> Self {
-        Self { net, naive: true }
+        Self {
+            naive: true,
+            ..Self::new(net)
+        }
+    }
+
+    /// Creates a fault-aware executor. Each `run` opens the plane's decision
+    /// stream `stream`, so a given (plane, stream, query) triple replays
+    /// bit-identically; sweeps vary `stream` per query.
+    pub fn with_faults(net: &'a O, plane: FaultPlane, stream: u64) -> Self {
+        Self {
+            plane,
+            stream,
+            ..Self::new(net)
+        }
+    }
+
+    /// Disables visit-trace retention in the produced ledgers (counts are
+    /// unaffected). For aggregate-only sweeps over large overlays.
+    pub fn without_trace(mut self) -> Self {
+        self.trace = false;
+        self
+    }
+
+    /// The overlay this executor runs over.
+    pub fn network(&self) -> &'a O {
+        self.net
     }
 
     /// The view of `peer`'s tuples handed to the query functions.
@@ -65,11 +124,17 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     where
         Q: RankQuery<O::Region>,
     {
+        assert!(
+            self.net.is_peer_live(initiator),
+            "query initiated at a crashed peer {initiator}"
+        );
         let mut run = RunState {
             query,
             answers: Vec::new(),
-            metrics: QueryMetrics::new(),
+            metrics: QueryMetrics::with_trace(self.trace),
             visited: HashSet::new(),
+            faults: self.plane.session(self.stream),
+            unreachable: Vec::new(),
             _marker: std::marker::PhantomData,
         };
         let full = self.net.full_region();
@@ -82,21 +147,121 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             Mode::Broadcast => self.broadcast(initiator, &global, full, &mut run),
         };
         run.metrics.latency = latency;
+        let coverage = if run.unreachable.is_empty() {
+            Coverage::full()
+        } else {
+            let full_vol = self.net.region_volume(&self.net.full_region());
+            let unreachable: Vec<f64> = run.unreachable.iter().map(|v| v / full_vol).collect();
+            let lost: f64 = unreachable.iter().sum();
+            Coverage {
+                answered_fraction: (1.0 - lost).clamp(0.0, 1.0),
+                unreachable,
+            }
+        };
         QueryOutcome {
             answers: run.answers,
             state,
             metrics: run.metrics,
+            coverage,
         }
     }
 
-    /// Marks a peer visited (each peer must process a query at most once —
-    /// the restriction areas guarantee it, the debug assert audits it).
+    /// Marks a peer visited. The restriction areas guarantee each peer
+    /// processes a query at most once; a second visit is a correctness
+    /// anomaly, counted in [`QueryMetrics::duplicate_visits`] and surfaced
+    /// all the way into the figure CSVs rather than tolerated silently (or
+    /// audited only in debug builds, as before).
     fn visit<Q: RankQuery<O::Region>>(&self, peer: PeerId, run: &mut RunState<'_, Q, Q::Local>) {
-        debug_assert!(
-            run.visited.insert(peer),
-            "{peer} processed the same query twice; restriction areas are broken"
-        );
+        if !run.visited.insert(peer) {
+            run.metrics.duplicate_visits += 1;
+        }
         run.metrics.visit(peer);
+    }
+
+    /// Simulates the retransmission loop against one fixed `target`:
+    /// `1 + max_retries` send attempts, each lost to the network with the
+    /// plane's drop probability (or unacknowledged outright when the target
+    /// is dead), each loss costing the sender a timeout wait that backs off
+    /// exponentially. Returns `(elapsed, delivered)` — the simulated hops
+    /// that passed at the sender and whether the message was eventually
+    /// processed (in which case `elapsed` includes the final transit hop and
+    /// the target's slow-peer penalty).
+    fn transmit<Q: RankQuery<O::Region>>(
+        &self,
+        target: PeerId,
+        run: &mut RunState<'_, Q, Q::Local>,
+    ) -> (u64, bool) {
+        let alive = self.net.is_peer_live(target);
+        let mut elapsed = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            run.metrics.forward();
+            // `&&` short-circuits: sends to a dead peer are lost without
+            // consuming a drop decision, so the drop stream depends only on
+            // the number of transmissions to live peers.
+            if alive && !run.faults.drops_message() {
+                return (elapsed + 1 + run.faults.slow_penalty(target), true);
+            }
+            if alive {
+                run.metrics.messages_dropped += 1;
+            }
+            run.metrics.timeouts += 1;
+            elapsed += run.faults.timeout() << attempt.min(16);
+            if attempt >= run.faults.max_retries() {
+                return (elapsed, false);
+            }
+            attempt += 1;
+            run.metrics.retries += 1;
+        }
+    }
+
+    /// Delivers a query-forward into `restriction`, starting at the link
+    /// target `first` and failing over across the overlay's alternate live
+    /// candidates when retransmissions are exhausted. Returns the simulated
+    /// hops spent at the sender and the peer that ended up processing the
+    /// message together with the (possibly failover-trimmed) restriction it
+    /// covers — or `None` when every candidate failed. Both the trimmed-off
+    /// parts and fully abandoned areas are recorded as unreachable
+    /// (graceful degradation, honestly accounted).
+    ///
+    /// With an inactive fault session this is exactly one `forward()` and
+    /// one hop — bit-identical to the historical fault-unaware executor.
+    fn deliver<Q: RankQuery<O::Region>>(
+        &self,
+        first: PeerId,
+        restriction: O::Region,
+        run: &mut RunState<'_, Q, Q::Local>,
+    ) -> (u64, Option<(PeerId, O::Region)>) {
+        if !run.faults.active() {
+            run.metrics.forward();
+            return (1, Some((first, restriction)));
+        }
+        let mut elapsed = 0u64;
+        let mut tried: Vec<PeerId> = Vec::new();
+        let mut target = first;
+        let mut restriction = restriction;
+        loop {
+            let (spent, delivered) = self.transmit(target, run);
+            elapsed += spent;
+            if delivered {
+                return (elapsed, Some((target, restriction)));
+            }
+            tried.push(target);
+            match self.net.failover_target(&restriction, &tried) {
+                Some((next, sub)) => {
+                    let lost = self.net.region_volume(&restriction) - self.net.region_volume(&sub);
+                    if lost > 1e-12 {
+                        run.unreachable.push(lost);
+                    }
+                    restriction = sub;
+                    target = next;
+                }
+                None => {
+                    run.unreachable.push(self.net.region_volume(&restriction));
+                    return (elapsed, None);
+                }
+            }
+        }
     }
 
     /// Deposits a peer's local answer with the initiator.
@@ -144,10 +309,15 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
-            run.metrics.forward();
+            let (delay, adopted) = self.deliver(target, restricted, run);
+            let Some((dest, restricted)) = adopted else {
+                // subtree unreachable: the time wasted waiting still counts
+                latency = latency.max(delay);
+                continue;
+            };
             let (remote, child_latency) =
-                self.fast(target, &global_w, restricted, report_states, run);
-            latency = latency.max(1 + child_latency);
+                self.fast(dest, &global_w, restricted, report_states, run);
+            latency = latency.max(delay + child_latency);
             remote_states.push(remote);
         }
         let answer = run.query.compute_local_answer(&view, &local);
@@ -202,9 +372,14 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
-            run.metrics.forward();
-            let (remote, child_latency) = self.slow(target, &global_w, restricted, run);
-            latency += 1 + child_latency;
+            let (delay, adopted) = self.deliver(target, restricted, run);
+            let Some((dest, restricted)) = adopted else {
+                // unreachable: sequential mode pays the wait in full
+                latency += delay;
+                continue;
+            };
+            let (remote, child_latency) = self.slow(dest, &global_w, restricted, run);
+            latency += delay + child_latency;
             // the state response from the child
             run.metrics.respond(run.query.state_payload(&remote));
             local = run.query.update_local_state(vec![local, remote]);
@@ -259,17 +434,21 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
-            run.metrics.forward();
+            let (delay, adopted) = self.deliver(target, restricted, run);
+            let Some((dest, restricted)) = adopted else {
+                latency += delay;
+                continue;
+            };
             let (remote, child_latency) = if r == 1 {
                 // Fast-phase peers charge their own state responses (they
                 // report directly to this peer).
-                self.fast(target, &global_w, restricted, true, run)
+                self.fast(dest, &global_w, restricted, true, run)
             } else {
-                let out = self.ripple(target, &global_w, restricted, r - 1, run);
+                let out = self.ripple(dest, &global_w, restricted, r - 1, run);
                 run.metrics.respond(run.query.state_payload(&out.0));
                 out
             };
-            latency += 1 + child_latency;
+            latency += delay + child_latency;
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
@@ -300,10 +479,14 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             let Some(restricted) = self.net.region_intersect(&region, &restriction) else {
                 continue;
             };
-            run.metrics.forward();
+            let (delay, adopted) = self.deliver(target, restricted, run);
+            let Some((dest, restricted)) = adopted else {
+                latency = latency.max(delay);
+                continue;
+            };
             // the global state is never refined — pure flooding
-            let (_, child_latency) = self.broadcast(target, global, restricted, run);
-            latency = latency.max(1 + child_latency);
+            let (_, child_latency) = self.broadcast(dest, global, restricted, run);
+            latency = latency.max(delay + child_latency);
         }
         let answer = run.query.compute_local_answer(&view, &local);
         self.send_answer(answer, run);

@@ -63,6 +63,75 @@ pub trait RippleOverlay {
     fn route_lookup(&self, _from: PeerId, _key: &ripple_geom::Point) -> Option<(PeerId, u32)> {
         None
     }
+
+    /// The volume a region occupies in the domain, in the same units as
+    /// `region_volume(&full_region())`. The fault-aware executor divides the
+    /// two to report what fraction of the domain an abandoned restriction
+    /// area represents; it is never used on the fault-free path.
+    fn region_volume(&self, region: &Self::Region) -> f64;
+
+    /// Whether `peer` is currently able to process queries. Substrates
+    /// without a failure model are always fully live (the default); crash-
+    /// aware substrates report `false` for peers whose zones are orphaned,
+    /// which is how the executor *detects* a failed forward — links
+    /// deliberately keep resolving to their last known (possibly dead)
+    /// target, exactly like a real routing table with stale entries.
+    fn is_peer_live(&self, _peer: PeerId) -> bool {
+        true
+    }
+
+    /// An alternate live peer able to adopt (part of) the restriction area
+    /// `region` after its original target proved unreachable, excluding the
+    /// already-`tried` targets. Returns the peer together with the
+    /// sub-region it can *canonically* cover — i.e. propagation entered at
+    /// that peer visits exactly the peers of the sub-region, each once, and
+    /// never leaves it. Substrates whose regions are entry-order-free return
+    /// `region` unchanged (MIDAS: any zone-in-box peer covers the box);
+    /// order-sensitive substrates may trim (Chord: a mid-arc peer cannot
+    /// reach the arc's prefix without leaving it, so the prefix — dead
+    /// zones, or it would have been chosen — is cut off). The executor
+    /// accounts whatever is trimmed as unreachable. The choice must be
+    /// deterministic. `None` (the default, and the answer once candidates
+    /// are exhausted) abandons the whole area.
+    fn failover_target(
+        &self,
+        _region: &Self::Region,
+        _tried: &[PeerId],
+    ) -> Option<(PeerId, Self::Region)> {
+        None
+    }
+}
+
+/// How much of the domain a query execution actually answered.
+///
+/// On the fault-free path this is always [`Coverage::full`]. Under injected
+/// faults, every restriction area the executor had to abandon — all
+/// retransmissions timed out and no failover candidate was left — is
+/// recorded here instead of being silently dropped: a degraded answer is
+/// acceptable, an unreported one is not.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coverage {
+    /// Fraction of the domain volume whose responsible peers contributed
+    /// their local answers (`1.0` = complete).
+    pub answered_fraction: f64,
+    /// Domain-volume fractions of the abandoned restriction areas, in
+    /// abandonment order. Empty iff the execution was complete.
+    pub unreachable: Vec<f64>,
+}
+
+impl Coverage {
+    /// Complete coverage: the whole domain answered, nothing abandoned.
+    pub fn full() -> Self {
+        Self {
+            answered_fraction: 1.0,
+            unreachable: Vec::new(),
+        }
+    }
+
+    /// True when no restriction area was abandoned.
+    pub fn is_complete(&self) -> bool {
+        self.unreachable.is_empty()
+    }
 }
 
 /// The six abstract functions a rank query plugs into RIPPLE
@@ -121,6 +190,9 @@ pub struct QueryOutcome<L> {
     pub state: L,
     /// The cost ledger of the execution.
     pub metrics: QueryMetrics,
+    /// How much of the domain the execution covered. [`Coverage::full`]
+    /// unless faults forced the executor to abandon restriction areas.
+    pub coverage: Coverage,
 }
 
 /// Ablation wrapper: the wrapped query with link prioritisation disabled

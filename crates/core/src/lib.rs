@@ -50,6 +50,8 @@ pub mod diversify;
 pub mod exec;
 #[cfg(test)]
 mod exec_tests;
+#[cfg(test)]
+mod fault_equivalence;
 pub mod framework;
 #[cfg(test)]
 mod index_equivalence;
@@ -60,7 +62,7 @@ pub mod skyline;
 pub mod topk;
 
 pub use exec::Executor;
-pub use framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+pub use framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 pub use range::{run_range, RangeQuery};
-pub use skyline::{run_skyline, run_skyline_query, SkylineQuery};
-pub use topk::{run_topk, TopKQuery};
+pub use skyline::{run_skyline, run_skyline_query, run_skyline_query_with, SkylineQuery};
+pub use topk::{run_topk, run_topk_with, TopKQuery};

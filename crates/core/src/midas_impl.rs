@@ -42,6 +42,25 @@ impl RippleOverlay for MidasNetwork {
     fn route_lookup(&self, from: PeerId, key: &ripple_geom::Point) -> Option<(PeerId, u32)> {
         Some(self.route(from, key))
     }
+
+    fn region_volume(&self, region: &Rect) -> f64 {
+        region.volume()
+    }
+
+    fn is_peer_live(&self, peer: PeerId) -> bool {
+        self.is_live(peer)
+    }
+
+    /// Sibling-subtree regions are boxes and boxes are entry-order-free:
+    /// any live peer whose zone lies inside the restriction box can adopt
+    /// the *whole* box, because its restricted links are exactly the
+    /// sibling boxes nested inside it (subtree nesting), each with its
+    /// target inside — nothing outside is ever re-entered and no part of
+    /// the box needs trimming.
+    fn failover_target(&self, region: &Rect, tried: &[PeerId]) -> Option<(PeerId, Rect)> {
+        self.live_peer_in_region(region, tried)
+            .map(|p| (p, region.clone()))
+    }
 }
 
 #[cfg(test)]

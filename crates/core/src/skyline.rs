@@ -161,12 +161,32 @@ pub fn run_skyline_query<O>(
 where
     O: RippleOverlay<Region = Rect>,
 {
+    let (sky, metrics, _) = run_skyline_query_with(&Executor::new(net), initiator, query, mode);
+    (sky, metrics)
+}
+
+/// Runs a (possibly constrained) skyline query through a pre-configured
+/// executor — typically a fault-aware one ([`Executor::with_faults`]) —
+/// additionally returning the coverage report. With a default executor this
+/// is exactly [`run_skyline_query`].
+pub fn run_skyline_query_with<O>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    query: SkylineQuery,
+    mode: Mode,
+) -> (Vec<Tuple>, QueryMetrics, crate::framework::Coverage)
+where
+    O: RippleOverlay<Region = Rect>,
+{
     let QueryOutcome {
-        answers, metrics, ..
-    } = Executor::new(net).run(initiator, &query, mode);
+        answers,
+        metrics,
+        coverage,
+        ..
+    } = exec.run(initiator, &query, mode);
     let mut sky = dominance::skyline(&answers);
     sky.sort_by_key(|t| t.id);
-    (sky, metrics)
+    (sky, metrics, coverage)
 }
 
 /// Reference answer: centralized skyline, sorted by id (test oracle).

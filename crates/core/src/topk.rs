@@ -7,7 +7,7 @@
 //! region cannot beat the current threshold.
 
 use crate::exec::Executor;
-use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{Rect, ScoreFn, Tuple};
 use ripple_net::{LocalView, PeerId, QueryMetrics};
 
@@ -265,6 +265,27 @@ where
     F: ScoreFn,
     TopKQuery<F>: RankQuery<O::Region>,
 {
+    let (answers, metrics, _) = run_topk_with(&Executor::new(net), initiator, score, k, mode);
+    (answers, metrics)
+}
+
+/// Runs a top-k query through a pre-configured executor — typically a
+/// fault-aware one ([`Executor::with_faults`]) — additionally returning the
+/// coverage report, so degraded answers are never mistaken for complete
+/// ones. With a default executor this is exactly [`run_topk`].
+pub fn run_topk_with<O, F>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    score: F,
+    k: usize,
+    mode: Mode,
+) -> (Vec<Tuple>, QueryMetrics, Coverage)
+where
+    O: RippleOverlay,
+    F: ScoreFn,
+    TopKQuery<F>: RankQuery<O::Region>,
+{
+    let net = exec.network();
     let query = TopKQuery::new(score, k);
     let mut route_hops = 0u32;
     let start = match query
@@ -281,8 +302,9 @@ where
     let QueryOutcome {
         mut answers,
         mut metrics,
+        coverage,
         ..
-    } = Executor::new(net).run(start, &query, mode);
+    } = exec.run(start, &query, mode);
     // Routing transit forwards the lookup but does not process the query:
     // hops count as messages and latency, not as peer visits.
     metrics.latency += route_hops as u64;
@@ -296,7 +318,7 @@ where
     });
     answers.dedup_by_key(|t| t.id);
     answers.truncate(k);
-    (answers, metrics)
+    (answers, metrics, coverage)
 }
 
 /// Reference answer: centralized top-k over a full dataset (test oracle and

@@ -32,11 +32,37 @@ pub trait ChurnOverlay {
     /// A uniformly random live peer departs gracefully, handing its zone and
     /// data over per the overlay's protocol. No-op if only one peer remains.
     fn churn_leave(&mut self, rng: &mut dyn crate::rng::RngCore);
+
+    /// A uniformly random live peer crashes *ungracefully*: no handover, no
+    /// goodbye — its zone is orphaned (and its data lost) until the
+    /// overlay's repair protocol reclaims it. Returns the crashed peer's
+    /// stable index, or `None` if the overlay cannot afford a crash (only
+    /// one peer left, or the overlay pins an immortal anchor).
+    ///
+    /// The default implementation returns `None` (crash-unaware overlay),
+    /// so substrates without a repair protocol keep compiling; the fault
+    /// plane's `crash_quota` simply has no effect on them.
+    fn churn_crash(&mut self, rng: &mut dyn crate::rng::RngCore) -> Option<u32> {
+        let _ = rng;
+        None
+    }
 }
 
 /// Grows (or shrinks) the overlay to exactly `target` peers, calling
 /// `observe` every time the size crosses one of `checkpoints` (ascending for
 /// growth, descending for shrink).
+///
+/// The declared `stage` is *advisory*: crashes can leave the overlay on the
+/// far side of the target (e.g. an increasing stage entered after a crash
+/// wave already shrank the network past it), so the direction of travel is
+/// derived from the overlay's actual size and the schedule converges from
+/// either side instead of asserting. Checkpoints fire in the direction
+/// actually travelled.
+///
+/// # Panics
+/// Panics if the overlay stalls — a join or leave that does not change the
+/// size (e.g. shrinking toward a target below the overlay's floor of one
+/// peer), which would otherwise loop forever.
 pub fn run_stage<O: ChurnOverlay + ?Sized, R: Rng>(
     overlay: &mut O,
     stage: ChurnStage,
@@ -45,52 +71,53 @@ pub fn run_stage<O: ChurnOverlay + ?Sized, R: Rng>(
     rng: &mut R,
     mut observe: impl FnMut(&mut O, usize),
 ) {
-    match stage {
-        ChurnStage::Increasing => {
-            assert!(overlay.peer_count() <= target, "already larger than target");
-            let mut next_cp = checkpoints
-                .iter()
-                .copied()
-                .filter(|&c| c >= overlay.peer_count())
-                .collect::<Vec<_>>();
-            next_cp.sort_unstable();
-            let mut cp_iter = next_cp.into_iter().peekable();
-            // fire checkpoints already satisfied at entry
-            while cp_iter.peek().is_some_and(|&c| c <= overlay.peer_count()) {
-                let c = cp_iter.next().expect("peeked");
-                observe(overlay, c);
-            }
-            while overlay.peer_count() < target {
-                overlay.churn_join(rng);
-                while cp_iter.peek().is_some_and(|&c| c <= overlay.peer_count()) {
-                    let c = cp_iter.next().expect("peeked");
-                    observe(overlay, c);
-                }
-            }
+    use core::cmp::Ordering;
+    let start = overlay.peer_count();
+    let shrinking = match start.cmp(&target) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        // Already at the target: no movement; the declared stage only
+        // decides which side's entry checkpoints (== start) fire.
+        Ordering::Equal => stage == ChurnStage::Decreasing,
+    };
+    let mut cps = checkpoints
+        .iter()
+        .copied()
+        .filter(|&c| if shrinking { c <= start } else { c >= start })
+        .collect::<Vec<_>>();
+    if shrinking {
+        cps.sort_unstable_by(|a, b| b.cmp(a));
+    } else {
+        cps.sort_unstable();
+    }
+    let mut cp_iter = cps.into_iter().peekable();
+    let crossed = |c: usize, n: usize| if shrinking { c >= n } else { c <= n };
+    // fire checkpoints already satisfied at entry
+    while cp_iter
+        .peek()
+        .is_some_and(|&c| crossed(c, overlay.peer_count()))
+    {
+        let c = cp_iter.next().expect("peeked");
+        observe(overlay, c);
+    }
+    while overlay.peer_count() != target {
+        let before = overlay.peer_count();
+        if shrinking {
+            overlay.churn_leave(rng);
+        } else {
+            overlay.churn_join(rng);
         }
-        ChurnStage::Decreasing => {
-            assert!(
-                overlay.peer_count() >= target,
-                "already smaller than target"
-            );
-            let mut next_cp = checkpoints
-                .iter()
-                .copied()
-                .filter(|&c| c <= overlay.peer_count())
-                .collect::<Vec<_>>();
-            next_cp.sort_unstable_by(|a, b| b.cmp(a));
-            let mut cp_iter = next_cp.into_iter().peekable();
-            while cp_iter.peek().is_some_and(|&c| c >= overlay.peer_count()) {
-                let c = cp_iter.next().expect("peeked");
-                observe(overlay, c);
-            }
-            while overlay.peer_count() > target {
-                overlay.churn_leave(rng);
-                while cp_iter.peek().is_some_and(|&c| c >= overlay.peer_count()) {
-                    let c = cp_iter.next().expect("peeked");
-                    observe(overlay, c);
-                }
-            }
+        assert_ne!(
+            overlay.peer_count(),
+            before,
+            "overlay stalled before reaching the stage target"
+        );
+        while cp_iter
+            .peek()
+            .is_some_and(|&c| crossed(c, overlay.peer_count()))
+        {
+            let c = cp_iter.next().expect("peeked");
+            observe(overlay, c);
         }
     }
 }
@@ -153,6 +180,78 @@ mod tests {
         );
         assert_eq!(seen, vec![32, 16, 8, 4]);
         assert_eq!(o.peer_count(), 4);
+    }
+
+    #[test]
+    fn increasing_stage_past_target_converges_down() {
+        // A crash wave (or any prior dynamics) can leave the overlay on the
+        // far side of the target; the old implementation assert-panicked
+        // here. The stage must converge and fire checkpoints descending.
+        let mut o = Counter(40);
+        let mut seen = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        run_stage(
+            &mut o,
+            ChurnStage::Increasing,
+            8,
+            &[8, 16, 32, 64],
+            &mut rng,
+            |ov, cp| {
+                assert!(ov.peer_count() <= cp);
+                seen.push(cp);
+            },
+        );
+        assert_eq!(seen, vec![32, 16, 8]);
+        assert_eq!(o.peer_count(), 8);
+    }
+
+    #[test]
+    fn decreasing_stage_below_target_converges_up() {
+        let mut o = Counter(3);
+        let mut seen = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        run_stage(
+            &mut o,
+            ChurnStage::Decreasing,
+            10,
+            &[4, 8, 16],
+            &mut rng,
+            |_, cp| seen.push(cp),
+        );
+        assert_eq!(seen, vec![4, 8]);
+        assert_eq!(o.peer_count(), 10);
+    }
+
+    #[test]
+    fn at_target_fires_entry_checkpoint_once() {
+        for stage in [ChurnStage::Increasing, ChurnStage::Decreasing] {
+            let mut o = Counter(16);
+            let mut seen = Vec::new();
+            let mut rng = SmallRng::seed_from_u64(6);
+            run_stage(&mut o, stage, 16, &[8, 16, 32], &mut rng, |_, cp| {
+                seen.push(cp)
+            });
+            assert_eq!(seen, vec![16], "stage {stage:?}");
+            assert_eq!(o.peer_count(), 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn stalled_overlay_is_detected() {
+        // Counter refuses to drop below one peer; a target of 0 must panic
+        // (stall detection) rather than loop forever.
+        let mut o = Counter(2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        run_stage(&mut o, ChurnStage::Decreasing, 0, &[], &mut rng, |_, _| {});
+    }
+
+    #[test]
+    fn default_churn_crash_is_inert() {
+        let mut o = Counter(5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        assert_eq!(o.churn_crash(&mut rng), None);
+        assert_eq!(o.peer_count(), 5);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Deterministic fault injection: the policy side of the fault plane.
+//!
+//! Real DHT deployments are defined by *ungraceful* failure — messages
+//! vanish, peers crash without handover, slow nodes trip timeouts — yet the
+//! paper's churn model (Section 7.1) only exercises graceful joins and
+//! departures. A [`FaultPlane`] is a seeded, purely deterministic policy
+//! object describing
+//!
+//! * **message drops** — every query-forward transmission is lost with
+//!   probability [`drop_probability`](FaultPlane::drop_probability);
+//! * **slow peers** — a stable, seed-determined subset of peers adds
+//!   [`slow_penalty_hops`](FaultPlane::slow_penalty_hops) of delay to every
+//!   message it accepts (the delay that makes timeouts fire in practice);
+//! * **crashes** — the fraction of peers the experiment driver should kill
+//!   *ungracefully* via `ChurnOverlay::churn_crash` (zones orphaned until a
+//!   repair protocol runs, data lost — distinct from `churn_leave`).
+//!
+//! Everything is a pure function of the seed: given the same plane and the
+//! same per-query stream id, a simulation replays bit-identically. The
+//! executor consumes the plane through per-query [`FaultSession`]s so that
+//! parallel query sweeps stay deterministic regardless of thread schedule.
+//!
+//! [`FaultPlane::none`] is the distinguished no-fault policy: an executor
+//! driven by it must be *observationally identical* — equal answers and
+//! bit-identical cost ledgers — to one with no fault plane at all. This is
+//! enforced by the equivalence tests in `ripple-core`.
+
+use crate::peer::PeerId;
+use crate::rng::rngs::SmallRng;
+use crate::rng::{Rng, SeedableRng};
+
+/// Salt mixed into the per-peer slowness hash (distinct from session
+/// streams so slow-set membership never correlates with drop decisions).
+const SLOW_SALT: u64 = 0x51_0e_5a_17_ee_d0_07_b5;
+
+/// splitmix64 finalizer — used for stateless per-peer decisions.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic fault-injection policy.
+///
+/// The plane is plain data (`Copy`): cloning it into executors and worker
+/// threads is free and never splits the random streams — those are derived
+/// per query via [`session`](FaultPlane::session).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlane {
+    /// Per-transmission probability that a query-forward message is lost in
+    /// transit (the sender learns about it only through a timeout).
+    pub drop_probability: f64,
+    /// Fraction of peers that are slow. Membership is a stable pure
+    /// function of `(seed, peer)` — a peer is slow for the lifetime of the
+    /// plane, as in real deployments where slowness tracks the host.
+    pub slow_fraction: f64,
+    /// Extra hops of delay a slow peer adds to each message it accepts.
+    pub slow_penalty_hops: u64,
+    /// Simulated hops a sender waits before declaring an unacknowledged
+    /// transmission lost. Retries back off exponentially from this base.
+    pub timeout_hops: u64,
+    /// Retransmissions attempted per target before failing over to an
+    /// alternate link (0 = fail over after the first loss).
+    pub max_retries: u32,
+    /// Fraction of the overlay the experiment driver should crash
+    /// ungracefully (consumed via [`crash_quota`](FaultPlane::crash_quota)).
+    pub crash_fraction: f64,
+    /// Base seed. All decisions derive from it.
+    pub seed: u64,
+}
+
+impl FaultPlane {
+    /// The no-fault policy: nothing drops, nobody is slow, nobody crashes.
+    /// Executors driven by it behave bit-identically to fault-unaware ones.
+    pub fn none() -> Self {
+        Self {
+            drop_probability: 0.0,
+            slow_fraction: 0.0,
+            slow_penalty_hops: 0,
+            timeout_hops: 0,
+            max_retries: 0,
+            crash_fraction: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A drop-only plane with the default retry discipline (timeout 2 hops,
+    /// 3 retransmissions, exponential backoff).
+    pub fn drops(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        Self {
+            drop_probability: p,
+            timeout_hops: 2,
+            max_retries: 3,
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// True when the plane can never perturb an execution.
+    pub fn is_none(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.slow_fraction == 0.0
+            && self.slow_penalty_hops == 0
+            && self.crash_fraction == 0.0
+    }
+
+    /// Whether `peer` belongs to the stable slow set.
+    pub fn is_slow(&self, peer: PeerId) -> bool {
+        if self.slow_fraction <= 0.0 {
+            return false;
+        }
+        let h = mix(self.seed ^ SLOW_SALT ^ (peer.index() as u64));
+        // top 53 bits → uniform in [0, 1)
+        ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.slow_fraction
+    }
+
+    /// The hop delay `peer` adds to a delivered message (0 if not slow).
+    pub fn slow_penalty(&self, peer: PeerId) -> u64 {
+        if self.is_slow(peer) {
+            self.slow_penalty_hops
+        } else {
+            0
+        }
+    }
+
+    /// How many of `n` peers the driver should crash under this policy.
+    pub fn crash_quota(&self, n: usize) -> usize {
+        (self.crash_fraction * n as f64).round() as usize
+    }
+
+    /// Opens the per-query decision stream `stream` (drop decisions are
+    /// drawn from it in execution order, so a single-threaded query replay
+    /// is exact and parallel sweeps are schedule-independent).
+    pub fn session(&self, stream: u64) -> FaultSession {
+        FaultSession {
+            plane: *self,
+            rng: SmallRng::seed_from_u64(
+                mix(self.seed) ^ stream.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            ),
+        }
+    }
+}
+
+/// One query's view of the fault plane: the policy plus a private,
+/// deterministic random stream for per-message decisions.
+#[derive(Clone, Debug)]
+pub struct FaultSession {
+    plane: FaultPlane,
+    rng: SmallRng,
+}
+
+impl FaultSession {
+    /// True when any fault machinery is active (the executor's fast path
+    /// skips all fault bookkeeping when this is false).
+    pub fn active(&self) -> bool {
+        !self.plane.is_none()
+    }
+
+    /// Decides whether the next query-forward transmission is lost.
+    pub fn drops_message(&mut self) -> bool {
+        self.plane.drop_probability > 0.0 && self.rng.gen_bool(self.plane.drop_probability)
+    }
+
+    /// The hop delay `peer` adds to a delivered message.
+    pub fn slow_penalty(&self, peer: PeerId) -> u64 {
+        self.plane.slow_penalty(peer)
+    }
+
+    /// The sender-side timeout, in simulated hops (at least 1 once the
+    /// plane is active — a zero-hop timeout would make waits free).
+    pub fn timeout(&self) -> u64 {
+        self.plane.timeout_hops.max(1)
+    }
+
+    /// Retransmissions allowed per target before failing over.
+    pub fn max_retries(&self) -> u32 {
+        self.plane.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let plane = FaultPlane::none();
+        assert!(plane.is_none());
+        let mut s = plane.session(42);
+        assert!(!s.active());
+        for _ in 0..100 {
+            assert!(!s.drops_message());
+        }
+        assert_eq!(plane.slow_penalty(PeerId::new(7)), 0);
+        assert_eq!(plane.crash_quota(1000), 0);
+    }
+
+    #[test]
+    fn drop_decisions_are_deterministic_and_track_p() {
+        let plane = FaultPlane::drops(0.3, 99);
+        let draw = |stream: u64| -> Vec<bool> {
+            let mut s = plane.session(stream);
+            (0..2000).map(|_| s.drops_message()).collect()
+        };
+        assert_eq!(draw(1), draw(1), "same stream replays identically");
+        assert_ne!(draw(1), draw(2), "streams are independent");
+        let hits = draw(5).iter().filter(|&&b| b).count();
+        assert!((450..750).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn slow_set_is_stable_and_sized() {
+        let plane = FaultPlane {
+            slow_fraction: 0.2,
+            slow_penalty_hops: 4,
+            seed: 7,
+            ..FaultPlane::none()
+        };
+        let slow: Vec<bool> = (0..5000).map(|i| plane.is_slow(PeerId::new(i))).collect();
+        let again: Vec<bool> = (0..5000).map(|i| plane.is_slow(PeerId::new(i))).collect();
+        assert_eq!(slow, again, "membership is a pure function");
+        let count = slow.iter().filter(|&&b| b).count();
+        assert!((800..1200).contains(&count), "count = {count}");
+        let p = (0..5000).find(|&i| plane.is_slow(PeerId::new(i))).unwrap();
+        assert_eq!(plane.slow_penalty(PeerId::new(p)), 4);
+    }
+
+    #[test]
+    fn crash_quota_rounds() {
+        let plane = FaultPlane {
+            crash_fraction: 0.1,
+            ..FaultPlane::none()
+        };
+        assert_eq!(plane.crash_quota(128), 13);
+        assert_eq!(plane.crash_quota(0), 0);
+    }
+
+    #[test]
+    fn timeout_floor_when_active() {
+        let plane = FaultPlane {
+            drop_probability: 0.5,
+            timeout_hops: 0,
+            seed: 1,
+            ..FaultPlane::none()
+        };
+        assert_eq!(plane.session(0).timeout(), 1);
+    }
+}

@@ -16,10 +16,14 @@
 //!   joins and leaves need.
 //! * [`churn`] — the two-stage (increasing / decreasing) network dynamics
 //!   driver of Section 7.1.
+//! * [`fault`] — the seeded, deterministic fault-injection policy
+//!   ([`FaultPlane`]) driving message drops, slow peers and ungraceful
+//!   crashes through the substrate.
 
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod fault;
 pub mod metrics;
 pub mod peer;
 pub mod rng;
@@ -27,6 +31,7 @@ pub mod stats;
 pub mod store;
 
 pub use churn::{ChurnOverlay, ChurnStage};
+pub use fault::{FaultPlane, FaultSession};
 pub use metrics::{MetricsAggregator, PointSummary, QueryMetrics};
 pub use peer::PeerId;
 pub use stats::Distribution;

@@ -32,26 +32,61 @@ pub struct QueryMetrics {
     pub peers_visited: u64,
     /// Tuples shipped over the wire in responses (communication volume).
     pub tuples_transferred: u64,
+    /// Retransmissions performed after presumed-lost messages.
+    pub retries: u64,
+    /// Sender-side timeouts that fired (each contributes its wait to
+    /// latency, per the fault model in `ripple-core`'s executor).
+    pub timeouts: u64,
+    /// Query-forward messages lost in transit (fault injection).
+    pub messages_dropped: u64,
+    /// Maintenance messages spent repairing crash damage that this query's
+    /// processing triggered or observed (overlay repair protocols).
+    pub repair_messages: u64,
+    /// Processing events at a peer that had already processed this query —
+    /// an always-on anomaly counter (restriction areas guarantee this is 0;
+    /// a nonzero value flags restriction-area breakage even in release
+    /// builds, where the old `debug_assert!` would have been compiled out).
+    pub duplicate_visits: u64,
+    /// When `true`, [`visit`](QueryMetrics::visit) does *not* append to
+    /// [`visited`](QueryMetrics::visited): counters stay exact but the
+    /// O(visits) trace is not retained. Inverted so that
+    /// `QueryMetrics::default()` keeps today's tracing-on behaviour (and
+    /// every existing struct literal still means "trace on"). Large bench
+    /// sweeps construct ledgers with [`with_trace(false)`]
+    /// (QueryMetrics::with_trace) to keep memory O(1) per query — at the
+    /// cost of the per-peer congestion histogram, which needs the trace.
+    pub trace_off: bool,
     /// The ordered sequence of peers that processed this query (one entry
-    /// per processing event, so `visited.len() == peers_visited`). Feeds
-    /// the per-peer congestion histogram in [`MetricsAggregator`] and —
-    /// because it participates in `PartialEq` — lets equivalence tests
-    /// assert that two execution paths touched the same peers in the same
-    /// order.
+    /// per processing event, so `visited.len() == peers_visited` while
+    /// tracing is on). Feeds the per-peer congestion histogram in
+    /// [`MetricsAggregator`] and — because it participates in `PartialEq` —
+    /// lets equivalence tests assert that two execution paths touched the
+    /// same peers in the same order.
     pub visited: Vec<PeerId>,
 }
 
 impl QueryMetrics {
-    /// A fresh, all-zero ledger.
+    /// A fresh, all-zero ledger (visit tracing on).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh ledger with visit tracing switched on (`true`, the default)
+    /// or off (`false`, for memory-bounded sweeps at large `n`·queries).
+    pub fn with_trace(trace: bool) -> Self {
+        Self {
+            trace_off: !trace,
+            ..Self::default()
+        }
     }
 
     /// Records that `peer` processed one query message.
     #[inline]
     pub fn visit(&mut self, peer: PeerId) {
         self.peers_visited += 1;
-        self.visited.push(peer);
+        if !self.trace_off {
+            self.visited.push(peer);
+        }
     }
 
     /// Records a query-forward message.
@@ -81,7 +116,14 @@ impl QueryMetrics {
         self.response_messages += other.response_messages;
         self.peers_visited += other.peers_visited;
         self.tuples_transferred += other.tuples_transferred;
-        self.visited.extend_from_slice(&other.visited);
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.messages_dropped += other.messages_dropped;
+        self.repair_messages += other.repair_messages;
+        self.duplicate_visits += other.duplicate_visits;
+        if !self.trace_off {
+            self.visited.extend_from_slice(&other.visited);
+        }
     }
 }
 
@@ -106,6 +148,17 @@ pub struct PointSummary {
     /// single peer over the whole point (an absolute count, not a per-query
     /// average). The mean congestion hides hotspots; this exposes them.
     pub congestion_max: u64,
+    /// Mean retransmissions per query (0 without fault injection).
+    pub retries: f64,
+    /// Mean sender-side timeouts per query.
+    pub timeouts: f64,
+    /// Mean query-forward messages lost in transit per query.
+    pub messages_dropped: f64,
+    /// Mean overlay repair messages charged to a query.
+    pub repair_messages: f64,
+    /// Total duplicate-visit anomalies across the point (should be 0; any
+    /// other value flags restriction-area breakage under faults).
+    pub duplicate_visits: u64,
 }
 
 /// Accumulates per-query ledgers into a [`PointSummary`].
@@ -117,6 +170,11 @@ pub struct MetricsAggregator {
     visits_sum: u64,
     messages_sum: u64,
     tuples_sum: u64,
+    retries_sum: u64,
+    timeouts_sum: u64,
+    dropped_sum: u64,
+    repair_sum: u64,
+    duplicate_sum: u64,
     /// Per-peer visit histogram over all recorded queries. Merging assumes
     /// both aggregators drew their peer ids from the *same* network
     /// instance (the `parallel_queries` chunking case); cross-network runs
@@ -139,6 +197,11 @@ impl MetricsAggregator {
         self.visits_sum += m.peers_visited;
         self.messages_sum += m.total_messages();
         self.tuples_sum += m.tuples_transferred;
+        self.retries_sum += m.retries;
+        self.timeouts_sum += m.timeouts;
+        self.dropped_sum += m.messages_dropped;
+        self.repair_sum += m.repair_messages;
+        self.duplicate_sum += m.duplicate_visits;
         for &p in &m.visited {
             *self.peer_visits.entry(p).or_insert(0) += 1;
         }
@@ -158,6 +221,11 @@ impl MetricsAggregator {
         self.visits_sum += other.visits_sum;
         self.messages_sum += other.messages_sum;
         self.tuples_sum += other.tuples_sum;
+        self.retries_sum += other.retries_sum;
+        self.timeouts_sum += other.timeouts_sum;
+        self.dropped_sum += other.dropped_sum;
+        self.repair_sum += other.repair_sum;
+        self.duplicate_sum += other.duplicate_sum;
         for (&p, &v) in &other.peer_visits {
             *self.peer_visits.entry(p).or_insert(0) += v;
         }
@@ -188,6 +256,11 @@ impl MetricsAggregator {
             messages: self.messages_sum as f64 / n,
             tuples: self.tuples_sum as f64 / n,
             congestion_max: self.peer_visits.values().copied().max().unwrap_or(0),
+            retries: self.retries_sum as f64 / n,
+            timeouts: self.timeouts_sum as f64 / n,
+            messages_dropped: self.dropped_sum as f64 / n,
+            repair_messages: self.repair_sum as f64 / n,
+            duplicate_visits: self.duplicate_sum,
         }
     }
 }
@@ -220,7 +293,10 @@ mod tests {
             response_messages: 2,
             peers_visited: 5,
             tuples_transferred: 7,
+            retries: 1,
+            timeouts: 1,
             visited: (0..5).map(PeerId::new).collect(),
+            ..QueryMetrics::default()
         };
         let b = QueryMetrics {
             latency: 2,
@@ -228,14 +304,62 @@ mod tests {
             response_messages: 1,
             peers_visited: 2,
             tuples_transferred: 3,
+            retries: 2,
+            messages_dropped: 2,
+            repair_messages: 5,
+            duplicate_visits: 1,
             visited: vec![PeerId::new(0), PeerId::new(9)],
+            ..QueryMetrics::default()
         };
         a.absorb_sequential(&b);
         assert_eq!(a.latency, 5);
         assert_eq!(a.peers_visited, 7);
         assert_eq!(a.tuples_transferred, 10);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.timeouts, 1);
+        assert_eq!(a.messages_dropped, 2);
+        assert_eq!(a.repair_messages, 5);
+        assert_eq!(a.duplicate_visits, 1);
         assert_eq!(a.visited.len(), 7, "visit sequences concatenate");
         assert_eq!(a.visited[5], PeerId::new(0));
+    }
+
+    #[test]
+    fn trace_off_counts_without_retaining() {
+        let mut m = QueryMetrics::with_trace(false);
+        for p in 0..100u32 {
+            m.visit(PeerId::new(p));
+        }
+        assert_eq!(m.peers_visited, 100);
+        assert!(m.visited.is_empty(), "no trace retained");
+        let mut t = QueryMetrics::with_trace(true);
+        t.visit(PeerId::new(3));
+        m.absorb_sequential(&t);
+        assert_eq!(m.peers_visited, 101);
+        assert!(m.visited.is_empty(), "absorb respects the receiver's mode");
+        assert_eq!(QueryMetrics::with_trace(true), QueryMetrics::default());
+    }
+
+    #[test]
+    fn failure_metrics_flow_into_summary() {
+        let mut agg = MetricsAggregator::new();
+        for i in 0..4u64 {
+            let m = QueryMetrics {
+                retries: i,
+                timeouts: 1,
+                messages_dropped: 2 * i,
+                repair_messages: 4,
+                duplicate_visits: i % 2,
+                ..QueryMetrics::default()
+            };
+            agg.record(&m);
+        }
+        let s = agg.summary();
+        assert!((s.retries - 1.5).abs() < 1e-12);
+        assert!((s.timeouts - 1.0).abs() < 1e-12);
+        assert!((s.messages_dropped - 3.0).abs() < 1e-12);
+        assert!((s.repair_messages - 4.0).abs() < 1e-12);
+        assert_eq!(s.duplicate_visits, 2, "anomalies total, not average");
     }
 
     #[test]

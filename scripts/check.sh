@@ -17,4 +17,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace, offline) =="
 cargo test --workspace --offline
 
+echo "== cargo build --release (tier-1 gate) =="
+cargo build --release --workspace --offline
+
 echo "All checks passed."
