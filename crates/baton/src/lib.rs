@@ -15,3 +15,11 @@ pub mod ssp;
 
 pub use network::{BatonNetwork, BatonPeer};
 pub use ssp::{ssp_skyline, SspOutcome};
+
+// Compile-time audit: benchmark harnesses fan queries out across threads
+// while holding `&BatonNetwork`, so the overlay must stay `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BatonNetwork>();
+    assert_send_sync::<BatonPeer>();
+};

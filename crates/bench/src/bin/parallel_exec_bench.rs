@@ -1,0 +1,330 @@
+//! Parallel intra-query execution benchmark (PR acceptance run).
+//!
+//! Measures the wall-clock scaling of [`Executor::run_parallel`] against the
+//! sequential engine on one MIDAS overlay, while *gating on bit-identical
+//! outcomes*: for every query × mode × thread count the parallel engine must
+//! reproduce the sequential [`QueryMetrics`], answer stream and
+//! [`Coverage`] exactly — speedup is worthless if the ledgers drift.
+//!
+//! Sections:
+//!
+//! * **top-k** under `fast`, `broadcast` and `ripple(2)` (the fast-phase of
+//!   ripple parallelises; its slow prefix stays sequential by design);
+//! * **skyline** under `fast` (the state-heavy query type);
+//! * a faulted equivalence spot-check per mode (drops + retries) at the
+//!   widest thread count, exercising the keyed per-edge fault streams.
+//!
+//! The speedup gate is **hardware-aware** and recorded in the JSON: the 3×
+//! acceptance target applies only when the host actually exposes ≥ 8
+//! hardware threads; on narrower hosts the gate degrades to "the parallel
+//! engine must not collapse" (a floor on the worst-case overhead), because a
+//! time-sliced pool cannot beat the sequential engine it is emulating.
+//! `--threads 1` runs the parallel entry point on the sequential code path
+//! and is the CI equivalence gate; `--smoke` shrinks the overlay for CI.
+//!
+//! Writes `results/BENCH_PR3_parallel_exec.json` and prints a summary table.
+//!
+//! [`Executor::run_parallel`]: ripple_core::Executor::run_parallel
+//! [`QueryMetrics`]: ripple_net::QueryMetrics
+//! [`Coverage`]: ripple_core::Coverage
+
+use ripple_bench::runner::midas_uniform_with_data;
+use ripple_core::framework::RankQuery;
+use ripple_core::skyline::SkylineQuery;
+use ripple_core::topk::TopKQuery;
+use ripple_core::{Executor, Mode};
+use ripple_geom::{LinearScore, Rect};
+use ripple_midas::MidasNetwork;
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::SeedableRng;
+use ripple_net::{FaultPlane, PeerId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DIMS: usize = 2;
+const K: usize = 16;
+
+struct Config {
+    peers: usize,
+    records: usize,
+    queries: usize,
+    threads: Vec<usize>,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut threads_override: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads_override = Some(v.parse().expect("--threads takes an integer"));
+            }
+            other => panic!("unknown flag {other} (supported: --smoke, --threads N)"),
+        }
+    }
+    let (peers, records, queries) = if smoke {
+        (192, 4_000, 4)
+    } else {
+        (10_000, 30_000, 6)
+    };
+    let threads = match threads_override {
+        Some(t) => vec![t.max(1)],
+        None if smoke => vec![1, 2, 4],
+        None => vec![1, 2, 4, 8],
+    };
+    Config {
+        peers,
+        records,
+        queries,
+        threads,
+        smoke,
+    }
+}
+
+fn initiators(net: &MidasNetwork, n: usize, salt: u64) -> Vec<PeerId> {
+    let mut rng = SmallRng::seed_from_u64(0xbe57 ^ salt);
+    (0..n).map(|_| net.random_peer(&mut rng)).collect()
+}
+
+struct Row {
+    section: &'static str,
+    mode: &'static str,
+    threads: usize,
+    wall_ms: f64,
+    speedup: f64,
+}
+
+/// One sweep cell: times the sequential engine, then the parallel engine at
+/// every thread count, asserting bit-identical outcomes throughout, and
+/// finishes with a faulted equivalence spot-check at the widest width.
+/// Returns the best speedup seen.
+#[allow(clippy::too_many_arguments)]
+fn sweep<Q>(
+    net: &MidasNetwork,
+    query: &Q,
+    inits: &[PeerId],
+    mode: Mode,
+    mode_name: &'static str,
+    section: &'static str,
+    threads: &[usize],
+    rows: &mut Vec<Row>,
+) -> f64
+where
+    Q: RankQuery<Rect> + Sync,
+    Q::Global: Send + Sync,
+    Q::Local: Send,
+{
+    let plane = FaultPlane::none();
+    // Warm-up pass doubles as the reference outcomes.
+    let reference: Vec<_> = inits
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            Executor::with_faults(net, plane, i as u64)
+                .without_trace()
+                .run(w, query, mode)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    for (i, &w) in inits.iter().enumerate() {
+        let exec = Executor::with_faults(net, plane, i as u64).without_trace();
+        sink = sink.wrapping_add(exec.run(w, query, mode).metrics.latency);
+    }
+    let wall_seq = t0.elapsed().as_secs_f64() * 1e3;
+    rows.push(Row {
+        section,
+        mode: mode_name,
+        threads: 0,
+        wall_ms: wall_seq,
+        speedup: 1.0,
+    });
+
+    let mut best = 0.0f64;
+    for &t in threads {
+        let t0 = Instant::now();
+        let pars: Vec<_> = inits
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                Executor::with_faults(net, plane, i as u64)
+                    .without_trace()
+                    .run_parallel(w, query, mode, t)
+            })
+            .collect();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        for (q, (seq, par)) in reference.iter().zip(&pars).enumerate() {
+            assert_eq!(
+                seq.metrics, par.metrics,
+                "{section}/{mode_name} q={q} threads={t}: ledgers must be bit-identical"
+            );
+            assert_eq!(
+                seq.answers, par.answers,
+                "{section}/{mode_name} q={q} threads={t}"
+            );
+            assert_eq!(
+                seq.coverage, par.coverage,
+                "{section}/{mode_name} q={q} threads={t}"
+            );
+            sink = sink.wrapping_add(par.metrics.latency);
+        }
+        let speedup = wall_seq / wall.max(1e-9);
+        println!(
+            "{section:<8} {mode_name:<9} threads {t}: {wall:>9.2} ms  (seq {wall_seq:>9.2} ms, speedup {speedup:.2}x)"
+        );
+        rows.push(Row {
+            section,
+            mode: mode_name,
+            threads: t,
+            wall_ms: wall,
+            speedup,
+        });
+        best = best.max(speedup);
+    }
+
+    // Faulted equivalence spot-check: keyed fault streams must make drops,
+    // retries and failovers schedule-free too.
+    let faulted = FaultPlane {
+        drop_probability: 0.08,
+        timeout_hops: 2,
+        max_retries: 2,
+        seed: 0x9e37,
+        ..FaultPlane::none()
+    };
+    let widest = threads.iter().copied().max().unwrap_or(1);
+    for (i, &w) in inits.iter().take(2).enumerate() {
+        let exec = Executor::with_faults(net, faulted, 0xf0 ^ i as u64).without_trace();
+        let seq = exec.run(w, query, mode);
+        let par = exec.run_parallel(w, query, mode, widest);
+        assert_eq!(
+            seq.metrics, par.metrics,
+            "{section}/{mode_name} faulted q={i}"
+        );
+        assert_eq!(
+            seq.answers, par.answers,
+            "{section}/{mode_name} faulted q={i}"
+        );
+        assert_eq!(
+            seq.coverage, par.coverage,
+            "{section}/{mode_name} faulted q={i}"
+        );
+    }
+    eprintln!("{section:<8} {mode_name:<9} determinism token {sink}");
+    best
+}
+
+fn main() {
+    let cfg = parse_args();
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "building network: {} peers, {} tuples, {DIMS}-d (hardware threads: {hw}) ...",
+        cfg.peers, cfg.records
+    );
+    let mut rng = SmallRng::seed_from_u64(0x9a11e1);
+    let data = ripple_data::synth::uniform(DIMS, cfg.records, &mut rng);
+    let net = midas_uniform_with_data(DIMS, cfg.peers, false, &data, 7);
+    let inits = initiators(&net, cfg.queries, 0x3);
+
+    let mut rows = Vec::new();
+    let mut best = 0.0f64;
+    let topk = TopKQuery::new(LinearScore::uniform(DIMS), K);
+    for (name, mode) in [
+        ("fast", Mode::Fast),
+        ("broadcast", Mode::Broadcast),
+        ("ripple2", Mode::Ripple(2)),
+    ] {
+        best = best.max(sweep(
+            &net,
+            &topk,
+            &inits,
+            mode,
+            name,
+            "topk",
+            &cfg.threads,
+            &mut rows,
+        ));
+    }
+    best = best.max(sweep(
+        &net,
+        &SkylineQuery::new(),
+        &inits,
+        Mode::Fast,
+        "fast",
+        "skyline",
+        &cfg.threads,
+        &mut rows,
+    ));
+
+    // Hardware-aware acceptance gate. The 3x target is meaningful only when
+    // the host can actually run >= 8 workers in parallel *and* the sweep
+    // includes that width; otherwise the honest gate is an overhead floor.
+    let wants_3x = hw >= 8 && !cfg.smoke && cfg.threads.iter().any(|&t| t >= 8);
+    let (gate_name, gate) = if wants_3x {
+        ("speedup >= 3.0 at >= 8 threads on >= 8-way hardware", 3.0)
+    } else if hw >= 2 && cfg.threads.iter().any(|&t| t >= 2) {
+        (
+            "best speedup >= 1.0 (multi-core host, tiny/smoke scale)",
+            1.0,
+        )
+    } else {
+        (
+            "best speedup >= 0.85 (single-lane host: pool overhead floor only)",
+            0.85,
+        )
+    };
+
+    let mut row_json = String::new();
+    for r in &rows {
+        let engine = if r.threads == 0 {
+            "sequential"
+        } else {
+            "parallel"
+        };
+        let _ = writeln!(
+            row_json,
+            "    {{ \"section\": \"{}\", \"mode\": \"{}\", \"engine\": \"{engine}\", \
+             \"threads\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3} }},",
+            r.section, r.mode, r.threads, r.wall_ms, r.speedup,
+        );
+    }
+    let row_json = row_json.trim_end().trim_end_matches(',').to_string();
+    let threads_list = cfg
+        .threads
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_exec\",\n  \"config\": {{ \"peers\": {}, \"records\": {}, \
+         \"dims\": {DIMS}, \"queries\": {}, \"k\": {K}, \"threads\": [{threads_list}], \
+         \"smoke\": {} }},\n  \"hardware\": {{ \"available_parallelism\": {hw} }},\n  \
+         \"equivalence\": \"bit-identical metrics, answers and coverage asserted for every \
+         query x mode x thread count, plus a faulted spot-check per mode\",\n  \
+         \"acceptance\": {{ \"gate\": \"{gate_name}\", \"best_speedup\": {best:.3} }},\n  \
+         \"sweep\": [\n{row_json}\n  ]\n}}\n",
+        cfg.peers, cfg.records, cfg.queries, cfg.smoke,
+    );
+    // Smoke runs land in target/ so repeated gate runs never clobber the
+    // committed full-scale numbers.
+    let path = if cfg.smoke {
+        std::fs::create_dir_all("target").expect("create target dir");
+        "target/BENCH_PR3_parallel_exec_smoke.json"
+    } else {
+        std::fs::create_dir_all("results").expect("create results dir");
+        "results/BENCH_PR3_parallel_exec.json"
+    };
+    std::fs::write(path, json).expect("write results");
+    eprintln!("wrote {path}");
+
+    assert!(
+        best >= gate,
+        "acceptance: {gate_name} (best {best:.3}x on {hw}-way hardware)"
+    );
+    println!("acceptance: best speedup {best:.2}x  [{gate_name}] — ok");
+}

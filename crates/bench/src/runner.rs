@@ -109,10 +109,16 @@ pub fn bits_per_dim(dims: usize) -> u32 {
 
 /// Runs `seeds.len()` queries in parallel across the available cores and
 /// aggregates their ledgers into one summary.
+///
+/// An empty seed list yields the empty summary (zero queries) rather than
+/// panicking: `chunks(0)` is what a naive `div_ceil` chunking would ask for.
 pub fn parallel_queries<F>(seeds: &[u64], query: F) -> PointSummary
 where
     F: Fn(u64) -> QueryMetrics + Sync,
 {
+    if seeds.is_empty() {
+        return PointSummary::empty();
+    }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -190,6 +196,18 @@ mod tests {
             s.congestion_max, 97,
             "chunk merge must sum per-peer visit counts"
         );
+    }
+
+    #[test]
+    fn parallel_queries_with_no_seeds_returns_empty_summary() {
+        // Regression: `seeds.len().div_ceil(threads)` is 0 for an empty seed
+        // list, and `chunks(0)` panics. Sweeps with a filtered-out point must
+        // degrade to the empty summary instead of tearing down the run.
+        let s = parallel_queries(&[], |_| unreachable!("no query must run"));
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.latency, 0.0);
+        assert_eq!(s.congestion_max, 0);
+        assert_eq!(s.duplicate_visits, 0);
     }
 
     #[test]

@@ -25,3 +25,12 @@ pub use div_baseline::{baseline_diversify, stream_single_tuple};
 pub use dsl::{dsl_skyline, DslOutcome};
 pub use network::{CanNetwork, CanPeer};
 pub use skyframe::{skyframe_skyline, SkyframeOutcome};
+
+// Compile-time audit: baseline comparisons run side by side with the
+// parallel RIPPLE engine, so the CAN overlay must stay shareable across
+// threads (`Send + Sync`) like the RIPPLE substrates.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CanNetwork>();
+    assert_send_sync::<CanPeer>();
+};

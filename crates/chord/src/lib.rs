@@ -14,3 +14,12 @@ pub mod network;
 pub mod ripple_impl;
 
 pub use network::{ChordNetwork, ChordPeer};
+
+// Compile-time audit: `Executor::run_parallel` walks the ring from several
+// worker threads at once through `&ChordNetwork`, so the overlay must be
+// `Send + Sync` (the peer stores only use lock-guarded interior mutability).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ChordNetwork>();
+    assert_send_sync::<ChordPeer>();
+};

@@ -72,6 +72,10 @@ impl RippleOverlay for ChordNetwork {
         links
     }
 
+    fn peer_count(&self) -> usize {
+        ChordNetwork::peer_count(self)
+    }
+
     fn peer_tuples(&self, peer: PeerId) -> &[Tuple] {
         self.peer(peer).store.tuples()
     }

@@ -1,0 +1,87 @@
+//! Chord-side parallel-execution equivalence: the twins of `ripple-core`'s
+//! `parallel_equivalence` suite, proving the intra-query parallel engine is
+//! substrate-generic. Ring-arc regions (`Vec<Rect>` with wrap-around
+//! segments) exercise a different region algebra than MIDAS boxes, and the
+//! clockwise failover discipline trims restrictions — the parallel engine
+//! must reproduce all of it bit-for-bit.
+
+use ripple_chord::ChordNetwork;
+use ripple_core::framework::Mode;
+use ripple_core::topk::TopKQuery;
+use ripple_core::Executor;
+use ripple_geom::{LinearScore, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
+use ripple_net::FaultPlane;
+
+const MODES: [Mode; 4] = [Mode::Fast, Mode::Broadcast, Mode::Ripple(2), Mode::Slow];
+
+fn loaded_ring(peers: usize, tuples: u64, seed: u64) -> (ChordNetwork, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = ChordNetwork::build(peers, &mut rng);
+    let data: Vec<Tuple> = (0..tuples)
+        .map(|i| Tuple::new(i, vec![rng.gen::<f64>()]))
+        .collect();
+    net.insert_all(data);
+    (net, rng)
+}
+
+#[test]
+fn parallel_equals_sequential_on_the_ring() {
+    let (net, mut rng) = loaded_ring(80, 500, 61);
+    let planes = [FaultPlane::none(), FaultPlane::drops(0.15, 23)];
+    for k in [1usize, 10] {
+        let q = TopKQuery::new(LinearScore::uniform(1), k);
+        for plane in planes {
+            for mode in MODES {
+                let initiator = net.random_peer(&mut rng);
+                let exec = Executor::with_faults(&net, plane, 5);
+                let seq = exec.run(initiator, &q, mode);
+                for threads in [2usize, 4] {
+                    let par = exec.run_parallel(initiator, &q, mode, threads);
+                    assert_eq!(
+                        seq.metrics, par.metrics,
+                        "k={k} [{mode:?}, {threads} threads, drop_p={}]",
+                        plane.drop_probability
+                    );
+                    assert_eq!(seq.answers, par.answers, "k={k} [{mode:?}]");
+                    assert_eq!(seq.coverage, par.coverage, "k={k} [{mode:?}]");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_on_a_crashed_ring() {
+    let (mut net, mut rng) = loaded_ring(64, 400, 62);
+    for _ in 0..6 {
+        let live = net.live_peers();
+        if live.len() > 2 {
+            let victim = live[rng.gen_range(1..live.len())];
+            net.crash(victim);
+        }
+    }
+    net.check_invariants();
+    let crash_aware = FaultPlane {
+        crash_fraction: 1.0,
+        timeout_hops: 2,
+        max_retries: 1,
+        seed: 5,
+        ..FaultPlane::none()
+    };
+    let q = TopKQuery::new(LinearScore::uniform(1), 10);
+    for mode in MODES {
+        let initiator = net.random_peer(&mut rng);
+        let exec = Executor::with_faults(&net, crash_aware, 13);
+        let seq = exec.run(initiator, &q, mode);
+        let par = exec.run_parallel(initiator, &q, mode, 4);
+        assert_eq!(seq.metrics, par.metrics, "[{mode:?}]");
+        assert_eq!(seq.answers, par.answers, "[{mode:?}]");
+        assert_eq!(
+            seq.coverage, par.coverage,
+            "[{mode:?}] trimmed failover restrictions must be reported \
+             identically"
+        );
+    }
+}

@@ -32,11 +32,37 @@
 //! exactly one `forward()` and one hop, making the fault-aware executor
 //! observationally identical to the historical fault-unaware one (enforced
 //! bit-for-bit by the equivalence tests).
+//!
+//! # Intra-query parallel execution
+//!
+//! `fast` and `broadcast` are *defined* as contacting all relevant links in
+//! parallel — the simulated latency is already `1 + max(children)` — yet a
+//! recursive walk explores the fan-out tree on one core.
+//! [`Executor::run_parallel`] executes the independent restriction-area
+//! subtrees of the fast templates concurrently on a scoped work-stealing
+//! pool ([`ripple_net::pool`]) while keeping the run **bit-identical** to
+//! [`Executor::run`]:
+//!
+//! * fault decisions are *addressable*: [`FaultSession`] keys every drop
+//!   verdict by `(query stream, sender, target, attempt)`, so a parallel
+//!   walk draws exactly the decisions a sequential walk would — no global
+//!   draw order exists for scheduling to perturb;
+//! * every branch accumulates into its own [`BranchLedger`] and parents reduce
+//!   children in **link order**, which restores the sequential executor's
+//!   visit trace (pre-order), answer stream (post-order), abandonment order
+//!   and counters exactly;
+//! * duplicate-visit detection runs against a [`ShardedVisited`] set whose
+//!   total anomaly count (`visits − distinct peers`) is schedule-free.
+//!
+//! `slow` is semantically sequential (each link waits for the previous
+//! state response) and always runs on the caller; `ripple(r)` runs its slow
+//! phase sequentially and parallelises the fast phase below the hop budget.
 
 use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
-use ripple_geom::Tuple;
-use ripple_net::{FaultPlane, FaultSession, LocalView, PeerId, QueryMetrics};
-use std::collections::HashSet;
+use ripple_net::hash::{fx_set_with_capacity, FxHashSet};
+use ripple_net::pool::{self, Pool};
+use ripple_net::{BranchLedger, FaultPlane, FaultSession, LocalView, PeerId, ShardedVisited};
+use std::sync::Arc;
 
 /// Executes RIPPLE queries over an overlay.
 pub struct Executor<'a, O> {
@@ -54,15 +80,37 @@ pub struct Executor<'a, O> {
     trace: bool,
 }
 
-struct RunState<'q, Q, L> {
+/// The mutable state threaded through one *sequential* execution.
+struct RunState<'q, Q> {
     query: &'q Q,
-    answers: Vec<Tuple>,
-    metrics: QueryMetrics,
-    visited: HashSet<PeerId>,
+    /// Cost counters, visit trace, answer stream and abandoned volumes —
+    /// the same ledger shape the parallel engine reduces per branch.
+    ledger: BranchLedger,
+    visited: FxHashSet<PeerId>,
     faults: FaultSession,
-    /// Absolute volumes of abandoned restriction areas.
-    unreachable: Vec<f64>,
-    _marker: std::marker::PhantomData<L>,
+}
+
+/// Everything a *parallel* execution shares across worker threads. Built
+/// before the pool scope opens so tasks can borrow it for the scope's
+/// lifetime; holds no per-branch mutable state (branches own their
+/// [`BranchLedger`]s, and [`FaultSession`] decisions are keyed, not drawn).
+struct ParCtx<'a, O, Q> {
+    exec: &'a Executor<'a, O>,
+    query: &'a Q,
+    visited: ShardedVisited,
+    faults: FaultSession,
+    trace: bool,
+}
+
+impl<O: RippleOverlay, Q> ParCtx<'_, O, Q> {
+    /// Marks a peer visited (the parallel twin of [`Executor::visit`]): the
+    /// sharded set makes the *total* duplicate count schedule-independent.
+    fn visit(&self, peer: PeerId, ledger: &mut BranchLedger) {
+        if !self.visited.insert(peer) {
+            ledger.metrics.duplicate_visits += 1;
+        }
+        ledger.metrics.visit(peer);
+    }
 }
 
 impl<'a, O: RippleOverlay> Executor<'a, O> {
@@ -118,6 +166,21 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         }
     }
 
+    /// Turns the absolute abandoned volumes of a finished execution into
+    /// the outcome's [`Coverage`].
+    fn coverage_of(&self, unreachable: &[f64]) -> Coverage {
+        if unreachable.is_empty() {
+            return Coverage::full();
+        }
+        let full_vol = self.net.region_volume(&self.net.full_region());
+        let unreachable: Vec<f64> = unreachable.iter().map(|v| v / full_vol).collect();
+        let lost: f64 = unreachable.iter().sum();
+        Coverage {
+            answered_fraction: (1.0 - lost).clamp(0.0, 1.0),
+            unreachable,
+        }
+    }
+
     /// Processes `query` from `initiator` in the given mode, returning the
     /// collected answers, the initiator's final state and the cost ledger.
     pub fn run<Q>(&self, initiator: PeerId, query: &Q, mode: Mode) -> QueryOutcome<Q::Local>
@@ -130,12 +193,11 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         );
         let mut run = RunState {
             query,
-            answers: Vec::new(),
-            metrics: QueryMetrics::with_trace(self.trace),
-            visited: HashSet::new(),
+            ledger: BranchLedger::new(self.trace),
+            // Worst case every peer is visited (broadcast); pre-sizing from
+            // the overlay keeps the hot set from rehashing mid-query.
+            visited: fx_set_with_capacity(self.net.peer_count()),
             faults: self.plane.session(self.stream),
-            unreachable: Vec::new(),
-            _marker: std::marker::PhantomData,
         };
         let full = self.net.full_region();
         let global = query.initial_global();
@@ -146,22 +208,81 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             Mode::Ripple(r) => self.ripple(initiator, &global, full, r, &mut run),
             Mode::Broadcast => self.broadcast(initiator, &global, full, &mut run),
         };
-        run.metrics.latency = latency;
-        let coverage = if run.unreachable.is_empty() {
-            Coverage::full()
-        } else {
-            let full_vol = self.net.region_volume(&self.net.full_region());
-            let unreachable: Vec<f64> = run.unreachable.iter().map(|v| v / full_vol).collect();
-            let lost: f64 = unreachable.iter().sum();
-            Coverage {
-                answered_fraction: (1.0 - lost).clamp(0.0, 1.0),
-                unreachable,
-            }
-        };
+        let mut metrics = run.ledger.metrics;
+        metrics.latency = latency;
+        let coverage = self.coverage_of(&run.ledger.unreachable);
         QueryOutcome {
-            answers: run.answers,
+            answers: run.ledger.answers,
             state,
-            metrics: run.metrics,
+            metrics,
+            coverage,
+        }
+    }
+
+    /// Processes `query` like [`run`](Executor::run), but executes the
+    /// independent restriction-area subtrees of the *fast* templates
+    /// (`Fast`, `Broadcast`, and the fast phase of `Ripple(r)`) concurrently
+    /// on a scoped work-stealing pool of `threads` participants.
+    ///
+    /// The outcome is **bit-identical** to the sequential one — same
+    /// answers, same [`QueryMetrics`] including the visit trace, same
+    /// [`Coverage`] — for every mode, fault plane and thread count; the
+    /// equivalence suite enforces this. With `threads <= 1`, or for
+    /// `Mode::Slow` (semantically sequential: every link waits for the
+    /// previous state response), this *is* the sequential engine.
+    ///
+    /// [`QueryMetrics`]: ripple_net::QueryMetrics
+    pub fn run_parallel<Q>(
+        &self,
+        initiator: PeerId,
+        query: &Q,
+        mode: Mode,
+        threads: usize,
+    ) -> QueryOutcome<Q::Local>
+    where
+        O: Sync,
+        O::Region: Send,
+        Q: RankQuery<O::Region> + Sync,
+        Q::Global: Send + Sync,
+        Q::Local: Send,
+    {
+        if threads <= 1 || matches!(mode, Mode::Slow) {
+            return self.run(initiator, query, mode);
+        }
+        assert!(
+            self.net.is_peer_live(initiator),
+            "query initiated at a crashed peer {initiator}"
+        );
+        let ctx = ParCtx {
+            exec: self,
+            query,
+            visited: ShardedVisited::new(self.net.peer_count(), threads * 4),
+            faults: self.plane.session(self.stream),
+            trace: self.trace,
+        };
+        let (state, latency, ledger) = pool::scope(threads - 1, |pool| {
+            let mut ledger = BranchLedger::new(self.trace);
+            let full = self.net.full_region();
+            let global = ctx.query.initial_global();
+            let (state, latency) = match mode {
+                Mode::Fast | Mode::Ripple(0) => {
+                    fast_par(&ctx, initiator, &global, full, false, pool, &mut ledger)
+                }
+                Mode::Ripple(r) => ripple_par(&ctx, initiator, &global, full, r, pool, &mut ledger),
+                Mode::Broadcast => {
+                    broadcast_par(&ctx, initiator, &Arc::new(global), full, pool, &mut ledger)
+                }
+                Mode::Slow => unreachable!("slow mode delegates to the sequential engine"),
+            };
+            (state, latency, ledger)
+        });
+        let mut metrics = ledger.metrics;
+        metrics.latency = latency;
+        let coverage = self.coverage_of(&ledger.unreachable);
+        QueryOutcome {
+            answers: ledger.answers,
+            state,
+            metrics,
             coverage,
         }
     }
@@ -171,14 +292,16 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// anomaly, counted in [`QueryMetrics::duplicate_visits`] and surfaced
     /// all the way into the figure CSVs rather than tolerated silently (or
     /// audited only in debug builds, as before).
-    fn visit<Q: RankQuery<O::Region>>(&self, peer: PeerId, run: &mut RunState<'_, Q, Q::Local>) {
+    ///
+    /// [`QueryMetrics::duplicate_visits`]: ripple_net::QueryMetrics::duplicate_visits
+    fn visit<Q>(&self, peer: PeerId, run: &mut RunState<'_, Q>) {
         if !run.visited.insert(peer) {
-            run.metrics.duplicate_visits += 1;
+            run.ledger.metrics.duplicate_visits += 1;
         }
-        run.metrics.visit(peer);
+        run.ledger.metrics.visit(peer);
     }
 
-    /// Simulates the retransmission loop against one fixed `target`:
+    /// Simulates the retransmission loop of the edge `sender → target`:
     /// `1 + max_retries` send attempts, each lost to the network with the
     /// plane's drop probability (or unacknowledged outright when the target
     /// is dead), each loss costing the sender a timeout wait that backs off
@@ -186,54 +309,62 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// that passed at the sender and whether the message was eventually
     /// processed (in which case `elapsed` includes the final transit hop and
     /// the target's slow-peer penalty).
-    fn transmit<Q: RankQuery<O::Region>>(
+    ///
+    /// Each attempt's drop verdict comes from the fault session's stream
+    /// keyed by `(sender, target, attempt)` — no draw-order state exists, so
+    /// sequential and parallel walks of the same tree see the same losses.
+    fn transmit(
         &self,
+        sender: PeerId,
         target: PeerId,
-        run: &mut RunState<'_, Q, Q::Local>,
+        faults: &FaultSession,
+        ledger: &mut BranchLedger,
     ) -> (u64, bool) {
         let alive = self.net.is_peer_live(target);
         let mut elapsed = 0u64;
         let mut attempt = 0u32;
         loop {
-            run.metrics.forward();
+            ledger.metrics.forward();
             // `&&` short-circuits: sends to a dead peer are lost without
-            // consuming a drop decision, so the drop stream depends only on
-            // the number of transmissions to live peers.
-            if alive && !run.faults.drops_message() {
-                return (elapsed + 1 + run.faults.slow_penalty(target), true);
+            // consulting the drop stream (the keyed verdict for that edge is
+            // simply never asked for).
+            if alive && !faults.drops_message(sender, target, attempt) {
+                return (elapsed + 1 + faults.slow_penalty(target), true);
             }
             if alive {
-                run.metrics.messages_dropped += 1;
+                ledger.metrics.messages_dropped += 1;
             }
-            run.metrics.timeouts += 1;
-            elapsed += run.faults.timeout() << attempt.min(16);
-            if attempt >= run.faults.max_retries() {
+            ledger.metrics.timeouts += 1;
+            elapsed += faults.timeout() << attempt.min(16);
+            if attempt >= faults.max_retries() {
                 return (elapsed, false);
             }
             attempt += 1;
-            run.metrics.retries += 1;
+            ledger.metrics.retries += 1;
         }
     }
 
-    /// Delivers a query-forward into `restriction`, starting at the link
-    /// target `first` and failing over across the overlay's alternate live
-    /// candidates when retransmissions are exhausted. Returns the simulated
-    /// hops spent at the sender and the peer that ended up processing the
-    /// message together with the (possibly failover-trimmed) restriction it
-    /// covers — or `None` when every candidate failed. Both the trimmed-off
-    /// parts and fully abandoned areas are recorded as unreachable
-    /// (graceful degradation, honestly accounted).
+    /// Delivers a query-forward from `sender` into `restriction`, starting
+    /// at the link target `first` and failing over across the overlay's
+    /// alternate live candidates when retransmissions are exhausted. Returns
+    /// the simulated hops spent at the sender and the peer that ended up
+    /// processing the message together with the (possibly failover-trimmed)
+    /// restriction it covers — or `None` when every candidate failed. Both
+    /// the trimmed-off parts and fully abandoned areas are recorded as
+    /// unreachable (graceful degradation, honestly accounted).
     ///
     /// With an inactive fault session this is exactly one `forward()` and
     /// one hop — bit-identical to the historical fault-unaware executor.
-    fn deliver<Q: RankQuery<O::Region>>(
+    fn deliver(
         &self,
+        sender: PeerId,
         first: PeerId,
         restriction: O::Region,
-        run: &mut RunState<'_, Q, Q::Local>,
+        faults: &FaultSession,
+        ledger: &mut BranchLedger,
     ) -> (u64, Option<(PeerId, O::Region)>) {
-        if !run.faults.active() {
-            run.metrics.forward();
+        if !faults.active() {
+            ledger.metrics.forward();
             return (1, Some((first, restriction)));
         }
         let mut elapsed = 0u64;
@@ -241,7 +372,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let mut target = first;
         let mut restriction = restriction;
         loop {
-            let (spent, delivered) = self.transmit(target, run);
+            let (spent, delivered) = self.transmit(sender, target, faults, ledger);
             elapsed += spent;
             if delivered {
                 return (elapsed, Some((target, restriction)));
@@ -251,27 +382,19 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 Some((next, sub)) => {
                     let lost = self.net.region_volume(&restriction) - self.net.region_volume(&sub);
                     if lost > 1e-12 {
-                        run.unreachable.push(lost);
+                        ledger.unreachable.push(lost);
                     }
                     restriction = sub;
                     target = next;
                 }
                 None => {
-                    run.unreachable.push(self.net.region_volume(&restriction));
+                    ledger
+                        .unreachable
+                        .push(self.net.region_volume(&restriction));
                     return (elapsed, None);
                 }
             }
         }
-    }
-
-    /// Deposits a peer's local answer with the initiator.
-    fn send_answer<Q: RankQuery<O::Region>>(
-        &self,
-        answer: Vec<Tuple>,
-        run: &mut RunState<'_, Q, Q::Local>,
-    ) {
-        run.metrics.respond(answer.len());
-        run.answers.extend(answer);
     }
 
     /// Algorithm 1 — and the `r = 0` loop of Algorithm 3 when
@@ -290,7 +413,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         global: &Q::Global,
         restriction: O::Region,
         report_states: bool,
-        run: &mut RunState<'_, Q, Q::Local>,
+        run: &mut RunState<'_, Q>,
     ) -> (Q::Local, u64)
     where
         Q: RankQuery<O::Region>,
@@ -309,7 +432,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
-            let (delay, adopted) = self.deliver(target, restricted, run);
+            let (delay, adopted) =
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
             let Some((dest, restricted)) = adopted else {
                 // subtree unreachable: the time wasted waiting still counts
                 latency = latency.max(delay);
@@ -321,9 +445,9 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             remote_states.push(remote);
         }
         let answer = run.query.compute_local_answer(&view, &local);
-        self.send_answer(answer, run);
+        run.ledger.answer(answer);
         if report_states {
-            run.metrics.respond(run.query.state_payload(&local));
+            run.ledger.metrics.respond(run.query.state_payload(&local));
         }
         let merged = if remote_states.is_empty() {
             local
@@ -340,7 +464,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         w: PeerId,
         global: &Q::Global,
         restriction: O::Region,
-        run: &mut RunState<'_, Q, Q::Local>,
+        run: &mut RunState<'_, Q>,
     ) -> (Q::Local, u64)
     where
         Q: RankQuery<O::Region>,
@@ -372,7 +496,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
-            let (delay, adopted) = self.deliver(target, restricted, run);
+            let (delay, adopted) =
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
             let Some((dest, restricted)) = adopted else {
                 // unreachable: sequential mode pays the wait in full
                 latency += delay;
@@ -381,12 +506,12 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             let (remote, child_latency) = self.slow(dest, &global_w, restricted, run);
             latency += delay + child_latency;
             // the state response from the child
-            run.metrics.respond(run.query.state_payload(&remote));
+            run.ledger.metrics.respond(run.query.state_payload(&remote));
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
         let answer = run.query.compute_local_answer(&view, &local);
-        self.send_answer(answer, run);
+        run.ledger.answer(answer);
         (local, latency)
     }
 
@@ -397,7 +522,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         global: &Q::Global,
         restriction: O::Region,
         r: u32,
-        run: &mut RunState<'_, Q, Q::Local>,
+        run: &mut RunState<'_, Q>,
     ) -> (Q::Local, u64)
     where
         Q: RankQuery<O::Region>,
@@ -434,7 +559,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
-            let (delay, adopted) = self.deliver(target, restricted, run);
+            let (delay, adopted) =
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
             let Some((dest, restricted)) = adopted else {
                 latency += delay;
                 continue;
@@ -445,7 +571,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 self.fast(dest, &global_w, restricted, true, run)
             } else {
                 let out = self.ripple(dest, &global_w, restricted, r - 1, run);
-                run.metrics.respond(run.query.state_payload(&out.0));
+                run.ledger.metrics.respond(run.query.state_payload(&out.0));
                 out
             };
             latency += delay + child_latency;
@@ -453,7 +579,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             global_w = run.query.compute_global_state(global, &local);
         }
         let answer = run.query.compute_local_answer(&view, &local);
-        self.send_answer(answer, run);
+        run.ledger.answer(answer);
         (local, latency)
     }
 
@@ -465,7 +591,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         w: PeerId,
         global: &Q::Global,
         restriction: O::Region,
-        run: &mut RunState<'_, Q, Q::Local>,
+        run: &mut RunState<'_, Q>,
     ) -> (Q::Local, u64)
     where
         Q: RankQuery<O::Region>,
@@ -479,7 +605,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             let Some(restricted) = self.net.region_intersect(&region, &restriction) else {
                 continue;
             };
-            let (delay, adopted) = self.deliver(target, restricted, run);
+            let (delay, adopted) =
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
             let Some((dest, restricted)) = adopted else {
                 latency = latency.max(delay);
                 continue;
@@ -489,7 +616,300 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             latency = latency.max(delay + child_latency);
         }
         let answer = run.query.compute_local_answer(&view, &local);
-        self.send_answer(answer, run);
+        run.ledger.answer(answer);
         (local, latency)
     }
+}
+
+/// One forked branch of a parallel fast/broadcast fan-out: the delivery
+/// delay of the edge that reached it, the subtree's result (state and
+/// completion latency; `None` when every delivery candidate failed), and
+/// the branch's partial ledger.
+type Branch<L> = (u64, Option<(L, u64)>, BranchLedger);
+
+/// Parallel Algorithm 1 (and the fast phase of Algorithm 3): the mirror of
+/// [`Executor::fast`] that forks one task per relevant link and reduces the
+/// children's [`BranchLedger`]s back **in link order**, which restores the
+/// sequential executor's ledger bit-for-bit (pre-order visits, post-order
+/// answers, link-order abandonment; counters are order-free sums).
+///
+/// Relevance is decided *before* forking, against the same `global_w` the
+/// sequential loop uses — `fast` never refines the global state between
+/// links, so the link filter is identical by construction.
+fn fast_par<'env, O, Q>(
+    ctx: &'env ParCtx<'env, O, Q>,
+    w: PeerId,
+    global: &Q::Global,
+    restriction: O::Region,
+    report_states: bool,
+    pool: &Pool<'env>,
+    ledger: &mut BranchLedger,
+) -> (Q::Local, u64)
+where
+    O: RippleOverlay + Sync,
+    O::Region: Send + 'env,
+    Q: RankQuery<O::Region> + Sync,
+    Q::Global: Send + Sync + 'env,
+    Q::Local: Send + 'env,
+{
+    ctx.visit(w, ledger);
+    let view = ctx.exec.view_of(w);
+    let local = ctx.query.compute_local_state(&view, global);
+    let global_w = Arc::new(ctx.query.compute_global_state(global, &local));
+
+    // The same links, filtered by the same predicates, in the same order as
+    // the sequential loop.
+    let links: Vec<(PeerId, O::Region)> = ctx
+        .exec
+        .net
+        .peer_links(w)
+        .into_iter()
+        .filter_map(|(t, region)| {
+            ctx.exec
+                .net
+                .region_intersect(&region, &restriction)
+                .map(|rr| (t, rr))
+        })
+        .filter(|(_, rr)| ctx.query.is_link_relevant(rr, &global_w))
+        .collect();
+
+    let mut latency = 0u64;
+    let mut remote_states = Vec::new();
+    if links.len() <= 1 {
+        // A chain: forking buys nothing, recurse inline on this thread.
+        for (target, restricted) in links {
+            let (delay, adopted) = ctx.exec.deliver(w, target, restricted, &ctx.faults, ledger);
+            match adopted {
+                None => latency = latency.max(delay),
+                Some((dest, restricted)) => {
+                    let (remote, child_latency) = fast_par(
+                        ctx,
+                        dest,
+                        &global_w,
+                        restricted,
+                        report_states,
+                        pool,
+                        ledger,
+                    );
+                    latency = latency.max(delay + child_latency);
+                    remote_states.push(remote);
+                }
+            }
+        }
+    } else {
+        let branches: Vec<Branch<Q::Local>> = pool.join_all(
+            links
+                .into_iter()
+                .map(|(target, restricted)| {
+                    let global_w = Arc::clone(&global_w);
+                    move |pool: &Pool<'env>| {
+                        let mut branch = BranchLedger::new(ctx.trace);
+                        let (delay, adopted) =
+                            ctx.exec
+                                .deliver(w, target, restricted, &ctx.faults, &mut branch);
+                        match adopted {
+                            None => (delay, None, branch),
+                            Some((dest, restricted)) => {
+                                let (remote, child_latency) = fast_par(
+                                    ctx,
+                                    dest,
+                                    &global_w,
+                                    restricted,
+                                    report_states,
+                                    pool,
+                                    &mut branch,
+                                );
+                                (delay, Some((remote, child_latency)), branch)
+                            }
+                        }
+                    }
+                })
+                .collect(),
+        );
+        for (delay, result, branch) in branches {
+            ledger.merge_child(branch);
+            match result {
+                None => latency = latency.max(delay),
+                Some((remote, child_latency)) => {
+                    latency = latency.max(delay + child_latency);
+                    remote_states.push(remote);
+                }
+            }
+        }
+    }
+    let answer = ctx.query.compute_local_answer(&view, &local);
+    ledger.answer(answer);
+    if report_states {
+        ledger.metrics.respond(ctx.query.state_payload(&local));
+    }
+    let merged = if remote_states.is_empty() {
+        local
+    } else {
+        remote_states.push(local);
+        ctx.query.update_local_state(remote_states)
+    };
+    (merged, latency)
+}
+
+/// Parallel Algorithm 3: the slow phase above the hop budget is semantically
+/// sequential (every link waits for the previous state response before
+/// relevance is re-decided), so it runs on the caller and accumulates into
+/// the shared ledger exactly like [`Executor::ripple`]; once `r` reaches 0
+/// the fast-phase subtrees fan out through [`fast_par`].
+fn ripple_par<'env, O, Q>(
+    ctx: &'env ParCtx<'env, O, Q>,
+    w: PeerId,
+    global: &Q::Global,
+    restriction: O::Region,
+    r: u32,
+    pool: &Pool<'env>,
+    ledger: &mut BranchLedger,
+) -> (Q::Local, u64)
+where
+    O: RippleOverlay + Sync,
+    O::Region: Send + 'env,
+    Q: RankQuery<O::Region> + Sync,
+    Q::Global: Send + Sync + 'env,
+    Q::Local: Send + 'env,
+{
+    if r == 0 {
+        return fast_par(ctx, w, global, restriction, true, pool, ledger);
+    }
+    ctx.visit(w, ledger);
+    let view = ctx.exec.view_of(w);
+    let mut local = ctx.query.compute_local_state(&view, global);
+    let mut global_w = ctx.query.compute_global_state(global, &local);
+
+    let mut links: Vec<(PeerId, O::Region)> = ctx
+        .exec
+        .net
+        .peer_links(w)
+        .into_iter()
+        .filter_map(|(t, region)| {
+            ctx.exec
+                .net
+                .region_intersect(&region, &restriction)
+                .map(|rr| (t, rr))
+        })
+        .collect();
+    links.sort_by(|a, b| {
+        ctx.query
+            .priority(&b.1)
+            .total_cmp(&ctx.query.priority(&a.1))
+    });
+
+    let mut latency = 0u64;
+    for (target, restricted) in links {
+        if !ctx.query.is_link_relevant(&restricted, &global_w) {
+            continue;
+        }
+        let (delay, adopted) = ctx.exec.deliver(w, target, restricted, &ctx.faults, ledger);
+        let Some((dest, restricted)) = adopted else {
+            latency += delay;
+            continue;
+        };
+        let (remote, child_latency) = if r == 1 {
+            fast_par(ctx, dest, &global_w, restricted, true, pool, ledger)
+        } else {
+            let out = ripple_par(ctx, dest, &global_w, restricted, r - 1, pool, ledger);
+            ledger.metrics.respond(ctx.query.state_payload(&out.0));
+            out
+        };
+        latency += delay + child_latency;
+        local = ctx.query.update_local_state(vec![local, remote]);
+        global_w = ctx.query.compute_global_state(global, &local);
+    }
+    let answer = ctx.query.compute_local_answer(&view, &local);
+    ledger.answer(answer);
+    (local, latency)
+}
+
+/// Parallel naive broadcast: [`Executor::broadcast`] with the fan-out forked
+/// per link. The global state is never refined, so one `Arc` of the
+/// initiator's state is shared down the whole tree.
+fn broadcast_par<'env, O, Q>(
+    ctx: &'env ParCtx<'env, O, Q>,
+    w: PeerId,
+    global: &Arc<Q::Global>,
+    restriction: O::Region,
+    pool: &Pool<'env>,
+    ledger: &mut BranchLedger,
+) -> (Q::Local, u64)
+where
+    O: RippleOverlay + Sync,
+    O::Region: Send + 'env,
+    Q: RankQuery<O::Region> + Sync,
+    Q::Global: Send + Sync + 'env,
+    Q::Local: Send + 'env,
+{
+    ctx.visit(w, ledger);
+    let view = ctx.exec.view_of(w);
+    let local = ctx.query.compute_local_state(&view, global);
+
+    let links: Vec<(PeerId, O::Region)> = ctx
+        .exec
+        .net
+        .peer_links(w)
+        .into_iter()
+        .filter_map(|(t, region)| {
+            ctx.exec
+                .net
+                .region_intersect(&region, &restriction)
+                .map(|rr| (t, rr))
+        })
+        .collect();
+
+    let mut latency = 0u64;
+    if links.len() <= 1 {
+        for (target, restricted) in links {
+            let (delay, adopted) = ctx.exec.deliver(w, target, restricted, &ctx.faults, ledger);
+            match adopted {
+                None => latency = latency.max(delay),
+                Some((dest, restricted)) => {
+                    let (_, child_latency) =
+                        broadcast_par(ctx, dest, global, restricted, pool, ledger);
+                    latency = latency.max(delay + child_latency);
+                }
+            }
+        }
+    } else {
+        let branches: Vec<Branch<Q::Local>> = pool.join_all(
+            links
+                .into_iter()
+                .map(|(target, restricted)| {
+                    let global = Arc::clone(global);
+                    move |pool: &Pool<'env>| {
+                        let mut branch = BranchLedger::new(ctx.trace);
+                        let (delay, adopted) =
+                            ctx.exec
+                                .deliver(w, target, restricted, &ctx.faults, &mut branch);
+                        match adopted {
+                            None => (delay, None, branch),
+                            Some((dest, restricted)) => {
+                                let (remote, child_latency) = broadcast_par(
+                                    ctx,
+                                    dest,
+                                    &global,
+                                    restricted,
+                                    pool,
+                                    &mut branch,
+                                );
+                                (delay, Some((remote, child_latency)), branch)
+                            }
+                        }
+                    }
+                })
+                .collect(),
+        );
+        for (delay, result, branch) in branches {
+            ledger.merge_child(branch);
+            match result {
+                None => latency = latency.max(delay),
+                Some((_, child_latency)) => latency = latency.max(delay + child_latency),
+            }
+        }
+    }
+    let answer = ctx.query.compute_local_answer(&view, &local);
+    ledger.answer(answer);
+    (local, latency)
 }

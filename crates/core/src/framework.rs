@@ -37,6 +37,12 @@ pub trait RippleOverlay {
     /// The regions of all links plus the peer's zone partition the domain.
     fn peer_links(&self, peer: PeerId) -> Vec<(PeerId, Self::Region)>;
 
+    /// Number of peers currently in the overlay. The executor uses it to
+    /// pre-size the per-query visited set (one entry per peer in the worst
+    /// case — broadcast visits everyone) and the parallel engine to shard
+    /// it; an estimate is fine, correctness never depends on the value.
+    fn peer_count(&self) -> usize;
+
     /// The tuples stored at `peer`.
     fn peer_tuples(&self, peer: PeerId) -> &[Tuple];
 

@@ -57,6 +57,8 @@ pub mod framework;
 mod index_equivalence;
 pub mod latency;
 pub mod midas_impl;
+#[cfg(test)]
+mod parallel_equivalence;
 pub mod range;
 pub mod skyline;
 pub mod topk;

@@ -31,6 +31,10 @@ impl RippleOverlay for MidasNetwork {
             .collect()
     }
 
+    fn peer_count(&self) -> usize {
+        MidasNetwork::peer_count(self)
+    }
+
     fn peer_tuples(&self, peer: PeerId) -> &[Tuple] {
         self.peer(peer).store.tuples()
     }

@@ -23,3 +23,13 @@ pub mod peer;
 
 pub use network::{MidasNetwork, SplitRule};
 pub use peer::{Link, MidasPeer};
+
+// Compile-time audit: the parallel execution engine in `ripple-core` shares
+// the overlay across worker threads by reference, so the network (and the
+// per-peer state it exposes) must be `Send + Sync`. Interior mutability in
+// the tuple stores is confined to `RwLock`ed caches, which preserves both.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MidasNetwork>();
+    assert_send_sync::<MidasPeer>();
+};

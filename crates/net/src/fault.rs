@@ -17,8 +17,15 @@
 //!
 //! Everything is a pure function of the seed: given the same plane and the
 //! same per-query stream id, a simulation replays bit-identically. The
-//! executor consumes the plane through per-query [`FaultSession`]s so that
-//! parallel query sweeps stay deterministic regardless of thread schedule.
+//! executor consumes the plane through per-query [`FaultSession`]s, and a
+//! session's decisions are **addressable, not ordered**: each drop decision
+//! is drawn from a splittable stream keyed by the logical edge
+//! `(query stream, sender, target, attempt)` rather than from one mutable
+//! generator consumed in execution order. A sequential walk and a parallel
+//! walk of the same fan-out tree therefore see *identical* fault decisions
+//! — there is no global draw order for thread scheduling to perturb —
+//! which is the property the intra-query parallel executor's bit-identical
+//! equivalence guarantee rests on.
 //!
 //! [`FaultPlane::none`] is the distinguished no-fault policy: an executor
 //! driven by it must be *observationally identical* — equal answers and
@@ -27,20 +34,15 @@
 
 use crate::peer::PeerId;
 use crate::rng::rngs::SmallRng;
-use crate::rng::{Rng, SeedableRng};
+use crate::rng::{mix64 as mix, Rng, SeedableRng};
 
 /// Salt mixed into the per-peer slowness hash (distinct from session
 /// streams so slow-set membership never correlates with drop decisions).
 const SLOW_SALT: u64 = 0x51_0e_5a_17_ee_d0_07_b5;
 
-/// splitmix64 finalizer — used for stateless per-peer decisions.
-#[inline]
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Salt for the per-edge drop-decision streams (distinct from every other
+/// consumer of the session base generator).
+const DROP_SALT: u64 = 0xd1_0b_5a_17_0f_ed_9e_5d;
 
 /// A seeded, deterministic fault-injection policy.
 ///
@@ -131,25 +133,35 @@ impl FaultPlane {
         (self.crash_fraction * n as f64).round() as usize
     }
 
-    /// Opens the per-query decision stream `stream` (drop decisions are
-    /// drawn from it in execution order, so a single-threaded query replay
-    /// is exact and parallel sweeps are schedule-independent).
+    /// Opens the per-query decision stream `stream`.
+    ///
+    /// Decisions within a session are *keyed*, not ordered (see
+    /// [`FaultSession::drops_message`]): a single-threaded query replay is
+    /// exact, parallel query sweeps are schedule-independent, and the
+    /// intra-query parallel executor sees the same decisions as a
+    /// sequential walk of the same tree.
     pub fn session(&self, stream: u64) -> FaultSession {
         FaultSession {
             plane: *self,
-            rng: SmallRng::seed_from_u64(
+            base: SmallRng::seed_from_u64(
                 mix(self.seed) ^ stream.wrapping_mul(0x2545_F491_4F6C_DD1D),
             ),
         }
     }
 }
 
-/// One query's view of the fault plane: the policy plus a private,
-/// deterministic random stream for per-message decisions.
+/// One query's view of the fault plane: the policy plus the base of a
+/// family of splittable per-edge decision streams.
+///
+/// The session holds **no mutable draw state** — every decision is a pure
+/// function of `(plane seed, query stream, decision key)` — so one session
+/// can be shared by reference across the worker threads of a parallel
+/// execution and still hand out exactly the decisions a sequential
+/// execution would have drawn.
 #[derive(Clone, Debug)]
 pub struct FaultSession {
     plane: FaultPlane,
-    rng: SmallRng,
+    base: SmallRng,
 }
 
 impl FaultSession {
@@ -159,9 +171,26 @@ impl FaultSession {
         !self.plane.is_none()
     }
 
-    /// Decides whether the next query-forward transmission is lost.
-    pub fn drops_message(&mut self) -> bool {
-        self.plane.drop_probability > 0.0 && self.rng.gen_bool(self.plane.drop_probability)
+    /// Decides whether transmission attempt `attempt` of a query-forward
+    /// from `sender` to `target` is lost in transit.
+    ///
+    /// The decision is drawn from the splittable stream keyed by
+    /// `(sender, target, attempt)` on top of the session's per-query base —
+    /// the same logical edge always receives the same verdict, no matter
+    /// which thread asks first or how many other edges were decided in
+    /// between. (Two *distinct* deliveries that happen to address the same
+    /// `(sender, target)` pair — a direct link and a later failover hop —
+    /// share their attempt streams by design: the keying trades that
+    /// harmless correlation for schedule independence.)
+    pub fn drops_message(&self, sender: PeerId, target: PeerId, attempt: u32) -> bool {
+        if self.plane.drop_probability <= 0.0 {
+            return false;
+        }
+        let key = mix(
+            mix(mix(DROP_SALT ^ sender.index() as u64) ^ target.index() as u64)
+                ^ u64::from(attempt),
+        );
+        self.base.split(key).gen_bool(self.plane.drop_probability)
     }
 
     /// The hop delay `peer` adds to a delivered message.
@@ -189,10 +218,10 @@ mod tests {
     fn none_is_inert() {
         let plane = FaultPlane::none();
         assert!(plane.is_none());
-        let mut s = plane.session(42);
+        let s = plane.session(42);
         assert!(!s.active());
-        for _ in 0..100 {
-            assert!(!s.drops_message());
+        for i in 0..100 {
+            assert!(!s.drops_message(PeerId::new(0), PeerId::new(i), 0));
         }
         assert_eq!(plane.slow_penalty(PeerId::new(7)), 0);
         assert_eq!(plane.crash_quota(1000), 0);
@@ -202,13 +231,46 @@ mod tests {
     fn drop_decisions_are_deterministic_and_track_p() {
         let plane = FaultPlane::drops(0.3, 99);
         let draw = |stream: u64| -> Vec<bool> {
-            let mut s = plane.session(stream);
-            (0..2000).map(|_| s.drops_message()).collect()
+            let s = plane.session(stream);
+            (0..2000u32)
+                .map(|i| s.drops_message(PeerId::new(i % 50), PeerId::new(i / 50), i % 4))
+                .collect()
         };
         assert_eq!(draw(1), draw(1), "same stream replays identically");
         assert_ne!(draw(1), draw(2), "streams are independent");
         let hits = draw(5).iter().filter(|&&b| b).count();
         assert!((450..750).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn drop_decisions_are_keyed_not_ordered() {
+        let plane = FaultPlane::drops(0.5, 7);
+        let s = plane.session(3);
+        // The verdict for an edge is independent of every other query made
+        // to the session — ask in two different interleavings and compare.
+        let edges: Vec<(PeerId, PeerId, u32)> = (0..200u32)
+            .map(|i| (PeerId::new(i % 13), PeerId::new(7 + i % 31), i % 3))
+            .collect();
+        let forward: Vec<bool> = edges
+            .iter()
+            .map(|&(a, b, n)| s.drops_message(a, b, n))
+            .collect();
+        let backward: Vec<bool> = edges
+            .iter()
+            .rev()
+            .map(|&(a, b, n)| s.drops_message(a, b, n))
+            .collect();
+        let backward_reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(
+            forward, backward_reversed,
+            "per-edge decisions must not depend on draw order"
+        );
+        // Attempts of one edge form their own stream: they must not all
+        // agree (else retries would be pointless under deterministic drops).
+        let varied = (0..64u32)
+            .map(|n| s.drops_message(PeerId::new(1), PeerId::new(2), n))
+            .collect::<Vec<_>>();
+        assert!(varied.iter().any(|&b| b) && varied.iter().any(|&b| !b));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! A fast, *deterministic* hasher for hot-path collections.
+//!
+//! `std`'s default `RandomState` is SipHash behind a per-process random
+//! seed: robust against hash-flooding, but (a) slow for the tiny keys the
+//! simulator hashes millions of times per query ([`PeerId`] is a `u32`,
+//! score-cache keys are a `u64`) and (b) *randomized*, so iteration order —
+//! which the code never relies on, but which shows up in profiles and
+//! debugging sessions — changes run to run.
+//!
+//! This module vendors the FxHash function (the multiply-xor hash used by
+//! the Rust compiler itself, `rustc-hash`), re-implemented from the
+//! published algorithm so the workspace keeps building **offline** with no
+//! external crates. It is not DoS-resistant — every key hashed here is
+//! produced by the simulator, never by an adversary.
+//!
+//! [`PeerId`]: crate::peer::PeerId
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (64-bit): `2^64 / φ`, rounded to odd.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: a single 64-bit accumulator.
+///
+/// Each ingested word rotates the accumulator, xors the word in, and
+/// multiplies by [`K`] — two ALU ops and one multiply per 8 bytes, an
+/// order of magnitude cheaper than SipHash for the integer keys the
+/// simulator lives on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Deterministic `BuildHasher` for FxHash-backed collections.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed by FxHash. Drop-in for `std::collections::HashMap` on
+/// simulator-internal keys.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// An `FxHashSet` pre-sized for `capacity` elements (the `with_capacity`
+/// constructor `HashSet` only offers through `with_capacity_and_hasher`
+/// once the hasher is non-default).
+pub fn fx_set_with_capacity<T>(capacity: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::PeerId;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn byte_stream_tail_disambiguated() {
+        let hash = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        // same prefix, different tail lengths must not collide trivially
+        assert_ne!(hash(b"abcdefgh"), hash(b"abcdefg"));
+        assert_ne!(hash(b"a"), hash(b"a\0"));
+        assert_eq!(hash(b"ripple"), hash(b"ripple"));
+    }
+
+    #[test]
+    fn collections_work_with_peer_ids() {
+        let mut set: FxHashSet<PeerId> = fx_set_with_capacity(100);
+        for i in 0..100u32 {
+            assert!(set.insert(PeerId::new(i)));
+        }
+        for i in 0..100u32 {
+            assert!(!set.insert(PeerId::new(i)));
+        }
+        assert_eq!(set.len(), 100);
+        let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+        map.insert(7, 70);
+        assert_eq!(map[&7], 70);
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Sequential integer keys — the simulator's common case — must not
+        // collapse into a few buckets.
+        let mut low_bits = FxHashSet::default();
+        for i in 0..1024u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            low_bits.insert(h.finish() & 0x3ff);
+        }
+        assert!(
+            low_bits.len() > 600,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
+    }
+}

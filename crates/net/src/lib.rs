@@ -19,20 +19,26 @@
 //! * [`fault`] — the seeded, deterministic fault-injection policy
 //!   ([`FaultPlane`]) driving message drops, slow peers and ungraceful
 //!   crashes through the substrate.
+//! * [`pool`] — the scoped work-stealing fork–join pool the intra-query
+//!   parallel executor runs on.
+//! * [`hash`] — a vendored deterministic FxHash for hot-path collections.
 
 #![warn(missing_docs)]
 
 pub mod churn;
 pub mod fault;
+pub mod hash;
 pub mod metrics;
 pub mod peer;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod store;
 
 pub use churn::{ChurnOverlay, ChurnStage};
 pub use fault::{FaultPlane, FaultSession};
-pub use metrics::{MetricsAggregator, PointSummary, QueryMetrics};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use metrics::{BranchLedger, MetricsAggregator, PointSummary, QueryMetrics, ShardedVisited};
 pub use peer::PeerId;
 pub use stats::Distribution;
 pub use store::{LocalView, PeerStore};

@@ -14,10 +14,12 @@
 //! visits per query, which — with `n` queries over `n` peers — equals the
 //! expected per-peer load.
 
-use std::collections::HashMap;
-
+use crate::hash::{fx_set_with_capacity, FxHashMap, FxHashSet};
 use crate::peer::PeerId;
+use crate::rng::mix64;
 use crate::stats::Distribution;
+use ripple_geom::Tuple;
+use std::sync::Mutex;
 
 /// The cost ledger of a single distributed query execution.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -107,6 +109,22 @@ impl QueryMetrics {
         self.query_messages + self.response_messages
     }
 
+    /// Folds the ledger of one completed execution *branch* into this one:
+    /// all counters add and the visit trace concatenates, exactly like
+    /// [`absorb_sequential`](QueryMetrics::absorb_sequential) — except that
+    /// branch ledgers carry no latency (the propagation templates compute
+    /// latency through their recursion, not through the ledger), which this
+    /// method asserts in debug builds.
+    ///
+    /// Together with the branch-local vectors in [`BranchLedger`] this is
+    /// the reduction step of the commutative-monoid ledger: counters are
+    /// order-free, and the order-sensitive vectors are restored to the
+    /// sequential executor's order by merging children in link order.
+    pub fn absorb_branch(&mut self, other: &QueryMetrics) {
+        debug_assert_eq!(other.latency, 0, "branch ledgers never carry latency");
+        self.absorb_sequential(other);
+    }
+
     /// Merges the ledgers of several *sequential* phases of one logical query
     /// (e.g. the iterations of the diversification greedy loop): latencies
     /// add, as do all counters.
@@ -124,6 +142,131 @@ impl QueryMetrics {
         if !self.trace_off {
             self.visited.extend_from_slice(&other.visited);
         }
+    }
+}
+
+/// The partial ledger of one execution branch — the per-branch element of
+/// the commutative-monoid cost accounting that makes intra-query parallel
+/// execution bit-identical to a sequential walk.
+///
+/// A sequential executor threads *one* mutable state through its depth-first
+/// recursion; a parallel executor cannot. Instead, every independent
+/// restriction-area subtree accumulates into its own `BranchLedger`, and a
+/// parent folds its children back in **deterministic link order** via
+/// [`merge_child`](BranchLedger::merge_child). The three kinds of content
+/// recover the sequential order as follows:
+///
+/// * **counters** (messages, retries, drops, visits, …) are sums —
+///   genuinely commutative, any merge order works;
+/// * **`metrics.visited`** is the DFS *pre-order* trace: the owner records
+///   its own visit before spawning children, so `[self] ++ children` in
+///   link order reproduces the sequential trace;
+/// * **`answers`** is the DFS *post-order* stream: the owner appends its own
+///   local answer only after merging children, so `children ++ [self]`
+///   reproduces the sequential arrival order at the initiator;
+/// * **`unreachable`** interleaves per-edge (each branch starts with the
+///   delivery attempts of the edge that reached it), so plain link-order
+///   concatenation reproduces the sequential abandonment order that
+///   `Coverage` reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BranchLedger {
+    /// The branch's cost counters and visit trace. `latency` stays 0 —
+    /// completion time is computed by the propagation recursion (max for
+    /// parallel children, sum for sequential ones), not by ledger merges.
+    pub metrics: QueryMetrics,
+    /// Local answers deposited by the branch's peers, in sequential
+    /// (post-order) arrival order.
+    pub answers: Vec<Tuple>,
+    /// Absolute volumes of restriction areas abandoned inside the branch,
+    /// in sequential abandonment order.
+    pub unreachable: Vec<f64>,
+}
+
+impl BranchLedger {
+    /// A fresh, empty branch ledger (the monoid identity) with visit
+    /// tracing on (`true`) or off (`false`).
+    pub fn new(trace: bool) -> Self {
+        Self {
+            metrics: QueryMetrics::with_trace(trace),
+            ..Self::default()
+        }
+    }
+
+    /// Records that `answer` was sent to the initiator by a peer of this
+    /// branch: one response message carrying the tuples, appended to the
+    /// branch's answer stream.
+    pub fn answer(&mut self, answer: Vec<Tuple>) {
+        self.metrics.respond(answer.len());
+        self.answers.extend(answer);
+    }
+
+    /// Folds a completed child branch into this ledger. Callers must invoke
+    /// this in **link order** (the order the sequential executor iterates a
+    /// peer's links); under that discipline the merged ledger is
+    /// bit-identical to the one a sequential execution produces.
+    pub fn merge_child(&mut self, child: BranchLedger) {
+        self.metrics.absorb_branch(&child.metrics);
+        self.answers.extend(child.answers);
+        self.unreachable.extend(child.unreachable);
+    }
+}
+
+/// A concurrent visited-peer set, sharded to keep cross-thread contention
+/// off the hot path of parallel intra-query execution.
+///
+/// Restriction areas guarantee sibling subtrees are peer-disjoint, so in a
+/// healthy run no two threads ever contend for the same *peer* — but they
+/// would contend for a single set's lock. Sharding by a mixed peer hash
+/// makes concurrent inserts effectively lock-free in practice while keeping
+/// the anomaly semantics of the sequential executor exact: the **total**
+/// duplicate-visit count (visits minus distinct peers) is order-free, so a
+/// parallel run reports bit-identically the same
+/// [`duplicate_visits`](QueryMetrics::duplicate_visits) as a sequential
+/// one, no matter which thread loses an insert race.
+#[derive(Debug)]
+pub struct ShardedVisited {
+    shards: Box<[Mutex<FxHashSet<PeerId>>]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+}
+
+impl ShardedVisited {
+    /// A set pre-sized for `expected` distinct peers (use the overlay's
+    /// `peer_count()`), sharded `shards`-ways (rounded up to a power of
+    /// two, at least 1).
+    pub fn new(expected: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = expected.div_ceil(n);
+        let shards: Vec<Mutex<FxHashSet<PeerId>>> = (0..n)
+            .map(|_| Mutex::new(fx_set_with_capacity(per_shard)))
+            .collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// Inserts `peer`, returning `true` iff it was not yet present (the
+    /// same contract as `HashSet::insert`).
+    pub fn insert(&self, peer: PeerId) -> bool {
+        let shard = mix64(peer.index() as u64) as usize & self.mask;
+        self.shards[shard]
+            .lock()
+            .expect("visited shard poisoned")
+            .insert(peer)
+    }
+
+    /// Number of distinct peers inserted so far.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("visited shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no peer was inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -161,6 +304,28 @@ pub struct PointSummary {
     pub duplicate_visits: u64,
 }
 
+impl PointSummary {
+    /// The summary of an empty query batch: zero queries, all-zero
+    /// statistics. This is what sweeps over zero seeds aggregate to — a
+    /// well-defined identity element rather than a panic.
+    pub fn empty() -> Self {
+        Self {
+            queries: 0,
+            latency: 0.0,
+            latency_max: 0,
+            congestion: 0.0,
+            messages: 0.0,
+            tuples: 0.0,
+            congestion_max: 0,
+            retries: 0.0,
+            timeouts: 0.0,
+            messages_dropped: 0.0,
+            repair_messages: 0.0,
+            duplicate_visits: 0,
+        }
+    }
+}
+
 /// Accumulates per-query ledgers into a [`PointSummary`].
 #[derive(Clone, Debug, Default)]
 pub struct MetricsAggregator {
@@ -175,12 +340,14 @@ pub struct MetricsAggregator {
     dropped_sum: u64,
     repair_sum: u64,
     duplicate_sum: u64,
-    /// Per-peer visit histogram over all recorded queries. Merging assumes
+    /// Per-peer visit histogram over all recorded queries (FxHash: the keys
+    /// are simulator-internal and this map is written once per peer-visit
+    /// of every recorded query — a deterministic hot path). Merging assumes
     /// both aggregators drew their peer ids from the *same* network
     /// instance (the `parallel_queries` chunking case); cross-network runs
     /// are combined at the [`PointSummary`] level instead, where only the
     /// hottest count survives.
-    peer_visits: HashMap<PeerId, u64>,
+    peer_visits: FxHashMap<PeerId, u64>,
 }
 
 impl MetricsAggregator {
@@ -429,5 +596,103 @@ mod tests {
     #[should_panic(expected = "no queries")]
     fn empty_summary_panics() {
         let _ = MetricsAggregator::new().summary();
+    }
+
+    #[test]
+    fn empty_point_summary_is_all_zero() {
+        let e = PointSummary::empty();
+        assert_eq!(e.queries, 0);
+        assert_eq!(e.latency, 0.0);
+        assert_eq!(e.latency_max, 0);
+        assert_eq!(e.congestion_max, 0);
+        assert_eq!(e.duplicate_visits, 0);
+    }
+
+    fn ledger_with(visits: &[u32], answers: usize, unreachable: &[f64]) -> BranchLedger {
+        let mut l = BranchLedger::new(true);
+        for &p in visits {
+            l.metrics.visit(PeerId::new(p));
+        }
+        l.answer(
+            (0..answers as u64)
+                .map(|i| Tuple::new(i, vec![0.0, 0.0]))
+                .collect(),
+        );
+        l.unreachable.extend_from_slice(unreachable);
+        l
+    }
+
+    #[test]
+    fn branch_merge_restores_sequential_order() {
+        // parent visits itself first (pre-order) …
+        let mut parent = BranchLedger::new(true);
+        parent.metrics.visit(PeerId::new(0));
+        let c1 = ledger_with(&[1, 2], 2, &[0.25]);
+        let c2 = ledger_with(&[3], 1, &[0.5]);
+        // … merges children in link order …
+        parent.merge_child(c1);
+        parent.merge_child(c2);
+        // … and appends its own answer last (post-order).
+        parent.answer(vec![Tuple::new(9, vec![1.0, 1.0])]);
+        let seq: Vec<PeerId> = [0, 1, 2, 3].into_iter().map(PeerId::new).collect();
+        assert_eq!(parent.metrics.visited, seq, "pre-order visit trace");
+        assert_eq!(parent.metrics.peers_visited, 4);
+        let answer_ids: Vec<u64> = parent.answers.iter().map(|t| t.id).collect();
+        assert_eq!(answer_ids, vec![0, 1, 0, 9], "post-order answer stream");
+        assert_eq!(parent.unreachable, vec![0.25, 0.5], "abandonment order");
+        assert_eq!(parent.metrics.response_messages, 3);
+        assert_eq!(parent.metrics.tuples_transferred, 4);
+    }
+
+    #[test]
+    fn branch_merge_respects_trace_mode() {
+        let mut lean = BranchLedger::new(false);
+        lean.metrics.visit(PeerId::new(0));
+        lean.merge_child(ledger_with(&[1, 2], 0, &[]));
+        assert_eq!(lean.metrics.peers_visited, 3);
+        assert!(lean.metrics.visited.is_empty(), "trace-off stays O(1)");
+    }
+
+    #[test]
+    fn sharded_visited_matches_hashset_semantics() {
+        let set = ShardedVisited::new(1000, 8);
+        assert!(set.is_empty());
+        let mut dup = 0u64;
+        // interleave fresh and repeat inserts like a broken-restriction run
+        for i in 0..1000u32 {
+            if !set.insert(PeerId::new(i % 400)) {
+                dup += 1;
+            }
+        }
+        assert_eq!(set.len(), 400);
+        assert_eq!(dup, 600, "duplicates = visits - distinct, order-free");
+    }
+
+    #[test]
+    fn sharded_visited_is_consistent_under_threads() {
+        let set = ShardedVisited::new(4096, 16);
+        let dup = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let set = &set;
+                let dup = &dup;
+                s.spawn(move || {
+                    // every thread inserts the same 2048 peers
+                    for i in 0..2048u32 {
+                        let p = PeerId::new((i + t * 512) % 2048);
+                        if !set.insert(p) {
+                            dup.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let dup = dup.into_inner();
+        assert_eq!(set.len(), 2048, "each peer inserted exactly once");
+        assert_eq!(
+            dup,
+            4 * 2048 - 2048,
+            "total duplicates are schedule-independent"
+        );
     }
 }

@@ -1,0 +1,400 @@
+//! A scoped work-stealing fork–join pool for intra-query parallelism.
+//!
+//! The parallel executor explores independent restriction-area subtrees of
+//! one query concurrently. That workload is classic fork–join: a visit
+//! forks one task per relevant link, then *joins* — it cannot merge its
+//! [`BranchLedger`](crate::metrics::BranchLedger) until every child subtree
+//! has reported. The pool is built for exactly that shape and nothing more:
+//!
+//! * **Scoped.** [`scope`] wraps [`std::thread::scope`], so tasks may
+//!   borrow from the caller's stack (the overlay, the fault session, the
+//!   sharded visited set) without `'static` bounds or reference counting
+//!   of the environment. When `scope` returns, every worker has exited.
+//! * **Work-stealing.** Each participant owns a deque; it pushes and pops
+//!   its own *back* (LIFO — depth-first, cache-warm) and steals from other
+//!   participants' *front* (FIFO — the oldest, typically largest subtree).
+//! * **Help-first join.** [`Pool::join_all`] never blocks while useful
+//!   work exists: a joiner drains its own deque, then steals, and only
+//!   parks on a condvar when the whole pool looks empty. Workers forked
+//!   *by* tasks run to arbitrary depth this way without consuming threads.
+//! * **Dependency-free and `unsafe`-free.** Deques are `Mutex<VecDeque>`;
+//!   contention is bounded by the fan-out of a query visit, which is the
+//!   link count of a peer — small — so lock-free deques would buy nothing
+//!   the equivalence suite could measure.
+//!
+//! The pool makes **no ordering promises**: tasks run whenever a worker
+//! gets to them. Determinism of the parallel executor comes from the layers
+//! above — keyed fault streams ([`FaultSession`](crate::fault::FaultSession))
+//! and the link-order ledger reduction — never from scheduling.
+//!
+//! A `Task` receives a `&Pool` argument at *execution* time instead of
+//! capturing one, which is what lets tasks spawned from inside other tasks
+//! fork further subtasks without a self-referential environment.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of work: boxed once at fork time, handed the pool when run so it
+/// can fork children of its own.
+type Task<'env> = Box<dyn FnOnce(&Pool<'env>) + Send + 'env>;
+
+/// Shared state of one [`scope`] invocation.
+///
+/// Participant 0 is the thread that called [`scope`]; participants
+/// `1..=extra_workers` are the spawned workers. All of them push, pop,
+/// steal, and help during joins through this object.
+pub struct Pool<'env> {
+    /// One deque per participant (owner pops back, thieves pop front).
+    deques: Box<[Mutex<VecDeque<Task<'env>>>]>,
+    /// Sleep/wake coordination for idle workers.
+    idle: Mutex<()>,
+    /// Notified whenever a task is pushed or the pool shuts down.
+    bell: Condvar,
+    /// Set once the scope closure has returned; workers drain and exit.
+    stop: AtomicBool,
+}
+
+std::thread_local! {
+    /// The calling thread's participant index within the current scope
+    /// (usize::MAX outside any scope). Scopes never nest in this codebase;
+    /// the value is saved/restored anyway so nesting degrades gracefully.
+    static PARTICIPANT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+impl<'env> Pool<'env> {
+    fn new(participants: usize) -> Self {
+        let deques = (0..participants)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            deques,
+            idle: Mutex::new(()),
+            bell: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Total number of participants (caller thread + extra workers).
+    pub fn participants(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// The current thread's deque index (participant 0 if this thread is
+    /// somehow foreign to the scope — it then shares the caller's deque,
+    /// which is safe, merely suboptimal).
+    fn me(&self) -> usize {
+        let idx = PARTICIPANT.with(|p| p.get());
+        if idx < self.deques.len() {
+            idx
+        } else {
+            0
+        }
+    }
+
+    /// Push `task` onto the current participant's deque and ring the bell.
+    fn push(&self, task: Task<'env>) {
+        let me = self.me();
+        self.deques[me]
+            .lock()
+            .expect("pool deque poisoned")
+            .push_back(task);
+        // Wake one sleeper; if none are sleeping this is nearly free.
+        self.bell.notify_one();
+    }
+
+    /// Pop from the current participant's own deque (LIFO: newest first,
+    /// keeping each worker depth-first on the subtree it is exploring).
+    fn pop_own(&self) -> Option<Task<'env>> {
+        let me = self.me();
+        self.deques[me]
+            .lock()
+            .expect("pool deque poisoned")
+            .pop_back()
+    }
+
+    /// Steal the oldest task from some other participant (FIFO: the oldest
+    /// fork is closest to the root, hence likely the biggest subtree).
+    fn steal(&self) -> Option<Task<'env>> {
+        let me = self.me();
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(task) = self.deques[victim]
+                .lock()
+                .expect("pool deque poisoned")
+                .pop_front()
+            {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Take one task from anywhere: own deque first, then steal.
+    fn find_task(&self) -> Option<Task<'env>> {
+        self.pop_own().or_else(|| self.steal())
+    }
+
+    /// Fork `thunks` and block until all have completed, returning their
+    /// results **in the order the thunks were given** — schedulers may run
+    /// them in any order, but the caller's view is positional, which is
+    /// what lets the executor reduce child ledgers in link order.
+    ///
+    /// While waiting, the caller *helps*: it executes queued tasks (its own
+    /// or stolen ones), so recursive joins deep in a query tree never
+    /// deadlock the fixed-size pool.
+    pub fn join_all<T, F>(&self, thunks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&Pool<'env>) -> T + Send + 'env,
+    {
+        let n = thunks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Tiny batches: forking costs more than it buys; run inline.
+        if n == 1 || self.participants() == 1 {
+            return thunks.into_iter().map(|f| f(self)).collect();
+        }
+
+        struct Batch<T> {
+            slots: Mutex<(Vec<Option<T>>, usize)>,
+            done: Condvar,
+        }
+        let batch = Arc::new(Batch {
+            slots: Mutex::new(((0..n).map(|_| None).collect(), n)),
+            done: Condvar::new(),
+        });
+
+        let mut thunks = thunks.into_iter().enumerate();
+        // Keep the *first* thunk for ourselves (run inline, saving one
+        // fork+signal round trip); fork the rest.
+        let (first_idx, first) = thunks.next().expect("n >= 1");
+        for (i, f) in thunks {
+            let batch = Arc::clone(&batch);
+            self.push(Box::new(move |pool: &Pool<'env>| {
+                let value = f(pool);
+                let mut guard = batch.slots.lock().expect("join batch poisoned");
+                guard.0[i] = Some(value);
+                guard.1 -= 1;
+                if guard.1 == 0 {
+                    batch.done.notify_all();
+                }
+            }));
+        }
+        {
+            let value = first(self);
+            let mut guard = batch.slots.lock().expect("join batch poisoned");
+            guard.0[first_idx] = Some(value);
+            guard.1 -= 1;
+        }
+
+        // Help until the batch completes.
+        loop {
+            if batch.slots.lock().expect("join batch poisoned").1 == 0 {
+                break;
+            }
+            if let Some(task) = self.find_task() {
+                task(self);
+                continue;
+            }
+            // Nothing runnable: park until a push or completion. A short
+            // timeout guards the unlikely race where the last child
+            // finishes between our check and the wait.
+            let guard = batch.slots.lock().expect("join batch poisoned");
+            if guard.1 == 0 {
+                break;
+            }
+            let _ = batch
+                .done
+                .wait_timeout(guard, Duration::from_micros(100))
+                .expect("join batch poisoned");
+        }
+
+        let (slots, remaining) = Arc::try_unwrap(batch)
+            .map(|b| b.slots.into_inner().expect("join batch poisoned"))
+            .unwrap_or_else(|arc| {
+                let mut guard = arc.slots.lock().expect("join batch poisoned");
+                (std::mem::take(&mut guard.0), guard.1)
+            });
+        debug_assert_eq!(remaining, 0);
+        slots
+            .into_iter()
+            .map(|s| s.expect("joined task left no result"))
+            .collect()
+    }
+
+    /// Worker main loop: run tasks until the scope stops *and* every deque
+    /// has drained.
+    fn work(&self, index: usize) {
+        PARTICIPANT.with(|p| p.set(index));
+        loop {
+            if let Some(task) = self.find_task() {
+                task(self);
+                continue;
+            }
+            if self.stop.load(Ordering::Acquire) {
+                // Final sweep: stop was raised, but a task may have been
+                // pushed between our failed find and the load.
+                if let Some(task) = self.find_task() {
+                    task(self);
+                    continue;
+                }
+                break;
+            }
+            let guard = self.idle.lock().expect("pool idle lock poisoned");
+            // Re-check under the lock so a push+notify cannot slip between
+            // the failed find above and the wait below.
+            let _ = self
+                .bell
+                .wait_timeout(guard, Duration::from_micros(200))
+                .expect("pool idle lock poisoned");
+        }
+        PARTICIPANT.with(|p| p.set(usize::MAX));
+    }
+}
+
+/// Runs `f` with a pool of `1 + extra_workers` participants: the calling
+/// thread (participant 0, which both submits and helps) plus
+/// `extra_workers` scoped threads.
+///
+/// With `extra_workers == 0` no threads are spawned at all and every
+/// [`Pool::join_all`] runs its thunks inline on the caller — the
+/// single-threaded pool is observationally a plain function call, which is
+/// the degenerate case the `--threads 1` equivalence gate leans on.
+pub fn scope<'env, R>(extra_workers: usize, f: impl FnOnce(&Pool<'env>) -> R) -> R {
+    let pool = Pool::new(1 + extra_workers);
+    let prev = PARTICIPANT.with(|p| p.replace(0));
+    let result = std::thread::scope(|s| {
+        for index in 1..pool.participants() {
+            let pool = &pool;
+            std::thread::Builder::new()
+                .name(format!("ripple-worker-{index}"))
+                .spawn_scoped(s, move || pool.work(index))
+                .expect("failed to spawn pool worker");
+        }
+        let result = f(&pool);
+        pool.stop.store(true, Ordering::Release);
+        pool.bell.notify_all();
+        result
+    });
+    PARTICIPANT.with(|p| p.set(prev));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_workers_runs_inline() {
+        let ran_on = std::thread::current().id();
+        let out = scope(0, |pool| {
+            assert_eq!(pool.participants(), 1);
+            pool.join_all(
+                (1..=2u64)
+                    .map(|i| {
+                        move |_: &Pool| {
+                            assert_eq!(std::thread::current().id(), ran_on);
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        let out = scope(3, |pool| {
+            let thunks: Vec<_> = (0..64u64)
+                .map(|i| {
+                    move |_: &Pool| {
+                        // Stagger completion so out-of-order finishes occur.
+                        if i % 7 == 0 {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        i * i
+                    }
+                })
+                .collect();
+            pool.join_all(thunks)
+        });
+        let expect: Vec<u64> = (0..64).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn nested_forks_do_not_deadlock() {
+        // A 3-level fan-out tree joined recursively: with 2 workers and
+        // depth > workers this deadlocks unless joiners help.
+        fn tree(pool: &Pool, depth: usize) -> usize {
+            if depth == 0 {
+                return 1;
+            }
+            let children = pool.join_all(
+                (0..3)
+                    .map(|_| move |p: &Pool| tree(p, depth - 1))
+                    .collect::<Vec<_>>(),
+            );
+            1 + children.into_iter().sum::<usize>()
+        }
+        let total = scope(2, |pool| tree(pool, 4));
+        // Nodes of a complete ternary tree of depth 4: (3^5 - 1) / 2.
+        assert_eq!(total, 121);
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        // With enough coarse tasks, at least one should run off-caller.
+        let caller = std::thread::current().id();
+        let foreign = Arc::new(AtomicUsize::new(0));
+        scope(3, |pool| {
+            let thunks: Vec<_> = (0..32)
+                .map(|_| {
+                    let foreign = Arc::clone(&foreign);
+                    move |_: &Pool| {
+                        std::thread::sleep(Duration::from_micros(300));
+                        if std::thread::current().id() != caller {
+                            foreign.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+                .collect();
+            pool.join_all(thunks);
+        });
+        assert!(
+            foreign.load(Ordering::Relaxed) > 0,
+            "no task ever ran on a worker thread"
+        );
+    }
+
+    #[test]
+    fn borrows_from_environment() {
+        let data: Vec<u64> = (0..100).collect();
+        let slices: Vec<&[u64]> = data.chunks(10).collect();
+        let sums = scope(2, |pool| {
+            pool.join_all(
+                slices
+                    .iter()
+                    .map(|s| {
+                        let s: &[u64] = s;
+                        move |_: &Pool| s.iter().sum::<u64>()
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_join_is_a_noop() {
+        let out: Vec<u64> = scope(1, |pool| pool.join_all(Vec::<fn(&Pool) -> u64>::new()));
+        assert!(out.is_empty());
+    }
+}

@@ -40,6 +40,21 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The splitmix64 *finalizer*: a strong, stateless 64-bit mixing function.
+///
+/// This is the bijection at the heart of splitmix64, exposed so callers can
+/// derive stream keys by folding identifiers together:
+/// `mix64(mix64(a) ^ b)` yields a well-distributed key for the pair
+/// `(a, b)`. The per-edge fault streams (`ripple-net::fault`) are keyed
+/// this way over `(query stream, sender, target, attempt)`.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A small, fast, seedable generator: xoshiro256++.
 ///
 /// Statistically strong enough for simulation (passes BigCrush); **not**
@@ -59,6 +74,31 @@ impl SeedableRng for SmallRng {
             splitmix64(&mut sm),
         ];
         Self { s }
+    }
+}
+
+impl SmallRng {
+    /// Splits off a statistically independent child generator for `key`
+    /// **without advancing this generator**.
+    ///
+    /// The child's state is a pure function of the parent's *current* state
+    /// and the key, so the same `(parent state, key)` pair always yields the
+    /// same stream while different keys yield uncorrelated streams (each
+    /// state word is re-derived through splitmix64, the standard seeding
+    /// path). This is what makes random decisions *addressable*: a parallel
+    /// executor can draw the decision for logical edge `key` on whichever
+    /// thread gets there first and still reproduce a sequential run
+    /// bit-for-bit, because no global draw order exists to diverge from.
+    #[inline]
+    pub fn split(&self, key: u64) -> SmallRng {
+        // Compress the 256-bit state into one word (rotations keep the four
+        // words from cancelling), fold the key in, then re-expand exactly
+        // like `seed_from_u64` so child streams inherit its guarantees.
+        let folded = self.s[0]
+            ^ self.s[1].rotate_left(16)
+            ^ self.s[2].rotate_left(32)
+            ^ self.s[3].rotate_left(48);
+        Self::seed_from_u64(mix64(folded) ^ mix64(key))
     }
 }
 
@@ -272,5 +312,69 @@ mod tests {
     fn empty_range_rejected() {
         let mut rng = SmallRng::seed_from_u64(5);
         let _ = rng.gen_range(3..3usize);
+    }
+
+    #[test]
+    fn split_is_pure_and_keyed() {
+        let parent = SmallRng::seed_from_u64(11);
+        // Same key: identical child stream; split never advances the parent.
+        let a: Vec<u64> = {
+            let mut c = parent.split(5);
+            (0..32).map(|_| c.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut c = parent.split(5);
+            (0..32).map(|_| c.next_u64()).collect()
+        };
+        assert_eq!(a, b, "same (state, key) must replay identically");
+        // Different keys: different streams.
+        let c: Vec<u64> = {
+            let mut c = parent.split(6);
+            (0..32).map(|_| c.next_u64()).collect()
+        };
+        assert_ne!(a, c, "streams must be keyed");
+        // Different parent state: different streams for the same key.
+        let other = SmallRng::seed_from_u64(12);
+        let d: Vec<u64> = {
+            let mut c = other.split(5);
+            (0..32).map(|_| c.next_u64()).collect()
+        };
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn split_streams_are_statistically_independent() {
+        // Draw one f64 from each of many per-key children: the collection
+        // must look uniform (this is exactly the per-edge drop-decision
+        // pattern of the fault plane).
+        let parent = SmallRng::seed_from_u64(99);
+        let mut sum = 0.0;
+        let mut below_tenth = 0usize;
+        for key in 0..10_000u64 {
+            let x: f64 = parent.split(key).gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            if x < 0.1 {
+                below_tenth += 1;
+            }
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+        assert!(
+            (800..1200).contains(&below_tenth),
+            "P(x < 0.1) ≈ 0.1, got {below_tenth}/10000"
+        );
+    }
+
+    #[test]
+    fn mix64_is_a_strong_stateless_mixer() {
+        assert_eq!(mix64(7), mix64(7));
+        assert_ne!(mix64(7), mix64(8));
+        // sequential inputs must not produce correlated low bits
+        let mut low = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            low.insert(mix64(i) & 0x3ff);
+        }
+        assert!(low.len() > 600, "only {} distinct buckets", low.len());
     }
 }

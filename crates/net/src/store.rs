@@ -27,7 +27,7 @@
 
 use ripple_geom::{dominance, Point, ScoreFn, Tuple, TupleId};
 use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 /// Retain at most this many score projections per peer. Stale entries are
 /// dropped first; if a workload really uses more *live* scoring functions
@@ -60,16 +60,20 @@ struct IndexCache {
 
 /// The tuples held by one peer.
 ///
-/// The caches sit behind a per-peer [`Mutex`] (not a `RefCell`) because the
-/// benchmark harness issues queries from several threads over a shared
-/// network; each peer locks independently and only for the duration of one
-/// cache access, so contention is negligible.
+/// The caches sit behind a per-peer [`RwLock`] (not a `RefCell`) because
+/// both the benchmark harness and the intra-query parallel executor hit a
+/// shared network from several threads. The workload is read-mostly —
+/// once a projection or skyline is built at the current generation, every
+/// later query only *reads* it — so cache hits take the shared read path
+/// and run concurrently; only a rebuild after a mutation (or a first
+/// build) takes the exclusive write path, with a double-checked generation
+/// test so racing readers rebuild at most once.
 #[derive(Debug, Default)]
 pub struct PeerStore {
     tuples: Vec<Tuple>,
     /// Bumped on every mutation; lazily-validated caches compare against it.
     generation: u64,
-    cache: Mutex<IndexCache>,
+    cache: RwLock<IndexCache>,
 }
 
 impl Clone for PeerStore {
@@ -77,7 +81,7 @@ impl Clone for PeerStore {
         Self {
             tuples: self.tuples.clone(),
             generation: self.generation,
-            cache: Mutex::new(self.cache.lock().expect("peer cache poisoned").clone()),
+            cache: RwLock::new(self.cache.read().expect("peer cache poisoned").clone()),
         }
     }
 }
@@ -224,8 +228,17 @@ impl PeerStore {
     /// Built once, then maintained incrementally across inserts and
     /// invalidated only when a skyline member is removed. Cloning the
     /// members is cheap: points share their coordinate storage.
+    ///
+    /// Concurrent queries over an already-built skyline share a read lock;
+    /// only the first build after an invalidation takes the write lock.
     pub fn skyline(&self) -> Vec<Tuple> {
-        let mut cache = self.cache.lock().expect("peer cache poisoned");
+        {
+            let cache = self.cache.read().expect("peer cache poisoned");
+            if let Some(members) = &cache.skyline {
+                return members.iter().map(|(_, t)| t.clone()).collect();
+            }
+        }
+        let mut cache = self.cache.write().expect("peer cache poisoned");
         let members = cache.skyline.get_or_insert_with(|| {
             dominance::skyline(&self.tuples)
                 .into_iter()
@@ -236,9 +249,19 @@ impl PeerStore {
     }
 
     /// True if a tuple with this id is stored here, answered from a cached
-    /// membership set (rebuilt when the store changed).
+    /// membership set (rebuilt when the store changed). Fresh sets are
+    /// probed under a shared read lock.
     pub fn contains_id(&self, id: TupleId) -> bool {
-        let mut cache = self.cache.lock().expect("peer cache poisoned");
+        {
+            let cache = self.cache.read().expect("peer cache poisoned");
+            if let Some((built, ids)) = &cache.ids {
+                if *built == self.generation {
+                    return ids.contains(&id);
+                }
+            }
+        }
+        let mut cache = self.cache.write().expect("peer cache poisoned");
+        // Double-check: a racing reader may have rebuilt while we waited.
         let stale = !matches!(&cache.ids, Some((built, _)) if *built == self.generation);
         if stale {
             cache.ids = Some((self.generation, self.tuples.iter().map(|t| t.id).collect()));
@@ -257,6 +280,8 @@ impl PeerStore {
     /// caller falls back to a scan. The projection is memoised per key and
     /// rebuilt when the store mutated, so repeated queries with the same
     /// scoring function pay the sort once and a truncated walk afterwards.
+    /// A fresh projection is walked under a shared read lock, so the many
+    /// concurrent visits of one parallel query never serialise on a hit.
     ///
     /// The closure must not call back into cache-using methods of the same
     /// store (`skyline`, `contains_id`, `with_ranked`).
@@ -269,7 +294,21 @@ impl PeerStore {
     ) -> Option<R> {
         let key = score.cache_key()?;
         debug_assert!(self.tuples.len() < u32::MAX as usize);
-        let mut cache = self.cache.lock().expect("peer cache poisoned");
+        {
+            let cache = self.cache.read().expect("peer cache poisoned");
+            if let Some(proj) = cache.projections.get(&key) {
+                if proj.built_at == self.generation {
+                    let mut it = proj
+                        .entries
+                        .iter()
+                        .map(|&(s, i)| (&self.tuples[i as usize], s));
+                    return Some(f(&mut it));
+                }
+            }
+        }
+        let mut cache = self.cache.write().expect("peer cache poisoned");
+        // Double-check under the write lock: another thread may have
+        // rebuilt the projection while we waited for exclusivity.
         let stale = !matches!(
             cache.projections.get(&key),
             Some(p) if p.built_at == self.generation
@@ -531,6 +570,39 @@ mod tests {
         assert!(!s.contains_id(8));
         s.drain_where(|_| true);
         assert!(!s.contains_id(7));
+    }
+
+    /// Many threads hammering the read-mostly cache paths of one store must
+    /// agree with the single-threaded answers (the `RwLock` swap must not
+    /// change observable behaviour, only concurrency).
+    #[test]
+    fn concurrent_readers_agree_with_sequential() {
+        let mut s = PeerStore::new();
+        for i in 0..200u64 {
+            let x = (i as f64 * 0.37) % 1.0;
+            let y = (i as f64 * 0.61) % 1.0;
+            s.insert(t2(i, x, y));
+        }
+        let score = LinearScore::uniform(2);
+        let expect_sky = s.skyline();
+        let expect_top: Vec<u64> = s
+            .with_ranked(&score, |it| it.take(10).map(|(t, _)| t.id).collect())
+            .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        assert_eq!(s.skyline(), expect_sky);
+                        let top: Vec<u64> = s
+                            .with_ranked(&score, |it| it.take(10).map(|(t, _)| t.id).collect())
+                            .unwrap();
+                        assert_eq!(top, expect_top);
+                        assert!(s.contains_id(17));
+                        assert!(!s.contains_id(9999));
+                    }
+                });
+            }
+        });
     }
 
     #[test]

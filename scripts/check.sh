@@ -20,4 +20,8 @@ cargo test --workspace --offline
 echo "== cargo build --release (tier-1 gate) =="
 cargo build --release --workspace --offline
 
+echo "== parallel-exec smoke (sequential == parallel, thread-scaling gate) =="
+cargo run --release --offline -p ripple-bench --bin parallel_exec_bench -- --smoke
+cargo run --release --offline -p ripple-bench --bin parallel_exec_bench -- --smoke --threads 1
+
 echo "All checks passed."
