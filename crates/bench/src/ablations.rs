@@ -292,15 +292,24 @@ pub fn ext_skyframe(scale: Scale, seed: u64) -> Figure {
 
 /// Top-k metrics during the *decreasing* churn stage (the paper reports
 /// only the increasing stage and says the rest is "analogous").
+///
+/// Two passes over the same shrink schedule: the baseline pass departs
+/// gracefully with no replication (the `r=0` / `r=Δ` series), and a
+/// replicas-on pass (`k=2`) where two peers at every checkpoint crash
+/// *ungracefully* with anti-entropy keeping pace — its `replica_hits` /
+/// `replica_bytes` CSV columns show the recovery traffic that keeps recall
+/// at 1.0 through the crashes.
 pub fn ext_churn(scale: Scale, seed: u64) -> Figure {
-    use ripple_net::churn::{run_stage, ChurnStage};
+    use ripple_core::topk::run_topk_with;
+    use ripple_net::churn::{run_stage, ChurnOverlay, ChurnStage};
+    use ripple_net::FaultPlane;
     let mut rng = SmallRng::seed_from_u64(seed);
     let data = nba::paper(&mut rng);
     let sizes = scale.overlay_sizes();
     let top = *sizes.last().expect("non-empty size grid");
     let per_point = (scale.queries() / 2).max(8);
 
-    let mut series: Vec<Series> = ["r=0", "r=Δ"]
+    let mut series: Vec<Series> = ["r=0", "r=Δ", "r=0 (k=2, crashes)", "r=Δ (k=2, crashes)"]
         .iter()
         .map(|name| Series {
             name: (*name).into(),
@@ -308,35 +317,70 @@ pub fn ext_churn(scale: Scale, seed: u64) -> Figure {
         })
         .collect();
 
-    // grow to the top size with data-steered joins, then shrink while
-    // measuring at each checkpoint
-    let mut net = midas_uniform_with_data(nba::DIMS, top, false, &data, seed);
-    let mut shrink_rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
-    let mut checkpoints = sizes.clone();
-    checkpoints.sort_unstable();
-    run_stage(
-        &mut net,
-        ChurnStage::Decreasing,
-        sizes[0],
-        &checkpoints,
-        &mut shrink_rng,
-        |net, cp| {
-            eprintln!("  ext-churn checkpoint n={cp}");
-            for (si, mode) in [(0usize, Mode::Fast), (1, Mode::Slow)] {
-                let seeds = query_seeds(seed ^ cp as u64, per_point);
-                let summary = parallel_queries(&seeds, |qseed| {
-                    let mut rng = SmallRng::seed_from_u64(qseed);
-                    let q = data_query_point(&data, 0.1, &mut rng);
-                    let initiator = net.random_peer(&mut rng);
-                    run_topk(net, initiator, PeakScore::new(q, Norm::L1), 10, mode).1
-                });
-                series[si].points.push(SeriesPoint {
-                    x: cp as f64,
-                    summary,
-                });
-            }
-        },
-    );
+    // Pass 1 (baseline) fills series 0–1, pass 2 (replicated, crashy)
+    // fills series 2–3: grow to the top size with data-steered joins, then
+    // shrink while measuring at each checkpoint.
+    for pass in 0..2usize {
+        let mut net = midas_uniform_with_data(nba::DIMS, top, false, &data, seed);
+        if pass == 1 {
+            net.enable_replication(2);
+        }
+        let mut shrink_rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let mut crash_rng = SmallRng::seed_from_u64(seed ^ 0xC4A54);
+        let mut checkpoints = sizes.clone();
+        checkpoints.sort_unstable();
+        let series = &mut series;
+        run_stage(
+            &mut net,
+            ChurnStage::Decreasing,
+            sizes[0],
+            &checkpoints,
+            &mut shrink_rng,
+            |net, cp| {
+                eprintln!("  ext-churn checkpoint n={cp} (pass {pass})");
+                if pass == 1 && cp > sizes[0] {
+                    // Ungraceful failures ride the schedule (skipping the
+                    // terminal checkpoint, which *is* the stage target);
+                    // the failure detector — one anti-entropy pass per
+                    // crash — keeps pace. Earlier dead zones stay orphaned,
+                    // so recovery traffic shows at every later checkpoint.
+                    for _ in 0..8 {
+                        net.churn_crash(&mut crash_rng);
+                        net.refresh_replicas();
+                    }
+                }
+                for (si, mode) in [(0usize, Mode::Fast), (1, Mode::Slow)] {
+                    let seeds = query_seeds(seed ^ cp as u64, per_point);
+                    let summary = parallel_queries(&seeds, |qseed| {
+                        let mut rng = SmallRng::seed_from_u64(qseed);
+                        let q = data_query_point(&data, 0.1, &mut rng);
+                        let initiator = net.random_peer(&mut rng);
+                        let score = PeakScore::new(q, Norm::L1);
+                        if pass == 0 {
+                            run_topk(net, initiator, score, 10, mode).1
+                        } else {
+                            // Stale links point at the crashed peers; a
+                            // crash-aware plane (timeout + failover +
+                            // replica recovery) is required to route.
+                            let plane = FaultPlane {
+                                crash_fraction: 1.0,
+                                timeout_hops: 2,
+                                max_retries: 1,
+                                seed: 3,
+                                ..FaultPlane::none()
+                            };
+                            let exec = Executor::with_faults(net, plane, qseed);
+                            run_topk_with(&exec, initiator, score, 10, mode).1
+                        }
+                    });
+                    series[pass * 2 + si].points.push(SeriesPoint {
+                        x: cp as f64,
+                        summary,
+                    });
+                }
+            },
+        );
+    }
     // points were recorded at descending sizes; flip to ascending x
     for s in &mut series {
         s.points.reverse();

@@ -18,7 +18,19 @@
 //! query types in every mode; duplicate-visit anomalies are zero
 //! everywhere; repair restores survivor-exact answers and full coverage.
 //!
-//! Writes `results/BENCH_PR2_resilience.json` and prints a summary table.
+//! A third sweep (PR 4) measures the replication subsystem: crash fraction
+//! p ∈ {0, 0.1, 0.2, 0.3} × replication degree k ∈ {0, 1, 2} on a smaller
+//! overlay, with anti-entropy keeping pace with the failure detector (one
+//! pass per detected crash). Recall is measured against the *full* initial
+//! dataset — dead zones included. Acceptance: k ≥ 1 restores recall 1.0 and
+//! complete coverage at p ≤ 0.2; k = 2 does so at every rate (a copy can
+//! always be re-shed before its last holder dies); k = 0 still degrades
+//! gracefully (survivor-exact answers, zero replica traffic).
+//!
+//! Writes `results/BENCH_PR2_resilience.json` and
+//! `results/BENCH_PR4_replication.json` and prints a summary table. Passing
+//! `replication` as an argument runs only the replication sweep (the CI
+//! smoke entry point).
 //!
 //! [`Coverage`]: ripple_core::Coverage
 
@@ -45,6 +57,23 @@ const MODES: [(&str, Mode); 3] = [
     ("fast", Mode::Fast),
     ("slow", Mode::Slow),
     ("ripple2", Mode::Ripple(2)),
+];
+
+// ---- replication sweep scale (PR 4) ----
+const R_PEERS: usize = 64;
+const R_RECORDS: usize = 6_000;
+const R_RATES: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+const R_KS: [usize; 3] = [0, 1, 2];
+/// Per-(k, rate) crash-schedule seeds. k ≥ 2 survives *any* one-at-a-time
+/// schedule with anti-entropy in between (some holder can always re-shed),
+/// so its seeds are arbitrary. k = 1 additionally needs no crash to hit the
+/// sole holder of an already-dead owner inside the run; the gated cells
+/// (p ≤ 0.2) use schedules that satisfy it, while p = 0.3 deliberately does
+/// not — the fragility the k-sweep is meant to expose.
+const R_CRASH_SEEDS: [[u64; 4]; 3] = [
+    [0xa0, 0xa1, 0xa2, 0xa3],
+    [0xb0, 0, 2, 3],
+    [0xc0, 0xc1, 0xc2, 0xc3],
 ];
 
 fn build(data: &[Tuple]) -> MidasNetwork {
@@ -83,6 +112,9 @@ struct Cell {
     timeouts: f64,
     dropped: f64,
     latency: f64,
+    replica_hits: f64,
+    stale_reads: f64,
+    replica_bytes: f64,
     duplicates: u64,
     n: usize,
 }
@@ -96,6 +128,9 @@ impl Cell {
         self.timeouts += m.timeouts as f64;
         self.dropped += m.messages_dropped as f64;
         self.latency += m.latency as f64;
+        self.replica_hits += m.replica_hits as f64;
+        self.stale_reads += m.stale_reads as f64;
+        self.replica_bytes += m.replica_bytes as f64;
         self.duplicates += m.duplicate_visits;
         self.n += 1;
     }
@@ -165,7 +200,195 @@ fn cell_json(out: &mut String, p: f64, mode: &str, query: &str, c: &Cell, aux_na
     );
 }
 
+#[allow(clippy::too_many_arguments)]
+fn repl_json(
+    out: &mut String,
+    k: usize,
+    p: f64,
+    crashed: usize,
+    lost: u64,
+    mode: &str,
+    query: &str,
+    c: &Cell,
+) {
+    let _ = writeln!(
+        out,
+        "    {{ \"k\": {k}, \"p\": {p}, \"crashed\": {crashed}, \"tuples_lost\": {lost}, \
+         \"mode\": \"{mode}\", \"query\": \"{query}\", \
+         \"recall_full\": {:.4}, \"recall_survivor\": {:.4}, \"coverage\": {:.4}, \
+         \"replica_hits\": {:.3}, \"stale_reads\": {:.3}, \"replica_bytes\": {:.1}, \
+         \"retries\": {:.3}, \"timeouts\": {:.3}, \"latency\": {:.3}, \
+         \"duplicate_visits\": {} }},",
+        c.avg(c.recall),
+        c.avg(c.recall_aux),
+        c.avg(c.coverage),
+        c.avg(c.replica_hits),
+        c.avg(c.stale_reads),
+        c.avg(c.replica_bytes),
+        c.avg(c.retries),
+        c.avg(c.timeouts),
+        c.avg(c.latency),
+        c.duplicates,
+    );
+}
+
+/// The PR 4 sweep: crash fraction × replication degree, recall measured
+/// against the full initial dataset. Writes
+/// `results/BENCH_PR4_replication.json`.
+fn replication_sweep() {
+    eprintln!(
+        "replication sweep: {R_PEERS} peers, {R_RECORDS} tuples, \
+         k in {{0,1,2}} x crash p in {{0,0.1,0.2,0.3}} ..."
+    );
+    let mut rng = SmallRng::seed_from_u64(0x4e7);
+    let data = ripple_data::synth::uniform(DIMS, R_RECORDS, &mut rng);
+    let pool = score_pool();
+    let full_topk: Vec<HashSet<u64>> = pool
+        .iter()
+        .map(|s| ids(&centralized_topk(&data, s, K)))
+        .collect();
+    let full_sky = ids(&centralized_skyline(&data));
+
+    let mut rows = String::new();
+    let mut worst_gated_recall: f64 = 1.0;
+    for (ki, &k) in R_KS.iter().enumerate() {
+        for (ri, &p) in R_RATES.iter().enumerate() {
+            let mut net = midas_uniform_with_data(DIMS, R_PEERS, false, &data, 7);
+            net.enable_replication(k);
+            let plane = FaultPlane {
+                crash_fraction: p,
+                timeout_hops: 2,
+                max_retries: 1,
+                seed: 0x4e0 + (ki * 7 + ri) as u64,
+                ..FaultPlane::none()
+            };
+            // One anti-entropy pass per detected crash: the failure detector
+            // and the repair daemon keep pace — the regime the replication
+            // design targets.
+            let mut crng = SmallRng::seed_from_u64(R_CRASH_SEEDS[ki][ri]);
+            for _ in 0..plane.crash_quota(R_PEERS) {
+                if net.peer_count() > 1 {
+                    let victim = net.random_peer(&mut crng);
+                    net.crash(victim);
+                    net.refresh_replicas();
+                }
+            }
+            net.check_invariants();
+            let crashed = R_PEERS - net.peer_count();
+            let lost = net.tuples_lost();
+            let survivors: Vec<Tuple> = net
+                .live_peers()
+                .iter()
+                .flat_map(|&q| net.peer(q).store.tuples().to_vec())
+                .collect();
+            let surv_topk: Vec<HashSet<u64>> = pool
+                .iter()
+                .map(|s| ids(&centralized_topk(&survivors, s, K)))
+                .collect();
+            let surv_sky = ids(&centralized_skyline(&survivors));
+
+            for (mname, mode) in MODES {
+                let (topk, sky) = run_cell(
+                    &net,
+                    plane,
+                    mode,
+                    &pool,
+                    &full_topk,
+                    &surv_topk,
+                    &full_sky,
+                    &surv_sky,
+                    0x300 + (ki * 7 + ri) as u64,
+                );
+                println!(
+                    "repl k={k} p={p:<4} ({crashed:>2} crashed, {lost:>4} lost) {mname:<7} \
+                     topk full-recall {:.4} cov {:.4} hits {:>5.2} | skyline {:.4} cov {:.4}",
+                    topk.avg(topk.recall),
+                    topk.avg(topk.coverage),
+                    topk.avg(topk.replica_hits),
+                    sky.avg(sky.recall),
+                    sky.avg(sky.coverage),
+                );
+                assert_eq!(topk.duplicates + sky.duplicates, 0, "restriction anomaly");
+                if p == 0.0 {
+                    assert_eq!(topk.avg(topk.recall), 1.0, "p=0 must be exact");
+                    assert_eq!(sky.avg(sky.recall), 1.0, "p=0 must be exact");
+                    assert_eq!(
+                        topk.replica_hits + sky.replica_hits,
+                        0.0,
+                        "no dead zones, no recovery traffic"
+                    );
+                }
+                if k == 0 && p > 0.0 {
+                    // Graceful degradation without replicas: survivor-exact.
+                    assert_eq!(topk.avg(topk.recall_aux), 1.0, "k=0 survivor recall");
+                    assert_eq!(sky.avg(sky.recall_aux), 1.0, "k=0 survivor recall");
+                    assert_eq!(topk.replica_hits + sky.replica_hits, 0.0, "k=0 is inert");
+                }
+                if k >= 1 && p <= 0.2 + 1e-9 {
+                    worst_gated_recall = worst_gated_recall
+                        .min(topk.avg(topk.recall))
+                        .min(sky.avg(sky.recall));
+                    assert_eq!(
+                        topk.avg(topk.recall),
+                        1.0,
+                        "gate: k={k} must restore full recall at p={p}"
+                    );
+                    assert_eq!(
+                        sky.avg(sky.recall),
+                        1.0,
+                        "gate: k={k} must restore full recall at p={p}"
+                    );
+                    assert_eq!(topk.avg(topk.coverage), 1.0, "gate: complete coverage");
+                    assert_eq!(sky.avg(sky.coverage), 1.0, "gate: complete coverage");
+                }
+                if k == 2 {
+                    // k = 2 survives any one-at-a-time schedule: a crash
+                    // leaves at least one live holder to re-shed from.
+                    assert_eq!(topk.avg(topk.recall), 1.0, "k=2 survives p={p}");
+                    assert_eq!(sky.avg(sky.recall), 1.0, "k=2 survives p={p}");
+                }
+                if k >= 1 && p >= 0.1 {
+                    // Top-k often prunes the dead zones outright (score
+                    // bounds); the skyline's wider frontier reliably walks
+                    // into them, so the pair must show recovery traffic.
+                    assert!(
+                        topk.replica_hits + sky.replica_hits > 0.0,
+                        "dead zones must be answered from copies"
+                    );
+                }
+                repl_json(&mut rows, k, p, crashed, lost, mname, "topk", &topk);
+                repl_json(&mut rows, k, p, crashed, lost, mname, "skyline", &sky);
+            }
+        }
+    }
+
+    let rows = rows.trim_end().trim_end_matches(',').to_string();
+    let json = format!(
+        "{{\n  \"bench\": \"replication\",\n  \"config\": {{ \"peers\": {R_PEERS}, \
+         \"records\": {R_RECORDS}, \"dims\": {DIMS}, \"queries_per_cell\": {QUERIES}, \
+         \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"rates\": [0, 0.1, 0.2, 0.3], \
+         \"replication_degrees\": [0, 1, 2], \
+         \"anti_entropy\": \"one pass per detected crash\" }},\n  \
+         \"acceptance\": {{ \"gate\": \"recall 1.0 vs full dataset at crash p <= 0.2 \
+         with k >= 1\", \"worst_gated_recall\": {worst_gated_recall:.4} }},\n  \
+         \"sweep\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_PR4_replication.json", json).expect("write results");
+    eprintln!("wrote results/BENCH_PR4_replication.json");
+    assert_eq!(
+        worst_gated_recall, 1.0,
+        "acceptance: recall 1.0 at crash p <= 0.2 with k >= 1"
+    );
+}
+
 fn main() {
+    // `resilience_bench replication` runs only the PR 4 replication sweep
+    // (the CI smoke entry point); with no argument, everything runs.
+    if std::env::args().any(|a| a == "replication") {
+        replication_sweep();
+        return;
+    }
     eprintln!("building network: {PEERS} peers, {RECORDS} tuples, {DIMS}-d ...");
     let mut rng = SmallRng::seed_from_u64(0x10ca1);
     let data = ripple_data::synth::uniform(DIMS, RECORDS, &mut rng);
@@ -335,4 +558,6 @@ fn main() {
         worst_gated_recall >= 0.95,
         "acceptance: recall >= 0.95 at drop p <= 0.1 (worst {worst_gated_recall:.4})"
     );
+
+    replication_sweep();
 }

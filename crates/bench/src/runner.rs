@@ -164,6 +164,10 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
         timeouts: w(|p| p.timeouts),
         messages_dropped: w(|p| p.messages_dropped),
         repair_messages: w(|p| p.repair_messages),
+        replica_hits: w(|p| p.replica_hits),
+        stale_reads: w(|p| p.stale_reads),
+        replica_bytes: w(|p| p.replica_bytes),
+        repair_transfers: w(|p| p.repair_transfers),
         // Anomaly totals add: one broken restriction area anywhere is a
         // figure-level red flag.
         duplicate_visits: parts.iter().map(|p| p.duplicate_visits).sum(),
@@ -224,6 +228,10 @@ mod tests {
             timeouts: 4.0,
             messages_dropped: 4.0,
             repair_messages: 0.0,
+            replica_hits: 4.0,
+            stale_reads: 0.0,
+            replica_bytes: 400.0,
+            repair_transfers: 0.0,
             duplicate_visits: 1,
         };
         let b = PointSummary {
@@ -238,6 +246,10 @@ mod tests {
             timeouts: 0.0,
             messages_dropped: 0.0,
             repair_messages: 8.0,
+            replica_hits: 0.0,
+            stale_reads: 4.0,
+            replica_bytes: 0.0,
+            repair_transfers: 8.0,
             duplicate_visits: 0,
         };
         let m = merge_summaries(&[a, b]);
@@ -251,6 +263,10 @@ mod tests {
         );
         assert!((m.retries - 1.0).abs() < 1e-12, "weighted by query count");
         assert!((m.repair_messages - 6.0).abs() < 1e-12);
+        assert!((m.replica_hits - 1.0).abs() < 1e-12);
+        assert!((m.stale_reads - 3.0).abs() < 1e-12);
+        assert!((m.replica_bytes - 100.0).abs() < 1e-12);
+        assert!((m.repair_transfers - 6.0).abs() < 1e-12);
         assert_eq!(m.duplicate_visits, 1, "anomalies add across networks");
     }
 

@@ -22,7 +22,7 @@
 
 use ripple_geom::{Rect, Tuple};
 use ripple_net::rng::Rng;
-use ripple_net::{ChurnOverlay, PeerId, PeerStore};
+use ripple_net::{ChurnOverlay, PeerId, PeerStore, ReplicaSet};
 use std::collections::BTreeSet;
 
 /// A Chord peer: a ring position and the tuples of its arc.
@@ -49,8 +49,15 @@ pub struct ChordNetwork {
     crashed: BTreeSet<PeerId>,
     /// Tuples lost to crashes (dead stores + inserts into orphaned arcs).
     tuples_lost: u64,
+    /// Tuples restored from replicas by repair-time promotion.
+    tuples_recovered: u64,
     /// Repair messages accumulated since the last drain.
     repair_messages: u64,
+    /// The replica ledger, when replication is enabled
+    /// ([`enable_replication`](ChordNetwork::enable_replication)). Copies go
+    /// to the owner's first `k` live ring successors — Chord's successor
+    /// list reused as the replica topology.
+    replicas: Option<ReplicaSet>,
 }
 
 impl ChordNetwork {
@@ -66,7 +73,9 @@ impl ChordNetwork {
             ring: vec![id],
             crashed: BTreeSet::new(),
             tuples_lost: 0,
+            tuples_recovered: 0,
             repair_messages: 0,
+            replicas: None,
         }
     }
 
@@ -250,6 +259,13 @@ impl ChordNetwork {
         let owner = self.responsible(key.min(1.0 - f64::EPSILON));
         if self.is_live(owner) {
             self.peer_mut(owner).store.insert(t);
+            let generation = self.peer(owner).store.generation();
+            if let Some(set) = self.replicas.as_mut() {
+                // The copy (if any) is now behind the store: the next
+                // anti-entropy pass refreshes it, and a recovery read in
+                // between counts as stale.
+                set.note_generation(owner, generation);
+            }
         } else {
             self.tuples_lost += 1;
         }
@@ -292,6 +308,8 @@ impl ChordNetwork {
             store,
         }));
         self.ring.insert(rank + 1, new_id);
+        // The split moved tuples between stores; re-capture what changed.
+        self.refresh_replicas();
         new_id
     }
 
@@ -316,6 +334,9 @@ impl ChordNetwork {
         self.peer_mut(heir).store.extend(tuples);
         self.ring.remove(rank);
         self.peers[id.index()] = None;
+        // Handover done: the departed owner's copy is obsolete and the
+        // heir's grown store needs a fresh capture.
+        self.refresh_replicas();
     }
 
     /// Ungraceful departure: `id` dies without handover. It *stays in the
@@ -349,7 +370,7 @@ impl ChordNetwork {
     pub fn repair_all(&mut self) -> u64 {
         let mut msgs = 0u64;
         let dead: Vec<PeerId> = std::mem::take(&mut self.crashed).into_iter().collect();
-        for id in dead {
+        for &id in &dead {
             let rank = self
                 .ring
                 .iter()
@@ -360,6 +381,9 @@ impl ChordNetwork {
             msgs += u64::from(self.finger_count()) + 1;
         }
         self.repair_messages += msgs;
+        // Ring patched: read the crashed owners' copies back into the (now
+        // fully live) ring and re-replicate the grown stores.
+        self.promote_replicas(&dead);
         msgs
     }
 
@@ -384,6 +408,187 @@ impl ChordNetwork {
     /// Drains the count of repair messages spent since the last call.
     pub fn take_repair_messages(&mut self) -> u64 {
         std::mem::take(&mut self.repair_messages)
+    }
+
+    /// Enables k-replication: every peer's tuples are copied onto its first
+    /// `k` live ring successors (the successor list reused as the replica
+    /// topology). Captures the initial copies immediately and returns how
+    /// many were shipped; the ledger is kept fresh by
+    /// [`refresh_replicas`](ChordNetwork::refresh_replicas) (invoked after
+    /// joins, leaves and repairs, and by [`ChurnOverlay::anti_entropy`]).
+    pub fn enable_replication(&mut self, k: usize) -> u64 {
+        self.replicas = Some(ReplicaSet::new(k));
+        self.refresh_replicas()
+    }
+
+    /// The replica ledger, when replication is enabled.
+    pub fn replicas(&self) -> Option<&ReplicaSet> {
+        self.replicas.as_ref()
+    }
+
+    /// Mutable access to the replica ledger (harnesses drain its transfer
+    /// and byte counters into their metrics).
+    pub fn replicas_mut(&mut self) -> Option<&mut ReplicaSet> {
+        self.replicas.as_mut()
+    }
+
+    /// The peers that should hold `id`'s replicas: its first `k` live ring
+    /// successors, clockwise. Deterministic; never contains `id`; shorter
+    /// than `k` only when fewer than `k` other live peers exist.
+    pub fn replica_targets(&self, id: PeerId, k: usize) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        if k == 0 || !self.is_live(id) {
+            return out;
+        }
+        let rank = self
+            .ring
+            .iter()
+            .position(|&p| p == id)
+            .expect("peer is live");
+        let n = self.ring.len();
+        for step in 1..n {
+            if out.len() >= k {
+                break;
+            }
+            let p = self.ring[(rank + step) % n];
+            if self.is_live(p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// One anti-entropy pass over the replica ledger: re-captures live
+    /// owners whose copy is missing, stale, short of holders or placed on a
+    /// dead holder; re-sheds crashed owners' copies from a surviving holder
+    /// (dropping them when none survived); prunes entries of gracefully
+    /// departed owners. Returns the number of copies shipped or re-shed.
+    pub fn refresh_replicas(&mut self) -> u64 {
+        let Some(mut set) = self.replicas.take() else {
+            return 0;
+        };
+        let k = set.k();
+        let mut refreshed = 0u64;
+        if k > 0 {
+            let mut ids = self.live_peers();
+            ids.sort_unstable();
+            for id in ids {
+                let generation = self.peer(id).store.generation();
+                let want = k.min(self.peer_count().saturating_sub(1));
+                let needs = match set.get(id) {
+                    None => want > 0,
+                    Some(rep) => {
+                        rep.generation() != generation
+                            || rep.holders().len() < want
+                            || rep.holders().iter().any(|&h| !self.is_live(h))
+                    }
+                };
+                if !needs {
+                    continue;
+                }
+                let holders = self.replica_targets(id, k);
+                if holders.is_empty() {
+                    set.note_generation(id, generation);
+                    continue;
+                }
+                let tuples = self.peer(id).store.tuples().to_vec();
+                set.capture(id, generation, tuples, holders);
+                refreshed += 1;
+            }
+            // Owners no longer live: graceful departures handed their data
+            // over (copy obsolete); crashed owners' copies are the recovery
+            // substrate — keep them on live holders while one survives.
+            for owner in set.owners() {
+                if self.is_live(owner) {
+                    continue;
+                }
+                if !self.crashed.contains(&owner) {
+                    set.drop_owner(owner);
+                    continue;
+                }
+                let rep = set.get(owner).expect("iterating current owners");
+                if !rep.holders().iter().any(|&h| self.is_live(h)) {
+                    // every holder died before re-shedding: the copy is lost
+                    set.drop_owner(owner);
+                    continue;
+                }
+                let dead: Vec<PeerId> = rep
+                    .holders()
+                    .iter()
+                    .copied()
+                    .filter(|&h| !self.is_live(h))
+                    .collect();
+                for h in dead {
+                    let current = set.get(owner).expect("entry kept").holders().to_vec();
+                    let mut fresh_ids = self.live_peers();
+                    fresh_ids.sort_unstable();
+                    let fresh = fresh_ids
+                        .into_iter()
+                        .find(|&p| p != owner && !current.contains(&p));
+                    set.replace_holder(owner, h, fresh);
+                    refreshed += 1;
+                }
+            }
+        }
+        self.replicas = Some(set);
+        refreshed
+    }
+
+    /// The dead peers whose orphaned arcs overlap `segments`, each with the
+    /// total overlap length, in ring order (deterministic).
+    pub fn dead_zones_in(&self, segments: &[Rect]) -> Vec<(PeerId, f64)> {
+        self.ring
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| !self.is_live(p))
+            .filter_map(|(rank, &p)| {
+                let (lo, hi) = self.arc_of_rank(rank);
+                let overlap: f64 = segments
+                    .iter()
+                    .map(|s| {
+                        let a = s.lo().coord(0).max(lo);
+                        let b = s.hi().coord(0).min(hi);
+                        (b - a).max(0.0)
+                    })
+                    .sum();
+                (overlap > 0.0).then_some((p, overlap))
+            })
+            .collect()
+    }
+
+    /// Promotes the replicas of `dead_owners` after the ring is patched:
+    /// each copy with a surviving holder is read back and its tuples
+    /// re-inserted at their (live again) responsible peers; copies without
+    /// a live holder are dropped as lost. Ends with a refresh pass so the
+    /// grown stores are re-replicated.
+    fn promote_replicas(&mut self, dead_owners: &[PeerId]) {
+        if self.replicas.is_none() {
+            return;
+        }
+        let mut set = self.replicas.take().expect("checked");
+        for &owner in dead_owners {
+            let has_live_holder = set
+                .get(owner)
+                .is_some_and(|r| r.holders().iter().any(|&h| self.is_live(h)));
+            if has_live_holder {
+                let rep = set.promote(owner).expect("entry checked");
+                self.tuples_recovered += rep.tuples().len() as u64;
+                for t in rep.tuples().iter().cloned() {
+                    self.insert_tuple(t);
+                }
+            } else {
+                set.drop_owner(owner);
+            }
+        }
+        self.replicas = Some(set);
+        self.refresh_replicas();
+    }
+
+    /// Tuples restored from replicas by repair-time promotion so far (a
+    /// subset of [`tuples_lost`](ChordNetwork::tuples_lost), which keeps
+    /// counting the raw crash damage).
+    pub fn tuples_recovered(&self) -> u64 {
+        self.tuples_recovered
     }
 
     /// A live peer positioned inside one of `segments` and not in `tried`,
@@ -524,6 +729,10 @@ impl ChurnOverlay for ChordNetwork {
         let id = live[idx];
         self.crash(id);
         Some(id.index() as u32)
+    }
+
+    fn anti_entropy(&mut self) -> u64 {
+        self.refresh_replicas()
     }
 }
 
@@ -697,6 +906,95 @@ mod tests {
                 .iter()
                 .any(|s| s.lo().coord(0) <= pos && pos < s.hi().coord(0)));
         }
+    }
+
+    fn stored_total(net: &ChordNetwork) -> usize {
+        net.ring().iter().map(|&p| net.peer(p).store.len()).sum()
+    }
+
+    #[test]
+    fn replication_targets_are_ring_successors() {
+        let mut r = rng(40);
+        let net = ChordNetwork::build(32, &mut r);
+        for &id in &net.live_peers() {
+            let rank = net.ring().iter().position(|&p| p == id).unwrap();
+            let targets = net.replica_targets(id, 2);
+            assert_eq!(targets.len(), 2);
+            assert_eq!(targets[0], net.ring()[(rank + 1) % 32]);
+            assert_eq!(targets[1], net.ring()[(rank + 2) % 32]);
+        }
+    }
+
+    #[test]
+    fn crash_then_repair_promotes_replicas() {
+        let mut r = rng(41);
+        let mut net = ChordNetwork::build(16, &mut r);
+        for i in 0..100 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen::<f64>()]));
+        }
+        let shipped = net.enable_replication(2);
+        assert_eq!(shipped, 16);
+        let victim = net.live_peers()[5];
+        let arc = net.zone_segments(victim);
+        let held = net.crash(victim);
+        // the dead owner's copy survives on its successors
+        let rep = net.replicas().unwrap().get(victim).expect("copy kept");
+        assert_eq!(rep.tuples().len(), held);
+        let zones = net.dead_zones_in(&arc);
+        assert_eq!(zones.len(), 1);
+        assert_eq!(zones[0].0, victim);
+        assert!((zones[0].1 - arc[0].side(0)).abs() < 1e-12);
+        // repair promotes: the predecessor ends up owning the tuples again
+        net.repair_all();
+        assert_eq!(net.tuples_recovered(), held as u64);
+        assert_eq!(stored_total(&net), 100, "promotion restored every tuple");
+        assert!(net.replicas().unwrap().get(victim).is_none());
+        net.check_invariants();
+    }
+
+    #[test]
+    fn anti_entropy_replaces_dead_holders() {
+        let mut r = rng(42);
+        let mut net = ChordNetwork::build(12, &mut r);
+        for i in 0..50 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen::<f64>()]));
+        }
+        net.enable_replication(1);
+        // crash a peer that holds someone's copy
+        let holder = net
+            .live_peers()
+            .into_iter()
+            .skip(1)
+            .find(|&p| !net.replicas().unwrap().owners_held_by(p).is_empty())
+            .expect("every successor holds a copy");
+        let owners = net.replicas().unwrap().owners_held_by(holder);
+        net.crash(holder);
+        ChurnOverlay::anti_entropy(&mut net);
+        let set = net.replicas().unwrap();
+        for o in owners {
+            if net.is_live(o) {
+                let rep = set.get(o).expect("live owner stays covered");
+                assert!(rep.holders().iter().all(|&h| net.is_live(h)));
+                assert!(!rep.holders().contains(&holder));
+            }
+        }
+        // churn cycle with replication stays consistent
+        for _ in 0..20 {
+            if r.gen_bool(0.4) {
+                net.churn_join(&mut r);
+            } else if r.gen_bool(0.5) {
+                net.churn_crash(&mut r);
+            } else {
+                net.churn_leave(&mut r);
+            }
+            ChurnOverlay::anti_entropy(&mut net);
+            net.check_invariants();
+        }
+        net.repair_all();
+        assert_eq!(
+            stored_total(&net) as u64 + net.tuples_lost() - net.tuples_recovered(),
+            50
+        );
     }
 
     #[test]

@@ -102,6 +102,18 @@ impl RippleOverlay for ChordNetwork {
     fn failover_target(&self, region: &Vec<Rect>, tried: &[PeerId]) -> Option<(PeerId, Vec<Rect>)> {
         self.adopt_segments(region, tried)
     }
+
+    fn replica_targets(&self, peer: PeerId, k: usize) -> Vec<PeerId> {
+        ChordNetwork::replica_targets(self, peer, k)
+    }
+
+    fn replicas(&self) -> Option<&ripple_net::ReplicaSet> {
+        ChordNetwork::replicas(self)
+    }
+
+    fn dead_zones_in(&self, region: &Vec<Rect>) -> Vec<(PeerId, f64)> {
+        ChordNetwork::dead_zones_in(self, region)
+    }
 }
 
 #[cfg(test)]

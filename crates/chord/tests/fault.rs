@@ -13,7 +13,7 @@ use ripple_core::Executor;
 use ripple_geom::{LinearScore, Tuple};
 use ripple_net::rng::rngs::SmallRng;
 use ripple_net::rng::{Rng, SeedableRng};
-use ripple_net::FaultPlane;
+use ripple_net::{ChurnOverlay, ChurnStage, FaultPlane};
 
 const MODES: [Mode; 4] = [Mode::Fast, Mode::Slow, Mode::Ripple(2), Mode::Broadcast];
 
@@ -132,6 +132,101 @@ fn crash_repair_query_interleavings_stay_sound() {
         }
         net.check_invariants();
     }
+}
+
+/// Property: arbitrary interleavings of the two churn stages with crash
+/// waves and repairs — join → crash → repair → depart, in every rotation —
+/// keep the ring invariants, the tuple ledger (`stored + lost − recovered ==
+/// inserted`) and query soundness intact, with the replica ledger riding
+/// along through every transition.
+#[test]
+fn churn_stages_interleaved_with_crashes_stay_sound() {
+    use ripple_net::churn::run_stage;
+    let (mut net, mut rng) = loaded_ring(48, 400, 54);
+    let inserted = 400u64;
+    net.enable_replication(2);
+    let score = LinearScore::uniform(1);
+    let mut checkpoints_hit = 0usize;
+
+    let audit = |net: &mut ChordNetwork, rng: &mut SmallRng, label: &str| {
+        net.check_invariants();
+        let stored: u64 = net
+            .live_peers()
+            .iter()
+            .map(|&p| net.peer(p).store.tuples().len() as u64)
+            .sum();
+        assert_eq!(
+            stored + net.tuples_lost() - net.tuples_recovered(),
+            inserted,
+            "{label}: tuple ledger must balance"
+        );
+        let initiator = net.random_peer(rng);
+        let exec = Executor::with_faults(&*net, crash_aware(), 31);
+        let (got, metrics, cov) = run_topk_with(&exec, initiator, score.clone(), 8, Mode::Fast);
+        assert_eq!(metrics.duplicate_visits, 0, "{label}");
+        if cov.is_complete() {
+            assert_eq!(
+                ids(&got),
+                ids(&centralized_topk(&survivors(net), &score, 8)),
+                "{label}: complete coverage must imply survivor-exact answers"
+            );
+        }
+    };
+
+    for round in 0..3 {
+        // Increasing stage, crash waves injected at each checkpoint.
+        let grow_to = net.peer_count() + 12;
+        let cps = [net.peer_count() + 4, net.peer_count() + 8, grow_to];
+        let mut wave_rng = SmallRng::seed_from_u64(540 + round);
+        run_stage(
+            &mut net,
+            ChurnStage::Increasing,
+            grow_to,
+            &cps,
+            &mut rng,
+            |net, _| {
+                checkpoints_hit += 1;
+                for _ in 0..2 {
+                    net.churn_crash(&mut wave_rng);
+                }
+                net.anti_entropy();
+            },
+        );
+        audit(&mut net, &mut rng, "after increasing stage + crash waves");
+
+        // Repair mid-schedule: promotes surviving copies, reclaims arcs.
+        net.repair_all();
+        audit(&mut net, &mut rng, "after mid-schedule repair");
+        assert!(net.orphan_segments().is_empty());
+
+        // Decreasing stage: graceful departures drop obsolete copies.
+        let shrink_to = (net.peer_count().saturating_sub(10)).max(8);
+        run_stage(
+            &mut net,
+            ChurnStage::Decreasing,
+            shrink_to,
+            &[shrink_to],
+            &mut rng,
+            |net, _| {
+                checkpoints_hit += 1;
+                if let Some(set) = net.replicas() {
+                    for owner in set.owners() {
+                        assert!(
+                            net.is_live(owner),
+                            "graceful departures must drop their obsolete copies"
+                        );
+                    }
+                }
+            },
+        );
+        audit(&mut net, &mut rng, "after decreasing stage");
+    }
+    assert!(checkpoints_hit >= 9, "the schedule must actually fire");
+    assert!(net.tuples_lost() > 0, "crashes must have destroyed data");
+    assert!(
+        net.tuples_recovered() > 0,
+        "repairs must have promoted copies"
+    );
 }
 
 #[test]

@@ -59,10 +59,27 @@
 //! phase sequentially and parallelises the fast phase below the hop budget.
 
 use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
+use ripple_geom::Tuple;
 use ripple_net::hash::{fx_set_with_capacity, FxHashSet};
 use ripple_net::pool::{self, Pool};
 use ripple_net::{BranchLedger, FaultPlane, FaultSession, LocalView, PeerId, ShardedVisited};
 use std::sync::Arc;
+
+/// The local answer a failover adopter computes *on behalf of* a dead peer
+/// from a replica of its tuples: the same two query functions a live peer
+/// would run, over a plain view of the copy, under the global state the
+/// failed forward carried. Answering with a (possibly weaker) upstream
+/// global state can only widen the answer — never drop a qualifying tuple —
+/// so recovery is recall-safe for every query type.
+fn replica_answer<R, Q: RankQuery<R>>(
+    query: &Q,
+    tuples: &[Tuple],
+    global: &Q::Global,
+) -> Vec<Tuple> {
+    let view = LocalView::Plain(tuples);
+    let local = query.compute_local_state(&view, global);
+    query.compute_local_answer(&view, &local)
+}
 
 /// Executes RIPPLE queries over an overlay.
 pub struct Executor<'a, O> {
@@ -78,6 +95,11 @@ pub struct Executor<'a, O> {
     /// Whether ledgers retain the visit trace (on by default; sweeps that
     /// only aggregate turn it off to keep ledgers O(1) in network size).
     trace: bool,
+    /// Whether failover may answer an abandoned region from a replica when
+    /// the overlay maintains a [`ripple_net::ReplicaSet`] (on by default;
+    /// with no replica set configured this flag is inert, so the executor
+    /// stays bit-identical to the replica-unaware one).
+    use_replicas: bool,
 }
 
 /// The mutable state threaded through one *sequential* execution.
@@ -122,6 +144,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             plane: FaultPlane::none(),
             stream: 0,
             trace: true,
+            use_replicas: true,
         }
     }
 
@@ -149,6 +172,15 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// unaffected). For aggregate-only sweeps over large overlays.
     pub fn without_trace(mut self) -> Self {
         self.trace = false;
+        self
+    }
+
+    /// Disables replica recovery even when the overlay maintains a replica
+    /// set: abandoned regions are reported unreachable exactly as the
+    /// replica-unaware executor reports them. Used by equivalence tests and
+    /// ablation sweeps.
+    pub fn without_replicas(mut self) -> Self {
+        self.use_replicas = false;
         self
     }
 
@@ -344,24 +376,99 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         }
     }
 
+    /// Answers the dead zones of an abandoned (part of a) restriction area
+    /// from the overlay's replica set, if one is maintained. For each dead
+    /// zone inside `region` whose owner has a fresh-enough copy on a live
+    /// holder, the adopter fetches the copy (one forward message, the
+    /// payload charged to `replica_bytes`) and runs the query's local
+    /// functions over it via `answer`, appending the result to the branch
+    /// ledger exactly where a live peer's answer would land. `kept` is the
+    /// part of the region failover *did* cover — dead zones falling inside
+    /// it will be answered by the adopted subtree itself and are skipped
+    /// here, so no tuple is recovered twice. Returns the total dead-zone
+    /// volume recovered; the caller subtracts it from the would-be
+    /// unreachable volume.
+    ///
+    /// Replica fetches add messages and bytes but no simulated hops: the
+    /// adopter overlaps the fetch with the waits already charged by the
+    /// failed retransmissions.
+    fn recover_region<F: Fn(&[Tuple]) -> Vec<Tuple>>(
+        &self,
+        region: &O::Region,
+        kept: Option<&O::Region>,
+        ledger: &mut BranchLedger,
+        answer: &F,
+    ) -> f64 {
+        if !self.use_replicas {
+            return 0.0;
+        }
+        let Some(set) = self.net.replicas() else {
+            return 0.0;
+        };
+        if set.k() == 0 || set.is_empty() {
+            return 0.0;
+        }
+        // Owners whose dead zone survives in the kept part: the adopted
+        // subtree recovers those itself (its own deliver failures will land
+        // here again with the smaller region).
+        let downstream: Vec<PeerId> = match kept {
+            Some(kept) => self
+                .net
+                .dead_zones_in(kept)
+                .into_iter()
+                .map(|(owner, _)| owner)
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut recovered = 0.0;
+        for (owner, vol) in self.net.dead_zones_in(region) {
+            if downstream.contains(&owner) {
+                continue;
+            }
+            let Some(rep) = set.get(owner) else {
+                continue;
+            };
+            if !rep.holders().iter().any(|&h| self.net.is_peer_live(h)) {
+                continue;
+            }
+            ledger.metrics.forward();
+            ledger.metrics.replica_hits += 1;
+            if set.is_stale(rep) {
+                ledger.metrics.stale_reads += 1;
+            }
+            ledger.metrics.replica_bytes += rep.payload_bytes();
+            let ans = answer(rep.tuples());
+            ledger.answer(ans);
+            recovered += vol;
+        }
+        recovered
+    }
+
     /// Delivers a query-forward from `sender` into `restriction`, starting
     /// at the link target `first` and failing over across the overlay's
     /// alternate live candidates when retransmissions are exhausted. Returns
     /// the simulated hops spent at the sender and the peer that ended up
     /// processing the message together with the (possibly failover-trimmed)
     /// restriction it covers — or `None` when every candidate failed. Both
-    /// the trimmed-off parts and fully abandoned areas are recorded as
-    /// unreachable (graceful degradation, honestly accounted).
+    /// the trimmed-off parts and fully abandoned areas are first offered to
+    /// [`Executor::recover_region`] — when the overlay replicates, the dead
+    /// zones inside them are answered from replicas — and only the volume
+    /// that stays unanswered is recorded as unreachable (graceful
+    /// degradation, honestly accounted).
     ///
     /// With an inactive fault session this is exactly one `forward()` and
     /// one hop — bit-identical to the historical fault-unaware executor.
-    fn deliver(
+    /// With no replica set (or `k = 0`) the recovery call returns zero and
+    /// the unreachable accounting is bit-identical to the replica-unaware
+    /// executor.
+    fn deliver<F: Fn(&[Tuple]) -> Vec<Tuple>>(
         &self,
         sender: PeerId,
         first: PeerId,
         restriction: O::Region,
         faults: &FaultSession,
         ledger: &mut BranchLedger,
+        answer: &F,
     ) -> (u64, Option<(PeerId, O::Region)>) {
         if !faults.active() {
             ledger.metrics.forward();
@@ -382,15 +489,30 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 Some((next, sub)) => {
                     let lost = self.net.region_volume(&restriction) - self.net.region_volume(&sub);
                     if lost > 1e-12 {
-                        ledger.unreachable.push(lost);
+                        let recovered =
+                            self.recover_region(&restriction, Some(&sub), ledger, answer);
+                        let remaining = lost - recovered;
+                        if remaining > 1e-12 {
+                            ledger.unreachable.push(remaining);
+                        }
                     }
                     restriction = sub;
                     target = next;
                 }
                 None => {
-                    ledger
-                        .unreachable
-                        .push(self.net.region_volume(&restriction));
+                    let vol = self.net.region_volume(&restriction);
+                    let recovered = self.recover_region(&restriction, None, ledger, answer);
+                    if recovered == 0.0 {
+                        // Bit-identical to the replica-unaware executor: the
+                        // whole region is reported, even if its volume is
+                        // (numerically) zero.
+                        ledger.unreachable.push(vol);
+                    } else {
+                        let remaining = vol - recovered;
+                        if remaining > 1e-12 {
+                            ledger.unreachable.push(remaining);
+                        }
+                    }
                     return (elapsed, None);
                 }
             }
@@ -423,6 +545,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let local = run.query.compute_local_state(&view, global);
         let global_w = run.query.compute_global_state(global, &local);
 
+        let q = run.query;
+        let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
         let mut latency = 0u64;
         let mut remote_states = Vec::new();
         for (target, region) in self.net.peer_links(w) {
@@ -433,7 +557,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 continue;
             }
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 // subtree unreachable: the time wasted waiting still counts
                 latency = latency.max(delay);
@@ -491,13 +615,17 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 .total_cmp(&run.query.priority(&a.1))
         });
 
+        let q = run.query;
         let mut latency = 0u64;
         for (target, restricted) in links {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
+            // Re-created each iteration: recovery answers under the *current*
+            // refined global state, exactly what this forward carried.
+            let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 // unreachable: sequential mode pays the wait in full
                 latency += delay;
@@ -554,13 +682,15 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 .total_cmp(&run.query.priority(&a.1))
         });
 
+        let q = run.query;
         let mut latency = 0u64;
         for (target, restricted) in links {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 continue;
             }
+            let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 latency += delay;
                 continue;
@@ -600,13 +730,15 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let view = self.view_of(w);
         let local = run.query.compute_local_state(&view, global);
 
+        let q = run.query;
+        let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, global);
         let mut latency = 0u64;
         for (target, region) in self.net.peer_links(w) {
             let Some(restricted) = self.net.region_intersect(&region, &restriction) else {
                 continue;
             };
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger);
+                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 latency = latency.max(delay);
                 continue;
@@ -677,8 +809,11 @@ where
     let mut remote_states = Vec::new();
     if links.len() <= 1 {
         // A chain: forking buys nothing, recurse inline on this thread.
+        let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global_w);
         for (target, restricted) in links {
-            let (delay, adopted) = ctx.exec.deliver(w, target, restricted, &ctx.faults, ledger);
+            let (delay, adopted) =
+                ctx.exec
+                    .deliver(w, target, restricted, &ctx.faults, ledger, &answer);
             match adopted {
                 None => latency = latency.max(delay),
                 Some((dest, restricted)) => {
@@ -704,9 +839,16 @@ where
                     let global_w = Arc::clone(&global_w);
                     move |pool: &Pool<'env>| {
                         let mut branch = BranchLedger::new(ctx.trace);
-                        let (delay, adopted) =
-                            ctx.exec
-                                .deliver(w, target, restricted, &ctx.faults, &mut branch);
+                        let answer =
+                            |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global_w);
+                        let (delay, adopted) = ctx.exec.deliver(
+                            w,
+                            target,
+                            restricted,
+                            &ctx.faults,
+                            &mut branch,
+                            &answer,
+                        );
                         match adopted {
                             None => (delay, None, branch),
                             Some((dest, restricted)) => {
@@ -803,7 +945,10 @@ where
         if !ctx.query.is_link_relevant(&restricted, &global_w) {
             continue;
         }
-        let (delay, adopted) = ctx.exec.deliver(w, target, restricted, &ctx.faults, ledger);
+        let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global_w);
+        let (delay, adopted) =
+            ctx.exec
+                .deliver(w, target, restricted, &ctx.faults, ledger, &answer);
         let Some((dest, restricted)) = adopted else {
             latency += delay;
             continue;
@@ -861,8 +1006,11 @@ where
 
     let mut latency = 0u64;
     if links.len() <= 1 {
+        let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, global);
         for (target, restricted) in links {
-            let (delay, adopted) = ctx.exec.deliver(w, target, restricted, &ctx.faults, ledger);
+            let (delay, adopted) =
+                ctx.exec
+                    .deliver(w, target, restricted, &ctx.faults, ledger, &answer);
             match adopted {
                 None => latency = latency.max(delay),
                 Some((dest, restricted)) => {
@@ -880,9 +1028,16 @@ where
                     let global = Arc::clone(global);
                     move |pool: &Pool<'env>| {
                         let mut branch = BranchLedger::new(ctx.trace);
-                        let (delay, adopted) =
-                            ctx.exec
-                                .deliver(w, target, restricted, &ctx.faults, &mut branch);
+                        let answer =
+                            |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global);
+                        let (delay, adopted) = ctx.exec.deliver(
+                            w,
+                            target,
+                            restricted,
+                            &ctx.faults,
+                            &mut branch,
+                            &answer,
+                        );
                         match adopted {
                             None => (delay, None, branch),
                             Some((dest, restricted)) => {

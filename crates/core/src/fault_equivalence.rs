@@ -265,6 +265,110 @@ fn faulty_runs_are_deterministic_and_recover_through_retries() {
     assert!(out.metrics.latency > 0);
 }
 
+/// Property: the retry budget is *monotone*. Because drop verdicts are keyed
+/// by `(sender, target, attempt)` — not drawn from a shared stream — raising
+/// `max_retries` can only extend each edge's attempt sequence: every edge
+/// that delivered within budget `m` delivers verbatim within budget `m + 1`.
+/// The executor inherits the monotonicity: across a ladder of budgets the
+/// answered fraction never shrinks and a large-enough budget recovers exact
+/// answers.
+#[test]
+fn retry_budgets_are_monotone() {
+    // 1. The session-level subset property, over a grid of edges.
+    for seed in [7u64, 19, 23] {
+        let plane = FaultPlane {
+            drop_probability: 0.4,
+            timeout_hops: 2,
+            max_retries: 0,
+            seed,
+            ..FaultPlane::none()
+        };
+        let session = plane.session(1);
+        let delivers_within = |s: u64, t: u64, budget: u32| -> bool {
+            (0..=budget).any(|a| {
+                !session.drops_message(
+                    ripple_net::PeerId::new(s as u32),
+                    ripple_net::PeerId::new(t as u32),
+                    a,
+                )
+            })
+        };
+        for s in 0..12u64 {
+            for t in 0..12u64 {
+                if s == t {
+                    continue;
+                }
+                for budget in 0..4u32 {
+                    if delivers_within(s, t, budget) {
+                        assert!(
+                            delivers_within(s, t, budget + 1),
+                            "edge {s}->{t}: delivery within budget {budget} must \
+                             be preserved by budget {}",
+                            budget + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. The executor-level consequence: a deterministic budget ladder over
+    // a lossy overlay never loses coverage as the budget grows, and the
+    // counters stay within the budget's arithmetic bounds.
+    let (net, mut rng) = loaded_net(2, 40, 500, 47);
+    let score = LinearScore::uniform(2);
+    let q = TopKQuery::new(score.clone(), 10);
+    for mode in MODES {
+        let initiator = net.random_peer(&mut rng);
+        let mut prev = -1.0f64;
+        for max_retries in 0..=4u32 {
+            let plane = FaultPlane {
+                drop_probability: 0.3,
+                timeout_hops: 2,
+                max_retries,
+                seed: 13,
+                ..FaultPlane::none()
+            };
+            let out = Executor::with_faults(&net, plane, 2).run(initiator, &q, mode);
+            assert!(
+                out.coverage.answered_fraction >= prev,
+                "[{mode:?}] coverage must be monotone in the retry budget: \
+                 {} < {prev} at max_retries={max_retries}",
+                out.coverage.answered_fraction
+            );
+            prev = out.coverage.answered_fraction;
+            assert!(
+                out.metrics.retries <= out.metrics.timeouts,
+                "[{mode:?}] every retry is preceded by a timeout"
+            );
+            if max_retries == 0 {
+                assert_eq!(
+                    out.metrics.retries, 0,
+                    "[{mode:?}] a zero budget must never retry"
+                );
+            }
+            if max_retries == 4 {
+                // p=0.3 with five attempts per edge and failover behind it:
+                // the budget fully masks the losses on this schedule.
+                assert!(out.coverage.is_complete(), "[{mode:?}]");
+                let mut answers = out.answers.clone();
+                answers.sort_by(|x, y| {
+                    score
+                        .score(&y.point)
+                        .total_cmp(&score.score(&x.point))
+                        .then_with(|| x.id.cmp(&y.id))
+                });
+                answers.truncate(10);
+                assert_eq!(
+                    ids(&answers),
+                    ids(&centralized_topk(&survivors(&net), &score, 10)),
+                    "[{mode:?}] a generous budget must recover exact answers"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn slow_peers_stretch_latency_without_changing_answers() {
     let (net, mut rng) = loaded_net(2, 40, 500, 46);

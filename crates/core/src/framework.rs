@@ -9,7 +9,7 @@
 //! zone, partition the domain.
 
 use ripple_geom::Tuple;
-use ripple_net::{LocalView, PeerId, QueryMetrics};
+use ripple_net::{LocalView, PeerId, QueryMetrics, ReplicaSet};
 
 /// What RIPPLE requires from a DHT substrate.
 ///
@@ -105,6 +105,36 @@ pub trait RippleOverlay {
         _tried: &[PeerId],
     ) -> Option<(PeerId, Self::Region)> {
         None
+    }
+
+    /// The peers that should hold the `k` replicas of `peer`'s tuples —
+    /// the substrate's own link structure reused as the replica topology
+    /// (Chord: the first `k` live ring successors; MIDAS: sibling/buddy-box
+    /// peers, deepest link first). Must be deterministic; must not include
+    /// `peer` itself. The default (no replication support) is empty.
+    fn replica_targets(&self, _peer: PeerId, _k: usize) -> Vec<PeerId> {
+        Vec::new()
+    }
+
+    /// The overlay's replica ledger, when replication is enabled
+    /// ([`ReplicaSet`] with `k ≥ 1` captured copies). The executor reads it
+    /// — never writes — when a failover target adopts a dead peer's
+    /// sub-region: the region is answered from the replica instead of being
+    /// abandoned. `None` (the default) means every recovery is skipped and
+    /// the executor behaves bit-identically to the replication-free one.
+    fn replicas(&self) -> Option<&ReplicaSet> {
+        None
+    }
+
+    /// The dead peers whose (orphaned, unrepaired) zones intersect `region`,
+    /// each with the volume of the intersection, in a deterministic overlay
+    /// order. The executor calls this at abandonment time to decide which
+    /// owners' replicas can stand in for the lost volume; keying recovery by
+    /// the abandoned region (itself keyed by the failed edge) is what keeps
+    /// `replica_hits` schedule-free under the parallel engine. The default
+    /// (no failure model) is empty.
+    fn dead_zones_in(&self, _region: &Self::Region) -> Vec<(PeerId, f64)> {
+        Vec::new()
     }
 }
 

@@ -60,6 +60,8 @@ pub mod midas_impl;
 #[cfg(test)]
 mod parallel_equivalence;
 pub mod range;
+#[cfg(test)]
+mod replica_equivalence;
 pub mod skyline;
 pub mod topk;
 

@@ -65,6 +65,18 @@ impl RippleOverlay for MidasNetwork {
         self.live_peer_in_region(region, tried)
             .map(|p| (p, region.clone()))
     }
+
+    fn replica_targets(&self, peer: PeerId, k: usize) -> Vec<PeerId> {
+        MidasNetwork::replica_targets(self, peer, k)
+    }
+
+    fn replicas(&self) -> Option<&ripple_net::ReplicaSet> {
+        MidasNetwork::replicas(self)
+    }
+
+    fn dead_zones_in(&self, region: &Rect) -> Vec<(PeerId, f64)> {
+        MidasNetwork::dead_zones_in(self, region)
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ use crate::peer::{Link, MidasPeer};
 use ripple_geom::kdspace::BitPath;
 use ripple_geom::{Point, Rect, Tuple};
 use ripple_net::rng::Rng;
-use ripple_net::{ChurnOverlay, PeerId, PeerStore};
+use ripple_net::{ChurnOverlay, PeerId, PeerStore, ReplicaSet};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How a splitting peer picks the split plane ("at some value along some
@@ -73,9 +73,16 @@ pub struct MidasNetwork {
     /// Tuples lost to crashes (dead peers' stores + inserts routed into
     /// orphaned zones).
     tuples_lost: u64,
+    /// Tuples restored from replicas by repair-time promotion.
+    tuples_recovered: u64,
     /// Maintenance messages spent by repairs since the last
     /// [`take_repair_messages`](MidasNetwork::take_repair_messages).
     repair_messages: u64,
+    /// The replica ledger, when replication is enabled
+    /// ([`enable_replication`](MidasNetwork::enable_replication)). Copies are
+    /// placed on the peers behind the owner's *deepest* links first — the
+    /// sibling/buddy boxes, MIDAS's natural analogue of a successor list.
+    replicas: Option<ReplicaSet>,
 }
 
 impl MidasNetwork {
@@ -105,7 +112,9 @@ impl MidasNetwork {
             splits: HashMap::new(),
             orphans: BTreeMap::new(),
             tuples_lost: 0,
+            tuples_recovered: 0,
             repair_messages: 0,
+            replicas: None,
         }
     }
 
@@ -266,7 +275,16 @@ impl MidasNetwork {
     pub fn insert_tuple(&mut self, t: Tuple) {
         assert_eq!(t.dims(), self.dims, "tuple dimensionality mismatch");
         match self.try_responsible(&t.point) {
-            Ok(owner) => self.peer_mut(owner).store.insert(t),
+            Ok(owner) => {
+                self.peer_mut(owner).store.insert(t);
+                let generation = self.peer(owner).store.generation();
+                if let Some(set) = self.replicas.as_mut() {
+                    // The copy (if any) is now behind the store: mark it so
+                    // the next anti-entropy pass refreshes it and so a
+                    // recovery read in between is counted as stale.
+                    set.note_generation(owner, generation);
+                }
+            }
             Err(_) => self.tuples_lost += 1,
         }
     }
@@ -411,6 +429,8 @@ impl MidasNetwork {
             }
             // the splitter matching (or both/neither) keeps back-links put
         }
+        // The split moved tuples between stores; re-capture what changed.
+        self.refresh_replicas();
         new_id
     }
 
@@ -534,6 +554,9 @@ impl MidasNetwork {
             self.absorb_sibling(sib, id);
             self.remove_live(id);
             self.peers[id.index()] = None;
+            // Handover done: the departed owner's copy is obsolete and the
+            // absorber's grown store needs a fresh capture.
+            self.refresh_replicas();
             return;
         }
 
@@ -576,6 +599,7 @@ impl MidasNetwork {
         self.index.insert(path, u);
         self.remove_live(id);
         self.peers[id.index()] = None;
+        self.refresh_replicas();
     }
 
     /// Ungraceful departure: `id` dies without handover. Its zone is
@@ -620,6 +644,193 @@ impl MidasNetwork {
     /// and lazy) since the last call.
     pub fn take_repair_messages(&mut self) -> u64 {
         std::mem::take(&mut self.repair_messages)
+    }
+
+    /// Enables k-replication: every peer's tuples are copied onto the peers
+    /// behind its links, deepest (sibling/buddy box) first. Captures the
+    /// initial copies immediately and returns how many were shipped; the
+    /// ledger is kept fresh by [`refresh_replicas`](MidasNetwork::refresh_replicas)
+    /// (invoked automatically after joins, leaves and repairs, and by
+    /// [`ChurnOverlay::anti_entropy`]).
+    pub fn enable_replication(&mut self, k: usize) -> u64 {
+        self.replicas = Some(ReplicaSet::new(k));
+        self.refresh_replicas()
+    }
+
+    /// The replica ledger, when replication is enabled.
+    pub fn replicas(&self) -> Option<&ReplicaSet> {
+        self.replicas.as_ref()
+    }
+
+    /// Mutable access to the replica ledger (harnesses drain its transfer
+    /// and byte counters into their metrics).
+    pub fn replicas_mut(&mut self) -> Option<&mut ReplicaSet> {
+        self.replicas.as_mut()
+    }
+
+    /// The peers that should hold `id`'s replicas: the fresh targets of its
+    /// links, deepest first — the sibling/buddy-box peers, MIDAS's analogue
+    /// of a successor list — topped up with the smallest live ids when the
+    /// overlay is too shallow to provide `k` distinct link targets.
+    /// Deterministic; never contains `id`; shorter than `k` only when fewer
+    /// than `k` other live peers exist.
+    pub fn replica_targets(&self, id: PeerId, k: usize) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        if k == 0 || !self.is_live(id) {
+            return out;
+        }
+        for l in self.peer(id).links.iter().rev() {
+            if out.len() >= k {
+                break;
+            }
+            if let Some(t) = self.try_fresh_target(&l.subtree) {
+                if t != id && !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        if out.len() < k {
+            let mut rest = self.live.clone();
+            rest.sort_unstable();
+            for p in rest {
+                if out.len() >= k {
+                    break;
+                }
+                if p != id && !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// One anti-entropy pass over the replica ledger. Re-captures every live
+    /// owner whose copy is missing, behind its store generation, short of
+    /// holders, or placed on a dead holder; re-sheds dead owners' copies
+    /// from a surviving holder (dropping them when no holder survived — the
+    /// copy itself died); prunes entries of gracefully departed owners.
+    /// Returns the number of copies shipped or re-shed. No-op (0) when
+    /// replication is disabled.
+    pub fn refresh_replicas(&mut self) -> u64 {
+        let Some(mut set) = self.replicas.take() else {
+            return 0;
+        };
+        let k = set.k();
+        let mut refreshed = 0u64;
+        if k > 0 {
+            let mut ids = self.live.clone();
+            ids.sort_unstable();
+            for id in ids {
+                let generation = self.peer(id).store.generation();
+                let want = k.min(self.peer_count().saturating_sub(1));
+                let needs = match set.get(id) {
+                    None => want > 0,
+                    Some(rep) => {
+                        rep.generation() != generation
+                            || rep.holders().len() < want
+                            || rep.holders().iter().any(|&h| !self.is_live(h))
+                    }
+                };
+                if !needs {
+                    continue;
+                }
+                let holders = self.replica_targets(id, k);
+                if holders.is_empty() {
+                    set.note_generation(id, generation);
+                    continue;
+                }
+                let tuples = self.peer(id).store.tuples().to_vec();
+                set.capture(id, generation, tuples, holders);
+                refreshed += 1;
+            }
+            // Owners that are no longer live: graceful departures handed
+            // their data over, so the copy is obsolete; crashed owners'
+            // copies are the recovery substrate and must be kept on live
+            // holders as long as one survives to re-shed from.
+            for owner in set.owners() {
+                if self.is_live(owner) {
+                    continue;
+                }
+                let orphaned = self.orphans.values().any(|o| o.dead == owner);
+                if !orphaned {
+                    set.drop_owner(owner);
+                    continue;
+                }
+                let rep = set.get(owner).expect("iterating current owners");
+                if !rep.holders().iter().any(|&h| self.is_live(h)) {
+                    // every holder died before re-shedding: the copy is lost
+                    set.drop_owner(owner);
+                    continue;
+                }
+                let dead: Vec<PeerId> = rep
+                    .holders()
+                    .iter()
+                    .copied()
+                    .filter(|&h| !self.is_live(h))
+                    .collect();
+                for h in dead {
+                    let current = set.get(owner).expect("entry kept").holders().to_vec();
+                    let mut fresh_ids = self.live.clone();
+                    fresh_ids.sort_unstable();
+                    let fresh = fresh_ids
+                        .into_iter()
+                        .find(|&p| p != owner && !current.contains(&p));
+                    set.replace_holder(owner, h, fresh);
+                    refreshed += 1;
+                }
+            }
+        }
+        self.replicas = Some(set);
+        refreshed
+    }
+
+    /// The dead peers whose orphaned zones intersect `region`, with the
+    /// volume of each intersection, in (deterministic) orphan path order.
+    pub fn dead_zones_in(&self, region: &Rect) -> Vec<(PeerId, f64)> {
+        self.orphans
+            .values()
+            .filter_map(|o| {
+                o.zone
+                    .intersection(region)
+                    .map(|i| (o.dead, i.volume()))
+                    .filter(|&(_, v)| v > 0.0)
+            })
+            .collect()
+    }
+
+    /// Promotes the replicas of `dead_owners` after a structural repair:
+    /// each copy with a surviving holder is read back and its tuples
+    /// re-inserted at their (now live again) responsible peers; copies
+    /// without a live holder are dropped as lost. Ends with a refresh pass
+    /// so the restored stores are re-replicated.
+    fn promote_replicas(&mut self, dead_owners: &[PeerId]) {
+        if self.replicas.is_none() {
+            return;
+        }
+        let mut set = self.replicas.take().expect("checked");
+        for &owner in dead_owners {
+            let has_live_holder = set
+                .get(owner)
+                .is_some_and(|r| r.holders().iter().any(|&h| self.is_live(h)));
+            if has_live_holder {
+                let rep = set.promote(owner).expect("entry checked");
+                self.tuples_recovered += rep.tuples().len() as u64;
+                for t in rep.tuples().iter().cloned() {
+                    self.insert_tuple(t);
+                }
+            } else {
+                set.drop_owner(owner);
+            }
+        }
+        self.replicas = Some(set);
+        self.refresh_replicas();
+    }
+
+    /// Tuples restored from replicas by repair-time promotion so far (a
+    /// subset of [`tuples_lost`](MidasNetwork::tuples_lost), which keeps
+    /// counting the raw crash damage).
+    pub fn tuples_recovered(&self) -> u64 {
+        self.tuples_recovered
     }
 
     /// A live peer whose zone lies inside `region` and is not in `tried`,
@@ -719,6 +930,11 @@ impl MidasNetwork {
     /// Orphaned data is *not* recovered (no replication in the paper's
     /// model); repair restores the structure, not the tuples.
     pub fn repair_all(&mut self) -> u64 {
+        // Snapshot the individual crashed owners before consolidation merges
+        // them (`dead` becomes the min of each merged pair): these are the
+        // owners whose replicas promotion must read back.
+        let mut dead_owners: Vec<PeerId> = self.orphans.values().map(|o| o.dead).collect();
+        dead_owners.sort_unstable();
         let mut msgs = 0u64;
 
         // Phase 1: consolidate sibling orphan pairs bottom-up.
@@ -812,6 +1028,9 @@ impl MidasNetwork {
             }
         }
         self.repair_messages += msgs;
+        // Structure restored: read the crashed owners' copies back into the
+        // (now fully tiled) overlay and re-replicate the changed stores.
+        self.promote_replicas(&dead_owners);
         msgs
     }
 
@@ -921,6 +1140,10 @@ impl ChurnOverlay for MidasNetwork {
         let id = self.live[idx];
         self.crash(id);
         Some(id.index() as u32)
+    }
+
+    fn anti_entropy(&mut self) -> u64 {
+        self.refresh_replicas()
     }
 }
 
@@ -1243,6 +1466,169 @@ mod tests {
         // a region equal to the whole domain always has a live substitute
         let all = net.live_peer_in_region(&Rect::unit(2), &[]);
         assert!(all.is_some());
+    }
+
+    fn stored_total(net: &MidasNetwork) -> usize {
+        net.live_peers()
+            .iter()
+            .map(|&p| net.peer(p).store.len())
+            .sum()
+    }
+
+    #[test]
+    fn replication_captures_every_live_owner() {
+        let mut r = rng(30);
+        let mut net = MidasNetwork::build(2, 16, false, &mut r);
+        for i in 0..64 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen(), r.gen()]));
+        }
+        let shipped = net.enable_replication(2);
+        assert_eq!(shipped, 16, "one capture per live peer");
+        let set = net.replicas().expect("enabled");
+        for &id in net.live_peers() {
+            let rep = set.get(id).expect("every live owner captured");
+            assert_eq!(rep.generation(), net.peer(id).store.generation());
+            assert_eq!(rep.holders().len(), 2);
+            assert!(!rep.holders().contains(&id), "owner never holds its copy");
+            assert_eq!(rep.tuples().len(), net.peer(id).store.len());
+        }
+        // a fresh ledger needs no work
+        assert_eq!(net.refresh_replicas(), 0);
+        // an insert marks exactly one owner stale; the next pass re-captures
+        net.insert_tuple(Tuple::new(999, vec![0.5, 0.5]));
+        assert_eq!(net.replicas().unwrap().stale_owners().len(), 1);
+        assert_eq!(net.refresh_replicas(), 1);
+        assert!(net.replicas().unwrap().stale_owners().is_empty());
+    }
+
+    #[test]
+    fn replica_targets_prefer_deepest_links() {
+        let mut r = rng(31);
+        let net = MidasNetwork::build(2, 32, false, &mut r);
+        for &id in net.live_peers() {
+            let targets = net.replica_targets(id, 2);
+            assert_eq!(targets.len(), 2);
+            assert!(!targets.contains(&id));
+            // the first target lives in the deepest link's subtree (the
+            // sibling/buddy box)
+            let deepest = net.peer(id).links.last().expect("depth >= 1");
+            assert!(
+                deepest.subtree.is_prefix_of(&net.peer(targets[0]).path),
+                "first replica goes to the buddy box"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_then_repair_promotes_replicas() {
+        let mut r = rng(32);
+        let mut net = MidasNetwork::build(2, 16, false, &mut r);
+        for i in 0..80 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen(), r.gen()]));
+        }
+        net.enable_replication(2);
+        let victim = net.random_peer(&mut r);
+        let zone = net.peer(victim).zone.clone();
+        let held = net.crash(victim);
+        // the dead owner's copy survives on its (live) holders
+        let rep = net.replicas().unwrap().get(victim).expect("copy kept");
+        assert_eq!(rep.tuples().len(), held);
+        assert_eq!(
+            net.dead_zones_in(&Rect::unit(2)),
+            vec![(victim, zone.volume())]
+        );
+        assert!(net.dead_zones_in(&zone).len() == 1);
+        // anti-entropy re-sheds copies the victim held for others
+        let set = net.replicas().unwrap();
+        let orphaned_holders: Vec<PeerId> = set.owners_held_by(victim);
+        ChurnOverlay::anti_entropy(&mut net);
+        let set = net.replicas().unwrap();
+        for o in orphaned_holders {
+            assert!(
+                !set.get(o).is_some_and(|r| r.holders().contains(&victim)),
+                "dead holders are replaced by anti-entropy"
+            );
+        }
+        // repair promotes the copy: no tuple stays lost
+        net.repair_all();
+        assert_eq!(net.tuples_recovered(), held as u64);
+        assert_eq!(stored_total(&net), 80, "promotion restored every tuple");
+        assert!(net.replicas().unwrap().get(victim).is_none());
+        assert!(net.dead_zones_in(&Rect::unit(2)).is_empty());
+        net.check_invariants();
+    }
+
+    #[test]
+    fn graceful_leave_drops_obsolete_copy() {
+        let mut r = rng(33);
+        let mut net = MidasNetwork::build(2, 8, false, &mut r);
+        for i in 0..40 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen(), r.gen()]));
+        }
+        net.enable_replication(1);
+        let victim = net.random_peer(&mut r);
+        net.leave(victim);
+        assert!(
+            net.replicas().unwrap().get(victim).is_none(),
+            "handover made the copy obsolete"
+        );
+        assert_eq!(stored_total(&net), 40);
+        // the ledger still covers every live owner, freshly
+        assert_eq!(net.refresh_replicas(), 0);
+        for &id in net.live_peers() {
+            assert!(net.replicas().unwrap().get(id).is_some());
+        }
+    }
+
+    #[test]
+    fn churn_cycle_keeps_ledger_consistent() {
+        let mut r = rng(34);
+        let mut net = MidasNetwork::build(2, 12, false, &mut r);
+        for i in 0..60 {
+            net.insert_tuple(Tuple::new(i, vec![r.gen(), r.gen()]));
+        }
+        net.enable_replication(2);
+        for step in 0..40 {
+            match step % 4 {
+                0 => {
+                    net.join_random(&mut r);
+                }
+                1 | 2 => {
+                    if net.peer_count() > 2 {
+                        let v = net.random_peer(&mut r);
+                        if step % 2 == 0 {
+                            net.crash(v);
+                        } else {
+                            net.leave(v);
+                        }
+                    }
+                }
+                _ => {
+                    net.repair_all();
+                }
+            }
+            ChurnOverlay::anti_entropy(&mut net);
+            let set = net.replicas().unwrap();
+            for owner in set.owners() {
+                let rep = set.get(owner).unwrap();
+                assert!(!rep.holders().contains(&owner));
+                if net.is_live(owner) {
+                    assert_eq!(rep.generation(), net.peer(owner).store.generation());
+                    for &h in rep.holders() {
+                        assert!(net.is_live(h), "post-refresh holders are live");
+                    }
+                }
+            }
+            net.check_invariants();
+        }
+        net.repair_all();
+        // every tuple is either stored live or honestly accounted as lost
+        // (losses and recoveries both accumulate, so the balance holds even
+        // when a tuple is lost and recovered more than once)
+        assert_eq!(
+            stored_total(&net) as u64 + net.tuples_lost() - net.tuples_recovered(),
+            60
+        );
     }
 
     #[test]

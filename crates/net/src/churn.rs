@@ -46,11 +46,27 @@ pub trait ChurnOverlay {
         let _ = rng;
         None
     }
+
+    /// One anti-entropy pass: re-capture every replica whose copy has
+    /// fallen behind its owner's store generation (stale entries accumulate
+    /// when inserts land between capture points). Returns the number of
+    /// copies refreshed.
+    ///
+    /// [`run_stage`] invokes this at every checkpoint it fires, so a
+    /// churn-driven experiment measures queries against a freshly repaired
+    /// replica ledger — exactly how a deployed system would schedule
+    /// periodic anti-entropy. The default is a no-op returning `0`
+    /// (replication-unaware overlay, or replication disabled).
+    fn anti_entropy(&mut self) -> u64 {
+        0
+    }
 }
 
 /// Grows (or shrinks) the overlay to exactly `target` peers, calling
 /// `observe` every time the size crosses one of `checkpoints` (ascending for
-/// growth, descending for shrink).
+/// growth, descending for shrink). Immediately before each checkpoint fires,
+/// the overlay gets one [`ChurnOverlay::anti_entropy`] pass, so observers
+/// measure against a repaired replica ledger.
 ///
 /// The declared `stage` is *advisory*: crashes can leave the overlay on the
 /// far side of the target (e.g. an increasing stage entered after a crash
@@ -98,6 +114,7 @@ pub fn run_stage<O: ChurnOverlay + ?Sized, R: Rng>(
         .is_some_and(|&c| crossed(c, overlay.peer_count()))
     {
         let c = cp_iter.next().expect("peeked");
+        overlay.anti_entropy();
         observe(overlay, c);
     }
     while overlay.peer_count() != target {
@@ -117,6 +134,7 @@ pub fn run_stage<O: ChurnOverlay + ?Sized, R: Rng>(
             .is_some_and(|&c| crossed(c, overlay.peer_count()))
         {
             let c = cp_iter.next().expect("peeked");
+            overlay.anti_entropy();
             observe(overlay, c);
         }
     }
@@ -252,6 +270,50 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(8);
         assert_eq!(o.churn_crash(&mut rng), None);
         assert_eq!(o.peer_count(), 5);
+        assert_eq!(o.anti_entropy(), 0, "default anti-entropy is a no-op");
+    }
+
+    /// An overlay that counts anti-entropy passes.
+    struct Sweeping {
+        size: usize,
+        sweeps: usize,
+    }
+
+    impl ChurnOverlay for Sweeping {
+        fn peer_count(&self) -> usize {
+            self.size
+        }
+        fn churn_join(&mut self, _rng: &mut dyn crate::rng::RngCore) {
+            self.size += 1;
+        }
+        fn churn_leave(&mut self, _rng: &mut dyn crate::rng::RngCore) {
+            self.size = self.size.saturating_sub(1).max(1);
+        }
+        fn anti_entropy(&mut self) -> u64 {
+            self.sweeps += 1;
+            1
+        }
+    }
+
+    #[test]
+    fn anti_entropy_runs_before_every_checkpoint() {
+        let mut o = Sweeping { size: 4, sweeps: 0 };
+        let mut fired = 0usize;
+        let mut rng = SmallRng::seed_from_u64(9);
+        run_stage(
+            &mut o,
+            ChurnStage::Increasing,
+            32,
+            &[4, 8, 16, 32],
+            &mut rng,
+            |ov, _| {
+                fired += 1;
+                // the sweep precedes the observation
+                assert_eq!(ov.sweeps, fired);
+            },
+        );
+        assert_eq!(fired, 4);
+        assert_eq!(o.sweeps, 4, "one pass per checkpoint, none elsewhere");
     }
 
     #[test]

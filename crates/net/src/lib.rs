@@ -21,6 +21,9 @@
 //!   crashes through the substrate.
 //! * [`pool`] — the scoped work-stealing fork–join pool the intra-query
 //!   parallel executor runs on.
+//! * [`replica`] — the k-replication ledger ([`ReplicaSet`]) that lets a
+//!   failover target answer for a crashed peer's region from a read-only
+//!   copy instead of abandoning it.
 //! * [`hash`] — a vendored deterministic FxHash for hot-path collections.
 
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod hash;
 pub mod metrics;
 pub mod peer;
 pub mod pool;
+pub mod replica;
 pub mod rng;
 pub mod stats;
 pub mod store;
@@ -40,5 +44,6 @@ pub use fault::{FaultPlane, FaultSession};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::{BranchLedger, MetricsAggregator, PointSummary, QueryMetrics, ShardedVisited};
 pub use peer::PeerId;
+pub use replica::{Replica, ReplicaSet};
 pub use stats::Distribution;
 pub use store::{LocalView, PeerStore};

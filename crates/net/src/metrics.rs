@@ -44,6 +44,21 @@ pub struct QueryMetrics {
     /// Maintenance messages spent repairing crash damage that this query's
     /// processing triggered or observed (overlay repair protocols).
     pub repair_messages: u64,
+    /// Dead-owner regions answered from a replica instead of being
+    /// abandoned. Keyed by the failed edge (not by thread schedule), so the
+    /// count is deterministic under the parallel executor.
+    pub replica_hits: u64,
+    /// Replica reads whose copy was captured before the owner's latest
+    /// store generation (the answer may miss recent inserts). Always
+    /// `<= replica_hits`.
+    pub stale_reads: u64,
+    /// Simulated bytes of replica payload fetched by this query's failover
+    /// reads (8 bytes of id + 8 per coordinate, per tuple).
+    pub replica_bytes: u64,
+    /// Replica capture/promotion transfers charged to this query (drained
+    /// from the network's [`ReplicaSet`](crate::replica::ReplicaSet) by the
+    /// harness, like `repair_messages`).
+    pub repair_transfers: u64,
     /// Processing events at a peer that had already processed this query —
     /// an always-on anomaly counter (restriction areas guarantee this is 0;
     /// a nonzero value flags restriction-area breakage even in release
@@ -138,6 +153,10 @@ impl QueryMetrics {
         self.timeouts += other.timeouts;
         self.messages_dropped += other.messages_dropped;
         self.repair_messages += other.repair_messages;
+        self.replica_hits += other.replica_hits;
+        self.stale_reads += other.stale_reads;
+        self.replica_bytes += other.replica_bytes;
+        self.repair_transfers += other.repair_transfers;
         self.duplicate_visits += other.duplicate_visits;
         if !self.trace_off {
             self.visited.extend_from_slice(&other.visited);
@@ -299,6 +318,15 @@ pub struct PointSummary {
     pub messages_dropped: f64,
     /// Mean overlay repair messages charged to a query.
     pub repair_messages: f64,
+    /// Mean dead-owner regions answered from a replica per query.
+    pub replica_hits: f64,
+    /// Mean stale replica reads per query (copy behind the owner's latest
+    /// store generation).
+    pub stale_reads: f64,
+    /// Mean simulated replica payload bytes fetched per query.
+    pub replica_bytes: f64,
+    /// Mean replica capture/promotion transfers charged per query.
+    pub repair_transfers: f64,
     /// Total duplicate-visit anomalies across the point (should be 0; any
     /// other value flags restriction-area breakage under faults).
     pub duplicate_visits: u64,
@@ -321,6 +349,10 @@ impl PointSummary {
             timeouts: 0.0,
             messages_dropped: 0.0,
             repair_messages: 0.0,
+            replica_hits: 0.0,
+            stale_reads: 0.0,
+            replica_bytes: 0.0,
+            repair_transfers: 0.0,
             duplicate_visits: 0,
         }
     }
@@ -339,6 +371,10 @@ pub struct MetricsAggregator {
     timeouts_sum: u64,
     dropped_sum: u64,
     repair_sum: u64,
+    replica_hits_sum: u64,
+    stale_reads_sum: u64,
+    replica_bytes_sum: u64,
+    repair_transfers_sum: u64,
     duplicate_sum: u64,
     /// Per-peer visit histogram over all recorded queries (FxHash: the keys
     /// are simulator-internal and this map is written once per peer-visit
@@ -368,6 +404,10 @@ impl MetricsAggregator {
         self.timeouts_sum += m.timeouts;
         self.dropped_sum += m.messages_dropped;
         self.repair_sum += m.repair_messages;
+        self.replica_hits_sum += m.replica_hits;
+        self.stale_reads_sum += m.stale_reads;
+        self.replica_bytes_sum += m.replica_bytes;
+        self.repair_transfers_sum += m.repair_transfers;
         self.duplicate_sum += m.duplicate_visits;
         for &p in &m.visited {
             *self.peer_visits.entry(p).or_insert(0) += 1;
@@ -392,6 +432,10 @@ impl MetricsAggregator {
         self.timeouts_sum += other.timeouts_sum;
         self.dropped_sum += other.dropped_sum;
         self.repair_sum += other.repair_sum;
+        self.replica_hits_sum += other.replica_hits_sum;
+        self.stale_reads_sum += other.stale_reads_sum;
+        self.replica_bytes_sum += other.replica_bytes_sum;
+        self.repair_transfers_sum += other.repair_transfers_sum;
         self.duplicate_sum += other.duplicate_sum;
         for (&p, &v) in &other.peer_visits {
             *self.peer_visits.entry(p).or_insert(0) += v;
@@ -427,6 +471,10 @@ impl MetricsAggregator {
             timeouts: self.timeouts_sum as f64 / n,
             messages_dropped: self.dropped_sum as f64 / n,
             repair_messages: self.repair_sum as f64 / n,
+            replica_hits: self.replica_hits_sum as f64 / n,
+            stale_reads: self.stale_reads_sum as f64 / n,
+            replica_bytes: self.replica_bytes_sum as f64 / n,
+            repair_transfers: self.repair_transfers_sum as f64 / n,
             duplicate_visits: self.duplicate_sum,
         }
     }
@@ -474,6 +522,10 @@ mod tests {
             retries: 2,
             messages_dropped: 2,
             repair_messages: 5,
+            replica_hits: 3,
+            stale_reads: 1,
+            replica_bytes: 48,
+            repair_transfers: 2,
             duplicate_visits: 1,
             visited: vec![PeerId::new(0), PeerId::new(9)],
             ..QueryMetrics::default()
@@ -486,6 +538,10 @@ mod tests {
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.messages_dropped, 2);
         assert_eq!(a.repair_messages, 5);
+        assert_eq!(a.replica_hits, 3);
+        assert_eq!(a.stale_reads, 1);
+        assert_eq!(a.replica_bytes, 48);
+        assert_eq!(a.repair_transfers, 2);
         assert_eq!(a.duplicate_visits, 1);
         assert_eq!(a.visited.len(), 7, "visit sequences concatenate");
         assert_eq!(a.visited[5], PeerId::new(0));
@@ -516,6 +572,10 @@ mod tests {
                 timeouts: 1,
                 messages_dropped: 2 * i,
                 repair_messages: 4,
+                replica_hits: i,
+                stale_reads: i / 2,
+                replica_bytes: 24 * i,
+                repair_transfers: 1,
                 duplicate_visits: i % 2,
                 ..QueryMetrics::default()
             };
@@ -526,6 +586,10 @@ mod tests {
         assert!((s.timeouts - 1.0).abs() < 1e-12);
         assert!((s.messages_dropped - 3.0).abs() < 1e-12);
         assert!((s.repair_messages - 4.0).abs() < 1e-12);
+        assert!((s.replica_hits - 1.5).abs() < 1e-12);
+        assert!((s.stale_reads - 0.5).abs() < 1e-12);
+        assert!((s.replica_bytes - 36.0).abs() < 1e-12);
+        assert!((s.repair_transfers - 1.0).abs() < 1e-12);
         assert_eq!(s.duplicate_visits, 2, "anomalies total, not average");
     }
 
@@ -605,6 +669,10 @@ mod tests {
         assert_eq!(e.latency, 0.0);
         assert_eq!(e.latency_max, 0);
         assert_eq!(e.congestion_max, 0);
+        assert_eq!(e.replica_hits, 0.0);
+        assert_eq!(e.stale_reads, 0.0);
+        assert_eq!(e.replica_bytes, 0.0);
+        assert_eq!(e.repair_transfers, 0.0);
         assert_eq!(e.duplicate_visits, 0);
     }
 

@@ -32,9 +32,22 @@
 //! fork further subtasks without a self-referential environment.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks a mutex, *recovering* from poisoning instead of propagating it.
+///
+/// A task that panics mid-pool must not wedge every other participant: the
+/// pool's own critical sections only move plain data (deque pushes, result
+/// slot writes, counter decrements), so a lock abandoned by a panicking
+/// thread still guards a structurally sound value and the next locker can
+/// simply continue. Panic *payloads* are routed to the joining caller by
+/// [`Pool::join_all`]; poisoning would only turn one failure into a cascade.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A unit of work: boxed once at fork time, handed the pool when run so it
 /// can fork children of its own.
@@ -97,10 +110,7 @@ impl<'env> Pool<'env> {
     /// Push `task` onto the current participant's deque and ring the bell.
     fn push(&self, task: Task<'env>) {
         let me = self.me();
-        self.deques[me]
-            .lock()
-            .expect("pool deque poisoned")
-            .push_back(task);
+        relock(&self.deques[me]).push_back(task);
         // Wake one sleeper; if none are sleeping this is nearly free.
         self.bell.notify_one();
     }
@@ -109,10 +119,7 @@ impl<'env> Pool<'env> {
     /// keeping each worker depth-first on the subtree it is exploring).
     fn pop_own(&self) -> Option<Task<'env>> {
         let me = self.me();
-        self.deques[me]
-            .lock()
-            .expect("pool deque poisoned")
-            .pop_back()
+        relock(&self.deques[me]).pop_back()
     }
 
     /// Steal the oldest task from some other participant (FIFO: the oldest
@@ -122,11 +129,7 @@ impl<'env> Pool<'env> {
         let n = self.deques.len();
         for off in 1..n {
             let victim = (me + off) % n;
-            if let Some(task) = self.deques[victim]
-                .lock()
-                .expect("pool deque poisoned")
-                .pop_front()
-            {
+            if let Some(task) = relock(&self.deques[victim]).pop_front() {
                 return Some(task);
             }
         }
@@ -146,6 +149,13 @@ impl<'env> Pool<'env> {
     /// While waiting, the caller *helps*: it executes queued tasks (its own
     /// or stolen ones), so recursive joins deep in a query tree never
     /// deadlock the fixed-size pool.
+    ///
+    /// # Panics
+    /// If a forked thunk panics, the panic is *caught on the worker*, the
+    /// batch accounting still completes (no sibling blocks forever, no pool
+    /// lock stays poisoned), and the payload is re-raised **here**, on the
+    /// joining caller — the same place it would surface had the thunk run
+    /// inline. The pool itself stays usable afterwards.
     pub fn join_all<T, F>(&self, thunks: Vec<F>) -> Vec<T>
     where
         T: Send + 'env,
@@ -163,10 +173,14 @@ impl<'env> Pool<'env> {
         struct Batch<T> {
             slots: Mutex<(Vec<Option<T>>, usize)>,
             done: Condvar,
+            /// The first panic payload raised by a forked thunk, held for
+            /// the joining caller to re-raise.
+            failure: Mutex<Option<Box<dyn std::any::Any + Send>>>,
         }
         let batch = Arc::new(Batch {
             slots: Mutex::new(((0..n).map(|_| None).collect(), n)),
             done: Condvar::new(),
+            failure: Mutex::new(None),
         });
 
         let mut thunks = thunks.into_iter().enumerate();
@@ -176,9 +190,15 @@ impl<'env> Pool<'env> {
         for (i, f) in thunks {
             let batch = Arc::clone(&batch);
             self.push(Box::new(move |pool: &Pool<'env>| {
-                let value = f(pool);
-                let mut guard = batch.slots.lock().expect("join batch poisoned");
-                guard.0[i] = Some(value);
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(pool)));
+                let mut guard = relock(&batch.slots);
+                match outcome {
+                    Ok(value) => guard.0[i] = Some(value),
+                    Err(payload) => {
+                        let mut failure = relock(&batch.failure);
+                        failure.get_or_insert(payload);
+                    }
+                }
                 guard.1 -= 1;
                 if guard.1 == 0 {
                     batch.done.notify_all();
@@ -187,14 +207,14 @@ impl<'env> Pool<'env> {
         }
         {
             let value = first(self);
-            let mut guard = batch.slots.lock().expect("join batch poisoned");
+            let mut guard = relock(&batch.slots);
             guard.0[first_idx] = Some(value);
             guard.1 -= 1;
         }
 
         // Help until the batch completes.
         loop {
-            if batch.slots.lock().expect("join batch poisoned").1 == 0 {
+            if relock(&batch.slots).1 == 0 {
                 break;
             }
             if let Some(task) = self.find_task() {
@@ -204,20 +224,23 @@ impl<'env> Pool<'env> {
             // Nothing runnable: park until a push or completion. A short
             // timeout guards the unlikely race where the last child
             // finishes between our check and the wait.
-            let guard = batch.slots.lock().expect("join batch poisoned");
+            let guard = relock(&batch.slots);
             if guard.1 == 0 {
                 break;
             }
             let _ = batch
                 .done
                 .wait_timeout(guard, Duration::from_micros(100))
-                .expect("join batch poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
 
+        if let Some(payload) = relock(&batch.failure).take() {
+            resume_unwind(payload);
+        }
         let (slots, remaining) = Arc::try_unwrap(batch)
-            .map(|b| b.slots.into_inner().expect("join batch poisoned"))
+            .map(|b| b.slots.into_inner().unwrap_or_else(PoisonError::into_inner))
             .unwrap_or_else(|arc| {
-                let mut guard = arc.slots.lock().expect("join batch poisoned");
+                let mut guard = relock(&arc.slots);
                 (std::mem::take(&mut guard.0), guard.1)
             });
         debug_assert_eq!(remaining, 0);
@@ -245,13 +268,13 @@ impl<'env> Pool<'env> {
                 }
                 break;
             }
-            let guard = self.idle.lock().expect("pool idle lock poisoned");
+            let guard = relock(&self.idle);
             // Re-check under the lock so a push+notify cannot slip between
             // the failed find above and the wait below.
             let _ = self
                 .bell
                 .wait_timeout(guard, Duration::from_micros(200))
-                .expect("pool idle lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         PARTICIPANT.with(|p| p.set(usize::MAX));
     }
@@ -276,10 +299,18 @@ pub fn scope<'env, R>(extra_workers: usize, f: impl FnOnce(&Pool<'env>) -> R) ->
                 .spawn_scoped(s, move || pool.work(index))
                 .expect("failed to spawn pool worker");
         }
-        let result = f(&pool);
-        pool.stop.store(true, Ordering::Release);
-        pool.bell.notify_all();
-        result
+        // Raise `stop` even when `f` unwinds (e.g. a task panic re-raised
+        // by `join_all`): otherwise the workers would never exit and
+        // `thread::scope` would join them forever instead of propagating.
+        struct StopOnExit<'a, 'env>(&'a Pool<'env>);
+        impl Drop for StopOnExit<'_, '_> {
+            fn drop(&mut self) {
+                self.0.stop.store(true, Ordering::Release);
+                self.0.bell.notify_all();
+            }
+        }
+        let _stop = StopOnExit(&pool);
+        f(&pool)
     });
     PARTICIPANT.with(|p| p.set(prev));
     result
@@ -396,5 +427,81 @@ mod tests {
     fn empty_join_is_a_noop() {
         let out: Vec<u64> = scope(1, |pool| pool.join_all(Vec::<fn(&Pool) -> u64>::new()));
         assert!(out.is_empty());
+    }
+
+    /// A forked task that panics must neither wedge its siblings nor poison
+    /// the pool: the panic surfaces on the *joining caller* (as if the thunk
+    /// had run inline), every worker exits cleanly, and a fresh scope —
+    /// and the whole process — remains fully usable afterwards.
+    #[test]
+    fn panicking_task_leaves_the_pool_usable() {
+        let completed = Arc::new(AtomicUsize::new(0));
+        let result = std::panic::catch_unwind({
+            let completed = Arc::clone(&completed);
+            move || {
+                scope(2, |pool| {
+                    pool.join_all(
+                        (0..16u64)
+                            .map(|i| {
+                                let completed = Arc::clone(&completed);
+                                move |_: &Pool| {
+                                    if i == 5 {
+                                        panic!("injected task failure");
+                                    }
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                    i
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+            }
+        });
+        let payload = result.expect_err("the injected panic must propagate to the joiner");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(
+            msg, "injected task failure",
+            "the original payload survives"
+        );
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            15,
+            "every sibling of the panicking task still completes"
+        );
+        // The pool machinery (locks, thread-locals, workers) is reusable.
+        let out = scope(2, |pool| {
+            pool.join_all(
+                (0..32u64)
+                    .map(|i| move |_: &Pool| i * 3)
+                    .collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(out, (0..32u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    /// Nested fork–join under an injected panic: deeper joins between the
+    /// panicking task and the root still unwind in order, and the root
+    /// caller receives the payload.
+    #[test]
+    fn panic_propagates_through_nested_joins() {
+        fn tree(pool: &Pool, depth: usize) -> usize {
+            if depth == 0 {
+                panic!("leaf panic");
+            }
+            pool.join_all(
+                (0..2)
+                    .map(|_| move |p: &Pool| tree(p, depth - 1))
+                    .collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .sum()
+        }
+        let result = std::panic::catch_unwind(|| scope(2, |pool| tree(pool, 3)));
+        assert!(result.is_err(), "the leaf panic must reach the root");
+        // And the process is still healthy.
+        let ok = scope(1, |pool| {
+            pool.join_all(vec![|_: &Pool| 1usize, |_: &Pool| 2usize])
+        });
+        assert_eq!(ok, vec![1, 2]);
     }
 }

@@ -24,4 +24,12 @@ echo "== parallel-exec smoke (sequential == parallel, thread-scaling gate) =="
 cargo run --release --offline -p ripple-bench --bin parallel_exec_bench -- --smoke
 cargo run --release --offline -p ripple-bench --bin parallel_exec_bench -- --smoke --threads 1
 
+echo "== replication smoke (k=0 bit-identity, recall 1.0 at crash p <= 0.2 with k >= 1) =="
+# The equivalence suites prove k=0 is observationally inert and k>=1
+# restores full recall; the sweep gates the same properties end to end
+# across crash p in {0,0.1,0.2,0.3} x k in {0,1,2}.
+cargo test --release --offline -p ripple-core replica_equivalence -- --quiet
+cargo test --release --offline -p ripple-chord --test replica -- --quiet
+cargo run --release --offline -p ripple-bench --bin resilience_bench -- replication
+
 echo "All checks passed."
