@@ -83,13 +83,13 @@ impl Figure {
     /// Writes the figure as CSV (one row per (x, series) pair).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,duplicate_visits\n",
+            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,tuples_scanned,blocks_pruned,duplicate_visits\n",
         );
         for s in &self.series {
             for p in &s.points {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
+                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
                     self.id,
                     s.name,
                     p.x,
@@ -108,6 +108,8 @@ impl Figure {
                     p.summary.stale_reads,
                     p.summary.replica_bytes,
                     p.summary.repair_transfers,
+                    p.summary.tuples_scanned,
+                    p.summary.blocks_pruned,
                     p.summary.duplicate_visits
                 );
             }
@@ -153,6 +155,8 @@ mod tests {
             stale_reads: 0.25,
             replica_bytes: 64.5,
             repair_transfers: 2.75,
+            tuples_scanned: 120.5,
+            blocks_pruned: 3.25,
             duplicate_visits: 0,
         };
         Figure {
@@ -187,10 +191,13 @@ mod tests {
         assert!(header.contains("congestion_max"));
         assert!(header.contains(
             "retries,timeouts,messages_dropped,repair_messages,\
-             replica_hits,stale_reads,replica_bytes,repair_transfers,duplicate_visits"
+             replica_hits,stale_reads,replica_bytes,repair_transfers,\
+             tuples_scanned,blocks_pruned,duplicate_visits"
         ));
         let row = lines.next().unwrap();
         assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500,97"));
-        assert!(row.ends_with(",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,0"));
+        assert!(row.ends_with(
+            ",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,120.5000,3.2500,0"
+        ));
     }
 }

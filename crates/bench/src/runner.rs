@@ -168,6 +168,8 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
         stale_reads: w(|p| p.stale_reads),
         replica_bytes: w(|p| p.replica_bytes),
         repair_transfers: w(|p| p.repair_transfers),
+        tuples_scanned: w(|p| p.tuples_scanned),
+        blocks_pruned: w(|p| p.blocks_pruned),
         // Anomaly totals add: one broken restriction area anywhere is a
         // figure-level red flag.
         duplicate_visits: parts.iter().map(|p| p.duplicate_visits).sum(),
@@ -232,6 +234,8 @@ mod tests {
             stale_reads: 0.0,
             replica_bytes: 400.0,
             repair_transfers: 0.0,
+            tuples_scanned: 100.0,
+            blocks_pruned: 8.0,
             duplicate_visits: 1,
         };
         let b = PointSummary {
@@ -250,6 +254,8 @@ mod tests {
             stale_reads: 4.0,
             replica_bytes: 0.0,
             repair_transfers: 8.0,
+            tuples_scanned: 20.0,
+            blocks_pruned: 0.0,
             duplicate_visits: 0,
         };
         let m = merge_summaries(&[a, b]);
@@ -267,6 +273,8 @@ mod tests {
         assert!((m.stale_reads - 3.0).abs() < 1e-12);
         assert!((m.replica_bytes - 100.0).abs() < 1e-12);
         assert!((m.repair_transfers - 6.0).abs() < 1e-12);
+        assert!((m.tuples_scanned - 40.0).abs() < 1e-12);
+        assert!((m.blocks_pruned - 2.0).abs() < 1e-12);
         assert_eq!(m.duplicate_visits, 1, "anomalies add across networks");
     }
 

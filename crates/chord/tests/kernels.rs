@@ -1,0 +1,78 @@
+//! Chord-side kernel equivalence: the twin of `ripple-core`'s
+//! `kernel_equivalence` suite. The columnar block mirror and its scan
+//! kernels live entirely below the substrate boundary, so a blocked
+//! executor and a block-free one must be observationally identical over
+//! ring-arc regions exactly as over MIDAS boxes — including under fault
+//! planes, failover and the parallel engine.
+
+use ripple_chord::ChordNetwork;
+use ripple_core::framework::Mode;
+use ripple_core::topk::TopKQuery;
+use ripple_core::Executor;
+use ripple_geom::{AdHoc, LinearScore, Tuple};
+use ripple_net::rng::rngs::SmallRng;
+use ripple_net::rng::{Rng, SeedableRng};
+use ripple_net::FaultPlane;
+
+const MODES: [Mode; 4] = [Mode::Fast, Mode::Broadcast, Mode::Ripple(2), Mode::Slow];
+
+fn loaded_ring(peers: usize, tuples: u64, seed: u64) -> (ChordNetwork, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = ChordNetwork::build(peers, &mut rng);
+    let data: Vec<Tuple> = (0..tuples)
+        .map(|i| Tuple::new(i, vec![rng.gen::<f64>()]))
+        .collect();
+    net.insert_all(data);
+    (net, rng)
+}
+
+#[test]
+fn blocked_equals_scalar_on_the_ring() {
+    let (net, mut rng) = loaded_ring(64, 3000, 71);
+    let planes = [FaultPlane::none(), FaultPlane::drops(0.15, 23)];
+    for k in [1usize, 12] {
+        // No cache key: peers take the blocked kernel scan, not the
+        // memoised projection.
+        let q = TopKQuery::new(AdHoc(LinearScore::uniform(1)), k);
+        for plane in planes {
+            for mode in MODES {
+                let initiator = net.random_peer(&mut rng);
+                let blocked = Executor::with_faults(&net, plane, 9);
+                let scalar = Executor::with_faults(&net, plane, 9).without_blocks();
+                let b = blocked.run(initiator, &q, mode);
+                let s = scalar.run(initiator, &q, mode);
+                assert_eq!(
+                    b.metrics, s.metrics,
+                    "k={k} [{mode:?}, drop_p={}]: ledgers must be bit-identical",
+                    plane.drop_probability
+                );
+                assert_eq!(b.answers, s.answers, "k={k} [{mode:?}]: answer streams");
+                assert_eq!(b.coverage, s.coverage, "k={k} [{mode:?}]: coverage");
+                let bp = blocked.run_parallel(initiator, &q, mode, 4);
+                assert_eq!(b.metrics, bp.metrics, "k={k} [{mode:?}]: parallel ledger");
+                assert_eq!(b.answers, bp.answers, "k={k} [{mode:?}]: parallel answers");
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_scan_prunes_on_the_ring() {
+    // Twin networks from the same seed: the baseline ring never builds a
+    // block mirror, so its scan counts are the true scalar effort. Few
+    // peers, many tuples: every store spans several blocks, which is what
+    // gives the bounded heap blocks to skip.
+    let (net_b, mut rng) = loaded_ring(8, 12000, 72);
+    let (net_s, _) = loaded_ring(8, 12000, 72);
+    let q = TopKQuery::new(AdHoc(LinearScore::new(vec![1.0])), 4);
+    let initiator = net_b.random_peer(&mut rng);
+    let b = Executor::new(&net_b).run(initiator, &q, Mode::Fast);
+    let s = Executor::new(&net_s)
+        .without_blocks()
+        .run(initiator, &q, Mode::Fast);
+    assert!(b.metrics.blocks_pruned > 0, "selective top-k prunes blocks");
+    assert_eq!(s.metrics.blocks_pruned, 0, "scalar path never prunes");
+    assert!(b.metrics.tuples_scanned < s.metrics.tuples_scanned);
+    assert_eq!(b.metrics, s.metrics, "ledgers (excl. scan counters)");
+    assert_eq!(b.answers, s.answers);
+}

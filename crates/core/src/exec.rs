@@ -62,7 +62,9 @@ use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::Tuple;
 use ripple_net::hash::{fx_set_with_capacity, FxHashSet};
 use ripple_net::pool::{self, Pool};
-use ripple_net::{BranchLedger, FaultPlane, FaultSession, LocalView, PeerId, ShardedVisited};
+use ripple_net::{
+    scan, BranchLedger, FaultPlane, FaultSession, LocalView, PeerId, QueryMetrics, ShardedVisited,
+};
 use std::sync::Arc;
 
 /// The local answer a failover adopter computes *on behalf of* a dead peer
@@ -79,6 +81,23 @@ fn replica_answer<R, Q: RankQuery<R>>(
     let view = LocalView::Plain(tuples);
     let local = query.compute_local_state(&view, global);
     query.compute_local_answer(&view, &local)
+}
+
+/// Runs `f` with the thread-local scan accounting of [`ripple_net::scan`]
+/// bracketed around it, draining the tuples-scanned / blocks-pruned counts
+/// into `metrics`. When `trace` is off the bracket is skipped entirely and
+/// the `scan::add_*` calls inside the query functions stay no-ops — the
+/// data-plane counters are strictly zero-cost for aggregate-only sweeps.
+fn with_scan<T>(trace: bool, metrics: &mut QueryMetrics, f: impl FnOnce() -> T) -> T {
+    if !trace {
+        return f();
+    }
+    scan::begin();
+    let out = f();
+    let (scanned, pruned) = scan::end();
+    metrics.tuples_scanned += scanned;
+    metrics.blocks_pruned += pruned;
+    out
 }
 
 /// Executes RIPPLE queries over an overlay.
@@ -100,6 +119,12 @@ pub struct Executor<'a, O> {
     /// with no replica set configured this flag is inert, so the executor
     /// stays bit-identical to the replica-unaware one).
     use_replicas: bool,
+    /// Whether indexed views expose the store's columnar block mirror to the
+    /// query functions (on by default). Off, indexed views degrade to
+    /// [`LocalView::IndexedScalar`] — caches still work, but the blocked
+    /// kernel scan paths are bypassed; results and metrics must not differ
+    /// (the kernel equivalence suite enforces it).
+    use_blocks: bool,
 }
 
 /// The mutable state threaded through one *sequential* execution.
@@ -145,6 +170,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             stream: 0,
             trace: true,
             use_replicas: true,
+            use_blocks: true,
         }
     }
 
@@ -184,6 +210,16 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         self
     }
 
+    /// Disables the columnar block mirror: indexed views are handed to the
+    /// query functions as [`LocalView::IndexedScalar`], keeping every cache
+    /// but forcing the scalar scan paths. Used by the kernel equivalence
+    /// suite and as the baseline arm of the kernel benchmark; results and
+    /// metrics must be bit-identical to the blocked executor.
+    pub fn without_blocks(mut self) -> Self {
+        self.use_blocks = false;
+        self
+    }
+
     /// The overlay this executor runs over.
     pub fn network(&self) -> &'a O {
         self.net
@@ -192,10 +228,15 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// The view of `peer`'s tuples handed to the query functions.
     fn view_of(&self, peer: PeerId) -> LocalView<'_> {
         if self.naive {
-            LocalView::Plain(self.net.peer_tuples(peer))
-        } else {
-            self.net.peer_view(peer)
+            return LocalView::Plain(self.net.peer_tuples(peer));
         }
+        let view = self.net.peer_view(peer);
+        if !self.use_blocks {
+            if let LocalView::Indexed(store) = view {
+                return LocalView::IndexedScalar(store);
+            }
+        }
+        view
     }
 
     /// Turns the absolute abandoned volumes of a finished execution into
@@ -437,7 +478,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 ledger.metrics.stale_reads += 1;
             }
             ledger.metrics.replica_bytes += rep.payload_bytes();
-            let ans = answer(rep.tuples());
+            let ans = with_scan(self.trace, &mut ledger.metrics, || answer(rep.tuples()));
             ledger.answer(ans);
             recovered += vol;
         }
@@ -542,10 +583,12 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     {
         self.visit(w, run);
         let view = self.view_of(w);
-        let local = run.query.compute_local_state(&view, global);
-        let global_w = run.query.compute_global_state(global, &local);
-
         let q = run.query;
+        let local = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_state(&view, global)
+        });
+        let global_w = q.compute_global_state(global, &local);
+
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
         let mut latency = 0u64;
         let mut remote_states = Vec::new();
@@ -568,7 +611,9 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             latency = latency.max(delay + child_latency);
             remote_states.push(remote);
         }
-        let answer = run.query.compute_local_answer(&view, &local);
+        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_answer(&view, &local)
+        });
         run.ledger.answer(answer);
         if report_states {
             run.ledger.metrics.respond(run.query.state_payload(&local));
@@ -595,8 +640,11 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     {
         self.visit(w, run);
         let view = self.view_of(w);
-        let mut local = run.query.compute_local_state(&view, global);
-        let mut global_w = run.query.compute_global_state(global, &local);
+        let q = run.query;
+        let mut local = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_state(&view, global)
+        });
+        let mut global_w = q.compute_global_state(global, &local);
 
         // sortLinks: decreasing priority of the restricted regions.
         let mut links: Vec<(PeerId, O::Region)> = self
@@ -615,7 +663,6 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 .total_cmp(&run.query.priority(&a.1))
         });
 
-        let q = run.query;
         let mut latency = 0u64;
         for (target, restricted) in links {
             if !run.query.is_link_relevant(&restricted, &global_w) {
@@ -638,7 +685,9 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
-        let answer = run.query.compute_local_answer(&view, &local);
+        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_answer(&view, &local)
+        });
         run.ledger.answer(answer);
         (local, latency)
     }
@@ -663,8 +712,11 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         }
         self.visit(w, run);
         let view = self.view_of(w);
-        let mut local = run.query.compute_local_state(&view, global);
-        let mut global_w = run.query.compute_global_state(global, &local);
+        let q = run.query;
+        let mut local = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_state(&view, global)
+        });
+        let mut global_w = q.compute_global_state(global, &local);
 
         let mut links: Vec<(PeerId, O::Region)> = self
             .net
@@ -682,7 +734,6 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 .total_cmp(&run.query.priority(&a.1))
         });
 
-        let q = run.query;
         let mut latency = 0u64;
         for (target, restricted) in links {
             if !run.query.is_link_relevant(&restricted, &global_w) {
@@ -708,7 +759,9 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
-        let answer = run.query.compute_local_answer(&view, &local);
+        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_answer(&view, &local)
+        });
         run.ledger.answer(answer);
         (local, latency)
     }
@@ -728,9 +781,11 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     {
         self.visit(w, run);
         let view = self.view_of(w);
-        let local = run.query.compute_local_state(&view, global);
-
         let q = run.query;
+        let local = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_state(&view, global)
+        });
+
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, global);
         let mut latency = 0u64;
         for (target, region) in self.net.peer_links(w) {
@@ -747,7 +802,9 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             let (_, child_latency) = self.broadcast(dest, global, restricted, run);
             latency = latency.max(delay + child_latency);
         }
-        let answer = run.query.compute_local_answer(&view, &local);
+        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+            q.compute_local_answer(&view, &local)
+        });
         run.ledger.answer(answer);
         (local, latency)
     }
@@ -786,7 +843,9 @@ where
 {
     ctx.visit(w, ledger);
     let view = ctx.exec.view_of(w);
-    let local = ctx.query.compute_local_state(&view, global);
+    let local = with_scan(ctx.trace, &mut ledger.metrics, || {
+        ctx.query.compute_local_state(&view, global)
+    });
     let global_w = Arc::new(ctx.query.compute_global_state(global, &local));
 
     // The same links, filtered by the same predicates, in the same order as
@@ -879,7 +938,9 @@ where
             }
         }
     }
-    let answer = ctx.query.compute_local_answer(&view, &local);
+    let answer = with_scan(ctx.trace, &mut ledger.metrics, || {
+        ctx.query.compute_local_answer(&view, &local)
+    });
     ledger.answer(answer);
     if report_states {
         ledger.metrics.respond(ctx.query.state_payload(&local));
@@ -919,7 +980,9 @@ where
     }
     ctx.visit(w, ledger);
     let view = ctx.exec.view_of(w);
-    let mut local = ctx.query.compute_local_state(&view, global);
+    let mut local = with_scan(ctx.trace, &mut ledger.metrics, || {
+        ctx.query.compute_local_state(&view, global)
+    });
     let mut global_w = ctx.query.compute_global_state(global, &local);
 
     let mut links: Vec<(PeerId, O::Region)> = ctx
@@ -964,7 +1027,9 @@ where
         local = ctx.query.update_local_state(vec![local, remote]);
         global_w = ctx.query.compute_global_state(global, &local);
     }
-    let answer = ctx.query.compute_local_answer(&view, &local);
+    let answer = with_scan(ctx.trace, &mut ledger.metrics, || {
+        ctx.query.compute_local_answer(&view, &local)
+    });
     ledger.answer(answer);
     (local, latency)
 }
@@ -989,7 +1054,9 @@ where
 {
     ctx.visit(w, ledger);
     let view = ctx.exec.view_of(w);
-    let local = ctx.query.compute_local_state(&view, global);
+    let local = with_scan(ctx.trace, &mut ledger.metrics, || {
+        ctx.query.compute_local_state(&view, global)
+    });
 
     let links: Vec<(PeerId, O::Region)> = ctx
         .exec
@@ -1064,7 +1131,9 @@ where
             }
         }
     }
-    let answer = ctx.query.compute_local_answer(&view, &local);
+    let answer = with_scan(ctx.trace, &mut ledger.metrics, || {
+        ctx.query.compute_local_answer(&view, &local)
+    });
     ledger.answer(answer);
     (local, latency)
 }

@@ -55,6 +55,8 @@ mod fault_equivalence;
 pub mod framework;
 #[cfg(test)]
 mod index_equivalence;
+#[cfg(test)]
+mod kernel_equivalence;
 pub mod latency;
 pub mod midas_impl;
 #[cfg(test)]

@@ -8,8 +8,8 @@
 
 use crate::exec::Executor;
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
-use ripple_geom::{dominance, Norm, Rect, Tuple};
-use ripple_net::{LocalView, PeerId, QueryMetrics};
+use ripple_geom::{dominance, kernels, Norm, Rect, Tuple};
+use ripple_net::{scan, LocalView, PeerId, PeerStore, QueryMetrics};
 
 /// A skyline query (lower values better on every dimension), optionally
 /// restricted to a *constraint* box — the query DSL was designed around
@@ -44,6 +44,83 @@ impl SkylineQuery {
             })
             .collect()
     }
+
+    /// The constrained local state over the store's columnar mirror.
+    ///
+    /// A three-pass sort-filter-skyline over the columnar blocks: collect
+    /// the constraint-qualifying rows (by index — no clones), sort them by
+    /// the canonical `(coordinate sum, id)` key, run the insert-only SFS
+    /// loop of [`dominance::skyline`] over references, and only then thin
+    /// by the global state, cloning nothing but the survivors.
+    ///
+    /// This equals the scalar `skyline(Q)` thinned by the global state,
+    /// member for member and in the same canonical order. Blocks are
+    /// skipped wholesale when they are disjoint from the constraint (no row
+    /// qualifies) or when a global tuple dominates the lower corner (it
+    /// dominates every row in the block): a corner-dominated block cannot
+    /// change the thinned result, because any `skyline(Q)` member it holds
+    /// is thinned at the end anyway, and any tuple such a member shielded
+    /// from the skyline is — by transitivity through that member — also
+    /// globally dominated, so its spurious survival is thinned too. Exact
+    /// duplicates are dominated together, so min-id representatives agree,
+    /// and both sides emit in ascending `(sum, id)` order.
+    fn blocked_constrained_state(
+        &self,
+        store: &PeerStore,
+        c: &Rect,
+        global: &[Tuple],
+    ) -> Vec<Tuple> {
+        let blocks = store.blocks();
+        let tuples = store.tuples();
+        let window: Vec<&[f64]> = global.iter().map(|g| g.point.coords()).collect();
+        let (clo, chi) = (c.lo().coords(), c.hi().coords());
+        let mut cols: Vec<&[f64]> = Vec::new();
+        let mut idx: Vec<u32> = Vec::new();
+        let mut cand: Vec<(f64, u32)> = Vec::new();
+        for b in 0..blocks.num_blocks() {
+            let blo = blocks.block_min(b);
+            let bhi = blocks.block_max(b);
+            let disjoint = (0..blocks.dims()).any(|d| blo[d] > chi[d] || bhi[d] < clo[d]);
+            if disjoint || kernels::dominated_by_any(window.iter().copied(), blo) {
+                scan::add_pruned(1);
+                continue;
+            }
+            blocks.block_cols(b, &mut cols);
+            let range = blocks.block_range(b);
+            scan::add_scanned(range.len() as u64);
+            kernels::filter_in_box(clo, chi, &cols, &mut idx);
+            for &off in &idx {
+                // Left-fold coordinate sum in dimension order — bit-identical
+                // to the `coords().iter().sum()` key of `dominance::skyline`.
+                let mut s = 0.0;
+                for col in &cols {
+                    s += col[off as usize];
+                }
+                cand.push((s, (range.start + off as usize) as u32));
+            }
+        }
+        cand.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| tuples[a.1 as usize].id.cmp(&tuples[b.1 as usize].id))
+        });
+        let mut sky: Vec<&Tuple> = Vec::new();
+        'outer: for &(_, i) in &cand {
+            let t = &tuples[i as usize];
+            for s in &sky {
+                if dominance::dominates(&s.point, &t.point) {
+                    continue 'outer;
+                }
+                if s.point == t.point {
+                    continue 'outer;
+                }
+            }
+            sky.push(t);
+        }
+        sky.into_iter()
+            .filter(|t| !kernels::dominated_by_any(window.iter().copied(), t.point.coords()))
+            .cloned()
+            .collect()
+    }
 }
 
 impl RankQuery<Rect> for SkylineQuery {
@@ -62,11 +139,18 @@ impl RankQuery<Rect> for SkylineQuery {
     ///
     /// On an indexed view the unconstrained local skyline comes from the
     /// store's incrementally-maintained cache (identical set and order to a
-    /// recompute); constrained queries filter first, so they scan.
+    /// recompute); constrained queries over a blocked view run the columnar
+    /// fold of [`Self::blocked_constrained_state`]; otherwise they filter
+    /// and scan.
     fn compute_local_state(&self, view: &LocalView<'_>, global: &Vec<Tuple>) -> Vec<Tuple> {
+        if let (Some(store), Some(c)) = (view.blocked_store(), &self.constraint) {
+            // Already thinned by the global state (see the method docs).
+            return self.blocked_constrained_state(store, c, global);
+        }
         let local_sky = match (view.store(), &self.constraint) {
             (Some(store), None) => store.skyline(),
             _ => {
+                scan::add_scanned(view.tuples().len() as u64);
                 let qualifying: Vec<Tuple> = self
                     .local_tuples(view.tuples())
                     .into_iter()

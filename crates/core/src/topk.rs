@@ -8,8 +8,8 @@
 
 use crate::exec::Executor;
 use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
-use ripple_geom::{Rect, ScoreFn, Tuple};
-use ripple_net::{LocalView, PeerId, QueryMetrics};
+use ripple_geom::{kernels, Rect, ScoreFn, Tuple};
+use ripple_net::{scan, LocalView, PeerId, PeerStore, QueryMetrics};
 
 /// The `(m, τ)` state of top-k processing. Invariant: at least `m` tuples
 /// with score `≥ τ` exist among the tuples examined so far.
@@ -94,6 +94,69 @@ impl<F: ScoreFn> TopKQuery<F> {
             tau: prefix[above - 1],
         }
     }
+
+    /// Algorithm 4 over the store's columnar mirror: score whole blocks
+    /// through the [`ScoreFn::score_block`] kernel, keep the best `k` scores
+    /// in a bounded heap, and skip any block whose region bound `f⁺` (over
+    /// the block's bounding box) falls strictly below the current `k`-th
+    /// best score. The heap minimum only ever rises, so a skipped block's
+    /// scores all sit strictly below the *final* `k`-th value and cannot
+    /// change the top-`k` score multiset — the resulting `(m, τ)` state is
+    /// bit-identical to the scalar sort's.
+    fn blocked_state(&self, store: &PeerStore, global: &TopKState) -> TopKState {
+        let blocks = store.blocks();
+        let mut heap = kernels::TopScores::new(self.k);
+        let mut cols: Vec<&[f64]> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+        for b in 0..blocks.num_blocks() {
+            if let Some(min) = heap.min() {
+                let ub = self
+                    .score
+                    .upper_bound_corners(blocks.block_min(b), blocks.block_max(b));
+                if ub < min {
+                    scan::add_pruned(1);
+                    continue;
+                }
+            }
+            blocks.block_cols(b, &mut cols);
+            self.score.score_block(&cols, &mut scores);
+            scan::add_scanned(scores.len() as u64);
+            heap.offer_all(&scores);
+        }
+        self.state_from_ranked(heap.into_sorted_desc().into_iter(), store.len(), global)
+    }
+
+    /// Algorithm 6 over the columnar mirror: a per-block threshold filter
+    /// via [`kernels::filter_at_least`], skipping blocks whose upper bound
+    /// falls strictly below `τ` — every row there scores `≤ f⁺ < τ` and
+    /// would fail the scalar filter too. Rows are emitted in ascending
+    /// store order, so the answer matches the scalar scan element for
+    /// element.
+    fn blocked_answer(&self, store: &PeerStore, local: &TopKState) -> Vec<Tuple> {
+        let blocks = store.blocks();
+        let tuples = store.tuples();
+        let mut cols: Vec<&[f64]> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+        let mut idx: Vec<u32> = Vec::new();
+        let mut answer = Vec::new();
+        for b in 0..blocks.num_blocks() {
+            let ub = self
+                .score
+                .upper_bound_corners(blocks.block_min(b), blocks.block_max(b));
+            if ub < local.tau {
+                scan::add_pruned(1);
+                continue;
+            }
+            blocks.block_cols(b, &mut cols);
+            self.score.score_block(&cols, &mut scores);
+            scan::add_scanned(scores.len() as u64);
+            idx.clear();
+            kernels::filter_at_least(&scores, local.tau, &mut idx);
+            let start = blocks.block_range(b).start;
+            answer.extend(idx.iter().map(|&i| tuples[start + i as usize].clone()));
+        }
+        answer
+    }
 }
 
 impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
@@ -109,7 +172,9 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
     /// the best remaining local tuples.
     ///
     /// On an indexed view with a cacheable score this is a truncated walk
-    /// over the peer's memoised score projection; otherwise a scan + sort.
+    /// over the peer's memoised score projection; with a non-cacheable
+    /// score it runs the blocked kernel scan over the store's columnar
+    /// mirror; otherwise a scalar scan + sort.
     fn compute_local_state(&self, view: &LocalView<'_>, global: &TopKState) -> TopKState {
         if let Some(store) = view.store() {
             if let Some(state) = store.with_ranked(&self.score, |it| {
@@ -118,7 +183,11 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
                 return state;
             }
         }
+        if let Some(store) = view.blocked_store() {
+            return self.blocked_state(store, global);
+        }
         let ranked = self.ranked(view.tuples());
+        scan::add_scanned(ranked.len() as u64);
         self.state_from_ranked(ranked.iter().map(|(_, s)| *s), ranked.len(), global)
     }
 
@@ -182,6 +251,10 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
                 return answer;
             }
         }
+        if let Some(store) = view.blocked_store() {
+            return self.blocked_answer(store, local);
+        }
+        scan::add_scanned(view.tuples().len() as u64);
         view.tuples()
             .iter()
             .filter(|t| self.score.score(&t.point) >= local.tau)

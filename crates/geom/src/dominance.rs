@@ -42,14 +42,18 @@ pub fn dominates_rect(s: &Point, region: &Rect) -> bool {
 /// dominated by one that precedes it in the scan, so a single forward pass
 /// over a growing window suffices (the classic SFS algorithm).
 pub fn skyline(tuples: &[Tuple]) -> Vec<Tuple> {
-    let mut order: Vec<&Tuple> = tuples.iter().collect();
-    order.sort_by(|a, b| {
-        let sa: f64 = a.point.coords().iter().sum();
-        let sb: f64 = b.point.coords().iter().sum();
-        sa.total_cmp(&sb).then_with(|| a.id.cmp(&b.id))
-    });
+    // Precompute the `(coordinate sum, tuple)` sort keys once: O(n·d) sums
+    // plus an O(n log n) sort over ready-made keys, instead of recomputing
+    // both sums inside every comparator call (O(n·d log n)). The keys are
+    // identical to what the comparator computed, so the order — and with it
+    // the canonical output order — is unchanged.
+    let mut order: Vec<(f64, &Tuple)> = tuples
+        .iter()
+        .map(|t| (t.point.coords().iter().sum(), t))
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.id.cmp(&b.1.id)));
     let mut sky: Vec<Tuple> = Vec::new();
-    'outer: for t in order {
+    'outer: for (_, t) in order {
         for s in &sky {
             if dominates(&s.point, &t.point) {
                 continue 'outer;
@@ -62,6 +66,49 @@ pub fn skyline(tuples: &[Tuple]) -> Vec<Tuple> {
         sky.push(t.clone());
     }
     sky
+}
+
+/// Canonical insertion position of `(sum, id)` in a skyline slice sorted by
+/// ascending `(coordinate sum, id)` — the order [`skyline`] produces.
+fn canonical_pos(members: &[(f64, Tuple)], sum: f64, id: u64) -> usize {
+    members.partition_point(|(ms, m)| ms.total_cmp(&sum).then_with(|| m.id.cmp(&id)).is_lt())
+}
+
+/// Folds one tuple (with its coordinate sum precomputed by the caller —
+/// e.g. a whole block at a time via [`crate::kernels::coord_sums`]) into a
+/// canonical `(sum, tuple)` skyline, preserving exactly the set, order and
+/// duplicate representatives a full [`skyline`] recompute would produce.
+/// Folding any tuple sequence from an empty vector *is* the recompute;
+/// incremental maintainers (the peer store) and blocked scans share this
+/// one implementation.
+pub fn skyline_fold(members: &mut Vec<(f64, Tuple)>, t: &Tuple, sum: f64) {
+    // Only members with a smaller coordinate sum can dominate `t`, and only
+    // members with an equal sum can equal it point-wise; the canonical order
+    // lets the scan stop early.
+    let mut i = 0;
+    while i < members.len() && members[i].0 <= sum {
+        let m = &members[i].1;
+        if dominates(&m.point, &t.point) {
+            return;
+        }
+        if m.point == t.point {
+            if t.id < m.id {
+                // A full recompute keeps the min-id representative of an
+                // exact duplicate; replace and reposition within the
+                // equal-sum block.
+                members.remove(i);
+                let pos = canonical_pos(members, sum, t.id);
+                members.insert(pos, (sum, t.clone()));
+            }
+            return;
+        }
+        i += 1;
+    }
+    // `t` enters the skyline: evict members it dominates (all have a larger
+    // sum, so they sit at or after `i`) and insert at the canonical spot.
+    members.retain(|(ms, m)| *ms <= sum || !dominates(&t.point, &m.point));
+    let pos = canonical_pos(members, sum, t.id);
+    members.insert(pos, (sum, t.clone()));
 }
 
 /// Merges several partial skylines into the skyline of their union
@@ -275,6 +322,72 @@ mod tests {
     #[test]
     fn skyline_of_empty_is_empty() {
         assert!(skyline(&[]).is_empty());
+    }
+
+    /// Regression for the precomputed-key sort: the output order must equal
+    /// the historical implementation that recomputed coordinate sums inside
+    /// the comparator, including sum ties broken by id and duplicate points.
+    #[test]
+    fn skyline_order_matches_comparator_recompute_reference() {
+        fn reference(tuples: &[Tuple]) -> Vec<Tuple> {
+            let mut order: Vec<&Tuple> = tuples.iter().collect();
+            order.sort_by(|a, b| {
+                let sa: f64 = a.point.coords().iter().sum();
+                let sb: f64 = b.point.coords().iter().sum();
+                sa.total_cmp(&sb).then_with(|| a.id.cmp(&b.id))
+            });
+            let mut sky: Vec<Tuple> = Vec::new();
+            'outer: for t in order {
+                for s in &sky {
+                    if dominates(&s.point, &t.point) || s.point == t.point {
+                        continue 'outer;
+                    }
+                }
+                sky.push(t.clone());
+            }
+            sky
+        }
+        let mut state: u64 = 0x5DEECE66D;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 16) as f64 / 16.0 // coarse grid: many ties
+        };
+        let mut data: Vec<Tuple> = (0..300)
+            .map(|i| Tuple::new(i, vec![next(), next(), next()]))
+            .collect();
+        // exact duplicates and sum-ties across distinct points
+        data.push(Tuple::new(900, data[0].point.coords().to_vec()));
+        data.push(Tuple::new(901, vec![0.0, 0.5, 0.25]));
+        data.push(Tuple::new(902, vec![0.5, 0.0, 0.25]));
+        let fast = skyline(&data);
+        let slow = reference(&data);
+        assert_eq!(fast, slow, "same members, same order, same representatives");
+    }
+
+    /// Folding every tuple of a sequence into an empty canonical skyline is
+    /// the recompute — same members, order and duplicate representatives —
+    /// regardless of the fold order of the input (store order here).
+    #[test]
+    fn fold_from_empty_equals_recompute() {
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 12) as f64 / 12.0 // coarse grid: ties + dups
+        };
+        let mut data: Vec<Tuple> = (0..250)
+            .map(|i| Tuple::new(i, vec![next(), next(), next()]))
+            .collect();
+        data.push(Tuple::new(990, data[3].point.coords().to_vec()));
+        data.insert(0, Tuple::new(991, data[7].point.coords().to_vec()));
+        let mut folded: Vec<(f64, Tuple)> = Vec::new();
+        for t in &data {
+            let sum: f64 = t.point.coords().iter().sum();
+            skyline_fold(&mut folded, t, sum);
+        }
+        let folded: Vec<Tuple> = folded.into_iter().map(|(_, t)| t).collect();
+        assert_eq!(folded, skyline(&data));
     }
 
     #[test]

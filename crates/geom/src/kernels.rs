@@ -1,0 +1,591 @@
+//! Vectorization-friendly scan kernels over columnar coordinate data.
+//!
+//! The distributed algorithms bottom out in per-peer *local scans*: scoring
+//! every stored tuple (top-k, Algorithm 4), dominance-testing candidates
+//! against a skyline window (Algorithm 10) and evaluating region bounds
+//! (`f⁺`, Algorithm 8; dominates-corner, Algorithm 14). This module hosts
+//! those inner loops in a batched, structure-of-arrays shape: each kernel
+//! takes one contiguous `f64` column per dimension and walks plain indexed
+//! ranges the compiler can unroll and auto-vectorize — no `Arc` derefs, no
+//! virtual calls, no bounds checks in the hot loop after the initial slice
+//! length equalities.
+//!
+//! **Bit-exactness contract.** Every batched kernel performs *exactly* the
+//! same floating-point operations in *exactly* the same order as its scalar
+//! reference (`ScoreFn::score`, `Norm::dist`, `Point::coords().iter().sum()`,
+//! `dominance::dominates`), so a blocked scan produces bit-identical scores,
+//! sums and dominance verdicts. The per-block *bound* helpers go one step
+//! further: they accumulate over a block's min/max corner in the same
+//! operation order as the per-row kernels, and IEEE-754 rounding is monotone
+//! (`a ≤ b ⇒ fl(a+c) ≤ fl(b+c)`, `w ≥ 0 ⇒ fl(w·a) ≤ fl(w·b)`, and `sqrt`/
+//! `abs`/negation preserve order), so `bound ≥ score(row)` holds as an exact
+//! `f64` comparison for every row of the block — which is what makes
+//! *skipping* a whole block behaviour-preserving rather than approximate.
+
+use crate::norm::Norm;
+
+/// Number of rows each kernel call is expected to cover. Chosen so a block's
+/// working set (one `f64` column per dimension) stays inside L1 while the
+/// per-block bound metadata stays negligible.
+pub const BLOCK_ROWS: usize = 256;
+
+/// Batched linear scoring: `out[i] = Σ_d weights[d] · cols[d][i]`,
+/// accumulated in dimension order — bit-identical to
+/// `(0..dims).map(|d| w[d] * p.coord(d)).sum::<f64>()` per row.
+pub fn score_linear(weights: &[f64], cols: &[&[f64]], out: &mut Vec<f64>) {
+    assert_eq!(weights.len(), cols.len(), "one weight per column");
+    let rows = cols.first().map_or(0, |c| c.len());
+    out.clear();
+    out.resize(rows, 0.0);
+    for (w, col) in weights.iter().zip(cols) {
+        let col = &col[..rows];
+        let acc = &mut out[..rows];
+        for i in 0..rows {
+            acc[i] += w * col[i];
+        }
+    }
+}
+
+/// Batched peak scoring: `out[i] = -norm.dist(row_i, peak)`, with the same
+/// per-dimension accumulation order as [`Norm::dist`] — bit-identical to the
+/// scalar `PeakScore::score`.
+pub fn score_peak(norm: Norm, peak: &[f64], cols: &[&[f64]], out: &mut Vec<f64>) {
+    assert_eq!(peak.len(), cols.len(), "one peak coordinate per column");
+    let rows = cols.first().map_or(0, |c| c.len());
+    out.clear();
+    out.resize(rows, 0.0);
+    match norm {
+        Norm::L1 => {
+            for (p, col) in peak.iter().zip(cols) {
+                let col = &col[..rows];
+                let acc = &mut out[..rows];
+                for i in 0..rows {
+                    acc[i] += (col[i] - p).abs();
+                }
+            }
+            for v in out.iter_mut() {
+                *v = -*v;
+            }
+        }
+        Norm::L2 => {
+            for (p, col) in peak.iter().zip(cols) {
+                let col = &col[..rows];
+                let acc = &mut out[..rows];
+                for i in 0..rows {
+                    acc[i] += (col[i] - p).powi(2);
+                }
+            }
+            for v in out.iter_mut() {
+                *v = -v.sqrt();
+            }
+        }
+        Norm::Linf => {
+            for (p, col) in peak.iter().zip(cols) {
+                let col = &col[..rows];
+                let acc = &mut out[..rows];
+                for i in 0..rows {
+                    acc[i] = acc[i].max((col[i] - p).abs());
+                }
+            }
+            for v in out.iter_mut() {
+                *v = -*v;
+            }
+        }
+    }
+}
+
+/// Batched coordinate sums: `out[i] = Σ_d cols[d][i]` in dimension order —
+/// bit-identical to `p.coords().iter().sum::<f64>()` per row (the SFS sort
+/// key of [`crate::dominance::skyline`]).
+pub fn coord_sums(cols: &[&[f64]], out: &mut Vec<f64>) {
+    let rows = cols.first().map_or(0, |c| c.len());
+    out.clear();
+    out.resize(rows, 0.0);
+    for col in cols {
+        let col = &col[..rows];
+        let acc = &mut out[..rows];
+        for i in 0..rows {
+            acc[i] += col[i];
+        }
+    }
+}
+
+/// Raw-slice Pareto dominance: `a` ≤ everywhere and < somewhere (lower is
+/// better) — the same verdict as [`crate::dominance::dominates`] on the
+/// corresponding points.
+#[inline]
+pub fn dominates_raw(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// True when any member of `window` dominates `q` — the batched form of the
+/// skyline thinning test, over raw coordinate slices.
+#[inline]
+pub fn dominated_by_any<'a>(window: impl IntoIterator<Item = &'a [f64]>, q: &[f64]) -> bool {
+    window.into_iter().any(|m| dominates_raw(m, q))
+}
+
+/// True when every coordinate satisfies `lo[d] ≤ x[d] ≤ hi[d]` — the raw
+/// form of `Rect::contains` for constraint filtering.
+#[inline]
+pub fn row_in_box(lo: &[f64], hi: &[f64], x: &[f64]) -> bool {
+    debug_assert!(lo.len() == x.len() && hi.len() == x.len());
+    x.iter()
+        .zip(lo.iter().zip(hi))
+        .all(|(c, (l, h))| *l <= *c && *c <= *h)
+}
+
+/// Collects into `out` (cleared first, ascending) the row indices whose
+/// coordinates satisfy `lo[d] ≤ cols[d][i] ≤ hi[d]` on every dimension —
+/// the columnar form of [`row_in_box`] over a whole block.
+///
+/// The first dimension is scanned as one contiguous pass and the remaining
+/// dimensions only probe the survivors, so a selective constraint touches
+/// each non-qualifying row exactly once — without ever dereferencing a
+/// tuple. The verdict per row is identical to `row_in_box` (same closed
+/// interval comparisons, dimension by dimension).
+pub fn filter_in_box(lo: &[f64], hi: &[f64], cols: &[&[f64]], out: &mut Vec<u32>) {
+    assert!(
+        lo.len() == cols.len() && hi.len() == cols.len(),
+        "one bound pair per column"
+    );
+    out.clear();
+    let Some(c0) = cols.first() else { return };
+    debug_assert!(c0.len() < u32::MAX as usize);
+    let (l, h) = (lo[0], hi[0]);
+    out.extend(
+        c0.iter()
+            .enumerate()
+            .filter(|(_, c)| l <= **c && **c <= h)
+            .map(|(i, _)| i as u32),
+    );
+    for d in 1..cols.len() {
+        let (col, l, h) = (cols[d], lo[d], hi[d]);
+        out.retain(|&i| {
+            let c = col[i as usize];
+            l <= c && c <= h
+        });
+    }
+}
+
+/// Collects the indices `i` with `scores[i] >= tau` into `out` (ascending).
+/// The τ-filter of the top-k local answer (Algorithm 6) in batched form.
+pub fn filter_at_least(scores: &[f64], tau: f64, out: &mut Vec<u32>) {
+    debug_assert!(scores.len() < u32::MAX as usize);
+    for (i, s) in scores.iter().enumerate() {
+        if *s >= tau {
+            out.push(i as u32);
+        }
+    }
+}
+
+/// A bounded min-heap retaining the `k` largest scores offered to it (by
+/// `f64::total_cmp`).
+///
+/// Offering every row score and reading back [`into_sorted_desc`] yields the
+/// same *multiset of values* as sorting all scores descending and truncating
+/// to `k` — ties at the boundary contribute equal values either way — which
+/// is exactly what `TopKQuery::state_from_ranked` consumes. The heap's
+/// current minimum doubles as the block-pruning threshold: once the heap is
+/// full, a block whose upper bound is strictly below [`min`](TopScores::min)
+/// cannot contribute to the top-`k` multiset and is skipped in its entirety.
+#[derive(Clone, Debug)]
+pub struct TopScores {
+    k: usize,
+    /// Min-heap by `total_cmp`: `heap[0]` is the smallest retained score.
+    heap: Vec<f64>,
+}
+
+impl TopScores {
+    /// An empty selector for the `k` best scores.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: Vec::with_capacity(k),
+        }
+    }
+
+    /// True once `k` scores are retained (pruning may start).
+    #[inline]
+    pub fn full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// The smallest retained score, when the heap is full.
+    #[inline]
+    pub fn min(&self) -> Option<f64> {
+        if self.full() {
+            self.heap.first().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Offers one score.
+    #[inline]
+    pub fn offer(&mut self, s: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push(s);
+            self.sift_up(self.heap.len() - 1);
+        } else if s.total_cmp(&self.heap[0]).is_gt() {
+            self.heap[0] = s;
+            self.sift_down(0);
+        }
+    }
+
+    /// Offers every score of a batch.
+    pub fn offer_all(&mut self, scores: &[f64]) {
+        for &s in scores {
+            self.offer(s);
+        }
+    }
+
+    /// The retained scores, best first.
+    pub fn into_sorted_desc(mut self) -> Vec<f64> {
+        self.heap.sort_by(|a, b| b.total_cmp(a));
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].total_cmp(&self.heap[parent]).is_lt() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.heap[l].total_cmp(&self.heap[smallest]).is_lt() {
+                smallest = l;
+            }
+            if r < n && self.heap[r].total_cmp(&self.heap[smallest]).is_lt() {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance;
+    use crate::point::Tuple;
+    use crate::score::{LinearScore, PeakScore, ScoreFn};
+
+    /// Deterministic pseudo-random coordinate stream (splitmix-ish), with
+    /// occasional negative and denormal values to exercise the fp edge cases
+    /// the kernels must survive.
+    struct Gen(u64);
+    impl Gen {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn coord(&mut self) -> f64 {
+            match self.next_u64() % 16 {
+                0 => -((self.next_u64() % 1000) as f64) / 1000.0, // negative
+                1 => f64::MIN_POSITIVE / 2.0,                     // denormal
+                2 => 0.0,
+                _ => (self.next_u64() % 10_000) as f64 / 10_000.0,
+            }
+        }
+        fn tuples(&mut self, n: usize, dims: usize) -> Vec<Tuple> {
+            (0..n)
+                .map(|i| {
+                    Tuple::new(
+                        i as u64,
+                        (0..dims).map(|_| self.coord()).collect::<Vec<_>>(),
+                    )
+                })
+                .collect()
+        }
+    }
+
+    /// Column-major copy of a tuple slice.
+    fn columns(tuples: &[Tuple], dims: usize) -> Vec<Vec<f64>> {
+        (0..dims)
+            .map(|d| tuples.iter().map(|t| t.point.coord(d)).collect())
+            .collect()
+    }
+
+    fn col_refs(cols: &[Vec<f64>]) -> Vec<&[f64]> {
+        cols.iter().map(|c| c.as_slice()).collect()
+    }
+
+    #[test]
+    fn linear_kernel_bit_identical_to_scalar_dims_1_to_8() {
+        for dims in 1..=8 {
+            let mut g = Gen(dims as u64);
+            let tuples = g.tuples(100, dims);
+            let weights: Vec<f64> = (0..dims)
+                .map(|_| (g.next_u64() % 100) as f64 / 50.0)
+                .collect();
+            let f = LinearScore::new(weights);
+            let cols = columns(&tuples, dims);
+            let mut out = Vec::new();
+            score_linear(f.weights(), &col_refs(&cols), &mut out);
+            for (t, batched) in tuples.iter().zip(&out) {
+                let scalar = f.score(&t.point);
+                assert_eq!(
+                    scalar.to_bits(),
+                    batched.to_bits(),
+                    "dims={dims} id={}",
+                    t.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_kernel_bit_identical_to_scalar_all_norms() {
+        for norm in [Norm::L1, Norm::L2, Norm::Linf] {
+            for dims in 1..=8 {
+                let mut g = Gen(100 + dims as u64);
+                let tuples = g.tuples(64, dims);
+                let peak: Vec<f64> = (0..dims).map(|_| g.coord()).collect();
+                let f = PeakScore::new(peak.clone(), norm);
+                let cols = columns(&tuples, dims);
+                let mut out = Vec::new();
+                score_peak(norm, &peak, &col_refs(&cols), &mut out);
+                for (t, batched) in tuples.iter().zip(&out) {
+                    assert_eq!(
+                        f.score(&t.point).to_bits(),
+                        batched.to_bits(),
+                        "{norm:?} dims={dims} id={}",
+                        t.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coord_sums_bit_identical_to_iter_sum() {
+        for dims in 1..=8 {
+            let mut g = Gen(7 * dims as u64 + 1);
+            let tuples = g.tuples(80, dims);
+            let cols = columns(&tuples, dims);
+            let mut out = Vec::new();
+            coord_sums(&col_refs(&cols), &mut out);
+            for (t, batched) in tuples.iter().zip(&out) {
+                let scalar: f64 = t.point.coords().iter().sum();
+                assert_eq!(scalar.to_bits(), batched.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let mut out = vec![1.0];
+        score_linear(&[], &[], &mut out);
+        assert!(out.is_empty());
+        coord_sums(&[], &mut out);
+        assert!(out.is_empty());
+        score_peak(Norm::L2, &[], &[], &mut out);
+        assert!(out.is_empty());
+        let empty_col: &[f64] = &[];
+        score_linear(&[1.0, 2.0], &[empty_col, empty_col], &mut out);
+        assert!(out.is_empty(), "zero rows, nonzero dims");
+    }
+
+    #[test]
+    fn dominance_kernels_match_scalar() {
+        let mut g = Gen(42);
+        let tuples = g.tuples(60, 3);
+        for a in &tuples {
+            for b in &tuples {
+                assert_eq!(
+                    dominates_raw(a.point.coords(), b.point.coords()),
+                    dominance::dominates(&a.point, &b.point)
+                );
+            }
+        }
+        let window: Vec<&[f64]> = tuples[..20].iter().map(|t| t.point.coords()).collect();
+        for t in &tuples {
+            let scalar = tuples[..20]
+                .iter()
+                .any(|m| dominance::dominates(&m.point, &t.point));
+            assert_eq!(
+                dominated_by_any(window.iter().copied(), t.point.coords()),
+                scalar
+            );
+        }
+    }
+
+    #[test]
+    fn row_in_box_matches_rect_contains() {
+        use crate::rect::Rect;
+        let r = Rect::new(vec![0.2, 0.0, 0.4], vec![0.8, 0.5, 0.4]);
+        let mut g = Gen(9);
+        for t in g.tuples(100, 3) {
+            assert_eq!(
+                row_in_box(r.lo().coords(), r.hi().coords(), t.point.coords()),
+                r.contains(&t.point)
+            );
+        }
+        // boundary inclusion
+        assert!(row_in_box(&[0.0], &[1.0], &[0.0]));
+        assert!(row_in_box(&[0.0], &[1.0], &[1.0]));
+    }
+
+    #[test]
+    fn filter_in_box_matches_row_in_box() {
+        for dims in 1..=5 {
+            let mut g = Gen(77 + dims as u64);
+            let tuples = g.tuples(120, dims);
+            let lo: Vec<f64> = (0..dims).map(|_| 0.2).collect();
+            let hi: Vec<f64> = (0..dims).map(|_| 0.7).collect();
+            let cols = columns(&tuples, dims);
+            let mut out = vec![99u32]; // must be cleared
+            filter_in_box(&lo, &hi, &col_refs(&cols), &mut out);
+            let want: Vec<u32> = tuples
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| row_in_box(&lo, &hi, t.point.coords()))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(out, want, "dims={dims}");
+        }
+        // no columns: cleared, nothing qualifies
+        let mut out = vec![3u32];
+        filter_in_box(&[], &[], &[], &mut out);
+        assert!(out.is_empty());
+        // boundary rows are inside (closed box on both ends)
+        let col = [0.0, 0.5, 1.0, 1.5];
+        filter_in_box(&[0.0], &[1.0], &[&col], &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filter_collects_tau_qualifiers_in_order() {
+        let scores = [0.9, 0.1, 0.5, 0.5, -0.2];
+        let mut out = Vec::new();
+        filter_at_least(&scores, 0.5, &mut out);
+        assert_eq!(out, vec![0, 2, 3]);
+        out.clear();
+        filter_at_least(&scores, f64::INFINITY, &mut out);
+        assert!(out.is_empty());
+        filter_at_least(&[], 0.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn top_scores_equals_sort_desc_truncate() {
+        for (n, k) in [
+            (0usize, 3usize),
+            (2, 5),
+            (50, 1),
+            (100, 7),
+            (64, 64),
+            (33, 40),
+        ] {
+            let mut g = Gen((n * 31 + k) as u64);
+            let scores: Vec<f64> = (0..n).map(|_| g.coord()).collect();
+            let mut heap = TopScores::new(k);
+            heap.offer_all(&scores);
+            let got = heap.into_sorted_desc();
+            let mut want = scores.clone();
+            want.sort_by(|a, b| b.total_cmp(a));
+            want.truncate(k);
+            assert_eq!(
+                got.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_scores_handles_boundary_ties() {
+        let mut heap = TopScores::new(2);
+        heap.offer_all(&[0.5, 0.5, 0.5, 0.1, 0.5]);
+        assert_eq!(heap.min(), Some(0.5));
+        assert_eq!(heap.into_sorted_desc(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn top_scores_min_gates_pruning() {
+        let mut heap = TopScores::new(3);
+        assert_eq!(heap.min(), None, "not full: nothing may be pruned");
+        heap.offer_all(&[0.3, 0.9]);
+        assert!(!heap.full());
+        heap.offer(0.1);
+        assert!(heap.full());
+        assert_eq!(heap.min(), Some(0.1));
+        heap.offer(0.2);
+        assert_eq!(heap.min(), Some(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = TopScores::new(0);
+    }
+
+    /// The bound helpers on `ScoreFn` must dominate every row score of a
+    /// block *as exact f64 comparisons* (the monotonicity argument in the
+    /// module docs) — checked here over random blocks including negative and
+    /// denormal coordinates, for every score family and norm.
+    #[test]
+    fn corner_bounds_dominate_row_scores_exactly() {
+        for dims in 1..=8 {
+            let mut g = Gen(1000 + dims as u64);
+            let tuples = g.tuples(120, dims);
+            let cols = columns(&tuples, dims);
+            let refs = col_refs(&cols);
+            let mut lo = vec![f64::INFINITY; dims];
+            let mut hi = vec![f64::NEG_INFINITY; dims];
+            for t in &tuples {
+                for d in 0..dims {
+                    lo[d] = lo[d].min(t.point.coord(d));
+                    hi[d] = hi[d].max(t.point.coord(d));
+                }
+            }
+            let mut scores = Vec::new();
+            let linear = LinearScore::new((0..dims).map(|d| 0.25 + d as f64).collect::<Vec<f64>>());
+            linear.score_block(&refs, &mut scores);
+            let ub = linear.upper_bound_corners(&lo, &hi);
+            for s in &scores {
+                assert!(ub >= *s, "linear bound must dominate exactly");
+            }
+            for norm in [Norm::L1, Norm::L2, Norm::Linf] {
+                let peak = PeakScore::new((0..dims).map(|_| g.coord()).collect::<Vec<f64>>(), norm);
+                peak.score_block(&refs, &mut scores);
+                let ub = peak.upper_bound_corners(&lo, &hi);
+                for s in &scores {
+                    assert!(ub >= *s, "{norm:?} bound must dominate exactly");
+                }
+            }
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!   region upper bound `f⁺` required by Algorithms 8–9.
 //! * [`dominance`] — Pareto dominance, centralized skyline operators and the
 //!   region-dominance test required by Algorithm 14.
+//! * [`kernels`] — batched, auto-vectorization-friendly scan kernels over
+//!   columnar (structure-of-arrays) coordinate data, bit-identical to their
+//!   scalar references; the local data plane of the blocked scan paths.
 //! * [`diversity`] — the k-diversification objective (Eq. 1), the single tuple
 //!   insertion score `φ` (Eq. 3) and its region lower bound `φ⁻`
 //!   (Algorithms 20–21).
@@ -25,6 +28,7 @@
 pub mod diversity;
 pub mod dominance;
 pub mod kdspace;
+pub mod kernels;
 pub mod norm;
 pub mod point;
 pub mod rect;
@@ -33,9 +37,10 @@ pub mod zorder;
 
 pub use diversity::{DiversityQuery, SetStats};
 pub use dominance::{
-    constrained_skyline, dominates, dominates_rect, skyband, skyline, skyline_insert, skyline_merge,
+    constrained_skyline, dominates, dominates_rect, skyband, skyline, skyline_fold, skyline_insert,
+    skyline_merge,
 };
 pub use norm::Norm;
 pub use point::{Point, Tuple, TupleId};
 pub use rect::Rect;
-pub use score::{LinearScore, PeakScore, ScoreFn};
+pub use score::{AdHoc, LinearScore, PeakScore, ScoreFn};

@@ -8,6 +8,7 @@
 //!
 //! Higher scores are better throughout.
 
+use crate::kernels;
 use crate::norm::Norm;
 use crate::point::Point;
 use crate::rect::Rect;
@@ -57,6 +58,42 @@ pub trait ScoreFn: Send + Sync {
     /// just scans instead of reusing a cached projection.
     fn cache_key(&self) -> Option<u64> {
         None
+    }
+
+    /// Batch score over a columnar block: `out[i] = score(row i)` where the
+    /// coordinate of row `i` in dimension `d` is `cols[d][i]`.
+    ///
+    /// Must be **bit-identical** to calling [`score`](ScoreFn::score) on
+    /// each gathered row — the blocked scan paths rely on that to reproduce
+    /// the scalar results exactly. The default does the gather and calls
+    /// `score`; implementations override it with a vectorization-friendly
+    /// kernel from [`crate::kernels`].
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
+        let rows = cols.first().map_or(0, |c| c.len());
+        out.clear();
+        out.reserve(rows);
+        let mut row = vec![0.0; cols.len()];
+        for i in 0..rows {
+            for (d, col) in cols.iter().enumerate() {
+                row[d] = col[i];
+            }
+            out.push(self.score(&Point::new(row.clone())));
+        }
+    }
+
+    /// Upper bound `f⁺` over the box `[lo, hi]` given as raw corner slices
+    /// (a block's per-dimension min/max vectors).
+    ///
+    /// Must satisfy `upper_bound_corners(lo, hi) >= score(t)` for every `t`
+    /// in the box **as an exact `f64` comparison** — block pruning skips
+    /// blocks whose bound falls below a threshold, and only an exact bound
+    /// makes that behaviour-preserving. The default materialises a [`Rect`]
+    /// and delegates to [`upper_bound`](ScoreFn::upper_bound);
+    /// implementations override it allocation-free, accumulating over the
+    /// corner in the same operation order as `score` (which yields exactness
+    /// by the monotonicity of IEEE-754 rounding; see [`crate::kernels`]).
+    fn upper_bound_corners(&self, lo: &[f64], hi: &[f64]) -> f64 {
+        self.upper_bound(&Rect::new(lo.to_vec(), hi.to_vec()))
     }
 }
 
@@ -120,6 +157,18 @@ impl ScoreFn for LinearScore {
             self.weights.iter().map(|w| w.to_bits()),
         ))
     }
+
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
+        kernels::score_linear(&self.weights, cols, out);
+    }
+
+    fn upper_bound_corners(&self, _lo: &[f64], hi: &[f64]) -> f64 {
+        // Same accumulation order as `score` over the upper corner, so the
+        // bound dominates every in-box score exactly (monotone weights,
+        // monotone fp rounding) and equals `upper_bound(&rect)` bit-for-bit.
+        debug_assert_eq!(hi.len(), self.weights.len());
+        self.weights.iter().zip(hi).map(|(w, x)| w * x).sum()
+    }
 }
 
 /// Unimodal "peak" scoring: `f(t) = -dist(t, peak)` under a norm.
@@ -170,6 +219,61 @@ impl ScoreFn for PeakScore {
             0x50_45_41_4b, // "PEAK"
             std::iter::once(norm_tag).chain(self.peak.coords().iter().map(|c| c.to_bits())),
         ))
+    }
+
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
+        kernels::score_peak(self.norm, self.peak.coords(), cols, out);
+    }
+
+    fn upper_bound_corners(&self, lo: &[f64], hi: &[f64]) -> f64 {
+        // The nearest box point to the peak is the coordinate-wise clamp
+        // (exactly `Rect::nearest_point`); accumulate its distance in the
+        // same order as `Norm::dist`, so the bound matches
+        // `upper_bound(&rect)` bit-for-bit and dominates every in-box score
+        // exactly (|clamp(p) − p| ≤ |x − p| per dimension, and every fp step
+        // afterwards is monotone).
+        let peak = self.peak.coords();
+        debug_assert!(lo.len() == peak.len() && hi.len() == peak.len());
+        let diffs = (0..peak.len()).map(|d| peak[d].clamp(lo[d], hi[d]) - peak[d]);
+        -match self.norm {
+            Norm::L1 => diffs.map(f64::abs).sum(),
+            Norm::L2 => diffs.map(|x| x.powi(2)).sum::<f64>().sqrt(),
+            Norm::Linf => diffs.map(f64::abs).fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Workload wrapper modelling *ad-hoc, one-shot* scoring functions: the
+/// wrapped score with projection caching opted out (`cache_key` = `None`).
+///
+/// A peer answering an `AdHoc` query cannot amortise a score-sorted
+/// projection across repeats, so the local scan runs through the blocked
+/// kernel paths instead — the workload the columnar layer exists for. The
+/// kernel equivalence gates use it to pin the blocked scan paths against
+/// the scalar reference.
+pub struct AdHoc<F>(pub F);
+
+impl<F: ScoreFn> ScoreFn for AdHoc<F> {
+    fn score(&self, p: &Point) -> f64 {
+        self.0.score(p)
+    }
+
+    fn upper_bound(&self, r: &Rect) -> f64 {
+        self.0.upper_bound(r)
+    }
+
+    fn peak_point(&self) -> Option<Point> {
+        self.0.peak_point()
+    }
+
+    // cache_key stays the default `None`: that is the whole point.
+
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
+        self.0.score_block(cols, out);
+    }
+
+    fn upper_bound_corners(&self, lo: &[f64], hi: &[f64]) -> f64 {
+        self.0.upper_bound_corners(lo, hi)
     }
 }
 
@@ -252,5 +356,66 @@ mod tests {
         let f = LinearScore::uniform(4);
         assert_eq!(f.weights(), &[1.0; 4]);
         assert!((f.score(&Point::splat(4, 0.5)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_bounds_match_rect_bounds_bitwise() {
+        let lo = [0.1, 0.25, 0.0];
+        let hi = [0.4, 0.8, 0.3];
+        let r = Rect::new(lo.to_vec(), hi.to_vec());
+        let lin = LinearScore::new(vec![0.3, 0.7, 1.1]);
+        assert_eq!(
+            lin.upper_bound_corners(&lo, &hi).to_bits(),
+            lin.upper_bound(&r).to_bits()
+        );
+        for norm in [Norm::L1, Norm::L2, Norm::Linf] {
+            let peak = PeakScore::new(vec![0.9, 0.1, 0.15], norm);
+            assert_eq!(
+                peak.upper_bound_corners(&lo, &hi).to_bits(),
+                peak.upper_bound(&r).to_bits(),
+                "{norm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_score_block_gathers_and_matches_scalar() {
+        /// A score family with no kernel override: exercises the default
+        /// gather-based `score_block` and the default `upper_bound_corners`.
+        struct Product;
+        impl ScoreFn for Product {
+            fn score(&self, p: &Point) -> f64 {
+                p.coords().iter().product()
+            }
+            fn upper_bound(&self, r: &Rect) -> f64 {
+                self.score(r.hi()).max(self.score(r.lo()))
+            }
+        }
+        let cols: [&[f64]; 2] = [&[0.5, 0.25, 1.0], &[0.5, 2.0, 0.125]];
+        let mut out = Vec::new();
+        Product.score_block(&cols, &mut out);
+        assert_eq!(out, vec![0.25, 0.5, 0.125]);
+        let ub = Product.upper_bound_corners(&[0.25, 0.125], &[1.0, 2.0]);
+        assert_eq!(ub, 2.0);
+    }
+
+    #[test]
+    fn adhoc_disables_caching_only() {
+        let f = AdHoc(LinearScore::new(vec![1.0, 2.0]));
+        assert!(f.cache_key().is_none(), "ad-hoc scores opt out of caching");
+        let p = Point::new(vec![0.5, 0.25]);
+        assert_eq!(f.score(&p).to_bits(), f.0.score(&p).to_bits());
+        let r = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        assert_eq!(f.upper_bound(&r).to_bits(), f.0.upper_bound(&r).to_bits());
+        assert_eq!(f.peak_point(), f.0.peak_point());
+        let cols: [&[f64]; 2] = [&[0.5, 0.1], &[0.25, 0.9]];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        f.score_block(&cols, &mut a);
+        f.0.score_block(&cols, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(
+            f.upper_bound_corners(&[0.0, 0.0], &[0.5, 0.5]).to_bits(),
+            f.0.upper_bound_corners(&[0.0, 0.0], &[0.5, 0.5]).to_bits()
+        );
     }
 }

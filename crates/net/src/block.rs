@@ -1,0 +1,243 @@
+//! Columnar (structure-of-arrays) mirror of a peer's tuples, in fixed-size
+//! blocks with per-block pruning bounds.
+//!
+//! A [`crate::PeerStore`] keeps its `Vec<Tuple>` as the source of truth;
+//! the [`BlockSet`] is a *behaviour-invisible*, generation-validated mirror
+//! (exactly like the store's projection and skyline caches): one contiguous
+//! `f64` column per dimension in store order, cut into blocks of
+//! [`BLOCK_ROWS`] rows. Each block carries
+//!
+//! * its per-dimension minimum and maximum vectors (the block's bounding
+//!   box corners — fed to `ScoreFn::upper_bound_corners` for the `f⁺` block
+//!   bound and to the dominates-corner test of Algorithm 14), and
+//! * the minimum *coordinate sum* over its rows (an SFS-style bound: only
+//!   skyline members whose sum is at or below it can dominate the block's
+//!   min corner, so the corner test scans a canonical-order prefix).
+//!
+//! Scan kernels (`ripple_geom::kernels`) then run over whole columns at a
+//! time, and block-level bound tests skip entire blocks without touching a
+//! row. Mutations invalidate the mirror wholesale (the store's generation
+//! counter moves); it is rebuilt lazily in one O(n·d) pass on next use —
+//! the right trade for a read-mostly store where many queries run between
+//! churn events.
+
+use ripple_geom::Tuple;
+use std::ops::Range;
+
+pub use ripple_geom::kernels::BLOCK_ROWS;
+
+/// The columnar mirror of one peer store at one generation.
+#[derive(Debug)]
+pub struct BlockSet {
+    /// Store generation this mirror was built at.
+    built_at: u64,
+    /// Dimensionality of the mirrored tuples (0 when the store is empty).
+    dims: usize,
+    /// Number of mirrored rows (= tuples, in store order).
+    rows: usize,
+    /// Column-major coordinates: `cols[d][i]` is coordinate `d` of row `i`.
+    /// Each column is one contiguous allocation of `rows` values.
+    cols: Vec<Box<[f64]>>,
+    /// Per-block per-dimension minima, block-major: `mins[b*dims + d]`.
+    mins: Vec<f64>,
+    /// Per-block per-dimension maxima, block-major: `maxs[b*dims + d]`.
+    maxs: Vec<f64>,
+    /// Per-block minimum row coordinate sum (computed with the same
+    /// left-fold the scalar code uses, so canonical-order comparisons
+    /// against it are exact).
+    min_sums: Vec<f64>,
+}
+
+impl BlockSet {
+    /// Builds the columnar mirror of `tuples` (store order) at `built_at`.
+    pub fn build(tuples: &[Tuple], built_at: u64) -> Self {
+        let rows = tuples.len();
+        let dims = tuples.first().map_or(0, Tuple::dims);
+        let blocks = rows.div_ceil(BLOCK_ROWS);
+        let mut cols: Vec<Box<[f64]>> = (0..dims)
+            .map(|_| vec![0.0; rows].into_boxed_slice())
+            .collect();
+        for (i, t) in tuples.iter().enumerate() {
+            debug_assert_eq!(t.dims(), dims, "mixed dimensionality in one store");
+            for (d, c) in t.point.coords().iter().enumerate() {
+                cols[d][i] = *c;
+            }
+        }
+        let mut mins = vec![f64::INFINITY; blocks * dims];
+        let mut maxs = vec![f64::NEG_INFINITY; blocks * dims];
+        let mut min_sums = vec![f64::INFINITY; blocks];
+        let mut sums = Vec::new();
+        for b in 0..blocks {
+            let range = b * BLOCK_ROWS..rows.min((b + 1) * BLOCK_ROWS);
+            for (d, col) in cols.iter().enumerate() {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &v in &col[range.clone()] {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                mins[b * dims + d] = lo;
+                maxs[b * dims + d] = hi;
+            }
+            let block_cols: Vec<&[f64]> = cols.iter().map(|c| &c[range.clone()]).collect();
+            ripple_geom::kernels::coord_sums(&block_cols, &mut sums);
+            min_sums[b] = sums.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        }
+        Self {
+            built_at,
+            dims,
+            rows,
+            cols,
+            mins,
+            maxs,
+            min_sums,
+        }
+    }
+
+    /// The store generation this mirror reflects.
+    pub fn built_at(&self) -> u64 {
+        self.built_at
+    }
+
+    /// Number of mirrored rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dimensionality of the mirrored rows (0 for an empty mirror).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of blocks (the last one may be a partial tail).
+    pub fn num_blocks(&self) -> usize {
+        self.rows.div_ceil(BLOCK_ROWS)
+    }
+
+    /// The row range of block `b` (store-order indices).
+    pub fn block_range(&self, b: usize) -> Range<usize> {
+        let start = b * BLOCK_ROWS;
+        start..self.rows.min(start + BLOCK_ROWS)
+    }
+
+    /// Fills `buf` with one column slice per dimension, restricted to block
+    /// `b` — the shape the kernels consume. The buffer is caller-owned so a
+    /// multi-block scan does one allocation total.
+    pub fn block_cols<'a>(&'a self, b: usize, buf: &mut Vec<&'a [f64]>) {
+        let range = self.block_range(b);
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| &c[range.clone()]));
+    }
+
+    /// Per-dimension minima of block `b` (the box's lower corner — the
+    /// hardest point to dominate, per Algorithm 14).
+    pub fn block_min(&self, b: usize) -> &[f64] {
+        &self.mins[b * self.dims..(b + 1) * self.dims]
+    }
+
+    /// Per-dimension maxima of block `b` (the box's upper corner).
+    pub fn block_max(&self, b: usize) -> &[f64] {
+        &self.maxs[b * self.dims..(b + 1) * self.dims]
+    }
+
+    /// Minimum row coordinate sum of block `b`.
+    pub fn block_min_sum(&self, b: usize) -> f64 {
+        self.min_sums[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples(n: usize, dims: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(
+                    i as u64,
+                    (0..dims)
+                        .map(|d| ((i * 31 + d * 17) % 97) as f64 / 97.0 - 0.25)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_mirror() {
+        let b = BlockSet::build(&[], 3);
+        assert_eq!(b.rows(), 0);
+        assert_eq!(b.dims(), 0);
+        assert_eq!(b.num_blocks(), 0);
+        assert_eq!(b.built_at(), 3);
+    }
+
+    #[test]
+    fn columns_mirror_rows_exactly() {
+        for n in [
+            1,
+            BLOCK_ROWS - 1,
+            BLOCK_ROWS,
+            BLOCK_ROWS + 1,
+            3 * BLOCK_ROWS + 7,
+        ] {
+            let data = tuples(n, 3);
+            let set = BlockSet::build(&data, 0);
+            assert_eq!(set.rows(), n);
+            assert_eq!(set.num_blocks(), n.div_ceil(BLOCK_ROWS));
+            let mut buf = Vec::new();
+            for b in 0..set.num_blocks() {
+                set.block_cols(b, &mut buf);
+                let range = set.block_range(b);
+                assert_eq!(buf.len(), 3);
+                for (d, col) in buf.iter().enumerate() {
+                    assert_eq!(col.len(), range.len());
+                    for (off, i) in range.clone().enumerate() {
+                        assert_eq!(col[off].to_bits(), data[i].point.coord(d).to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_bounds_contain_their_rows() {
+        let data = tuples(2 * BLOCK_ROWS + 11, 4);
+        let set = BlockSet::build(&data, 0);
+        for b in 0..set.num_blocks() {
+            let (lo, hi) = (set.block_min(b), set.block_max(b));
+            let mut tight_lo = [false; 4];
+            let mut tight_hi = [false; 4];
+            for i in set.block_range(b) {
+                for d in 0..4 {
+                    let c = data[i].point.coord(d);
+                    assert!(lo[d] <= c && c <= hi[d]);
+                    tight_lo[d] |= c == lo[d];
+                    tight_hi[d] |= c == hi[d];
+                }
+            }
+            assert!(tight_lo.iter().all(|&t| t), "minima are attained");
+            assert!(tight_hi.iter().all(|&t| t), "maxima are attained");
+        }
+    }
+
+    #[test]
+    fn min_sum_bounds_row_sums_and_is_attained() {
+        let data = tuples(BLOCK_ROWS + 50, 3);
+        let set = BlockSet::build(&data, 0);
+        for b in 0..set.num_blocks() {
+            let ms = set.block_min_sum(b);
+            let mut attained = false;
+            for i in set.block_range(b) {
+                let s: f64 = data[i].point.coords().iter().sum();
+                assert!(ms <= s);
+                attained |= s == ms;
+            }
+            assert!(attained);
+            // The min corner's sum never exceeds the min row sum (the
+            // canonical-prefix pruning argument needs this direction).
+            let corner_sum: f64 = set.block_min(b).iter().sum();
+            assert!(corner_sum <= ms);
+        }
+    }
+}

@@ -14,6 +14,11 @@
 //!   metrics for one experimental point.
 //! * [`PeerStore`] — per-peer tuple storage with the key-movement operations
 //!   joins and leaves need.
+//! * [`block`] — the generation-validated columnar (structure-of-arrays)
+//!   mirror of a store, cut into fixed-size blocks with per-block pruning
+//!   bounds; the data layout the `ripple_geom::kernels` scan paths consume.
+//! * [`scan`] — thread-local accounting of local data-plane work (tuples
+//!   scanned, blocks pruned), bracketed by the executor and off by default.
 //! * [`churn`] — the two-stage (increasing / decreasing) network dynamics
 //!   driver of Section 7.1.
 //! * [`fault`] — the seeded, deterministic fault-injection policy
@@ -28,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod churn;
 pub mod fault;
 pub mod hash;
@@ -36,9 +42,11 @@ pub mod peer;
 pub mod pool;
 pub mod replica;
 pub mod rng;
+pub mod scan;
 pub mod stats;
 pub mod store;
 
+pub use block::{BlockSet, BLOCK_ROWS};
 pub use churn::{ChurnOverlay, ChurnStage};
 pub use fault::{FaultPlane, FaultSession};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

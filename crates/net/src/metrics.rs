@@ -22,7 +22,16 @@ use ripple_geom::Tuple;
 use std::sync::Mutex;
 
 /// The cost ledger of a single distributed query execution.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Equality (`PartialEq`) deliberately **excludes** the two data-plane
+/// observability counters [`tuples_scanned`](QueryMetrics::tuples_scanned)
+/// and [`blocks_pruned`](QueryMetrics::blocks_pruned): they describe how
+/// much local work an execution *avoided* (blocked vs scalar vs naive scan
+/// paths, cold vs warm caches), which legitimately differs between
+/// executions that are bit-identical in every paper metric, answer stream
+/// and visit sequence. The equivalence gates compare ledgers with `==`,
+/// so the exclusion is what lets "same outcome, less work" hold.
+#[derive(Clone, Debug, Default)]
 pub struct QueryMetrics {
     /// Hops on the critical path (the paper's latency metric).
     pub latency: u64,
@@ -64,6 +73,16 @@ pub struct QueryMetrics {
     /// a nonzero value flags restriction-area breakage even in release
     /// builds, where the old `debug_assert!` would have been compiled out).
     pub duplicate_visits: u64,
+    /// Tuple rows examined by local scans while answering this query
+    /// (scored, dominance-tested or filtered — the local data-plane work
+    /// the paper's hop/message metrics ignore). Excluded from `PartialEq`;
+    /// 0 when the executor runs with tracing off.
+    pub tuples_scanned: u64,
+    /// Whole columnar blocks skipped by a block-level bound test (`f⁺`
+    /// below the selection threshold, min-corner dominated, or disjoint
+    /// from the constraint) without touching a row. Excluded from
+    /// `PartialEq`; 0 when the executor runs with tracing off.
+    pub blocks_pruned: u64,
     /// When `true`, [`visit`](QueryMetrics::visit) does *not* append to
     /// [`visited`](QueryMetrics::visited): counters stay exact but the
     /// O(visits) trace is not retained. Inverted so that
@@ -80,6 +99,49 @@ pub struct QueryMetrics {
     /// lets equivalence tests assert that two execution paths touched the
     /// same peers in the same order.
     pub visited: Vec<PeerId>,
+}
+
+impl PartialEq for QueryMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Destructure so adding a field is a compile error here: every new
+        // counter must explicitly choose a side of the equality contract.
+        let Self {
+            latency,
+            query_messages,
+            response_messages,
+            peers_visited,
+            tuples_transferred,
+            retries,
+            timeouts,
+            messages_dropped,
+            repair_messages,
+            replica_hits,
+            stale_reads,
+            replica_bytes,
+            repair_transfers,
+            duplicate_visits,
+            tuples_scanned: _,
+            blocks_pruned: _,
+            trace_off,
+            visited,
+        } = self;
+        *latency == other.latency
+            && *query_messages == other.query_messages
+            && *response_messages == other.response_messages
+            && *peers_visited == other.peers_visited
+            && *tuples_transferred == other.tuples_transferred
+            && *retries == other.retries
+            && *timeouts == other.timeouts
+            && *messages_dropped == other.messages_dropped
+            && *repair_messages == other.repair_messages
+            && *replica_hits == other.replica_hits
+            && *stale_reads == other.stale_reads
+            && *replica_bytes == other.replica_bytes
+            && *repair_transfers == other.repair_transfers
+            && *duplicate_visits == other.duplicate_visits
+            && *trace_off == other.trace_off
+            && *visited == other.visited
+    }
 }
 
 impl QueryMetrics {
@@ -158,6 +220,8 @@ impl QueryMetrics {
         self.replica_bytes += other.replica_bytes;
         self.repair_transfers += other.repair_transfers;
         self.duplicate_visits += other.duplicate_visits;
+        self.tuples_scanned += other.tuples_scanned;
+        self.blocks_pruned += other.blocks_pruned;
         if !self.trace_off {
             self.visited.extend_from_slice(&other.visited);
         }
@@ -330,6 +394,11 @@ pub struct PointSummary {
     /// Total duplicate-visit anomalies across the point (should be 0; any
     /// other value flags restriction-area breakage under faults).
     pub duplicate_visits: u64,
+    /// Mean tuple rows examined by local scans per query (data-plane work;
+    /// 0 when the executor ran with tracing off).
+    pub tuples_scanned: f64,
+    /// Mean columnar blocks skipped by block-level bound tests per query.
+    pub blocks_pruned: f64,
 }
 
 impl PointSummary {
@@ -354,6 +423,8 @@ impl PointSummary {
             replica_bytes: 0.0,
             repair_transfers: 0.0,
             duplicate_visits: 0,
+            tuples_scanned: 0.0,
+            blocks_pruned: 0.0,
         }
     }
 }
@@ -376,6 +447,8 @@ pub struct MetricsAggregator {
     replica_bytes_sum: u64,
     repair_transfers_sum: u64,
     duplicate_sum: u64,
+    scanned_sum: u64,
+    pruned_sum: u64,
     /// Per-peer visit histogram over all recorded queries (FxHash: the keys
     /// are simulator-internal and this map is written once per peer-visit
     /// of every recorded query — a deterministic hot path). Merging assumes
@@ -409,6 +482,8 @@ impl MetricsAggregator {
         self.replica_bytes_sum += m.replica_bytes;
         self.repair_transfers_sum += m.repair_transfers;
         self.duplicate_sum += m.duplicate_visits;
+        self.scanned_sum += m.tuples_scanned;
+        self.pruned_sum += m.blocks_pruned;
         for &p in &m.visited {
             *self.peer_visits.entry(p).or_insert(0) += 1;
         }
@@ -437,6 +512,8 @@ impl MetricsAggregator {
         self.replica_bytes_sum += other.replica_bytes_sum;
         self.repair_transfers_sum += other.repair_transfers_sum;
         self.duplicate_sum += other.duplicate_sum;
+        self.scanned_sum += other.scanned_sum;
+        self.pruned_sum += other.pruned_sum;
         for (&p, &v) in &other.peer_visits {
             *self.peer_visits.entry(p).or_insert(0) += v;
         }
@@ -476,6 +553,8 @@ impl MetricsAggregator {
             replica_bytes: self.replica_bytes_sum as f64 / n,
             repair_transfers: self.repair_transfers_sum as f64 / n,
             duplicate_visits: self.duplicate_sum,
+            tuples_scanned: self.scanned_sum as f64 / n,
+            blocks_pruned: self.pruned_sum as f64 / n,
         }
     }
 }
@@ -527,6 +606,8 @@ mod tests {
             replica_bytes: 48,
             repair_transfers: 2,
             duplicate_visits: 1,
+            tuples_scanned: 120,
+            blocks_pruned: 4,
             visited: vec![PeerId::new(0), PeerId::new(9)],
             ..QueryMetrics::default()
         };
@@ -543,8 +624,33 @@ mod tests {
         assert_eq!(a.replica_bytes, 48);
         assert_eq!(a.repair_transfers, 2);
         assert_eq!(a.duplicate_visits, 1);
+        assert_eq!(a.tuples_scanned, 120);
+        assert_eq!(a.blocks_pruned, 4);
         assert_eq!(a.visited.len(), 7, "visit sequences concatenate");
         assert_eq!(a.visited[5], PeerId::new(0));
+    }
+
+    /// Data-plane observability never participates in ledger equality: two
+    /// executions that differ only in scan effort compare equal, while any
+    /// paper-metric difference still breaks equality.
+    #[test]
+    fn scan_counters_excluded_from_equality() {
+        let base = QueryMetrics {
+            latency: 3,
+            peers_visited: 2,
+            visited: vec![PeerId::new(0), PeerId::new(1)],
+            ..QueryMetrics::default()
+        };
+        let mut lazier = base.clone();
+        lazier.tuples_scanned = 10_000;
+        lazier.blocks_pruned = 17;
+        assert_eq!(base, lazier, "scan effort is not an outcome");
+        let mut different = base.clone();
+        different.latency = 4;
+        assert_ne!(base, different);
+        let mut reordered = base.clone();
+        reordered.visited.reverse();
+        assert_ne!(base, reordered, "visit sequences still compared");
     }
 
     #[test]
@@ -577,6 +683,8 @@ mod tests {
                 replica_bytes: 24 * i,
                 repair_transfers: 1,
                 duplicate_visits: i % 2,
+                tuples_scanned: 100 * i,
+                blocks_pruned: 2 * i,
                 ..QueryMetrics::default()
             };
             agg.record(&m);
@@ -591,6 +699,8 @@ mod tests {
         assert!((s.replica_bytes - 36.0).abs() < 1e-12);
         assert!((s.repair_transfers - 1.0).abs() < 1e-12);
         assert_eq!(s.duplicate_visits, 2, "anomalies total, not average");
+        assert!((s.tuples_scanned - 150.0).abs() < 1e-12);
+        assert!((s.blocks_pruned - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -674,6 +784,8 @@ mod tests {
         assert_eq!(e.replica_bytes, 0.0);
         assert_eq!(e.repair_transfers, 0.0);
         assert_eq!(e.duplicate_visits, 0);
+        assert_eq!(e.tuples_scanned, 0.0);
+        assert_eq!(e.blocks_pruned, 0.0);
     }
 
     fn ledger_with(visits: &[u32], answers: usize, unreachable: &[f64]) -> BranchLedger {

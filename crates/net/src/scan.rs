@@ -1,0 +1,110 @@
+//! Thread-local accounting of local data-plane work (rows scanned, blocks
+//! pruned).
+//!
+//! The paper's metrics (hops, messages) deliberately ignore local scans,
+//! but the columnar block layer exists precisely to shrink them — so the
+//! executor reports two observability counters per query:
+//! [`QueryMetrics::tuples_scanned`](crate::QueryMetrics::tuples_scanned)
+//! and [`QueryMetrics::blocks_pruned`](crate::QueryMetrics::blocks_pruned).
+//! The scan sites live deep inside the store and the query kernels, far
+//! from any ledger, so the counts flow through a thread-local accumulator:
+//! the executor brackets every `computeLocalState` / `computeLocalAnswer`
+//! call with [`begin`] / [`end`] and drains the delta into the branch
+//! ledger. One peer-visit runs entirely on one thread (the parallel engine
+//! forks per restriction-area subtree, never inside a visit), so the
+//! bracketing is race-free and the totals are schedule-independent.
+//!
+//! Accounting is **off by default** — a disabled [`add_scanned`] is a
+//! thread-local load and a branch, so the counters cost nothing when the
+//! executor runs with tracing off (large sweeps) and nothing at all outside
+//! query execution (e.g. baseline code calling `PeerStore::skyline`
+//! directly).
+
+use std::cell::Cell;
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static TUPLES_SCANNED: Cell<u64> = const { Cell::new(0) };
+    static BLOCKS_PRUNED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records `n` tuple rows examined by a local scan (scored, dominance-
+/// tested or filtered). No-op unless a [`begin`]/[`end`] bracket is open on
+/// this thread.
+#[inline]
+pub fn add_scanned(n: u64) {
+    ENABLED.with(|e| {
+        if e.get() {
+            TUPLES_SCANNED.with(|c| c.set(c.get() + n));
+        }
+    });
+}
+
+/// Records `n` whole blocks skipped by a bound test without touching a row.
+/// No-op unless a [`begin`]/[`end`] bracket is open on this thread.
+#[inline]
+pub fn add_pruned(n: u64) {
+    ENABLED.with(|e| {
+        if e.get() {
+            BLOCKS_PRUNED.with(|c| c.set(c.get() + n));
+        }
+    });
+}
+
+/// Opens an accounting bracket on this thread: zeroes the counters and
+/// enables [`add_scanned`]/[`add_pruned`].
+pub fn begin() {
+    ENABLED.with(|e| e.set(true));
+    TUPLES_SCANNED.with(|c| c.set(0));
+    BLOCKS_PRUNED.with(|c| c.set(0));
+}
+
+/// Closes the bracket: disables accounting and returns
+/// `(tuples_scanned, blocks_pruned)` accumulated since [`begin`].
+pub fn end() -> (u64, u64) {
+    ENABLED.with(|e| e.set(false));
+    (
+        TUPLES_SCANNED.with(Cell::get),
+        BLOCKS_PRUNED.with(Cell::get),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_outside_brackets() {
+        add_scanned(5);
+        add_pruned(2);
+        begin();
+        assert_eq!(end(), (0, 0), "counts outside a bracket are dropped");
+    }
+
+    #[test]
+    fn bracket_accumulates_and_resets() {
+        begin();
+        add_scanned(10);
+        add_scanned(7);
+        add_pruned(3);
+        assert_eq!(end(), (17, 3));
+        add_scanned(100); // after end: dropped
+        begin();
+        assert_eq!(end(), (0, 0), "begin zeroes");
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        begin();
+        add_scanned(1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                begin();
+                add_scanned(40);
+                assert_eq!(end(), (40, 0));
+            });
+        });
+        add_pruned(2);
+        assert_eq!(end(), (1, 2), "sibling thread's bracket is invisible");
+    }
+}

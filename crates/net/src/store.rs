@@ -17,45 +17,104 @@
 //!   skyline member invalidate it (a dominated tuple may resurface), all
 //!   other mutations keep it exact.
 //!
-//! Both caches are *behaviour-invisible*: they reproduce byte-for-byte what
+//! A third mirror, the columnar [`BlockSet`] ([`PeerStore::blocks`]),
+//! re-lays the tuples out as one contiguous `f64` column per dimension in
+//! fixed-size blocks with per-block pruning bounds; the blocked query paths
+//! in `ripple-core` run the `ripple_geom::kernels` scans over it, and the
+//! store's own rebuild paths reuse a *fresh* mirror when one exists (they
+//! never build one, so purely scalar executions stay scalar).
+//!
+//! All caches are *behaviour-invisible*: they reproduce byte-for-byte what
 //! the scan-based code paths compute (the skyline in the canonical
 //! ascending (coordinate-sum, id) order with min-id duplicate
 //! representatives; projections with the store-order tie-break of a stable
-//! descending sort). Equivalence is property-tested in `ripple-core`.
+//! descending sort; blocked scans bit-identical to scalar ones by the
+//! kernel contract). Equivalence is property-tested in `ripple-core`.
 //!
 //! [`cache_key`]: ripple_geom::ScoreFn::cache_key
 
-use ripple_geom::{dominance, Point, ScoreFn, Tuple, TupleId};
+use crate::block::BlockSet;
+use crate::scan;
+use ripple_geom::{dominance, kernels, Point, ScoreFn, Tuple, TupleId};
 use std::collections::{HashMap, HashSet};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Retain at most this many score projections per peer. Stale entries are
 /// dropped first; if a workload really uses more *live* scoring functions
-/// than this per peer, the whole map is rebuilt from scratch — correctness
-/// never depends on a cache hit.
+/// than this per peer, the least-recently-hit live projection is evicted —
+/// correctness never depends on a cache hit.
 const MAX_PROJECTIONS: usize = 16;
 
 /// A memoised descending score order of the peer's tuples.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct Projection {
     /// Store generation this projection was computed at.
     built_at: u64,
+    /// Logical timestamp of the most recent hit (from [`IndexCache::clock`]),
+    /// driving least-recently-hit eviction. Atomic so the shared-read hit
+    /// path can bump it without taking the write lock.
+    last_hit: AtomicU64,
     /// `(score, index into the tuple vector)`, best first; ties keep store
     /// order (stable sort), matching a stable descending sort over the
     /// tuple slice.
     entries: Vec<(f64, u32)>,
 }
 
+impl Clone for Projection {
+    fn clone(&self) -> Self {
+        Self {
+            built_at: self.built_at,
+            last_hit: AtomicU64::new(self.last_hit.load(Ordering::Relaxed)),
+            entries: self.entries.clone(),
+        }
+    }
+}
+
 /// The lazily-populated caches of one peer store.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 struct IndexCache {
     /// Score-sorted projections keyed by [`ScoreFn::cache_key`].
     projections: HashMap<u64, Projection>,
+    /// Monotone logical clock stamping projection hits (LRU order).
+    clock: AtomicU64,
     /// Tuple-id membership set (generation it was built at, ids).
     ids: Option<(u64, HashSet<TupleId>)>,
     /// The local skyline in canonical order, as `(coordinate sum, tuple)`.
     /// `None` until first requested or after an invalidating removal.
     skyline: Option<Vec<(f64, Tuple)>>,
+    /// The columnar mirror, shared with in-flight blocked scans via `Arc`
+    /// so a rebuild never invalidates a reader mid-block.
+    blocks: Option<Arc<BlockSet>>,
+}
+
+impl IndexCache {
+    /// Stamps `proj` as hit now. Callable under the shared read lock.
+    fn touch(&self, proj: &Projection) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        proj.last_hit.store(now, Ordering::Relaxed);
+    }
+
+    /// The columnar mirror, only if it reflects `generation` — rebuild
+    /// paths use this so they *reuse* a fresh mirror but never build one.
+    fn fresh_blocks(&self, generation: u64) -> Option<Arc<BlockSet>> {
+        self.blocks
+            .as_ref()
+            .filter(|b| b.built_at() == generation)
+            .map(Arc::clone)
+    }
+}
+
+impl Clone for IndexCache {
+    fn clone(&self) -> Self {
+        Self {
+            projections: self.projections.clone(),
+            clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            ids: self.ids.clone(),
+            skyline: self.skyline.clone(),
+            blocks: self.blocks.clone(),
+        }
+    }
 }
 
 /// The tuples held by one peer.
@@ -90,44 +149,11 @@ fn coord_sum(p: &Point) -> f64 {
     p.coords().iter().sum()
 }
 
-/// Canonical insertion position of `(sum, id)` in a skyline slice sorted by
-/// ascending `(coordinate sum, id)` — the order [`dominance::skyline`]
-/// produces.
-fn canonical_pos(members: &[(f64, Tuple)], sum: f64, id: TupleId) -> usize {
-    members.partition_point(|(ms, m)| ms.total_cmp(&sum).then_with(|| m.id.cmp(&id)).is_lt())
-}
-
 /// Folds one tuple into a canonical skyline, preserving exactly the set and
-/// order a full [`dominance::skyline`] recompute would produce.
+/// order a full [`dominance::skyline`] recompute would produce (the shared
+/// implementation lives in [`dominance::skyline_fold`]).
 fn skyline_fold(members: &mut Vec<(f64, Tuple)>, t: &Tuple) {
-    let sum = coord_sum(&t.point);
-    // Only members with a smaller coordinate sum can dominate `t`, and only
-    // members with an equal sum can equal it point-wise; the canonical order
-    // lets the scan stop early.
-    let mut i = 0;
-    while i < members.len() && members[i].0 <= sum {
-        let m = &members[i].1;
-        if dominance::dominates(&m.point, &t.point) {
-            return;
-        }
-        if m.point == t.point {
-            if t.id < m.id {
-                // A full recompute keeps the min-id representative of an
-                // exact duplicate; replace and reposition within the
-                // equal-sum block.
-                members.remove(i);
-                let pos = canonical_pos(members, sum, t.id);
-                members.insert(pos, (sum, t.clone()));
-            }
-            return;
-        }
-        i += 1;
-    }
-    // `t` enters the skyline: evict members it dominates (all have a larger
-    // sum, so they sit at or after `i`) and insert at the canonical spot.
-    members.retain(|(ms, m)| *ms <= sum || !dominance::dominates(&t.point, &m.point));
-    let pos = canonical_pos(members, sum, t.id);
-    members.insert(pos, (sum, t.clone()));
+    dominance::skyline_fold(members, t, coord_sum(&t.point));
 }
 
 impl PeerStore {
@@ -231,6 +257,14 @@ impl PeerStore {
     ///
     /// Concurrent queries over an already-built skyline share a read lock;
     /// only the first build after an invalidation takes the write lock.
+    ///
+    /// When a fresh columnar mirror exists (a blocked query path called
+    /// [`blocks`](PeerStore::blocks) since the last mutation), the rebuild
+    /// runs over it: whole blocks whose min corner is dominated by a member
+    /// found so far are skipped without touching a row, and the surviving
+    /// rows fold with kernel-computed coordinate sums. Both produce the
+    /// identical canonical skyline (dominated rows fold to no-ops and
+    /// kernel sums are bit-identical), so which rebuild ran is unobservable.
     pub fn skyline(&self) -> Vec<Tuple> {
         {
             let cache = self.cache.read().expect("peer cache poisoned");
@@ -239,13 +273,75 @@ impl PeerStore {
             }
         }
         let mut cache = self.cache.write().expect("peer cache poisoned");
-        let members = cache.skyline.get_or_insert_with(|| {
-            dominance::skyline(&self.tuples)
-                .into_iter()
-                .map(|t| (coord_sum(&t.point), t))
-                .collect()
-        });
+        if cache.skyline.is_none() {
+            let members = if let Some(blocks) = cache.fresh_blocks(self.generation) {
+                self.blocked_skyline(&blocks)
+            } else {
+                scan::add_scanned(self.tuples.len() as u64);
+                dominance::skyline(&self.tuples)
+                    .into_iter()
+                    .map(|t| (coord_sum(&t.point), t))
+                    .collect()
+            };
+            cache.skyline = Some(members);
+        }
+        let members = cache.skyline.as_ref().expect("just built");
         members.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// The columnar (structure-of-arrays) mirror of this store at the
+    /// current generation, built on first use after a mutation and shared
+    /// (`Arc`) with in-flight scans. Blocked query paths call this; the
+    /// store's own rebuilds only ever *reuse* a fresh mirror, so executions
+    /// that never ask for blocks stay purely scalar.
+    pub fn blocks(&self) -> Arc<BlockSet> {
+        {
+            let cache = self.cache.read().expect("peer cache poisoned");
+            if let Some(blocks) = cache.fresh_blocks(self.generation) {
+                return blocks;
+            }
+        }
+        let mut cache = self.cache.write().expect("peer cache poisoned");
+        // Double-check: a racing reader may have rebuilt while we waited.
+        if cache.fresh_blocks(self.generation).is_none() {
+            cache.blocks = Some(Arc::new(BlockSet::build(&self.tuples, self.generation)));
+        }
+        cache.fresh_blocks(self.generation).expect("just built")
+    }
+
+    /// Skyline rebuild over the columnar mirror. Produces exactly the
+    /// canonical `(sum, tuple)` members a [`dominance::skyline`] recompute
+    /// would: folding rows in store order from an empty skyline is the
+    /// recompute (the fold preserves set and order, property-tested under
+    /// churn), and a skipped block contains only rows strictly dominated by
+    /// an already-folded member — each of which folds to a no-op.
+    fn blocked_skyline(&self, blocks: &BlockSet) -> Vec<(f64, Tuple)> {
+        let mut members: Vec<(f64, Tuple)> = Vec::new();
+        let mut buf = Vec::new();
+        let mut sums = Vec::new();
+        for b in 0..blocks.num_blocks() {
+            // Only members whose coordinate sum is at or below the block's
+            // minimum row sum can dominate its min corner (a dominator is
+            // coordinate-wise ≤ the corner, and the fp left-fold sum is
+            // monotone), so the corner test scans a canonical-order prefix.
+            let prefix = members.partition_point(|(s, _)| *s <= blocks.block_min_sum(b));
+            let corner = blocks.block_min(b);
+            if members[..prefix]
+                .iter()
+                .any(|(_, m)| kernels::dominates_raw(m.point.coords(), corner))
+            {
+                scan::add_pruned(1);
+                continue;
+            }
+            blocks.block_cols(b, &mut buf);
+            kernels::coord_sums(&buf, &mut sums);
+            let range = blocks.block_range(b);
+            scan::add_scanned(range.len() as u64);
+            for (off, i) in range.enumerate() {
+                dominance::skyline_fold(&mut members, &self.tuples[i], sums[off]);
+            }
+        }
+        members
     }
 
     /// True if a tuple with this id is stored here, answered from a cached
@@ -298,6 +394,7 @@ impl PeerStore {
             let cache = self.cache.read().expect("peer cache poisoned");
             if let Some(proj) = cache.projections.get(&key) {
                 if proj.built_at == self.generation {
+                    cache.touch(proj);
                     let mut it = proj
                         .entries
                         .iter()
@@ -317,16 +414,47 @@ impl PeerStore {
             if cache.projections.len() >= MAX_PROJECTIONS {
                 let current = self.generation;
                 cache.projections.retain(|_, p| p.built_at == current);
-                if cache.projections.len() >= MAX_PROJECTIONS {
-                    cache.projections.clear();
+                while cache.projections.len() >= MAX_PROJECTIONS {
+                    // Every survivor is live: evict the least-recently-hit
+                    // one (ties broken by key for determinism).
+                    let lru = cache
+                        .projections
+                        .iter()
+                        .min_by_key(|(k, p)| (p.last_hit.load(Ordering::Relaxed), **k))
+                        .map(|(k, _)| *k)
+                        .expect("len >= MAX_PROJECTIONS > 0");
+                    cache.projections.remove(&lru);
                 }
             }
-            let mut entries: Vec<(f64, u32)> = self
-                .tuples
-                .iter()
-                .enumerate()
-                .map(|(i, t)| (score.score(&t.point), i as u32))
-                .collect();
+            // A fresh columnar mirror scores whole blocks through the
+            // batched kernel (bit-identical to per-tuple scoring); without
+            // one the classic scalar pass runs. Either way the same stable
+            // descending sort produces the identical projection.
+            scan::add_scanned(self.tuples.len() as u64);
+            let mut entries: Vec<(f64, u32)> =
+                if let Some(blocks) = cache.fresh_blocks(self.generation) {
+                    let mut entries = Vec::with_capacity(self.tuples.len());
+                    let mut buf = Vec::new();
+                    let mut scores = Vec::new();
+                    for b in 0..blocks.num_blocks() {
+                        blocks.block_cols(b, &mut buf);
+                        score.score_block(&buf, &mut scores);
+                        let start = blocks.block_range(b).start;
+                        entries.extend(
+                            scores
+                                .iter()
+                                .enumerate()
+                                .map(|(off, &s)| (s, (start + off) as u32)),
+                        );
+                    }
+                    entries
+                } else {
+                    self.tuples
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| (score.score(&t.point), i as u32))
+                        .collect()
+                };
             // Stable descending sort: ties keep store order.
             entries.sort_by(|a, b| b.0.total_cmp(&a.0));
             entries.shrink_to_fit();
@@ -334,11 +462,13 @@ impl PeerStore {
                 key,
                 Projection {
                     built_at: self.generation,
+                    last_hit: AtomicU64::new(0),
                     entries,
                 },
             );
         }
         let proj = &cache.projections[&key];
+        cache.touch(proj);
         let mut it = proj
             .entries
             .iter()
@@ -350,17 +480,22 @@ impl PeerStore {
 /// A peer's tuples as seen by query-side code.
 ///
 /// `Plain` is the scan view every substrate supports; `Indexed` additionally
-/// exposes the store's local index layer, which query implementations use as
-/// a fast path when present. Both views describe the same tuples — query
-/// results and all hop/message metrics are identical either way (only
-/// wall-clock time differs), which is what keeps the indexed simulation an
-/// honest reproduction of the paper's scan-based peers.
+/// exposes the store's local index layer *and* its columnar block mirror,
+/// which query implementations use as fast paths when present;
+/// `IndexedScalar` keeps the scalar index layer but withholds the blocks
+/// (the executor's `without_blocks` A/B mode). All views describe the same
+/// tuples — query results and all hop/message metrics are identical either
+/// way (only wall-clock time differs), which is what keeps the indexed
+/// simulation an honest reproduction of the paper's scan-based peers.
 #[derive(Clone, Copy)]
 pub enum LocalView<'a> {
     /// A bare tuple slice.
     Plain(&'a [Tuple]),
-    /// A full peer store with its caches.
+    /// A full peer store with its caches, blocked scan paths allowed.
     Indexed(&'a PeerStore),
+    /// A full peer store with its caches, blocked scan paths disallowed —
+    /// query code must not call [`PeerStore::blocks`] through this view.
+    IndexedScalar(&'a PeerStore),
 }
 
 impl<'a> LocalView<'a> {
@@ -368,15 +503,24 @@ impl<'a> LocalView<'a> {
     pub fn tuples(&self) -> &'a [Tuple] {
         match self {
             LocalView::Plain(t) => t,
-            LocalView::Indexed(s) => s.tuples(),
+            LocalView::Indexed(s) | LocalView::IndexedScalar(s) => s.tuples(),
         }
     }
 
-    /// The store behind an indexed view, when present.
+    /// The store behind an indexed view (either flavour), when present.
     pub fn store(&self) -> Option<&'a PeerStore> {
         match self {
             LocalView::Plain(_) => None,
+            LocalView::Indexed(s) | LocalView::IndexedScalar(s) => Some(s),
+        }
+    }
+
+    /// The store behind a *blocked* indexed view — `Some` only when the
+    /// columnar mirror may be used (i.e. not downgraded to scalar).
+    pub fn blocked_store(&self) -> Option<&'a PeerStore> {
+        match self {
             LocalView::Indexed(s) => Some(s),
+            LocalView::Plain(_) | LocalView::IndexedScalar(_) => None,
         }
     }
 }
@@ -611,8 +755,153 @@ mod tests {
         s.insert(t(1, 0.5));
         let plain = LocalView::Plain(s.tuples());
         let indexed = LocalView::Indexed(&s);
+        let scalar = LocalView::IndexedScalar(&s);
         assert_eq!(plain.tuples(), indexed.tuples());
+        assert_eq!(plain.tuples(), scalar.tuples());
         assert!(plain.store().is_none());
         assert!(indexed.store().is_some());
+        assert!(
+            scalar.store().is_some(),
+            "scalar view keeps the index layer"
+        );
+        assert!(indexed.blocked_store().is_some());
+        assert!(scalar.blocked_store().is_none(), "blocks withheld");
+        assert!(plain.blocked_store().is_none());
+    }
+
+    /// Deterministic multi-block store: enough tuples for several blocks,
+    /// with a strong early tuple so later blocks get corner-pruned.
+    fn blocky_store(n: usize, dims: usize) -> PeerStore {
+        let mut s = PeerStore::new();
+        // A near-origin point that dominates most of the space.
+        s.insert(Tuple::new(0, vec![0.01; dims]));
+        let mut state: u64 = 0xD1B54A32D192ED03;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            0.05 + 0.95 * ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        for i in 1..n as u64 {
+            s.insert(Tuple::new(i, (0..dims).map(|_| next()).collect::<Vec<_>>()));
+        }
+        s
+    }
+
+    #[test]
+    fn blocks_mirror_tracks_generation() {
+        let mut s = blocky_store(600, 3);
+        let b1 = s.blocks();
+        assert_eq!(b1.built_at(), s.generation());
+        assert_eq!(b1.rows(), 600);
+        let b2 = s.blocks();
+        assert!(Arc::ptr_eq(&b1, &b2), "fresh mirror is reused");
+        s.insert(Tuple::new(9999, vec![0.5, 0.5, 0.5]));
+        let b3 = s.blocks();
+        assert!(!Arc::ptr_eq(&b1, &b3), "mutation invalidates the mirror");
+        assert_eq!(b3.rows(), 601);
+    }
+
+    /// The blocked skyline rebuild (fresh mirror present) and the scalar
+    /// rebuild produce the identical skyline — same set, order and
+    /// duplicate representatives — and the blocked one actually prunes.
+    #[test]
+    fn blocked_skyline_rebuild_matches_scalar() {
+        for n in [1usize, 255, 256, 257, 1500] {
+            let s = blocky_store(n, 3);
+            let scalar = dominance::skyline(s.tuples());
+            s.blocks(); // make the mirror fresh before the skyline builds
+            crate::scan::begin();
+            let blocked = s.skyline();
+            let (scanned, pruned) = crate::scan::end();
+            assert_eq!(blocked, scalar, "n={n}");
+            if n >= 3 * crate::block::BLOCK_ROWS {
+                assert!(pruned > 0, "dominating head tuple prunes later blocks");
+            }
+            assert!(
+                scanned + pruned * crate::block::BLOCK_ROWS as u64
+                    >= (n as u64).saturating_sub(255)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_projection_rebuild_matches_scalar() {
+        let scalar_store = blocky_store(900, 3);
+        let blocked_store = blocky_store(900, 3);
+        blocked_store.blocks();
+        let score = LinearScore::new(vec![0.7, 0.2, 0.1]);
+        let via_scalar: Vec<(u64, u64)> = scalar_store
+            .with_ranked(&score, |it| it.map(|(t, s)| (t.id, s.to_bits())).collect())
+            .unwrap();
+        let via_blocks: Vec<(u64, u64)> = blocked_store
+            .with_ranked(&score, |it| it.map(|(t, s)| (t.id, s.to_bits())).collect())
+            .unwrap();
+        assert_eq!(via_scalar, via_blocks, "bit-identical projections");
+    }
+
+    /// Overflowing MAX_PROJECTIONS evicts the least-recently-hit live
+    /// projection and never changes any query result.
+    #[test]
+    fn projection_eviction_is_lru_and_invisible() {
+        let mut s = PeerStore::new();
+        for i in 0..50u64 {
+            let x = (i as f64 * 0.37) % 1.0;
+            let y = (i as f64 * 0.61) % 1.0;
+            s.insert(t2(i, x, y));
+        }
+        let scores: Vec<LinearScore> = (0..MAX_PROJECTIONS as u64 + 8)
+            .map(|i| LinearScore::new(vec![1.0 + i as f64, 2.0]))
+            .collect();
+        let expected: Vec<Vec<u64>> = scores
+            .iter()
+            .map(|sc| {
+                let mut manual: Vec<(f64, u64)> = s
+                    .tuples()
+                    .iter()
+                    .map(|t| (sc.score(&t.point), t.id))
+                    .collect();
+                manual.sort_by(|a, b| b.0.total_cmp(&a.0));
+                manual.into_iter().map(|(_, id)| id).collect()
+            })
+            .collect();
+        let walk = |sc: &LinearScore| -> Vec<u64> {
+            s.with_ranked(sc, |it| it.map(|(t, _)| t.id).collect())
+                .unwrap()
+        };
+        // Fill the cache, keep score 0 hot, then overflow: the cold entries
+        // get evicted, score 0 survives, and every answer stays correct.
+        for (i, sc) in scores.iter().enumerate() {
+            assert_eq!(walk(sc), expected[i], "fill {i}");
+            assert_eq!(walk(&scores[0]), expected[0], "hot entry stays right");
+        }
+        let live = s.cache.read().unwrap().projections.len();
+        assert!(live <= MAX_PROJECTIONS, "eviction caps the cache: {live}");
+        assert!(
+            s.cache
+                .read()
+                .unwrap()
+                .projections
+                .contains_key(&scores[0].cache_key().unwrap()),
+            "the always-hit projection survives LRU eviction"
+        );
+        // Revisiting everything (including evicted entries) still agrees.
+        for (i, sc) in scores.iter().enumerate() {
+            assert_eq!(walk(sc), expected[i], "revisit {i}");
+        }
+    }
+
+    /// Store-path scan accounting: rebuilds report rows scanned / blocks
+    /// pruned inside a bracket and stay silent outside one.
+    #[test]
+    fn store_rebuilds_report_scan_effort() {
+        let s = blocky_store(700, 3);
+        s.blocks();
+        crate::scan::begin();
+        let _ = s.skyline();
+        let (scanned, pruned) = crate::scan::end();
+        assert!(scanned > 0);
+        assert!(scanned as usize + pruned as usize * crate::block::BLOCK_ROWS >= 700 - 256);
+        crate::scan::begin();
+        let _ = s.skyline(); // cache hit: no scan work
+        assert_eq!(crate::scan::end(), (0, 0));
     }
 }

@@ -24,6 +24,15 @@ echo "== parallel-exec smoke (sequential == parallel, thread-scaling gate) =="
 cargo run --release --offline -p ripple-bench --bin parallel_exec_bench -- --smoke
 cargo run --release --offline -p ripple-bench --bin parallel_exec_bench -- --smoke --threads 1
 
+echo "== kernel smoke (blocked == scalar cross-check + pruning, no timing gate) =="
+# The equivalence suites prove the columnar block layer is observationally
+# invisible (bit-identical ledgers, answers and coverage across mode x
+# query x fault plane x thread count on both substrates); the quick bench
+# cross-checks twin networks end to end and verifies blocks get pruned.
+cargo test --release --offline -p ripple-core kernel_equivalence -- --quiet
+cargo test --release --offline -p ripple-chord --test kernels -- --quiet
+cargo run --release --offline -p ripple-bench --bin kernel_bench -- --quick
+
 echo "== replication smoke (k=0 bit-identity, recall 1.0 at crash p <= 0.2 with k >= 1) =="
 # The equivalence suites prove k=0 is observationally inert and k>=1
 # restores full recall; the sweep gates the same properties end to end
