@@ -29,6 +29,7 @@
 //! shared runners make wall-clock gates flaky; the full run asserts
 //! `>= 2x` on both workloads).
 
+use ripple_bench::output::cpu_header_json;
 use ripple_bench::runner::midas_uniform_with_data;
 use ripple_bench::timing::bench;
 use ripple_core::framework::Mode;
@@ -236,7 +237,7 @@ fn main() {
 
     if !cfg.quick {
         let json = format!(
-            "{{\n  \"bench\": \"kernels\",\n  \"config\": {{ \"peers\": {}, \"records\": {}, \"dims\": {DIMS}, \"queries\": {}, \"k\": {K}, \"mode\": \"fast\", \"scores\": \"ad-hoc (no projection caching)\" }},\n  \"equivalence\": \"verified (identical answer streams + bit-identical ledgers on all queries)\",\n  \"scan_accounting\": {{ \"blocked_rows\": {scanned_blocked}, \"scalar_rows\": {scanned_scalar}, \"blocks_pruned\": {pruned} }},\n  \"topk_adhoc\": {{ \"scalar_ms\": {:.4}, \"blocked_ms\": {:.4}, \"speedup\": {:.3} }},\n  \"skyline_constrained\": {{ \"scalar_ms\": {:.4}, \"blocked_ms\": {:.4}, \"speedup\": {:.3} }}\n}}\n",
+            "{{\n  \"bench\": \"kernels\",\n  {cpu},\n  \"config\": {{ \"peers\": {}, \"records\": {}, \"dims\": {DIMS}, \"queries\": {}, \"k\": {K}, \"mode\": \"fast\", \"scores\": \"ad-hoc (no projection caching)\" }},\n  \"equivalence\": \"verified (identical answer streams + bit-identical ledgers on all queries)\",\n  \"scan_accounting\": {{ \"blocked_rows\": {scanned_blocked}, \"scalar_rows\": {scanned_scalar}, \"blocks_pruned\": {pruned} }},\n  \"topk_adhoc\": {{ \"scalar_ms\": {:.4}, \"blocked_ms\": {:.4}, \"speedup\": {:.3} }},\n  \"skyline_constrained\": {{ \"scalar_ms\": {:.4}, \"blocked_ms\": {:.4}, \"speedup\": {:.3} }}\n}}\n",
             cfg.peers,
             cfg.records,
             cfg.queries,
@@ -246,6 +247,7 @@ fn main() {
             sky_scalar.ms_per_iter(),
             sky_blocked.ms_per_iter(),
             sky_speedup,
+            cpu = cpu_header_json(),
         );
         std::fs::create_dir_all("results").expect("create results dir");
         std::fs::write("results/BENCH_PR5_kernels.json", json).expect("write results");

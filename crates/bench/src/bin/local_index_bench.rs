@@ -16,6 +16,7 @@
 //!
 //! Writes `results/BENCH_PR1_local_index.json` and prints a summary.
 
+use ripple_bench::output::cpu_header_json;
 use ripple_bench::runner::midas_uniform_with_data;
 use ripple_bench::timing::bench;
 use ripple_core::framework::Mode;
@@ -149,13 +150,14 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"local_index\",\n  \"config\": {{ \"peers\": {PEERS}, \"records\": {RECORDS}, \"dims\": {DIMS}, \"queries\": {QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"mode\": \"fast\" }},\n  \"equivalence\": \"verified (answers + bit-identical ledgers on all queries)\",\n  \"topk\": {{ \"naive_ms\": {:.4}, \"indexed_ms\": {:.4}, \"speedup\": {:.3} }},\n  \"skyline\": {{ \"naive_ms\": {:.4}, \"indexed_ms\": {:.4}, \"speedup\": {:.3} }}\n}}\n",
+        "{{\n  \"bench\": \"local_index\",\n  {cpu},\n  \"config\": {{ \"peers\": {PEERS}, \"records\": {RECORDS}, \"dims\": {DIMS}, \"queries\": {QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"mode\": \"fast\" }},\n  \"equivalence\": \"verified (answers + bit-identical ledgers on all queries)\",\n  \"topk\": {{ \"naive_ms\": {:.4}, \"indexed_ms\": {:.4}, \"speedup\": {:.3} }},\n  \"skyline\": {{ \"naive_ms\": {:.4}, \"indexed_ms\": {:.4}, \"speedup\": {:.3} }}\n}}\n",
         topk_naive.ms_per_iter(),
         topk_indexed.ms_per_iter(),
         topk_speedup,
         sky_naive.ms_per_iter(),
         sky_indexed.ms_per_iter(),
         sky_speedup,
+        cpu = cpu_header_json(),
     );
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_PR1_local_index.json", json).expect("write results");

@@ -28,6 +28,7 @@
 //! [`QueryMetrics`]: ripple_net::QueryMetrics
 //! [`Coverage`]: ripple_core::Coverage
 
+use ripple_bench::output::cpu_header_json;
 use ripple_bench::runner::midas_uniform_with_data;
 use ripple_core::framework::RankQuery;
 use ripple_core::skyline::SkylineQuery;
@@ -301,7 +302,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"parallel_exec\",\n  \"config\": {{ \"peers\": {}, \"records\": {}, \
+        "{{\n  \"bench\": \"parallel_exec\",\n  {cpu},\n  \"config\": {{ \"peers\": {}, \"records\": {}, \
          \"dims\": {DIMS}, \"queries\": {}, \"k\": {K}, \"threads\": [{threads_list}], \
          \"smoke\": {} }},\n  \"hardware\": {{ \"available_parallelism\": {hw} }},\n  \
          \"equivalence\": \"bit-identical metrics, answers and coverage asserted for every \
@@ -309,6 +310,7 @@ fn main() {
          \"acceptance\": {{ \"gate\": \"{gate_name}\", \"best_speedup\": {best:.3} }},\n  \
          \"sweep\": [\n{row_json}\n  ]\n}}\n",
         cfg.peers, cfg.records, cfg.queries, cfg.smoke,
+        cpu = cpu_header_json(),
     );
     // Smoke runs land in target/ so repeated gate runs never clobber the
     // committed full-scale numbers.

@@ -34,6 +34,7 @@
 //!
 //! [`Coverage`]: ripple_core::Coverage
 
+use ripple_bench::output::cpu_header_json;
 use ripple_bench::runner::midas_uniform_with_data;
 use ripple_core::skyline::{centralized_skyline, run_skyline_query_with, SkylineQuery};
 use ripple_core::topk::{centralized_topk, run_topk_with};
@@ -364,14 +365,15 @@ fn replication_sweep() {
 
     let rows = rows.trim_end().trim_end_matches(',').to_string();
     let json = format!(
-        "{{\n  \"bench\": \"replication\",\n  \"config\": {{ \"peers\": {R_PEERS}, \
+        "{{\n  \"bench\": \"replication\",\n  {cpu},\n  \"config\": {{ \"peers\": {R_PEERS}, \
          \"records\": {R_RECORDS}, \"dims\": {DIMS}, \"queries_per_cell\": {QUERIES}, \
          \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"rates\": [0, 0.1, 0.2, 0.3], \
          \"replication_degrees\": [0, 1, 2], \
          \"anti_entropy\": \"one pass per detected crash\" }},\n  \
          \"acceptance\": {{ \"gate\": \"recall 1.0 vs full dataset at crash p <= 0.2 \
          with k >= 1\", \"worst_gated_recall\": {worst_gated_recall:.4} }},\n  \
-         \"sweep\": [\n{rows}\n  ]\n}}\n"
+         \"sweep\": [\n{rows}\n  ]\n}}\n",
+        cpu = cpu_header_json(),
     );
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_PR4_replication.json", json).expect("write results");
@@ -548,7 +550,8 @@ fn main() {
         *rows = t;
     }
     let json = format!(
-        "{{\n  \"bench\": \"resilience\",\n  \"config\": {{ \"peers\": {PEERS}, \"records\": {RECORDS}, \"dims\": {DIMS}, \"queries_per_cell\": {QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"rates\": [0, 0.01, 0.05, 0.1, 0.2], \"retry\": {{ \"timeout_hops\": 2, \"max_retries\": 3, \"backoff\": \"exponential\" }} }},\n  \"acceptance\": {{ \"gate\": \"recall >= 0.95 at drop p <= 0.1\", \"worst_gated_recall\": {worst_gated_recall:.4} }},\n  \"drop_sweep\": [\n{drop_rows}\n  ],\n  \"crash_sweep\": [\n{crash_rows}\n  ],\n  \"repair\": [\n{repair_rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"resilience\",\n  {cpu},\n  \"config\": {{ \"peers\": {PEERS}, \"records\": {RECORDS}, \"dims\": {DIMS}, \"queries_per_cell\": {QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"rates\": [0, 0.01, 0.05, 0.1, 0.2], \"retry\": {{ \"timeout_hops\": 2, \"max_retries\": 3, \"backoff\": \"exponential\" }} }},\n  \"acceptance\": {{ \"gate\": \"recall >= 0.95 at drop p <= 0.1\", \"worst_gated_recall\": {worst_gated_recall:.4} }},\n  \"drop_sweep\": [\n{drop_rows}\n  ],\n  \"crash_sweep\": [\n{crash_rows}\n  ],\n  \"repair\": [\n{repair_rows}\n  ]\n}}\n",
+        cpu = cpu_header_json(),
     );
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_PR2_resilience.json", json).expect("write results");

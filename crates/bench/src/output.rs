@@ -4,6 +4,18 @@ use ripple_net::PointSummary;
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// The `"cpu": {...}` JSON fragment every bench header embeds: the host's
+/// detected CPU features and the kernel-dispatch arm the process resolves
+/// `KernelDispatch::Auto` to (which honours the `RIPPLE_KERNEL_DISPATCH`
+/// override). Makes every committed result attributable to a hardware arm.
+pub fn cpu_header_json() -> String {
+    format!(
+        "\"cpu\": {{ \"features\": \"{}\", \"auto_dispatch\": \"{}\" }}",
+        ripple_geom::kernels::detected_features(),
+        ripple_geom::KernelDispatch::Auto.arm(),
+    )
+}
+
 /// One measured point of one series.
 #[derive(Clone, Debug)]
 pub struct SeriesPoint {

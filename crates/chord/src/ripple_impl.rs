@@ -81,7 +81,7 @@ impl RippleOverlay for ChordNetwork {
     }
 
     fn peer_view(&self, peer: PeerId) -> LocalView<'_> {
-        LocalView::Indexed(&self.peer(peer).store)
+        LocalView::Indexed(&self.peer(peer).store, ripple_geom::KernelDispatch::Auto)
     }
 
     fn region_volume(&self, region: &Vec<Rect>) -> f64 {

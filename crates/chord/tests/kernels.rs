@@ -57,6 +57,72 @@ fn blocked_equals_scalar_on_the_ring() {
 }
 
 #[test]
+fn forced_simd_equals_forced_scalar_on_the_ring() {
+    use ripple_geom::KernelDispatch;
+    let (net, mut rng) = loaded_ring(48, 2400, 73);
+    let planes = [FaultPlane::none(), FaultPlane::drops(0.15, 23)];
+    for k in [1usize, 12] {
+        let q = TopKQuery::new(AdHoc(LinearScore::uniform(1)), k);
+        for plane in planes {
+            for mode in MODES {
+                let initiator = net.random_peer(&mut rng);
+                let scalar = Executor::with_faults(&net, plane, 9)
+                    .with_dispatch(KernelDispatch::ForcedScalar);
+                let simd =
+                    Executor::with_faults(&net, plane, 9).with_dispatch(KernelDispatch::ForcedSimd);
+                let s = scalar.run(initiator, &q, mode);
+                let v = simd.run(initiator, &q, mode);
+                assert_eq!(
+                    s.metrics, v.metrics,
+                    "k={k} [{mode:?}, drop_p={}]: dispatch arms must produce \
+                     bit-identical ledgers",
+                    plane.drop_probability
+                );
+                assert_eq!(s.answers, v.answers, "k={k} [{mode:?}]: answer streams");
+                assert_eq!(s.coverage, v.coverage, "k={k} [{mode:?}]: coverage");
+                let vp = simd.run_parallel(initiator, &q, mode, 4);
+                assert_eq!(s.metrics, vp.metrics, "k={k} [{mode:?}]: parallel ledger");
+                assert_eq!(s.answers, vp.answers, "k={k} [{mode:?}]: parallel answers");
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_probes_and_exploits_on_the_ring() {
+    use ripple_core::planner::{run_planned, PlanInputs, Planner, QueryHint};
+    use ripple_net::PlanSource;
+    let (net, mut rng) = loaded_ring(48, 2400, 74);
+    let exec = Executor::new(&net);
+    let query = TopKQuery::new(AdHoc(LinearScore::uniform(1)), 8);
+    // Chord has no tree depth; log2 of the ring size is the radius scale.
+    let delta = (net.peer_count() as f64).log2().ceil() as u32;
+    let inputs = PlanInputs {
+        peers: net.peer_count(),
+        delta,
+        hint: QueryHint::TopK { k: 8 },
+    };
+    let mut planner = Planner::new(1);
+    let initiator = net.random_peer(&mut rng);
+    let probes = Planner::candidates(delta).len();
+    for round in 0..probes + 4 {
+        let out = run_planned(&mut planner, &exec, initiator, &query, &inputs);
+        let plan = out.metrics.plan.clone().expect("plan stamped");
+        if round < probes {
+            assert_eq!(plan.source, PlanSource::Probe, "round {round}");
+        } else if !(round as u64).is_multiple_of(ripple_core::planner::REPROBE_PERIOD) {
+            // Periodic frontier re-probes are legitimately Probe-sourced;
+            // every other post-probe round must come from the model.
+            assert_ne!(plan.source, PlanSource::Probe, "round {round}");
+        }
+        // Planned runs are bit-identical to a static run of the same mode.
+        let fixed = exec.run(initiator, &query, plan.mode.into());
+        assert_eq!(out.answers, fixed.answers, "round {round}");
+        assert_eq!(out.metrics, fixed.metrics, "round {round}: ledgers");
+    }
+}
+
+#[test]
 fn blocked_scan_prunes_on_the_ring() {
     // Twin networks from the same seed: the baseline ring never builds a
     // block mirror, so its scan counts are the true scalar effort. Few

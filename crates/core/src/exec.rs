@@ -59,7 +59,7 @@
 //! phase sequentially and parallelises the fast phase below the hop budget.
 
 use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
-use ripple_geom::Tuple;
+use ripple_geom::{KernelDispatch, Tuple};
 use ripple_net::hash::{fx_set_with_capacity, FxHashSet};
 use ripple_net::pool::{self, Pool};
 use ripple_net::{
@@ -125,6 +125,10 @@ pub struct Executor<'a, O> {
     /// kernel scan paths are bypassed; results and metrics must not differ
     /// (the kernel equivalence suite enforces it).
     use_blocks: bool,
+    /// The kernel dispatch arm (scalar / SIMD / auto) every blocked view
+    /// handed out by this executor runs its scans on. `Auto` by default;
+    /// the equivalence suites pin both forced arms against each other.
+    dispatch: KernelDispatch,
 }
 
 /// The mutable state threaded through one *sequential* execution.
@@ -171,6 +175,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             trace: true,
             use_replicas: true,
             use_blocks: true,
+            dispatch: KernelDispatch::Auto,
         }
     }
 
@@ -220,23 +225,33 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         self
     }
 
+    /// Pins the kernel dispatch arm of every blocked scan this executor's
+    /// views perform (`Auto` by default). Results, answers and ledgers are
+    /// bit-identical on every arm — the kernel contract — which the
+    /// equivalence suites verify by running forced-scalar against
+    /// forced-SIMD executors.
+    pub fn with_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// The overlay this executor runs over.
     pub fn network(&self) -> &'a O {
         self.net
     }
 
-    /// The view of `peer`'s tuples handed to the query functions.
+    /// The view of `peer`'s tuples handed to the query functions. Indexed
+    /// views are re-stamped with this executor's kernel dispatch arm (or
+    /// downgraded to scalar when blocks are disabled).
     fn view_of(&self, peer: PeerId) -> LocalView<'_> {
         if self.naive {
             return LocalView::Plain(self.net.peer_tuples(peer));
         }
-        let view = self.net.peer_view(peer);
-        if !self.use_blocks {
-            if let LocalView::Indexed(store) = view {
-                return LocalView::IndexedScalar(store);
-            }
+        match self.net.peer_view(peer) {
+            LocalView::Indexed(store, _) if !self.use_blocks => LocalView::IndexedScalar(store),
+            LocalView::Indexed(store, _) => LocalView::Indexed(store, self.dispatch),
+            view => view,
         }
-        view
     }
 
     /// Turns the absolute abandoned volumes of a finished execution into

@@ -172,6 +172,130 @@ fn blocked_equals_scalar_under_churn() {
     }
 }
 
+/// Runs `query` under a forced-scalar and a forced-SIMD executor across
+/// every plane × mode, sequential and parallel, and asserts the two
+/// dispatch arms are observationally identical: same answers element for
+/// element, bit-identical ledgers (the SIMD kernels are required to
+/// reproduce the scalar reference's floating-point results exactly), same
+/// coverage. On hosts without a vector unit `ForcedSimd` degrades to
+/// scalar, so the test stays meaningful (trivially) everywhere; CI also
+/// drives both arms through the `RIPPLE_KERNEL_DISPATCH` override.
+fn assert_dispatch_invisible<Q>(net: &MidasNetwork, query: &Q, rng: &mut SmallRng, label: &str)
+where
+    Q: RankQuery<Rect> + Sync,
+    Q::Global: Send + Sync,
+    Q::Local: Send,
+{
+    use ripple_geom::KernelDispatch;
+    for plane in planes() {
+        for mode in MODES {
+            let initiator = net.random_peer(rng);
+            let scalar_exec =
+                Executor::with_faults(net, plane, 7).with_dispatch(KernelDispatch::ForcedScalar);
+            let simd_exec =
+                Executor::with_faults(net, plane, 7).with_dispatch(KernelDispatch::ForcedSimd);
+            let s = scalar_exec.run(initiator, query, mode);
+            let v = simd_exec.run(initiator, query, mode);
+            assert_eq!(
+                s.metrics, v.metrics,
+                "{label} [{mode:?}, drop_p={}]: forced-scalar and forced-simd ledgers \
+                 must be bit-identical",
+                plane.drop_probability
+            );
+            assert_eq!(
+                s.answers, v.answers,
+                "{label} [{mode:?}]: dispatch arms must emit identical answer streams"
+            );
+            assert_eq!(s.coverage, v.coverage, "{label} [{mode:?}]: coverage");
+            for threads in THREADS {
+                let vp = simd_exec.run_parallel(initiator, query, mode, threads);
+                assert_eq!(
+                    s.metrics, vp.metrics,
+                    "{label} [{mode:?}, {threads} threads]: parallel simd ledger"
+                );
+                assert_eq!(
+                    s.answers, vp.answers,
+                    "{label} [{mode:?}, {threads} threads]: parallel simd answers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_simd_equals_forced_scalar_across_modes_and_planes() {
+    // 4-d exercises full vector lanes plus a tail on AVX2; 3-d is all-tail.
+    for (dims, peers, tuples, seed) in [(3, 28, 1800, 61u64), (4, 24, 1600, 62)] {
+        let (net, mut rng) = loaded_net(dims, peers, tuples, seed);
+        for k in [1usize, 8, 64] {
+            let q = TopKQuery::new(AdHoc(LinearScore::uniform(dims)), k);
+            assert_dispatch_invisible(&net, &q, &mut rng, &format!("topk-adhoc-linear k={k}"));
+        }
+        let peak: Vec<f64> = (0..dims).map(|_| rng.gen::<f64>()).collect();
+        let q = TopKQuery::new(AdHoc(PeakScore::new(peak, Norm::L2)), 8);
+        assert_dispatch_invisible(&net, &q, &mut rng, "topk-adhoc-peak");
+        assert_dispatch_invisible(&net, &SkylineQuery::new(), &mut rng, "skyline");
+        let c = Rect::new(vec![0.15; dims], vec![0.85; dims]);
+        assert_dispatch_invisible(
+            &net,
+            &SkylineQuery::constrained(c),
+            &mut rng,
+            "skyline-constrained",
+        );
+    }
+}
+
+#[test]
+fn planner_runs_are_dispatch_invariant() {
+    use crate::planner::{run_planned, PlanInputs, Planner, QueryHint};
+    use ripple_geom::KernelDispatch;
+    let (net, mut rng) = loaded_net(4, 24, 1600, 63);
+    let exec_s = Executor::new(&net).with_dispatch(KernelDispatch::ForcedScalar);
+    let exec_v = Executor::new(&net).with_dispatch(KernelDispatch::ForcedSimd);
+    let query = TopKQuery::new(AdHoc(LinearScore::uniform(4)), 8);
+    let inputs = PlanInputs {
+        peers: net.peer_count(),
+        delta: net.delta(),
+        hint: QueryHint::TopK { k: 8 },
+    };
+    // Separate planners, same deterministic probe order: both arms must
+    // walk the same plan sequence (wall-clock feedback may differ, but the
+    // message/latency EWMAs that dominate the choice are bit-identical).
+    let mut planner_s = Planner::new(1);
+    let mut planner_v = Planner::new(1);
+    let initiator = net.random_peer(&mut rng);
+    for round in 0..6 {
+        let s = run_planned(&mut planner_s, &exec_s, initiator, &query, &inputs);
+        let v = run_planned(&mut planner_v, &exec_v, initiator, &query, &inputs);
+        let (ps, pv) = (
+            s.metrics.plan.clone().expect("plan stamped"),
+            v.metrics.plan.clone().expect("plan stamped"),
+        );
+        // Probe rounds are fully deterministic; afterwards the choice could
+        // in principle diverge on wall-clock noise, so only pin the probes.
+        if ps.source == ripple_net::PlanSource::Probe {
+            assert_eq!(ps, pv, "round {round}: probe sequences must match");
+            assert_eq!(s.answers, v.answers, "round {round}");
+            assert_eq!(s.metrics, v.metrics, "round {round}: ledgers");
+        }
+        // Each arm's planned run must be bit-identical to a static run of
+        // whatever mode its planner picked, on the *opposite* dispatch arm
+        // (this is dispatch- and planner-invisibility at once).
+        let s_static = exec_v.run(initiator, &query, ps.mode.into());
+        assert_eq!(s.answers, s_static.answers, "round {round}: planned≡static");
+        assert_eq!(
+            s.metrics, s_static.metrics,
+            "round {round}: planned≡static ledgers"
+        );
+        let v_static = exec_s.run(initiator, &query, pv.mode.into());
+        assert_eq!(v.answers, v_static.answers, "round {round}: planned≡static");
+        assert_eq!(
+            v.metrics, v_static.metrics,
+            "round {round}: planned≡static ledgers"
+        );
+    }
+}
+
 #[test]
 fn scan_counters_report_blocked_work() {
     // Two identical networks (same build seed): one queried through the

@@ -61,6 +61,7 @@ pub mod latency;
 pub mod midas_impl;
 #[cfg(test)]
 mod parallel_equivalence;
+pub mod planner;
 pub mod range;
 #[cfg(test)]
 mod replica_equivalence;
@@ -69,6 +70,7 @@ pub mod topk;
 
 pub use exec::Executor;
 pub use framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
+pub use planner::{box_selectivity, run_planned, CostWeights, PlanInputs, Planner, QueryHint};
 pub use range::{run_range, RangeQuery};
 pub use skyline::{run_skyline, run_skyline_query, run_skyline_query_with, SkylineQuery};
 pub use topk::{run_topk, run_topk_with, TopKQuery};

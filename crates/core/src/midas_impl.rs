@@ -40,7 +40,7 @@ impl RippleOverlay for MidasNetwork {
     }
 
     fn peer_view(&self, peer: PeerId) -> LocalView<'_> {
-        LocalView::Indexed(&self.peer(peer).store)
+        LocalView::Indexed(&self.peer(peer).store, ripple_geom::KernelDispatch::Auto)
     }
 
     fn route_lookup(&self, from: PeerId, key: &ripple_geom::Point) -> Option<(PeerId, u32)> {

@@ -8,7 +8,7 @@
 
 use crate::exec::Executor;
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
-use ripple_geom::{dominance, kernels, Norm, Rect, Tuple};
+use ripple_geom::{dominance, kernels, KernelDispatch, Norm, Rect, Tuple};
 use ripple_net::{scan, LocalView, PeerId, PeerStore, QueryMetrics};
 
 /// A skyline query (lower values better on every dimension), optionally
@@ -67,10 +67,11 @@ impl SkylineQuery {
     fn blocked_constrained_state(
         &self,
         store: &PeerStore,
+        dispatch: KernelDispatch,
         c: &Rect,
         global: &[Tuple],
     ) -> Vec<Tuple> {
-        let blocks = store.blocks();
+        let blocks = store.blocks_at(dispatch);
         let tuples = store.tuples();
         let window: Vec<&[f64]> = global.iter().map(|g| g.point.coords()).collect();
         let (clo, chi) = (c.lo().coords(), c.hi().coords());
@@ -81,14 +82,14 @@ impl SkylineQuery {
             let blo = blocks.block_min(b);
             let bhi = blocks.block_max(b);
             let disjoint = (0..blocks.dims()).any(|d| blo[d] > chi[d] || bhi[d] < clo[d]);
-            if disjoint || kernels::dominated_by_any(window.iter().copied(), blo) {
+            if disjoint || kernels::dominated_by_any(dispatch, window.iter().copied(), blo) {
                 scan::add_pruned(1);
                 continue;
             }
             blocks.block_cols(b, &mut cols);
             let range = blocks.block_range(b);
             scan::add_scanned(range.len() as u64);
-            kernels::filter_in_box(clo, chi, &cols, &mut idx);
+            kernels::filter_in_box(dispatch, clo, chi, &cols, &mut idx);
             for &off in &idx {
                 // Left-fold coordinate sum in dimension order — bit-identical
                 // to the `coords().iter().sum()` key of `dominance::skyline`.
@@ -117,7 +118,9 @@ impl SkylineQuery {
             sky.push(t);
         }
         sky.into_iter()
-            .filter(|t| !kernels::dominated_by_any(window.iter().copied(), t.point.coords()))
+            .filter(|t| {
+                !kernels::dominated_by_any(dispatch, window.iter().copied(), t.point.coords())
+            })
             .cloned()
             .collect()
     }
@@ -143,12 +146,12 @@ impl RankQuery<Rect> for SkylineQuery {
     /// fold of [`Self::blocked_constrained_state`]; otherwise they filter
     /// and scan.
     fn compute_local_state(&self, view: &LocalView<'_>, global: &Vec<Tuple>) -> Vec<Tuple> {
-        if let (Some(store), Some(c)) = (view.blocked_store(), &self.constraint) {
+        if let (Some((store, dispatch)), Some(c)) = (view.blocked_store(), &self.constraint) {
             // Already thinned by the global state (see the method docs).
-            return self.blocked_constrained_state(store, c, global);
+            return self.blocked_constrained_state(store, dispatch, c, global);
         }
         let local_sky = match (view.store(), &self.constraint) {
-            (Some(store), None) => store.skyline(),
+            (Some(store), None) => store.skyline_at(view.dispatch()),
             _ => {
                 scan::add_scanned(view.tuples().len() as u64);
                 let qualifying: Vec<Tuple> = self

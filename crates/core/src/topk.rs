@@ -8,7 +8,7 @@
 
 use crate::exec::Executor;
 use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
-use ripple_geom::{kernels, Rect, ScoreFn, Tuple};
+use ripple_geom::{kernels, KernelDispatch, Rect, ScoreFn, Tuple};
 use ripple_net::{scan, LocalView, PeerId, PeerStore, QueryMetrics};
 
 /// The `(m, τ)` state of top-k processing. Invariant: at least `m` tuples
@@ -103,8 +103,13 @@ impl<F: ScoreFn> TopKQuery<F> {
     /// scores all sit strictly below the *final* `k`-th value and cannot
     /// change the top-`k` score multiset — the resulting `(m, τ)` state is
     /// bit-identical to the scalar sort's.
-    fn blocked_state(&self, store: &PeerStore, global: &TopKState) -> TopKState {
-        let blocks = store.blocks();
+    fn blocked_state(
+        &self,
+        store: &PeerStore,
+        dispatch: KernelDispatch,
+        global: &TopKState,
+    ) -> TopKState {
+        let blocks = store.blocks_at(dispatch);
         let mut heap = kernels::TopScores::new(self.k);
         let mut cols: Vec<&[f64]> = Vec::new();
         let mut scores: Vec<f64> = Vec::new();
@@ -119,7 +124,7 @@ impl<F: ScoreFn> TopKQuery<F> {
                 }
             }
             blocks.block_cols(b, &mut cols);
-            self.score.score_block(&cols, &mut scores);
+            self.score.score_block(&cols, &mut scores, dispatch);
             scan::add_scanned(scores.len() as u64);
             heap.offer_all(&scores);
         }
@@ -132,8 +137,13 @@ impl<F: ScoreFn> TopKQuery<F> {
     /// would fail the scalar filter too. Rows are emitted in ascending
     /// store order, so the answer matches the scalar scan element for
     /// element.
-    fn blocked_answer(&self, store: &PeerStore, local: &TopKState) -> Vec<Tuple> {
-        let blocks = store.blocks();
+    fn blocked_answer(
+        &self,
+        store: &PeerStore,
+        dispatch: KernelDispatch,
+        local: &TopKState,
+    ) -> Vec<Tuple> {
+        let blocks = store.blocks_at(dispatch);
         let tuples = store.tuples();
         let mut cols: Vec<&[f64]> = Vec::new();
         let mut scores: Vec<f64> = Vec::new();
@@ -148,10 +158,10 @@ impl<F: ScoreFn> TopKQuery<F> {
                 continue;
             }
             blocks.block_cols(b, &mut cols);
-            self.score.score_block(&cols, &mut scores);
+            self.score.score_block(&cols, &mut scores, dispatch);
             scan::add_scanned(scores.len() as u64);
             idx.clear();
-            kernels::filter_at_least(&scores, local.tau, &mut idx);
+            kernels::filter_at_least(dispatch, &scores, local.tau, &mut idx);
             let start = blocks.block_range(b).start;
             answer.extend(idx.iter().map(|&i| tuples[start + i as usize].clone()));
         }
@@ -177,14 +187,14 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
     /// mirror; otherwise a scalar scan + sort.
     fn compute_local_state(&self, view: &LocalView<'_>, global: &TopKState) -> TopKState {
         if let Some(store) = view.store() {
-            if let Some(state) = store.with_ranked(&self.score, |it| {
+            if let Some(state) = store.with_ranked_at(&self.score, view.dispatch(), |it| {
                 self.state_from_ranked(it.map(|(_, s)| s), store.len(), global)
             }) {
                 return state;
             }
         }
-        if let Some(store) = view.blocked_store() {
-            return self.blocked_state(store, global);
+        if let Some((store, dispatch)) = view.blocked_store() {
+            return self.blocked_state(store, dispatch, global);
         }
         let ranked = self.ranked(view.tuples());
         scan::add_scanned(ranked.len() as u64);
@@ -243,7 +253,7 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
             return Vec::new();
         }
         if let Some(store) = view.store() {
-            if let Some(answer) = store.with_ranked(&self.score, |it| {
+            if let Some(answer) = store.with_ranked_at(&self.score, view.dispatch(), |it| {
                 it.take_while(|(_, s)| *s >= local.tau)
                     .map(|(t, _)| t.clone())
                     .collect::<Vec<Tuple>>()
@@ -251,8 +261,8 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
                 return answer;
             }
         }
-        if let Some(store) = view.blocked_store() {
-            return self.blocked_answer(store, local);
+        if let Some((store, dispatch)) = view.blocked_store() {
+            return self.blocked_answer(store, dispatch, local);
         }
         scan::add_scanned(view.tuples().len() as u64);
         view.tuples()

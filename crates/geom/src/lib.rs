@@ -40,6 +40,7 @@ pub use dominance::{
     constrained_skyline, dominates, dominates_rect, skyband, skyline, skyline_fold, skyline_insert,
     skyline_merge,
 };
+pub use kernels::KernelDispatch;
 pub use norm::Norm;
 pub use point::{Point, Tuple, TupleId};
 pub use rect::Rect;

@@ -9,6 +9,7 @@
 //! Higher scores are better throughout.
 
 use crate::kernels;
+use crate::kernels::KernelDispatch;
 use crate::norm::Norm;
 use crate::point::Point;
 use crate::rect::Rect;
@@ -65,10 +66,13 @@ pub trait ScoreFn: Send + Sync {
     ///
     /// Must be **bit-identical** to calling [`score`](ScoreFn::score) on
     /// each gathered row — the blocked scan paths rely on that to reproduce
-    /// the scalar results exactly. The default does the gather and calls
-    /// `score`; implementations override it with a vectorization-friendly
-    /// kernel from [`crate::kernels`].
-    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
+    /// the scalar results exactly, *on either arm of `dispatch`* (the kernel
+    /// vector arms vectorize across rows while keeping each row's operation
+    /// order, see [`crate::kernels`]). The default does the gather and calls
+    /// `score`, ignoring `dispatch`; implementations override it with a
+    /// vectorization-friendly kernel from [`crate::kernels`].
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>, dispatch: KernelDispatch) {
+        let _ = dispatch;
         let rows = cols.first().map_or(0, |c| c.len());
         out.clear();
         out.reserve(rows);
@@ -158,8 +162,8 @@ impl ScoreFn for LinearScore {
         ))
     }
 
-    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
-        kernels::score_linear(&self.weights, cols, out);
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>, dispatch: KernelDispatch) {
+        kernels::score_linear(dispatch, &self.weights, cols, out);
     }
 
     fn upper_bound_corners(&self, _lo: &[f64], hi: &[f64]) -> f64 {
@@ -221,8 +225,8 @@ impl ScoreFn for PeakScore {
         ))
     }
 
-    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
-        kernels::score_peak(self.norm, self.peak.coords(), cols, out);
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>, dispatch: KernelDispatch) {
+        kernels::score_peak(dispatch, self.norm, self.peak.coords(), cols, out);
     }
 
     fn upper_bound_corners(&self, lo: &[f64], hi: &[f64]) -> f64 {
@@ -268,8 +272,8 @@ impl<F: ScoreFn> ScoreFn for AdHoc<F> {
 
     // cache_key stays the default `None`: that is the whole point.
 
-    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>) {
-        self.0.score_block(cols, out);
+    fn score_block(&self, cols: &[&[f64]], out: &mut Vec<f64>, dispatch: KernelDispatch) {
+        self.0.score_block(cols, out, dispatch);
     }
 
     fn upper_bound_corners(&self, lo: &[f64], hi: &[f64]) -> f64 {
@@ -393,7 +397,7 @@ mod tests {
         }
         let cols: [&[f64]; 2] = [&[0.5, 0.25, 1.0], &[0.5, 2.0, 0.125]];
         let mut out = Vec::new();
-        Product.score_block(&cols, &mut out);
+        Product.score_block(&cols, &mut out, KernelDispatch::Auto);
         assert_eq!(out, vec![0.25, 0.5, 0.125]);
         let ub = Product.upper_bound_corners(&[0.25, 0.125], &[1.0, 2.0]);
         assert_eq!(ub, 2.0);
@@ -410,8 +414,8 @@ mod tests {
         assert_eq!(f.peak_point(), f.0.peak_point());
         let cols: [&[f64]; 2] = [&[0.5, 0.1], &[0.25, 0.9]];
         let (mut a, mut b) = (Vec::new(), Vec::new());
-        f.score_block(&cols, &mut a);
-        f.0.score_block(&cols, &mut b);
+        f.score_block(&cols, &mut a, KernelDispatch::Auto);
+        f.0.score_block(&cols, &mut b, KernelDispatch::Auto);
         assert_eq!(a, b);
         assert_eq!(
             f.upper_bound_corners(&[0.0, 0.0], &[0.5, 0.5]).to_bits(),

@@ -21,7 +21,7 @@
 //! the right trade for a read-mostly store where many queries run between
 //! churn events.
 
-use ripple_geom::Tuple;
+use ripple_geom::{KernelDispatch, Tuple};
 use std::ops::Range;
 
 pub use ripple_geom::kernels::BLOCK_ROWS;
@@ -49,8 +49,10 @@ pub struct BlockSet {
 }
 
 impl BlockSet {
-    /// Builds the columnar mirror of `tuples` (store order) at `built_at`.
-    pub fn build(tuples: &[Tuple], built_at: u64) -> Self {
+    /// Builds the columnar mirror of `tuples` (store order) at `built_at`,
+    /// running its summarisation kernels on the given dispatch arm (the
+    /// resulting mirror is bit-identical on either arm).
+    pub fn build(tuples: &[Tuple], built_at: u64, dispatch: KernelDispatch) -> Self {
         let rows = tuples.len();
         let dims = tuples.first().map_or(0, Tuple::dims);
         let blocks = rows.div_ceil(BLOCK_ROWS);
@@ -80,7 +82,7 @@ impl BlockSet {
                 maxs[b * dims + d] = hi;
             }
             let block_cols: Vec<&[f64]> = cols.iter().map(|c| &c[range.clone()]).collect();
-            ripple_geom::kernels::coord_sums(&block_cols, &mut sums);
+            ripple_geom::kernels::coord_sums(dispatch, &block_cols, &mut sums);
             min_sums[b] = sums.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         }
         Self {
@@ -165,7 +167,7 @@ mod tests {
 
     #[test]
     fn empty_mirror() {
-        let b = BlockSet::build(&[], 3);
+        let b = BlockSet::build(&[], 3, KernelDispatch::Auto);
         assert_eq!(b.rows(), 0);
         assert_eq!(b.dims(), 0);
         assert_eq!(b.num_blocks(), 0);
@@ -182,7 +184,7 @@ mod tests {
             3 * BLOCK_ROWS + 7,
         ] {
             let data = tuples(n, 3);
-            let set = BlockSet::build(&data, 0);
+            let set = BlockSet::build(&data, 0, KernelDispatch::Auto);
             assert_eq!(set.rows(), n);
             assert_eq!(set.num_blocks(), n.div_ceil(BLOCK_ROWS));
             let mut buf = Vec::new();
@@ -203,7 +205,7 @@ mod tests {
     #[test]
     fn block_bounds_contain_their_rows() {
         let data = tuples(2 * BLOCK_ROWS + 11, 4);
-        let set = BlockSet::build(&data, 0);
+        let set = BlockSet::build(&data, 0, KernelDispatch::Auto);
         for b in 0..set.num_blocks() {
             let (lo, hi) = (set.block_min(b), set.block_max(b));
             let mut tight_lo = [false; 4];
@@ -224,7 +226,7 @@ mod tests {
     #[test]
     fn min_sum_bounds_row_sums_and_is_attained() {
         let data = tuples(BLOCK_ROWS + 50, 3);
-        let set = BlockSet::build(&data, 0);
+        let set = BlockSet::build(&data, 0, KernelDispatch::Auto);
         for b in 0..set.num_blocks() {
             let ms = set.block_min_sum(b);
             let mut attained = false;

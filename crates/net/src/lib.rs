@@ -53,5 +53,5 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::{BranchLedger, MetricsAggregator, PointSummary, QueryMetrics, ShardedVisited};
 pub use peer::PeerId;
 pub use replica::{Replica, ReplicaSet};
-pub use stats::Distribution;
+pub use stats::{Distribution, Ewma, ModeStats, Plan, PlanSource, PlannedMode, QueryStats};
 pub use store::{LocalView, PeerStore};

@@ -17,7 +17,7 @@
 use crate::hash::{fx_set_with_capacity, FxHashMap, FxHashSet};
 use crate::peer::PeerId;
 use crate::rng::mix64;
-use crate::stats::Distribution;
+use crate::stats::{Distribution, Plan};
 use ripple_geom::Tuple;
 use std::sync::Mutex;
 
@@ -99,6 +99,12 @@ pub struct QueryMetrics {
     /// lets equivalence tests assert that two execution paths touched the
     /// same peers in the same order.
     pub visited: Vec<PeerId>,
+    /// The adaptive planner's decision for this query, when one ran
+    /// (`None` for statically-configured executions). Stamped *after* the
+    /// run completes and excluded from `PartialEq`, so a planner-chosen
+    /// execution's ledger compares equal to the identical static execution —
+    /// the plan is provenance, not cost.
+    pub plan: Option<Plan>,
 }
 
 impl PartialEq for QueryMetrics {
@@ -124,6 +130,7 @@ impl PartialEq for QueryMetrics {
             blocks_pruned: _,
             trace_off,
             visited,
+            plan: _,
         } = self;
         *latency == other.latency
             && *query_messages == other.query_messages

@@ -1,7 +1,15 @@
 //! Distribution statistics over per-peer quantities (storage load, link
-//! counts, congestion counters). Used by the experiment harness to verify
-//! structural claims — e.g. that data-steered joins balance storage, or
-//! that routing load does not concentrate on few peers.
+//! counts, congestion counters), plus the observation ledger the adaptive
+//! query planner learns from.
+//!
+//! [`Distribution`] is used by the experiment harness to verify structural
+//! claims — e.g. that data-steered joins balance storage, or that routing
+//! load does not concentrate on few peers. [`QueryStats`] accumulates what
+//! executed queries actually cost per propagation mode (message, hop and
+//! wall-clock EWMAs, result-size history, per-peer visit cost), and
+//! [`Plan`] is the record of one planning decision — substrate-level data
+//! the `ripple-core` planner turns into mode choices. Everything here is
+//! deterministic: EWMAs in observation order, no clocks, no randomness.
 
 /// Summary statistics of a per-peer distribution.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,6 +76,227 @@ impl Distribution {
     }
 }
 
+/// An exponentially-weighted moving average over a stream of observations.
+///
+/// `observe` folds deterministically in call order; the first observation
+/// seeds the average. Used by [`QueryStats`] for per-mode cost tracking and
+/// per-peer visit-cost smoothing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+    count: u64,
+}
+
+impl Ewma {
+    /// A fresh average with smoothing factor `alpha` in `(0, 1]` (higher =
+    /// more weight on recent observations).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            value: None,
+            count: 0,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation");
+        self.count += 1;
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// The current average, `None` before the first observation.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// A propagation mode as the planner names it — the substrate-level mirror
+/// of `ripple-core`'s `Mode` (kept here so the ledger crates need no
+/// dependency on the algorithm crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PlannedMode {
+    /// Parallel fan-out at every hop.
+    Fast,
+    /// Fully sequential propagation (refined thresholds, fewest messages).
+    Slow,
+    /// Sequential above the hop budget, parallel below it.
+    Ripple(u32),
+    /// Flood every peer.
+    Broadcast,
+}
+
+impl PlannedMode {
+    /// A stable human-readable label (`fast`, `slow`, `ripple(r)`,
+    /// `broadcast`) for reports and CSVs.
+    pub fn label(&self) -> String {
+        match self {
+            PlannedMode::Fast => "fast".into(),
+            PlannedMode::Slow => "slow".into(),
+            PlannedMode::Ripple(r) => format!("ripple({r})"),
+            PlannedMode::Broadcast => "broadcast".into(),
+        }
+    }
+}
+
+/// How a [`Plan`] was arrived at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// An exploration probe: the candidate had too few observations, so the
+    /// planner scheduled it to gather a sample.
+    Probe,
+    /// The calibrated cost model's argmin over observed candidates.
+    Model,
+    /// The never-much-worse fallback: the model's choice had drifted
+    /// measurably above the best observed mode, so the planner pinned the
+    /// best observed mode instead.
+    Fallback,
+}
+
+/// One planning decision: the mode (with its ripple radius), the thread
+/// count handed to the parallel executor, and how the decision was made.
+/// Stamped into `QueryMetrics::plan` *after* the run completes, so ledgers
+/// stay bit-identical to a static execution of the same mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// The chosen propagation mode.
+    pub mode: PlannedMode,
+    /// Threads for `run_parallel` (1 = sequential execution).
+    pub threads: usize,
+    /// How the choice was made.
+    pub source: PlanSource,
+}
+
+/// Observed cost EWMAs of one candidate mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModeStats {
+    /// The candidate this entry tracks.
+    pub mode: PlannedMode,
+    /// Total messages per query (the paper's congestion driver).
+    pub messages: Ewma,
+    /// Critical-path hops per query (the paper's latency metric).
+    pub latency: Ewma,
+    /// Wall-clock nanoseconds per query on this machine.
+    pub wall_ns: Ewma,
+    /// Smallest wall-clock ever observed for this mode
+    /// (`f64::INFINITY` before the first observation). Wall-clock noise
+    /// is one-sided — scheduler interference only ever *adds* time — so
+    /// the running floor converges to the mode's true cost from above
+    /// and a single clean sample undoes any number of spiked ones,
+    /// where an average would stay poisoned for many observations.
+    pub wall_floor_ns: f64,
+}
+
+/// Smoothing factor of the planner's EWMAs: responsive enough to adapt
+/// within a short probe phase, damped enough that one outlier query cannot
+/// flip the plan.
+const STATS_ALPHA: f64 = 0.4;
+
+/// The observation ledger an adaptive planner learns from: per-mode cost
+/// EWMAs, result-size history and per-peer visit cost, all folded in
+/// deterministic observation order.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Per-candidate observations, in first-observation order (a `Vec`, not
+    /// a map, so iteration order is deterministic).
+    modes: Vec<ModeStats>,
+    /// Answer-size history across all modes (selectivity feedback).
+    result_sizes: Ewma,
+    /// Wall-clock nanoseconds per peer visit — the per-peer latency proxy
+    /// that scales wall-clock predictions with network size.
+    visit_ns: Ewma,
+    /// Total observations folded in.
+    observations: u64,
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Self::new(STATS_ALPHA)
+    }
+}
+
+impl QueryStats {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one executed query: its mode, its ledger totals and its
+    /// measured wall-clock time.
+    pub fn observe(
+        &mut self,
+        mode: PlannedMode,
+        messages: u64,
+        latency: u64,
+        peers_visited: u64,
+        result_size: usize,
+        wall_ns: u64,
+    ) {
+        self.observations += 1;
+        self.result_sizes.observe(result_size as f64);
+        if peers_visited > 0 {
+            self.visit_ns.observe(wall_ns as f64 / peers_visited as f64);
+        }
+        let entry = match self.modes.iter_mut().find(|m| m.mode == mode) {
+            Some(e) => e,
+            None => {
+                self.modes.push(ModeStats {
+                    mode,
+                    messages: Ewma::default(),
+                    latency: Ewma::default(),
+                    wall_ns: Ewma::default(),
+                    wall_floor_ns: f64::INFINITY,
+                });
+                self.modes.last_mut().expect("just pushed")
+            }
+        };
+        entry.messages.observe(messages as f64);
+        entry.latency.observe(latency as f64);
+        entry.wall_ns.observe(wall_ns as f64);
+        entry.wall_floor_ns = entry.wall_floor_ns.min(wall_ns as f64);
+    }
+
+    /// The observed stats of `mode`, if it has ever been run.
+    pub fn mode_stats(&self, mode: PlannedMode) -> Option<&ModeStats> {
+        self.modes.iter().find(|m| m.mode == mode)
+    }
+
+    /// Number of observations of `mode`.
+    pub fn samples(&self, mode: PlannedMode) -> u64 {
+        self.mode_stats(mode).map_or(0, |m| m.messages.count())
+    }
+
+    /// All observed candidates, in first-observation order.
+    pub fn observed_modes(&self) -> impl Iterator<Item = &ModeStats> {
+        self.modes.iter()
+    }
+
+    /// EWMA of answer sizes across all observed queries.
+    pub fn result_size(&self) -> Option<f64> {
+        self.result_sizes.get()
+    }
+
+    /// EWMA of wall-clock nanoseconds per peer visit.
+    pub fn visit_ns(&self) -> Option<f64> {
+        self.visit_ns.get()
+    }
+
+    /// Total queries folded in.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +344,62 @@ mod tests {
     fn zero_sum_gini_is_zero() {
         let d = Distribution::of([0.0, 0.0, 0.0]);
         assert_eq!(d.gini, 0.0);
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.count(), 0);
+        e.observe(10.0);
+        assert_eq!(e.get(), Some(10.0), "first observation seeds");
+        e.observe(20.0);
+        assert_eq!(e.get(), Some(15.0));
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn query_stats_track_per_mode() {
+        let mut qs = QueryStats::new();
+        assert_eq!(qs.samples(PlannedMode::Fast), 0);
+        qs.observe(PlannedMode::Fast, 100, 5, 50, 10, 1_000_000);
+        qs.observe(PlannedMode::Slow, 40, 30, 40, 10, 800_000);
+        qs.observe(PlannedMode::Fast, 120, 5, 50, 12, 1_200_000);
+        assert_eq!(qs.samples(PlannedMode::Fast), 2);
+        assert_eq!(qs.samples(PlannedMode::Slow), 1);
+        assert_eq!(qs.samples(PlannedMode::Broadcast), 0);
+        assert_eq!(qs.observations(), 3);
+        let fast = qs.mode_stats(PlannedMode::Fast).unwrap();
+        assert_eq!(fast.latency.get(), Some(5.0));
+        let msgs = fast.messages.get().unwrap();
+        assert!(msgs > 100.0 && msgs < 120.0, "smoothed between samples");
+        assert_eq!(fast.wall_floor_ns, 1_000_000.0, "floor keeps the minimum");
+        // deterministic first-observation iteration order
+        let order: Vec<PlannedMode> = qs.observed_modes().map(|m| m.mode).collect();
+        assert_eq!(order, vec![PlannedMode::Fast, PlannedMode::Slow]);
+        assert!(qs.result_size().unwrap() > 10.0);
+        assert!(qs.visit_ns().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn zero_visit_queries_do_not_poison_visit_cost() {
+        let mut qs = QueryStats::new();
+        qs.observe(PlannedMode::Slow, 0, 0, 0, 0, 500);
+        assert_eq!(qs.visit_ns(), None, "no visits: no per-visit sample");
+        assert_eq!(qs.observations(), 1);
+    }
+
+    #[test]
+    fn planned_mode_labels() {
+        assert_eq!(PlannedMode::Fast.label(), "fast");
+        assert_eq!(PlannedMode::Slow.label(), "slow");
+        assert_eq!(PlannedMode::Ripple(3).label(), "ripple(3)");
+        assert_eq!(PlannedMode::Broadcast.label(), "broadcast");
     }
 }

@@ -35,7 +35,7 @@
 
 use crate::block::BlockSet;
 use crate::scan;
-use ripple_geom::{dominance, kernels, Point, ScoreFn, Tuple, TupleId};
+use ripple_geom::{dominance, kernels, KernelDispatch, Point, ScoreFn, Tuple, TupleId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -266,6 +266,13 @@ impl PeerStore {
     /// identical canonical skyline (dominated rows fold to no-ops and
     /// kernel sums are bit-identical), so which rebuild ran is unobservable.
     pub fn skyline(&self) -> Vec<Tuple> {
+        self.skyline_at(KernelDispatch::Auto)
+    }
+
+    /// [`skyline`](PeerStore::skyline) with an explicit kernel dispatch arm
+    /// for any rebuild the call triggers. Bit-identical results either way
+    /// (the kernel contract); the equivalence suites use the forced arms.
+    pub fn skyline_at(&self, dispatch: KernelDispatch) -> Vec<Tuple> {
         {
             let cache = self.cache.read().expect("peer cache poisoned");
             if let Some(members) = &cache.skyline {
@@ -275,7 +282,7 @@ impl PeerStore {
         let mut cache = self.cache.write().expect("peer cache poisoned");
         if cache.skyline.is_none() {
             let members = if let Some(blocks) = cache.fresh_blocks(self.generation) {
-                self.blocked_skyline(&blocks)
+                self.blocked_skyline(&blocks, dispatch)
             } else {
                 scan::add_scanned(self.tuples.len() as u64);
                 dominance::skyline(&self.tuples)
@@ -295,6 +302,13 @@ impl PeerStore {
     /// store's own rebuilds only ever *reuse* a fresh mirror, so executions
     /// that never ask for blocks stay purely scalar.
     pub fn blocks(&self) -> Arc<BlockSet> {
+        self.blocks_at(KernelDispatch::Auto)
+    }
+
+    /// [`blocks`](PeerStore::blocks) with an explicit kernel dispatch arm
+    /// for the build pass. The mirror's contents are bit-identical on
+    /// either arm, so the shared cache never depends on who built it.
+    pub fn blocks_at(&self, dispatch: KernelDispatch) -> Arc<BlockSet> {
         {
             let cache = self.cache.read().expect("peer cache poisoned");
             if let Some(blocks) = cache.fresh_blocks(self.generation) {
@@ -304,7 +318,11 @@ impl PeerStore {
         let mut cache = self.cache.write().expect("peer cache poisoned");
         // Double-check: a racing reader may have rebuilt while we waited.
         if cache.fresh_blocks(self.generation).is_none() {
-            cache.blocks = Some(Arc::new(BlockSet::build(&self.tuples, self.generation)));
+            cache.blocks = Some(Arc::new(BlockSet::build(
+                &self.tuples,
+                self.generation,
+                dispatch,
+            )));
         }
         cache.fresh_blocks(self.generation).expect("just built")
     }
@@ -315,7 +333,7 @@ impl PeerStore {
     /// recompute (the fold preserves set and order, property-tested under
     /// churn), and a skipped block contains only rows strictly dominated by
     /// an already-folded member — each of which folds to a no-op.
-    fn blocked_skyline(&self, blocks: &BlockSet) -> Vec<(f64, Tuple)> {
+    fn blocked_skyline(&self, blocks: &BlockSet, dispatch: KernelDispatch) -> Vec<(f64, Tuple)> {
         let mut members: Vec<(f64, Tuple)> = Vec::new();
         let mut buf = Vec::new();
         let mut sums = Vec::new();
@@ -328,13 +346,13 @@ impl PeerStore {
             let corner = blocks.block_min(b);
             if members[..prefix]
                 .iter()
-                .any(|(_, m)| kernels::dominates_raw(m.point.coords(), corner))
+                .any(|(_, m)| kernels::dominates_raw(dispatch, m.point.coords(), corner))
             {
                 scan::add_pruned(1);
                 continue;
             }
             blocks.block_cols(b, &mut buf);
-            kernels::coord_sums(&buf, &mut sums);
+            kernels::coord_sums(dispatch, &buf, &mut sums);
             let range = blocks.block_range(b);
             scan::add_scanned(range.len() as u64);
             for (off, i) in range.enumerate() {
@@ -388,6 +406,19 @@ impl PeerStore {
         score: &dyn ScoreFn,
         f: impl FnOnce(&mut dyn Iterator<Item = (&Tuple, f64)>) -> R,
     ) -> Option<R> {
+        self.with_ranked_at(score, KernelDispatch::Auto, f)
+    }
+
+    /// [`with_ranked`](PeerStore::with_ranked) with an explicit kernel
+    /// dispatch arm for any projection rebuild the call triggers. The
+    /// projection is bit-identical on either arm (the kernel contract), so
+    /// the shared cache never depends on who built it.
+    pub fn with_ranked_at<R>(
+        &self,
+        score: &dyn ScoreFn,
+        dispatch: KernelDispatch,
+        f: impl FnOnce(&mut dyn Iterator<Item = (&Tuple, f64)>) -> R,
+    ) -> Option<R> {
         let key = score.cache_key()?;
         debug_assert!(self.tuples.len() < u32::MAX as usize);
         {
@@ -438,7 +469,7 @@ impl PeerStore {
                     let mut scores = Vec::new();
                     for b in 0..blocks.num_blocks() {
                         blocks.block_cols(b, &mut buf);
-                        score.score_block(&buf, &mut scores);
+                        score.score_block(&buf, &mut scores, dispatch);
                         let start = blocks.block_range(b).start;
                         entries.extend(
                             scores
@@ -491,8 +522,9 @@ impl PeerStore {
 pub enum LocalView<'a> {
     /// A bare tuple slice.
     Plain(&'a [Tuple]),
-    /// A full peer store with its caches, blocked scan paths allowed.
-    Indexed(&'a PeerStore),
+    /// A full peer store with its caches, blocked scan paths allowed,
+    /// running the given kernel dispatch arm.
+    Indexed(&'a PeerStore, KernelDispatch),
     /// A full peer store with its caches, blocked scan paths disallowed —
     /// query code must not call [`PeerStore::blocks`] through this view.
     IndexedScalar(&'a PeerStore),
@@ -503,7 +535,7 @@ impl<'a> LocalView<'a> {
     pub fn tuples(&self) -> &'a [Tuple] {
         match self {
             LocalView::Plain(t) => t,
-            LocalView::Indexed(s) | LocalView::IndexedScalar(s) => s.tuples(),
+            LocalView::Indexed(s, _) | LocalView::IndexedScalar(s) => s.tuples(),
         }
     }
 
@@ -511,16 +543,26 @@ impl<'a> LocalView<'a> {
     pub fn store(&self) -> Option<&'a PeerStore> {
         match self {
             LocalView::Plain(_) => None,
-            LocalView::Indexed(s) | LocalView::IndexedScalar(s) => Some(s),
+            LocalView::Indexed(s, _) | LocalView::IndexedScalar(s) => Some(s),
         }
     }
 
-    /// The store behind a *blocked* indexed view — `Some` only when the
-    /// columnar mirror may be used (i.e. not downgraded to scalar).
-    pub fn blocked_store(&self) -> Option<&'a PeerStore> {
+    /// The store behind a *blocked* indexed view and the kernel dispatch
+    /// arm its scans must run — `Some` only when the columnar mirror may be
+    /// used (i.e. not downgraded to scalar).
+    pub fn blocked_store(&self) -> Option<(&'a PeerStore, KernelDispatch)> {
         match self {
-            LocalView::Indexed(s) => Some(s),
+            LocalView::Indexed(s, d) => Some((s, *d)),
             LocalView::Plain(_) | LocalView::IndexedScalar(_) => None,
+        }
+    }
+
+    /// The kernel dispatch arm of this view (`Auto` for non-blocked views,
+    /// whose scans go through the dispatch-free scalar entry points).
+    pub fn dispatch(&self) -> KernelDispatch {
+        match self {
+            LocalView::Indexed(_, d) => *d,
+            LocalView::Plain(_) | LocalView::IndexedScalar(_) => KernelDispatch::Auto,
         }
     }
 }
@@ -754,7 +796,7 @@ mod tests {
         let mut s = PeerStore::new();
         s.insert(t(1, 0.5));
         let plain = LocalView::Plain(s.tuples());
-        let indexed = LocalView::Indexed(&s);
+        let indexed = LocalView::Indexed(&s, KernelDispatch::Auto);
         let scalar = LocalView::IndexedScalar(&s);
         assert_eq!(plain.tuples(), indexed.tuples());
         assert_eq!(plain.tuples(), scalar.tuples());

@@ -41,4 +41,17 @@ cargo test --release --offline -p ripple-core replica_equivalence -- --quiet
 cargo test --release --offline -p ripple-chord --test replica -- --quiet
 cargo run --release --offline -p ripple-bench --bin resilience_bench -- replication
 
+echo "== simd-planner smoke (SIMD == scalar bit-identity + planner regression, no timing gate) =="
+# The geom property tests pin every SIMD kernel bit-identical to the scalar
+# oracle; the executor equivalence suites re-run under both forced dispatch
+# arms so whole-query behaviour cannot depend on the vector unit; the quick
+# benches cross-check the kernels and replay a short planner sweep with
+# plan-invisibility asserts (wall-clock gates run only in the full benches).
+RIPPLE_KERNEL_DISPATCH=scalar cargo test --release --offline -p ripple-geom --quiet
+RIPPLE_KERNEL_DISPATCH=simd cargo test --release --offline -p ripple-geom --quiet
+RIPPLE_KERNEL_DISPATCH=scalar cargo test --release --offline -p ripple-core kernel_equivalence -- --quiet
+RIPPLE_KERNEL_DISPATCH=simd cargo test --release --offline -p ripple-core kernel_equivalence -- --quiet
+cargo run --release --offline -p ripple-bench --bin kernel_microbench -- --quick
+cargo run --release --offline -p ripple-bench --bin planner_bench -- --quick
+
 echo "All checks passed."
