@@ -36,8 +36,8 @@
 
 use ripple_bench::output::cpu_header_json;
 use ripple_bench::runner::midas_uniform_with_data;
-use ripple_core::skyline::{centralized_skyline, run_skyline_query_with, SkylineQuery};
-use ripple_core::topk::{centralized_topk, run_topk_with};
+use ripple_core::skyline::{centralized_skyline, run_skyline_certified, SkylineQuery};
+use ripple_core::topk::{centralized_topk, run_topk_certified, run_topk_with};
 use ripple_core::{Executor, Mode};
 use ripple_geom::{LinearScore, Tuple};
 use ripple_midas::MidasNetwork;
@@ -118,6 +118,8 @@ struct Cell {
     replica_bytes: f64,
     duplicates: u64,
     n: usize,
+    /// Runs whose answer certificate the independent checker rejected.
+    unverified: usize,
 }
 
 impl Cell {
@@ -159,12 +161,23 @@ fn run_cell(
     salt: u64,
 ) -> (Cell, Cell) {
     let inits = initiators(net, salt);
+    let epoch = net.epoch();
     let mut topk = Cell::default();
     let mut sky = Cell::default();
     for (i, &init) in inits.iter().enumerate() {
         let exec = Executor::with_faults(net, plane, i as u64).without_trace();
         let score = pool[i % pool.len()].clone();
-        let (got, m, cov) = run_topk_with(&exec, init, score, K, mode);
+        let (got, m, cov, cert) = run_topk_certified(&exec, init, score.clone(), K, mode);
+        // Every run's certificate goes through the independent checker; the
+        // sweep JSON stamps `verified` per cell and the bench fails if any
+        // run is rejected.
+        let cert = cert.expect("certificates are on by default");
+        if ripple_verify::verify_topk(&cert, &got, &score, K, epoch).is_err()
+            || ripple_verify::verify_coverage(&cert, cov.answered_fraction, &cov.unreachable)
+                .is_err()
+        {
+            topk.unverified += 1;
+        }
         topk.push(
             recall(&got, &topk_truth[i % pool.len()]),
             recall(&got, &topk_aux[i % pool.len()]),
@@ -172,7 +185,14 @@ fn run_cell(
             &m,
         );
         let exec = Executor::with_faults(net, plane, 0x51 ^ i as u64).without_trace();
-        let (got, m, cov) = run_skyline_query_with(&exec, init, SkylineQuery::new(), mode);
+        let (got, m, cov, cert) = run_skyline_certified(&exec, init, SkylineQuery::new(), mode);
+        let cert = cert.expect("certificates are on by default");
+        if ripple_verify::verify_skyline(&cert, &got, None, epoch).is_err()
+            || ripple_verify::verify_coverage(&cert, cov.answered_fraction, &cov.unreachable)
+                .is_err()
+        {
+            sky.unverified += 1;
+        }
         sky.push(
             recall(&got, sky_truth),
             recall(&got, sky_aux),
@@ -189,7 +209,7 @@ fn cell_json(out: &mut String, p: f64, mode: &str, query: &str, c: &Cell, aux_na
         "    {{ \"p\": {p}, \"mode\": \"{mode}\", \"query\": \"{query}\", \
          \"recall\": {:.4}, \"{aux_name}\": {:.4}, \"coverage\": {:.4}, \
          \"retries\": {:.3}, \"timeouts\": {:.3}, \"messages_dropped\": {:.3}, \
-         \"latency\": {:.3}, \"duplicate_visits\": {} }},",
+         \"latency\": {:.3}, \"duplicate_visits\": {}, \"verified\": {} }},",
         c.avg(c.recall),
         c.avg(c.recall_aux),
         c.avg(c.coverage),
@@ -198,6 +218,7 @@ fn cell_json(out: &mut String, p: f64, mode: &str, query: &str, c: &Cell, aux_na
         c.avg(c.dropped),
         c.avg(c.latency),
         c.duplicates,
+        c.unverified == 0,
     );
 }
 
@@ -219,7 +240,7 @@ fn repl_json(
          \"recall_full\": {:.4}, \"recall_survivor\": {:.4}, \"coverage\": {:.4}, \
          \"replica_hits\": {:.3}, \"stale_reads\": {:.3}, \"replica_bytes\": {:.1}, \
          \"retries\": {:.3}, \"timeouts\": {:.3}, \"latency\": {:.3}, \
-         \"duplicate_visits\": {} }},",
+         \"duplicate_visits\": {}, \"verified\": {} }},",
         c.avg(c.recall),
         c.avg(c.recall_aux),
         c.avg(c.coverage),
@@ -230,6 +251,7 @@ fn repl_json(
         c.avg(c.timeouts),
         c.avg(c.latency),
         c.duplicates,
+        c.unverified == 0,
     );
 }
 
@@ -310,6 +332,11 @@ fn replication_sweep() {
                     sky.avg(sky.coverage),
                 );
                 assert_eq!(topk.duplicates + sky.duplicates, 0, "restriction anomaly");
+                assert_eq!(
+                    topk.unverified + sky.unverified,
+                    0,
+                    "k={k} p={p} {mname}: every answer certificate must verify"
+                );
                 if p == 0.0 {
                     assert_eq!(topk.avg(topk.recall), 1.0, "p=0 must be exact");
                     assert_eq!(sky.avg(sky.recall), 1.0, "p=0 must be exact");
@@ -371,7 +398,8 @@ fn replication_sweep() {
          \"replication_degrees\": [0, 1, 2], \
          \"anti_entropy\": \"one pass per detected crash\" }},\n  \
          \"acceptance\": {{ \"gate\": \"recall 1.0 vs full dataset at crash p <= 0.2 \
-         with k >= 1\", \"worst_gated_recall\": {worst_gated_recall:.4} }},\n  \
+         with k >= 1\", \"worst_gated_recall\": {worst_gated_recall:.4}, \
+         \"verified\": true }},\n  \
          \"sweep\": [\n{rows}\n  ]\n}}\n",
         cpu = cpu_header_json(),
     );
@@ -431,6 +459,11 @@ fn main() {
                 sky.avg(sky.coverage),
             );
             assert_eq!(topk.duplicates + sky.duplicates, 0, "restriction anomaly");
+            assert_eq!(
+                topk.unverified + sky.unverified,
+                0,
+                "drop p={p} {mname}: every answer certificate must verify"
+            );
             if p == 0.0 {
                 assert_eq!(topk.avg(topk.recall), 1.0, "p=0 must be exact");
                 assert_eq!(sky.avg(sky.recall), 1.0, "p=0 must be exact");
@@ -515,6 +548,11 @@ fn main() {
             assert_eq!(topk.avg(topk.recall), 1.0, "survivor recall must be 1");
             assert_eq!(sky.avg(sky.recall), 1.0, "survivor recall must be 1");
             assert_eq!(topk.duplicates + sky.duplicates, 0, "restriction anomaly");
+            assert_eq!(
+                topk.unverified + sky.unverified,
+                0,
+                "crash p={p} {mname}: every answer certificate must verify"
+            );
             cell_json(&mut crash_rows, p, mname, "topk", &topk, "recall_vs_full");
             cell_json(&mut crash_rows, p, mname, "skyline", &sky, "recall_vs_full");
         }
@@ -550,7 +588,7 @@ fn main() {
         *rows = t;
     }
     let json = format!(
-        "{{\n  \"bench\": \"resilience\",\n  {cpu},\n  \"config\": {{ \"peers\": {PEERS}, \"records\": {RECORDS}, \"dims\": {DIMS}, \"queries_per_cell\": {QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"rates\": [0, 0.01, 0.05, 0.1, 0.2], \"retry\": {{ \"timeout_hops\": 2, \"max_retries\": 3, \"backoff\": \"exponential\" }} }},\n  \"acceptance\": {{ \"gate\": \"recall >= 0.95 at drop p <= 0.1\", \"worst_gated_recall\": {worst_gated_recall:.4} }},\n  \"drop_sweep\": [\n{drop_rows}\n  ],\n  \"crash_sweep\": [\n{crash_rows}\n  ],\n  \"repair\": [\n{repair_rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"resilience\",\n  {cpu},\n  \"config\": {{ \"peers\": {PEERS}, \"records\": {RECORDS}, \"dims\": {DIMS}, \"queries_per_cell\": {QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \"rates\": [0, 0.01, 0.05, 0.1, 0.2], \"retry\": {{ \"timeout_hops\": 2, \"max_retries\": 3, \"backoff\": \"exponential\" }} }},\n  \"acceptance\": {{ \"gate\": \"recall >= 0.95 at drop p <= 0.1\", \"worst_gated_recall\": {worst_gated_recall:.4}, \"verified\": true }},\n  \"drop_sweep\": [\n{drop_rows}\n  ],\n  \"crash_sweep\": [\n{crash_rows}\n  ],\n  \"repair\": [\n{repair_rows}\n  ]\n}}\n",
         cpu = cpu_header_json(),
     );
     std::fs::create_dir_all("results").expect("create results dir");

@@ -58,6 +58,11 @@ pub struct ChordNetwork {
     /// to the owner's first `k` live ring successors — Chord's successor
     /// list reused as the replica topology.
     replicas: Option<ReplicaSet>,
+    /// Snapshot generation: bumped by every mutation (joins, leaves,
+    /// crashes, repairs, inserts, replication changes). Answer certificates
+    /// are stamped with it so a verifier can tell which ring state a query
+    /// ran against.
+    epoch: u64,
 }
 
 impl ChordNetwork {
@@ -76,7 +81,13 @@ impl ChordNetwork {
             tuples_recovered: 0,
             repair_messages: 0,
             replicas: None,
+            epoch: 0,
         }
+    }
+
+    /// The current snapshot generation (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Builds a ring of `n` peers at uniformly random positions.
@@ -256,6 +267,7 @@ impl ChordNetwork {
     pub fn insert_tuple(&mut self, t: Tuple) {
         let key = t.point.coord(0);
         assert!((0.0..=1.0).contains(&key), "key outside the ring domain");
+        self.epoch += 1;
         let owner = self.responsible(key.min(1.0 - f64::EPSILON));
         if self.is_live(owner) {
             self.peer_mut(owner).store.insert(t);
@@ -281,6 +293,7 @@ impl ChordNetwork {
     /// A new peer joins at ring position `pos`, taking the tail of the
     /// owner's arc.
     pub fn join(&mut self, pos: f64) -> PeerId {
+        self.epoch += 1;
         let pos = pos.fract().abs();
         let rank = self.rank_of_key(pos);
         let owner = self.ring[rank];
@@ -320,6 +333,7 @@ impl ChordNetwork {
     pub fn leave(&mut self, id: PeerId) {
         assert!(self.is_live(id), "peer already departed");
         assert!(self.peer_count() > 1, "cannot remove the last peer");
+        self.epoch += 1;
         if !self.crashed.is_empty() {
             self.repair_all();
         }
@@ -353,6 +367,7 @@ impl ChordNetwork {
         assert!(self.is_live(id), "peer already departed");
         assert!(self.peer_count() > 1, "cannot crash the last live peer");
         assert_ne!(id, self.ring[0], "the founding anchor cannot crash");
+        self.epoch += 1;
         let lost = self.peer_mut(id).store.drain_all().len();
         self.tuples_lost += lost as u64;
         self.crashed.insert(id);
@@ -368,6 +383,7 @@ impl ChordNetwork {
     /// [`take_repair_messages`](ChordNetwork::take_repair_messages)).
     /// Orphaned data is *not* recovered (no replication in this model).
     pub fn repair_all(&mut self) -> u64 {
+        self.epoch += 1;
         let mut msgs = 0u64;
         let dead: Vec<PeerId> = std::mem::take(&mut self.crashed).into_iter().collect();
         for &id in &dead {
@@ -417,6 +433,7 @@ impl ChordNetwork {
     /// [`refresh_replicas`](ChordNetwork::refresh_replicas) (invoked after
     /// joins, leaves and repairs, and by [`ChurnOverlay::anti_entropy`]).
     pub fn enable_replication(&mut self, k: usize) -> u64 {
+        self.epoch += 1;
         self.replicas = Some(ReplicaSet::new(k));
         self.refresh_replicas()
     }
@@ -467,6 +484,7 @@ impl ChordNetwork {
         let Some(mut set) = self.replicas.take() else {
             return 0;
         };
+        self.epoch += 1;
         let k = set.k();
         let mut refreshed = 0u64;
         if k > 0 {

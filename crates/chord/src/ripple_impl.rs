@@ -88,6 +88,14 @@ impl RippleOverlay for ChordNetwork {
         region.iter().map(|seg| seg.side(0)).sum()
     }
 
+    fn region_rects(&self, region: &Vec<Rect>) -> Vec<Rect> {
+        region.clone()
+    }
+
+    fn snapshot_generation(&self) -> u64 {
+        self.epoch()
+    }
+
     fn is_peer_live(&self, peer: PeerId) -> bool {
         self.is_live(peer)
     }

@@ -177,6 +177,62 @@ fn recovery_is_thread_deterministic_on_chord() {
     }
 }
 
+/// Property: the certificate tiling invariant holds on the ring through
+/// interleaved churn (inserts, joins) and crash × replica failover waves,
+/// for both replica depths and every mode — and the independent checker
+/// accepts every certificate against the epoch the query ran at. This is
+/// the Chord twin of `ripple-core`'s lifecycle test; arcs wrap, so the
+/// tiles here are multi-rect regions, exercising the `Vec<Rect>` geometry
+/// path of `ripple-verify`.
+#[test]
+fn certificates_tile_the_ring_through_churn_and_failover() {
+    use ripple_core::topk::run_topk_certified;
+    use ripple_verify::{verify_coverage, verify_generation, verify_topk, VerifyError};
+    for k in [1usize, 2] {
+        let (mut net, mut rng) = loaded_ring(64, 400, 67 + k as u64);
+        net.enable_replication(k);
+        let mut next_id = 10_000u64;
+        let mut stale_cert = None;
+        for round in 0..3 {
+            // Churn: fresh tuples land on the ring, a peer joins (splitting
+            // an arc), then a crash wave with anti-entropy keeping pace.
+            for _ in 0..25 {
+                net.insert_tuple(Tuple::new(next_id, vec![rng.gen::<f64>()]));
+                next_id += 1;
+            }
+            net.join(rng.gen::<f64>());
+            crash_wave(&mut net, &mut rng, 4);
+            let epoch = net.epoch();
+            let score = LinearScore::uniform(1);
+            for mode in MODES {
+                let initiator = net.random_peer(&mut rng);
+                let exec = Executor::with_faults(&net, crash_aware(), 31);
+                let (got, _, cov, cert) =
+                    run_topk_certified(&exec, initiator, score.clone(), 8, mode);
+                let cert = cert.expect("certificates are on by default");
+                verify_topk(&cert, &got, &score, 8, epoch).unwrap_or_else(|e| {
+                    panic!("[k={k}, round {round}, {mode:?}] certificate rejected: {e}")
+                });
+                verify_coverage(&cert, cov.answered_fraction, &cov.unreachable).unwrap_or_else(
+                    |e| panic!("[k={k}, round {round}, {mode:?}] coverage rejected: {e}"),
+                );
+                stale_cert = Some(cert);
+            }
+        }
+        // Churn moved the ring on: the last certificate is pinned to the
+        // epoch it was issued at and must not verify against a later one.
+        net.insert_tuple(Tuple::new(next_id, vec![0.5]));
+        let stale = stale_cert.expect("at least one round ran");
+        assert!(
+            matches!(
+                verify_generation(&stale, net.epoch()),
+                Err(VerifyError::GenerationMismatch { .. })
+            ),
+            "[k={k}] a certificate must not outlive its snapshot"
+        );
+    }
+}
+
 #[test]
 fn promotion_at_repair_restores_the_data_itself() {
     let (mut net, mut rng) = loaded_ring(64, 400, 66);

@@ -14,9 +14,10 @@
 //!   point (or `max_iters`).
 
 use crate::exec::Executor;
-use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{DiversityQuery, Rect, SetStats, Tuple};
 use ripple_net::{LocalView, PeerId, QueryMetrics};
+use ripple_verify::{Certificate, PruneWitness};
 
 /// The single tuple diversification query (Eq. 2) as a RIPPLE rank query.
 pub struct SingleTupleQuery<'a> {
@@ -109,6 +110,16 @@ impl RankQuery<Rect> for SingleTupleQuery<'_> {
     fn priority(&self, region: &Rect) -> f64 {
         -self.div.phi_lower(region, self.set, self.stats)
     }
+
+    /// The pruned region's `φ⁻`: the checker recomputes it from the region
+    /// box and requires it at or above the final τ (Alg. 20 run in
+    /// reverse — a region whose lower bound beats the answer would have
+    /// been relevant).
+    fn prune_witness(&self, region: &Rect, _global: &f64) -> PruneWitness {
+        PruneWitness::PhiBound {
+            bound: self.div.phi_lower(region, self.set, self.stats),
+        }
+    }
 }
 
 /// Runs a single tuple diversification query. Returns the best insertion
@@ -130,6 +141,39 @@ pub fn run_single_tuple<O>(
 where
     O: RippleOverlay<Region = Rect>,
 {
+    let (best, _, metrics, _, _) =
+        run_single_tuple_certified(&Executor::new(net), initiator, div, set, initial_tau, mode);
+    (best, metrics)
+}
+
+/// Everything [`run_single_tuple_certified`] returns: the winning
+/// insertion (if any), the raw delivered candidate stream, the ledger,
+/// the coverage report, and the answer certificate.
+pub type CertifiedSingleTuple = (
+    Option<(Tuple, f64)>,
+    Vec<Tuple>,
+    QueryMetrics,
+    Coverage,
+    Option<Certificate>,
+);
+
+/// [`run_single_tuple`] through a pre-configured executor, additionally
+/// returning the raw delivered candidate stream, the coverage report and
+/// the answer certificate. `ripple-verify`'s `verify_diversify` needs the
+/// raw candidates (not just the winner) to re-derive the final threshold,
+/// so this variant hands them back alongside the best pick.
+pub fn run_single_tuple_certified<O>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    div: &DiversityQuery,
+    set: &[Tuple],
+    initial_tau: f64,
+    mode: Mode,
+) -> CertifiedSingleTuple
+where
+    O: RippleOverlay<Region = Rect>,
+{
+    let net = exec.network();
     let query = SingleTupleQuery::with_tau(div, set, initial_tau);
     let (start, route_hops) = match net.route_lookup(initiator, &div.q) {
         Some((owner, hops)) => (owner, hops),
@@ -138,21 +182,23 @@ where
     let QueryOutcome {
         answers,
         mut metrics,
+        coverage,
+        certificate,
         ..
-    } = Executor::new(net).run(start, &query, mode);
+    } = exec.run(start, &query, mode);
     metrics.latency += route_hops as u64;
     metrics.query_messages += route_hops as u64;
     let stats = div.stats(set);
     let best = answers
-        .into_iter()
+        .iter()
         .filter(|t| !set.iter().any(|o| o.id == t.id))
         .map(|t| {
             let phi = div.phi_with_stats(&t.point, set, stats);
-            (t, phi)
+            (t.clone(), phi)
         })
         .filter(|(_, phi)| *phi < initial_tau)
         .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.id.cmp(&b.0.id)));
-    (best, metrics)
+    (best, answers, metrics, coverage, certificate)
 }
 
 /// How [`diversify`] obtains its initial k-set (Alg. 22 line 1).

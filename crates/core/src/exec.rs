@@ -59,12 +59,13 @@
 //! phase sequentially and parallelises the fast phase below the hop budget.
 
 use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
-use ripple_geom::{KernelDispatch, Tuple};
+use ripple_geom::{neumaier, KernelDispatch, Tuple};
 use ripple_net::hash::{fx_set_with_capacity, FxHashSet};
 use ripple_net::pool::{self, Pool};
 use ripple_net::{
     scan, BranchLedger, FaultPlane, FaultSession, LocalView, PeerId, QueryMetrics, ShardedVisited,
 };
+use ripple_verify::{CertRegion, Certificate};
 use std::sync::Arc;
 
 /// The local answer a failover adopter computes *on behalf of* a dead peer
@@ -129,6 +130,11 @@ pub struct Executor<'a, O> {
     /// handed out by this executor runs its scans on. `Auto` by default;
     /// the equivalence suites pin both forced arms against each other.
     dispatch: KernelDispatch,
+    /// Whether executions emit an answer [`Certificate`] (on by default).
+    /// Emission is plan-invisible: answers, metrics and coverage are
+    /// bit-identical with certificates on or off — the ablation suite
+    /// enforces it against [`Executor::without_certificates`].
+    certificates: bool,
 }
 
 /// The mutable state threaded through one *sequential* execution.
@@ -151,6 +157,7 @@ struct ParCtx<'a, O, Q> {
     visited: ShardedVisited,
     faults: FaultSession,
     trace: bool,
+    certs: bool,
 }
 
 impl<O: RippleOverlay, Q> ParCtx<'_, O, Q> {
@@ -176,6 +183,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             use_replicas: true,
             use_blocks: true,
             dispatch: KernelDispatch::Auto,
+            certificates: true,
         }
     }
 
@@ -225,6 +233,16 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         self
     }
 
+    /// Disables answer-certificate emission: [`QueryOutcome::certificate`]
+    /// is `None` and no tile or witness is ever constructed. The ablation
+    /// arm of the certificate suite — answers, metrics and coverage must be
+    /// bit-identical to the certifying executor — and the baseline arm of
+    /// the certificate-overhead benchmark.
+    pub fn without_certificates(mut self) -> Self {
+        self.certificates = false;
+        self
+    }
+
     /// Pins the kernel dispatch arm of every blocked scan this executor's
     /// views perform (`Auto` by default). Results, answers and ledgers are
     /// bit-identical on every arm — the kernel contract — which the
@@ -261,12 +279,61 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             return Coverage::full();
         }
         let full_vol = self.net.region_volume(&self.net.full_region());
-        let unreachable: Vec<f64> = unreachable.iter().map(|v| v / full_vol).collect();
-        let lost: f64 = unreachable.iter().sum();
-        Coverage {
-            answered_fraction: (1.0 - lost).clamp(0.0, 1.0),
-            unreachable,
+        Coverage::from_unreachable(unreachable.iter().map(|v| v / full_vol).collect())
+    }
+
+    /// Records the *zone* tile of a visited peer: the part of its
+    /// restriction area covered by no intersected link. Links plus zone
+    /// partition the whole domain, so within the restriction the zone's
+    /// volume is exactly the restriction volume minus the link volumes
+    /// (compensated sum — tile counts run into the thousands under
+    /// broadcast). No-op when certificate emission is off.
+    fn certify_scan(
+        &self,
+        w: PeerId,
+        restriction: &O::Region,
+        links: &[(PeerId, O::Region)],
+        ledger: &mut BranchLedger,
+    ) {
+        if ledger.cert.is_none() {
+            return;
         }
+        let covered = neumaier(links.iter().map(|(_, r)| self.net.region_volume(r)));
+        let volume = self.net.region_volume(restriction) - covered;
+        ledger.certify(|| CertRegion::Scanned {
+            peer: w.index() as u64,
+            volume,
+        });
+    }
+
+    /// Records a pruned-link tile with the query's evidence that skipping
+    /// the region was sound. No-op when certificate emission is off.
+    fn certify_pruned<Q: RankQuery<O::Region>>(
+        &self,
+        query: &Q,
+        region: &O::Region,
+        global: &Q::Global,
+        ledger: &mut BranchLedger,
+    ) {
+        if ledger.cert.is_none() {
+            return;
+        }
+        let entry = CertRegion::Pruned {
+            rects: self.net.region_rects(region),
+            volume: self.net.region_volume(region),
+            witness: query.prune_witness(region, global),
+        };
+        ledger.certify(|| entry);
+    }
+
+    /// Seals a finished execution's tile stream into the outcome's
+    /// [`Certificate`], stamped with the overlay's snapshot generation.
+    fn seal_certificate(&self, regions: Option<Vec<CertRegion>>) -> Option<Certificate> {
+        regions.map(|regions| Certificate {
+            generation: self.net.snapshot_generation(),
+            domain_volume: self.net.region_volume(&self.net.full_region()),
+            regions,
+        })
     }
 
     /// Processes `query` from `initiator` in the given mode, returning the
@@ -281,7 +348,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         );
         let mut run = RunState {
             query,
-            ledger: BranchLedger::new(self.trace),
+            ledger: BranchLedger::with_certificates(self.trace, self.certificates),
             // Worst case every peer is visited (broadcast); pre-sizing from
             // the overlay keeps the hot set from rehashing mid-query.
             visited: fx_set_with_capacity(self.net.peer_count()),
@@ -299,11 +366,13 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let mut metrics = run.ledger.metrics;
         metrics.latency = latency;
         let coverage = self.coverage_of(&run.ledger.unreachable);
+        let certificate = self.seal_certificate(run.ledger.cert);
         QueryOutcome {
             answers: run.ledger.answers,
             state,
             metrics,
             coverage,
+            certificate,
         }
     }
 
@@ -347,9 +416,10 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             visited: ShardedVisited::new(self.net.peer_count(), threads * 4),
             faults: self.plane.session(self.stream),
             trace: self.trace,
+            certs: self.certificates,
         };
         let (state, latency, ledger) = pool::scope(threads - 1, |pool| {
-            let mut ledger = BranchLedger::new(self.trace);
+            let mut ledger = BranchLedger::with_certificates(self.trace, self.certificates);
             let full = self.net.full_region();
             let global = ctx.query.initial_global();
             let (state, latency) = match mode {
@@ -367,11 +437,13 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let mut metrics = ledger.metrics;
         metrics.latency = latency;
         let coverage = self.coverage_of(&ledger.unreachable);
+        let certificate = self.seal_certificate(ledger.cert);
         QueryOutcome {
             answers: ledger.answers,
             state,
             metrics,
             coverage,
+            certificate,
         }
     }
 
@@ -495,6 +567,10 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             ledger.metrics.replica_bytes += rep.payload_bytes();
             let ans = with_scan(self.trace, &mut ledger.metrics, || answer(rep.tuples()));
             ledger.answer(ans);
+            ledger.certify(|| CertRegion::Replica {
+                owner: owner.index() as u64,
+                volume: vol,
+            });
             recovered += vol;
         }
         recovered
@@ -550,6 +626,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                         let remaining = lost - recovered;
                         if remaining > 1e-12 {
                             ledger.unreachable.push(remaining);
+                            ledger.certify(|| CertRegion::Unreachable { volume: remaining });
                         }
                     }
                     restriction = sub;
@@ -563,10 +640,12 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                         // whole region is reported, even if its volume is
                         // (numerically) zero.
                         ledger.unreachable.push(vol);
+                        ledger.certify(|| CertRegion::Unreachable { volume: vol });
                     } else {
                         let remaining = vol - recovered;
                         if remaining > 1e-12 {
                             ledger.unreachable.push(remaining);
+                            ledger.certify(|| CertRegion::Unreachable { volume: remaining });
                         }
                     }
                     return (elapsed, None);
@@ -604,16 +683,36 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         });
         let global_w = q.compute_global_state(global, &local);
 
+        // Intersected links in link order; together with this peer's zone
+        // they tile the restriction area. `fast` never refines `global_w`
+        // between links, so relevance — and the pruned tiles — can be
+        // decided up front, which is exactly the order the parallel engine
+        // emits; interleaving them with the delivery loop would make the
+        // sequential and parallel certificates differ.
+        let intersected: Vec<(PeerId, O::Region)> = self
+            .net
+            .peer_links(w)
+            .into_iter()
+            .filter_map(|(t, region)| {
+                self.net
+                    .region_intersect(&region, &restriction)
+                    .map(|rr| (t, rr))
+            })
+            .collect();
+        self.certify_scan(w, &restriction, &intersected, &mut run.ledger);
+        let mut links = Vec::with_capacity(intersected.len());
+        for (target, restricted) in intersected {
+            if q.is_link_relevant(&restricted, &global_w) {
+                links.push((target, restricted));
+            } else {
+                self.certify_pruned(q, &restricted, &global_w, &mut run.ledger);
+            }
+        }
+
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
         let mut latency = 0u64;
         let mut remote_states = Vec::new();
-        for (target, region) in self.net.peer_links(w) {
-            let Some(restricted) = self.net.region_intersect(&region, &restriction) else {
-                continue;
-            };
-            if !run.query.is_link_relevant(&restricted, &global_w) {
-                continue;
-            }
+        for (target, restricted) in links {
             let (delay, adopted) =
                 self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
@@ -672,6 +771,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                     .map(|rr| (t, rr))
             })
             .collect();
+        self.certify_scan(w, &restriction, &links, &mut run.ledger);
         links.sort_by(|a, b| {
             run.query
                 .priority(&b.1)
@@ -681,6 +781,9 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let mut latency = 0u64;
         for (target, restricted) in links {
             if !run.query.is_link_relevant(&restricted, &global_w) {
+                // Pruned under the *refined* state — certified mid-loop
+                // (slow is sequential in both engines, so the order agrees).
+                self.certify_pruned(q, &restricted, &global_w, &mut run.ledger);
                 continue;
             }
             // Re-created each iteration: recovery answers under the *current*
@@ -743,6 +846,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                     .map(|rr| (t, rr))
             })
             .collect();
+        self.certify_scan(w, &restriction, &links, &mut run.ledger);
         links.sort_by(|a, b| {
             run.query
                 .priority(&b.1)
@@ -752,6 +856,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let mut latency = 0u64;
         for (target, restricted) in links {
             if !run.query.is_link_relevant(&restricted, &global_w) {
+                self.certify_pruned(q, &restricted, &global_w, &mut run.ledger);
                 continue;
             }
             let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
@@ -801,12 +906,23 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             q.compute_local_state(&view, global)
         });
 
+        // Collected before the fan-out so the scanned tile lands ahead of
+        // the subtree tiles, matching the parallel engine's emission order.
+        let links: Vec<(PeerId, O::Region)> = self
+            .net
+            .peer_links(w)
+            .into_iter()
+            .filter_map(|(t, region)| {
+                self.net
+                    .region_intersect(&region, &restriction)
+                    .map(|rr| (t, rr))
+            })
+            .collect();
+        self.certify_scan(w, &restriction, &links, &mut run.ledger);
+
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, global);
         let mut latency = 0u64;
-        for (target, region) in self.net.peer_links(w) {
-            let Some(restricted) = self.net.region_intersect(&region, &restriction) else {
-                continue;
-            };
+        for (target, restricted) in links {
             let (delay, adopted) =
                 self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
@@ -864,8 +980,9 @@ where
     let global_w = Arc::new(ctx.query.compute_global_state(global, &local));
 
     // The same links, filtered by the same predicates, in the same order as
-    // the sequential loop.
-    let links: Vec<(PeerId, O::Region)> = ctx
+    // the sequential loop — including the same certificate tiles: scanned
+    // first, then the pruned links in link order, then the branches.
+    let intersected: Vec<(PeerId, O::Region)> = ctx
         .exec
         .net
         .peer_links(w)
@@ -876,8 +993,17 @@ where
                 .region_intersect(&region, &restriction)
                 .map(|rr| (t, rr))
         })
-        .filter(|(_, rr)| ctx.query.is_link_relevant(rr, &global_w))
         .collect();
+    ctx.exec.certify_scan(w, &restriction, &intersected, ledger);
+    let mut links = Vec::with_capacity(intersected.len());
+    for (target, restricted) in intersected {
+        if ctx.query.is_link_relevant(&restricted, &global_w) {
+            links.push((target, restricted));
+        } else {
+            ctx.exec
+                .certify_pruned(ctx.query, &restricted, &global_w, ledger);
+        }
+    }
 
     let mut latency = 0u64;
     let mut remote_states = Vec::new();
@@ -912,7 +1038,7 @@ where
                 .map(|(target, restricted)| {
                     let global_w = Arc::clone(&global_w);
                     move |pool: &Pool<'env>| {
-                        let mut branch = BranchLedger::new(ctx.trace);
+                        let mut branch = BranchLedger::with_certificates(ctx.trace, ctx.certs);
                         let answer =
                             |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global_w);
                         let (delay, adopted) = ctx.exec.deliver(
@@ -1012,6 +1138,7 @@ where
                 .map(|rr| (t, rr))
         })
         .collect();
+    ctx.exec.certify_scan(w, &restriction, &links, ledger);
     links.sort_by(|a, b| {
         ctx.query
             .priority(&b.1)
@@ -1021,6 +1148,8 @@ where
     let mut latency = 0u64;
     for (target, restricted) in links {
         if !ctx.query.is_link_relevant(&restricted, &global_w) {
+            ctx.exec
+                .certify_pruned(ctx.query, &restricted, &global_w, ledger);
             continue;
         }
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global_w);
@@ -1085,6 +1214,7 @@ where
                 .map(|rr| (t, rr))
         })
         .collect();
+    ctx.exec.certify_scan(w, &restriction, &links, ledger);
 
     let mut latency = 0u64;
     if links.len() <= 1 {
@@ -1109,7 +1239,7 @@ where
                 .map(|(target, restricted)| {
                     let global = Arc::clone(global);
                     move |pool: &Pool<'env>| {
-                        let mut branch = BranchLedger::new(ctx.trace);
+                        let mut branch = BranchLedger::with_certificates(ctx.trace, ctx.certs);
                         let answer =
                             |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global);
                         let (delay, adopted) = ctx.exec.deliver(

@@ -369,6 +369,82 @@ fn retry_budgets_are_monotone() {
     }
 }
 
+/// Certificates across a crash → repair → query lifecycle: before repair the
+/// tiling closes over honestly-declared unreachable tiles and the generation
+/// stamp pins the damaged snapshot; after `repair_all` a fresh certificate
+/// carries the *new* generation, tiles the domain with no unreachable
+/// volume, and the stale pre-repair certificate is rejected with a
+/// generation mismatch — it certifies an answer about an overlay that no
+/// longer exists.
+#[test]
+fn certificates_span_crash_repair_query_lifecycle() {
+    use crate::topk::run_topk_certified;
+    use ripple_verify::{verify_coverage, verify_generation, verify_topk, VerifyError};
+    let (mut net, mut rng) = loaded_net(2, 48, 600, 48);
+    let score = LinearScore::uniform(2);
+    for _ in 0..5 {
+        if net.peer_count() > 1 {
+            let victim = net.random_peer(&mut rng);
+            net.crash(victim);
+        }
+    }
+    net.check_invariants();
+    assert!(!net.orphan_regions().is_empty());
+    let damaged_epoch = net.epoch();
+    let initiator = net.random_peer(&mut rng);
+    for mode in MODES {
+        let exec = Executor::with_faults(&net, crash_aware(), 5);
+        let (got, _, cov, cert) = run_topk_certified(&exec, initiator, score.clone(), 10, mode);
+        let cert = cert.expect("certificates are on by default");
+        verify_topk(&cert, &got, &score, 10, damaged_epoch)
+            .unwrap_or_else(|e| panic!("[{mode:?}] damaged-overlay certificate rejected: {e}"));
+        verify_coverage(&cert, cov.answered_fraction, &cov.unreachable)
+            .unwrap_or_else(|e| panic!("[{mode:?}] coverage rejected: {e}"));
+        if mode == Mode::Broadcast {
+            assert!(
+                cert.regions
+                    .iter()
+                    .any(|r| matches!(r, ripple_verify::CertRegion::Unreachable { .. })),
+                "broadcast over a damaged overlay must declare unreachable tiles"
+            );
+        }
+    }
+    // The stale certificate is pinned to the damaged snapshot.
+    let exec = Executor::with_faults(&net, crash_aware(), 5);
+    let (_, _, _, stale) = run_topk_certified(&exec, initiator, score.clone(), 10, Mode::Slow);
+    let stale = stale.expect("certificates are on by default");
+
+    net.repair_all();
+    net.check_invariants();
+    assert!(net.orphan_regions().is_empty());
+    let repaired_epoch = net.epoch();
+    assert!(
+        repaired_epoch > damaged_epoch,
+        "repair must advance the overlay generation"
+    );
+    assert!(
+        matches!(
+            verify_generation(&stale, repaired_epoch),
+            Err(VerifyError::GenerationMismatch { .. })
+        ),
+        "a pre-repair certificate must not verify against the repaired overlay"
+    );
+    let initiator = net.random_peer(&mut rng);
+    let exec = Executor::with_faults(&net, crash_aware(), 5);
+    let (got, _, cov, fresh) = run_topk_certified(&exec, initiator, score.clone(), 10, Mode::Slow);
+    let fresh = fresh.expect("certificates are on by default");
+    assert!(cov.is_complete(), "repair must restore full coverage");
+    verify_topk(&fresh, &got, &score, 10, repaired_epoch)
+        .unwrap_or_else(|e| panic!("post-repair certificate rejected: {e}"));
+    assert!(
+        !fresh
+            .regions
+            .iter()
+            .any(|r| matches!(r, ripple_verify::CertRegion::Unreachable { .. })),
+        "a repaired overlay leaves nothing unreachable"
+    );
+}
+
 #[test]
 fn slow_peers_stretch_latency_without_changing_answers() {
     let (net, mut rng) = loaded_net(2, 40, 500, 46);

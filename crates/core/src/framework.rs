@@ -8,8 +8,9 @@
 //! exposes links annotated with **regions** that, together with the peer's
 //! zone, partition the domain.
 
-use ripple_geom::Tuple;
+use ripple_geom::{neumaier, Rect, Tuple};
 use ripple_net::{LocalView, PeerId, QueryMetrics, ReplicaSet};
+use ripple_verify::{Certificate, PruneWitness};
 
 /// What RIPPLE requires from a DHT substrate.
 ///
@@ -75,6 +76,21 @@ pub trait RippleOverlay {
     /// two to report what fraction of the domain an abandoned restriction
     /// area represents; it is never used on the fault-free path.
     fn region_volume(&self, region: &Self::Region) -> f64;
+
+    /// The region as a set of disjoint axis-aligned boxes, for the
+    /// substrate-neutral certificate tiles handed to `ripple-verify`
+    /// (MIDAS: the region *is* a box; Chord: the arc's key-space segments).
+    /// Total box volume must equal `region_volume(region)`.
+    fn region_rects(&self, region: &Self::Region) -> Vec<Rect>;
+
+    /// A counter identifying the overlay snapshot (membership, stored
+    /// tuples, replica ledger) the query ran against, bumped by every
+    /// mutation. Certificates are stamped with it so a verifier rejects a
+    /// certificate replayed against a different snapshot. Substrates
+    /// without mutation tracking report a constant `0`.
+    fn snapshot_generation(&self) -> u64 {
+        0
+    }
 
     /// Whether `peer` is currently able to process queries. Substrates
     /// without a failure model are always fully live (the default); crash-
@@ -168,6 +184,19 @@ impl Coverage {
     pub fn is_complete(&self) -> bool {
         self.unreachable.is_empty()
     }
+
+    /// Coverage from the per-abandonment domain fractions, with the
+    /// answered fraction derived by compensated (Neumaier) summation —
+    /// the single place the executor turns unreachable volume into a
+    /// fraction, shared in spirit with `ripple-verify`'s tiling checker so
+    /// both sides agree to the last bit on many-term sums.
+    pub fn from_unreachable(unreachable: Vec<f64>) -> Self {
+        let lost = neumaier(unreachable.iter().copied());
+        Self {
+            answered_fraction: (1.0 - lost).clamp(0.0, 1.0),
+            unreachable,
+        }
+    }
 }
 
 /// The six abstract functions a rank query plugs into RIPPLE
@@ -214,6 +243,17 @@ pub trait RankQuery<R> {
     fn state_payload(&self, _local: &Self::Local) -> usize {
         0
     }
+
+    /// The evidence that pruning `region` under `global` was sound, recorded
+    /// in the answer certificate whenever `is_link_relevant` returns false.
+    /// Checkable query types return a concrete witness (a score bound, a
+    /// dominating tuple, a φ lower bound, constraint disjointness); the
+    /// default [`PruneWitness::Opaque`] marks the tile as tiling-only — the
+    /// volume still participates in the partition check, but no bound is
+    /// re-derivable.
+    fn prune_witness(&self, _region: &R, _global: &Self::Global) -> PruneWitness {
+        PruneWitness::Opaque
+    }
 }
 
 /// Result of one distributed query execution.
@@ -229,6 +269,12 @@ pub struct QueryOutcome<L> {
     /// How much of the domain the execution covered. [`Coverage::full`]
     /// unless faults forced the executor to abandon restriction areas.
     pub coverage: Coverage,
+    /// The snapshot-scoped answer certificate: a tiling of the query domain
+    /// into scanned / pruned / replica-served / unreachable tiles with
+    /// per-tile witnesses, checkable by `ripple-verify` without trusting
+    /// the executor. `None` when emission was disabled
+    /// (`Executor::without_certificates`).
+    pub certificate: Option<Certificate>,
 }
 
 /// Ablation wrapper: the wrapped query with link prioritisation disabled
@@ -272,6 +318,10 @@ impl<R, Q: RankQuery<R>> RankQuery<R> for Unprioritized<Q> {
     fn state_payload(&self, local: &Self::Local) -> usize {
         self.0.state_payload(local)
     }
+
+    fn prune_witness(&self, region: &R, global: &Self::Global) -> PruneWitness {
+        self.0.prune_witness(region, global)
+    }
 }
 
 /// The execution mode of Algorithm 3, determined by the ripple parameter.
@@ -298,5 +348,39 @@ impl Mode {
             Mode::Slow => u32::MAX,
             Mode::Ripple(r) => *r,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Coverage;
+
+    #[test]
+    fn coverage_fraction_is_exact_over_ten_thousand_tiny_regions() {
+        // 10k losses of 2⁻⁵⁴ each on top of one 0.5 loss: a naive left-fold
+        // absorbs every tiny term into the big one (0.5 + 2⁻⁵⁴ rounds to
+        // even, back to 0.5) and reports half the domain answered; the
+        // compensated sum keeps all 10k bits.
+        let tiny = 2f64.powi(-54);
+        let mut unreachable = vec![0.5];
+        unreachable.extend(std::iter::repeat_n(tiny, 10_000));
+        let naive: f64 = unreachable.iter().sum();
+        assert_eq!(naive, 0.5, "the naive sum drops every tiny region");
+        let cov = Coverage::from_unreachable(unreachable);
+        let exact = 0.5 - 10_000.0 * tiny;
+        assert_eq!(
+            cov.answered_fraction, exact,
+            "compensated summation must recover all 10k terms"
+        );
+        assert!(!cov.is_complete());
+        assert_eq!(cov.unreachable.len(), 10_001);
+    }
+
+    #[test]
+    fn coverage_from_unreachable_clamps_and_preserves_order() {
+        let cov = Coverage::from_unreachable(vec![0.7, 0.6]);
+        assert_eq!(cov.answered_fraction, 0.0, "over-reported loss clamps");
+        assert_eq!(cov.unreachable, vec![0.7, 0.6], "abandonment order kept");
+        assert_eq!(Coverage::from_unreachable(Vec::new()), Coverage::full());
     }
 }

@@ -88,6 +88,10 @@ where
                 "{label} [{mode:?}]: answer streams must be identical, element for element"
             );
             assert_eq!(b.coverage, s.coverage, "{label} [{mode:?}]: coverage");
+            assert_eq!(
+                b.certificate, s.certificate,
+                "{label} [{mode:?}]: the data layout must not leak into the certificate"
+            );
             for threads in THREADS {
                 let bp = blocked.run_parallel(initiator, query, mode, threads);
                 assert_eq!(
@@ -99,6 +103,10 @@ where
                     "{label} [{mode:?}, {threads} threads]: parallel blocked answers"
                 );
                 assert_eq!(b.coverage, bp.coverage, "{label} [{mode:?}]: coverage");
+                assert_eq!(
+                    b.certificate, bp.certificate,
+                    "{label} [{mode:?}, {threads} threads]: parallel blocked certificate"
+                );
             }
         }
     }
@@ -207,6 +215,11 @@ where
                 "{label} [{mode:?}]: dispatch arms must emit identical answer streams"
             );
             assert_eq!(s.coverage, v.coverage, "{label} [{mode:?}]: coverage");
+            assert_eq!(
+                s.certificate, v.certificate,
+                "{label} [{mode:?}]: dispatch arms must emit bit-identical certificates \
+                 (the bound witnesses are control-plane folds, never SIMD-kernel output)"
+            );
             for threads in THREADS {
                 let vp = simd_exec.run_parallel(initiator, query, mode, threads);
                 assert_eq!(
@@ -216,6 +229,10 @@ where
                 assert_eq!(
                     s.answers, vp.answers,
                     "{label} [{mode:?}, {threads} threads]: parallel simd answers"
+                );
+                assert_eq!(
+                    s.certificate, vp.certificate,
+                    "{label} [{mode:?}, {threads} threads]: parallel simd certificate"
                 );
             }
         }

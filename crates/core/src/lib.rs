@@ -46,6 +46,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(test)]
+mod cert_equivalence;
 pub mod diversify;
 pub mod exec;
 #[cfg(test)]
@@ -67,10 +69,15 @@ pub mod range;
 mod replica_equivalence;
 pub mod skyline;
 pub mod topk;
+#[cfg(test)]
+mod verify_mutation;
 
 pub use exec::Executor;
 pub use framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 pub use planner::{box_selectivity, run_planned, CostWeights, PlanInputs, Planner, QueryHint};
-pub use range::{run_range, RangeQuery};
-pub use skyline::{run_skyline, run_skyline_query, run_skyline_query_with, SkylineQuery};
-pub use topk::{run_topk, run_topk_with, TopKQuery};
+pub use range::{run_range, run_range_certified, RangeQuery};
+pub use ripple_verify::{CertRegion, Certificate, PruneWitness, VerifyError};
+pub use skyline::{
+    run_skyline, run_skyline_certified, run_skyline_query, run_skyline_query_with, SkylineQuery,
+};
+pub use topk::{run_topk, run_topk_certified, run_topk_with, TopKQuery};

@@ -51,6 +51,14 @@ impl RippleOverlay for MidasNetwork {
         region.volume()
     }
 
+    fn region_rects(&self, region: &Rect) -> Vec<Rect> {
+        vec![region.clone()]
+    }
+
+    fn snapshot_generation(&self) -> u64 {
+        self.epoch()
+    }
+
     fn is_peer_live(&self, peer: PeerId) -> bool {
         self.is_live(peer)
     }

@@ -97,6 +97,11 @@ where
                     "{label} [{mode:?}, {threads} threads]: coverage must agree \
                      (incl. the per-area abandonment order)"
                 );
+                assert_eq!(
+                    seq.certificate, par.certificate,
+                    "{label} [{mode:?}, {threads} threads]: certificates must be \
+                     bit-identical, tile for tile in emission order"
+                );
             }
         }
     }
@@ -157,6 +162,11 @@ fn parallel_equals_sequential_on_a_crash_damaged_overlay() {
             assert_eq!(seq.metrics, par.metrics, "[{mode:?}, {threads} threads]");
             assert_eq!(seq.answers, par.answers, "[{mode:?}, {threads} threads]");
             assert_eq!(seq.coverage, par.coverage, "[{mode:?}, {threads} threads]");
+            assert_eq!(
+                seq.certificate, par.certificate,
+                "[{mode:?}, {threads} threads]: certificates must survive crash \
+                 damage bit-identically"
+            );
         }
         // Crash damage abandons areas; the parallel engine must report the
         // same honest partial coverage, not silently full coverage.

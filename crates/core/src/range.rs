@@ -11,9 +11,10 @@
 //! that contrast and gives the library a useful primitive.
 
 use crate::exec::Executor;
-use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
+use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{Rect, Tuple};
 use ripple_net::{LocalView, PeerId, QueryMetrics};
+use ripple_verify::{Certificate, PruneWitness};
 
 /// A range query: retrieve every tuple inside `range`.
 #[derive(Clone, Debug)]
@@ -60,6 +61,12 @@ impl RankQuery<Rect> for RangeQuery {
     fn priority(&self, _region: &Rect) -> f64 {
         0.0
     }
+
+    /// Pruned regions are exactly the ones disjoint from the requested box;
+    /// the checker re-tests the disjointness geometrically.
+    fn prune_witness(&self, _region: &Rect, _global: &()) -> PruneWitness {
+        PruneWitness::Disjoint
+    }
 }
 
 /// Runs a range query (always `fast`: with no state to refine, waiting
@@ -68,15 +75,32 @@ pub fn run_range<O>(net: &O, initiator: PeerId, range: Rect) -> (Vec<Tuple>, Que
 where
     O: RippleOverlay<Region = Rect>,
 {
+    let (answers, metrics, _, _) = run_range_certified(&Executor::new(net), initiator, range);
+    (answers, metrics)
+}
+
+/// [`run_range`] through a pre-configured executor, additionally returning
+/// the coverage report and the answer certificate for `ripple-verify`'s
+/// `verify_range`.
+pub fn run_range_certified<O>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    range: Rect,
+) -> (Vec<Tuple>, QueryMetrics, Coverage, Option<Certificate>)
+where
+    O: RippleOverlay<Region = Rect>,
+{
     let query = RangeQuery::new(range);
     let QueryOutcome {
         mut answers,
         metrics,
+        coverage,
+        certificate,
         ..
-    } = Executor::new(net).run(initiator, &query, Mode::Fast);
+    } = exec.run(initiator, &query, Mode::Fast);
     answers.sort_by_key(|t| t.id);
     answers.dedup_by_key(|t| t.id);
-    (answers, metrics)
+    (answers, metrics, coverage, certificate)
 }
 
 #[cfg(test)]

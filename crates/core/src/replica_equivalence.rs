@@ -105,6 +105,23 @@ fn assert_execs_identical<Q>(
         );
         assert_eq!(oa.answers, ob.answers, "{label} [{mode:?}]");
         assert_eq!(oa.coverage, ob.coverage, "{label} [{mode:?}]");
+        // The twins are distinct overlays with distinct mutation histories,
+        // so their generation stamps legitimately differ; everything else in
+        // the certificate must match tile for tile.
+        match (&oa.certificate, &ob.certificate) {
+            (Some(ca), Some(cb)) => {
+                assert_eq!(
+                    ca.regions, cb.regions,
+                    "{label} [{mode:?}]: certificate tiles must be bit-identical"
+                );
+                assert_eq!(ca.domain_volume, cb.domain_volume, "{label} [{mode:?}]");
+            }
+            (a, b) => assert_eq!(
+                a.is_some(),
+                b.is_some(),
+                "{label} [{mode:?}]: both or neither run certifies"
+            ),
+        }
         for threads in THREADS {
             let par = b.run_parallel(initiator, query, mode, threads);
             assert_eq!(
@@ -113,6 +130,10 @@ fn assert_execs_identical<Q>(
             );
             assert_eq!(oa.answers, par.answers, "{label} [{mode:?}, {threads}]");
             assert_eq!(oa.coverage, par.coverage, "{label} [{mode:?}, {threads}]");
+            assert_eq!(
+                ob.certificate, par.certificate,
+                "{label} [{mode:?}, {threads}]: certificate"
+            );
         }
     }
 }
@@ -231,9 +252,61 @@ fn recovery_metrics_are_deterministic_across_thread_counts() {
             );
             assert_eq!(seq.answers, par.answers, "[{mode:?}, {threads} threads]");
             assert_eq!(seq.coverage, par.coverage, "[{mode:?}, {threads} threads]");
+            assert_eq!(
+                seq.certificate, par.certificate,
+                "[{mode:?}, {threads} threads]: certificate"
+            );
         }
         if mode == Mode::Broadcast {
             assert!(seq.metrics.replica_hits > 0);
+        }
+    }
+}
+
+/// The second oracle over the failover path: certificates issued on a
+/// crash-damaged, replicated overlay must verify independently — the
+/// replica-served tiles close the tiling over the dead zones, the τ bound
+/// witnesses hold for every pruned region, and the generation stamp pins the
+/// snapshot the answer was computed against.
+#[test]
+fn certificates_verify_under_replica_failover() {
+    use crate::skyline::run_skyline_certified;
+    use crate::topk::run_topk_certified;
+    for k in [1usize, 2] {
+        let (mut net, mut rng) = loaded_net(2, 48, 600, 61 + k as u64);
+        net.enable_replication(k);
+        // Churn interleaved with the crash wave: fresh tuples and a join
+        // move the snapshot on while replicas absorb the failures.
+        for i in 0..40u64 {
+            net.insert_tuple(Tuple::new(10_000 + i, vec![rng.gen(), rng.gen()]));
+        }
+        net.join(&ripple_geom::Point::new(vec![rng.gen(), rng.gen()]));
+        net.refresh_replicas();
+        crash_wave(&mut net, &mut rng, 9);
+        assert!(net.tuples_lost() > 0);
+        let score = LinearScore::uniform(2);
+        for mode in MODES {
+            let initiator = net.random_peer(&mut rng);
+            let exec = Executor::with_faults(&net, crash_aware(), 11);
+            let (got, _, cov, cert) = run_topk_certified(&exec, initiator, score.clone(), 10, mode);
+            let cert = cert.expect("certificates are on by default");
+            ripple_verify::verify_topk(&cert, &got, &score, 10, net.epoch())
+                .unwrap_or_else(|e| panic!("[k={k}, {mode:?}] top-k certificate rejected: {e}"));
+            ripple_verify::verify_coverage(&cert, cov.answered_fraction, &cov.unreachable)
+                .unwrap_or_else(|e| panic!("[k={k}, {mode:?}] coverage rejected: {e}"));
+            if mode == Mode::Broadcast {
+                assert!(
+                    cert.regions
+                        .iter()
+                        .any(|r| matches!(r, ripple_verify::CertRegion::Replica { .. })),
+                    "[k={k}] broadcast over dead zones must tile them as replica-served"
+                );
+            }
+            let (sky, _, _, scert) =
+                run_skyline_certified(&exec, initiator, SkylineQuery::new(), mode);
+            let scert = scert.expect("certificates are on by default");
+            ripple_verify::verify_skyline(&scert, &sky, None, net.epoch())
+                .unwrap_or_else(|e| panic!("[k={k}, {mode:?}] skyline certificate rejected: {e}"));
         }
     }
 }

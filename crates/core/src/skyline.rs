@@ -10,6 +10,7 @@ use crate::exec::Executor;
 use crate::framework::{Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{dominance, kernels, KernelDispatch, Norm, Rect, Tuple};
 use ripple_net::{scan, LocalView, PeerId, PeerStore, QueryMetrics};
+use ripple_verify::{Certificate, PruneWitness};
 
 /// A skyline query (lower values better on every dimension), optionally
 /// restricted to a *constraint* box — the query DSL was designed around
@@ -227,6 +228,26 @@ impl RankQuery<Rect> for SkylineQuery {
     fn state_payload(&self, local: &Vec<Tuple>) -> usize {
         local.len()
     }
+
+    /// Why Algorithm 14 pruned the region: constraint disjointness, or the
+    /// first partial-skyline tuple dominating the whole region. The checker
+    /// re-tests the domination geometrically and requires the witness point
+    /// to be supported by the final skyline (equal to a member or dominated
+    /// by one — dominance chains always end in the skyline).
+    fn prune_witness(&self, region: &Rect, global: &Vec<Tuple>) -> PruneWitness {
+        if let Some(c) = &self.constraint {
+            if !c.intersects(region) {
+                return PruneWitness::Disjoint;
+            }
+        }
+        global
+            .iter()
+            .find(|s| dominance::dominates_rect(&s.point, region))
+            .map(|s| PruneWitness::Dominator {
+                point: s.point.clone(),
+            })
+            .unwrap_or(PruneWitness::Opaque)
+    }
 }
 
 /// Runs a skyline query and merges the received answers into the global
@@ -265,15 +286,38 @@ pub fn run_skyline_query_with<O>(
 where
     O: RippleOverlay<Region = Rect>,
 {
+    let (sky, metrics, coverage, _) = run_skyline_certified(exec, initiator, query, mode);
+    (sky, metrics, coverage)
+}
+
+/// [`run_skyline_query_with`], additionally returning the answer
+/// certificate (when the executor emits them), so the caller can hand
+/// skyline + certificate to `ripple-verify`'s `verify_skyline` as an
+/// independent second oracle.
+pub fn run_skyline_certified<O>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    query: SkylineQuery,
+    mode: Mode,
+) -> (
+    Vec<Tuple>,
+    QueryMetrics,
+    crate::framework::Coverage,
+    Option<Certificate>,
+)
+where
+    O: RippleOverlay<Region = Rect>,
+{
     let QueryOutcome {
         answers,
         metrics,
         coverage,
+        certificate,
         ..
     } = exec.run(initiator, &query, mode);
     let mut sky = dominance::skyline(&answers);
     sky.sort_by_key(|t| t.id);
-    (sky, metrics, coverage)
+    (sky, metrics, coverage, certificate)
 }
 
 /// Reference answer: centralized skyline, sorted by id (test oracle).

@@ -10,6 +10,7 @@ use crate::exec::Executor;
 use crate::framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 use ripple_geom::{kernels, KernelDispatch, Rect, ScoreFn, Tuple};
 use ripple_net::{scan, LocalView, PeerId, PeerStore, QueryMetrics};
+use ripple_verify::{Certificate, PruneWitness};
 
 /// The `(m, τ)` state of top-k processing. Invariant: at least `m` tuples
 /// with score `≥ τ` exist among the tuples examined so far.
@@ -281,6 +282,15 @@ impl<F: ScoreFn> RankQuery<Rect> for TopKQuery<F> {
     fn priority(&self, region: &Rect) -> f64 {
         self.score.upper_bound(region)
     }
+
+    /// The pruned region's `f⁺`: the certificate checker recomputes it from
+    /// the region boxes and requires it below the final `τ` (Alg. 8 run in
+    /// reverse).
+    fn prune_witness(&self, region: &Rect, _global: &TopKState) -> PruneWitness {
+        PruneWitness::ScoreBound {
+            bound: self.score.upper_bound(region),
+        }
+    }
 }
 
 /// Top-k over *multi-segment* regions (e.g. ring arcs that wrap the origin,
@@ -323,6 +333,17 @@ impl<F: ScoreFn> RankQuery<Vec<Rect>> for TopKQuery<F> {
             .iter()
             .map(|seg| self.score.upper_bound(seg))
             .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The best `f⁺` over the segments — the same maximum the checker
+    /// recomputes from the certificate's segment boxes.
+    fn prune_witness(&self, region: &Vec<Rect>, _global: &TopKState) -> PruneWitness {
+        PruneWitness::ScoreBound {
+            bound: region
+                .iter()
+                .map(|seg| self.score.upper_bound(seg))
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
     }
 }
 
@@ -368,6 +389,26 @@ where
     F: ScoreFn,
     TopKQuery<F>: RankQuery<O::Region>,
 {
+    let (answers, metrics, coverage, _) = run_topk_certified(exec, initiator, score, k, mode);
+    (answers, metrics, coverage)
+}
+
+/// [`run_topk_with`], additionally returning the answer certificate (when
+/// the executor emits them — see [`Executor::without_certificates`]), so the
+/// caller can hand answer + certificate to `ripple-verify`'s `verify_topk`
+/// as an independent second oracle.
+pub fn run_topk_certified<O, F>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    score: F,
+    k: usize,
+    mode: Mode,
+) -> (Vec<Tuple>, QueryMetrics, Coverage, Option<Certificate>)
+where
+    O: RippleOverlay,
+    F: ScoreFn,
+    TopKQuery<F>: RankQuery<O::Region>,
+{
     let net = exec.network();
     let query = TopKQuery::new(score, k);
     let mut route_hops = 0u32;
@@ -386,6 +427,7 @@ where
         mut answers,
         mut metrics,
         coverage,
+        certificate,
         ..
     } = exec.run(start, &query, mode);
     // Routing transit forwards the lookup but does not process the query:
@@ -401,7 +443,7 @@ where
     });
     answers.dedup_by_key(|t| t.id);
     answers.truncate(k);
-    (answers, metrics, coverage)
+    (answers, metrics, coverage, certificate)
 }
 
 /// Reference answer: centralized top-k over a full dataset (test oracle and

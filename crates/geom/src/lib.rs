@@ -33,6 +33,7 @@ pub mod norm;
 pub mod point;
 pub mod rect;
 pub mod score;
+pub mod sum;
 pub mod zorder;
 
 pub use diversity::{DiversityQuery, SetStats};
@@ -45,3 +46,4 @@ pub use norm::Norm;
 pub use point::{Point, Tuple, TupleId};
 pub use rect::Rect;
 pub use score::{AdHoc, LinearScore, PeakScore, ScoreFn};
+pub use sum::neumaier;

@@ -1,0 +1,69 @@
+//! Compensated (Neumaier) summation.
+//!
+//! Coverage fractions and certificate tilings are sums of many small
+//! volumes; a naive left fold loses the low-order bits of every tiny
+//! addend once the accumulator grows, and the drift scales with the
+//! number of terms. The Neumaier variant of Kahan summation tracks the
+//! rounding error of every addition in a running compensation term, so
+//! the result is exact to within one final rounding — independent of the
+//! number or order of the terms. Both the executor's coverage accounting
+//! and `ripple-verify`'s tiling checker sum through this one function, so
+//! a certificate can never fail verification on floating-point drift the
+//! emitter itself introduced.
+
+/// Sums `values` with Neumaier's compensated algorithm.
+///
+/// The error of each `sum + v` is recovered exactly via the classic
+/// `|big| ≥ |small|` branch and accumulated separately, then folded in
+/// once at the end.
+pub fn neumaier<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64; // running compensation for lost low-order bits
+    for v in values {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            comp += (sum - t) + v;
+        } else {
+            comp += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_on_benign_input() {
+        let vals = [0.25, 0.125, 0.5, 0.0625];
+        assert_eq!(neumaier(vals.iter().copied()), vals.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn recovers_bits_a_naive_sum_drops() {
+        // 10_000 addends of 2⁻⁵³ after a leading 1.0: each naive addition
+        // rounds back to 1.0 (the addend sits below the ulp), losing the
+        // entire tail. The compensated sum keeps it.
+        let tiny = 2f64.powi(-53);
+        let vals = std::iter::once(1.0).chain(std::iter::repeat_n(tiny, 10_000));
+        let naive: f64 = vals.clone().sum();
+        let exact = 1.0 + 10_000.0 * tiny;
+        assert_eq!(naive, 1.0, "naive summation drops the whole tail");
+        let comp = neumaier(vals);
+        assert!(
+            (comp - exact).abs() < 1e-15,
+            "compensated sum keeps it: {comp} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn order_independent_to_one_rounding() {
+        let mut vals: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+        let fwd = neumaier(vals.iter().copied());
+        vals.reverse();
+        let rev = neumaier(vals.iter().copied());
+        assert!((fwd - rev).abs() < 1e-12);
+    }
+}

@@ -83,6 +83,11 @@ pub struct MidasNetwork {
     /// placed on the peers behind the owner's *deepest* links first — the
     /// sibling/buddy boxes, MIDAS's natural analogue of a successor list.
     replicas: Option<ReplicaSet>,
+    /// Snapshot generation: bumped by every mutation (joins, leaves,
+    /// crashes, repairs, inserts, replication changes). Answer certificates
+    /// are stamped with it so a verifier can tell which overlay state a
+    /// query ran against.
+    epoch: u64,
 }
 
 impl MidasNetwork {
@@ -115,7 +120,13 @@ impl MidasNetwork {
             tuples_recovered: 0,
             repair_messages: 0,
             replicas: None,
+            epoch: 0,
         }
+    }
+
+    /// The current snapshot generation (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Selects the zone-splitting rule (see [`SplitRule`]).
@@ -274,6 +285,7 @@ impl MidasNetwork {
     /// ([`tuples_lost`](MidasNetwork::tuples_lost)) rather than panicking.
     pub fn insert_tuple(&mut self, t: Tuple) {
         assert_eq!(t.dims(), self.dims, "tuple dimensionality mismatch");
+        self.epoch += 1;
         match self.try_responsible(&t.point) {
             Ok(owner) => {
                 self.peer_mut(owner).store.insert(t);
@@ -328,6 +340,7 @@ impl MidasNetwork {
     /// the local data median of the cyclic dimension; the joining peer takes
     /// the half containing its own key. Returns the new peer's id.
     pub fn join(&mut self, key: &Point) -> PeerId {
+        self.epoch += 1;
         // Lazy repair: a joiner routed into a crash-orphaned zone cannot
         // split a dead peer, so it triggers the repair protocol first (cost
         // booked to the repair ledger).
@@ -539,6 +552,7 @@ impl MidasNetwork {
     pub fn leave(&mut self, id: PeerId) {
         assert!(self.is_live(id), "peer already departed");
         assert!(self.peer_count() > 1, "cannot remove the last peer");
+        self.epoch += 1;
 
         // A graceful departure hands zone and data to live neighbours; the
         // handover protocol needs a repaired neighbourhood, so pending
@@ -614,6 +628,7 @@ impl MidasNetwork {
     pub fn crash(&mut self, id: PeerId) -> usize {
         assert!(self.is_live(id), "peer already departed");
         assert!(self.peer_count() > 1, "cannot crash the last peer");
+        self.epoch += 1;
         let path = self.peer(id).path;
         let zone = self.peer(id).zone.clone();
         let lost = self.peer(id).store.len();
@@ -653,6 +668,7 @@ impl MidasNetwork {
     /// (invoked automatically after joins, leaves and repairs, and by
     /// [`ChurnOverlay::anti_entropy`]).
     pub fn enable_replication(&mut self, k: usize) -> u64 {
+        self.epoch += 1;
         self.replicas = Some(ReplicaSet::new(k));
         self.refresh_replicas()
     }
@@ -715,6 +731,7 @@ impl MidasNetwork {
         let Some(mut set) = self.replicas.take() else {
             return 0;
         };
+        self.epoch += 1;
         let k = set.k();
         let mut refreshed = 0u64;
         if k > 0 {
@@ -930,6 +947,7 @@ impl MidasNetwork {
     /// Orphaned data is *not* recovered (no replication in the paper's
     /// model); repair restores the structure, not the tuples.
     pub fn repair_all(&mut self) -> u64 {
+        self.epoch += 1;
         // Snapshot the individual crashed owners before consolidation merges
         // them (`dead` becomes the min of each merged pair): these are the
         // owners whose replicas promotion must read back.

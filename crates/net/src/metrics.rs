@@ -19,6 +19,7 @@ use crate::peer::PeerId;
 use crate::rng::mix64;
 use crate::stats::{Distribution, Plan};
 use ripple_geom::Tuple;
+use ripple_verify::CertRegion;
 use std::sync::Mutex;
 
 /// The cost ledger of a single distributed query execution.
@@ -270,15 +271,40 @@ pub struct BranchLedger {
     /// Absolute volumes of restriction areas abandoned inside the branch,
     /// in sequential abandonment order.
     pub unreachable: Vec<f64>,
+    /// Certificate tiles recorded by the branch, in sequential emission
+    /// order, or `None` when certificate emission is disabled. Like the
+    /// other streams this concatenates under link-order merging, so the
+    /// parallel executor reproduces the sequential certificate bit-for-bit.
+    pub cert: Option<Vec<CertRegion>>,
 }
 
 impl BranchLedger {
     /// A fresh, empty branch ledger (the monoid identity) with visit
-    /// tracing on (`true`) or off (`false`).
+    /// tracing on (`true`) or off (`false`) and certificate emission off.
     pub fn new(trace: bool) -> Self {
         Self {
             metrics: QueryMetrics::with_trace(trace),
             ..Self::default()
+        }
+    }
+
+    /// A fresh branch ledger with certificate emission on (`certs = true`)
+    /// or off. Emission state must agree across every ledger merged into
+    /// the same query, or tiles recorded by a child would be dropped.
+    pub fn with_certificates(trace: bool, certs: bool) -> Self {
+        Self {
+            metrics: QueryMetrics::with_trace(trace),
+            cert: certs.then(Vec::new),
+            ..Self::default()
+        }
+    }
+
+    /// Appends a certificate tile, or does nothing when emission is off.
+    /// Taking the entry lazily keeps the disabled path free of witness
+    /// construction cost.
+    pub fn certify(&mut self, entry: impl FnOnce() -> CertRegion) {
+        if let Some(cert) = self.cert.as_mut() {
+            cert.push(entry());
         }
     }
 
@@ -298,6 +324,9 @@ impl BranchLedger {
         self.metrics.absorb_branch(&child.metrics);
         self.answers.extend(child.answers);
         self.unreachable.extend(child.unreachable);
+        if let (Some(cert), Some(child_cert)) = (self.cert.as_mut(), child.cert) {
+            cert.extend(child_cert);
+        }
     }
 }
 

@@ -1,0 +1,920 @@
+//! Independent verification of RIPPLE answer certificates.
+//!
+//! The executor computes honest coverage accounting, conservation laws and
+//! failover bookkeeping *internally* — this crate externalizes them. Every
+//! [`Certificate`] a query execution emits is checked here against the
+//! delivered answer in `O(answer + regions)` time using nothing but
+//! `ripple-geom` region arithmetic: no executor, overlay or network code is
+//! in the dependency tree (CI builds this crate standalone and asserts the
+//! tree is exactly `ripple-geom`). The trust model is the classic
+//! "untrusted engines compute, a small trusted checker verifies" split: a
+//! buggy failover, a stale replica read or a dropped sub-region becomes a
+//! *verification failure* instead of a silent recall dip.
+//!
+//! # The certificate
+//!
+//! A certificate records, for one query execution:
+//!
+//! * the **snapshot generation** of the overlay it ran against, so a reader
+//!   can reject answers computed over stale state;
+//! * a **tiling** of the query domain: every visited peer contributes its
+//!   zone (restricted to the area it was handed), every pruned link region,
+//!   every replica-served dead zone and every honestly-declared unreachable
+//!   volume appears as one [`CertRegion`]. The volumes must sum — by
+//!   compensated (Neumaier) summation, so fp drift cannot masquerade as a
+//!   gap — to the domain volume. A dropped sub-region leaves a hole; a
+//!   duplicated visit overshoots; both fail [`verify_tiling`].
+//! * a **bound witness** per pruned region, checkable without the data:
+//!   top-k regions carry their `f⁺` corner bound (must fall below the final
+//!   threshold), skyline regions a dominating tuple (must dominate the
+//!   region *and* be justified by the final skyline), diversification
+//!   regions their `φ⁻` lower bound (must not beat the best insertion
+//!   score), range regions a disjointness claim.
+//!
+//! The checkers re-derive every threshold from the *answer* (the k-th best
+//! delivered score, the final skyline, the best delivered φ) rather than
+//! trusting any engine-supplied state, so the engine cannot vouch for
+//! itself.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ripple_geom::{dominance, neumaier, DiversityQuery, Point, Rect, ScoreFn, Tuple};
+use std::fmt;
+
+/// The per-region bound witness of a [`CertRegion::Pruned`] entry: the
+/// query-type-specific evidence that skipping the region was sound.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PruneWitness {
+    /// Top-k: the region's score upper bound `f⁺`. Sound iff it falls
+    /// strictly below the final threshold (the k-th best answered score).
+    ScoreBound {
+        /// `max` of `f⁺` over the region's rectangles, as the engine
+        /// evaluated it at prune time.
+        bound: f64,
+    },
+    /// Skyline: a tuple that dominates the entire region. Sound iff it
+    /// does, and the final skyline justifies the witness itself (contains
+    /// it, or contains a tuple dominating it).
+    Dominator {
+        /// The witness tuple's coordinates.
+        point: Point,
+    },
+    /// Constrained skyline / range: the region is disjoint from the
+    /// constraint (or range) box.
+    Disjoint,
+    /// Diversification: the region's insertion-score lower bound `φ⁻`.
+    /// Sound iff it cannot beat the best delivered insertion score.
+    PhiBound {
+        /// `min` of `φ⁻` over the region's rectangles, as evaluated at
+        /// prune time.
+        bound: f64,
+    },
+    /// No checkable witness (a query type without certificate support).
+    /// Always rejected by the typed verifiers — emitting one is an
+    /// explicit admission the prune cannot be justified.
+    Opaque,
+}
+
+/// One tile of the certificate's domain partition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CertRegion {
+    /// A visited peer's zone, restricted to the area it was handed:
+    /// `vol(restriction) − Σ vol(link ∩ restriction)`, which equals the
+    /// zone∩restriction volume because links + zone partition the domain.
+    Scanned {
+        /// The visited peer (its raw id).
+        peer: u64,
+        /// The restricted zone volume.
+        volume: f64,
+    },
+    /// A link region skipped by `isLinkRelevant`, with its witness.
+    Pruned {
+        /// The region as plain rectangles (ring arcs are segment lists).
+        rects: Vec<Rect>,
+        /// The region's volume.
+        volume: f64,
+        /// The evidence that skipping it was sound.
+        witness: PruneWitness,
+    },
+    /// A dead peer's zone answered from a replica during failover.
+    Replica {
+        /// The dead owner whose copy was read.
+        owner: u64,
+        /// The recovered dead-zone volume.
+        volume: f64,
+    },
+    /// Volume the execution honestly abandoned (reported in `Coverage`).
+    Unreachable {
+        /// The abandoned volume.
+        volume: f64,
+    },
+}
+
+impl CertRegion {
+    /// The tile's volume contribution to the partition.
+    pub fn volume(&self) -> f64 {
+        match self {
+            CertRegion::Scanned { volume, .. }
+            | CertRegion::Pruned { volume, .. }
+            | CertRegion::Replica { volume, .. }
+            | CertRegion::Unreachable { volume } => *volume,
+        }
+    }
+}
+
+/// A snapshot-scoped answer certificate: what one query execution claims to
+/// have covered, and why skipping the rest was sound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// The overlay snapshot generation the execution ran against.
+    pub generation: u64,
+    /// The volume of the full query domain (the initial restriction area).
+    pub domain_volume: f64,
+    /// The domain tiling, in execution order.
+    pub regions: Vec<CertRegion>,
+}
+
+impl Certificate {
+    /// Compact wire-size estimate in bytes: discriminant + ids + volumes +
+    /// witness payloads, the way a length-prefixed binary encoding would
+    /// lay them out. Used by the certificate benchmark to report size
+    /// against answer payloads.
+    pub fn size_bytes(&self) -> usize {
+        let mut bytes = 8 + 8; // generation + domain volume
+        for r in &self.regions {
+            bytes += 1 + 8; // discriminant + volume
+            match r {
+                CertRegion::Scanned { .. } | CertRegion::Replica { .. } => bytes += 8,
+                CertRegion::Unreachable { .. } => {}
+                CertRegion::Pruned { rects, witness, .. } => {
+                    for rect in rects {
+                        bytes += 2 * 8 * rect.dims();
+                    }
+                    bytes += 1 + match witness {
+                        PruneWitness::ScoreBound { .. } | PruneWitness::PhiBound { .. } => 8,
+                        PruneWitness::Dominator { point } => 8 * point.coords().len(),
+                        PruneWitness::Disjoint | PruneWitness::Opaque => 0,
+                    };
+                }
+            }
+        }
+        bytes
+    }
+
+    /// The sum of all tile volumes (compensated).
+    pub fn tiled_volume(&self) -> f64 {
+        neumaier(self.regions.iter().map(|r| r.volume()))
+    }
+
+    /// The tolerance [`verify_tiling`] grants this certificate: one part in
+    /// 10⁹ of the domain plus a per-tile allowance for the executor's
+    /// sub-1e-12 abandonment threshold (volumes below it are legitimately
+    /// dropped rather than reported).
+    pub fn default_tolerance(&self) -> f64 {
+        1e-9 * self.domain_volume.max(1.0) + 1e-12 * (self.regions.len() as f64 + 64.0)
+    }
+}
+
+/// Why a certificate failed verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// The certificate was produced against a different overlay snapshot.
+    GenerationMismatch {
+        /// The generation the reader expected.
+        expected: u64,
+        /// The generation the certificate carries.
+        found: u64,
+    },
+    /// The tiles do not partition the domain: a dropped sub-region leaves
+    /// a gap, a duplicated one overshoots.
+    TilingGap {
+        /// The compensated sum of all tile volumes.
+        tiled: f64,
+        /// The domain volume they must reach.
+        domain: f64,
+    },
+    /// The certificate's unreachable tiles disagree with the coverage
+    /// report delivered alongside the answer.
+    CoverageMismatch {
+        /// The answered fraction implied by the certificate.
+        certified: f64,
+        /// The answered fraction the coverage report claims.
+        reported: f64,
+    },
+    /// Fewer answers than the pruning threshold requires (a top-k prune
+    /// asserts `k` tuples were already known — they must be delivered).
+    MissingAnswers {
+        /// Distinct answers delivered.
+        have: usize,
+        /// Answers the certificate's prunes presuppose.
+        need: usize,
+    },
+    /// The same tuple id was delivered twice in the final answer.
+    DuplicateAnswer {
+        /// The offending tuple id.
+        id: u64,
+    },
+    /// The final answer is not ordered/shaped as the query contract
+    /// demands (top-k: best first; skyline: ascending ids).
+    MalformedAnswer,
+    /// A pruned region's claimed bound does not match the bound recomputed
+    /// from its geometry — the witness lies about its own region.
+    WitnessMismatch {
+        /// The bound the certificate claims.
+        claimed: f64,
+        /// The bound recomputed from the region's rectangles.
+        recomputed: f64,
+    },
+    /// A top-k prune whose `f⁺` does not fall below the final threshold:
+    /// the region could have held a better answer.
+    BoundNotBelowThreshold {
+        /// The region's recomputed upper bound.
+        bound: f64,
+        /// The final threshold (k-th best delivered score).
+        tau: f64,
+    },
+    /// A diversification prune whose `φ⁻` beats the best delivered
+    /// insertion score: the region could have held a better tuple.
+    BoundBeatsAnswer {
+        /// The region's recomputed lower bound.
+        bound: f64,
+        /// The best delivered insertion score.
+        tau: f64,
+    },
+    /// A skyline witness that does not dominate its whole region.
+    WitnessNotDominating,
+    /// A skyline witness no final answer member justifies: nothing in the
+    /// skyline equals or dominates it, so it may be fabricated.
+    WitnessUnsupported,
+    /// A claimed-disjoint region that intersects the constraint box.
+    NotDisjoint,
+    /// Two final skyline members dominate one another (not an antichain),
+    /// or a member violates the constraint box.
+    NotAntichain {
+        /// Ids of the offending pair (or the single offending member,
+        /// repeated).
+        a: u64,
+        /// See `a`.
+        b: u64,
+    },
+    /// An answer tuple outside the query's range box.
+    OutsideRange {
+        /// The offending tuple id.
+        id: u64,
+    },
+    /// A pruned region carries a witness of the wrong kind for the query
+    /// type being verified (including `Opaque`), or no geometry at all.
+    ForeignWitness,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::GenerationMismatch { expected, found } => {
+                write!(f, "snapshot generation mismatch: expected {expected}, certificate carries {found}")
+            }
+            VerifyError::TilingGap { tiled, domain } => {
+                write!(f, "tiling does not partition the domain: tiles sum to {tiled}, domain is {domain}")
+            }
+            VerifyError::CoverageMismatch {
+                certified,
+                reported,
+            } => {
+                write!(f, "coverage mismatch: certificate implies answered fraction {certified}, report claims {reported}")
+            }
+            VerifyError::MissingAnswers { have, need } => {
+                write!(
+                    f,
+                    "pruning presupposes {need} delivered answers, only {have} arrived"
+                )
+            }
+            VerifyError::DuplicateAnswer { id } => write!(f, "tuple {id} delivered twice"),
+            VerifyError::MalformedAnswer => {
+                write!(f, "final answer violates the query's ordering contract")
+            }
+            VerifyError::WitnessMismatch {
+                claimed,
+                recomputed,
+            } => {
+                write!(
+                    f,
+                    "witness bound {claimed} does not match recomputed bound {recomputed}"
+                )
+            }
+            VerifyError::BoundNotBelowThreshold { bound, tau } => {
+                write!(
+                    f,
+                    "pruned region's upper bound {bound} is not below the final threshold {tau}"
+                )
+            }
+            VerifyError::BoundBeatsAnswer { bound, tau } => {
+                write!(
+                    f,
+                    "pruned region's lower bound {bound} beats the best delivered score {tau}"
+                )
+            }
+            VerifyError::WitnessNotDominating => write!(f, "witness does not dominate its region"),
+            VerifyError::WitnessUnsupported => {
+                write!(f, "no final answer member justifies the witness")
+            }
+            VerifyError::NotDisjoint => {
+                write!(f, "claimed-disjoint region intersects the constraint")
+            }
+            VerifyError::NotAntichain { a, b } => {
+                write!(
+                    f,
+                    "final skyline is not a valid antichain (tuples {a}, {b})"
+                )
+            }
+            VerifyError::OutsideRange { id } => {
+                write!(f, "answer tuple {id} lies outside the range")
+            }
+            VerifyError::ForeignWitness => write!(f, "witness kind does not match the query type"),
+        }
+    }
+}
+
+/// Checks the generation stamp against the snapshot the reader expects.
+pub fn verify_generation(cert: &Certificate, expected: u64) -> Result<(), VerifyError> {
+    if cert.generation != expected {
+        return Err(VerifyError::GenerationMismatch {
+            expected,
+            found: cert.generation,
+        });
+    }
+    Ok(())
+}
+
+/// Checks the tiling invariant: scanned ∪ pruned ∪ replica-served ∪
+/// unreachable volumes must partition the domain, up to `tol` (use
+/// [`Certificate::default_tolerance`] unless the domain units demand
+/// otherwise). Compensated summation keeps fp drift out of the margin.
+pub fn verify_tiling(cert: &Certificate, tol: f64) -> Result<(), VerifyError> {
+    let tiled = cert.tiled_volume();
+    if (tiled - cert.domain_volume).abs() > tol {
+        return Err(VerifyError::TilingGap {
+            tiled,
+            domain: cert.domain_volume,
+        });
+    }
+    Ok(())
+}
+
+/// Checks the certificate's unreachable tiles against the coverage report
+/// delivered with the answer: the declared unreachable fractions must match
+/// the certificate's [`CertRegion::Unreachable`] tiles one-for-one and in
+/// order, and the answered fraction must equal `1 −` their compensated sum.
+/// `unreachable` holds domain fractions (as `Coverage` reports them).
+pub fn verify_coverage(
+    cert: &Certificate,
+    answered_fraction: f64,
+    unreachable: &[f64],
+) -> Result<(), VerifyError> {
+    let certified: Vec<f64> = cert
+        .regions
+        .iter()
+        .filter_map(|r| match r {
+            CertRegion::Unreachable { volume } => Some(volume / cert.domain_volume),
+            _ => None,
+        })
+        .collect();
+    let tol = cert.default_tolerance() / cert.domain_volume.max(f64::MIN_POSITIVE);
+    if certified.len() != unreachable.len()
+        || certified
+            .iter()
+            .zip(unreachable)
+            .any(|(c, r)| (c - r).abs() > tol)
+    {
+        return Err(VerifyError::CoverageMismatch {
+            certified: (1.0 - neumaier(certified.iter().copied())).clamp(0.0, 1.0),
+            reported: answered_fraction,
+        });
+    }
+    let implied = (1.0 - neumaier(certified.iter().copied())).clamp(0.0, 1.0);
+    if (implied - answered_fraction).abs() > tol {
+        return Err(VerifyError::CoverageMismatch {
+            certified: implied,
+            reported: answered_fraction,
+        });
+    }
+    Ok(())
+}
+
+/// The pruned entries of a certificate.
+fn pruned(cert: &Certificate) -> impl Iterator<Item = (&Vec<Rect>, &PruneWitness)> {
+    cert.regions.iter().filter_map(|r| match r {
+        CertRegion::Pruned { rects, witness, .. } => Some((rects, witness)),
+        _ => None,
+    })
+}
+
+fn check_distinct_ids(answers: &[Tuple]) -> Result<(), VerifyError> {
+    for (i, a) in answers.iter().enumerate() {
+        if answers[..i].iter().any(|b| b.id == a.id) {
+            return Err(VerifyError::DuplicateAnswer { id: a.id });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a top-k certificate against the *final* answer (the k best
+/// delivered tuples, best first, as `run_topk` returns them).
+///
+/// Soundness rests on the threshold's monotonicity: the engine's `(m, τ)`
+/// state only ever tightens upward along a run, and every state is
+/// supported by delivered tuples, so the k-th best *answered* score is an
+/// upper bound on every threshold any prune ever used. A pruned region
+/// whose recomputed `f⁺` is not strictly below that score could have held
+/// a better tuple — rejected. Prunes also presuppose `m ≥ k` known tuples;
+/// if fewer than `k` answers arrived, any score-bound prune is bogus.
+pub fn verify_topk<F: ScoreFn>(
+    cert: &Certificate,
+    answers: &[Tuple],
+    score: &F,
+    k: usize,
+    expected_generation: u64,
+) -> Result<(), VerifyError> {
+    verify_generation(cert, expected_generation)?;
+    verify_tiling(cert, cert.default_tolerance())?;
+    check_distinct_ids(answers)?;
+    let scores: Vec<f64> = answers.iter().map(|t| score.score(&t.point)).collect();
+    if scores.windows(2).any(|w| w[0] < w[1]) || answers.len() > k {
+        return Err(VerifyError::MalformedAnswer);
+    }
+    let mut prunes = pruned(cert).peekable();
+    if prunes.peek().is_none() {
+        return Ok(());
+    }
+    if answers.len() < k {
+        return Err(VerifyError::MissingAnswers {
+            have: answers.len(),
+            need: k,
+        });
+    }
+    let tau = scores[k - 1];
+    for (rects, witness) in prunes {
+        let PruneWitness::ScoreBound { bound } = witness else {
+            return Err(VerifyError::ForeignWitness);
+        };
+        if rects.is_empty() {
+            return Err(VerifyError::ForeignWitness);
+        }
+        let recomputed = rects
+            .iter()
+            .map(|r| score.upper_bound(r))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if recomputed != *bound {
+            return Err(VerifyError::WitnessMismatch {
+                claimed: *bound,
+                recomputed,
+            });
+        }
+        if recomputed >= tau {
+            return Err(VerifyError::BoundNotBelowThreshold {
+                bound: recomputed,
+                tau,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a (possibly constrained) skyline certificate against the
+/// *final* skyline (as `run_skyline_query` returns it: ascending ids).
+///
+/// Every `Dominator` witness was a member of some partial-skyline state,
+/// and every state member is delivered by its owner, so dominance chains
+/// from any witness end at a final skyline member: the witness must be in
+/// the skyline or dominated/equaled by a member. The witness in turn must
+/// dominate its whole region (so nothing there can enter the skyline), and
+/// `Disjoint` witnesses must actually miss the constraint box.
+pub fn verify_skyline(
+    cert: &Certificate,
+    skyline: &[Tuple],
+    constraint: Option<&Rect>,
+    expected_generation: u64,
+) -> Result<(), VerifyError> {
+    verify_generation(cert, expected_generation)?;
+    verify_tiling(cert, cert.default_tolerance())?;
+    check_distinct_ids(skyline)?;
+    if skyline.windows(2).any(|w| w[0].id > w[1].id) {
+        return Err(VerifyError::MalformedAnswer);
+    }
+    for (i, a) in skyline.iter().enumerate() {
+        if let Some(c) = constraint {
+            if !c.contains(&a.point) {
+                return Err(VerifyError::NotAntichain { a: a.id, b: a.id });
+            }
+        }
+        for b in &skyline[i + 1..] {
+            if dominance::dominates(&a.point, &b.point) || dominance::dominates(&b.point, &a.point)
+            {
+                return Err(VerifyError::NotAntichain { a: a.id, b: b.id });
+            }
+        }
+    }
+    for (rects, witness) in pruned(cert) {
+        if rects.is_empty() {
+            return Err(VerifyError::ForeignWitness);
+        }
+        match witness {
+            PruneWitness::Disjoint => {
+                let Some(c) = constraint else {
+                    return Err(VerifyError::ForeignWitness);
+                };
+                if rects.iter().any(|r| c.intersects(r)) {
+                    return Err(VerifyError::NotDisjoint);
+                }
+            }
+            PruneWitness::Dominator { point } => {
+                if !rects.iter().all(|r| dominance::dominates_rect(point, r)) {
+                    return Err(VerifyError::WitnessNotDominating);
+                }
+                let justified = skyline
+                    .iter()
+                    .any(|m| m.point == *point || dominance::dominates(&m.point, point));
+                if !justified {
+                    return Err(VerifyError::WitnessUnsupported);
+                }
+            }
+            _ => return Err(VerifyError::ForeignWitness),
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a single-tuple diversification certificate against the raw
+/// answer stream of the execution (the delivered candidate tuples).
+///
+/// The threshold `τ` (best insertion score seen) only ever *decreases*
+/// along a run, so the final best — recomputed here from the delivered
+/// candidates outside `set`, floored at `initial_tau` — lower-bounds every
+/// threshold any prune used. A pruned region's recomputed `φ⁻` must
+/// therefore not beat it.
+pub fn verify_diversify(
+    cert: &Certificate,
+    answers: &[Tuple],
+    div: &DiversityQuery,
+    set: &[Tuple],
+    initial_tau: f64,
+    expected_generation: u64,
+) -> Result<(), VerifyError> {
+    verify_generation(cert, expected_generation)?;
+    verify_tiling(cert, cert.default_tolerance())?;
+    let stats = div.stats(set);
+    let tau = answers
+        .iter()
+        .filter(|t| !set.iter().any(|o| o.id == t.id))
+        .map(|t| div.phi_with_stats(&t.point, set, stats))
+        .fold(initial_tau, f64::min);
+    for (rects, witness) in pruned(cert) {
+        let PruneWitness::PhiBound { bound } = witness else {
+            return Err(VerifyError::ForeignWitness);
+        };
+        if rects.is_empty() {
+            return Err(VerifyError::ForeignWitness);
+        }
+        let recomputed = rects
+            .iter()
+            .map(|r| div.phi_lower(r, set, stats))
+            .fold(f64::INFINITY, f64::min);
+        if recomputed != *bound {
+            return Err(VerifyError::WitnessMismatch {
+                claimed: *bound,
+                recomputed,
+            });
+        }
+        if recomputed < tau {
+            return Err(VerifyError::BoundBeatsAnswer {
+                bound: recomputed,
+                tau,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a range-query certificate: every answer lies inside the range
+/// box and every pruned region is genuinely disjoint from it.
+pub fn verify_range(
+    cert: &Certificate,
+    answers: &[Tuple],
+    range: &Rect,
+    expected_generation: u64,
+) -> Result<(), VerifyError> {
+    verify_generation(cert, expected_generation)?;
+    verify_tiling(cert, cert.default_tolerance())?;
+    check_distinct_ids(answers)?;
+    for t in answers {
+        if !range.contains(&t.point) {
+            return Err(VerifyError::OutsideRange { id: t.id });
+        }
+    }
+    for (rects, witness) in pruned(cert) {
+        if !matches!(witness, PruneWitness::Disjoint) || rects.is_empty() {
+            return Err(VerifyError::ForeignWitness);
+        }
+        if rects.iter().any(|r| range.intersects(r)) {
+            return Err(VerifyError::NotDisjoint);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_geom::LinearScore;
+
+    fn t(id: u64, c: &[f64]) -> Tuple {
+        Tuple::new(id, c.to_vec())
+    }
+
+    fn tiled(regions: Vec<CertRegion>) -> Certificate {
+        Certificate {
+            generation: 7,
+            domain_volume: 1.0,
+            regions,
+        }
+    }
+
+    #[test]
+    fn tiling_accepts_exact_partition() {
+        let cert = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.5,
+            },
+            CertRegion::Pruned {
+                rects: vec![Rect::new(vec![0.5, 0.0], vec![1.0, 1.0])],
+                volume: 0.25,
+                witness: PruneWitness::ScoreBound { bound: 0.1 },
+            },
+            CertRegion::Replica {
+                owner: 3,
+                volume: 0.125,
+            },
+            CertRegion::Unreachable { volume: 0.125 },
+        ]);
+        verify_tiling(&cert, cert.default_tolerance()).unwrap();
+    }
+
+    #[test]
+    fn tiling_rejects_gap_and_overshoot() {
+        let gap = tiled(vec![CertRegion::Scanned {
+            peer: 0,
+            volume: 0.9,
+        }]);
+        assert!(matches!(
+            verify_tiling(&gap, gap.default_tolerance()),
+            Err(VerifyError::TilingGap { .. })
+        ));
+        let over = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 1.0,
+            },
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.25,
+            },
+        ]);
+        assert!(verify_tiling(&over, over.default_tolerance()).is_err());
+    }
+
+    #[test]
+    fn tiling_survives_ten_thousand_tiny_regions() {
+        // 10k tiles of 2⁻¹⁴ plus one remainder tile: a naive sum drifts,
+        // the compensated one lands within the certificate tolerance.
+        let tiny = 2f64.powi(-14);
+        let mut regions: Vec<CertRegion> = (0..10_000)
+            .map(|i| CertRegion::Scanned {
+                peer: i,
+                volume: tiny / 16.0,
+            })
+            .collect();
+        regions.push(CertRegion::Unreachable {
+            volume: 1.0 - 10_000.0 * (tiny / 16.0),
+        });
+        let cert = tiled(regions);
+        verify_tiling(&cert, cert.default_tolerance()).unwrap();
+    }
+
+    #[test]
+    fn generation_is_checked() {
+        let cert = tiled(vec![CertRegion::Scanned {
+            peer: 0,
+            volume: 1.0,
+        }]);
+        verify_generation(&cert, 7).unwrap();
+        assert_eq!(
+            verify_generation(&cert, 8),
+            Err(VerifyError::GenerationMismatch {
+                expected: 8,
+                found: 7
+            })
+        );
+    }
+
+    #[test]
+    fn coverage_must_match_unreachable_tiles() {
+        let cert = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.75,
+            },
+            CertRegion::Unreachable { volume: 0.25 },
+        ]);
+        verify_coverage(&cert, 0.75, &[0.25]).unwrap();
+        assert!(verify_coverage(&cert, 1.0, &[]).is_err());
+        assert!(verify_coverage(&cert, 0.75, &[0.125, 0.125]).is_err());
+    }
+
+    #[test]
+    fn topk_accepts_sound_prunes_and_rejects_weak_thresholds() {
+        let score = LinearScore::uniform(2);
+        let answers = vec![t(1, &[0.9, 0.9]), t(2, &[0.8, 0.8])];
+        let low = Rect::new(vec![0.0, 0.0], vec![0.3, 0.3]); // f⁺ = 0.6
+        let cert = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.91,
+            },
+            CertRegion::Pruned {
+                rects: vec![low.clone()],
+                volume: 0.09,
+                witness: PruneWitness::ScoreBound { bound: 0.6 },
+            },
+        ]);
+        verify_topk(&cert, &answers, &score, 2, 7).unwrap();
+        // stale τ: the k-th answer no longer beats the pruned bound
+        let stale = vec![t(1, &[0.9, 0.9]), t(2, &[0.2, 0.2])];
+        assert!(matches!(
+            verify_topk(&cert, &stale, &score, 2, 7),
+            Err(VerifyError::BoundNotBelowThreshold { .. })
+        ));
+        // short answers cannot justify any prune
+        assert_eq!(
+            verify_topk(&cert, &answers[..1], &score, 2, 7),
+            Err(VerifyError::MissingAnswers { have: 1, need: 2 })
+        );
+        // duplicated answer tuple
+        let dup = vec![t(1, &[0.9, 0.9]), t(1, &[0.9, 0.9])];
+        assert_eq!(
+            verify_topk(&cert, &dup, &score, 2, 7),
+            Err(VerifyError::DuplicateAnswer { id: 1 })
+        );
+        // witness lying about its own region
+        let lying = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.91,
+            },
+            CertRegion::Pruned {
+                rects: vec![low],
+                volume: 0.09,
+                witness: PruneWitness::ScoreBound { bound: 0.5 },
+            },
+        ]);
+        assert!(matches!(
+            verify_topk(&lying, &answers, &score, 2, 7),
+            Err(VerifyError::WitnessMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn skyline_witnesses_must_dominate_and_be_justified() {
+        let sky = vec![t(1, &[0.1, 0.2]), t(2, &[0.3, 0.1])];
+        let region = Rect::new(vec![0.5, 0.5], vec![1.0, 1.0]);
+        let good = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.75,
+            },
+            CertRegion::Pruned {
+                rects: vec![region.clone()],
+                volume: 0.25,
+                witness: PruneWitness::Dominator {
+                    point: Point::from(vec![0.1, 0.2]),
+                },
+            },
+        ]);
+        verify_skyline(&good, &sky, None, 7).unwrap();
+        // a witness nothing in the skyline justifies
+        let rogue = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.75,
+            },
+            CertRegion::Pruned {
+                rects: vec![region.clone()],
+                volume: 0.25,
+                witness: PruneWitness::Dominator {
+                    point: Point::from(vec![0.05, 0.05]),
+                },
+            },
+        ]);
+        assert_eq!(
+            verify_skyline(&rogue, &sky, None, 7),
+            Err(VerifyError::WitnessUnsupported)
+        );
+        // a witness that does not dominate its region
+        let weak = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.75,
+            },
+            CertRegion::Pruned {
+                rects: vec![Rect::new(vec![0.0, 0.0], vec![1.0, 1.0])],
+                volume: 0.25,
+                witness: PruneWitness::Dominator {
+                    point: Point::from(vec![0.1, 0.2]),
+                },
+            },
+        ]);
+        assert_eq!(
+            verify_skyline(&weak, &sky, None, 7),
+            Err(VerifyError::WitnessNotDominating)
+        );
+        // a non-antichain "skyline"
+        let bad = vec![t(1, &[0.1, 0.2]), t(2, &[0.2, 0.3])];
+        assert!(matches!(
+            verify_skyline(&good, &bad, None, 7),
+            Err(VerifyError::NotAntichain { .. })
+        ));
+    }
+
+    #[test]
+    fn opaque_witnesses_are_rejected_by_typed_verifiers() {
+        let cert = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.5,
+            },
+            CertRegion::Pruned {
+                rects: vec![Rect::new(vec![0.5, 0.0], vec![1.0, 1.0])],
+                volume: 0.5,
+                witness: PruneWitness::Opaque,
+            },
+        ]);
+        let score = LinearScore::uniform(2);
+        let answers = vec![t(1, &[0.9, 0.9])];
+        assert_eq!(
+            verify_topk(&cert, &answers, &score, 1, 7),
+            Err(VerifyError::ForeignWitness)
+        );
+        assert_eq!(
+            verify_skyline(&cert, &answers, None, 7),
+            Err(VerifyError::ForeignWitness)
+        );
+    }
+
+    #[test]
+    fn range_checks_membership_and_disjointness() {
+        let range = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        let cert = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.75,
+            },
+            CertRegion::Pruned {
+                rects: vec![Rect::new(vec![0.6, 0.6], vec![1.0, 1.0])],
+                volume: 0.25,
+                witness: PruneWitness::Disjoint,
+            },
+        ]);
+        verify_range(&cert, &[t(1, &[0.2, 0.2])], &range, 7).unwrap();
+        assert_eq!(
+            verify_range(&cert, &[t(1, &[0.8, 0.8])], &range, 7),
+            Err(VerifyError::OutsideRange { id: 1 })
+        );
+        let touching = tiled(vec![
+            CertRegion::Scanned {
+                peer: 0,
+                volume: 0.75,
+            },
+            CertRegion::Pruned {
+                rects: vec![Rect::new(vec![0.4, 0.4], vec![1.0, 1.0])],
+                volume: 0.25,
+                witness: PruneWitness::Disjoint,
+            },
+        ]);
+        assert_eq!(
+            verify_range(&touching, &[t(1, &[0.2, 0.2])], &range, 7),
+            Err(VerifyError::NotDisjoint)
+        );
+    }
+
+    #[test]
+    fn size_bytes_counts_geometry() {
+        let cert = tiled(vec![CertRegion::Pruned {
+            rects: vec![Rect::new(vec![0.0, 0.0], vec![1.0, 1.0])],
+            volume: 1.0,
+            witness: PruneWitness::ScoreBound { bound: 0.5 },
+        }]);
+        // header (16) + discriminant+volume (9) + 2 corners × 2 dims × 8 (32)
+        // + witness tag (1) + bound (8)
+        assert_eq!(cert.size_bytes(), 16 + 9 + 32 + 1 + 8);
+    }
+}

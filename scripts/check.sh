@@ -41,6 +41,26 @@ cargo test --release --offline -p ripple-core replica_equivalence -- --quiet
 cargo test --release --offline -p ripple-chord --test replica -- --quiet
 cargo run --release --offline -p ripple-bench --bin resilience_bench -- replication
 
+echo "== certificates (dependency-free checker, mutation harness, verified sweeps) =="
+# ripple-verify is the second oracle: it must stay dependency-free (its
+# entire normal dependency tree is ripple-geom) so a checker bug cannot
+# share a root cause with an executor bug. The mutation harness proves the
+# checker *rejects* corrupted executors; the equivalence suite proves
+# emission is plan-invisible; the quick bench re-verifies figure-shaped
+# sweeps end to end (the <= 5% overhead gate runs only in the full bench —
+# timing gates are flaky at smoke scale).
+cargo build --release --offline -p ripple-verify
+deps="$(cargo tree --offline -p ripple-verify --edges normal --prefix none | awk '{print $1}' | sort -u)"
+expected="$(printf 'ripple-geom\nripple-verify\n')"
+if [ "$deps" != "$expected" ]; then
+    echo "ripple-verify dependency tree changed:" >&2
+    echo "$deps" >&2
+    exit 1
+fi
+cargo test --release --offline -p ripple-core verify_mutation -- --quiet
+cargo test --release --offline -p ripple-core cert_equivalence -- --quiet
+cargo run --release --offline -p ripple-bench --bin certificates_bench -- quick
+
 echo "== simd-planner smoke (SIMD == scalar bit-identity + planner regression, no timing gate) =="
 # The geom property tests pin every SIMD kernel bit-identical to the scalar
 # oracle; the executor equivalence suites re-run under both forced dispatch
