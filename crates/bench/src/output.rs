@@ -95,13 +95,13 @@ impl Figure {
     /// Writes the figure as CSV (one row per (x, series) pair).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,tuples_scanned,blocks_pruned,duplicate_visits\n",
+            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits\n",
         );
         for s in &self.series {
             for p in &s.points {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
+                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{:.1},{}",
                     self.id,
                     s.name,
                     p.x,
@@ -122,7 +122,9 @@ impl Figure {
                     p.summary.repair_transfers,
                     p.summary.tuples_scanned,
                     p.summary.blocks_pruned,
-                    p.summary.duplicate_visits
+                    p.summary.duplicate_visits,
+                    p.summary.queue_wait_ns,
+                    p.summary.cache_hits
                 );
             }
         }
@@ -170,6 +172,8 @@ mod tests {
             tuples_scanned: 120.5,
             blocks_pruned: 3.25,
             duplicate_visits: 0,
+            queue_wait_ns: 1500.5,
+            cache_hits: 4,
         };
         Figure {
             id: "figX".into(),
@@ -204,12 +208,12 @@ mod tests {
         assert!(header.contains(
             "retries,timeouts,messages_dropped,repair_messages,\
              replica_hits,stale_reads,replica_bytes,repair_transfers,\
-             tuples_scanned,blocks_pruned,duplicate_visits"
+             tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits"
         ));
         let row = lines.next().unwrap();
         assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500,97"));
         assert!(row.ends_with(
-            ",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,120.5000,3.2500,0"
+            ",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,120.5000,3.2500,0,1500.5,4"
         ));
     }
 }

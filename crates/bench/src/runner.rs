@@ -173,6 +173,9 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
         // Anomaly totals add: one broken restriction area anywhere is a
         // figure-level red flag.
         duplicate_visits: parts.iter().map(|p| p.duplicate_visits).sum(),
+        queue_wait_ns: w(|p| p.queue_wait_ns),
+        // Hit totals add like anomalies: a count, not a per-query rate.
+        cache_hits: parts.iter().map(|p| p.cache_hits).sum(),
     }
 }
 
@@ -237,6 +240,8 @@ mod tests {
             tuples_scanned: 100.0,
             blocks_pruned: 8.0,
             duplicate_visits: 1,
+            queue_wait_ns: 4000.0,
+            cache_hits: 1,
         };
         let b = PointSummary {
             queries: 3,
@@ -257,6 +262,8 @@ mod tests {
             tuples_scanned: 20.0,
             blocks_pruned: 0.0,
             duplicate_visits: 0,
+            queue_wait_ns: 0.0,
+            cache_hits: 2,
         };
         let m = merge_summaries(&[a, b]);
         assert_eq!(m.queries, 4);
@@ -276,6 +283,8 @@ mod tests {
         assert!((m.tuples_scanned - 40.0).abs() < 1e-12);
         assert!((m.blocks_pruned - 2.0).abs() < 1e-12);
         assert_eq!(m.duplicate_visits, 1, "anomalies add across networks");
+        assert!((m.queue_wait_ns - 1000.0).abs() < 1e-12);
+        assert_eq!(m.cache_hits, 3, "hit counts add across networks");
     }
 
     #[test]

@@ -124,6 +124,57 @@ impl RippleOverlay for ChordNetwork {
     }
 }
 
+/// Chord serves top-k (the [`TopKQuery`] segment impl); skyline has no
+/// `Vec<Rect>` instantiation, so skyline submissions are rejected at
+/// admission with `ServiceError::Unsupported` instead of panicking a
+/// driver thread.
+impl ripple_core::service::Servable for ChordNetwork {
+    fn supports(query: &ripple_core::service::ServiceQuery) -> bool {
+        matches!(query, ripple_core::service::ServiceQuery::TopK { .. })
+    }
+
+    fn serve(
+        exec: &ripple_core::Executor<'_, Self>,
+        initiator: PeerId,
+        query: &ripple_core::service::ServiceQuery,
+        mode: ripple_core::framework::Mode,
+        threads: usize,
+    ) -> ripple_core::service::Served {
+        use ripple_core::service::{Served, ServiceQuery, ServiceScore};
+        match query {
+            ServiceQuery::TopK { score, k } => {
+                let (answers, metrics, coverage, certificate) = match score {
+                    ServiceScore::Linear(w) => ripple_core::topk::run_topk_certified_par(
+                        exec,
+                        initiator,
+                        ripple_geom::LinearScore::new(w.clone()),
+                        *k,
+                        mode,
+                        threads,
+                    ),
+                    ServiceScore::Peak(p, norm) => ripple_core::topk::run_topk_certified_par(
+                        exec,
+                        initiator,
+                        ripple_geom::PeakScore::new(p.clone(), *norm),
+                        *k,
+                        mode,
+                        threads,
+                    ),
+                };
+                Served {
+                    answers,
+                    metrics,
+                    coverage,
+                    certificate,
+                }
+            }
+            ServiceQuery::Skyline { .. } => {
+                unreachable!("skyline is rejected at admission: supports() returned false")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

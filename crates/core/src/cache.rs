@@ -6,8 +6,14 @@
 //! unimodal scores: a cached answer for a peak `p` with result size `k`
 //! answers any later query whose peak falls in the same quantized cell and
 //! asks for at most `k` results. Entries are tagged with the overlay's
-//! churn epoch, so any join/leave observed by the caller invalidates stale
-//! entries wholesale — the conservative variant of ARTO's maintenance.
+//! *snapshot generation* — read directly from the network on every lookup,
+//! not supplied by the caller — so **any** mutation the overlay counts
+//! (inserts, churn, crashes, replica repair/promotion) invalidates stale
+//! entries wholesale: the conservative variant of ARTO's maintenance.
+//! Earlier revisions tagged entries with a caller-tracked churn epoch,
+//! which missed generation bumps the caller didn't observe (e.g. a
+//! crash × replica repair): see the `stale_generation_hit_is_impossible`
+//! regression test.
 
 use crate::framework::{Mode, RankQuery, RippleOverlay};
 use crate::topk::{run_topk, TopKQuery};
@@ -26,7 +32,7 @@ pub struct CacheStats {
     pub hits: u64,
     /// Queries that went to the network.
     pub misses: u64,
-    /// Entries dropped by churn-epoch invalidation.
+    /// Entries dropped by generation invalidation.
     pub invalidated: u64,
 }
 
@@ -46,8 +52,8 @@ impl CacheStats {
 pub struct TopKCache {
     /// Cells per dimension of the peak quantization grid.
     resolution: u32,
-    /// Churn epoch the entries were built under.
-    epoch: u64,
+    /// Overlay snapshot generation the entries were built under.
+    generation: u64,
     entries: HashMap<CellKey, (usize, Vec<Tuple>)>,
     stats: CacheStats,
 }
@@ -59,7 +65,7 @@ impl TopKCache {
         assert!(resolution > 0);
         Self {
             resolution,
-            epoch: 0,
+            generation: 0,
             entries: HashMap::new(),
             stats: CacheStats::default(),
         }
@@ -89,20 +95,25 @@ impl TopKCache {
         )
     }
 
-    /// Informs the cache of the overlay's current churn epoch (e.g. a
-    /// join/leave counter). A new epoch drops every entry: cached answers
-    /// may reference tuples that moved.
-    pub fn observe_epoch(&mut self, epoch: u64) {
-        if epoch != self.epoch {
+    /// Tags the cache with the overlay's current snapshot generation. A
+    /// changed generation drops every entry: cached answers may reference
+    /// tuples that moved (churn), died (crashes) or were re-homed (replica
+    /// promotion). Called automatically by [`topk`](TopKCache::topk) — the
+    /// cache can never observe a generation later than the one it serves.
+    pub fn observe_generation(&mut self, generation: u64) {
+        if generation != self.generation {
             self.stats.invalidated += self.entries.len() as u64;
             self.entries.clear();
-            self.epoch = epoch;
+            self.generation = generation;
         }
     }
 
     /// Answers a top-k query, consulting the cache first. A hit costs no
     /// messages and no hops; a miss runs the network query and installs the
-    /// answer.
+    /// answer. The overlay's [`snapshot_generation`]
+    /// (RippleOverlay::snapshot_generation) is read here, on every call:
+    /// entries built under any earlier generation are dropped before the
+    /// lookup, so a stale-generation hit is impossible.
     pub fn topk<O, F>(
         &mut self,
         net: &O,
@@ -116,6 +127,7 @@ impl TopKCache {
         F: ScoreFn,
         TopKQuery<F>: RankQuery<O::Region>,
     {
+        self.observe_generation(net.snapshot_generation());
         let Some(peak) = score.peak_point() else {
             // nothing to key reuse on: pass through
             self.stats.misses += 1;
@@ -225,19 +237,64 @@ mod tests {
     }
 
     #[test]
-    fn churn_epochs_invalidate() {
-        let (net, _) = setup(7);
+    fn churn_generations_invalidate_automatically() {
+        let (mut net, _) = setup(7);
         let mut rng = SmallRng::seed_from_u64(8);
         let mut cache = TopKCache::new(8);
         let initiator = net.random_peer(&mut rng);
         let score = PeakScore::new(vec![0.4, 0.4], Norm::L1);
         let _ = cache.topk(&net, initiator, score.clone(), 5, Mode::Fast);
         assert_eq!(cache.len(), 1);
-        cache.observe_epoch(1);
-        assert!(cache.is_empty());
-        assert_eq!(cache.stats().invalidated, 1);
+        // The caller does not inform the cache: the next lookup reads the
+        // bumped generation itself and drops the entry.
+        net.join_random(&mut rng);
         let (_, m) = cache.topk(&net, initiator, score, 5, Mode::Fast);
         assert!(m.total_messages() > 0, "post-churn query must recompute");
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    /// Regression for the caller-tracked-epoch bug: a crash × replica
+    /// repair bumps the overlay generation without any join/leave the
+    /// caller would have counted as "churn". The cache must still refuse
+    /// the stale entry — it reads `snapshot_generation()` on every lookup,
+    /// so a stale-generation hit is impossible by construction.
+    #[test]
+    fn stale_generation_hit_is_impossible_after_crash_replica_repair() {
+        let (mut net, _) = setup(11);
+        net.enable_replication(1);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut cache = TopKCache::new(8);
+        let initiator = net.random_peer(&mut rng);
+        let score = PeakScore::new(vec![0.5, 0.5], Norm::L1);
+        let (_, m) = cache.topk(&net, initiator, score.clone(), 5, Mode::Fast);
+        assert!(m.total_messages() > 0);
+        let g0 = net.epoch();
+
+        // crash a peer and repair from replicas: tuples are re-homed, the
+        // generation bumps, but no join/leave happened
+        let victim = net
+            .live_peers()
+            .iter()
+            .copied()
+            .find(|&p| p != initiator)
+            .expect("another live peer");
+        net.crash(victim);
+        net.repair_all();
+        net.check_invariants();
+        assert!(net.epoch() > g0, "crash x repair must bump the generation");
+
+        let (post, m) = cache.topk(&net, initiator, score.clone(), 5, Mode::Fast);
+        assert!(
+            m.total_messages() > 0,
+            "post-repair query must go to the network, never a stale hit"
+        );
+        assert!(cache.stats().invalidated >= 1);
+        // and the recomputed answer agrees with a fresh uncached run
+        let (fresh, _) = run_topk(&net, initiator, score, 5, Mode::Fast);
+        assert_eq!(
+            post.iter().map(|t| t.id).collect::<Vec<_>>(),
+            fresh.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

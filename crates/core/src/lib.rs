@@ -67,6 +67,9 @@ pub mod planner;
 pub mod range;
 #[cfg(test)]
 mod replica_equivalence;
+pub mod service;
+#[cfg(test)]
+mod service_equivalence;
 pub mod skyline;
 pub mod topk;
 #[cfg(test)]
@@ -77,7 +80,12 @@ pub use framework::{Coverage, Mode, QueryOutcome, RankQuery, RippleOverlay};
 pub use planner::{box_selectivity, run_planned, CostWeights, PlanInputs, Planner, QueryHint};
 pub use range::{run_range, run_range_certified, RangeQuery};
 pub use ripple_verify::{CertRegion, Certificate, PruneWitness, VerifyError};
-pub use skyline::{
-    run_skyline, run_skyline_certified, run_skyline_query, run_skyline_query_with, SkylineQuery,
+pub use service::{
+    QueryService, Servable, Served, ServiceConfig, ServiceError, ServiceQuery, ServiceResponse,
+    ServiceScore, ServiceStats, TenantStats, Ticket,
 };
-pub use topk::{run_topk, run_topk_certified, run_topk_with, TopKQuery};
+pub use skyline::{
+    run_skyline, run_skyline_certified, run_skyline_certified_par, run_skyline_query,
+    run_skyline_query_with, SkylineQuery,
+};
+pub use topk::{run_topk, run_topk_certified, run_topk_certified_par, run_topk_with, TopKQuery};

@@ -87,6 +87,66 @@ impl RippleOverlay for MidasNetwork {
     }
 }
 
+/// MIDAS serves the full wire-form query set: its regions are plain boxes,
+/// so both the top-k and the skyline instantiations apply.
+impl crate::service::Servable for MidasNetwork {
+    fn supports(_query: &crate::service::ServiceQuery) -> bool {
+        true
+    }
+
+    fn serve(
+        exec: &crate::exec::Executor<'_, Self>,
+        initiator: PeerId,
+        query: &crate::service::ServiceQuery,
+        mode: crate::framework::Mode,
+        threads: usize,
+    ) -> crate::service::Served {
+        use crate::service::{Served, ServiceQuery, ServiceScore};
+        match query {
+            ServiceQuery::TopK { score, k } => {
+                let (answers, metrics, coverage, certificate) = match score {
+                    ServiceScore::Linear(w) => crate::topk::run_topk_certified_par(
+                        exec,
+                        initiator,
+                        ripple_geom::LinearScore::new(w.clone()),
+                        *k,
+                        mode,
+                        threads,
+                    ),
+                    ServiceScore::Peak(p, norm) => crate::topk::run_topk_certified_par(
+                        exec,
+                        initiator,
+                        ripple_geom::PeakScore::new(p.clone(), *norm),
+                        *k,
+                        mode,
+                        threads,
+                    ),
+                };
+                Served {
+                    answers,
+                    metrics,
+                    coverage,
+                    certificate,
+                }
+            }
+            ServiceQuery::Skyline { constraint } => {
+                let q = match constraint {
+                    Some(c) => crate::skyline::SkylineQuery::constrained(c.clone()),
+                    None => crate::skyline::SkylineQuery::new(),
+                };
+                let (answers, metrics, coverage, certificate) =
+                    crate::skyline::run_skyline_certified_par(exec, initiator, q, mode, threads);
+                Served {
+                    answers,
+                    metrics,
+                    coverage,
+                    certificate,
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -320,6 +320,38 @@ where
     (sky, metrics, coverage, certificate)
 }
 
+/// [`run_skyline_certified`] on the parallel intra-query executor: the same
+/// initiator-side dominance thinning around [`Executor::run_parallel`], so
+/// the outcome is bit-identical to the sequential runner's for any thread
+/// count (the serving layer's N drivers × M workers composition relies on
+/// this).
+pub fn run_skyline_certified_par<O>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    query: SkylineQuery,
+    mode: Mode,
+    threads: usize,
+) -> (
+    Vec<Tuple>,
+    QueryMetrics,
+    crate::framework::Coverage,
+    Option<Certificate>,
+)
+where
+    O: RippleOverlay<Region = Rect> + Sync,
+{
+    let QueryOutcome {
+        answers,
+        metrics,
+        coverage,
+        certificate,
+        ..
+    } = exec.run_parallel(initiator, &query, mode, threads);
+    let mut sky = dominance::skyline(&answers);
+    sky.sort_by_key(|t| t.id);
+    (sky, metrics, coverage, certificate)
+}
+
 /// Reference answer: centralized skyline, sorted by id (test oracle).
 pub fn centralized_skyline(tuples: &[Tuple]) -> Vec<Tuple> {
     let mut sky = dominance::skyline(tuples);

@@ -409,27 +409,72 @@ where
     F: ScoreFn,
     TopKQuery<F>: RankQuery<O::Region>,
 {
-    let net = exec.network();
     let query = TopKQuery::new(score, k);
-    let mut route_hops = 0u32;
-    let start = match query
-        .score
+    let (start, route_hops) = route_to_peak(exec.network(), initiator, &query.score, mode);
+    let outcome = exec.run(start, &query, mode);
+    finish_topk(&query, outcome, route_hops)
+}
+
+/// [`run_topk_certified`] on the parallel intra-query executor: identical
+/// routing and initiator post-processing around [`Executor::run_parallel`],
+/// so the outcome — answers, ledger, coverage, certificate — is
+/// bit-identical to the sequential runner's for any thread count (the
+/// serving layer's N drivers × M workers composition relies on this).
+pub fn run_topk_certified_par<O, F>(
+    exec: &Executor<'_, O>,
+    initiator: PeerId,
+    score: F,
+    k: usize,
+    mode: Mode,
+    threads: usize,
+) -> (Vec<Tuple>, QueryMetrics, Coverage, Option<Certificate>)
+where
+    O: RippleOverlay + Sync,
+    O::Region: Send,
+    F: ScoreFn,
+    TopKQuery<F>: RankQuery<O::Region> + Sync,
+    <TopKQuery<F> as RankQuery<O::Region>>::Global: Send + Sync,
+    <TopKQuery<F> as RankQuery<O::Region>>::Local: Send,
+{
+    let query = TopKQuery::new(score, k);
+    let (start, route_hops) = route_to_peak(exec.network(), initiator, &query.score, mode);
+    let outcome = exec.run_parallel(start, &query, mode, threads);
+    finish_topk(&query, outcome, route_hops)
+}
+
+/// Resolves the processing start peer: for a unimodal score on a routable
+/// substrate the query first travels to the peak owner (an ordinary DHT
+/// lookup); broadcasts and peakless scores start at the initiator.
+fn route_to_peak<O: RippleOverlay, F: ScoreFn>(
+    net: &O,
+    initiator: PeerId,
+    score: &F,
+    mode: Mode,
+) -> (PeerId, u32) {
+    match score
         .peak_point()
         .and_then(|p| net.route_lookup(initiator, &p))
     {
-        Some((owner, hops)) if mode != Mode::Broadcast => {
-            route_hops = hops;
-            owner
-        }
-        _ => initiator,
-    };
+        Some((owner, hops)) if mode != Mode::Broadcast => (owner, hops),
+        _ => (initiator, 0),
+    }
+}
+
+/// Initiator-side post-processing shared by the sequential and parallel
+/// runners: charge the routing transit, rank and dedup the answer stream,
+/// truncate to `k`.
+fn finish_topk<F: ScoreFn, L>(
+    query: &TopKQuery<F>,
+    outcome: QueryOutcome<L>,
+    route_hops: u32,
+) -> (Vec<Tuple>, QueryMetrics, Coverage, Option<Certificate>) {
     let QueryOutcome {
         mut answers,
         mut metrics,
         coverage,
         certificate,
         ..
-    } = exec.run(start, &query, mode);
+    } = outcome;
     // Routing transit forwards the lookup but does not process the query:
     // hops count as messages and latency, not as peer visits.
     metrics.latency += route_hops as u64;
@@ -442,7 +487,7 @@ where
             .then_with(|| a.id.cmp(&b.id))
     });
     answers.dedup_by_key(|t| t.id);
-    answers.truncate(k);
+    answers.truncate(query.k);
     (answers, metrics, coverage, certificate)
 }
 

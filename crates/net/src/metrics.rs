@@ -106,6 +106,21 @@ pub struct QueryMetrics {
     /// execution's ledger compares equal to the identical static execution —
     /// the plan is provenance, not cost.
     pub plan: Option<Plan>,
+    /// Wall-clock nanoseconds this query waited in the serving frontier
+    /// between admission and dispatch (0 for queries run directly through
+    /// an executor). Stamped by the `QueryService`; excluded from
+    /// `PartialEq` so a served ledger compares equal to the identical
+    /// standalone execution — scheduling delay is provenance, not cost.
+    pub queue_wait_ns: u64,
+    /// `true` when this outcome was answered from the service's shared
+    /// result cache instead of a fresh execution. Excluded from `PartialEq`
+    /// for the same reason as [`queue_wait_ns`](QueryMetrics::queue_wait_ns).
+    pub cache_hit: bool,
+    /// The overlay generation (`snapshot_generation`) this query was pinned
+    /// to by the service's epoch handshake, or `None` for direct executor
+    /// runs. Excluded from `PartialEq`: it restates the certificate's
+    /// generation stamp as provenance on the ledger.
+    pub served_generation: Option<u64>,
 }
 
 impl PartialEq for QueryMetrics {
@@ -132,6 +147,9 @@ impl PartialEq for QueryMetrics {
             trace_off,
             visited,
             plan: _,
+            queue_wait_ns: _,
+            cache_hit: _,
+            served_generation: _,
         } = self;
         *latency == other.latency
             && *query_messages == other.query_messages
@@ -435,6 +453,13 @@ pub struct PointSummary {
     pub tuples_scanned: f64,
     /// Mean columnar blocks skipped by block-level bound tests per query.
     pub blocks_pruned: f64,
+    /// Mean nanoseconds spent waiting in the serving frontier per query
+    /// (0 for batches run directly through an executor).
+    pub queue_wait_ns: f64,
+    /// Total queries in the point answered from the service's shared result
+    /// cache (an absolute count, like `duplicate_visits`: hit *rates* are
+    /// workload properties, so the raw count is the honest figure datum).
+    pub cache_hits: u64,
 }
 
 impl PointSummary {
@@ -461,6 +486,8 @@ impl PointSummary {
             duplicate_visits: 0,
             tuples_scanned: 0.0,
             blocks_pruned: 0.0,
+            queue_wait_ns: 0.0,
+            cache_hits: 0,
         }
     }
 }
@@ -485,6 +512,8 @@ pub struct MetricsAggregator {
     duplicate_sum: u64,
     scanned_sum: u64,
     pruned_sum: u64,
+    queue_wait_sum: u64,
+    cache_hits_sum: u64,
     /// Per-peer visit histogram over all recorded queries (FxHash: the keys
     /// are simulator-internal and this map is written once per peer-visit
     /// of every recorded query — a deterministic hot path). Merging assumes
@@ -520,6 +549,8 @@ impl MetricsAggregator {
         self.duplicate_sum += m.duplicate_visits;
         self.scanned_sum += m.tuples_scanned;
         self.pruned_sum += m.blocks_pruned;
+        self.queue_wait_sum += m.queue_wait_ns;
+        self.cache_hits_sum += u64::from(m.cache_hit);
         for &p in &m.visited {
             *self.peer_visits.entry(p).or_insert(0) += 1;
         }
@@ -550,6 +581,8 @@ impl MetricsAggregator {
         self.duplicate_sum += other.duplicate_sum;
         self.scanned_sum += other.scanned_sum;
         self.pruned_sum += other.pruned_sum;
+        self.queue_wait_sum += other.queue_wait_sum;
+        self.cache_hits_sum += other.cache_hits_sum;
         for (&p, &v) in &other.peer_visits {
             *self.peer_visits.entry(p).or_insert(0) += v;
         }
@@ -591,6 +624,8 @@ impl MetricsAggregator {
             duplicate_visits: self.duplicate_sum,
             tuples_scanned: self.scanned_sum as f64 / n,
             blocks_pruned: self.pruned_sum as f64 / n,
+            queue_wait_ns: self.queue_wait_sum as f64 / n,
+            cache_hits: self.cache_hits_sum,
         }
     }
 }
@@ -681,6 +716,11 @@ mod tests {
         lazier.tuples_scanned = 10_000;
         lazier.blocks_pruned = 17;
         assert_eq!(base, lazier, "scan effort is not an outcome");
+        let mut served = base.clone();
+        served.queue_wait_ns = 1_000_000;
+        served.cache_hit = true;
+        served.served_generation = Some(42);
+        assert_eq!(base, served, "serving provenance is not an outcome");
         let mut different = base.clone();
         different.latency = 4;
         assert_ne!(base, different);
@@ -721,6 +761,9 @@ mod tests {
                 duplicate_visits: i % 2,
                 tuples_scanned: 100 * i,
                 blocks_pruned: 2 * i,
+                queue_wait_ns: 1000 * i,
+                cache_hit: i % 2 == 1,
+                served_generation: Some(7),
                 ..QueryMetrics::default()
             };
             agg.record(&m);
@@ -737,6 +780,8 @@ mod tests {
         assert_eq!(s.duplicate_visits, 2, "anomalies total, not average");
         assert!((s.tuples_scanned - 150.0).abs() < 1e-12);
         assert!((s.blocks_pruned - 3.0).abs() < 1e-12);
+        assert!((s.queue_wait_ns - 1500.0).abs() < 1e-12);
+        assert_eq!(s.cache_hits, 2, "hits total, not average");
     }
 
     #[test]
@@ -822,6 +867,8 @@ mod tests {
         assert_eq!(e.duplicate_visits, 0);
         assert_eq!(e.tuples_scanned, 0.0);
         assert_eq!(e.blocks_pruned, 0.0);
+        assert_eq!(e.queue_wait_ns, 0.0);
+        assert_eq!(e.cache_hits, 0);
     }
 
     fn ledger_with(visits: &[u32], answers: usize, unreachable: &[f64]) -> BranchLedger {

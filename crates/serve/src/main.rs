@@ -1,0 +1,75 @@
+//! The `ripple-serve` demo binary: a seeded MIDAS overlay behind the
+//! multi-tenant [`QueryService`], speaking newline-delimited JSON on
+//! stdin/stdout. See the crate docs for the request grammar.
+//!
+//! ```text
+//! echo '{"op":"topk","k":3,"weights":[1.0,0.5]}' | cargo run --release --bin ripple-serve
+//! ```
+//!
+//! Flags (all optional): `--dims D --peers P --tuples N --seed S
+//! --drivers K --no-cache`.
+//!
+//! [`QueryService`]: ripple_core::QueryService
+
+use ripple_core::service::ServiceConfig;
+use ripple_serve::Session;
+use std::io::{BufRead, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ripple-serve [--dims D] [--peers P] [--tuples N] [--seed S] \
+         [--drivers K] [--no-cache]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut dims = 2usize;
+    let mut peers = 64usize;
+    let mut tuples = 2_000u64;
+    let mut seed = 42u64;
+    let mut config = ServiceConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--dims" => dims = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--peers" => peers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--tuples" => tuples = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--drivers" => config.drivers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--no-cache" => config.cache = false,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut session = Session::new(dims, peers, tuples, seed, config);
+    eprintln!(
+        "ripple-serve: {dims}-d MIDAS, {peers} peers, {tuples} tuples, \
+         generation {} — one JSON request per line",
+        session.service().generation()
+    );
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = session.handle_line(line.trim());
+        if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
+            break;
+        }
+    }
+}

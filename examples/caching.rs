@@ -4,7 +4,7 @@
 //!
 //! A hot workload (a few popular query points, Zipf-repeated) runs once
 //! without and once with the cache; the example prints the message savings
-//! and demonstrates churn-epoch invalidation.
+//! and demonstrates automatic generation invalidation under churn.
 //!
 //! ```text
 //! cargo run --release --example caching
@@ -64,9 +64,9 @@ fn main() {
         uncached_msgs as f64 / cached_msgs.max(1) as f64
     );
 
-    // churn invalidates: a join bumps the epoch, forcing recomputation
+    // churn invalidates: a join bumps the overlay generation, which the
+    // cache reads on its next lookup — no caller notification needed
     net.join_random(&mut rng);
-    cache.observe_epoch(1);
     let score = PeakScore::new(candidates[0].clone(), Norm::L1);
     let (_, m) = cache.topk(&net, initiator, score, 10, Mode::Slow);
     println!(

@@ -74,4 +74,17 @@ RIPPLE_KERNEL_DISPATCH=simd cargo test --release --offline -p ripple-core kernel
 cargo run --release --offline -p ripple-bench --bin kernel_microbench -- --quick
 cargo run --release --offline -p ripple-bench --bin planner_bench -- --quick
 
+echo "== serving smoke (epoch-pinned scheduling, generation-keyed cache, qps floor) =="
+# The property suites prove every served response is pinned to one
+# generation, verifies through ripple-verify against the generation it
+# claims (quiesced and racing churn alike), and replays bit-identically
+# on a lone executor; the smoke bench drives the closed loop end to end
+# (clients 1 -> 100, driver sweep, Zipf cache arm) with a hardware-aware
+# qps-scaling floor — the 3x gate runs only in the full bench on >= 8-way
+# hardware.
+cargo test --release --offline -p ripple-core service -- --quiet
+cargo test --release --offline -p ripple-chord --test serving -- --quiet
+cargo test --release --offline -p ripple-serve -- --quiet
+cargo run --release --offline -p ripple-bench --bin serving_bench -- --smoke
+
 echo "All checks passed."
