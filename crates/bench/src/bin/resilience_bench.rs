@@ -27,10 +27,25 @@
 //! always be re-shed before its last holder dies); k = 0 still degrades
 //! gracefully (survivor-exact answers, zero replica traffic).
 //!
-//! Writes `results/BENCH_PR2_resilience.json` and
-//! `results/BENCH_PR4_replication.json` and prints a summary table. Passing
-//! `replication` as an argument runs only the replication sweep (the CI
-//! smoke entry point).
+//! A fourth sweep (PR 9) measures the commission-fault plane: in-flight
+//! response corruption probability p ∈ {0, 0.05, 0.1, 0.2} × replication
+//! degree k ∈ {0, 1, 2} × online audit {on, off}. The unaudited arm is the
+//! ablation — it merges remote contributions as received and demonstrably
+//! admits corrupted tuples — while the audited arm must discard every
+//! tainted contribution, quarantine the offending peers, and (with k ≥ 1)
+//! re-answer their regions from replicas with exact recall. Acceptance: the
+//! audited arm never admits a corrupted tuple at any cell; at p ≤ 0.2 with
+//! k ≥ 1 it restores recall 1.0 with complete coverage and every
+//! certificate verifies; at p = 0 the two arms are bit-identical
+//! (audit invisibility).
+//!
+//! Writes `results/BENCH_PR2_resilience.json`,
+//! `results/BENCH_PR4_replication.json` and
+//! `results/BENCH_PR9_audit.json` and prints a summary table. Passing
+//! `replication` or `corruption` as an argument runs only that sweep (the
+//! CI smoke entry points); `corruption full` additionally measures the
+//! audit's wall-clock overhead on a clean run (gate: ≤ 5%), which the smoke
+//! entry skips because timing under CI load is not deterministic.
 //!
 //! [`Coverage`]: ripple_core::Coverage
 
@@ -43,8 +58,8 @@ use ripple_geom::{LinearScore, Tuple};
 use ripple_midas::MidasNetwork;
 use ripple_net::rng::rngs::SmallRng;
 use ripple_net::rng::{Rng, SeedableRng};
-use ripple_net::{FaultPlane, PeerId, QueryMetrics};
-use std::collections::HashSet;
+use ripple_net::{CorruptionPlane, FaultPlane, PeerId, QueryMetrics};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 const PEERS: usize = 256;
@@ -412,9 +427,309 @@ fn replication_sweep() {
     );
 }
 
+// ---- corruption sweep scale (PR 9) ----
+const C_RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+const C_KS: [usize; 3] = [0, 1, 2];
+const C_QUERIES: usize = 12;
+/// The corruption sweep cycles broadcast in as well: the pruned modes
+/// audit only a handful of contributions per query on a 64-peer overlay,
+/// too small a surface for low corruption rates to reliably manifest.
+const C_MODES: [Mode; 4] = [Mode::Fast, Mode::Slow, Mode::Ripple(2), Mode::Broadcast];
+/// Queries per timed batch of the invisibility measurement (`full` only).
+/// Individual queries finish in tens of microseconds on this overlay, so
+/// the batch must be long enough for per-query scheduler noise to wash out
+/// of a best-of-five measurement.
+const C_TIMED: usize = 10_000;
+
+/// Aggregates one (k, p, audit) cell of the corruption sweep.
+#[derive(Default)]
+struct CorrCell {
+    recall: f64,
+    coverage: f64,
+    audits_run: f64,
+    audits_failed: f64,
+    tainted: f64,
+    /// Answer tuples that are not bit-equal to the authoritative record
+    /// (forged ids or mutated payloads), summed over the cell's queries.
+    corrupted: u64,
+    /// Runs whose certificate the independent checker rejected.
+    cert_failures: usize,
+    /// Peers quarantined on the arm's network after the cell completes.
+    quarantined: usize,
+    n: usize,
+    /// Per-query answer ids, for the p = 0 bit-identity check.
+    answers: Vec<Vec<u64>>,
+}
+
+impl CorrCell {
+    fn avg(&self, v: f64) -> f64 {
+        v / self.n.max(1) as f64
+    }
+}
+
+/// One fresh twin network per arm: the audited arm's quarantine flush
+/// mutates its registry, so arms must never share a network. Builds are
+/// deterministic from the data, so twins are bit-identical at birth.
+fn corruption_net(data: &[Tuple], k: usize) -> MidasNetwork {
+    let mut net = midas_uniform_with_data(DIMS, R_PEERS, false, data, 7);
+    net.enable_replication(k);
+    net.refresh_replicas();
+    net.check_invariants();
+    net
+}
+
+fn run_corruption_arm(
+    net: &MidasNetwork,
+    p: f64,
+    seed: u64,
+    audit: bool,
+    pool: &[LinearScore],
+    truth: &[HashSet<u64>],
+    authoritative: &HashMap<u64, Tuple>,
+) -> CorrCell {
+    let inits = initiators(net, 0x900 ^ seed);
+    let epoch = net.epoch();
+    let mut cell = CorrCell::default();
+    for (i, &init) in inits.iter().take(C_QUERIES).enumerate() {
+        let mode = C_MODES[i % C_MODES.len()];
+        let mut exec = Executor::with_faults(net, FaultPlane::none(), i as u64)
+            .without_trace()
+            .with_corruption(CorruptionPlane::flat(p, seed));
+        if !audit {
+            exec = exec.without_audit();
+        }
+        let score = pool[i % pool.len()].clone();
+        let (got, m, cov, cert) = run_topk_certified(&exec, init, score.clone(), K, mode);
+        let cert = cert.expect("certificates are on by default");
+        if ripple_verify::verify_topk(&cert, &got, &score, K, epoch).is_err()
+            || ripple_verify::verify_coverage(&cert, cov.answered_fraction, &cov.unreachable)
+                .is_err()
+        {
+            cell.cert_failures += 1;
+        }
+        cell.corrupted += got
+            .iter()
+            .filter(|t| authoritative.get(&t.id) != Some(t))
+            .count() as u64;
+        cell.recall += recall(&got, &truth[i % pool.len()]);
+        cell.coverage += cov.answered_fraction;
+        cell.audits_run += m.audits_run as f64;
+        cell.audits_failed += m.audits_failed as f64;
+        cell.tainted += m.tainted_tuples_discarded as f64;
+        cell.n += 1;
+        cell.answers.push(got.iter().map(|t| t.id).collect());
+    }
+    cell.quarantined = net.quarantine().quarantined();
+    cell
+}
+
+/// Clean-run audit overhead: the same query batch with the audit armed
+/// (corruption plane inactive — the deployment configuration) versus
+/// explicitly disabled. Five repeats each, best-of taken, to shed
+/// scheduler noise. Returns (audit_on_secs, audit_off_secs).
+fn invisibility_cost(net: &MidasNetwork, pool: &[LinearScore]) -> (f64, f64) {
+    let inits = initiators(net, 0x91);
+    let batch = |audit: bool| {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = std::time::Instant::now();
+            for i in 0..C_TIMED {
+                let init = inits[i % inits.len()];
+                let mut exec = Executor::with_faults(net, FaultPlane::none(), i as u64)
+                    .without_trace()
+                    .with_corruption(CorruptionPlane::none());
+                if !audit {
+                    exec = exec.without_audit();
+                }
+                let score = pool[i % pool.len()].clone();
+                let mode = C_MODES[i % C_MODES.len()];
+                let (got, _, cov, _) = run_topk_certified(&exec, init, score, K, mode);
+                assert_eq!(got.len(), K);
+                assert!(cov.is_complete());
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    (batch(true), batch(false))
+}
+
+/// The PR 9 sweep: corruption probability × replication degree × audit
+/// on/off. Writes `results/BENCH_PR9_audit.json`.
+fn corruption_sweep(full: bool) {
+    eprintln!(
+        "corruption sweep: {R_PEERS} peers, {R_RECORDS} tuples, \
+         p in {{0,0.05,0.1,0.2}} x k in {{0,1,2}} x audit {{on,off}} ..."
+    );
+    let mut rng = SmallRng::seed_from_u64(0x4e7);
+    let data = ripple_data::synth::uniform(DIMS, R_RECORDS, &mut rng);
+    let authoritative: HashMap<u64, Tuple> = data.iter().map(|t| (t.id, t.clone())).collect();
+    let pool = score_pool();
+    let truth: Vec<HashSet<u64>> = pool
+        .iter()
+        .map(|s| ids(&centralized_topk(&data, s, K)))
+        .collect();
+
+    let mut rows = String::new();
+    let mut worst_gated_recall: f64 = 1.0;
+    let mut unaudited_poisoned = false;
+    for (ki, &k) in C_KS.iter().enumerate() {
+        for (pi, &p) in C_RATES.iter().enumerate() {
+            let seed = 0x9a0 + (ki * 7 + pi) as u64;
+            let audited = run_corruption_arm(
+                &corruption_net(&data, k),
+                p,
+                seed,
+                true,
+                &pool,
+                &truth,
+                &authoritative,
+            );
+            let unaudited = run_corruption_arm(
+                &corruption_net(&data, k),
+                p,
+                seed,
+                false,
+                &pool,
+                &truth,
+                &authoritative,
+            );
+            println!(
+                "corr k={k} p={p:<4} audited recall {:.4} cov {:.4} \
+                 audits {:>5.1} failed {:>4.1} quarantined {:>2} | \
+                 unaudited recall {:.4} corrupted {:>3} cert-fail {}",
+                audited.avg(audited.recall),
+                audited.avg(audited.coverage),
+                audited.avg(audited.audits_run),
+                audited.avg(audited.audits_failed),
+                audited.quarantined,
+                unaudited.avg(unaudited.recall),
+                unaudited.corrupted,
+                unaudited.cert_failures,
+            );
+
+            // The audit's core guarantee, at every cell: no corrupted tuple
+            // is ever admitted, no certificate is ever falsified.
+            assert_eq!(
+                audited.corrupted, 0,
+                "k={k} p={p}: audited arm admitted a corrupted tuple"
+            );
+            assert_eq!(
+                audited.cert_failures, 0,
+                "k={k} p={p}: audited certificates must all verify"
+            );
+            // The unaudited arm is oblivious by construction.
+            assert_eq!(unaudited.audits_run, 0.0, "ablation arm must not audit");
+            assert_eq!(unaudited.quarantined, 0, "ablation arm must not quarantine");
+            if p == 0.0 {
+                // Invisibility: with nothing to corrupt the two arms are
+                // bit-identical and the audit machinery never engages.
+                assert_eq!(audited.answers, unaudited.answers, "p=0 arms must match");
+                assert_eq!(audited.audits_run, 0.0, "inactive plane runs no audits");
+                assert_eq!(audited.quarantined, 0, "p=0 quarantines nothing");
+                assert_eq!(audited.avg(audited.recall), 1.0, "p=0 must be exact");
+            } else {
+                assert!(audited.audits_run > 0.0, "active plane must audit");
+                assert!(
+                    audited.audits_failed > 0.0 && audited.quarantined > 0,
+                    "k={k} p={p}: injected corruption must be caught and quarantined"
+                );
+                if unaudited.corrupted > 0
+                    || unaudited.avg(unaudited.recall) < 1.0
+                    || unaudited.cert_failures > 0
+                {
+                    unaudited_poisoned = true;
+                }
+            }
+            if k >= 1 && p <= 0.2 + 1e-9 {
+                worst_gated_recall = worst_gated_recall.min(audited.avg(audited.recall));
+                assert_eq!(
+                    audited.avg(audited.recall),
+                    1.0,
+                    "gate: k={k} must restore exact recall under corruption p={p}"
+                );
+                assert_eq!(
+                    audited.avg(audited.coverage),
+                    1.0,
+                    "gate: quarantined zones must be re-answered from replicas"
+                );
+            }
+
+            for (arm, c) in [("true", &audited), ("false", &unaudited)] {
+                let _ = writeln!(
+                    rows,
+                    "    {{ \"k\": {k}, \"p\": {p}, \"audit\": {arm}, \
+                     \"recall\": {:.4}, \"coverage\": {:.4}, \
+                     \"corrupted_admitted\": {}, \"cert_failures\": {}, \
+                     \"audits_run\": {:.3}, \"audits_failed\": {:.3}, \
+                     \"tainted_discarded\": {:.3}, \"quarantined\": {} }},",
+                    c.avg(c.recall),
+                    c.avg(c.coverage),
+                    c.corrupted,
+                    c.cert_failures,
+                    c.avg(c.audits_run),
+                    c.avg(c.audits_failed),
+                    c.avg(c.tainted),
+                    c.quarantined,
+                );
+            }
+        }
+    }
+    assert!(
+        unaudited_poisoned,
+        "ablation: the unaudited arm must demonstrably admit corruption somewhere at p >= 0.05"
+    );
+
+    let overhead = if full {
+        let (on, off) = invisibility_cost(&corruption_net(&data, 1), &pool);
+        let overhead = on / off - 1.0;
+        println!(
+            "invisibility: audit-on {on:.3}s vs audit-off {off:.3}s over {C_TIMED} queries \
+             ({:+.2}%)",
+            overhead * 100.0
+        );
+        assert!(
+            overhead <= 0.05,
+            "gate: clean-run audit overhead must stay within 5% ({overhead:+.4})"
+        );
+        format!("{overhead:.4}")
+    } else {
+        "null".to_string()
+    };
+
+    let rows = rows.trim_end().trim_end_matches(',').to_string();
+    let json = format!(
+        "{{\n  \"bench\": \"corruption_audit\",\n  {cpu},\n  \"config\": {{ \
+         \"peers\": {R_PEERS}, \"records\": {R_RECORDS}, \"dims\": {DIMS}, \
+         \"queries_per_cell\": {C_QUERIES}, \"k\": {K}, \"score_pool\": {SCORE_POOL}, \
+         \"corruption_rates\": [0, 0.05, 0.1, 0.2], \"replication_degrees\": [0, 1, 2], \
+         \"modes\": [\"fast\", \"slow\", \"ripple2\", \"broadcast\"] }},\n  \
+         \"acceptance\": {{ \"gate\": \"audited arm admits zero corrupted tuples \
+         everywhere; recall 1.0 and complete coverage at p <= 0.2 with k >= 1; \
+         unaudited ablation poisoned; clean-run overhead <= 5%\", \
+         \"worst_gated_recall\": {worst_gated_recall:.4}, \
+         \"unaudited_poisoned\": {unaudited_poisoned}, \
+         \"clean_run_overhead\": {overhead}, \"verified\": true }},\n  \
+         \"sweep\": [\n{rows}\n  ]\n}}\n",
+        cpu = cpu_header_json(),
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_PR9_audit.json", json).expect("write results");
+    eprintln!("wrote results/BENCH_PR9_audit.json");
+    assert_eq!(
+        worst_gated_recall, 1.0,
+        "acceptance: audited recall 1.0 at corruption p <= 0.2 with k >= 1"
+    );
+}
+
 fn main() {
-    // `resilience_bench replication` runs only the PR 4 replication sweep
-    // (the CI smoke entry point); with no argument, everything runs.
+    // `resilience_bench replication` / `resilience_bench corruption` run
+    // only that sweep (the CI smoke entry points); with no argument,
+    // everything runs. `corruption full` adds the timed invisibility gate.
+    if std::env::args().any(|a| a == "corruption") {
+        corruption_sweep(std::env::args().any(|a| a == "full"));
+        return;
+    }
     if std::env::args().any(|a| a == "replication") {
         replication_sweep();
         return;
@@ -601,4 +916,5 @@ fn main() {
     );
 
     replication_sweep();
+    corruption_sweep(true);
 }

@@ -95,13 +95,13 @@ impl Figure {
     /// Writes the figure as CSV (one row per (x, series) pair).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits\n",
+            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits,audits_run,audits_failed,quarantined_peers,tainted_discarded\n",
         );
         for s in &self.series {
             for p in &s.points {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{:.1},{}",
+                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{:.1},{},{:.4},{:.4},{},{:.4}",
                     self.id,
                     s.name,
                     p.x,
@@ -124,7 +124,11 @@ impl Figure {
                     p.summary.blocks_pruned,
                     p.summary.duplicate_visits,
                     p.summary.queue_wait_ns,
-                    p.summary.cache_hits
+                    p.summary.cache_hits,
+                    p.summary.audits_run,
+                    p.summary.audits_failed,
+                    p.summary.quarantined_peers,
+                    p.summary.tainted_tuples_discarded
                 );
             }
         }
@@ -174,6 +178,10 @@ mod tests {
             duplicate_visits: 0,
             queue_wait_ns: 1500.5,
             cache_hits: 4,
+            audits_run: 6.5,
+            audits_failed: 1.25,
+            quarantined_peers: 2,
+            tainted_tuples_discarded: 7.75,
         };
         Figure {
             id: "figX".into(),
@@ -208,12 +216,13 @@ mod tests {
         assert!(header.contains(
             "retries,timeouts,messages_dropped,repair_messages,\
              replica_hits,stale_reads,replica_bytes,repair_transfers,\
-             tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits"
+             tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits,\
+             audits_run,audits_failed,quarantined_peers,tainted_discarded"
         ));
         let row = lines.next().unwrap();
         assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500,97"));
         assert!(row.ends_with(
-            ",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,120.5000,3.2500,0,1500.5,4"
+            ",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,120.5000,3.2500,0,1500.5,4,6.5000,1.2500,2,7.7500"
         ));
     }
 }

@@ -176,6 +176,12 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
         queue_wait_ns: w(|p| p.queue_wait_ns),
         // Hit totals add like anomalies: a count, not a per-query rate.
         cache_hits: parts.iter().map(|p| p.cache_hits).sum(),
+        audits_run: w(|p| p.audits_run),
+        audits_failed: w(|p| p.audits_failed),
+        // A peer total, not a per-query rate: each part quarantines on its
+        // own network, so totals add.
+        quarantined_peers: parts.iter().map(|p| p.quarantined_peers).sum(),
+        tainted_tuples_discarded: w(|p| p.tainted_tuples_discarded),
     }
 }
 
@@ -242,6 +248,10 @@ mod tests {
             duplicate_visits: 1,
             queue_wait_ns: 4000.0,
             cache_hits: 1,
+            audits_run: 8.0,
+            audits_failed: 4.0,
+            quarantined_peers: 2,
+            tainted_tuples_discarded: 12.0,
         };
         let b = PointSummary {
             queries: 3,
@@ -264,6 +274,10 @@ mod tests {
             duplicate_visits: 0,
             queue_wait_ns: 0.0,
             cache_hits: 2,
+            audits_run: 0.0,
+            audits_failed: 0.0,
+            quarantined_peers: 1,
+            tainted_tuples_discarded: 0.0,
         };
         let m = merge_summaries(&[a, b]);
         assert_eq!(m.queries, 4);
@@ -285,6 +299,10 @@ mod tests {
         assert_eq!(m.duplicate_visits, 1, "anomalies add across networks");
         assert!((m.queue_wait_ns - 1000.0).abs() < 1e-12);
         assert_eq!(m.cache_hits, 3, "hit counts add across networks");
+        assert!((m.audits_run - 2.0).abs() < 1e-12, "weighted by queries");
+        assert!((m.audits_failed - 1.0).abs() < 1e-12);
+        assert_eq!(m.quarantined_peers, 3, "peer totals add across networks");
+        assert!((m.tainted_tuples_discarded - 3.0).abs() < 1e-12);
     }
 
     #[test]

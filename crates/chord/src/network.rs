@@ -22,7 +22,7 @@
 
 use ripple_geom::{Rect, Tuple};
 use ripple_net::rng::Rng;
-use ripple_net::{ChurnOverlay, PeerId, PeerStore, ReplicaSet};
+use ripple_net::{ChurnOverlay, PeerId, PeerStore, Quarantine, ReplicaSet};
 use std::collections::BTreeSet;
 
 /// A Chord peer: a ring position and the tuples of its arc.
@@ -58,6 +58,11 @@ pub struct ChordNetwork {
     /// to the owner's first `k` live ring successors — Chord's successor
     /// list reused as the replica topology.
     replicas: Option<ReplicaSet>,
+    /// Peers caught lying by the executor's online response audit. Always
+    /// present (an empty registry costs one snapshot check per query); the
+    /// executor snapshots and flushes it, the serving layer grants
+    /// probation on epoch advances.
+    quarantine: Quarantine,
     /// Snapshot generation: bumped by every mutation (joins, leaves,
     /// crashes, repairs, inserts, replication changes). Answer certificates
     /// are stamped with it so a verifier can tell which ring state a query
@@ -81,6 +86,7 @@ impl ChordNetwork {
             tuples_recovered: 0,
             repair_messages: 0,
             replicas: None,
+            quarantine: Quarantine::new(),
             epoch: 0,
         }
     }
@@ -88,6 +94,12 @@ impl ChordNetwork {
     /// The current snapshot generation (see the `epoch` field).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The quarantine registry of peers caught by the online response
+    /// audit.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
     }
 
     /// Builds a ring of `n` peers at uniformly random positions.
@@ -567,6 +579,35 @@ impl ChordNetwork {
                         let a = s.lo().coord(0).max(lo);
                         let b = s.hi().coord(0).min(hi);
                         (b - a).max(0.0)
+                    })
+                    .sum();
+                (overlap > 0.0).then_some((p, overlap))
+            })
+            .collect()
+    }
+
+    /// The arcs of the listed live peers inside `segments` — the
+    /// quarantine twin of [`dead_zones_in`](ChordNetwork::dead_zones_in):
+    /// a quarantined peer still sits on the ring (its arc is no dead zone)
+    /// but delivery routes around it, so recovery needs its arc geometry
+    /// explicitly. Ring order, like its twin.
+    pub fn peer_zones_in(&self, peers: &[PeerId], segments: &[Rect]) -> Vec<(PeerId, f64)> {
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        self.ring
+            .iter()
+            .filter(|&&p| peers.contains(&p) && self.is_live(p))
+            .filter_map(|&p| {
+                let overlap: f64 = self
+                    .zone_segments(p)
+                    .iter()
+                    .flat_map(|z| {
+                        segments.iter().map(|s| {
+                            let a = s.lo().coord(0).max(z.lo().coord(0));
+                            let b = s.hi().coord(0).min(z.hi().coord(0));
+                            (b - a).max(0.0)
+                        })
                     })
                     .sum();
                 (overlap > 0.0).then_some((p, overlap))

@@ -119,8 +119,16 @@ impl RippleOverlay for ChordNetwork {
         ChordNetwork::replicas(self)
     }
 
+    fn quarantine(&self) -> Option<&ripple_net::Quarantine> {
+        Some(ChordNetwork::quarantine(self))
+    }
+
     fn dead_zones_in(&self, region: &Vec<Rect>) -> Vec<(PeerId, f64)> {
         ChordNetwork::dead_zones_in(self, region)
+    }
+
+    fn peer_zones_in(&self, peers: &[PeerId], region: &Vec<Rect>) -> Vec<(PeerId, f64)> {
+        ChordNetwork::peer_zones_in(self, peers, region)
     }
 }
 

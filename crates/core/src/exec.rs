@@ -63,9 +63,12 @@ use ripple_geom::{neumaier, KernelDispatch, Tuple};
 use ripple_net::hash::{fx_set_with_capacity, FxHashSet};
 use ripple_net::pool::{self, Pool};
 use ripple_net::{
-    scan, BranchLedger, FaultPlane, FaultSession, LocalView, PeerId, QueryMetrics, ShardedVisited,
+    scan, BranchLedger, CorruptionMode, CorruptionPlane, CorruptionSession, FaultPlane,
+    FaultSession, LocalView, PeerId, QuarantineSnapshot, QueryMetrics, ShardedVisited,
 };
-use ripple_verify::{CertRegion, Certificate};
+use ripple_verify::{
+    audit_response, audit_witness, CertRegion, Certificate, PruneWitness, ResponseEnvelope,
+};
 use std::sync::Arc;
 
 /// The local answer a failover adopter computes *on behalf of* a dead peer
@@ -99,6 +102,23 @@ fn with_scan<T>(trace: bool, metrics: &mut QueryMetrics, f: impl FnOnce() -> T) 
     metrics.tuples_scanned += scanned;
     metrics.blocks_pruned += pruned;
     out
+}
+
+/// Everything one query execution needs to decide per-edge fault and
+/// corruption outcomes and per-peer quarantine standing. Immutable for the
+/// whole walk — both fault streams are keyed (not drawn in order) and the
+/// quarantine snapshot is frozen before the first hop — so sequential and
+/// parallel engines observe identical decisions.
+struct QuerySession {
+    /// Omission faults: drops, slow peers, timeouts.
+    faults: FaultSession,
+    /// Commission faults: the per-edge corrupted-response stream.
+    corrupt: CorruptionSession,
+    /// The peer the query started at; its own deposits are never audited
+    /// (a peer cannot usefully lie to itself).
+    initiator: PeerId,
+    /// The quarantine registry frozen at query start.
+    qsnap: QuarantineSnapshot,
 }
 
 /// Executes RIPPLE queries over an overlay.
@@ -135,6 +155,15 @@ pub struct Executor<'a, O> {
     /// bit-identical with certificates on or off — the ablation suite
     /// enforces it against [`Executor::without_certificates`].
     certificates: bool,
+    /// The commission-fault policy ([`CorruptionPlane::none`] by default):
+    /// remote answer deposits and prune witnesses pass through a seeded,
+    /// per-edge-keyed corruption stream before the initiator sees them.
+    corruption: CorruptionPlane,
+    /// Whether every remote contribution is audited against the responder's
+    /// authoritative store before merging (on by default). Off is the
+    /// ablation arm that demonstrates poisoning: corrupted responses land
+    /// in the final answer unchallenged.
+    audit: bool,
 }
 
 /// The mutable state threaded through one *sequential* execution.
@@ -144,7 +173,7 @@ struct RunState<'q, Q> {
     /// the same ledger shape the parallel engine reduces per branch.
     ledger: BranchLedger,
     visited: FxHashSet<PeerId>,
-    faults: FaultSession,
+    sess: QuerySession,
 }
 
 /// Everything a *parallel* execution shares across worker threads. Built
@@ -155,7 +184,7 @@ struct ParCtx<'a, O, Q> {
     exec: &'a Executor<'a, O>,
     query: &'a Q,
     visited: ShardedVisited,
-    faults: FaultSession,
+    sess: QuerySession,
     trace: bool,
     certs: bool,
 }
@@ -184,6 +213,8 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             use_blocks: true,
             dispatch: KernelDispatch::Auto,
             certificates: true,
+            corruption: CorruptionPlane::none(),
+            audit: true,
         }
     }
 
@@ -243,6 +274,25 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         self
     }
 
+    /// Drives remote responses through a commission-fault plane: each
+    /// non-initiator answer deposit and prune witness is corrupted with the
+    /// plane's probability, keyed by `(responder, initiator)` on the
+    /// executor's stream — replayable and schedule-free exactly like the
+    /// omission-fault streams. With [`CorruptionPlane::none`] (the default)
+    /// the corruption path short-circuits entirely.
+    pub fn with_corruption(mut self, plane: CorruptionPlane) -> Self {
+        self.corruption = plane;
+        self
+    }
+
+    /// Disables the online response audit: remote contributions are merged
+    /// as received, so an active corruption plane poisons the final answer.
+    /// The ablation arm of the poisoning benchmark and mutation harness.
+    pub fn without_audit(mut self) -> Self {
+        self.audit = false;
+        self
+    }
+
     /// Pins the kernel dispatch arm of every blocked scan this executor's
     /// views perform (`Auto` by default). Results, answers and ledgers are
     /// bit-identical on every arm — the kernel contract — which the
@@ -256,6 +306,34 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// The overlay this executor runs over.
     pub fn network(&self) -> &'a O {
         self.net
+    }
+
+    /// Opens one query's immutable fault/corruption/quarantine session on
+    /// this executor's stream.
+    fn session(&self, initiator: PeerId) -> QuerySession {
+        QuerySession {
+            faults: self.plane.session(self.stream),
+            corrupt: self.corruption.session(self.stream),
+            initiator,
+            qsnap: self
+                .net
+                .quarantine()
+                .map(|q| q.snapshot())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Flushes a finished query's merged audit verdicts into the overlay's
+    /// quarantine registry (tainted-wins per peer, order-free), crediting
+    /// newly quarantined peers to the ledger. A no-op for clean runs and
+    /// for overlays without a registry.
+    fn flush_audits(&self, ledger: &mut BranchLedger) {
+        if ledger.audits.is_empty() {
+            return;
+        }
+        if let Some(q) = self.net.quarantine() {
+            ledger.metrics.quarantined_peers += q.apply(&ledger.audits);
+        }
     }
 
     /// The view of `peer`'s tuples handed to the query functions. Indexed
@@ -288,40 +366,72 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
     /// volume is exactly the restriction volume minus the link volumes
     /// (compensated sum — tile counts run into the thousands under
     /// broadcast). No-op when certificate emission is off.
+    ///
+    /// Returns the tile's index in the branch's certificate stream so a
+    /// later failed deposit audit can rewrite the tile in place (the
+    /// audited-out zone becomes replica-served or unreachable).
     fn certify_scan(
         &self,
         w: PeerId,
         restriction: &O::Region,
         links: &[(PeerId, O::Region)],
         ledger: &mut BranchLedger,
-    ) {
-        if ledger.cert.is_none() {
-            return;
-        }
+    ) -> Option<usize> {
+        ledger.cert.as_ref()?;
         let covered = neumaier(links.iter().map(|(_, r)| self.net.region_volume(r)));
         let volume = self.net.region_volume(restriction) - covered;
         ledger.certify(|| CertRegion::Scanned {
             peer: w.index() as u64,
             volume,
         });
+        ledger.cert.as_ref().map(|c| c.len() - 1)
     }
 
     /// Records a pruned-link tile with the query's evidence that skipping
     /// the region was sound. No-op when certificate emission is off.
+    ///
+    /// The commission-fault plane taps this path: a lying peer reports a
+    /// corrupted numeric bound for the witness. When auditing is on the
+    /// claimed bound is checked against the honestly recomputed one — a
+    /// mismatch taints the peer and the *honest* witness is emitted (the
+    /// pruned region itself needs no re-query: pruning soundness depends
+    /// only on the recomputed bound). When auditing is off the corrupted
+    /// witness lands in the certificate, where the offline verifier fails
+    /// it with `WitnessMismatch`.
     fn certify_pruned<Q: RankQuery<O::Region>>(
         &self,
         query: &Q,
+        w: PeerId,
         region: &O::Region,
         global: &Q::Global,
+        sess: &QuerySession,
         ledger: &mut BranchLedger,
     ) {
         if ledger.cert.is_none() {
             return;
         }
+        let honest = query.prune_witness(region, global);
+        let witness = if w != sess.initiator && sess.corrupt.lies_about_witness(w, sess.initiator) {
+            corrupt_witness(&honest)
+        } else {
+            honest.clone()
+        };
+        let emitted = if self.audit && sess.corrupt.active() {
+            ledger.metrics.audits_run += 1;
+            if audit_witness(&witness, &honest).is_err() {
+                ledger.metrics.audits_failed += 1;
+                ledger.audits.push((w, true));
+                honest
+            } else {
+                witness
+            }
+        } else {
+            witness
+        };
         let entry = CertRegion::Pruned {
             rects: self.net.region_rects(region),
             volume: self.net.region_volume(region),
-            witness: query.prune_witness(region, global),
+            witness: emitted,
         };
         ledger.certify(|| entry);
     }
@@ -352,7 +462,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             // Worst case every peer is visited (broadcast); pre-sizing from
             // the overlay keeps the hot set from rehashing mid-query.
             visited: fx_set_with_capacity(self.net.peer_count()),
-            faults: self.plane.session(self.stream),
+            sess: self.session(initiator),
         };
         let full = self.net.full_region();
         let global = query.initial_global();
@@ -363,6 +473,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             Mode::Ripple(r) => self.ripple(initiator, &global, full, r, &mut run),
             Mode::Broadcast => self.broadcast(initiator, &global, full, &mut run),
         };
+        self.flush_audits(&mut run.ledger);
         let mut metrics = run.ledger.metrics;
         metrics.latency = latency;
         let coverage = self.coverage_of(&run.ledger.unreachable);
@@ -414,11 +525,11 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             exec: self,
             query,
             visited: ShardedVisited::new(self.net.peer_count(), threads * 4),
-            faults: self.plane.session(self.stream),
+            sess: self.session(initiator),
             trace: self.trace,
             certs: self.certificates,
         };
-        let (state, latency, ledger) = pool::scope(threads - 1, |pool| {
+        let (state, latency, mut ledger) = pool::scope(threads - 1, |pool| {
             let mut ledger = BranchLedger::with_certificates(self.trace, self.certificates);
             let full = self.net.full_region();
             let global = ctx.query.initial_global();
@@ -434,6 +545,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             };
             (state, latency, ledger)
         });
+        self.flush_audits(&mut ledger);
         let mut metrics = ledger.metrics;
         metrics.latency = latency;
         let coverage = self.coverage_of(&ledger.unreachable);
@@ -524,6 +636,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         &self,
         region: &O::Region,
         kept: Option<&O::Region>,
+        excluded: &[PeerId],
         ledger: &mut BranchLedger,
         answer: &F,
     ) -> f64 {
@@ -536,20 +649,30 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         if set.k() == 0 || set.is_empty() {
             return 0.0;
         }
-        // Owners whose dead zone survives in the kept part: the adopted
-        // subtree recovers those itself (its own deliver failures will land
-        // here again with the smaller region).
+        // Owners whose dead (or quarantined) zone survives in the kept
+        // part: the adopted subtree recovers those itself (its own deliver
+        // failures will land here again with the smaller region).
         let downstream: Vec<PeerId> = match kept {
             Some(kept) => self
                 .net
                 .dead_zones_in(kept)
                 .into_iter()
+                .chain(self.net.peer_zones_in(excluded, kept))
                 .map(|(owner, _)| owner)
                 .collect(),
             None => Vec::new(),
         };
+        // Dead zones first, quarantined zones after — a fixed order on data
+        // that cannot change mid-query (orphans under the epoch handshake,
+        // `excluded` from the immutable session snapshot), so sequential
+        // and parallel recoveries agree tile for tile.
+        let candidates = self
+            .net
+            .dead_zones_in(region)
+            .into_iter()
+            .chain(self.net.peer_zones_in(excluded, region));
         let mut recovered = 0.0;
-        for (owner, vol) in self.net.dead_zones_in(region) {
+        for (owner, vol) in candidates {
             if downstream.contains(&owner) {
                 continue;
             }
@@ -576,6 +699,148 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         recovered
     }
 
+    /// The coordinates of a fabricated tuple: the max corner of the first
+    /// rectangle of the restriction area the lying peer was handed. The
+    /// corner maximizes monotone scores, so an unaudited executor ranks the
+    /// forgery at the top — the worst-case poisoning.
+    fn fabricated_point(&self, restriction: &O::Region) -> Option<Vec<f64>> {
+        self.net
+            .region_rects(restriction)
+            .first()
+            .map(|r| r.hi().coords().to_vec())
+    }
+
+    /// Deposits a peer's local answer into the branch ledger, passing it
+    /// through the commission-fault plane and the online audit on the way.
+    ///
+    /// The initiator's own deposit is merged directly, and with no active
+    /// corruption plane and no probation peer to probe the whole path
+    /// collapses to the historical `ledger.answer(...)` — the clean-path
+    /// invisibility gate. Otherwise the deposit is wrapped in a response
+    /// envelope, possibly corrupted by the session's keyed stream, and —
+    /// when auditing is on — checked against the responder's authoritative
+    /// store: a failed audit discards the payload, taints the peer, and
+    /// re-answers its zone from a replica (or honestly reports it
+    /// unreachable). `recompute` runs the query's local functions the way
+    /// an honest responder would, under the global state the peer was
+    /// handed.
+    #[allow(clippy::too_many_arguments)]
+    fn deposit_answer<F: Fn(&[Tuple]) -> Vec<Tuple>>(
+        &self,
+        w: PeerId,
+        restriction: &O::Region,
+        scan_tile: Option<usize>,
+        sess: &QuerySession,
+        ledger: &mut BranchLedger,
+        answer: Vec<Tuple>,
+        recompute: &F,
+    ) {
+        if w == sess.initiator || (!sess.corrupt.active() && !sess.qsnap.has_probation()) {
+            ledger.answer(answer);
+            return;
+        }
+        let expected = self.net.snapshot_generation();
+        let mut payload = answer;
+        let mut declared = payload.len();
+        let mut generation = expected;
+        if let Some(mode) = sess.corrupt.corrupts(w, sess.initiator, 0) {
+            corrupt_payload(
+                mode,
+                &mut payload,
+                &mut declared,
+                &mut generation,
+                w,
+                || self.fabricated_point(restriction),
+            );
+        }
+        if !self.audit {
+            // Ablation arm: the (possibly poisoned) payload is merged
+            // unchallenged.
+            ledger.answer(payload);
+            return;
+        }
+        ledger.metrics.audits_run += 1;
+        let env = ResponseEnvelope {
+            payload: &payload,
+            declared_len: declared,
+            generation,
+        };
+        if audit_response(&env, self.net.peer_tuples(w), expected).is_ok() {
+            if sess.qsnap.is_probation(w) {
+                ledger.audits.push((w, false));
+            }
+            ledger.answer(payload);
+        } else {
+            ledger.metrics.audits_failed += 1;
+            ledger.metrics.tainted_tuples_discarded += payload.len() as u64;
+            ledger.audits.push((w, true));
+            self.audit_recover(w, restriction, scan_tile, ledger, recompute);
+        }
+    }
+
+    /// Re-answers the zone of an audited-out peer: its tainted contribution
+    /// covered the part of `restriction` no intersected link claims — the
+    /// same arithmetic as the peer's `Scanned` tile. A live replica of the
+    /// peer's tuples answers the zone (charged like any failover replica
+    /// read); with none, the zone is honestly unreachable. Either way the
+    /// scanned tile is rewritten in place; the unreachable case also
+    /// inserts the volume into the ledger's coverage stream at the tile's
+    /// ordinal, keeping the 1:1 in-order pairing between `Unreachable`
+    /// tiles and coverage entries that both engines and the coverage
+    /// verifier rely on.
+    fn audit_recover<F: Fn(&[Tuple]) -> Vec<Tuple>>(
+        &self,
+        w: PeerId,
+        restriction: &O::Region,
+        scan_tile: Option<usize>,
+        ledger: &mut BranchLedger,
+        recompute: &F,
+    ) {
+        let covered = neumaier(
+            self.net
+                .peer_links(w)
+                .into_iter()
+                .filter_map(|(_, region)| self.net.region_intersect(&region, restriction))
+                .map(|rr| self.net.region_volume(&rr)),
+        );
+        let volume = self.net.region_volume(restriction) - covered;
+        if self.use_replicas {
+            if let Some(set) = self.net.replicas().filter(|s| s.k() > 0) {
+                if let Some(rep) = set.get(w) {
+                    if rep.holders().iter().any(|&h| self.net.is_peer_live(h)) {
+                        ledger.metrics.forward();
+                        ledger.metrics.replica_hits += 1;
+                        if set.is_stale(rep) {
+                            ledger.metrics.stale_reads += 1;
+                        }
+                        ledger.metrics.replica_bytes += rep.payload_bytes();
+                        let ans =
+                            with_scan(self.trace, &mut ledger.metrics, || recompute(rep.tuples()));
+                        ledger.answer(ans);
+                        if let (Some(idx), Some(cert)) = (scan_tile, ledger.cert.as_mut()) {
+                            cert[idx] = CertRegion::Replica {
+                                owner: w.index() as u64,
+                                volume,
+                            };
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+        match (scan_tile, ledger.cert.as_mut()) {
+            (Some(idx), Some(cert)) => {
+                let ordinal = cert[..idx]
+                    .iter()
+                    .filter(|r| matches!(r, CertRegion::Unreachable { .. }))
+                    .count();
+                cert[idx] = CertRegion::Unreachable { volume };
+                ledger.unreachable.insert(ordinal, volume);
+            }
+            _ => ledger.unreachable.push(volume),
+        }
+    }
+
     /// Delivers a query-forward from `sender` into `restriction`, starting
     /// at the link target `first` and failing over across the overlay's
     /// alternate live candidates when retransmissions are exhausted. Returns
@@ -598,31 +863,53 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         sender: PeerId,
         first: PeerId,
         restriction: O::Region,
-        faults: &FaultSession,
+        sess: &QuerySession,
         ledger: &mut BranchLedger,
         answer: &F,
     ) -> (u64, Option<(PeerId, O::Region)>) {
-        if !faults.active() {
+        if !sess.faults.active() && sess.qsnap.no_exclusions() {
             ledger.metrics.forward();
             return (1, Some((first, restriction)));
         }
         let mut elapsed = 0u64;
-        let mut tried: Vec<PeerId> = Vec::new();
+        let mut tried: Vec<PeerId> = sess.qsnap.excluded().to_vec();
         let mut target = first;
         let mut restriction = restriction;
         loop {
-            let (spent, delivered) = self.transmit(sender, target, faults, ledger);
+            // A quarantined target is refused outright — no send, no
+            // timeout wait: the sender treats it like a known-dead peer.
+            let (spent, delivered) = if sess.qsnap.is_excluded(target) {
+                (0, false)
+            } else {
+                self.transmit(sender, target, &sess.faults, ledger)
+            };
             elapsed += spent;
             if delivered {
                 return (elapsed, Some((target, restriction)));
             }
-            tried.push(target);
-            match self.net.failover_target(&restriction, &tried) {
+            if !tried.contains(&target) {
+                tried.push(target);
+            }
+            // The filter guards against overlays whose `failover_target`
+            // ignores the `tried` exclusion: re-selecting an already-tried
+            // peer would loop forever once quarantine (or the overlay's own
+            // candidate logic) shrinks the candidate set. A filtered-out
+            // candidate means candidates are exhausted, not retryable.
+            match self
+                .net
+                .failover_target(&restriction, &tried)
+                .filter(|(next, _)| !tried.contains(next))
+            {
                 Some((next, sub)) => {
                     let lost = self.net.region_volume(&restriction) - self.net.region_volume(&sub);
                     if lost > 1e-12 {
-                        let recovered =
-                            self.recover_region(&restriction, Some(&sub), ledger, answer);
+                        let recovered = self.recover_region(
+                            &restriction,
+                            Some(&sub),
+                            sess.qsnap.excluded(),
+                            ledger,
+                            answer,
+                        );
                         let remaining = lost - recovered;
                         if remaining > 1e-12 {
                             ledger.unreachable.push(remaining);
@@ -634,7 +921,13 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                 }
                 None => {
                     let vol = self.net.region_volume(&restriction);
-                    let recovered = self.recover_region(&restriction, None, ledger, answer);
+                    let recovered = self.recover_region(
+                        &restriction,
+                        None,
+                        sess.qsnap.excluded(),
+                        ledger,
+                        answer,
+                    );
                     if recovered == 0.0 {
                         // Bit-identical to the replica-unaware executor: the
                         // whole region is reported, even if its volume is
@@ -699,13 +992,13 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                     .map(|rr| (t, rr))
             })
             .collect();
-        self.certify_scan(w, &restriction, &intersected, &mut run.ledger);
+        let scan_tile = self.certify_scan(w, &restriction, &intersected, &mut run.ledger);
         let mut links = Vec::with_capacity(intersected.len());
         for (target, restricted) in intersected {
             if q.is_link_relevant(&restricted, &global_w) {
                 links.push((target, restricted));
             } else {
-                self.certify_pruned(q, &restricted, &global_w, &mut run.ledger);
+                self.certify_pruned(q, w, &restricted, &global_w, &run.sess, &mut run.ledger);
             }
         }
 
@@ -714,7 +1007,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let mut remote_states = Vec::new();
         for (target, restricted) in links {
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
+                self.deliver(w, target, restricted, &run.sess, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 // subtree unreachable: the time wasted waiting still counts
                 latency = latency.max(delay);
@@ -725,10 +1018,21 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             latency = latency.max(delay + child_latency);
             remote_states.push(remote);
         }
-        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+        let local_answer = with_scan(self.trace, &mut run.ledger.metrics, || {
             q.compute_local_answer(&view, &local)
         });
-        run.ledger.answer(answer);
+        // An honest responder answers its zone from the state it *received*
+        // — exactly what a replica re-query reproduces after a failed audit.
+        let recompute = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, global);
+        self.deposit_answer(
+            w,
+            &restriction,
+            scan_tile,
+            &run.sess,
+            &mut run.ledger,
+            local_answer,
+            &recompute,
+        );
         if report_states {
             run.ledger.metrics.respond(run.query.state_payload(&local));
         }
@@ -771,7 +1075,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                     .map(|rr| (t, rr))
             })
             .collect();
-        self.certify_scan(w, &restriction, &links, &mut run.ledger);
+        let scan_tile = self.certify_scan(w, &restriction, &links, &mut run.ledger);
         links.sort_by(|a, b| {
             run.query
                 .priority(&b.1)
@@ -783,14 +1087,14 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             if !run.query.is_link_relevant(&restricted, &global_w) {
                 // Pruned under the *refined* state — certified mid-loop
                 // (slow is sequential in both engines, so the order agrees).
-                self.certify_pruned(q, &restricted, &global_w, &mut run.ledger);
+                self.certify_pruned(q, w, &restricted, &global_w, &run.sess, &mut run.ledger);
                 continue;
             }
             // Re-created each iteration: recovery answers under the *current*
             // refined global state, exactly what this forward carried.
             let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
+                self.deliver(w, target, restricted, &run.sess, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 // unreachable: sequential mode pays the wait in full
                 latency += delay;
@@ -803,10 +1107,19 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
-        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+        let local_answer = with_scan(self.trace, &mut run.ledger.metrics, || {
             q.compute_local_answer(&view, &local)
         });
-        run.ledger.answer(answer);
+        let recompute = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, global);
+        self.deposit_answer(
+            w,
+            &restriction,
+            scan_tile,
+            &run.sess,
+            &mut run.ledger,
+            local_answer,
+            &recompute,
+        );
         (local, latency)
     }
 
@@ -846,7 +1159,7 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                     .map(|rr| (t, rr))
             })
             .collect();
-        self.certify_scan(w, &restriction, &links, &mut run.ledger);
+        let scan_tile = self.certify_scan(w, &restriction, &links, &mut run.ledger);
         links.sort_by(|a, b| {
             run.query
                 .priority(&b.1)
@@ -856,12 +1169,12 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
         let mut latency = 0u64;
         for (target, restricted) in links {
             if !run.query.is_link_relevant(&restricted, &global_w) {
-                self.certify_pruned(q, &restricted, &global_w, &mut run.ledger);
+                self.certify_pruned(q, w, &restricted, &global_w, &run.sess, &mut run.ledger);
                 continue;
             }
             let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, &global_w);
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
+                self.deliver(w, target, restricted, &run.sess, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 latency += delay;
                 continue;
@@ -879,10 +1192,19 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             local = run.query.update_local_state(vec![local, remote]);
             global_w = run.query.compute_global_state(global, &local);
         }
-        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+        let local_answer = with_scan(self.trace, &mut run.ledger.metrics, || {
             q.compute_local_answer(&view, &local)
         });
-        run.ledger.answer(answer);
+        let recompute = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, global);
+        self.deposit_answer(
+            w,
+            &restriction,
+            scan_tile,
+            &run.sess,
+            &mut run.ledger,
+            local_answer,
+            &recompute,
+        );
         (local, latency)
     }
 
@@ -918,13 +1240,13 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
                     .map(|rr| (t, rr))
             })
             .collect();
-        self.certify_scan(w, &restriction, &links, &mut run.ledger);
+        let scan_tile = self.certify_scan(w, &restriction, &links, &mut run.ledger);
 
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(q, t, global);
         let mut latency = 0u64;
         for (target, restricted) in links {
             let (delay, adopted) =
-                self.deliver(w, target, restricted, &run.faults, &mut run.ledger, &answer);
+                self.deliver(w, target, restricted, &run.sess, &mut run.ledger, &answer);
             let Some((dest, restricted)) = adopted else {
                 latency = latency.max(delay);
                 continue;
@@ -933,11 +1255,69 @@ impl<'a, O: RippleOverlay> Executor<'a, O> {
             let (_, child_latency) = self.broadcast(dest, global, restricted, run);
             latency = latency.max(delay + child_latency);
         }
-        let answer = with_scan(self.trace, &mut run.ledger.metrics, || {
+        let local_answer = with_scan(self.trace, &mut run.ledger.metrics, || {
             q.compute_local_answer(&view, &local)
         });
-        run.ledger.answer(answer);
+        self.deposit_answer(
+            w,
+            &restriction,
+            scan_tile,
+            &run.sess,
+            &mut run.ledger,
+            local_answer,
+            &answer,
+        );
         (local, latency)
+    }
+}
+
+/// Applies one commission-fault mode to an answer envelope in place.
+/// `fabricate` supplies the coordinates of a forged tuple (`None` when the
+/// restriction has no geometry to forge into).
+fn corrupt_payload(
+    mode: CorruptionMode,
+    payload: &mut Vec<Tuple>,
+    declared: &mut usize,
+    generation: &mut u64,
+    w: PeerId,
+    fabricate: impl FnOnce() -> Option<Vec<f64>>,
+) {
+    match mode {
+        CorruptionMode::ScoreFlip => {
+            if let Some(t) = payload.first_mut() {
+                let mut coords = t.point.coords().to_vec();
+                coords[0] = -(coords[0].abs() + 1.0);
+                *t = Tuple::new(t.id, coords);
+            }
+        }
+        CorruptionMode::Truncate => {
+            // The declared length stays honest while the payload loses its
+            // last tuple (an empty answer has nothing to truncate).
+            payload.pop();
+        }
+        CorruptionMode::StaleGeneration => *generation = generation.wrapping_sub(1),
+        CorruptionMode::Fabricate => {
+            if let Some(coords) = fabricate() {
+                // A fresh id no store ever issued; length re-declared so
+                // only store membership can catch the forgery.
+                payload.push(Tuple::new(u64::MAX - w.index() as u64, coords));
+                *declared = payload.len();
+            }
+        }
+        CorruptionMode::LyingWitness => {
+            unreachable!("witness lies are drawn on the witness stream, never on deposits")
+        }
+    }
+}
+
+/// A corrupted numeric prune witness: the claimed bound drifts off the
+/// honestly recomputed one. Structural witnesses have no number to lie
+/// about and pass through unchanged.
+fn corrupt_witness(honest: &PruneWitness) -> PruneWitness {
+    match honest {
+        PruneWitness::ScoreBound { bound } => PruneWitness::ScoreBound { bound: bound + 1.0 },
+        PruneWitness::PhiBound { bound } => PruneWitness::PhiBound { bound: bound - 1.0 },
+        other => other.clone(),
     }
 }
 
@@ -994,14 +1374,14 @@ where
                 .map(|rr| (t, rr))
         })
         .collect();
-    ctx.exec.certify_scan(w, &restriction, &intersected, ledger);
+    let scan_tile = ctx.exec.certify_scan(w, &restriction, &intersected, ledger);
     let mut links = Vec::with_capacity(intersected.len());
     for (target, restricted) in intersected {
         if ctx.query.is_link_relevant(&restricted, &global_w) {
             links.push((target, restricted));
         } else {
             ctx.exec
-                .certify_pruned(ctx.query, &restricted, &global_w, ledger);
+                .certify_pruned(ctx.query, w, &restricted, &global_w, &ctx.sess, ledger);
         }
     }
 
@@ -1011,9 +1391,9 @@ where
         // A chain: forking buys nothing, recurse inline on this thread.
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global_w);
         for (target, restricted) in links {
-            let (delay, adopted) =
-                ctx.exec
-                    .deliver(w, target, restricted, &ctx.faults, ledger, &answer);
+            let (delay, adopted) = ctx
+                .exec
+                .deliver(w, target, restricted, &ctx.sess, ledger, &answer);
             match adopted {
                 None => latency = latency.max(delay),
                 Some((dest, restricted)) => {
@@ -1045,7 +1425,7 @@ where
                             w,
                             target,
                             restricted,
-                            &ctx.faults,
+                            &ctx.sess,
                             &mut branch,
                             &answer,
                         );
@@ -1079,10 +1459,19 @@ where
             }
         }
     }
-    let answer = with_scan(ctx.trace, &mut ledger.metrics, || {
+    let local_answer = with_scan(ctx.trace, &mut ledger.metrics, || {
         ctx.query.compute_local_answer(&view, &local)
     });
-    ledger.answer(answer);
+    let recompute = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, global);
+    ctx.exec.deposit_answer(
+        w,
+        &restriction,
+        scan_tile,
+        &ctx.sess,
+        ledger,
+        local_answer,
+        &recompute,
+    );
     if report_states {
         ledger.metrics.respond(ctx.query.state_payload(&local));
     }
@@ -1138,7 +1527,7 @@ where
                 .map(|rr| (t, rr))
         })
         .collect();
-    ctx.exec.certify_scan(w, &restriction, &links, ledger);
+    let scan_tile = ctx.exec.certify_scan(w, &restriction, &links, ledger);
     links.sort_by(|a, b| {
         ctx.query
             .priority(&b.1)
@@ -1149,13 +1538,13 @@ where
     for (target, restricted) in links {
         if !ctx.query.is_link_relevant(&restricted, &global_w) {
             ctx.exec
-                .certify_pruned(ctx.query, &restricted, &global_w, ledger);
+                .certify_pruned(ctx.query, w, &restricted, &global_w, &ctx.sess, ledger);
             continue;
         }
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, &global_w);
-        let (delay, adopted) =
-            ctx.exec
-                .deliver(w, target, restricted, &ctx.faults, ledger, &answer);
+        let (delay, adopted) = ctx
+            .exec
+            .deliver(w, target, restricted, &ctx.sess, ledger, &answer);
         let Some((dest, restricted)) = adopted else {
             latency += delay;
             continue;
@@ -1171,10 +1560,19 @@ where
         local = ctx.query.update_local_state(vec![local, remote]);
         global_w = ctx.query.compute_global_state(global, &local);
     }
-    let answer = with_scan(ctx.trace, &mut ledger.metrics, || {
+    let local_answer = with_scan(ctx.trace, &mut ledger.metrics, || {
         ctx.query.compute_local_answer(&view, &local)
     });
-    ledger.answer(answer);
+    let recompute = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, global);
+    ctx.exec.deposit_answer(
+        w,
+        &restriction,
+        scan_tile,
+        &ctx.sess,
+        ledger,
+        local_answer,
+        &recompute,
+    );
     (local, latency)
 }
 
@@ -1214,15 +1612,15 @@ where
                 .map(|rr| (t, rr))
         })
         .collect();
-    ctx.exec.certify_scan(w, &restriction, &links, ledger);
+    let scan_tile = ctx.exec.certify_scan(w, &restriction, &links, ledger);
 
     let mut latency = 0u64;
     if links.len() <= 1 {
         let answer = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, global);
         for (target, restricted) in links {
-            let (delay, adopted) =
-                ctx.exec
-                    .deliver(w, target, restricted, &ctx.faults, ledger, &answer);
+            let (delay, adopted) = ctx
+                .exec
+                .deliver(w, target, restricted, &ctx.sess, ledger, &answer);
             match adopted {
                 None => latency = latency.max(delay),
                 Some((dest, restricted)) => {
@@ -1246,7 +1644,7 @@ where
                             w,
                             target,
                             restricted,
-                            &ctx.faults,
+                            &ctx.sess,
                             &mut branch,
                             &answer,
                         );
@@ -1276,9 +1674,18 @@ where
             }
         }
     }
-    let answer = with_scan(ctx.trace, &mut ledger.metrics, || {
+    let local_answer = with_scan(ctx.trace, &mut ledger.metrics, || {
         ctx.query.compute_local_answer(&view, &local)
     });
-    ledger.answer(answer);
+    let recompute = |t: &[Tuple]| replica_answer::<O::Region, Q>(ctx.query, t, global);
+    ctx.exec.deposit_answer(
+        w,
+        &restriction,
+        scan_tile,
+        &ctx.sess,
+        ledger,
+        local_answer,
+        &recompute,
+    );
     (local, latency)
 }

@@ -9,7 +9,7 @@
 //! zone, partition the domain.
 
 use ripple_geom::{neumaier, Rect, Tuple};
-use ripple_net::{LocalView, PeerId, QueryMetrics, ReplicaSet};
+use ripple_net::{LocalView, PeerId, Quarantine, QueryMetrics, ReplicaSet};
 use ripple_verify::{Certificate, PruneWitness};
 
 /// What RIPPLE requires from a DHT substrate.
@@ -142,6 +142,18 @@ pub trait RippleOverlay {
         None
     }
 
+    /// The overlay's quarantine registry for peers caught lying by the
+    /// online response audit, when the substrate tracks one. The executor
+    /// snapshots it before each query (quarantined peers are treated like
+    /// dead peers: skipped straight to failover, excluded from failover
+    /// candidacy) and flushes the query's merged audit verdicts through it
+    /// afterwards. `None` (the default) disables quarantine entirely —
+    /// audits still discard tainted contributions, but nothing is
+    /// remembered across queries.
+    fn quarantine(&self) -> Option<&Quarantine> {
+        None
+    }
+
     /// The dead peers whose (orphaned, unrepaired) zones intersect `region`,
     /// each with the volume of the intersection, in a deterministic overlay
     /// order. The executor calls this at abandonment time to decide which
@@ -150,6 +162,21 @@ pub trait RippleOverlay {
     /// `replica_hits` schedule-free under the parallel engine. The default
     /// (no failure model) is empty.
     fn dead_zones_in(&self, _region: &Self::Region) -> Vec<(PeerId, f64)> {
+        Vec::new()
+    }
+
+    /// The zones of the listed *live* peers that intersect `region`, each
+    /// with the volume of the intersection, in a deterministic overlay
+    /// order — the quarantine twin of [`dead_zones_in`]: a quarantined peer
+    /// is alive but untrusted, so its zone never shows up as an orphan, yet
+    /// the executor must still re-answer it from a replica (or report it
+    /// unreachable) when delivery routes around the peer. The peer list is
+    /// always the query's immutable quarantine snapshot, never the live
+    /// registry, so the result cannot change mid-walk. The default (no
+    /// zone geometry) is empty.
+    ///
+    /// [`dead_zones_in`]: RippleOverlay::dead_zones_in
+    fn peer_zones_in(&self, _peers: &[PeerId], _region: &Self::Region) -> Vec<(PeerId, f64)> {
         Vec::new()
     }
 }

@@ -45,6 +45,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(test)]
+mod audit_equivalence;
 pub mod cache;
 #[cfg(test)]
 mod cert_equivalence;

@@ -82,8 +82,16 @@ impl RippleOverlay for MidasNetwork {
         MidasNetwork::replicas(self)
     }
 
+    fn quarantine(&self) -> Option<&ripple_net::Quarantine> {
+        Some(MidasNetwork::quarantine(self))
+    }
+
     fn dead_zones_in(&self, region: &Rect) -> Vec<(PeerId, f64)> {
         MidasNetwork::dead_zones_in(self, region)
+    }
+
+    fn peer_zones_in(&self, peers: &[PeerId], region: &Rect) -> Vec<(PeerId, f64)> {
+        MidasNetwork::peer_zones_in(self, peers, region)
     }
 }
 

@@ -287,6 +287,12 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Cache entries dropped by generation-bump purges.
     pub cache_invalidated: u64,
+    /// Peers currently quarantined by the overlay's commission-fault
+    /// registry (0 when the substrate has no quarantine).
+    pub quarantined_peers: u64,
+    /// Peers currently on probation (quarantined peers granted one audited
+    /// re-trial by an epoch advance).
+    pub probation_peers: u64,
 }
 
 /// One admitted query waiting in (or popped from) the frontier.
@@ -660,6 +666,15 @@ impl<O: Servable + Send + 'static> QueryService<O> {
         let before = net.snapshot_generation();
         let out = f(&mut net);
         let after = net.snapshot_generation();
+        if after != before {
+            // An epoch advance is the quarantine amnesty point: quarantined
+            // peers move to probation and earn their way back by passing
+            // one audited query. Done under the write lock, so no query
+            // observes a half-granted registry.
+            if let Some(q) = net.quarantine() {
+                q.grant_probation();
+            }
+        }
         drop(net);
         if after != before {
             if let Some(cache) = self.inner.cache.as_ref() {
@@ -687,9 +702,17 @@ impl<O: Servable + Send + 'static> QueryService<O> {
         self.inner.frontier.lock().expect("frontier poisoned").len
     }
 
-    /// Lifetime counters of the whole service.
+    /// Lifetime counters of the whole service, with the overlay's current
+    /// quarantine standing overlaid (frontier lock and overlay lock are
+    /// taken in sequence, never nested).
     pub fn stats(&self) -> ServiceStats {
-        self.inner.frontier.lock().expect("frontier poisoned").stats
+        let mut stats = self.inner.frontier.lock().expect("frontier poisoned").stats;
+        let net = self.inner.net.read().expect("overlay lock poisoned");
+        if let Some(q) = net.quarantine() {
+            stats.quarantined_peers = q.quarantined() as u64;
+            stats.probation_peers = q.on_probation() as u64;
+        }
+        stats
     }
 
     /// Lifetime counters of one tenant (all-zero for unknown tenants).

@@ -26,6 +26,14 @@
 //!   [`VerifyError::WitnessUnsupported`];
 //! * an executor that **hides abandoned volume** from the coverage report
 //!   → [`VerifyError::CoverageMismatch`] (and a tiling hole).
+//!
+//! The second half of the file moves from post-hoc mutation to **in-flight
+//! corruption**: the [`CorruptionPlane`] forges responses on the wire while
+//! the query runs, and each test contrasts the unaudited executor (which
+//! demonstrably admits the poison, or emits a certificate the offline
+//! checker rejects) with the audited one (which discards the taint,
+//! re-answers from replicas, quarantines the liar, and still produces the
+//! honest answer with a verifying certificate).
 
 use crate::exec::Executor;
 use crate::framework::Mode;
@@ -35,7 +43,7 @@ use ripple_geom::{LinearScore, Point, Rect, ScoreFn, Tuple};
 use ripple_midas::MidasNetwork;
 use ripple_net::rng::rngs::SmallRng;
 use ripple_net::rng::{Rng, SeedableRng};
-use ripple_net::FaultPlane;
+use ripple_net::{CorruptionMode, CorruptionPlane, FaultPlane};
 use ripple_verify::{
     verify_coverage, verify_skyline, verify_tiling, verify_topk, CertRegion, Certificate,
     PruneWitness, VerifyError,
@@ -336,4 +344,172 @@ fn hidden_abandoned_volume_is_caught() {
         verify_tiling(&cert, cert.default_tolerance()),
         Err(VerifyError::TilingGap { .. })
     ));
+}
+
+// ---- in-flight corruption: the CorruptionPlane forges on the wire ----
+
+/// A replicated, fully-live overlay: the audited arms below re-answer every
+/// tainted zone from a fresh replica, so recall stays perfect even at 100%
+/// corruption.
+fn replicated_net(seed: u64) -> (MidasNetwork, SmallRng) {
+    let (mut net, rng) = loaded_net(seed);
+    net.enable_replication(1);
+    net.refresh_replicas();
+    net.check_invariants();
+    (net, rng)
+}
+
+fn ids(answers: &[Tuple]) -> Vec<u64> {
+    answers.iter().map(|t| t.id).collect()
+}
+
+/// Runs the three arms of one in-flight corruption experiment — honest,
+/// corrupted-unaudited, corrupted-audited, in that order (the audited arm
+/// goes last because its flush populates the quarantine registry) — and
+/// asserts the audited arm's universal guarantees: honest answer, failed
+/// audits on the ledger, complete coverage, verifying certificate,
+/// populated quarantine. Returns the honest and unaudited answers for the
+/// per-mode poisoning asserts.
+fn corruption_arms(
+    net: &MidasNetwork,
+    rng: &mut SmallRng,
+    plane: CorruptionPlane,
+    k: usize,
+    mode: Mode,
+) -> (Vec<Tuple>, Vec<Tuple>, ripple_net::QueryMetrics) {
+    let score = LinearScore::uniform(2);
+    let initiator = net.random_peer(rng);
+    let (honest, ..) = run_topk_certified(&Executor::new(net), initiator, score.clone(), k, mode);
+
+    let ablation = Executor::new(net).with_corruption(plane).without_audit();
+    let (poisoned, pm, _, _) = run_topk_certified(&ablation, initiator, score.clone(), k, mode);
+    assert_eq!(pm.audits_run, 0, "the ablation arm must not audit");
+    assert_eq!(net.quarantine().len(), 0, "nor quarantine anyone");
+
+    let audited = Executor::new(net).with_corruption(plane);
+    let (clean, m, cov, cert) = run_topk_certified(&audited, initiator, score.clone(), k, mode);
+    assert_eq!(
+        ids(&clean),
+        ids(&honest),
+        "audit + replica re-query must restore the honest answer"
+    );
+    assert!(m.audits_run > 0, "remote deposits must be audited");
+    assert!(m.audits_failed > 0, "100% corruption must fail audits");
+    assert!(
+        cov.is_complete(),
+        "every tainted zone has a live replica: coverage stays complete"
+    );
+    verify_topk(&cert.expect("certs on"), &clean, &score, k, net.epoch())
+        .expect("the audited certificate must verify");
+    assert!(
+        net.quarantine().quarantined() > 0,
+        "tainted peers must be quarantined at flush"
+    );
+    (honest, poisoned, m)
+}
+
+#[test]
+fn in_flight_fabrication_poisons_unaudited_and_is_audited_out() {
+    let (net, mut rng) = replicated_net(81);
+    let plane = CorruptionPlane::only(CorruptionMode::Fabricate, 1.0, 21);
+    let (_, poisoned, m) = corruption_arms(&net, &mut rng, plane, 10, Mode::Broadcast);
+    // The forgery sits at the hi corner of the forger's restriction area:
+    // the best corner beats every real tuple under a monotone score, so the
+    // unaudited merge must rank at least one fabricated id into the top-k.
+    assert!(
+        poisoned.iter().any(|t| t.id >= 600),
+        "the unaudited executor must admit a fabricated tuple: {:?}",
+        ids(&poisoned)
+    );
+    // The audit catches the forgery as a tuple the responder's
+    // authoritative store does not contain.
+    assert!(m.tainted_tuples_discarded > 0);
+}
+
+#[test]
+fn in_flight_score_flip_corrupts_unaudited_and_is_audited_out() {
+    let (net, mut rng) = replicated_net(82);
+    let plane = CorruptionPlane::only(CorruptionMode::ScoreFlip, 1.0, 22);
+    let (honest, poisoned, _) = corruption_arms(&net, &mut rng, plane, 10, Mode::Broadcast);
+    // The flip drives each deposit's best tuple negative: the true winners
+    // vanish from the unaudited merge and the tail is promoted.
+    assert_ne!(
+        ids(&poisoned),
+        ids(&honest),
+        "the unaudited answer must lose flipped winners"
+    );
+}
+
+#[test]
+fn in_flight_truncation_is_caught_by_the_declared_length() {
+    let (net, mut rng) = replicated_net(83);
+    let plane = CorruptionPlane::only(CorruptionMode::Truncate, 1.0, 23);
+    // k = 1: every remote deposit carries exactly its local best, so the
+    // truncation empties it and the unaudited answer degrades to whatever
+    // the initiator holds locally.
+    let (honest, poisoned, _) = corruption_arms(&net, &mut rng, plane, 1, Mode::Broadcast);
+    assert_ne!(
+        ids(&poisoned),
+        ids(&honest),
+        "truncated deposits must cost the unaudited run its top-1"
+    );
+}
+
+#[test]
+fn in_flight_stale_generation_replay_is_pinned_out() {
+    let (net, mut rng) = replicated_net(84);
+    let plane = CorruptionPlane::only(CorruptionMode::StaleGeneration, 1.0, 24);
+    let (honest, poisoned, _) = corruption_arms(&net, &mut rng, plane, 10, Mode::Broadcast);
+    // The replayed payload is byte-identical to the honest one — replay
+    // only poisons once the data changes underneath it — so the unaudited
+    // answer happens to be right. The audited arm still rejects and
+    // quarantines: the generation pin is what makes the next mutation safe.
+    assert_eq!(ids(&poisoned), ids(&honest));
+}
+
+#[test]
+fn in_flight_lying_witness_fails_cert_unaudited_and_is_recomputed_audited() {
+    let (net, mut rng) = replicated_net(85);
+    let score = LinearScore::uniform(2);
+    let k = 10;
+    let initiator = net.random_peer(&mut rng);
+    let plane = CorruptionPlane::only(CorruptionMode::LyingWitness, 1.0, 25);
+    let (honest, ..) = run_topk_certified(
+        &Executor::new(&net),
+        initiator,
+        score.clone(),
+        k,
+        Mode::Slow,
+    );
+
+    // Witness corruption never touches answers — only the certificate.
+    let ablation = Executor::new(&net).with_corruption(plane).without_audit();
+    let (answers, _, _, cert) =
+        run_topk_certified(&ablation, initiator, score.clone(), k, Mode::Slow);
+    let cert = cert.expect("certs on");
+    assert_eq!(ids(&answers), ids(&honest));
+    assert!(
+        cert.regions
+            .iter()
+            .any(|r| matches!(r, CertRegion::Pruned { .. })),
+        "slow mode must prune (and therefore lie) somewhere"
+    );
+    assert!(
+        matches!(
+            verify_topk(&cert, &answers, &score, k, net.epoch()),
+            Err(VerifyError::WitnessMismatch { .. })
+        ),
+        "the offline checker must reject the forged bound"
+    );
+
+    // The online audit recomputes each claimed bound before it enters the
+    // certificate: the audited cert carries honest witnesses and verifies.
+    let audited = Executor::new(&net).with_corruption(plane);
+    let (answers, m, _, cert) =
+        run_topk_certified(&audited, initiator, score.clone(), k, Mode::Slow);
+    assert_eq!(ids(&answers), ids(&honest));
+    assert!(m.audits_failed > 0, "every witness lie must be caught");
+    verify_topk(&cert.expect("certs on"), &answers, &score, k, net.epoch())
+        .expect("the audited certificate must verify");
+    assert!(net.quarantine().quarantined() > 0, "liars are quarantined");
 }

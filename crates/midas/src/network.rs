@@ -25,7 +25,7 @@ use crate::peer::{Link, MidasPeer};
 use ripple_geom::kdspace::BitPath;
 use ripple_geom::{Point, Rect, Tuple};
 use ripple_net::rng::Rng;
-use ripple_net::{ChurnOverlay, PeerId, PeerStore, ReplicaSet};
+use ripple_net::{ChurnOverlay, PeerId, PeerStore, Quarantine, ReplicaSet};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How a splitting peer picks the split plane ("at some value along some
@@ -83,6 +83,11 @@ pub struct MidasNetwork {
     /// placed on the peers behind the owner's *deepest* links first — the
     /// sibling/buddy boxes, MIDAS's natural analogue of a successor list.
     replicas: Option<ReplicaSet>,
+    /// Peers caught lying by the executor's online response audit. Always
+    /// present (an empty registry costs one snapshot check per query); the
+    /// executor snapshots and flushes it, the serving layer grants
+    /// probation on epoch advances.
+    quarantine: Quarantine,
     /// Snapshot generation: bumped by every mutation (joins, leaves,
     /// crashes, repairs, inserts, replication changes). Answer certificates
     /// are stamped with it so a verifier can tell which overlay state a
@@ -120,8 +125,15 @@ impl MidasNetwork {
             tuples_recovered: 0,
             repair_messages: 0,
             replicas: None,
+            quarantine: Quarantine::new(),
             epoch: 0,
         }
+    }
+
+    /// The quarantine registry of peers caught by the online response
+    /// audit.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
     }
 
     /// The current snapshot generation (see the `epoch` field).
@@ -810,6 +822,24 @@ impl MidasNetwork {
                 o.zone
                     .intersection(region)
                     .map(|i| (o.dead, i.volume()))
+                    .filter(|&(_, v)| v > 0.0)
+            })
+            .collect()
+    }
+
+    /// The zones of the listed live peers inside `region` — the quarantine
+    /// twin of [`dead_zones_in`](MidasNetwork::dead_zones_in): a
+    /// quarantined peer is alive (its zone is no orphan) but routed around,
+    /// so recovery needs its zone geometry explicitly.
+    pub fn peer_zones_in(&self, peers: &[PeerId], region: &Rect) -> Vec<(PeerId, f64)> {
+        peers
+            .iter()
+            .filter(|&&p| self.is_live(p))
+            .filter_map(|&p| {
+                self.peer(p)
+                    .zone
+                    .intersection(region)
+                    .map(|i| (p, i.volume()))
                     .filter(|&(_, v)| v > 0.0)
             })
             .collect()

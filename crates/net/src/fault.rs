@@ -44,6 +44,18 @@ const SLOW_SALT: u64 = 0x51_0e_5a_17_ee_d0_07_b5;
 /// consumer of the session base generator).
 const DROP_SALT: u64 = 0xd1_0b_5a_17_0f_ed_9e_5d;
 
+/// Salt for the per-response corruption-decision streams (commission
+/// faults; distinct from the omission-fault salts above).
+const CORRUPT_SALT: u64 = 0xc0_44_07_7a_11_7e_0b_ad;
+
+/// Salt for the corruption *mode* selector, split from the hit decision so
+/// changing the mode distribution never perturbs which responses corrupt.
+const CORRUPT_MODE_SALT: u64 = 0x5e_1e_c7_ed_fa_15_e9_00;
+
+/// Salt for the lying-bound-witness streams (keyed per pruned link, which
+/// is a different address space than the per-response streams).
+const WITNESS_SALT: u64 = 0x11_ab_0c_0e_4e_55_0f_17;
+
 /// A seeded, deterministic fault-injection policy.
 ///
 /// The plane is plain data (`Copy`): cloning it into executors and worker
@@ -210,6 +222,187 @@ impl FaultSession {
     }
 }
 
+/// The five commission-fault shapes a corrupted peer's response can take.
+///
+/// Every mode is *detectable by construction* against the audit model of
+/// DESIGN.md §14 (honest storage plane, corrupted query/transport plane):
+/// a response envelope that disagrees with the authoritative store, the
+/// pinned generation, its own declared length, or a recomputed bound
+/// witness. The plane makes no attempt to model an adversary who forges
+/// *consistent* state — that would require signed stores, out of scope.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum CorruptionMode {
+    /// One coordinate of one answered tuple is bit-flipped in transit.
+    ScoreFlip,
+    /// The answer payload is truncated while the envelope still declares
+    /// the original length.
+    Truncate,
+    /// The response replays an earlier epoch: the generation stamp is one
+    /// behind the overlay's current snapshot generation.
+    StaleGeneration,
+    /// A tuple that exists on no peer is appended to the answer (placed at
+    /// the region's max corner, where it poisons unaudited top-k answers).
+    Fabricate,
+    /// A pruned link's corner-bound witness is inflated so the certificate
+    /// lies about why the region was skipped.
+    LyingWitness,
+}
+
+impl CorruptionMode {
+    /// Every mode, in selector order (index = discriminant used by the
+    /// keyed mode draw).
+    pub const ALL: [CorruptionMode; 5] = [
+        CorruptionMode::ScoreFlip,
+        CorruptionMode::Truncate,
+        CorruptionMode::StaleGeneration,
+        CorruptionMode::Fabricate,
+        CorruptionMode::LyingWitness,
+    ];
+}
+
+/// A seeded, deterministic commission-fault policy: which responses are
+/// corrupted, and how.
+///
+/// Mirrors [`FaultPlane`] exactly: plain `Copy` data, per-query
+/// [`session`](CorruptionPlane::session)s, and decisions that are *keyed*
+/// by the logical edge rather than drawn in execution order — so parallel
+/// and sequential walks of the same query see identical corruption, and a
+/// given `(plane, stream, query)` triple replays bit-identically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorruptionPlane {
+    /// Per-response probability that a remote peer's answer (or witness)
+    /// is corrupted in flight.
+    pub probability: f64,
+    /// When set, every corrupted response uses this mode; otherwise the
+    /// mode is drawn (keyed) uniformly from [`CorruptionMode::ALL`].
+    pub force: Option<CorruptionMode>,
+    /// Base seed. All decisions derive from it.
+    pub seed: u64,
+}
+
+impl CorruptionPlane {
+    /// The no-corruption policy: executors driven by it must behave
+    /// bit-identically to corruption-unaware ones (the invisibility gate).
+    pub fn none() -> Self {
+        Self {
+            probability: 0.0,
+            force: None,
+            seed: 0,
+        }
+    }
+
+    /// A plane corrupting responses with probability `p`, cycling through
+    /// all five modes keyed per response.
+    pub fn flat(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corruption probability range");
+        Self {
+            probability: p,
+            force: None,
+            seed,
+        }
+    }
+
+    /// A plane that always applies `mode` with probability `p` — the
+    /// mutation-harness arm that pins each mode to the check catching it.
+    pub fn only(mode: CorruptionMode, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corruption probability range");
+        Self {
+            probability: p,
+            force: Some(mode),
+            seed,
+        }
+    }
+
+    /// True when the plane can never corrupt a response.
+    pub fn is_none(&self) -> bool {
+        self.probability <= 0.0
+    }
+
+    /// Opens the per-query decision stream `stream` (same keying discipline
+    /// as [`FaultPlane::session`]).
+    pub fn session(&self, stream: u64) -> CorruptionSession {
+        CorruptionSession {
+            plane: *self,
+            base: SmallRng::seed_from_u64(
+                mix(self.seed ^ CORRUPT_SALT) ^ stream.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            ),
+        }
+    }
+}
+
+/// One query's view of the corruption plane: keyed, order-free decision
+/// streams over the session base, exactly like [`FaultSession`].
+#[derive(Clone, Debug)]
+pub struct CorruptionSession {
+    plane: CorruptionPlane,
+    base: SmallRng,
+}
+
+impl CorruptionSession {
+    /// True when any corruption machinery is active (the executor's
+    /// deposit fast path skips all commission-fault bookkeeping when this
+    /// is false — the invisibility gate's short circuit).
+    pub fn active(&self) -> bool {
+        !self.plane.is_none()
+    }
+
+    /// Decides whether — and how — the answer response from `sender` back
+    /// to `initiator` is corrupted in flight. Keyed by
+    /// `(sender, initiator, attempt)` on the session base: the same
+    /// response always receives the same verdict regardless of thread
+    /// schedule or draw order. [`CorruptionMode::LyingWitness`] never
+    /// appears here — witness lies are drawn (per pruned link) through
+    /// [`lies_about_witness`](CorruptionSession::lies_about_witness).
+    pub fn corrupts(
+        &self,
+        sender: PeerId,
+        initiator: PeerId,
+        attempt: u32,
+    ) -> Option<CorruptionMode> {
+        if self.plane.probability <= 0.0 || self.plane.force == Some(CorruptionMode::LyingWitness) {
+            return None;
+        }
+        let key = mix(
+            mix(mix(CORRUPT_SALT ^ sender.index() as u64) ^ initiator.index() as u64)
+                ^ u64::from(attempt),
+        );
+        if !self.base.split(key).gen_bool(self.plane.probability) {
+            return None;
+        }
+        Some(self.mode_for(key))
+    }
+
+    /// Decides whether the bound witness `sender` emits for the pruned
+    /// link toward `target` lies. Only meaningful for certifying
+    /// executions; keyed per pruned link on its own salt. Forcing any
+    /// *response* mode disables witness lies (and vice versa), so the
+    /// mutation harness can pin one mode at a time.
+    pub fn lies_about_witness(&self, sender: PeerId, target: PeerId) -> bool {
+        if self.plane.probability <= 0.0 {
+            return false;
+        }
+        match self.plane.force {
+            Some(CorruptionMode::LyingWitness) | None => {}
+            Some(_) => return false,
+        }
+        let key = mix(mix(WITNESS_SALT ^ sender.index() as u64) ^ target.index() as u64);
+        self.base.split(key).gen_bool(self.plane.probability)
+    }
+
+    /// The response mode applied to a corrupted answer (forced, or drawn
+    /// keyed from the hit key so the selection is schedule-free too).
+    /// Drawn from the four response modes; witness lies have their own
+    /// per-link streams.
+    fn mode_for(&self, key: u64) -> CorruptionMode {
+        if let Some(mode) = self.plane.force {
+            return mode;
+        }
+        let n = (CorruptionMode::ALL.len() - 1) as u64;
+        let pick = mix(key ^ CORRUPT_MODE_SALT) % n;
+        CorruptionMode::ALL[pick as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +491,90 @@ mod tests {
         };
         assert_eq!(plane.crash_quota(128), 13);
         assert_eq!(plane.crash_quota(0), 0);
+    }
+
+    #[test]
+    fn corruption_none_is_inert() {
+        let plane = CorruptionPlane::none();
+        assert!(plane.is_none());
+        let s = plane.session(42);
+        assert!(!s.active());
+        for i in 0..100 {
+            assert!(s.corrupts(PeerId::new(i), PeerId::new(0), 0).is_none());
+            assert!(!s.lies_about_witness(PeerId::new(i), PeerId::new(0)));
+        }
+    }
+
+    #[test]
+    fn corruption_decisions_are_deterministic_and_track_p() {
+        let plane = CorruptionPlane::flat(0.3, 99);
+        let draw = |stream: u64| -> Vec<Option<CorruptionMode>> {
+            let s = plane.session(stream);
+            (0..2000u32)
+                .map(|i| s.corrupts(PeerId::new(i % 50), PeerId::new(i / 50), 0))
+                .collect()
+        };
+        assert_eq!(draw(1), draw(1), "same stream replays identically");
+        assert_ne!(draw(1), draw(2), "streams are independent");
+        let hits = draw(5).iter().filter(|m| m.is_some()).count();
+        assert!((450..750).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn corruption_decisions_are_keyed_not_ordered() {
+        let plane = CorruptionPlane::flat(0.5, 7);
+        let s = plane.session(3);
+        let edges: Vec<(PeerId, PeerId)> = (0..200u32)
+            .map(|i| (PeerId::new(i % 13), PeerId::new(7 + i % 31)))
+            .collect();
+        let forward: Vec<Option<CorruptionMode>> =
+            edges.iter().map(|&(a, b)| s.corrupts(a, b, 0)).collect();
+        let backward: Vec<Option<CorruptionMode>> = edges
+            .iter()
+            .rev()
+            .map(|&(a, b)| s.corrupts(a, b, 0))
+            .collect();
+        let backward_reversed: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(
+            forward, backward_reversed,
+            "per-response verdicts must not depend on draw order"
+        );
+    }
+
+    #[test]
+    fn flat_plane_exercises_every_response_mode_and_witness_lies() {
+        let plane = CorruptionPlane::flat(1.0, 11);
+        let s = plane.session(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..200u32 {
+            if let Some(m) = s.corrupts(PeerId::new(i), PeerId::new(1000), 0) {
+                seen.insert(format!("{m:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 4, "all four response modes drawn: {seen:?}");
+        assert!(
+            !seen.contains("LyingWitness"),
+            "witness lies never ride the response stream"
+        );
+        assert!((0..200u32).any(|i| s.lies_about_witness(PeerId::new(i), PeerId::new(0))));
+    }
+
+    #[test]
+    fn forced_modes_partition_the_streams() {
+        let forced = CorruptionPlane::only(CorruptionMode::Fabricate, 1.0, 5);
+        let s = forced.session(0);
+        assert_eq!(
+            s.corrupts(PeerId::new(1), PeerId::new(2), 0),
+            Some(CorruptionMode::Fabricate)
+        );
+        assert!(
+            !s.lies_about_witness(PeerId::new(1), PeerId::new(2)),
+            "forcing a response mode disables witness lies"
+        );
+        let lying = CorruptionPlane::only(CorruptionMode::LyingWitness, 1.0, 5);
+        let s = lying.session(0);
+        assert!(s.corrupts(PeerId::new(1), PeerId::new(2), 0).is_none());
+        assert!(s.lies_about_witness(PeerId::new(1), PeerId::new(2)));
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //!   scanned, blocks pruned), bracketed by the executor and off by default.
 //! * [`churn`] — the two-stage (increasing / decreasing) network dynamics
 //!   driver of Section 7.1.
-//! * [`fault`] — the seeded, deterministic fault-injection policy
-//!   ([`FaultPlane`]) driving message drops, slow peers and ungraceful
-//!   crashes through the substrate.
+//! * [`fault`] — the seeded, deterministic fault-injection policies:
+//!   omission faults ([`FaultPlane`] — message drops, slow peers,
+//!   ungraceful crashes) and commission faults ([`CorruptionPlane`] —
+//!   corrupted responses audited online by the executor).
+//! * [`quarantine`] — the registry of peers caught lying by the online
+//!   response audit ([`Quarantine`]), with the probation lifecycle that
+//!   re-admits them only after an audited-clean probe.
 //! * [`pool`] — the scoped work-stealing fork–join pool the intra-query
 //!   parallel executor runs on.
 //! * [`replica`] — the k-replication ledger ([`ReplicaSet`]) that lets a
@@ -40,6 +44,7 @@ pub mod hash;
 pub mod metrics;
 pub mod peer;
 pub mod pool;
+pub mod quarantine;
 pub mod replica;
 pub mod rng;
 pub mod scan;
@@ -48,10 +53,11 @@ pub mod store;
 
 pub use block::{BlockSet, BLOCK_ROWS};
 pub use churn::{ChurnOverlay, ChurnStage};
-pub use fault::{FaultPlane, FaultSession};
+pub use fault::{CorruptionMode, CorruptionPlane, CorruptionSession, FaultPlane, FaultSession};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::{BranchLedger, MetricsAggregator, PointSummary, QueryMetrics, ShardedVisited};
 pub use peer::PeerId;
+pub use quarantine::{Quarantine, QuarantineSnapshot, Standing};
 pub use replica::{Replica, ReplicaSet};
 pub use stats::{Distribution, Ewma, ModeStats, Plan, PlanSource, PlannedMode, QueryStats};
 pub use store::{LocalView, PeerStore};

@@ -84,6 +84,23 @@ pub struct QueryMetrics {
     /// from the constraint) without touching a row. Excluded from
     /// `PartialEq`; 0 when the executor runs with tracing off.
     pub blocks_pruned: u64,
+    /// Online response audits performed on remote contributions (answer
+    /// envelopes and pruned-link bound witnesses). Excluded from
+    /// `PartialEq`: auditing is an observation of the run, never an input
+    /// to it — an audited and an unaudited execution that merged the same
+    /// contributions must compare equal.
+    pub audits_run: u64,
+    /// Audits that caught a corrupted contribution (tainted answer
+    /// discarded, lying witness replaced). Always `<= audits_run`.
+    /// Excluded from `PartialEq` like [`audits_run`](QueryMetrics::audits_run).
+    pub audits_failed: u64,
+    /// Peers newly quarantined when this query's merged audit verdicts
+    /// were flushed into the overlay's [`Quarantine`](crate::quarantine::Quarantine)
+    /// registry. Excluded from `PartialEq`.
+    pub quarantined_peers: u64,
+    /// Tuples discarded from tainted answer payloads before they could
+    /// reach the answer stream. Excluded from `PartialEq`.
+    pub tainted_tuples_discarded: u64,
     /// When `true`, [`visit`](QueryMetrics::visit) does *not* append to
     /// [`visited`](QueryMetrics::visited): counters stay exact but the
     /// O(visits) trace is not retained. Inverted so that
@@ -144,6 +161,10 @@ impl PartialEq for QueryMetrics {
             duplicate_visits,
             tuples_scanned: _,
             blocks_pruned: _,
+            audits_run: _,
+            audits_failed: _,
+            quarantined_peers: _,
+            tainted_tuples_discarded: _,
             trace_off,
             visited,
             plan: _,
@@ -248,6 +269,10 @@ impl QueryMetrics {
         self.duplicate_visits += other.duplicate_visits;
         self.tuples_scanned += other.tuples_scanned;
         self.blocks_pruned += other.blocks_pruned;
+        self.audits_run += other.audits_run;
+        self.audits_failed += other.audits_failed;
+        self.quarantined_peers += other.quarantined_peers;
+        self.tainted_tuples_discarded += other.tainted_tuples_discarded;
         if !self.trace_off {
             self.visited.extend_from_slice(&other.visited);
         }
@@ -294,6 +319,13 @@ pub struct BranchLedger {
     /// other streams this concatenates under link-order merging, so the
     /// parallel executor reproduces the sequential certificate bit-for-bit.
     pub cert: Option<Vec<CertRegion>>,
+    /// Audit verdicts (`(peer, tainted)`) recorded by the branch's online
+    /// response audits, in emission order. Never consulted mid-query; the
+    /// executor flushes the merged stream into the overlay's quarantine
+    /// registry after the walk completes, and the registry's per-peer
+    /// reduction is order-free — so the link-order concatenation is for
+    /// uniformity, not correctness.
+    pub audits: Vec<(PeerId, bool)>,
 }
 
 impl BranchLedger {
@@ -345,6 +377,7 @@ impl BranchLedger {
         if let (Some(cert), Some(child_cert)) = (self.cert.as_mut(), child.cert) {
             cert.extend(child_cert);
         }
+        self.audits.extend(child.audits);
     }
 }
 
@@ -453,6 +486,17 @@ pub struct PointSummary {
     pub tuples_scanned: f64,
     /// Mean columnar blocks skipped by block-level bound tests per query.
     pub blocks_pruned: f64,
+    /// Mean online response audits run per query (0 with the corruption
+    /// machinery disengaged).
+    pub audits_run: f64,
+    /// Mean audits per query that caught a corrupted contribution.
+    pub audits_failed: f64,
+    /// Total peers newly quarantined across the point (an absolute count,
+    /// like `duplicate_visits`: quarantine is a registry event, not a
+    /// per-query average).
+    pub quarantined_peers: u64,
+    /// Mean tuples discarded from tainted payloads per query.
+    pub tainted_tuples_discarded: f64,
     /// Mean nanoseconds spent waiting in the serving frontier per query
     /// (0 for batches run directly through an executor).
     pub queue_wait_ns: f64,
@@ -486,6 +530,10 @@ impl PointSummary {
             duplicate_visits: 0,
             tuples_scanned: 0.0,
             blocks_pruned: 0.0,
+            audits_run: 0.0,
+            audits_failed: 0.0,
+            quarantined_peers: 0,
+            tainted_tuples_discarded: 0.0,
             queue_wait_ns: 0.0,
             cache_hits: 0,
         }
@@ -512,6 +560,10 @@ pub struct MetricsAggregator {
     duplicate_sum: u64,
     scanned_sum: u64,
     pruned_sum: u64,
+    audits_run_sum: u64,
+    audits_failed_sum: u64,
+    quarantined_sum: u64,
+    tainted_sum: u64,
     queue_wait_sum: u64,
     cache_hits_sum: u64,
     /// Per-peer visit histogram over all recorded queries (FxHash: the keys
@@ -549,6 +601,10 @@ impl MetricsAggregator {
         self.duplicate_sum += m.duplicate_visits;
         self.scanned_sum += m.tuples_scanned;
         self.pruned_sum += m.blocks_pruned;
+        self.audits_run_sum += m.audits_run;
+        self.audits_failed_sum += m.audits_failed;
+        self.quarantined_sum += m.quarantined_peers;
+        self.tainted_sum += m.tainted_tuples_discarded;
         self.queue_wait_sum += m.queue_wait_ns;
         self.cache_hits_sum += u64::from(m.cache_hit);
         for &p in &m.visited {
@@ -581,6 +637,10 @@ impl MetricsAggregator {
         self.duplicate_sum += other.duplicate_sum;
         self.scanned_sum += other.scanned_sum;
         self.pruned_sum += other.pruned_sum;
+        self.audits_run_sum += other.audits_run_sum;
+        self.audits_failed_sum += other.audits_failed_sum;
+        self.quarantined_sum += other.quarantined_sum;
+        self.tainted_sum += other.tainted_sum;
         self.queue_wait_sum += other.queue_wait_sum;
         self.cache_hits_sum += other.cache_hits_sum;
         for (&p, &v) in &other.peer_visits {
@@ -624,6 +684,10 @@ impl MetricsAggregator {
             duplicate_visits: self.duplicate_sum,
             tuples_scanned: self.scanned_sum as f64 / n,
             blocks_pruned: self.pruned_sum as f64 / n,
+            audits_run: self.audits_run_sum as f64 / n,
+            audits_failed: self.audits_failed_sum as f64 / n,
+            quarantined_peers: self.quarantined_sum,
+            tainted_tuples_discarded: self.tainted_sum as f64 / n,
             queue_wait_ns: self.queue_wait_sum as f64 / n,
             cache_hits: self.cache_hits_sum,
         }
@@ -679,6 +743,10 @@ mod tests {
             duplicate_visits: 1,
             tuples_scanned: 120,
             blocks_pruned: 4,
+            audits_run: 6,
+            audits_failed: 2,
+            quarantined_peers: 1,
+            tainted_tuples_discarded: 9,
             visited: vec![PeerId::new(0), PeerId::new(9)],
             ..QueryMetrics::default()
         };
@@ -697,6 +765,10 @@ mod tests {
         assert_eq!(a.duplicate_visits, 1);
         assert_eq!(a.tuples_scanned, 120);
         assert_eq!(a.blocks_pruned, 4);
+        assert_eq!(a.audits_run, 6);
+        assert_eq!(a.audits_failed, 2);
+        assert_eq!(a.quarantined_peers, 1);
+        assert_eq!(a.tainted_tuples_discarded, 9);
         assert_eq!(a.visited.len(), 7, "visit sequences concatenate");
         assert_eq!(a.visited[5], PeerId::new(0));
     }
@@ -716,6 +788,12 @@ mod tests {
         lazier.tuples_scanned = 10_000;
         lazier.blocks_pruned = 17;
         assert_eq!(base, lazier, "scan effort is not an outcome");
+        let mut audited = base.clone();
+        audited.audits_run = 40;
+        audited.audits_failed = 3;
+        audited.quarantined_peers = 2;
+        audited.tainted_tuples_discarded = 12;
+        assert_eq!(base, audited, "audit effort is not an outcome");
         let mut served = base.clone();
         served.queue_wait_ns = 1_000_000;
         served.cache_hit = true;
@@ -761,6 +839,10 @@ mod tests {
                 duplicate_visits: i % 2,
                 tuples_scanned: 100 * i,
                 blocks_pruned: 2 * i,
+                audits_run: 8,
+                audits_failed: i,
+                quarantined_peers: i % 2,
+                tainted_tuples_discarded: 3 * i,
                 queue_wait_ns: 1000 * i,
                 cache_hit: i % 2 == 1,
                 served_generation: Some(7),
@@ -780,6 +862,10 @@ mod tests {
         assert_eq!(s.duplicate_visits, 2, "anomalies total, not average");
         assert!((s.tuples_scanned - 150.0).abs() < 1e-12);
         assert!((s.blocks_pruned - 3.0).abs() < 1e-12);
+        assert!((s.audits_run - 8.0).abs() < 1e-12);
+        assert!((s.audits_failed - 1.5).abs() < 1e-12);
+        assert_eq!(s.quarantined_peers, 2, "registry events total, not average");
+        assert!((s.tainted_tuples_discarded - 4.5).abs() < 1e-12);
         assert!((s.queue_wait_ns - 1500.0).abs() < 1e-12);
         assert_eq!(s.cache_hits, 2, "hits total, not average");
     }
@@ -867,6 +953,10 @@ mod tests {
         assert_eq!(e.duplicate_visits, 0);
         assert_eq!(e.tuples_scanned, 0.0);
         assert_eq!(e.blocks_pruned, 0.0);
+        assert_eq!(e.audits_run, 0.0);
+        assert_eq!(e.audits_failed, 0.0);
+        assert_eq!(e.quarantined_peers, 0);
+        assert_eq!(e.tainted_tuples_discarded, 0.0);
         assert_eq!(e.queue_wait_ns, 0.0);
         assert_eq!(e.cache_hits, 0);
     }

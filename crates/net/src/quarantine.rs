@@ -1,0 +1,338 @@
+//! The peer quarantine registry: the recovery side of the commission-fault
+//! plane (DESIGN.md §14).
+//!
+//! When the executor's online response audit catches a peer lying —
+//! answers inconsistent with its authoritative store, a stale generation
+//! stamp, a truncated payload, a fabricated tuple, an inflated bound
+//! witness — the peer is **quarantined**: subsequent queries treat it like
+//! a dead peer (its forwards are skipped straight to failover, its region
+//! answered from replicas or honestly reported unreachable) until the
+//! operator advances an epoch, which grants **probation**. A probation
+//! peer is queried again normally; one audited-clean response clears it,
+//! one tainted response re-quarantines it.
+//!
+//! # Determinism under parallel execution
+//!
+//! The registry is *never* consulted or mutated mid-query. Each query
+//! takes an immutable [`QuarantineSnapshot`] before its first hop and
+//! records audit verdicts branch-locally (merged in link order with the
+//! rest of the branch ledger); the executor flushes the merged verdicts
+//! through [`Quarantine::apply`] only after the walk completes. A
+//! sequential and a parallel walk of the same query therefore observe the
+//! same snapshot and leave the registry in the same state — the same
+//! discipline that keeps the keyed fault streams schedule-free.
+//!
+//! Membership is held in a [`BTreeMap`] keyed by [`PeerId`] so snapshots,
+//! iteration and counters are deterministic, mirroring
+//! [`ReplicaSet`](crate::replica::ReplicaSet)'s ownership model.
+
+use crate::peer::PeerId;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A quarantined peer's standing.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Standing {
+    /// Caught by an audit: excluded from forwards and failover like a
+    /// dead peer.
+    Quarantined,
+    /// Granted probation by an epoch advance: queried again normally; the
+    /// next audited response decides re-admission or re-quarantine.
+    Probation,
+}
+
+#[derive(Debug, Default)]
+struct QuarantineState {
+    members: BTreeMap<PeerId, Standing>,
+    /// Lifetime count of quarantine events (re-quarantines included).
+    total_quarantined: u64,
+    /// Lifetime count of probation peers cleared by a clean probe.
+    total_cleared: u64,
+}
+
+/// The overlay-owned registry of peers caught by the online response
+/// audit. Interior-mutable (a single mutex) so the executor can flush
+/// verdicts through a shared `&Overlay`; all mutation happens between
+/// queries, never inside one.
+#[derive(Debug, Default)]
+pub struct Quarantine {
+    inner: Mutex<QuarantineState>,
+}
+
+impl Clone for Quarantine {
+    fn clone(&self) -> Self {
+        let state = self.inner.lock().expect("quarantine poisoned");
+        Self {
+            inner: Mutex::new(QuarantineState {
+                members: state.members.clone(),
+                total_quarantined: state.total_quarantined,
+                total_cleared: state.total_cleared,
+            }),
+        }
+    }
+}
+
+impl Quarantine {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of peers currently quarantined or on probation.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("quarantine poisoned")
+            .members
+            .len()
+    }
+
+    /// True when no peer is quarantined or on probation.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of peers currently fully quarantined (probation excluded).
+    pub fn quarantined(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("quarantine poisoned")
+            .members
+            .values()
+            .filter(|&&s| s == Standing::Quarantined)
+            .count()
+    }
+
+    /// Number of peers currently on probation.
+    pub fn on_probation(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("quarantine poisoned")
+            .members
+            .values()
+            .filter(|&&s| s == Standing::Probation)
+            .count()
+    }
+
+    /// The peer's current standing, if any.
+    pub fn standing(&self, peer: PeerId) -> Option<Standing> {
+        self.inner
+            .lock()
+            .expect("quarantine poisoned")
+            .members
+            .get(&peer)
+            .copied()
+    }
+
+    /// Lifetime count of quarantine events (re-quarantines included).
+    pub fn total_quarantined(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("quarantine poisoned")
+            .total_quarantined
+    }
+
+    /// Lifetime count of probation peers re-admitted by a clean probe.
+    pub fn total_cleared(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("quarantine poisoned")
+            .total_cleared
+    }
+
+    /// Grants probation to every fully quarantined peer. Called by the
+    /// serving layer on epoch advances: re-admission requires surviving
+    /// one audited-clean probe query, never a silent timeout.
+    pub fn grant_probation(&self) {
+        let mut state = self.inner.lock().expect("quarantine poisoned");
+        for standing in state.members.values_mut() {
+            *standing = Standing::Probation;
+        }
+    }
+
+    /// Flushes one finished query's merged audit verdicts
+    /// (`(peer, tainted)` pairs in link order). Per peer, *tainted wins*
+    /// over clean — the aggregation is order-free, so sequential and
+    /// parallel engines leave the registry bit-identical. Returns the
+    /// number of peers newly (re-)quarantined by this flush (feeds the
+    /// `quarantined_peers` ledger counter).
+    pub fn apply(&self, verdicts: &[(PeerId, bool)]) -> u64 {
+        if verdicts.is_empty() {
+            return 0;
+        }
+        // Order-free per-peer reduction: any taint condemns the peer.
+        let mut folded: BTreeMap<PeerId, bool> = BTreeMap::new();
+        for &(peer, tainted) in verdicts {
+            let e = folded.entry(peer).or_insert(false);
+            *e |= tainted;
+        }
+        let mut state = self.inner.lock().expect("quarantine poisoned");
+        let mut newly = 0u64;
+        for (peer, tainted) in folded {
+            if tainted {
+                if state.members.insert(peer, Standing::Quarantined) != Some(Standing::Quarantined)
+                {
+                    newly += 1;
+                }
+                state.total_quarantined += 1;
+            } else if state.members.get(&peer) == Some(&Standing::Probation) {
+                state.members.remove(&peer);
+                state.total_cleared += 1;
+            }
+        }
+        newly
+    }
+
+    /// An immutable copy of the current membership for one query to run
+    /// against. Taken before the first hop; the query never re-reads the
+    /// live registry, so concurrent flushes cannot perturb it mid-walk.
+    pub fn snapshot(&self) -> QuarantineSnapshot {
+        let state = self.inner.lock().expect("quarantine poisoned");
+        if state.members.is_empty() {
+            return QuarantineSnapshot::default();
+        }
+        let mut excluded = Vec::new();
+        let mut probation = Vec::new();
+        for (&peer, &standing) in &state.members {
+            match standing {
+                Standing::Quarantined => excluded.push(peer),
+                Standing::Probation => probation.push(peer),
+            }
+        }
+        QuarantineSnapshot {
+            excluded,
+            probation,
+        }
+    }
+}
+
+/// One query's frozen view of the registry. Both vectors are sorted by
+/// [`PeerId`] (BTreeMap iteration order), so membership tests are binary
+/// searches and the snapshot itself is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct QuarantineSnapshot {
+    excluded: Vec<PeerId>,
+    probation: Vec<PeerId>,
+}
+
+impl QuarantineSnapshot {
+    /// True when the snapshot constrains nothing (the common, fast case).
+    pub fn is_empty(&self) -> bool {
+        self.excluded.is_empty() && self.probation.is_empty()
+    }
+
+    /// Fully quarantined peers, sorted: excluded from forwards and from
+    /// failover candidacy for the snapshot's query.
+    pub fn excluded(&self) -> &[PeerId] {
+        &self.excluded
+    }
+
+    /// True when no peer is fully excluded.
+    pub fn no_exclusions(&self) -> bool {
+        self.excluded.is_empty()
+    }
+
+    /// True when at least one peer is on probation (forces the deposit
+    /// audit path even with corruption off, so probes actually audit).
+    pub fn has_probation(&self) -> bool {
+        !self.probation.is_empty()
+    }
+
+    /// Whether `peer` is fully excluded by this snapshot.
+    pub fn is_excluded(&self, peer: PeerId) -> bool {
+        self.excluded.binary_search(&peer).is_ok()
+    }
+
+    /// Whether `peer` is on probation in this snapshot.
+    pub fn is_probation(&self, peer: PeerId) -> bool {
+        self.probation.binary_search(&peer).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_quarantine_probation_clear() {
+        let q = Quarantine::new();
+        assert!(q.is_empty());
+        assert_eq!(q.apply(&[]), 0);
+
+        // tainted verdict quarantines; clean verdict on an unknown peer
+        // is a no-op (only probation peers need clearing).
+        let newly = q.apply(&[(PeerId::new(3), true), (PeerId::new(5), false)]);
+        assert_eq!(newly, 1);
+        assert_eq!(q.standing(PeerId::new(3)), Some(Standing::Quarantined));
+        assert_eq!(q.standing(PeerId::new(5)), None);
+        assert_eq!(q.quarantined(), 1);
+        assert_eq!(q.on_probation(), 0);
+
+        let snap = q.snapshot();
+        assert!(snap.is_excluded(PeerId::new(3)));
+        assert!(!snap.is_probation(PeerId::new(3)));
+        assert!(!snap.has_probation());
+        assert_eq!(snap.excluded(), &[PeerId::new(3)]);
+
+        // epoch advance: probation, no longer excluded.
+        q.grant_probation();
+        assert_eq!(q.standing(PeerId::new(3)), Some(Standing::Probation));
+        let snap = q.snapshot();
+        assert!(snap.no_exclusions());
+        assert!(snap.is_probation(PeerId::new(3)));
+        assert!(snap.has_probation());
+
+        // clean probe clears; counters track lifetime events.
+        assert_eq!(q.apply(&[(PeerId::new(3), false)]), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.total_quarantined(), 1);
+        assert_eq!(q.total_cleared(), 1);
+    }
+
+    #[test]
+    fn tainted_wins_regardless_of_verdict_order() {
+        let a = Quarantine::new();
+        a.apply(&[(PeerId::new(1), false), (PeerId::new(1), true)]);
+        let b = Quarantine::new();
+        b.apply(&[(PeerId::new(1), true), (PeerId::new(1), false)]);
+        assert_eq!(a.standing(PeerId::new(1)), b.standing(PeerId::new(1)));
+        assert_eq!(a.standing(PeerId::new(1)), Some(Standing::Quarantined));
+    }
+
+    #[test]
+    fn tainted_probe_requarantines() {
+        let q = Quarantine::new();
+        q.apply(&[(PeerId::new(7), true)]);
+        q.grant_probation();
+        assert_eq!(
+            q.apply(&[(PeerId::new(7), true)]),
+            1,
+            "probation -> quarantine is a new event"
+        );
+        assert_eq!(q.standing(PeerId::new(7)), Some(Standing::Quarantined));
+        assert_eq!(q.total_quarantined(), 2);
+        assert_eq!(q.total_cleared(), 0);
+    }
+
+    #[test]
+    fn requarantine_of_quarantined_peer_is_not_new() {
+        let q = Quarantine::new();
+        assert_eq!(q.apply(&[(PeerId::new(2), true)]), 1);
+        assert_eq!(q.apply(&[(PeerId::new(2), true)]), 0);
+        assert_eq!(q.total_quarantined(), 2, "events still counted");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_and_sorted() {
+        let q = Quarantine::new();
+        q.apply(&[(PeerId::new(9), true), (PeerId::new(2), true)]);
+        let snap = q.snapshot();
+        assert_eq!(snap.excluded(), &[PeerId::new(2), PeerId::new(9)]);
+        // later mutation does not leak into the snapshot
+        q.grant_probation();
+        assert!(snap.is_excluded(PeerId::new(9)));
+        let clone = q.clone();
+        assert_eq!(clone.on_probation(), 2);
+    }
+}

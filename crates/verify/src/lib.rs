@@ -335,6 +335,173 @@ impl fmt::Display for VerifyError {
     }
 }
 
+/// One remote peer's answer contribution as the executor receives it: the
+/// tuple payload plus the integrity metadata an honest responder stamps on
+/// the wire. The online audit ([`audit_response`]) checks the envelope
+/// against the peer's authoritative store before the payload is merged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseEnvelope<'a> {
+    /// The answer tuples the peer claims qualify.
+    pub payload: &'a [Tuple],
+    /// The payload length the peer *declared* (a truncated response ships
+    /// fewer tuples than it declares).
+    pub declared_len: usize,
+    /// The overlay snapshot generation the peer claims to have answered
+    /// against (a stale-replay ships an old one).
+    pub generation: u64,
+}
+
+/// Why a response envelope failed the online audit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuditError {
+    /// The response was computed against a different overlay snapshot.
+    GenerationMismatch {
+        /// The generation the auditor expected.
+        expected: u64,
+        /// The generation the envelope carries.
+        found: u64,
+    },
+    /// The payload ships fewer (or more) tuples than declared.
+    LengthMismatch {
+        /// Tuples the envelope declared.
+        declared: usize,
+        /// Tuples actually present.
+        actual: usize,
+    },
+    /// The same tuple id appears twice in one response.
+    DuplicateAnswer {
+        /// The offending tuple id.
+        id: u64,
+    },
+    /// A payload tuple absent from (or inconsistent with) the responder's
+    /// authoritative store — fabricated, or its coordinates bit-flipped.
+    ForeignTuple {
+        /// The offending tuple id.
+        id: u64,
+    },
+    /// A claimed prune-bound witness differs from the bound recomputed
+    /// from the region's own geometry.
+    WitnessMismatch {
+        /// The bound the responder claimed.
+        claimed: f64,
+        /// The honestly recomputed bound.
+        recomputed: f64,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::GenerationMismatch { expected, found } => {
+                write!(
+                    f,
+                    "response generation {found} does not match snapshot {expected}"
+                )
+            }
+            AuditError::LengthMismatch { declared, actual } => {
+                write!(f, "response declares {declared} tuples, ships {actual}")
+            }
+            AuditError::DuplicateAnswer { id } => {
+                write!(f, "tuple {id} appears twice in one response")
+            }
+            AuditError::ForeignTuple { id } => {
+                write!(f, "tuple {id} is not in the responder's store")
+            }
+            AuditError::WitnessMismatch {
+                claimed,
+                recomputed,
+            } => {
+                write!(
+                    f,
+                    "claimed witness bound {claimed} differs from recomputed {recomputed}"
+                )
+            }
+        }
+    }
+}
+
+/// Audits one remote answer contribution against the responder's
+/// authoritative store, in `O(store + payload)` time.
+///
+/// Checks, in order: the generation stamp matches the snapshot the query
+/// pinned; the declared length matches the shipped payload; payload ids are
+/// distinct; and every payload tuple exists in `store` with bit-identical
+/// coordinates. This catches four of the five commission-fault modes by
+/// construction — score bit-flips and fabricated tuples fail membership,
+/// truncation fails the length check, stale replays fail the generation pin.
+/// (Lying prune witnesses never ship tuples; they are caught by
+/// [`audit_witness`] at prune-certification time.)
+///
+/// Soundness rests on the storage plane staying authoritative: the audit
+/// compares the *transport-plane* answer against the store the simulation
+/// itself holds, exactly as a production auditor would re-read a replicated
+/// storage quorum. It does not defend against an adversary who corrupts the
+/// store and the answer consistently — see DESIGN.md §14.
+pub fn audit_response(
+    env: &ResponseEnvelope<'_>,
+    store: &[Tuple],
+    expected_generation: u64,
+) -> Result<(), AuditError> {
+    if env.generation != expected_generation {
+        return Err(AuditError::GenerationMismatch {
+            expected: expected_generation,
+            found: env.generation,
+        });
+    }
+    if env.declared_len != env.payload.len() {
+        return Err(AuditError::LengthMismatch {
+            declared: env.declared_len,
+            actual: env.payload.len(),
+        });
+    }
+    for (i, t) in env.payload.iter().enumerate() {
+        if env.payload[..i].iter().any(|o| o.id == t.id) {
+            return Err(AuditError::DuplicateAnswer { id: t.id });
+        }
+    }
+    // One pass over the store, one membership flag per payload tuple: the
+    // payload is at most an answer set (k, a skyline), the store can be
+    // large — iterate the big side once.
+    let mut matched = vec![false; env.payload.len()];
+    for s in store {
+        for (i, t) in env.payload.iter().enumerate() {
+            if !matched[i] && s.id == t.id && s.point == t.point {
+                matched[i] = true;
+            }
+        }
+    }
+    if let Some(i) = matched.iter().position(|&m| !m) {
+        return Err(AuditError::ForeignTuple {
+            id: env.payload[i].id,
+        });
+    }
+    Ok(())
+}
+
+/// Audits a claimed prune witness against the honestly recomputed one.
+/// Only numeric-bound witnesses can lie by degrees; structural witnesses
+/// (`Dominator`/`Disjoint`/`Opaque`) compare by equality.
+pub fn audit_witness(claimed: &PruneWitness, recomputed: &PruneWitness) -> Result<(), AuditError> {
+    match (claimed, recomputed) {
+        (PruneWitness::ScoreBound { bound: c }, PruneWitness::ScoreBound { bound: r })
+        | (PruneWitness::PhiBound { bound: c }, PruneWitness::PhiBound { bound: r }) => {
+            if c == r {
+                Ok(())
+            } else {
+                Err(AuditError::WitnessMismatch {
+                    claimed: *c,
+                    recomputed: *r,
+                })
+            }
+        }
+        _ if claimed == recomputed => Ok(()),
+        _ => Err(AuditError::WitnessMismatch {
+            claimed: f64::NAN,
+            recomputed: f64::NAN,
+        }),
+    }
+}
+
 /// Checks the generation stamp against the snapshot the reader expects.
 pub fn verify_generation(cert: &Certificate, expected: u64) -> Result<(), VerifyError> {
     if cert.generation != expected {
@@ -904,6 +1071,112 @@ mod tests {
             verify_range(&touching, &[t(1, &[0.2, 0.2])], &range, 7),
             Err(VerifyError::NotDisjoint)
         );
+    }
+
+    #[test]
+    fn audit_accepts_honest_envelopes_and_names_each_corruption() {
+        let store = vec![t(1, &[0.1, 0.2]), t(2, &[0.3, 0.4]), t(3, &[0.5, 0.6])];
+        let honest = vec![t(2, &[0.3, 0.4]), t(3, &[0.5, 0.6])];
+        let env = ResponseEnvelope {
+            payload: &honest,
+            declared_len: 2,
+            generation: 7,
+        };
+        audit_response(&env, &store, 7).unwrap();
+
+        // stale-generation replay
+        let stale = ResponseEnvelope {
+            generation: 6,
+            ..env.clone()
+        };
+        assert_eq!(
+            audit_response(&stale, &store, 7),
+            Err(AuditError::GenerationMismatch {
+                expected: 7,
+                found: 6
+            })
+        );
+        // truncation: declared length no longer matches the payload
+        let truncated = ResponseEnvelope {
+            payload: &honest[..1],
+            declared_len: 2,
+            generation: 7,
+        };
+        assert_eq!(
+            audit_response(&truncated, &store, 7),
+            Err(AuditError::LengthMismatch {
+                declared: 2,
+                actual: 1
+            })
+        );
+        // score bit-flip: right id, wrong coordinates
+        let flipped = vec![t(2, &[-1.3, 0.4])];
+        let env = ResponseEnvelope {
+            payload: &flipped,
+            declared_len: 1,
+            generation: 7,
+        };
+        assert_eq!(
+            audit_response(&env, &store, 7),
+            Err(AuditError::ForeignTuple { id: 2 })
+        );
+        // fabricated tuple: an id the store never held
+        let fabricated = vec![t(99, &[0.9, 0.9])];
+        let env = ResponseEnvelope {
+            payload: &fabricated,
+            declared_len: 1,
+            generation: 7,
+        };
+        assert_eq!(
+            audit_response(&env, &store, 7),
+            Err(AuditError::ForeignTuple { id: 99 })
+        );
+        // duplicated payload id
+        let dup = vec![t(1, &[0.1, 0.2]), t(1, &[0.1, 0.2])];
+        let env = ResponseEnvelope {
+            payload: &dup,
+            declared_len: 2,
+            generation: 7,
+        };
+        assert_eq!(
+            audit_response(&env, &store, 7),
+            Err(AuditError::DuplicateAnswer { id: 1 })
+        );
+    }
+
+    #[test]
+    fn witness_audit_compares_numeric_bounds_and_structure() {
+        audit_witness(
+            &PruneWitness::ScoreBound { bound: 0.5 },
+            &PruneWitness::ScoreBound { bound: 0.5 },
+        )
+        .unwrap();
+        assert_eq!(
+            audit_witness(
+                &PruneWitness::ScoreBound { bound: 1.5 },
+                &PruneWitness::ScoreBound { bound: 0.5 },
+            ),
+            Err(AuditError::WitnessMismatch {
+                claimed: 1.5,
+                recomputed: 0.5
+            })
+        );
+        assert_eq!(
+            audit_witness(
+                &PruneWitness::PhiBound { bound: 2.0 },
+                &PruneWitness::PhiBound { bound: 1.0 },
+            ),
+            Err(AuditError::WitnessMismatch {
+                claimed: 2.0,
+                recomputed: 1.0
+            })
+        );
+        audit_witness(&PruneWitness::Disjoint, &PruneWitness::Disjoint).unwrap();
+        assert!(audit_witness(
+            &PruneWitness::ScoreBound { bound: 0.5 },
+            &PruneWitness::Disjoint
+        )
+        .is_err());
     }
 
     #[test]

@@ -61,6 +61,18 @@ cargo test --release --offline -p ripple-core verify_mutation -- --quiet
 cargo test --release --offline -p ripple-core cert_equivalence -- --quiet
 cargo run --release --offline -p ripple-bench --bin certificates_bench -- quick
 
+echo "== audit smoke (corruption plane invisibility + poisoning gate) =="
+# The equivalence suites prove the online audit is bit-invisible with the
+# corruption plane inert (healthy and crash-damaged, sequential and
+# parallel) and schedule-free with it active; the mutation harness pins
+# every in-flight corruption mode poisoning the unaudited arm and being
+# audited out of the audited one; the sweep gates zero corrupted tuples
+# admitted and exact audited recall at p <= 0.2 with k >= 1 (the timed
+# <= 5% invisibility gate runs only in `corruption full`).
+cargo test --release --offline -p ripple-core audit_equivalence -- --quiet
+cargo test --release --offline -p ripple-chord --test audit -- --quiet
+cargo run --release --offline -p ripple-bench --bin resilience_bench -- corruption
+
 echo "== simd-planner smoke (SIMD == scalar bit-identity + planner regression, no timing gate) =="
 # The geom property tests pin every SIMD kernel bit-identical to the scalar
 # oracle; the executor equivalence suites re-run under both forced dispatch
