@@ -95,13 +95,13 @@ impl Figure {
     /// Writes the figure as CSV (one row per (x, series) pair).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits,audits_run,audits_failed,quarantined_peers,tainted_discarded\n",
+            "figure,series,x,latency,latency_max,congestion,congestion_max,messages,tuples,queries,retries,timeouts,messages_dropped,repair_messages,replica_hits,stale_reads,replica_bytes,repair_transfers,tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits,audits_run,audits_failed,quarantined_peers,tainted_discarded,memtable_hits,tombstones_masked,compactions_run,write_amplification\n",
         );
         for s in &self.series {
             for p in &s.points {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{:.1},{},{:.4},{:.4},{},{:.4}",
+                    "{},{},{},{:.4},{},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{:.1},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{},{:.4}",
                     self.id,
                     s.name,
                     p.x,
@@ -128,7 +128,11 @@ impl Figure {
                     p.summary.audits_run,
                     p.summary.audits_failed,
                     p.summary.quarantined_peers,
-                    p.summary.tainted_tuples_discarded
+                    p.summary.tainted_tuples_discarded,
+                    p.summary.memtable_hits,
+                    p.summary.tombstones_masked,
+                    p.summary.compactions_run,
+                    p.summary.write_amplification
                 );
             }
         }
@@ -182,6 +186,10 @@ mod tests {
             audits_failed: 1.25,
             quarantined_peers: 2,
             tainted_tuples_discarded: 7.75,
+            memtable_hits: 33.5,
+            tombstones_masked: 4.25,
+            compactions_run: 3,
+            write_amplification: 128.5,
         };
         Figure {
             id: "figX".into(),
@@ -217,12 +225,13 @@ mod tests {
             "retries,timeouts,messages_dropped,repair_messages,\
              replica_hits,stale_reads,replica_bytes,repair_transfers,\
              tuples_scanned,blocks_pruned,duplicate_visits,queue_wait_ns,cache_hits,\
-             audits_run,audits_failed,quarantined_peers,tainted_discarded"
+             audits_run,audits_failed,quarantined_peers,tainted_discarded,\
+             memtable_hits,tombstones_masked,compactions_run,write_amplification"
         ));
         let row = lines.next().unwrap();
         assert!(row.starts_with("figX,r=0,2048,5.5000,9,20.2500,97"));
         assert!(row.ends_with(
-            ",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,120.5000,3.2500,0,1500.5,4,6.5000,1.2500,2,7.7500"
+            ",1.5000,0.5000,2.0000,3.2500,1.2500,0.2500,64.5000,2.7500,120.5000,3.2500,0,1500.5,4,6.5000,1.2500,2,7.7500,33.5000,4.2500,3,128.5000"
         ));
     }
 }

@@ -182,6 +182,11 @@ pub fn merge_summaries(parts: &[PointSummary]) -> PointSummary {
         // own network, so totals add.
         quarantined_peers: parts.iter().map(|p| p.quarantined_peers).sum(),
         tainted_tuples_discarded: w(|p| p.tainted_tuples_discarded),
+        memtable_hits: w(|p| p.memtable_hits),
+        tombstones_masked: w(|p| p.tombstones_masked),
+        // Compactions are store events, not per-query rates: totals add.
+        compactions_run: parts.iter().map(|p| p.compactions_run).sum(),
+        write_amplification: w(|p| p.write_amplification),
     }
 }
 
@@ -252,6 +257,10 @@ mod tests {
             audits_failed: 4.0,
             quarantined_peers: 2,
             tainted_tuples_discarded: 12.0,
+            memtable_hits: 8.0,
+            tombstones_masked: 4.0,
+            compactions_run: 1,
+            write_amplification: 2048.0,
         };
         let b = PointSummary {
             queries: 3,
@@ -278,6 +287,10 @@ mod tests {
             audits_failed: 0.0,
             quarantined_peers: 1,
             tainted_tuples_discarded: 0.0,
+            memtable_hits: 0.0,
+            tombstones_masked: 0.0,
+            compactions_run: 2,
+            write_amplification: 0.0,
         };
         let m = merge_summaries(&[a, b]);
         assert_eq!(m.queries, 4);
@@ -303,6 +316,10 @@ mod tests {
         assert!((m.audits_failed - 1.0).abs() < 1e-12);
         assert_eq!(m.quarantined_peers, 3, "peer totals add across networks");
         assert!((m.tainted_tuples_discarded - 3.0).abs() < 1e-12);
+        assert!((m.memtable_hits - 2.0).abs() < 1e-12);
+        assert!((m.tombstones_masked - 1.0).abs() < 1e-12);
+        assert_eq!(m.compactions_run, 3, "store events add across networks");
+        assert!((m.write_amplification - 512.0).abs() < 1e-12);
     }
 
     #[test]

@@ -302,6 +302,72 @@ impl ChordNetwork {
         }
     }
 
+    /// Stores a batch of tuples as **one** logical mutation: the epoch
+    /// advances once and each owning peer's store generation bumps once.
+    /// Tuples keyed into orphaned arcs are counted as lost, like
+    /// [`insert_tuple`](Self::insert_tuple).
+    pub fn insert_batch(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        self.epoch += 1;
+        let mut by_owner: std::collections::BTreeMap<PeerId, Vec<Tuple>> =
+            std::collections::BTreeMap::new();
+        for t in tuples {
+            let key = t.point.coord(0);
+            assert!((0.0..=1.0).contains(&key), "key outside the ring domain");
+            let owner = self.responsible(key.min(1.0 - f64::EPSILON));
+            if self.is_live(owner) {
+                by_owner.entry(owner).or_default().push(t);
+            } else {
+                self.tuples_lost += 1;
+            }
+        }
+        for (owner, batch) in by_owner {
+            self.peer_mut(owner).store.insert_batch(batch);
+            let generation = self.peer(owner).store.generation();
+            if let Some(set) = self.replicas.as_mut() {
+                set.note_generation(owner, generation);
+            }
+        }
+    }
+
+    /// Deletes tuples by id across all live peers as **one** logical
+    /// mutation per affected store (one epoch step, one generation bump per
+    /// store that actually loses rows). Returns how many rows were removed.
+    pub fn delete_tuples(&mut self, ids: &[ripple_geom::TupleId]) -> usize {
+        self.epoch += 1;
+        let mut removed = 0;
+        for id in self.live_peers() {
+            let n = self.peer_mut(id).store.delete_batch(ids.iter().copied());
+            if n > 0 {
+                removed += n;
+                let generation = self.peer(id).store.generation();
+                if let Some(set) = self.replicas.as_mut() {
+                    set.note_generation(id, generation);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Compacts every live peer's store (folding tombstoned runs into fresh
+    /// ones). Compaction is a physical reorganisation, not a logical
+    /// mutation: the epoch and store generations are untouched, so cached
+    /// results and certificates stay valid. Returns total rows rewritten.
+    pub fn compact_stores(&mut self) -> u64 {
+        let mut rewritten = 0;
+        for id in self.live_peers() {
+            rewritten += self.peer_mut(id).store.compact();
+        }
+        rewritten
+    }
+
+    /// Switches every live peer's store between the LSM write path and the
+    /// legacy rebuild-per-insert layout (test/bench baseline harness).
+    pub fn set_store_legacy(&mut self, legacy: bool) {
+        for id in self.live_peers() {
+            self.peer_mut(id).store.set_legacy(legacy);
+        }
+    }
+
     /// A new peer joins at ring position `pos`, taking the tail of the
     /// owner's arc.
     pub fn join(&mut self, pos: f64) -> PeerId {

@@ -98,9 +98,13 @@ fn with_scan<T>(trace: bool, metrics: &mut QueryMetrics, f: impl FnOnce() -> T) 
     }
     scan::begin();
     let out = f();
-    let (scanned, pruned) = scan::end();
-    metrics.tuples_scanned += scanned;
-    metrics.blocks_pruned += pruned;
+    let c = scan::end();
+    metrics.tuples_scanned += c.tuples_scanned;
+    metrics.blocks_pruned += c.blocks_pruned;
+    metrics.memtable_hits += c.memtable_hits;
+    metrics.tombstones_masked += c.tombstones_masked;
+    metrics.compactions_run += c.compactions_run;
+    metrics.write_amplification += c.rows_rewritten;
     out
 }
 

@@ -60,6 +60,8 @@ pub mod framework;
 #[cfg(test)]
 mod index_equivalence;
 #[cfg(test)]
+mod ingest_equivalence;
+#[cfg(test)]
 mod kernel_equivalence;
 pub mod latency;
 pub mod midas_impl;

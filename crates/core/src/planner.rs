@@ -485,7 +485,7 @@ pub fn box_selectivity(blocks: &BlockSet, lo: &[f64], hi: &[f64]) -> f64 {
             .zip(lo.iter().zip(hi))
             .all(|((&mn, &mx), (&l, &h))| mx >= l && mn <= h);
         if overlaps {
-            rows += blocks.block_range(b).len();
+            rows += blocks.block_live(b);
         }
     }
     rows as f64 / blocks.rows() as f64

@@ -73,12 +73,11 @@ impl SkylineQuery {
         global: &[Tuple],
     ) -> Vec<Tuple> {
         let blocks = store.blocks_at(dispatch);
-        let tuples = store.tuples();
         let window: Vec<&[f64]> = global.iter().map(|g| g.point.coords()).collect();
         let (clo, chi) = (c.lo().coords(), c.hi().coords());
         let mut cols: Vec<&[f64]> = Vec::new();
         let mut idx: Vec<u32> = Vec::new();
-        let mut cand: Vec<(f64, u32)> = Vec::new();
+        let mut cand: Vec<(f64, &Tuple)> = Vec::new();
         for b in 0..blocks.num_blocks() {
             let blo = blocks.block_min(b);
             let bhi = blocks.block_max(b);
@@ -88,26 +87,30 @@ impl SkylineQuery {
                 continue;
             }
             blocks.block_cols(b, &mut cols);
-            let range = blocks.block_range(b);
-            scan::add_scanned(range.len() as u64);
+            scan::add_scanned(blocks.block_live(b) as u64);
+            scan::add_masked((blocks.block_rows(b) - blocks.block_live(b)) as u64);
+            if blocks.is_memtable(b) {
+                scan::add_memtable(blocks.block_live(b) as u64);
+            }
             kernels::filter_in_box(dispatch, clo, chi, &cols, &mut idx);
+            let rows = blocks.block_tuples(b);
+            let dead = blocks.block_dead(b);
             for &off in &idx {
+                if dead.is_some_and(|d| d[off as usize]) {
+                    continue;
+                }
                 // Left-fold coordinate sum in dimension order — bit-identical
                 // to the `coords().iter().sum()` key of `dominance::skyline`.
                 let mut s = 0.0;
                 for col in &cols {
                     s += col[off as usize];
                 }
-                cand.push((s, (range.start + off as usize) as u32));
+                cand.push((s, &rows[off as usize]));
             }
         }
-        cand.sort_by(|a, b| {
-            a.0.total_cmp(&b.0)
-                .then_with(|| tuples[a.1 as usize].id.cmp(&tuples[b.1 as usize].id))
-        });
+        cand.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.id.cmp(&b.1.id)));
         let mut sky: Vec<&Tuple> = Vec::new();
-        'outer: for &(_, i) in &cand {
-            let t = &tuples[i as usize];
+        'outer: for &(_, t) in &cand {
             for s in &sky {
                 if dominance::dominates(&s.point, &t.point) {
                     continue 'outer;

@@ -126,8 +126,24 @@ impl<F: ScoreFn> TopKQuery<F> {
             }
             blocks.block_cols(b, &mut cols);
             self.score.score_block(&cols, &mut scores, dispatch);
-            scan::add_scanned(scores.len() as u64);
-            heap.offer_all(&scores);
+            scan::add_scanned(blocks.block_live(b) as u64);
+            scan::add_masked((blocks.block_rows(b) - blocks.block_live(b)) as u64);
+            if blocks.is_memtable(b) {
+                scan::add_memtable(blocks.block_live(b) as u64);
+            }
+            // The kernel scores every physical row (whole-column SIMD);
+            // tombstoned rows are dropped at the offer, exactly like the
+            // scalar path never sees them.
+            match blocks.block_dead(b) {
+                None => heap.offer_all(&scores),
+                Some(dead) => {
+                    for (off, &s) in scores.iter().enumerate() {
+                        if !dead[off] {
+                            heap.offer(s);
+                        }
+                    }
+                }
+            }
         }
         self.state_from_ranked(heap.into_sorted_desc().into_iter(), store.len(), global)
     }
@@ -145,7 +161,6 @@ impl<F: ScoreFn> TopKQuery<F> {
         local: &TopKState,
     ) -> Vec<Tuple> {
         let blocks = store.blocks_at(dispatch);
-        let tuples = store.tuples();
         let mut cols: Vec<&[f64]> = Vec::new();
         let mut scores: Vec<f64> = Vec::new();
         let mut idx: Vec<u32> = Vec::new();
@@ -160,11 +175,20 @@ impl<F: ScoreFn> TopKQuery<F> {
             }
             blocks.block_cols(b, &mut cols);
             self.score.score_block(&cols, &mut scores, dispatch);
-            scan::add_scanned(scores.len() as u64);
+            scan::add_scanned(blocks.block_live(b) as u64);
+            scan::add_masked((blocks.block_rows(b) - blocks.block_live(b)) as u64);
+            if blocks.is_memtable(b) {
+                scan::add_memtable(blocks.block_live(b) as u64);
+            }
             idx.clear();
             kernels::filter_at_least(dispatch, &scores, local.tau, &mut idx);
-            let start = blocks.block_range(b).start;
-            answer.extend(idx.iter().map(|&i| tuples[start + i as usize].clone()));
+            let rows = blocks.block_tuples(b);
+            let dead = blocks.block_dead(b);
+            answer.extend(
+                idx.iter()
+                    .filter(|&&i| !dead.is_some_and(|d| d[i as usize]))
+                    .map(|&i| rows[i as usize].clone()),
+            );
         }
         answer
     }

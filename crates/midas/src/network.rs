@@ -320,6 +320,68 @@ impl MidasNetwork {
         }
     }
 
+    /// Stores a batch of tuples as **one** logical mutation: the epoch
+    /// advances once and each owning peer's store generation bumps once, no
+    /// matter how many tuples land there. Tuples routed into orphaned zones
+    /// are counted as lost, like [`insert_tuple`](Self::insert_tuple).
+    pub fn insert_batch(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        self.epoch += 1;
+        let mut by_owner: BTreeMap<PeerId, Vec<Tuple>> = BTreeMap::new();
+        for t in tuples {
+            assert_eq!(t.dims(), self.dims, "tuple dimensionality mismatch");
+            match self.try_responsible(&t.point) {
+                Ok(owner) => by_owner.entry(owner).or_default().push(t),
+                Err(_) => self.tuples_lost += 1,
+            }
+        }
+        for (owner, batch) in by_owner {
+            self.peer_mut(owner).store.insert_batch(batch);
+            let generation = self.peer(owner).store.generation();
+            if let Some(set) = self.replicas.as_mut() {
+                set.note_generation(owner, generation);
+            }
+        }
+    }
+
+    /// Deletes tuples by id across all live peers as **one** logical
+    /// mutation per affected store (one epoch step, one generation bump per
+    /// store that actually loses rows). Returns how many rows were removed.
+    pub fn delete_tuples(&mut self, ids: &[ripple_geom::TupleId]) -> usize {
+        self.epoch += 1;
+        let mut removed = 0;
+        for id in self.live_peers().to_vec() {
+            let n = self.peer_mut(id).store.delete_batch(ids.iter().copied());
+            if n > 0 {
+                removed += n;
+                let generation = self.peer(id).store.generation();
+                if let Some(set) = self.replicas.as_mut() {
+                    set.note_generation(id, generation);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Compacts every live peer's store (folding tombstoned runs into fresh
+    /// ones). Compaction is a physical reorganisation, not a logical
+    /// mutation: the epoch and store generations are untouched, so cached
+    /// results and certificates stay valid. Returns total rows rewritten.
+    pub fn compact_stores(&mut self) -> u64 {
+        let mut rewritten = 0;
+        for id in self.live_peers().to_vec() {
+            rewritten += self.peer_mut(id).store.compact();
+        }
+        rewritten
+    }
+
+    /// Switches every live peer's store between the LSM write path and the
+    /// legacy rebuild-per-insert layout (test/bench baseline harness).
+    pub fn set_store_legacy(&mut self, legacy: bool) {
+        for id in self.live_peers().to_vec() {
+            self.peer_mut(id).store.set_legacy(legacy);
+        }
+    }
+
     /// A new peer joins at a uniformly random key; returns its id.
     pub fn join_random<R: Rng>(&mut self, rng: &mut R) -> PeerId {
         let key = Point::new((0..self.dims).map(|_| rng.gen::<f64>()).collect::<Vec<_>>());

@@ -51,7 +51,7 @@ pub mod scan;
 pub mod stats;
 pub mod store;
 
-pub use block::{BlockSet, BLOCK_ROWS};
+pub use block::{BlockEntry, BlockSet, RunData, BLOCK_ROWS};
 pub use churn::{ChurnOverlay, ChurnStage};
 pub use fault::{CorruptionMode, CorruptionPlane, CorruptionSession, FaultPlane, FaultSession};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
@@ -59,5 +59,6 @@ pub use metrics::{BranchLedger, MetricsAggregator, PointSummary, QueryMetrics, S
 pub use peer::PeerId;
 pub use quarantine::{Quarantine, QuarantineSnapshot, Standing};
 pub use replica::{Replica, ReplicaSet};
+pub use scan::ScanCounts;
 pub use stats::{Distribution, Ewma, ModeStats, Plan, PlanSource, PlannedMode, QueryStats};
-pub use store::{LocalView, PeerStore};
+pub use store::{IngestStats, LocalView, PeerStore};

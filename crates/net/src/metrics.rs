@@ -101,6 +101,22 @@ pub struct QueryMetrics {
     /// Tuples discarded from tainted answer payloads before they could
     /// reach the answer stream. Excluded from `PartialEq`.
     pub tainted_tuples_discarded: u64,
+    /// Rows this query read from store memtable overlays (unfrozen tails)
+    /// rather than frozen columnar runs. Excluded from `PartialEq` like
+    /// [`tuples_scanned`](QueryMetrics::tuples_scanned): where a row was
+    /// read is write-path provenance, never an outcome.
+    pub memtable_hits: u64,
+    /// Tombstone-masked rows skipped by this query's scans and projection
+    /// walks. Excluded from `PartialEq`.
+    pub tombstones_masked: u64,
+    /// Store compaction passes that ran inside this query's scan brackets
+    /// (mutating harnesses can bracket ingest batches; pure queries report
+    /// 0). Excluded from `PartialEq`.
+    pub compactions_run: u64,
+    /// Rows physically rewritten by the store write path (memtable freezes
+    /// and run compactions) inside this query's scan brackets — the
+    /// numerator of write amplification. Excluded from `PartialEq`.
+    pub write_amplification: u64,
     /// When `true`, [`visit`](QueryMetrics::visit) does *not* append to
     /// [`visited`](QueryMetrics::visited): counters stay exact but the
     /// O(visits) trace is not retained. Inverted so that
@@ -165,6 +181,10 @@ impl PartialEq for QueryMetrics {
             audits_failed: _,
             quarantined_peers: _,
             tainted_tuples_discarded: _,
+            memtable_hits: _,
+            tombstones_masked: _,
+            compactions_run: _,
+            write_amplification: _,
             trace_off,
             visited,
             plan: _,
@@ -273,6 +293,10 @@ impl QueryMetrics {
         self.audits_failed += other.audits_failed;
         self.quarantined_peers += other.quarantined_peers;
         self.tainted_tuples_discarded += other.tainted_tuples_discarded;
+        self.memtable_hits += other.memtable_hits;
+        self.tombstones_masked += other.tombstones_masked;
+        self.compactions_run += other.compactions_run;
+        self.write_amplification += other.write_amplification;
         if !self.trace_off {
             self.visited.extend_from_slice(&other.visited);
         }
@@ -497,6 +521,18 @@ pub struct PointSummary {
     pub quarantined_peers: u64,
     /// Mean tuples discarded from tainted payloads per query.
     pub tainted_tuples_discarded: f64,
+    /// Mean rows read from store memtable overlays per query.
+    pub memtable_hits: f64,
+    /// Mean tombstone-masked rows skipped per query.
+    pub tombstones_masked: f64,
+    /// Total store compaction passes observed across the point (an
+    /// absolute count, like `quarantined_peers`: compactions are store
+    /// events amortised over many queries, not per-query costs).
+    pub compactions_run: u64,
+    /// Mean rows physically rewritten by the store write path per query
+    /// (0 for pure query batches; ingest benches bracket their mutation
+    /// batches to surface it).
+    pub write_amplification: f64,
     /// Mean nanoseconds spent waiting in the serving frontier per query
     /// (0 for batches run directly through an executor).
     pub queue_wait_ns: f64,
@@ -534,6 +570,10 @@ impl PointSummary {
             audits_failed: 0.0,
             quarantined_peers: 0,
             tainted_tuples_discarded: 0.0,
+            memtable_hits: 0.0,
+            tombstones_masked: 0.0,
+            compactions_run: 0,
+            write_amplification: 0.0,
             queue_wait_ns: 0.0,
             cache_hits: 0,
         }
@@ -564,6 +604,10 @@ pub struct MetricsAggregator {
     audits_failed_sum: u64,
     quarantined_sum: u64,
     tainted_sum: u64,
+    memtable_sum: u64,
+    masked_sum: u64,
+    compactions_sum: u64,
+    rewritten_sum: u64,
     queue_wait_sum: u64,
     cache_hits_sum: u64,
     /// Per-peer visit histogram over all recorded queries (FxHash: the keys
@@ -605,6 +649,10 @@ impl MetricsAggregator {
         self.audits_failed_sum += m.audits_failed;
         self.quarantined_sum += m.quarantined_peers;
         self.tainted_sum += m.tainted_tuples_discarded;
+        self.memtable_sum += m.memtable_hits;
+        self.masked_sum += m.tombstones_masked;
+        self.compactions_sum += m.compactions_run;
+        self.rewritten_sum += m.write_amplification;
         self.queue_wait_sum += m.queue_wait_ns;
         self.cache_hits_sum += u64::from(m.cache_hit);
         for &p in &m.visited {
@@ -641,6 +689,10 @@ impl MetricsAggregator {
         self.audits_failed_sum += other.audits_failed_sum;
         self.quarantined_sum += other.quarantined_sum;
         self.tainted_sum += other.tainted_sum;
+        self.memtable_sum += other.memtable_sum;
+        self.masked_sum += other.masked_sum;
+        self.compactions_sum += other.compactions_sum;
+        self.rewritten_sum += other.rewritten_sum;
         self.queue_wait_sum += other.queue_wait_sum;
         self.cache_hits_sum += other.cache_hits_sum;
         for (&p, &v) in &other.peer_visits {
@@ -688,6 +740,10 @@ impl MetricsAggregator {
             audits_failed: self.audits_failed_sum as f64 / n,
             quarantined_peers: self.quarantined_sum,
             tainted_tuples_discarded: self.tainted_sum as f64 / n,
+            memtable_hits: self.memtable_sum as f64 / n,
+            tombstones_masked: self.masked_sum as f64 / n,
+            compactions_run: self.compactions_sum,
+            write_amplification: self.rewritten_sum as f64 / n,
             queue_wait_ns: self.queue_wait_sum as f64 / n,
             cache_hits: self.cache_hits_sum,
         }
@@ -747,6 +803,10 @@ mod tests {
             audits_failed: 2,
             quarantined_peers: 1,
             tainted_tuples_discarded: 9,
+            memtable_hits: 30,
+            tombstones_masked: 11,
+            compactions_run: 1,
+            write_amplification: 256,
             visited: vec![PeerId::new(0), PeerId::new(9)],
             ..QueryMetrics::default()
         };
@@ -769,6 +829,10 @@ mod tests {
         assert_eq!(a.audits_failed, 2);
         assert_eq!(a.quarantined_peers, 1);
         assert_eq!(a.tainted_tuples_discarded, 9);
+        assert_eq!(a.memtable_hits, 30);
+        assert_eq!(a.tombstones_masked, 11);
+        assert_eq!(a.compactions_run, 1);
+        assert_eq!(a.write_amplification, 256);
         assert_eq!(a.visited.len(), 7, "visit sequences concatenate");
         assert_eq!(a.visited[5], PeerId::new(0));
     }
@@ -787,6 +851,10 @@ mod tests {
         let mut lazier = base.clone();
         lazier.tuples_scanned = 10_000;
         lazier.blocks_pruned = 17;
+        lazier.memtable_hits = 40;
+        lazier.tombstones_masked = 9;
+        lazier.compactions_run = 2;
+        lazier.write_amplification = 512;
         assert_eq!(base, lazier, "scan effort is not an outcome");
         let mut audited = base.clone();
         audited.audits_run = 40;
@@ -843,6 +911,10 @@ mod tests {
                 audits_failed: i,
                 quarantined_peers: i % 2,
                 tainted_tuples_discarded: 3 * i,
+                memtable_hits: 10 * i,
+                tombstones_masked: 4 * i,
+                compactions_run: i % 2,
+                write_amplification: 64 * i,
                 queue_wait_ns: 1000 * i,
                 cache_hit: i % 2 == 1,
                 served_generation: Some(7),
@@ -866,6 +938,10 @@ mod tests {
         assert!((s.audits_failed - 1.5).abs() < 1e-12);
         assert_eq!(s.quarantined_peers, 2, "registry events total, not average");
         assert!((s.tainted_tuples_discarded - 4.5).abs() < 1e-12);
+        assert!((s.memtable_hits - 15.0).abs() < 1e-12);
+        assert!((s.tombstones_masked - 6.0).abs() < 1e-12);
+        assert_eq!(s.compactions_run, 2, "store events total, not average");
+        assert!((s.write_amplification - 96.0).abs() < 1e-12);
         assert!((s.queue_wait_ns - 1500.0).abs() < 1e-12);
         assert_eq!(s.cache_hits, 2, "hits total, not average");
     }
@@ -957,6 +1033,10 @@ mod tests {
         assert_eq!(e.audits_failed, 0.0);
         assert_eq!(e.quarantined_peers, 0);
         assert_eq!(e.tainted_tuples_discarded, 0.0);
+        assert_eq!(e.memtable_hits, 0.0);
+        assert_eq!(e.tombstones_masked, 0.0);
+        assert_eq!(e.compactions_run, 0);
+        assert_eq!(e.write_amplification, 0.0);
         assert_eq!(e.queue_wait_ns, 0.0);
         assert_eq!(e.cache_hits, 0);
     }

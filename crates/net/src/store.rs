@@ -1,42 +1,57 @@
-//! Per-peer tuple storage with a lazily-built local index layer.
+//! Per-peer tuple storage with an LSM-shaped write path and a lazily-built
+//! local index layer.
 //!
 //! Every DHT peer "stores all tuples falling in" its zone (Section 1). The
 //! paper's algorithms scan a peer's local tuples per query (local top-k /
 //! local skyline / local best-φ); local scans are not part of the reported
 //! metrics (hops and messages), but at simulation scale they dominate
-//! wall-clock time. The store therefore keeps the plain vector as the source
-//! of truth and layers two caches on top:
+//! wall-clock time — and so does rebuilding indexes when data mutates. The
+//! store therefore keeps the plain vector as the logical source of truth
+//! and layers a physical log-structured organisation underneath:
 //!
-//! * **Score-sorted projections** ([`PeerStore::with_ranked`]): for every
-//!   scoring function that exposes a [`cache_key`], the store memoises the
-//!   descending score order of its tuples. A top-k local state then costs a
-//!   truncated walk over the best `k` entries instead of a full sort, and a
-//!   local answer is an early-exit walk down to the threshold `τ`.
-//! * **An incremental local skyline** ([`PeerStore::skyline`]): built once
-//!   with [`dominance::skyline`] and maintained under inserts; removals of a
-//!   skyline member invalidate it (a dominated tuple may resurface), all
-//!   other mutations keep it exact.
+//! * **Frozen runs** ([`RunData`]): immutable columnar runs of at most
+//!   [`BLOCK_ROWS`] rows each, cut off the front of the vector as it grows.
+//!   A run is built once and shared (`Arc`) with every snapshot and
+//!   projection that references it; deletions never edit a run — they set
+//!   bits in a copy-on-write **tombstone mask** layered on top.
+//! * **The memtable**: the unfrozen tail of the vector (fewer than
+//!   [`BLOCK_ROWS`] recent inserts). Memtable mutations are plain vector
+//!   edits; once the tail reaches a full block it freezes into a new run.
+//! * **Compaction** ([`PeerStore::compact`]): when tombstones accumulate
+//!   (≥ ¼ of frozen rows), masked runs are rewritten into dense mask-free
+//!   runs. Untouched runs keep their allocation. Compaction is a *logical
+//!   no-op*: it does not advance the generation, because the tuple set is
+//!   unchanged — equivalence suites assert it is unobservable.
 //!
-//! A third mirror, the columnar [`BlockSet`] ([`PeerStore::blocks`]),
-//! re-lays the tuples out as one contiguous `f64` column per dimension in
-//! fixed-size blocks with per-block pruning bounds; the blocked query paths
-//! in `ripple-core` run the `ripple_geom::kernels` scans over it, and the
-//! store's own rebuild paths reuse a *fresh* mirror when one exists (they
-//! never build one, so purely scalar executions stay scalar).
+//! The payoff is incremental invalidation. The caches on top —
+//! score-sorted projections ([`PeerStore::with_ranked`]), the incremental
+//! local skyline ([`PeerStore::skyline`]), and the columnar [`BlockSet`]
+//! snapshot ([`PeerStore::blocks`]) — are keyed per run: after an insert,
+//! only the memtable part rebuilds (O(memtable), not O(store)); after a
+//! delete, masks update in place and nothing rescores. The `generation`
+//! counter still advances on every *logical* mutation, so epoch handshakes,
+//! result caches, certificates and replica keying upstream keep their exact
+//! semantics; a separate `runs_version` tracks *physical* reorganisations
+//! (freeze, compaction), which change no observable result.
 //!
-//! All caches are *behaviour-invisible*: they reproduce byte-for-byte what
-//! the scan-based code paths compute (the skyline in the canonical
-//! ascending (coordinate-sum, id) order with min-id duplicate
-//! representatives; projections with the store-order tie-break of a stable
-//! descending sort; blocked scans bit-identical to scalar ones by the
-//! kernel contract). Equivalence is property-tested in `ripple-core`.
+//! Queries read a merged view: kernel scans over frozen runs (corner-bound
+//! pruning and SIMD arms intact) ∪ a scalar memtable scan, with
+//! tombstone-masked rows filtered out of every emission. All caches remain
+//! *behaviour-invisible*: they reproduce byte-for-byte what a scan of the
+//! logical vector computes (the skyline in the canonical ascending
+//! (coordinate-sum, id) order with min-id duplicate representatives;
+//! ranked walks with the store-order tie-break of a stable descending
+//! sort; blocked scans bit-identical to scalar ones by the kernel
+//! contract). Equivalence is property-tested in `ripple-core`, including
+//! against a `legacy`-mode twin that rebuilds wholesale per mutation.
 //!
 //! [`cache_key`]: ripple_geom::ScoreFn::cache_key
 
-use crate::block::BlockSet;
+use crate::block::{BlockEntry, BlockSet, RunData, BLOCK_ROWS};
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::scan;
 use ripple_geom::{dominance, kernels, KernelDispatch, Point, ScoreFn, Tuple, TupleId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -46,27 +61,55 @@ use std::sync::{Arc, RwLock};
 /// correctness never depends on a cache hit.
 const MAX_PROJECTIONS: usize = 16;
 
-/// A memoised descending score order of the peer's tuples.
+/// One frozen run of the store: an immutable columnar block of rows plus
+/// the mutable deletion state layered over it.
+#[derive(Clone, Debug)]
+struct Run {
+    /// Stable identity, never reused — projections key per-run score
+    /// orders by it, so an unchanged run keeps its sorted entries across
+    /// arbitrary mutations elsewhere in the store.
+    id: u64,
+    data: Arc<RunData>,
+    /// Copy-on-write tombstone mask: `Some` once a row of this run was
+    /// deleted. Shared with in-flight [`BlockSet`] snapshots; a deletion
+    /// under a live snapshot clones the mask instead of mutating it.
+    dead: Option<Arc<Vec<bool>>>,
+    /// Unmasked rows (`data.rows() - #dead`).
+    live: usize,
+}
+
+/// A memoised descending score order of the peer's tuples, kept as one
+/// sorted entry list **per frozen run** plus one for the memtable tail.
+/// Run entries are score-sorted over *all* physical rows of the run (the
+/// merge skips masked rows at read time), so deletions never rescore; the
+/// tail entries rebuild whenever the store's generation moves — O(memtable)
+/// work per mutation instead of O(store).
 #[derive(Debug)]
 struct Projection {
-    /// Store generation this projection was computed at.
-    built_at: u64,
     /// Logical timestamp of the most recent hit (from [`IndexCache::clock`]),
     /// driving least-recently-hit eviction. Atomic so the shared-read hit
     /// path can bump it without taking the write lock.
     last_hit: AtomicU64,
-    /// `(score, index into the tuple vector)`, best first; ties keep store
-    /// order (stable sort), matching a stable descending sort over the
-    /// tuple slice.
-    entries: Vec<(f64, u32)>,
+    /// [`PeerStore::runs_version`] the run entries reflect.
+    runs_stamp: u64,
+    /// Store generation the tail entries were computed at.
+    tail_built_at: u64,
+    /// `(score, row index within the run)`, best first; ties keep row
+    /// order (stable sort). Keyed by [`Run::id`].
+    runs: FxHashMap<u64, Arc<Vec<(f64, u32)>>>,
+    /// `(score, offset within the memtable tail)`, best first, ties keep
+    /// store order.
+    tail: Arc<Vec<(f64, u32)>>,
 }
 
 impl Clone for Projection {
     fn clone(&self) -> Self {
         Self {
-            built_at: self.built_at,
             last_hit: AtomicU64::new(self.last_hit.load(Ordering::Relaxed)),
-            entries: self.entries.clone(),
+            runs_stamp: self.runs_stamp,
+            tail_built_at: self.tail_built_at,
+            runs: self.runs.clone(),
+            tail: self.tail.clone(),
         }
     }
 }
@@ -78,13 +121,11 @@ struct IndexCache {
     projections: HashMap<u64, Projection>,
     /// Monotone logical clock stamping projection hits (LRU order).
     clock: AtomicU64,
-    /// Tuple-id membership set (generation it was built at, ids).
-    ids: Option<(u64, HashSet<TupleId>)>,
     /// The local skyline in canonical order, as `(coordinate sum, tuple)`.
     /// `None` until first requested or after an invalidating removal.
     skyline: Option<Vec<(f64, Tuple)>>,
-    /// The columnar mirror, shared with in-flight blocked scans via `Arc`
-    /// so a rebuild never invalidates a reader mid-block.
+    /// The columnar snapshot, shared with in-flight blocked scans via
+    /// `Arc` so a rebuild never invalidates a reader mid-block.
     blocks: Option<Arc<BlockSet>>,
 }
 
@@ -95,8 +136,8 @@ impl IndexCache {
         proj.last_hit.store(now, Ordering::Relaxed);
     }
 
-    /// The columnar mirror, only if it reflects `generation` — rebuild
-    /// paths use this so they *reuse* a fresh mirror but never build one.
+    /// The columnar snapshot, only if it reflects `generation` — rebuild
+    /// paths use this so they *reuse* a fresh snapshot but never build one.
     fn fresh_blocks(&self, generation: u64) -> Option<Arc<BlockSet>> {
         self.blocks
             .as_ref()
@@ -110,14 +151,70 @@ impl Clone for IndexCache {
         Self {
             projections: self.projections.clone(),
             clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
-            ids: self.ids.clone(),
             skyline: self.skyline.clone(),
             blocks: self.blocks.clone(),
         }
     }
 }
 
+/// Cumulative write-path effort counters (monotone over the store's life).
+#[derive(Clone, Copy, Debug, Default)]
+struct IngestCounters {
+    rows_ingested: u64,
+    rows_deleted: u64,
+    rows_frozen: u64,
+    rows_compacted: u64,
+    compactions_run: u64,
+}
+
+/// A point-in-time report of the store's write path: cumulative effort
+/// counters plus the current physical layout. See
+/// [`PeerStore::ingest_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IngestStats {
+    /// Tuples ever inserted (single or batched).
+    pub rows_ingested: u64,
+    /// Tuples ever removed (tombstoned or physically dropped).
+    pub rows_deleted: u64,
+    /// Rows copied out of the memtable into frozen runs.
+    pub rows_frozen: u64,
+    /// Rows rewritten by compactions.
+    pub rows_compacted: u64,
+    /// Compaction passes that rewrote at least one run.
+    pub compactions_run: u64,
+    /// Current number of frozen runs.
+    pub runs: usize,
+    /// Current memtable (unfrozen tail) size in rows.
+    pub memtable_rows: usize,
+    /// Current tombstoned (masked, not yet compacted) rows.
+    pub tombstones: usize,
+}
+
+impl IngestStats {
+    /// Rows physically rewritten by the write path (freezes + compactions)
+    /// — the extra writes beyond the user's own inserts.
+    pub fn rows_rewritten(&self) -> u64 {
+        self.rows_frozen + self.rows_compacted
+    }
+
+    /// Write amplification: physical rows written per ingested row
+    /// (`1.0` = no extra writes; the LSM shape keeps this a small
+    /// constant, ~2 for insert-only workloads).
+    pub fn write_amplification(&self) -> f64 {
+        if self.rows_ingested == 0 {
+            0.0
+        } else {
+            (self.rows_ingested + self.rows_rewritten()) as f64 / self.rows_ingested as f64
+        }
+    }
+}
+
 /// The tuples held by one peer.
+///
+/// Logically a flat vector ([`tuples`](PeerStore::tuples) — the source of
+/// truth every scan-path consumer sees); physically a sequence of frozen
+/// columnar runs mirroring a prefix of the vector, plus the memtable tail
+/// (see the module docs for the write path).
 ///
 /// The caches sit behind a per-peer [`RwLock`] (not a `RefCell`) because
 /// both the benchmark harness and the intra-query parallel executor hit a
@@ -129,9 +226,31 @@ impl Clone for IndexCache {
 /// test so racing readers rebuild at most once.
 #[derive(Debug, Default)]
 pub struct PeerStore {
+    /// The logical tuple sequence: live rows of `runs` in order, then the
+    /// memtable tail (`tuples[frozen_live..]`).
     tuples: Vec<Tuple>,
-    /// Bumped on every mutation; lazily-validated caches compare against it.
+    /// Bumped on every *logical* mutation; lazily-validated caches compare
+    /// against it. Physical reorganisation (freeze, compaction) does not
+    /// move it — upstream generation consumers (epoch handshake, result
+    /// cache, certificates, replicas) see only logical changes.
     generation: u64,
+    /// Frozen runs, mirroring `tuples[..frozen_live]` (live rows, in order).
+    runs: Vec<Run>,
+    /// Length of the run-mirrored prefix of `tuples`.
+    frozen_live: usize,
+    /// Bumped whenever the run *layout* changes (freeze, compaction,
+    /// drain); per-run projection entries validate against it.
+    runs_version: u64,
+    /// Next [`Run::id`] to assign (never reused).
+    next_run_id: u64,
+    /// When set, freezing is disabled: the whole store stays in the
+    /// memtable and every mutation invalidates everything — the faithful
+    /// rebuild-per-insert baseline, through identical code paths.
+    legacy: bool,
+    /// Eager id-multiset of the stored tuples (lock-free membership).
+    id_counts: FxHashMap<TupleId, u32>,
+    /// Cumulative write-path effort.
+    ingest: IngestCounters,
     cache: RwLock<IndexCache>,
 }
 
@@ -140,6 +259,13 @@ impl Clone for PeerStore {
         Self {
             tuples: self.tuples.clone(),
             generation: self.generation,
+            runs: self.runs.clone(),
+            frozen_live: self.frozen_live,
+            runs_version: self.runs_version,
+            next_run_id: self.next_run_id,
+            legacy: self.legacy,
+            id_counts: self.id_counts.clone(),
+            ingest: self.ingest,
             cache: RwLock::new(self.cache.read().expect("peer cache poisoned").clone()),
         }
     }
@@ -172,19 +298,68 @@ impl PeerStore {
         self.tuples.is_empty()
     }
 
-    /// Mutation counter; every insert/drain/extend bumps it. Cache entries
-    /// remember the generation they were built at and rebuild when it moved.
+    /// Logical mutation counter; every insert/delete/drain/extend bumps it
+    /// (once per call, however many tuples the call touches). Cache entries
+    /// remember the generation they were built at and rebuild when it
+    /// moved. Freezes and compactions do **not** bump it: they change the
+    /// physical layout, never the tuple set.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
-    /// Inserts a tuple.
+    /// Inserts a tuple (one generation bump; may freeze a full memtable
+    /// into a new run).
     pub fn insert(&mut self, t: Tuple) {
         self.generation += 1;
+        self.stage(t);
+        self.maybe_freeze();
+    }
+
+    /// Inserts a batch of tuples under a **single** generation bump, so
+    /// bulk loaders (data-gen, churn stages, anti-entropy repair) pay one
+    /// cache invalidation per batch instead of one per tuple.
+    pub fn insert_batch(&mut self, batch: impl IntoIterator<Item = Tuple>) {
+        self.generation += 1;
+        for t in batch {
+            self.stage(t);
+        }
+        self.maybe_freeze();
+    }
+
+    /// Appends one tuple to the memtable, maintaining the eager caches.
+    /// Callers bump the generation and trigger freezing.
+    fn stage(&mut self, t: Tuple) {
         if let Some(members) = &mut self.cache.get_mut().expect("peer cache poisoned").skyline {
             skyline_fold(members, &t);
         }
+        *self.id_counts.entry(t.id).or_insert(0) += 1;
+        self.ingest.rows_ingested += 1;
         self.tuples.push(t);
+    }
+
+    /// Freezes full blocks off the front of the memtable into new runs.
+    /// Purely physical: no generation bump (the triggering mutation already
+    /// bumped it), but the run layout moves, so `runs_version` advances.
+    fn maybe_freeze(&mut self) {
+        if self.legacy {
+            return;
+        }
+        while self.tuples.len() - self.frozen_live >= BLOCK_ROWS {
+            let start = self.frozen_live;
+            let rows = self.tuples[start..start + BLOCK_ROWS].to_vec();
+            let data = Arc::new(RunData::build(rows, KernelDispatch::Auto));
+            self.runs.push(Run {
+                id: self.next_run_id,
+                data,
+                dead: None,
+                live: BLOCK_ROWS,
+            });
+            self.next_run_id += 1;
+            self.frozen_live += BLOCK_ROWS;
+            self.runs_version += 1;
+            self.ingest.rows_frozen += BLOCK_ROWS as u64;
+            scan::add_rewritten(BLOCK_ROWS as u64);
+        }
     }
 
     /// Iterates the stored tuples.
@@ -192,59 +367,265 @@ impl PeerStore {
         self.tuples.iter()
     }
 
-    /// All stored tuples as a slice.
+    /// All stored tuples as a slice (the logical view — live run rows in
+    /// order, then the memtable tail).
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples
     }
 
-    /// Removes and returns every tuple satisfying `pred` — used when a zone
-    /// split hands part of the key range to a new peer.
-    pub fn drain_where(&mut self, mut pred: impl FnMut(&Point) -> bool) -> Vec<Tuple> {
+    /// Switches the rebuild-per-insert baseline mode on or off. With
+    /// `legacy` set, freezing is disabled and the whole store lives in the
+    /// memtable, so every mutation invalidates every cache — the exact
+    /// pre-LSM behaviour, through identical code paths (benchmark baseline
+    /// and equivalence-twin harnesses drive this). Turning it off freezes
+    /// any accumulated full blocks immediately.
+    pub fn set_legacy(&mut self, legacy: bool) {
+        self.legacy = legacy;
+        // Snapshot layout may change (tail cuts vs shared runs): drop it so
+        // the next query sees the current physical shape. Contents are
+        // unaffected either way.
+        self.cache.get_mut().expect("peer cache poisoned").blocks = None;
+        if !legacy {
+            self.maybe_freeze();
+        }
+    }
+
+    /// True when the rebuild-per-insert baseline mode is active.
+    pub fn is_legacy(&self) -> bool {
+        self.legacy
+    }
+
+    /// A point-in-time report of the write path: cumulative ingest /
+    /// delete / freeze / compaction effort plus the current physical
+    /// layout (runs, memtable size, outstanding tombstones).
+    pub fn ingest_stats(&self) -> IngestStats {
+        IngestStats {
+            rows_ingested: self.ingest.rows_ingested,
+            rows_deleted: self.ingest.rows_deleted,
+            rows_frozen: self.ingest.rows_frozen,
+            rows_compacted: self.ingest.rows_compacted,
+            compactions_run: self.ingest.compactions_run,
+            runs: self.runs.len(),
+            memtable_rows: self.tuples.len() - self.frozen_live,
+            tombstones: self.runs.iter().map(|r| r.data.rows() - r.live).sum(),
+        }
+    }
+
+    /// Removes every tuple matching `pred`, preserving the order of the
+    /// survivors. Frozen matches are tombstoned in their run's
+    /// copy-on-write mask; memtable matches are dropped physically. One
+    /// generation bump for the whole sweep.
+    fn remove_where(&mut self, mut pred: impl FnMut(&Tuple) -> bool) -> Vec<Tuple> {
         self.generation += 1;
+        let tuples = std::mem::take(&mut self.tuples);
+        let mut kept = Vec::with_capacity(tuples.len());
         let mut moved = Vec::new();
-        let mut i = 0;
-        while i < self.tuples.len() {
-            if pred(&self.tuples[i].point) {
-                moved.push(self.tuples.swap_remove(i));
+        // Cursor over the physical run rows mirroring the frozen prefix:
+        // advance past already-masked rows to find the physical home of
+        // each logical position.
+        let (mut run_idx, mut row) = (0usize, 0usize);
+        let mut removed_frozen = 0usize;
+        for (pos, t) in tuples.into_iter().enumerate() {
+            let in_frozen = pos < self.frozen_live;
+            if in_frozen {
+                loop {
+                    let run = &self.runs[run_idx];
+                    if row >= run.data.rows() {
+                        run_idx += 1;
+                        row = 0;
+                        continue;
+                    }
+                    if run.dead.as_ref().is_some_and(|d| d[row]) {
+                        row += 1;
+                        continue;
+                    }
+                    break;
+                }
+            }
+            if pred(&t) {
+                if in_frozen {
+                    let run = &mut self.runs[run_idx];
+                    let mask = run
+                        .dead
+                        .get_or_insert_with(|| Arc::new(vec![false; run.data.rows()]));
+                    // Clone-on-write: a snapshot holding the old mask keeps
+                    // seeing its point-in-time state.
+                    Arc::make_mut(mask)[row] = true;
+                    run.live -= 1;
+                    removed_frozen += 1;
+                }
+                if let Some(c) = self.id_counts.get_mut(&t.id) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.id_counts.remove(&t.id);
+                    }
+                }
+                self.ingest.rows_deleted += 1;
+                moved.push(t);
             } else {
-                i += 1;
+                kept.push(t);
+            }
+            if in_frozen {
+                row += 1;
             }
         }
+        self.frozen_live -= removed_frozen;
+        self.tuples = kept;
+        moved
+    }
+
+    /// Drops the cached skyline if any removed tuple was a member
+    /// (dominated tuples may resurface); removals of non-members keep the
+    /// cache exact.
+    fn invalidate_skyline_if_member_removed(&mut self, moved: &[Tuple]) {
         let cache = self.cache.get_mut().expect("peer cache poisoned");
         if let Some(members) = &cache.skyline {
-            // Removing a non-member cannot change the skyline (it was
-            // dominated by, or duplicated, a member that is still present).
-            // Removing a member may resurface previously dominated tuples,
-            // so the cache must be rebuilt from scratch.
             let member_ids: HashSet<TupleId> = members.iter().map(|(_, m)| m.id).collect();
             if moved.iter().any(|t| member_ids.contains(&t.id)) {
                 cache.skyline = None;
             }
         }
+    }
+
+    /// Removes and returns every tuple satisfying `pred` — used when a zone
+    /// split hands part of the key range to a new peer. Survivors keep
+    /// their order; removal cost is a tombstone bit per frozen match.
+    pub fn drain_where(&mut self, mut pred: impl FnMut(&Point) -> bool) -> Vec<Tuple> {
+        let moved = self.remove_where(|t| pred(&t.point));
+        self.invalidate_skyline_if_member_removed(&moved);
+        self.maybe_compact();
         moved
+    }
+
+    /// Deletes the tuples with the given ids (tombstoning frozen rows,
+    /// dropping memtable rows), returning how many were removed. The whole
+    /// batch costs **one** generation bump — and none at all when no given
+    /// id is present, so blind anti-entropy deletes of absent tuples stay
+    /// free.
+    pub fn delete_batch(&mut self, ids: impl IntoIterator<Item = TupleId>) -> usize {
+        let targets: FxHashSet<TupleId> = ids
+            .into_iter()
+            .filter(|id| self.id_counts.contains_key(id))
+            .collect();
+        if targets.is_empty() {
+            return 0;
+        }
+        let moved = self.remove_where(|t| targets.contains(&t.id));
+        self.invalidate_skyline_if_member_removed(&moved);
+        self.maybe_compact();
+        moved.len()
+    }
+
+    /// Runs a compaction when tombstones have accumulated to ≥ ¼ of the
+    /// physical frozen rows — amortised O(1) rewrites per delete.
+    fn maybe_compact(&mut self) {
+        let physical: usize = self.runs.iter().map(|r| r.data.rows()).sum();
+        let dead = physical - self.frozen_live;
+        if dead > 0 && dead * 4 >= physical {
+            self.compact();
+        }
+    }
+
+    /// Rewrites every tombstone-carrying run into dense mask-free runs,
+    /// leaving clean runs untouched (their `Arc`s survive, as do their
+    /// projection entries). Returns the number of rows rewritten.
+    ///
+    /// Compaction is a **logical no-op**: the tuple sequence is unchanged,
+    /// the generation does not move, and every query answer — answers,
+    /// ledgers, certificates — is bit-identical before and after. Only the
+    /// physical layout (and future scan effort) changes.
+    pub fn compact(&mut self) -> u64 {
+        if self.runs.iter().all(|r| r.dead.is_none()) {
+            return 0;
+        }
+        let old = std::mem::take(&mut self.runs);
+        let mut pending: Vec<Tuple> = Vec::new();
+        let mut rewritten = 0u64;
+        for run in old {
+            match run.dead {
+                None => {
+                    // A clean run keeps its identity; pending rewritten
+                    // rows flush first to preserve the row order.
+                    Self::flush_pending(
+                        &mut pending,
+                        &mut self.runs,
+                        &mut self.next_run_id,
+                        &mut rewritten,
+                    );
+                    self.runs.push(run);
+                }
+                Some(ref dead) => {
+                    pending.extend(
+                        run.data
+                            .tuples()
+                            .iter()
+                            .zip(dead.iter())
+                            .filter(|(_, &d)| !d)
+                            .map(|(t, _)| t.clone()),
+                    );
+                }
+            }
+        }
+        Self::flush_pending(
+            &mut pending,
+            &mut self.runs,
+            &mut self.next_run_id,
+            &mut rewritten,
+        );
+        self.runs_version += 1;
+        self.ingest.rows_compacted += rewritten;
+        self.ingest.compactions_run += 1;
+        scan::add_compactions(1);
+        scan::add_rewritten(rewritten);
+        // The snapshot's contents stay valid (masked rows were already
+        // filtered) but its layout references retired runs; drop it so the
+        // next query assembles the compacted shape.
+        self.cache.get_mut().expect("peer cache poisoned").blocks = None;
+        rewritten
+    }
+
+    /// Builds dense runs out of the accumulated live rows of rewritten
+    /// runs (at most one trailing partial run per flush).
+    fn flush_pending(
+        pending: &mut Vec<Tuple>,
+        runs: &mut Vec<Run>,
+        next_run_id: &mut u64,
+        rewritten: &mut u64,
+    ) {
+        for chunk in pending.chunks(BLOCK_ROWS) {
+            let data = Arc::new(RunData::build(chunk.to_vec(), KernelDispatch::Auto));
+            *rewritten += chunk.len() as u64;
+            runs.push(Run {
+                id: *next_run_id,
+                data,
+                dead: None,
+                live: chunk.len(),
+            });
+            *next_run_id += 1;
+        }
+        pending.clear();
     }
 
     /// Removes and returns all tuples — used when a departing peer hands its
     /// data to the peer absorbing its zone.
     pub fn drain_all(&mut self) -> Vec<Tuple> {
         self.generation += 1;
+        self.ingest.rows_deleted += self.tuples.len() as u64;
+        self.runs.clear();
+        self.frozen_live = 0;
+        self.runs_version += 1;
+        self.id_counts.clear();
         let cache = self.cache.get_mut().expect("peer cache poisoned");
         cache.skyline = Some(Vec::new());
         cache.projections.clear();
-        cache.ids = None;
+        cache.blocks = None;
         std::mem::take(&mut self.tuples)
     }
 
-    /// Absorbs a batch of tuples.
+    /// Absorbs a batch of tuples (alias of
+    /// [`insert_batch`](PeerStore::insert_batch): one generation bump).
     pub fn extend(&mut self, batch: impl IntoIterator<Item = Tuple>) {
-        self.generation += 1;
-        let cache = self.cache.get_mut().expect("peer cache poisoned");
-        for t in batch {
-            if let Some(members) = &mut cache.skyline {
-                skyline_fold(members, &t);
-            }
-            self.tuples.push(t);
-        }
+        self.insert_batch(batch);
     }
 
     /// The local skyline of the stored tuples, in the canonical order of
@@ -258,7 +639,7 @@ impl PeerStore {
     /// Concurrent queries over an already-built skyline share a read lock;
     /// only the first build after an invalidation takes the write lock.
     ///
-    /// When a fresh columnar mirror exists (a blocked query path called
+    /// When a fresh columnar snapshot exists (a blocked query path called
     /// [`blocks`](PeerStore::blocks) since the last mutation), the rebuild
     /// runs over it: whole blocks whose min corner is dominated by a member
     /// found so far are skipped without touching a row, and the surviving
@@ -282,7 +663,7 @@ impl PeerStore {
         let mut cache = self.cache.write().expect("peer cache poisoned");
         if cache.skyline.is_none() {
             let members = if let Some(blocks) = cache.fresh_blocks(self.generation) {
-                self.blocked_skyline(&blocks, dispatch)
+                Self::blocked_skyline(&blocks, dispatch)
             } else {
                 scan::add_scanned(self.tuples.len() as u64);
                 dominance::skyline(&self.tuples)
@@ -296,18 +677,22 @@ impl PeerStore {
         members.iter().map(|(_, t)| t.clone()).collect()
     }
 
-    /// The columnar (structure-of-arrays) mirror of this store at the
+    /// The columnar (structure-of-arrays) snapshot of this store at the
     /// current generation, built on first use after a mutation and shared
-    /// (`Arc`) with in-flight scans. Blocked query paths call this; the
-    /// store's own rebuilds only ever *reuse* a fresh mirror, so executions
-    /// that never ask for blocks stay purely scalar.
+    /// (`Arc`) with in-flight scans. Frozen runs are *referenced* (zero
+    /// copy — assembling a snapshot costs O(runs + memtable), not
+    /// O(store)); only the memtable tail is laid out fresh. Blocked query
+    /// paths call this; the store's own rebuilds only ever *reuse* a fresh
+    /// snapshot, so executions that never ask for blocks stay purely
+    /// scalar.
     pub fn blocks(&self) -> Arc<BlockSet> {
         self.blocks_at(KernelDispatch::Auto)
     }
 
     /// [`blocks`](PeerStore::blocks) with an explicit kernel dispatch arm
-    /// for the build pass. The mirror's contents are bit-identical on
-    /// either arm, so the shared cache never depends on who built it.
+    /// for the memtable build pass. The snapshot's contents are
+    /// bit-identical on either arm, so the shared cache never depends on
+    /// who built it.
     pub fn blocks_at(&self, dispatch: KernelDispatch) -> Arc<BlockSet> {
         {
             let cache = self.cache.read().expect("peer cache poisoned");
@@ -318,22 +703,44 @@ impl PeerStore {
         let mut cache = self.cache.write().expect("peer cache poisoned");
         // Double-check: a racing reader may have rebuilt while we waited.
         if cache.fresh_blocks(self.generation).is_none() {
-            cache.blocks = Some(Arc::new(BlockSet::build(
-                &self.tuples,
-                self.generation,
-                dispatch,
-            )));
+            cache.blocks = Some(Arc::new(self.assemble_blocks(dispatch)));
         }
         cache.fresh_blocks(self.generation).expect("just built")
     }
 
-    /// Skyline rebuild over the columnar mirror. Produces exactly the
+    /// Assembles the columnar snapshot: every live frozen run (shared,
+    /// with its current tombstone mask), then the memtable tail cut into
+    /// fresh blocks. In legacy mode there are no runs, so this reproduces
+    /// the old rebuild-wholesale block geometry exactly.
+    fn assemble_blocks(&self, dispatch: KernelDispatch) -> BlockSet {
+        let mut entries = Vec::with_capacity(self.runs.len() + 1);
+        for run in &self.runs {
+            if run.live > 0 {
+                entries.push(BlockEntry::frozen(
+                    Arc::clone(&run.data),
+                    run.dead.clone(),
+                    run.live,
+                ));
+            }
+        }
+        for chunk in self.tuples[self.frozen_live..].chunks(BLOCK_ROWS) {
+            entries.push(BlockEntry::memtable(Arc::new(RunData::build(
+                chunk.to_vec(),
+                dispatch,
+            ))));
+        }
+        BlockSet::assemble(entries, self.generation)
+    }
+
+    /// Skyline rebuild over the columnar snapshot. Produces exactly the
     /// canonical `(sum, tuple)` members a [`dominance::skyline`] recompute
-    /// would: folding rows in store order from an empty skyline is the
+    /// would: folding live rows in store order from an empty skyline is the
     /// recompute (the fold preserves set and order, property-tested under
     /// churn), and a skipped block contains only rows strictly dominated by
-    /// an already-folded member — each of which folds to a no-op.
-    fn blocked_skyline(&self, blocks: &BlockSet, dispatch: KernelDispatch) -> Vec<(f64, Tuple)> {
+    /// an already-folded member — each of which folds to a no-op. Masked
+    /// rows are skipped at emission; the run bounds are superset bounds, so
+    /// the corner prune stays conservative.
+    fn blocked_skyline(blocks: &BlockSet, dispatch: KernelDispatch) -> Vec<(f64, Tuple)> {
         let mut members: Vec<(f64, Tuple)> = Vec::new();
         let mut buf = Vec::new();
         let mut sums = Vec::new();
@@ -353,37 +760,27 @@ impl PeerStore {
             }
             blocks.block_cols(b, &mut buf);
             kernels::coord_sums(dispatch, &buf, &mut sums);
-            let range = blocks.block_range(b);
-            scan::add_scanned(range.len() as u64);
-            for (off, i) in range.enumerate() {
-                dominance::skyline_fold(&mut members, &self.tuples[i], sums[off]);
+            let rows = blocks.block_tuples(b);
+            let dead = blocks.block_dead(b);
+            scan::add_scanned(blocks.block_live(b) as u64);
+            scan::add_masked((blocks.block_rows(b) - blocks.block_live(b)) as u64);
+            if blocks.is_memtable(b) {
+                scan::add_memtable(blocks.block_live(b) as u64);
+            }
+            for (off, t) in rows.iter().enumerate() {
+                if dead.is_some_and(|d| d[off]) {
+                    continue;
+                }
+                dominance::skyline_fold(&mut members, t, sums[off]);
             }
         }
         members
     }
 
-    /// True if a tuple with this id is stored here, answered from a cached
-    /// membership set (rebuilt when the store changed). Fresh sets are
-    /// probed under a shared read lock.
+    /// True if a tuple with this id is stored here. Answered from the
+    /// eagerly-maintained id multiset — lock-free, never stale.
     pub fn contains_id(&self, id: TupleId) -> bool {
-        {
-            let cache = self.cache.read().expect("peer cache poisoned");
-            if let Some((built, ids)) = &cache.ids {
-                if *built == self.generation {
-                    return ids.contains(&id);
-                }
-            }
-        }
-        let mut cache = self.cache.write().expect("peer cache poisoned");
-        // Double-check: a racing reader may have rebuilt while we waited.
-        let stale = !matches!(&cache.ids, Some((built, _)) if *built == self.generation);
-        if stale {
-            cache.ids = Some((self.generation, self.tuples.iter().map(|t| t.id).collect()));
-        }
-        let Some((_, ids)) = &cache.ids else {
-            unreachable!()
-        };
-        ids.contains(&id)
+        self.id_counts.contains_key(&id)
     }
 
     /// Visits the stored tuples in *descending score order* under `score`,
@@ -391,14 +788,16 @@ impl PeerStore {
     /// order, exactly like a stable descending sort over [`tuples`]).
     ///
     /// Returns `None` when `score` exposes no [`ScoreFn::cache_key`] — the
-    /// caller falls back to a scan. The projection is memoised per key and
-    /// rebuilt when the store mutated, so repeated queries with the same
-    /// scoring function pay the sort once and a truncated walk afterwards.
-    /// A fresh projection is walked under a shared read lock, so the many
-    /// concurrent visits of one parallel query never serialise on a hit.
+    /// caller falls back to a scan. The projection is memoised per key as
+    /// one sorted entry list per frozen run plus one for the memtable, so
+    /// after a mutation only the affected parts rescore (O(memtable) per
+    /// insert batch, nothing per delete); the walk itself is a lazy k-way
+    /// merge that skips tombstoned rows. A fresh projection is walked under
+    /// a shared read lock, so the many concurrent visits of one parallel
+    /// query never serialise on a hit.
     ///
     /// The closure must not call back into cache-using methods of the same
-    /// store (`skyline`, `contains_id`, `with_ranked`).
+    /// store (`skyline`, `with_ranked`).
     ///
     /// [`tuples`]: PeerStore::tuples
     pub fn with_ranked<R>(
@@ -410,8 +809,9 @@ impl PeerStore {
     }
 
     /// [`with_ranked`](PeerStore::with_ranked) with an explicit kernel
-    /// dispatch arm for any projection rebuild the call triggers. The
-    /// projection is bit-identical on either arm (the kernel contract), so
+    /// dispatch arm, accepted for symmetry with the other `_at` entry
+    /// points: projection builds are scalar scoring passes, which the
+    /// kernel contract guarantees bit-identical to every dispatch arm, so
     /// the shared cache never depends on who built it.
     pub fn with_ranked_at<R>(
         &self,
@@ -419,32 +819,33 @@ impl PeerStore {
         dispatch: KernelDispatch,
         f: impl FnOnce(&mut dyn Iterator<Item = (&Tuple, f64)>) -> R,
     ) -> Option<R> {
+        let _ = dispatch;
         let key = score.cache_key()?;
         debug_assert!(self.tuples.len() < u32::MAX as usize);
         {
             let cache = self.cache.read().expect("peer cache poisoned");
             if let Some(proj) = cache.projections.get(&key) {
-                if proj.built_at == self.generation {
+                if proj.runs_stamp == self.runs_version && proj.tail_built_at == self.generation {
                     cache.touch(proj);
-                    let mut it = proj
-                        .entries
-                        .iter()
-                        .map(|&(s, i)| (&self.tuples[i as usize], s));
+                    let mut it = self.ranked_merge(proj);
                     return Some(f(&mut it));
                 }
             }
         }
-        let mut cache = self.cache.write().expect("peer cache poisoned");
+        let mut guard = self.cache.write().expect("peer cache poisoned");
+        let cache = &mut *guard;
         // Double-check under the write lock: another thread may have
-        // rebuilt the projection while we waited for exclusivity.
-        let stale = !matches!(
+        // refreshed the projection while we waited for exclusivity.
+        let fresh = matches!(
             cache.projections.get(&key),
-            Some(p) if p.built_at == self.generation
+            Some(p) if p.runs_stamp == self.runs_version && p.tail_built_at == self.generation
         );
-        if stale {
-            if cache.projections.len() >= MAX_PROJECTIONS {
-                let current = self.generation;
-                cache.projections.retain(|_, p| p.built_at == current);
+        if !fresh {
+            if !cache.projections.contains_key(&key) && cache.projections.len() >= MAX_PROJECTIONS {
+                let (generation, runs_version) = (self.generation, self.runs_version);
+                cache
+                    .projections
+                    .retain(|_, p| p.runs_stamp == runs_version && p.tail_built_at == generation);
                 while cache.projections.len() >= MAX_PROJECTIONS {
                     // Every survivor is live: evict the least-recently-hit
                     // one (ties broken by key for determinism).
@@ -457,54 +858,178 @@ impl PeerStore {
                     cache.projections.remove(&lru);
                 }
             }
-            // A fresh columnar mirror scores whole blocks through the
-            // batched kernel (bit-identical to per-tuple scoring); without
-            // one the classic scalar pass runs. Either way the same stable
-            // descending sort produces the identical projection.
-            scan::add_scanned(self.tuples.len() as u64);
-            let mut entries: Vec<(f64, u32)> =
-                if let Some(blocks) = cache.fresh_blocks(self.generation) {
-                    let mut entries = Vec::with_capacity(self.tuples.len());
-                    let mut buf = Vec::new();
-                    let mut scores = Vec::new();
-                    for b in 0..blocks.num_blocks() {
-                        blocks.block_cols(b, &mut buf);
-                        score.score_block(&buf, &mut scores, dispatch);
-                        let start = blocks.block_range(b).start;
-                        entries.extend(
-                            scores
-                                .iter()
-                                .enumerate()
-                                .map(|(off, &s)| (s, (start + off) as u32)),
-                        );
-                    }
-                    entries
-                } else {
-                    self.tuples
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| (score.score(&t.point), i as u32))
-                        .collect()
-                };
-            // Stable descending sort: ties keep store order.
-            entries.sort_by(|a, b| b.0.total_cmp(&a.0));
-            entries.shrink_to_fit();
-            cache.projections.insert(
-                key,
-                Projection {
-                    built_at: self.generation,
-                    last_hit: AtomicU64::new(0),
-                    entries,
-                },
-            );
+            let proj = cache.projections.entry(key).or_insert_with(|| Projection {
+                last_hit: AtomicU64::new(0),
+                runs_stamp: u64::MAX,
+                tail_built_at: u64::MAX,
+                runs: FxHashMap::default(),
+                tail: Arc::new(Vec::new()),
+            });
+            self.refresh_projection(proj, score);
         }
         let proj = &cache.projections[&key];
         cache.touch(proj);
-        let mut it = proj
-            .entries
-            .iter()
-            .map(|&(s, i)| (&self.tuples[i as usize], s));
+        let mut it = self.ranked_merge(proj);
         Some(f(&mut it))
+    }
+
+    /// Brings a projection up to date: keeps entry lists of unchanged runs
+    /// (the common case — they dominate the store), scores and sorts any
+    /// new run, and rebuilds the memtable entries. Scoring is the plain
+    /// scalar pass — bit-identical to every kernel arm by contract. Run
+    /// entries cover *all* physical rows (masks are applied by the merge),
+    /// so deletions never rescore anything.
+    fn refresh_projection(&self, proj: &mut Projection, score: &dyn ScoreFn) {
+        let live_ids: FxHashSet<u64> = self.runs.iter().map(|r| r.id).collect();
+        proj.runs.retain(|id, _| live_ids.contains(id));
+        for run in &self.runs {
+            proj.runs
+                .entry(run.id)
+                .or_insert_with(|| Arc::new(Self::score_entries(run.data.tuples(), score)));
+        }
+        proj.tail = Arc::new(Self::score_entries(&self.tuples[self.frozen_live..], score));
+        proj.runs_stamp = self.runs_version;
+        proj.tail_built_at = self.generation;
+    }
+
+    /// Scores `rows` and sorts the entries best-first; ties keep row order
+    /// (stable descending sort).
+    fn score_entries(rows: &[Tuple], score: &dyn ScoreFn) -> Vec<(f64, u32)> {
+        scan::add_scanned(rows.len() as u64);
+        let mut entries: Vec<(f64, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (score.score(&t.point), i as u32))
+            .collect();
+        entries.sort_by(|a, b| b.0.total_cmp(&a.0));
+        entries.shrink_to_fit();
+        entries
+    }
+
+    /// The lazy k-way merge over a fresh projection's per-run and memtable
+    /// entry lists. Sources are ordered by store position (runs in order,
+    /// memtable last) and the heap breaks score ties toward the earliest
+    /// source; entries within a source already break ties by position — so
+    /// the merged sequence is *exactly* the stable descending sort of the
+    /// logical tuple vector.
+    fn ranked_merge<'a>(&'a self, proj: &'a Projection) -> RankedMerge<'a> {
+        let mut sources = Vec::with_capacity(self.runs.len() + 1);
+        for run in &self.runs {
+            if run.live == 0 {
+                continue;
+            }
+            let entries = proj
+                .runs
+                .get(&run.id)
+                .expect("fresh projection covers every run");
+            sources.push(RankedCursor {
+                entries,
+                pos: 0,
+                dead: run.dead.as_ref().map(|d| d.as_slice()),
+                rows: run.data.tuples(),
+                memtable: false,
+            });
+        }
+        sources.push(RankedCursor {
+            entries: &proj.tail,
+            pos: 0,
+            dead: None,
+            rows: &self.tuples[self.frozen_live..],
+            memtable: true,
+        });
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (src, cur) in sources.iter_mut().enumerate() {
+            if let Some(score) = cur.settle() {
+                heap.push(Head { score, src });
+            }
+        }
+        RankedMerge { sources, heap }
+    }
+}
+
+/// One source of a [`RankedMerge`]: a sorted entry list over one run (or
+/// the memtable tail) plus the tombstone mask to skip by.
+struct RankedCursor<'a> {
+    entries: &'a [(f64, u32)],
+    pos: usize,
+    dead: Option<&'a [bool]>,
+    rows: &'a [Tuple],
+    memtable: bool,
+}
+
+impl RankedCursor<'_> {
+    /// Advances past tombstoned entries; returns the score now at the
+    /// cursor, or `None` when exhausted.
+    fn settle(&mut self) -> Option<f64> {
+        while let Some(&(score, i)) = self.entries.get(self.pos) {
+            if self.dead.is_some_and(|d| d[i as usize]) {
+                scan::add_masked(1);
+                self.pos += 1;
+                continue;
+            }
+            return Some(score);
+        }
+        None
+    }
+}
+
+/// Heap head of the ranked merge: max-orders by score (`total_cmp`), ties
+/// toward the smaller source index — sources are store-ordered, so this
+/// reproduces the store-order tie-break of a stable descending sort.
+struct Head {
+    score: f64,
+    src: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.src.cmp(&self.src))
+    }
+}
+
+/// Lazy descending-score walk over a store's merged (runs ∪ memtable)
+/// view; see [`PeerStore::with_ranked`].
+struct RankedMerge<'a> {
+    sources: Vec<RankedCursor<'a>>,
+    heap: BinaryHeap<Head>,
+}
+
+impl<'a> Iterator for RankedMerge<'a> {
+    type Item = (&'a Tuple, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let head = self.heap.pop()?;
+        let cur = &mut self.sources[head.src];
+        let (score, i) = cur.entries[cur.pos];
+        debug_assert_eq!(score.to_bits(), head.score.to_bits());
+        let tuple = &cur.rows[i as usize];
+        if cur.memtable {
+            scan::add_memtable(1);
+        }
+        cur.pos += 1;
+        if let Some(next_score) = cur.settle() {
+            self.heap.push(Head {
+                score: next_score,
+                src: head.src,
+            });
+        }
+        Some((tuple, score))
     }
 }
 
@@ -570,6 +1095,7 @@ impl<'a> LocalView<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::ScanCounts;
     use ripple_geom::LinearScore;
 
     fn t(id: u64, x: f64) -> Tuple {
@@ -600,6 +1126,9 @@ mod tests {
         assert_eq!(s.len(), 5);
         assert!(s.iter().all(|t| t.point.coord(0) < 0.5));
         assert!(moved.iter().all(|t| t.point.coord(0) >= 0.5));
+        // Order-preserving on both sides (tombstone masking never reorders).
+        assert!(s.tuples().windows(2).all(|w| w[0].id < w[1].id));
+        assert!(moved.windows(2).all(|w| w[0].id < w[1].id));
     }
 
     #[test]
@@ -630,6 +1159,39 @@ mod tests {
         let g2 = s.generation();
         s.drain_where(|p| p.coord(0) < 0.35);
         assert!(s.generation() > g2);
+    }
+
+    #[test]
+    fn insert_batch_is_one_generation_bump() {
+        let mut s = PeerStore::new();
+        let g0 = s.generation();
+        s.insert_batch((0..700u64).map(|i| t(i, (i as f64 * 0.137) % 1.0)));
+        assert_eq!(s.generation(), g0 + 1, "one bump for the whole batch");
+        assert_eq!(s.len(), 700);
+        let stats = s.ingest_stats();
+        assert_eq!(stats.rows_ingested, 700);
+        assert_eq!(stats.runs, 2, "two full runs froze");
+        assert_eq!(stats.memtable_rows, 700 - 2 * BLOCK_ROWS);
+        assert_eq!(stats.rows_frozen, 2 * BLOCK_ROWS as u64);
+    }
+
+    #[test]
+    fn delete_batch_removes_and_skips_absent() {
+        let mut s = PeerStore::new();
+        s.insert_batch((0..600u64).map(|i| t(i, (i as f64 * 0.31) % 1.0)));
+        let g = s.generation();
+        // No target present: free, no generation bump.
+        assert_eq!(s.delete_batch([9000, 9001]), 0);
+        assert_eq!(s.generation(), g);
+        // Mixed present/absent: one bump, only present ids removed.
+        let n = s.delete_batch([5, 300, 599, 9000]);
+        assert_eq!(n, 3);
+        assert_eq!(s.generation(), g + 1);
+        assert_eq!(s.len(), 597);
+        assert!(!s.contains_id(5));
+        assert!(!s.contains_id(300));
+        assert!(s.contains_id(4));
+        assert_eq!(s.ingest_stats().rows_deleted, 3);
     }
 
     /// The cached skyline must equal a from-scratch recompute — same set,
@@ -842,6 +1404,26 @@ mod tests {
         assert_eq!(b3.rows(), 601);
     }
 
+    /// An insert invalidates the snapshot but the frozen runs are shared:
+    /// rebuilding costs O(memtable), not O(store).
+    #[test]
+    fn snapshot_rebuild_shares_frozen_runs() {
+        let mut s = blocky_store(600, 3);
+        let before = s.blocks();
+        s.insert(Tuple::new(9999, vec![0.5, 0.5, 0.5]));
+        let after = s.blocks();
+        assert_eq!(after.rows(), 601);
+        // The two frozen runs are the same allocations in both snapshots.
+        for b in 0..2 {
+            assert!(std::ptr::eq(
+                before.block_tuples(b).as_ptr(),
+                after.block_tuples(b).as_ptr()
+            ));
+            assert!(!before.is_memtable(b));
+        }
+        assert!(after.is_memtable(after.num_blocks() - 1));
+    }
+
     /// The blocked skyline rebuild (fresh mirror present) and the scalar
     /// rebuild produce the identical skyline — same set, order and
     /// duplicate representatives — and the blocked one actually prunes.
@@ -853,13 +1435,16 @@ mod tests {
             s.blocks(); // make the mirror fresh before the skyline builds
             crate::scan::begin();
             let blocked = s.skyline();
-            let (scanned, pruned) = crate::scan::end();
+            let c = crate::scan::end();
             assert_eq!(blocked, scalar, "n={n}");
-            if n >= 3 * crate::block::BLOCK_ROWS {
-                assert!(pruned > 0, "dominating head tuple prunes later blocks");
+            if n >= 3 * BLOCK_ROWS {
+                assert!(
+                    c.blocks_pruned > 0,
+                    "dominating head tuple prunes later blocks"
+                );
             }
             assert!(
-                scanned + pruned * crate::block::BLOCK_ROWS as u64
+                c.tuples_scanned + c.blocks_pruned * BLOCK_ROWS as u64
                     >= (n as u64).saturating_sub(255)
             );
         }
@@ -878,6 +1463,146 @@ mod tests {
             .with_ranked(&score, |it| it.map(|(t, s)| (t.id, s.to_bits())).collect())
             .unwrap();
         assert_eq!(via_scalar, via_blocks, "bit-identical projections");
+    }
+
+    /// The LSM store and a legacy-mode (rebuild-per-mutation) twin driven
+    /// through the identical call sequence must agree on every observable:
+    /// length, tuple sequence, skyline, ranked walks, membership,
+    /// generations.
+    #[test]
+    fn lsm_agrees_with_legacy_twin_under_churn() {
+        let mut lsm = PeerStore::new();
+        let mut legacy = PeerStore::new();
+        legacy.set_legacy(true);
+        let score = LinearScore::new(vec![0.9, 0.4]);
+        let mut state: u64 = 0xA076_1D64_78BD_642F;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let mut id = 0u64;
+        for round in 0..12 {
+            let batch: Vec<Tuple> = (0..137)
+                .map(|_| {
+                    id += 1;
+                    Tuple::new(id - 1, vec![next(), next()])
+                })
+                .collect();
+            lsm.insert_batch(batch.clone());
+            legacy.insert_batch(batch);
+            if round % 3 == 2 {
+                let doomed: Vec<u64> = (0..id).filter(|i| i % 7 == round % 7).collect();
+                assert_eq!(
+                    lsm.delete_batch(doomed.clone()),
+                    legacy.delete_batch(doomed)
+                );
+            }
+            if round % 4 == 3 {
+                lsm.compact();
+                assert_eq!(legacy.compact(), 0, "legacy twin has no runs");
+            }
+            assert_eq!(lsm.len(), legacy.len(), "round {round}");
+            assert_eq!(lsm.generation(), legacy.generation(), "round {round}");
+            assert_eq!(lsm.tuples(), legacy.tuples(), "round {round}");
+            assert_eq!(lsm.skyline(), legacy.skyline(), "round {round}");
+            let walk = |s: &PeerStore| -> Vec<(u64, u64)> {
+                s.with_ranked(&score, |it| it.map(|(t, s)| (t.id, s.to_bits())).collect())
+                    .unwrap()
+            };
+            assert_eq!(walk(&lsm), walk(&legacy), "round {round}");
+        }
+        assert!(lsm.ingest_stats().runs > 0, "the LSM twin actually froze");
+        assert!(
+            legacy.ingest_stats().runs == 0 && legacy.ingest_stats().rows_frozen == 0,
+            "the legacy twin never froze"
+        );
+    }
+
+    /// Compaction is a logical no-op: same tuples, same generation, same
+    /// skyline and ranked walks — only the physical layout (runs,
+    /// tombstones) changes.
+    #[test]
+    fn compaction_is_invisible() {
+        let mut s = blocky_store(1000, 3);
+        let doomed: Vec<u64> = (0..1000).filter(|i| i % 3 == 0).collect();
+        s.delete_batch(doomed);
+        let gen = s.generation();
+        let tuples_before = s.tuples().to_vec();
+        let sky_before = s.skyline();
+        let score = LinearScore::new(vec![0.5, 0.3, 0.2]);
+        let walk = |s: &PeerStore| -> Vec<(u64, u64)> {
+            s.with_ranked(&score, |it| it.map(|(t, s)| (t.id, s.to_bits())).collect())
+                .unwrap()
+        };
+        let walk_before = walk(&s);
+        // The quarter-dead trigger already ran a compaction inside
+        // delete_batch; force another full pass explicitly (idempotent on
+        // a clean store).
+        let rewritten = s.compact();
+        assert_eq!(s.generation(), gen, "no generation bump");
+        assert_eq!(s.tuples(), &tuples_before[..]);
+        assert_eq!(s.skyline(), sky_before);
+        assert_eq!(walk(&s), walk_before);
+        assert_eq!(s.ingest_stats().tombstones, 0, "masks rewritten away");
+        let blocks = s.blocks();
+        assert_eq!(blocks.rows(), s.len());
+        for b in 0..blocks.num_blocks() {
+            assert!(blocks.block_dead(b).is_none(), "compacted runs are dense");
+        }
+        // Either the trigger compacted everything already (second pass is
+        // a no-op) or the explicit pass rewrote the remaining masks.
+        let stats = s.ingest_stats();
+        assert!(stats.compactions_run >= 1);
+        assert!(stats.rows_compacted >= rewritten);
+    }
+
+    /// Write amplification stays a small constant: each row is written
+    /// once on insert and once on freeze (plus compaction rewrites).
+    #[test]
+    fn ingest_stats_track_write_amplification() {
+        let mut s = PeerStore::new();
+        s.insert_batch((0..1024u64).map(|i| t(i, (i as f64 * 0.617) % 1.0)));
+        let stats = s.ingest_stats();
+        assert_eq!(stats.rows_ingested, 1024);
+        assert_eq!(stats.rows_frozen, 1024, "4 full runs");
+        assert_eq!(stats.memtable_rows, 0);
+        assert_eq!(stats.rows_rewritten(), 1024);
+        assert!((stats.write_amplification() - 2.0).abs() < 1e-12);
+        // A legacy store never rewrites: WA stays exactly 1.
+        let mut l = PeerStore::new();
+        l.set_legacy(true);
+        l.insert_batch((0..1024u64).map(|i| t(i, (i as f64 * 0.617) % 1.0)));
+        assert!((l.ingest_stats().write_amplification() - 1.0).abs() < 1e-12);
+    }
+
+    /// The merge walk reports memtable reads and tombstone skips through
+    /// the scan bracket; a store with frozen runs, a tail and tombstones
+    /// exercises all three counters.
+    #[test]
+    fn ranked_walk_reports_memtable_and_tombstones() {
+        let mut s = PeerStore::new();
+        s.insert_batch((0..600u64).map(|i| t(i, (i as f64 * 0.473) % 1.0)));
+        s.delete_batch((0..600).filter(|i| i % 10 == 0));
+        let score = LinearScore::uniform(2);
+        // Build the projection outside the bracket; measure the walk only.
+        let _ = s.with_ranked(&score, |it| it.count());
+        crate::scan::begin();
+        let n = s.with_ranked(&score, |it| it.count()).unwrap();
+        let c = crate::scan::end();
+        assert_eq!(n, s.len());
+        assert_eq!(
+            c.memtable_hits,
+            (s.len() - s.frozen_live) as u64,
+            "every tail row surfaced through the memtable source"
+        );
+        assert!(
+            c.tombstones_masked > 0,
+            "masked entries were skipped during the merge"
+        );
+        assert_eq!(
+            c.tuples_scanned, 0,
+            "walking a fresh projection rescans nothing"
+        );
     }
 
     /// Overflowing MAX_PROJECTIONS evicts the least-recently-hit live
@@ -939,11 +1664,30 @@ mod tests {
         s.blocks();
         crate::scan::begin();
         let _ = s.skyline();
-        let (scanned, pruned) = crate::scan::end();
-        assert!(scanned > 0);
-        assert!(scanned as usize + pruned as usize * crate::block::BLOCK_ROWS >= 700 - 256);
+        let c = crate::scan::end();
+        assert!(c.tuples_scanned > 0);
+        assert!(c.tuples_scanned as usize + c.blocks_pruned as usize * BLOCK_ROWS >= 700 - 256);
         crate::scan::begin();
         let _ = s.skyline(); // cache hit: no scan work
-        assert_eq!(crate::scan::end(), (0, 0));
+        assert_eq!(crate::scan::end(), ScanCounts::default());
+    }
+
+    /// After an insert, refreshing a projection rescans only the memtable
+    /// tail — the frozen runs keep their sorted entries.
+    #[test]
+    fn projection_refresh_is_proportional_to_the_delta() {
+        let mut s = PeerStore::new();
+        s.insert_batch((0..2048u64).map(|i| t(i, (i as f64 * 0.731) % 1.0)));
+        let score = LinearScore::uniform(2);
+        let _ = s.with_ranked(&score, |it| it.count());
+        s.insert(t(5000, 0.42));
+        crate::scan::begin();
+        let _ = s.with_ranked(&score, |it| it.count());
+        let c = crate::scan::end();
+        assert_eq!(
+            c.tuples_scanned, 1,
+            "only the 1-row memtable rescored ({} frozen rows untouched)",
+            s.frozen_live
+        );
     }
 }

@@ -99,4 +99,15 @@ cargo test --release --offline -p ripple-chord --test serving -- --quiet
 cargo test --release --offline -p ripple-serve -- --quiet
 cargo run --release --offline -p ripple-bench --bin serving_bench -- --smoke
 
+echo "== ingest smoke (LSM write path == rebuild-per-insert, compaction invisibility) =="
+# The equivalence suites drive twin overlays (LSM vs legacy rebuild
+# layout) through interleaved insert -> query -> compact -> delete
+# schedules and require bit-identical answers, ledgers and certificates
+# on both substrates; the quick bench adds a store-level lockstep walk
+# and a smaller-preload throughput floor (the 100x sustained-ingest gate
+# runs only in the full bench — timing gates are flaky at smoke scale).
+cargo test --release --offline -p ripple-core ingest_equivalence -- --quiet
+cargo test --release --offline -p ripple-chord --test ingest -- --quiet
+cargo run --release --offline -p ripple-bench --bin ingest_bench -- --quick
+
 echo "All checks passed."
